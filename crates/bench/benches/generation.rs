@@ -1,0 +1,56 @@
+//! Random-graph generation throughput (§7.2): the residual-degree sampler
+//! vs the configuration model with erasure, across sizes and tail indices.
+//! The paper generates 10M-node graphs "in several seconds" with its
+//! interval-tree sampler; the Fenwick-based port should scale the same way
+//! (O(m log n)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use std::hint::black_box;
+use trilist_bench::fixture_sequence;
+use trilist_graph::gen::{ConfigurationModel, GraphGenerator, ResidualSampler};
+
+fn bench_residual_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation/residual_sampler");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let seq = fixture_sequence(n, 1.5, 3);
+        group.throughput(Throughput::Elements(seq.sum() / 2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            b.iter(|| black_box(ResidualSampler.generate(&seq, &mut rng).graph.m()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_configuration_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation/configuration_model");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let seq = fixture_sequence(n, 1.5, 3);
+        group.throughput(Throughput::Elements(seq.sum() / 2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            b.iter(|| black_box(ConfigurationModel.generate(&seq, &mut rng).graph.m()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heavy_tail(c: &mut Criterion) {
+    // α = 1.2 stresses the exclusion bookkeeping around hubs
+    let mut group = c.benchmark_group("generation/residual_alpha1.2");
+    group.sample_size(10);
+    let n = 50_000;
+    let seq = fixture_sequence(n, 1.2, 9);
+    group.throughput(Throughput::Elements(seq.sum() / 2));
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        b.iter(|| black_box(ResidualSampler.generate(&seq, &mut rng).graph.m()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_residual_sampler, bench_configuration_model, bench_heavy_tail);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table 5's timing claim: the exact discrete model (50) is linear in
+//! `t_n` while Algorithm 2 is logarithmic, so their runtimes diverge by
+//! orders of magnitude as `n` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trilist_graph::dist::{DiscretePareto, Truncated};
+use trilist_model::{continuous_cost, discrete_cost, quick_cost, CostClass, ModelSpec};
+use trilist_order::LimitMap;
+
+fn spec() -> ModelSpec {
+    ModelSpec::new(CostClass::T1, LimitMap::Descending)
+}
+
+fn bench_discrete_exact(c: &mut Criterion) {
+    let pareto = DiscretePareto::paper_beta(1.5);
+    let mut group = c.benchmark_group("model/discrete_exact");
+    group.sample_size(10);
+    for t in [1_000u64, 100_000, 10_000_000] {
+        let dist = Truncated::new(pareto, t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| black_box(discrete_cost(&dist, &spec())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm2(c: &mut Criterion) {
+    let pareto = DiscretePareto::paper_beta(1.5);
+    let mut group = c.benchmark_group("model/algorithm2_eps1e-5");
+    group.sample_size(10);
+    for t in [10_000_000u64, 10_000_000_000, 100_000_000_000_000] {
+        let dist = Truncated::new(pareto, t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| black_box(quick_cost(&dist, &spec(), 1e-5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_continuous(c: &mut Criterion) {
+    let pareto = DiscretePareto::paper_beta(1.5);
+    let mut group = c.benchmark_group("model/continuous_400k_panels");
+    group.sample_size(10);
+    for t in [1e7, 1e14] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| black_box(continuous_cost(&pareto, t, &spec(), 400_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discrete_exact, bench_algorithm2, bench_continuous);
+criterion_main!(benches);

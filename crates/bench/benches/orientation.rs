@@ -1,0 +1,44 @@
+//! Preprocessing cost (§2.1): relabeling + orientation for each family,
+//! including the degenerate smallest-last ordering whose construction time
+//! the paper singles out as two orders of magnitude above listing itself
+//! (§7.5 — 5 hours on Twitter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use std::hint::black_box;
+use trilist_bench::fixture_graph;
+use trilist_order::{DirectedGraph, OrderFamily};
+
+fn bench_relabel_and_orient(c: &mut Criterion) {
+    let n = 100_000;
+    let graph = fixture_graph(n, 1.7, 13);
+    let mut group = c.benchmark_group("orientation/relabel_orient");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.m() as u64));
+    for family in OrderFamily::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(family.name()), &family, |b, &f| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                let relabeling = f.relabeling(&graph, &mut rng);
+                black_box(DirectedGraph::orient(&graph, &relabeling).m())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_degeneracy_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orientation/smallest_last");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let graph = fixture_graph(n, 1.7, 17);
+        group.throughput(Throughput::Elements(graph.m() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(trilist_order::smallest_last_labels(&graph)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relabel_and_orient, bench_degeneracy_only);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! # trilist-bench
+//!
+//! Criterion benchmarks for the triangle-listing reproduction. The library
+//! itself only provides shared fixtures; the benches live in `benches/`.
+
+#![warn(missing_docs)]
+
+use rand::SeedableRng;
+use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+use trilist_graph::Graph;
+
+/// A reproducible power-law benchmark graph.
+pub fn fixture_graph(n: usize, alpha: f64, seed: u64) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dist = Truncated::new(DiscretePareto::paper_beta(alpha), Truncation::Root.t_n(n));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    ResidualSampler.generate(&seq, &mut rng).graph
+}
+
+/// The degree sequence used by the generation benches.
+pub fn fixture_sequence(n: usize, alpha: f64, seed: u64) -> trilist_graph::DegreeSequence {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dist = Truncated::new(DiscretePareto::paper_beta(alpha), Truncation::Root.t_n(n));
+    sample_degree_sequence(&dist, n, &mut rng).0
+}

@@ -1,0 +1,166 @@
+//! Baselines without the three-step framework.
+//!
+//! `§5.3` uses the "no orientation" costs — `E[D² − D]/2` per node for
+//! vertex iterators and `E[D² − D]` for edge iterators — as the yardstick
+//! that orientation improves on. These reference implementations run on the
+//! *undirected* graph and count each triangle exactly once by emitting it
+//! only at its smallest corner; their candidate counts follow the
+//! unoriented formulas. [`brute_force`] enumerates all 3-subsets and is the
+//! ground truth for small graphs in tests.
+
+use crate::cost::CostReport;
+use trilist_graph::Graph;
+
+/// Checks every 3-subset of nodes: `≈ n³/6` edge probes (§1.1). Test
+/// oracle only.
+pub fn brute_force<F: FnMut(u32, u32, u32)>(g: &Graph, mut sink: F) -> CostReport {
+    let mut cost = CostReport::default();
+    let n = g.n() as u32;
+    for x in 0..n {
+        for y in (x + 1)..n {
+            for z in (y + 1)..n {
+                cost.lookups += 3;
+                if g.has_edge(x, y) && g.has_edge(y, z) && g.has_edge(x, z) {
+                    cost.triangles += 1;
+                    sink(x, y, z);
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// Unoriented vertex iterator: at every node `v`, check all neighbor pairs
+/// `u < w` for the closing edge. Candidate count `Σ d(d−1)/2`; each
+/// triangle is *found* three times (once per corner) but emitted once, at
+/// its smallest corner.
+pub fn unoriented_vertex_iterator<F: FnMut(u32, u32, u32)>(g: &Graph, mut sink: F) -> CostReport {
+    let mut cost = CostReport::default();
+    for v in 0..g.n() as u32 {
+        let nbrs = g.neighbors(v);
+        for (i, &u) in nbrs.iter().enumerate() {
+            for &w in &nbrs[i + 1..] {
+                cost.lookups += 1;
+                if g.has_edge(u, w) {
+                    // emit only when v is the smallest corner
+                    if v < u && v < w {
+                        cost.triangles += 1;
+                        sink(v, u.min(w), u.max(w));
+                    }
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// Unoriented scanning edge iterator: intersect the full neighbor lists of
+/// both endpoints of every undirected edge. Comparison accounting
+/// `Σ_(u,v)∈E (d_u + d_v) = Σ d²`, i.e. double the unoriented vertex
+/// iterator plus `2m` — the `E[D² − D]` regime of §5.3.
+pub fn unoriented_edge_iterator<F: FnMut(u32, u32, u32)>(g: &Graph, mut sink: F) -> CostReport {
+    use crate::intersect::intersect_sorted;
+    let mut cost = CostReport::default();
+    for (u, v) in g.edges() {
+        let a = g.neighbors(u);
+        let b = g.neighbors(v);
+        cost.local += a.len() as u64 - 1; // exclude v itself
+        cost.remote += b.len() as u64 - 1; // exclude u itself
+        let stats = intersect_sorted(a, b, |w| {
+            // (u, v, w) is a triangle; emit once, when (u, v) is the
+            // lexicographically smallest edge, i.e. w is the largest corner
+            if w > v {
+                cost.triangles += 1;
+                sink(u, v, w);
+            }
+        });
+        cost.pointer_advances += stats.advances;
+    }
+    cost
+}
+
+/// Unoriented vertex-iterator candidate total `Σ d(d−1)/2`.
+pub fn unoriented_vertex_formula(g: &Graph) -> u64 {
+    (0..g.n() as u32)
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4_plus_pendant() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn brute_force_counts_k4() {
+        let g = k4_plus_pendant();
+        let mut tris = Vec::new();
+        let cost = brute_force(&g, |x, y, z| tris.push((x, y, z)));
+        assert_eq!(cost.triangles, 4);
+        assert_eq!(tris.len(), 4);
+    }
+
+    #[test]
+    fn unoriented_vertex_matches_brute_force() {
+        let g = k4_plus_pendant();
+        let mut a = Vec::new();
+        brute_force(&g, |x, y, z| a.push((x, y, z)));
+        let mut b = Vec::new();
+        let cost = unoriented_vertex_iterator(&g, |x, y, z| b.push((x, y, z)));
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(cost.lookups, unoriented_vertex_formula(&g));
+    }
+
+    #[test]
+    fn unoriented_edge_matches_brute_force() {
+        let g = k4_plus_pendant();
+        let mut a = Vec::new();
+        brute_force(&g, |x, y, z| a.push((x, y, z)));
+        let mut b = Vec::new();
+        let cost = unoriented_edge_iterator(&g, |x, y, z| b.push((x, y, z)));
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(cost.triangles, 4);
+        // Σ d² = Σ_(u,v) (d_u + d_v); accounting excludes the two endpoints
+        let sum_sq: u64 = g.degree_square_sum();
+        assert_eq!(cost.local + cost.remote, sum_sq - 2 * g.m() as u64);
+    }
+
+    #[test]
+    fn random_graphs_agree() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let n = rng.gen_range(4..20);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let mut a = Vec::new();
+            brute_force(&g, |x, y, z| a.push((x, y, z)));
+            let mut b = Vec::new();
+            unoriented_vertex_iterator(&g, |x, y, z| b.push((x, y, z)));
+            let mut c = Vec::new();
+            unoriented_edge_iterator(&g, |x, y, z| c.push((x, y, z)));
+            a.sort_unstable();
+            b.sort_unstable();
+            c.sort_unstable();
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Triangle-based graph statistics: per-node triangle counts, local
+//! clustering coefficients, and global transitivity.
+//!
+//! These are the downstream quantities that motivate triangle listing in
+//! the first place (§1 cites community detection, sybil detection, motif
+//! analysis, …). Computed with one E1 pass over a degeneracy-oriented
+//! graph, so the cost is the optimal `c_n(E1, θ)` rather than the naive
+//! `Σ d²`.
+
+use crate::sei::e1;
+use trilist_graph::Graph;
+use trilist_order::{DirectedGraph, Relabeling};
+
+/// Per-node triangle counts (indexed by original node ID).
+pub fn triangle_counts(g: &Graph) -> Vec<u64> {
+    // the degenerate orientation bounds every out-degree by the degeneracy,
+    // the best worst-case for the intersection sizes; no RNG needed
+    let relabeling = Relabeling::from_labels(trilist_order::smallest_last_labels(g));
+    triangle_counts_with(g, &relabeling)
+}
+
+/// Per-node triangle counts under an explicit relabeling.
+pub fn triangle_counts_with(g: &Graph, relabeling: &Relabeling) -> Vec<u64> {
+    let dg = DirectedGraph::orient(g, relabeling);
+    let inv = relabeling.inverse();
+    let mut counts = vec![0u64; g.n()];
+    e1(&dg, |x, y, z| {
+        counts[inv[x as usize] as usize] += 1;
+        counts[inv[y as usize] as usize] += 1;
+        counts[inv[z as usize] as usize] += 1;
+    });
+    counts
+}
+
+/// Total triangles in the graph.
+pub fn triangle_count(g: &Graph) -> u64 {
+    let relabeling = Relabeling::from_labels(trilist_order::smallest_last_labels(g));
+    let dg = DirectedGraph::orient(g, &relabeling);
+    e1(&dg, |_, _, _| {}).triangles
+}
+
+/// Local clustering coefficient of every node:
+/// `c_v = 2·t_v / (d_v (d_v − 1))`, defined as 0 for `d_v < 2`.
+pub fn local_clustering(g: &Graph) -> Vec<f64> {
+    triangle_counts(g)
+        .into_iter()
+        .enumerate()
+        .map(|(v, t)| {
+            let d = g.degree(v as u32) as u64;
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * t as f64 / (d * (d - 1)) as f64
+            }
+        })
+        .collect()
+}
+
+/// Average local clustering coefficient (Watts–Strogatz \[38\]).
+pub fn average_clustering(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    local_clustering(g).iter().sum::<f64>() / g.n() as f64
+}
+
+/// Global transitivity: `3·triangles / open-or-closed wedges`, i.e.
+/// `3T / Σ d(d−1)/2`.
+///
+/// ```
+/// use trilist_core::transitivity;
+/// use trilist_graph::Graph;
+/// // a triangle with a pendant edge: 3 closed out of 5 wedges
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+/// assert!((transitivity(&g) - 0.6).abs() < 1e-12);
+/// ```
+pub fn transitivity(g: &Graph) -> f64 {
+    let wedges: u64 = (0..g.n() as u32)
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangle_count(g) as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+            }
+        }
+        Graph::from_edges(4, &edges).unwrap()
+    }
+
+    #[test]
+    fn complete_graph_statistics() {
+        let g = k4();
+        assert_eq!(triangle_count(&g), 4);
+        assert_eq!(triangle_counts(&g), vec![3, 3, 3, 3]);
+        assert_eq!(local_clustering(&g), vec![1.0; 4]);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        // nodes 0-1-2 triangle, 3 hangs off 2
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        assert_eq!(triangle_counts(&g), vec![1, 1, 1, 0]);
+        let c = local_clustering(&g);
+        assert_eq!(c[0], 1.0);
+        assert_eq!(c[1], 1.0);
+        // node 2 has degree 3: 1 triangle out of 3 possible pairs
+        assert!((c[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c[3], 0.0);
+        // transitivity: 3 triangles-counted / wedges = 3·1 / (1+1+3+0)
+        assert!((transitivity(&g) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_free_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn counts_invariant_to_relabeling() {
+        use rand::SeedableRng;
+        use trilist_order::OrderFamily;
+        let g = k4();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let r = OrderFamily::Uniform.relabeling(&g, &mut rng);
+        assert_eq!(triangle_counts_with(&g, &r), triangle_counts(&g));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(transitivity(&g), 0.0);
+        assert!(triangle_counts(&g).is_empty());
+    }
+
+    #[test]
+    fn sum_of_counts_is_three_times_total() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = 60;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(0.1) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let total = triangle_count(&g);
+        let sum: u64 = triangle_counts(&g).iter().sum();
+        assert_eq!(sum, 3 * total);
+    }
+}

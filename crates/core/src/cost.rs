@@ -1,0 +1,82 @@
+//! Operation accounting for triangle-listing algorithms.
+//!
+//! The paper measures cost in *elementary operations*, not wall time:
+//! candidate tuples for vertex iterators (eqs. 7–9), list-intersection
+//! comparisons split into local/remote for scanning edge iterators
+//! (Proposition 2, Table 1), and hash lookups for lookup edge iterators
+//! (Table 2). [`CostReport`] carries all of these so that a run can be
+//! compared against the closed-form cost computed from the oriented degree
+//! sequence.
+
+/// Operation counts from one triangle-listing run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Triangles emitted.
+    pub triangles: u64,
+    /// Candidate-edge existence checks (vertex iterators) or hash lookups
+    /// (lookup edge iterators).
+    pub lookups: u64,
+    /// SEI local comparisons: the scanned length of the first-visited
+    /// node's list, accounted as the full eligible-slice length per
+    /// intersection (the paper's convention behind Proposition 2).
+    pub local: u64,
+    /// SEI remote comparisons: same accounting for the second list.
+    pub remote: u64,
+    /// Hash-table insertions (LEI builds its per-node tables once: `m`).
+    pub hash_inserts: u64,
+    /// Actual pointer advances performed by the two-pointer intersections —
+    /// an implementation metric, always `≤ local + remote`, reported for
+    /// completeness but never used in the paper's tables.
+    pub pointer_advances: u64,
+}
+
+impl CostReport {
+    /// The paper's headline operation count `n · c_n(M, θ_n)` for this run:
+    /// candidate checks for vertex iterators, `local + remote` comparisons
+    /// for SEI, lookups for LEI.
+    pub fn operations(&self) -> u64 {
+        self.lookups + self.local + self.remote
+    }
+
+    /// Per-node cost `c_n(M, θ_n)` (eq. 1).
+    pub fn per_node(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.operations() as f64 / n as f64
+        }
+    }
+
+    /// Component-wise sum, for aggregating over runs.
+    pub fn accumulate(&mut self, other: &CostReport) {
+        self.triangles += other.triangles;
+        self.lookups += other.lookups;
+        self.local += other.local;
+        self.remote += other.remote;
+        self.hash_inserts += other.hash_inserts;
+        self.pointer_advances += other.pointer_advances;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operations_sums_accounted_fields() {
+        let r = CostReport { lookups: 5, local: 3, remote: 7, ..Default::default() };
+        assert_eq!(r.operations(), 15);
+        assert!((r.per_node(5) - 3.0).abs() < 1e-12);
+        assert_eq!(CostReport::default().per_node(0), 0.0);
+    }
+
+    #[test]
+    fn accumulate_adds_fields() {
+        let mut a = CostReport { triangles: 1, lookups: 2, ..Default::default() };
+        let b = CostReport { triangles: 3, lookups: 4, local: 1, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.triangles, 4);
+        assert_eq!(a.lookups, 6);
+        assert_eq!(a.local, 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Lookup edge iterators L1–L6 (§2.3, Table 2).
+//!
+//! LEI mirrors SEI but replaces the two-pointer scan with hash probes: the
+//! first-visited node's neighbor list is hashed and each element of the
+//! other (scanned) list is looked up against it. Populating the per-node
+//! hash tables costs `Σ Xᵢ = Σ Yᵢ = m` insertions in total, so we build one
+//! global directed-edge oracle once (an equivalent `m`-insertion structure)
+//! and charge per-method lookups according to Table 2:
+//!
+//! | L1 | L2 | L3 | L4 | L5 | L6 |
+//! |----|----|----|----|----|----|
+//! | T2 | T1 | T2 | T3 | T3 | T1 |
+//!
+//! Since lookup cost and probe speed match the vertex iterators (Table 3),
+//! the paper reduces LEI to vertex iterators and drops it from the asymptotic
+//! study; we implement it fully so that reduction is verifiable.
+
+use crate::cost::CostReport;
+use crate::oracle::EdgeOracle;
+use trilist_order::DirectedGraph;
+
+/// L1: visit `z`, hash `N⁺(z)`; for each `y ∈ N⁺(z)` look up every
+/// `x ∈ N⁺(y)`. Lookup cost T2.
+pub fn l1<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    oracle: &O,
+    mut sink: F,
+) -> CostReport {
+    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    for z in 0..g.n() as u32 {
+        for &y in g.out(z) {
+            for &x in g.out(y) {
+                cost.lookups += 1;
+                if oracle.has(z, x) {
+                    cost.triangles += 1;
+                    sink(x, y, z);
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// L2: visit `y`, hash `N⁺(y)`; look up the sub-`y` prefix of `N⁺(z)`.
+/// Lookup cost T1.
+pub fn l2<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    oracle: &O,
+    mut sink: F,
+) -> CostReport {
+    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    for z in 0..g.n() as u32 {
+        let out = g.out(z);
+        for (j, &y) in out.iter().enumerate() {
+            for &x in &out[..j] {
+                cost.lookups += 1;
+                if oracle.has(y, x) {
+                    cost.triangles += 1;
+                    sink(x, y, z);
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// L3: visit `x`, hash `N⁻(x)`; for each `y ∈ N⁻(x)` look up every
+/// `z ∈ N⁻(y)`. Lookup cost T2. (The Chiba–Nishizeki algorithm \[13\] is an
+/// L3 variant with incomplete orientation, §2.4.)
+pub fn l3<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    oracle: &O,
+    mut sink: F,
+) -> CostReport {
+    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    for x in 0..g.n() as u32 {
+        for &y in g.in_(x) {
+            for &z in g.in_(y) {
+                cost.lookups += 1;
+                if oracle.has(z, x) {
+                    cost.triangles += 1;
+                    sink(x, y, z);
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// L4: visit `z`, hash `N⁺(z)`; look up the sub-`z` prefix of `N⁻(x)`.
+/// Lookup cost T3.
+pub fn l4<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    oracle: &O,
+    mut sink: F,
+) -> CostReport {
+    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    for x in 0..g.n() as u32 {
+        let inn = g.in_(x);
+        for (k, &z) in inn.iter().enumerate() {
+            for &y in &inn[..k] {
+                cost.lookups += 1;
+                if oracle.has(z, y) {
+                    cost.triangles += 1;
+                    sink(x, y, z);
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// L5: visit `y`, hash `N⁻(y)`; look up the above-`y` suffix of `N⁻(x)`.
+/// Lookup cost T3.
+pub fn l5<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    oracle: &O,
+    mut sink: F,
+) -> CostReport {
+    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    for x in 0..g.n() as u32 {
+        let inn = g.in_(x);
+        for (k, &y) in inn.iter().enumerate() {
+            for &z in &inn[k + 1..] {
+                cost.lookups += 1;
+                if oracle.has(z, y) {
+                    cost.triangles += 1;
+                    sink(x, y, z);
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// L6: visit `x`, hash `N⁻(x)`; look up the above-`x` suffix of `N⁺(z)`.
+/// Lookup cost T1.
+pub fn l6<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    oracle: &O,
+    mut sink: F,
+) -> CostReport {
+    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    for x in 0..g.n() as u32 {
+        for &z in g.in_(x) {
+            let out = g.out(z);
+            let r = out.partition_point(|&w| w <= x);
+            for &y in &out[r..] {
+                cost.lookups += 1;
+                if oracle.has(y, x) {
+                    cost.triangles += 1;
+                    sink(x, y, z);
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// Table 2 closed forms: expected lookup counts per LEI method.
+pub fn lei_formula(method: u8, g: &DirectedGraph) -> u64 {
+    use crate::vertex::{t1_formula, t2_formula, t3_formula};
+    match method {
+        1 | 3 => t2_formula(g),
+        2 | 6 => t1_formula(g),
+        4 | 5 => t3_formula(g),
+        _ => panic!("LEI methods are numbered 1..=6"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::HashOracle;
+    use trilist_graph::Graph;
+    use trilist_order::Relabeling;
+
+    fn petersen_like() -> DirectedGraph {
+        // a graph with several triangles and irregular degrees
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (4, 5), (0, 5), (5, 6), (4, 6)],
+        )
+        .unwrap();
+        DirectedGraph::orient(&g, &Relabeling::identity(7))
+    }
+
+    type Runner =
+        fn(&DirectedGraph, &HashOracle, &mut Vec<(u32, u32, u32)>) -> CostReport;
+
+    fn runners() -> [(u8, Runner); 6] {
+        [
+            (1, |g, o, v| l1(g, o, |x, y, z| v.push((x, y, z)))),
+            (2, |g, o, v| l2(g, o, |x, y, z| v.push((x, y, z)))),
+            (3, |g, o, v| l3(g, o, |x, y, z| v.push((x, y, z)))),
+            (4, |g, o, v| l4(g, o, |x, y, z| v.push((x, y, z)))),
+            (5, |g, o, v| l5(g, o, |x, y, z| v.push((x, y, z)))),
+            (6, |g, o, v| l6(g, o, |x, y, z| v.push((x, y, z)))),
+        ]
+    }
+
+    #[test]
+    fn all_six_agree() {
+        let g = petersen_like();
+        let oracle = HashOracle::build(&g);
+        let mut reference: Option<Vec<(u32, u32, u32)>> = None;
+        for (id, run) in runners() {
+            let mut tris = Vec::new();
+            run(&g, &oracle, &mut tris);
+            tris.sort_unstable();
+            match &reference {
+                None => reference = Some(tris),
+                Some(want) => assert_eq!(&tris, want, "L{id}"),
+            }
+        }
+        assert!(!reference.unwrap().is_empty());
+    }
+
+    #[test]
+    fn lookup_counts_match_table2() {
+        let g = petersen_like();
+        let oracle = HashOracle::build(&g);
+        for (id, run) in runners() {
+            let mut tris = Vec::new();
+            let cost = run(&g, &oracle, &mut tris);
+            assert_eq!(cost.lookups, lei_formula(id, &g), "L{id}");
+            assert_eq!(cost.hash_inserts, g.m() as u64, "L{id} build");
+        }
+    }
+
+    #[test]
+    fn l2_equals_t1_exactly() {
+        // L2 is cost- and speed-identical to T1 (§2.3): same candidates,
+        // same oracle.
+        use crate::vertex::t1;
+        let g = petersen_like();
+        let oracle = HashOracle::build(&g);
+        let mut a = Vec::new();
+        let ca = l2(&g, &oracle, |x, y, z| a.push((x, y, z)));
+        let mut b = Vec::new();
+        let cb = t1(&g, &oracle, |x, y, z| b.push((x, y, z)));
+        assert_eq!(a, b);
+        assert_eq!(ca.lookups, cb.lookups);
+    }
+}

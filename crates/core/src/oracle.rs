@@ -1,0 +1,115 @@
+//! Edge-existence oracles for candidate verification.
+//!
+//! Vertex iterators generate candidate directed edges and check them
+//! "against `E(θ_n)` using a hash table" (§2.2); lookup edge iterators probe
+//! per-node hash sets (§2.3). Both are served by [`HashOracle`]. A
+//! binary-search alternative over the sorted out-lists is provided for
+//! graphs where hash memory is undesirable (and for differential testing).
+
+use crate::hasher::{edge_key, FastSet};
+use trilist_order::DirectedGraph;
+
+/// Answers "does the directed edge `from → to` exist?".
+pub trait EdgeOracle {
+    /// Membership test for `from → to` (with `to < from` under the paper's
+    /// orientation convention).
+    fn has(&self, from: u32, to: u32) -> bool;
+
+    /// Number of insertions performed to build the oracle (the `m`
+    /// hash-population cost of §2.3 for LEI; vertex iterators amortize the
+    /// same build across the whole run).
+    fn build_cost(&self) -> u64;
+}
+
+/// Hash set of all directed edges, keyed by packed `(from, to)`.
+pub struct HashOracle {
+    set: FastSet<u64>,
+    build_cost: u64,
+}
+
+impl HashOracle {
+    /// Indexes every directed edge of `g`.
+    pub fn build(g: &DirectedGraph) -> Self {
+        let mut set: FastSet<u64> = FastSet::default();
+        set.reserve(g.m());
+        let mut build_cost = 0u64;
+        for v in 0..g.n() as u32 {
+            for &w in g.out(v) {
+                set.insert(edge_key(v, w));
+                build_cost += 1;
+            }
+        }
+        HashOracle { set, build_cost }
+    }
+}
+
+impl EdgeOracle for HashOracle {
+    #[inline]
+    fn has(&self, from: u32, to: u32) -> bool {
+        self.set.contains(&edge_key(from, to))
+    }
+
+    fn build_cost(&self) -> u64 {
+        self.build_cost
+    }
+}
+
+/// Binary search over the oriented graph's sorted out-lists; zero build
+/// cost, `O(log X_from)` per probe.
+pub struct SortedOracle<'g> {
+    g: &'g DirectedGraph,
+}
+
+impl<'g> SortedOracle<'g> {
+    /// Wraps the oriented graph.
+    pub fn new(g: &'g DirectedGraph) -> Self {
+        SortedOracle { g }
+    }
+}
+
+impl EdgeOracle for SortedOracle<'_> {
+    #[inline]
+    fn has(&self, from: u32, to: u32) -> bool {
+        self.g.has_out_edge(from, to)
+    }
+
+    fn build_cost(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trilist_graph::Graph;
+    use trilist_order::Relabeling;
+
+    fn oriented_diamond() -> DirectedGraph {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        DirectedGraph::orient(&g, &Relabeling::identity(4))
+    }
+
+    #[test]
+    fn hash_oracle_matches_graph() {
+        let dg = oriented_diamond();
+        let o = HashOracle::build(&dg);
+        assert!(o.has(2, 0));
+        assert!(o.has(3, 1));
+        assert!(!o.has(0, 2));
+        assert!(!o.has(3, 0));
+        assert_eq!(o.build_cost(), dg.m() as u64);
+    }
+
+    #[test]
+    fn sorted_oracle_agrees_with_hash_oracle() {
+        let dg = oriented_diamond();
+        let h = HashOracle::build(&dg);
+        let s = SortedOracle::new(&dg);
+        for from in 0..4u32 {
+            for to in 0..4u32 {
+                assert_eq!(h.has(from, to), s.has(from, to), "{from}->{to}");
+            }
+        }
+        assert_eq!(s.build_cost(), 0);
+    }
+}

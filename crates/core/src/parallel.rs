@@ -1,0 +1,202 @@
+//! Shared-memory parallel triangle listing.
+//!
+//! The acyclic orientation makes the four fundamental methods embarrassingly
+//! parallel: every candidate pair (T1/T2) and every intersection (E1/E4) is
+//! owned by exactly one visited node, so partitioning the visited-node range
+//! across threads partitions the work with no synchronization beyond the
+//! final merge. This is the "multicore without tuning" observation of the
+//! literature the paper builds on (\[35\]); the operation counts are
+//! *identical* to the sequential run — parallelism only divides wall time.
+//!
+//! Work balance: under descending order the heavy nodes sit at small labels
+//! (for T1's out-degree work it is the opposite), so static equal-width
+//! ranges can skew badly on power-law graphs. The splitter below balances
+//! by *candidate volume* instead: each chunk gets roughly the same share of
+//! the method's predicted operations.
+
+use crate::cost::CostReport;
+use crate::oracle::HashOracle;
+use crate::{sei, vertex, Method};
+use trilist_order::DirectedGraph;
+
+/// The outcome of a parallel run: merged cost plus per-thread triangles.
+#[derive(Clone, Debug)]
+pub struct ParallelRun {
+    /// Merged operation counts (equal to the sequential run's).
+    pub cost: CostReport,
+    /// Triangles from all threads, concatenated (order is
+    /// nondeterministic across threads, deterministic within one).
+    pub triangles: Vec<(u32, u32, u32)>,
+}
+
+/// Per-node predicted operations of a fundamental method — the load metric
+/// used to balance thread ranges.
+fn node_load(method: Method, g: &DirectedGraph, v: u32) -> u64 {
+    let (x, y) = (g.x(v) as u64, g.y(v) as u64);
+    match method {
+        Method::T1 => x * x.saturating_sub(1) / 2,
+        Method::T2 => x * y,
+        // E1 charges T1-local plus the remote lists of out-neighbors; the
+        // local term is a good enough balance proxy
+        Method::E1 => x * x.saturating_sub(1) / 2 + x,
+        Method::E4 => x * x.saturating_sub(1) / 2 + y,
+        other => panic!("parallel listing supports the fundamental methods, not {other}"),
+    }
+}
+
+/// Splits `0..n` into at most `chunks` ranges of roughly equal predicted
+/// load.
+pub fn balanced_ranges(method: Method, g: &DirectedGraph, chunks: usize) -> Vec<std::ops::Range<u32>> {
+    let n = g.n() as u32;
+    let total: u64 = (0..n).map(|v| node_load(method, g, v)).sum();
+    if chunks <= 1 || total == 0 {
+        return std::iter::once(0..n).collect();
+    }
+    let per_chunk = total.div_ceil(chunks as u64).max(1);
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0u32;
+    let mut acc = 0u64;
+    for v in 0..n {
+        acc += node_load(method, g, v);
+        if acc >= per_chunk && v + 1 < n {
+            ranges.push(start..v + 1);
+            start = v + 1;
+            acc = 0;
+        }
+    }
+    ranges.push(start..n);
+    ranges
+}
+
+/// Lists triangles with `method` using `threads` worker threads.
+///
+/// Only the four fundamental methods (Figure 5) are supported; the
+/// equivalence classes make the others redundant.
+pub fn par_list(g: &DirectedGraph, method: Method, threads: usize) -> ParallelRun {
+    let oracle = match method {
+        Method::T1 | Method::T2 => Some(HashOracle::build(g)),
+        _ => None,
+    };
+    let ranges = balanced_ranges(method, g, threads.max(1));
+    type WorkerResult = (CostReport, Vec<(u32, u32, u32)>);
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let oracle = &oracle;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move || {
+                    let mut tris = Vec::new();
+                    let sink = |x: u32, y: u32, z: u32| tris.push((x, y, z));
+                    let cost = match method {
+                        Method::T1 => vertex::t1_range(
+                            g,
+                            oracle.as_ref().expect("oracle built for T1"),
+                            range,
+                            sink,
+                        ),
+                        Method::T2 => vertex::t2_range(
+                            g,
+                            oracle.as_ref().expect("oracle built for T2"),
+                            range,
+                            sink,
+                        ),
+                        Method::E1 => sei::e1_range(g, range, sink),
+                        Method::E4 => sei::e4_range(g, range, sink),
+                        other => panic!("unsupported parallel method {other}"),
+                    };
+                    (cost, tris)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut cost = CostReport::default();
+    let mut triangles = Vec::new();
+    for (c, t) in results {
+        cost.accumulate(&c);
+        triangles.extend(t);
+    }
+    ParallelRun { cost, triangles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated};
+    use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+    use trilist_order::{OrderFamily, Relabeling};
+
+    fn fixture() -> DirectedGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let dist = Truncated::new(DiscretePareto::paper_beta(1.7), 50);
+        let (seq, _) = sample_degree_sequence(&dist, 2_000, &mut rng);
+        let g = ResidualSampler.generate(&seq, &mut rng).graph;
+        let relabeling = OrderFamily::Descending.relabeling(&g, &mut rng);
+        DirectedGraph::orient(&g, &relabeling)
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_all_methods() {
+        let dg = fixture();
+        for method in Method::FUNDAMENTAL {
+            let mut seq_tris = Vec::new();
+            let seq_cost = method.run(&dg, |x, y, z| seq_tris.push((x, y, z)));
+            for threads in [1, 2, 4, 7] {
+                let mut run = par_list(&dg, method, threads);
+                run.triangles.sort_unstable();
+                seq_tris.sort_unstable();
+                assert_eq!(run.triangles, seq_tris, "{method} threads={threads}");
+                assert_eq!(run.cost.operations(), seq_cost.operations(), "{method}");
+                assert_eq!(run.cost.triangles, seq_cost.triangles, "{method}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_cover_everything_once() {
+        let dg = fixture();
+        for method in Method::FUNDAMENTAL {
+            let ranges = balanced_ranges(method, &dg, 5);
+            assert!(!ranges.is_empty() && ranges.len() <= 6);
+            let mut expected = 0u32;
+            for r in &ranges {
+                assert_eq!(r.start, expected);
+                expected = r.end;
+            }
+            assert_eq!(expected, dg.n() as u32);
+        }
+    }
+
+    #[test]
+    fn load_balance_is_reasonable() {
+        // under descending order, T1's work concentrates at high labels;
+        // balanced ranges should keep every chunk within ~2x of the mean
+        let dg = fixture();
+        let ranges = balanced_ranges(Method::T1, &dg, 4);
+        let loads: Vec<u64> = ranges
+            .iter()
+            .map(|r| r.clone().map(|v| node_load(Method::T1, &dg, v)).sum())
+            .collect();
+        let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+        for (i, &l) in loads.iter().enumerate() {
+            assert!((l as f64) < 2.5 * mean + 1.0, "chunk {i}: {l} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = trilist_graph::Graph::from_edges(1, &[]).unwrap();
+        let dg = DirectedGraph::orient(&g, &Relabeling::identity(1));
+        let run = par_list(&dg, Method::E1, 8);
+        assert_eq!(run.cost.triangles, 0);
+        assert!(run.triangles.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel listing supports the fundamental methods")]
+    fn rejects_non_fundamental() {
+        let dg = fixture();
+        par_list(&dg, Method::T3, 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Reusable triangle sinks.
+//!
+//! Every listing algorithm delivers triangles to a `FnMut(u32, u32, u32)`
+//! closure. These adapters cover the common consumption patterns without
+//! materializing the full (potentially huge) triangle set: exact per-node
+//! tallies, uniform reservoir samples, and bounded prefixes.
+
+use rand::Rng;
+
+/// Tallies how many triangles touch each node (by label).
+#[derive(Clone, Debug)]
+pub struct PerNodeCounter {
+    counts: Vec<u64>,
+}
+
+impl PerNodeCounter {
+    /// A counter for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        PerNodeCounter { counts: vec![0; n] }
+    }
+
+    /// Record one triangle.
+    #[inline]
+    pub fn absorb(&mut self, x: u32, y: u32, z: u32) {
+        self.counts[x as usize] += 1;
+        self.counts[y as usize] += 1;
+        self.counts[z as usize] += 1;
+    }
+
+    /// Per-node counts, indexed by label.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total triangles seen (each contributes 3 to the node tallies).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() / 3
+    }
+}
+
+/// Uniform reservoir sample of up to `k` triangles (Vitter's algorithm R):
+/// after absorbing `N ≥ k` triangles, each is retained with probability
+/// `k/N`.
+#[derive(Clone, Debug)]
+pub struct ReservoirSink<R: Rng> {
+    sample: Vec<(u32, u32, u32)>,
+    k: usize,
+    seen: u64,
+    rng: R,
+}
+
+impl<R: Rng> ReservoirSink<R> {
+    /// A reservoir of capacity `k`.
+    pub fn new(k: usize, rng: R) -> Self {
+        ReservoirSink { sample: Vec::with_capacity(k), k, seen: 0, rng }
+    }
+
+    /// Record one triangle.
+    #[inline]
+    pub fn absorb(&mut self, x: u32, y: u32, z: u32) {
+        self.seen += 1;
+        if self.sample.len() < self.k {
+            self.sample.push((x, y, z));
+        } else {
+            let slot = self.rng.gen_range(0..self.seen);
+            if (slot as usize) < self.k {
+                self.sample[slot as usize] = (x, y, z);
+            }
+        }
+    }
+
+    /// Triangles observed in total.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample (length `min(k, seen)`).
+    pub fn sample(&self) -> &[(u32, u32, u32)] {
+        &self.sample
+    }
+
+    /// Consumes the sink, returning the sample.
+    pub fn into_sample(self) -> Vec<(u32, u32, u32)> {
+        self.sample
+    }
+}
+
+/// Keeps only the first `k` triangles in listing order — the "give me a
+/// few examples" sink.
+#[derive(Clone, Debug)]
+pub struct FirstK {
+    kept: Vec<(u32, u32, u32)>,
+    k: usize,
+    seen: u64,
+}
+
+impl FirstK {
+    /// Keep at most `k`.
+    pub fn new(k: usize) -> Self {
+        FirstK { kept: Vec::with_capacity(k), k, seen: 0 }
+    }
+
+    /// Record one triangle.
+    #[inline]
+    pub fn absorb(&mut self, x: u32, y: u32, z: u32) {
+        self.seen += 1;
+        if self.kept.len() < self.k {
+            self.kept.push((x, y, z));
+        }
+    }
+
+    /// Triangles observed in total.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained prefix.
+    pub fn kept(&self) -> &[(u32, u32, u32)] {
+        &self.kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Method;
+    use rand::SeedableRng;
+    use trilist_graph::Graph;
+    use trilist_order::{DirectedGraph, Relabeling};
+
+    fn k6() -> DirectedGraph {
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(6, &edges).unwrap();
+        DirectedGraph::orient(&g, &Relabeling::identity(6))
+    }
+
+    #[test]
+    fn per_node_counter_on_k6() {
+        let dg = k6();
+        let mut counter = PerNodeCounter::new(6);
+        Method::E1.run(&dg, |x, y, z| counter.absorb(x, y, z));
+        // K6 has C(6,3) = 20 triangles; each node is in C(5,2) = 10
+        assert_eq!(counter.total(), 20);
+        assert_eq!(counter.counts(), &[10; 6]);
+    }
+
+    #[test]
+    fn reservoir_is_uniform() {
+        // absorb 1..=100 items into a reservoir of 10; each must land with
+        // probability ~1/10
+        let trials = 20_000;
+        let mut hits = vec![0u32; 100];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..trials {
+            let mut sink = ReservoirSink::new(10, rand::rngs::StdRng::seed_from_u64(rng.gen()));
+            for i in 0..100u32 {
+                sink.absorb(i, i + 1, i + 2);
+            }
+            assert_eq!(sink.seen(), 100);
+            assert_eq!(sink.sample().len(), 10);
+            for &(x, _, _) in sink.sample() {
+                hits[x as usize] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let p = h as f64 / trials as f64;
+            assert!((p - 0.1).abs() < 0.02, "item {i}: p={p}");
+        }
+    }
+
+    #[test]
+    fn reservoir_below_capacity_keeps_everything() {
+        let mut sink = ReservoirSink::new(10, rand::rngs::StdRng::seed_from_u64(1));
+        sink.absorb(0, 1, 2);
+        sink.absorb(1, 2, 3);
+        assert_eq!(sink.into_sample(), vec![(0, 1, 2), (1, 2, 3)]);
+    }
+
+    #[test]
+    fn first_k_keeps_prefix() {
+        let dg = k6();
+        let mut sink = FirstK::new(3);
+        Method::T1.run(&dg, |x, y, z| sink.absorb(x, y, z));
+        assert_eq!(sink.seen(), 20);
+        assert_eq!(sink.kept().len(), 3);
+        for &(x, y, z) in sink.kept() {
+            assert!(x < y && y < z);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The degraded preprocessing variants of §2.4: orientation without
+//! relabeling.
+//!
+//! Most prior implementations orient the graph but keep original node IDs,
+//! so the nodes inside each directed neighbor list "are not ordered in any
+//! particular way against each other". The consequences the paper derives:
+//!
+//! * T1 (and T3) must examine **all ordered pairs** instead of only
+//!   `x < y`, doubling their cost to `Σ X(X−1)`;
+//! * E1's local scan cannot stop at `y` and must traverse the entire
+//!   `N⁺(z)` for every out-neighbor, inflating the local term from
+//!   `Σ X(X−1)/2` to `Σ X²`;
+//! * T2 is unaffected: the in/out split alone gives it what it needs.
+//!
+//! This module implements that setting faithfully — an orientation over
+//! *original* IDs, where "smaller" means smaller in the chosen order `O`,
+//! not smaller ID — so the doubling is measured, not asserted. The final
+//! observation of §7.5 (prior reports of 300B candidate tuples for T1 on
+//! Twitter vs 150B with relabeling) is exactly this effect.
+
+use crate::cost::CostReport;
+use crate::hasher::{edge_key, FastSet};
+use trilist_graph::{Graph, NodeId};
+use trilist_order::Relabeling;
+
+/// An acyclic orientation over original node IDs: `rank` (the would-be
+/// label) decides edge direction, but adjacency stays keyed and sorted by
+/// original ID — the information loss §2.4 analyzes.
+pub struct OrientedOnly {
+    /// out-lists by original ID, sorted by original ID (not by rank!).
+    out: Vec<Vec<NodeId>>,
+    /// rank of every node (smaller rank = "smaller" in the order `O`).
+    rank: Vec<u32>,
+    /// hash oracle of directed edges (u → v with rank(v) < rank(u)).
+    edges: FastSet<u64>,
+}
+
+impl OrientedOnly {
+    /// Orients `g` by the ranking implied by `relabeling`, without
+    /// rewriting IDs.
+    pub fn orient(g: &Graph, relabeling: &Relabeling) -> Self {
+        let n = g.n();
+        let rank = relabeling.as_slice().to_vec();
+        let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut edges: FastSet<u64> = FastSet::default();
+        for u in 0..n as NodeId {
+            for &v in g.neighbors(u) {
+                if rank[v as usize] < rank[u as usize] {
+                    out[u as usize].push(v); // stays sorted by original ID
+                    edges.insert(edge_key(u, v));
+                }
+            }
+        }
+        OrientedOnly { out, rank, edges }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Out-degree `X_u`.
+    pub fn x(&self, u: NodeId) -> usize {
+        self.out[u as usize].len()
+    }
+
+    /// T1 without relabeling: for each `z`, check **all ordered pairs**
+    /// `(y, x)` of out-neighbors — rank order is invisible inside the
+    /// ID-sorted list, so the `x < y` pruning is unavailable and the
+    /// candidate count doubles to `Σ X(X−1)`.
+    pub fn t1<F: FnMut(u32, u32, u32)>(&self, mut sink: F) -> CostReport {
+        let mut cost = CostReport::default();
+        for z in 0..self.n() as u32 {
+            let out = &self.out[z as usize];
+            for &y in out {
+                for &x in out {
+                    if x == y {
+                        continue;
+                    }
+                    cost.lookups += 1;
+                    if self.edges.contains(&edge_key(y, x)) {
+                        cost.triangles += 1;
+                        // report in rank order so triangles are canonical
+                        sink(x, y, z);
+                    }
+                }
+            }
+        }
+        cost
+    }
+
+    /// E1 without relabeling: the local scan must traverse all of `N⁺(z)`
+    /// for each `y` (no stopping point), so the local term becomes `Σ X²`;
+    /// matches are filtered by rank to avoid double listing.
+    pub fn e1<F: FnMut(u32, u32, u32)>(&self, mut sink: F) -> CostReport {
+        use crate::intersect::intersect_sorted;
+        let mut cost = CostReport::default();
+        for z in 0..self.n() as u32 {
+            let out = &self.out[z as usize];
+            for &y in out {
+                let remote = &self.out[y as usize];
+                cost.local += out.len() as u64;
+                cost.remote += remote.len() as u64;
+                let ry = self.rank[y as usize];
+                let stats = intersect_sorted(out, remote, |x| {
+                    // x is an out-neighbor of both z and y; the y-side
+                    // guarantees rank(x) < rank(y), so every match is a
+                    // unique triangle
+                    debug_assert!(self.rank[x as usize] < ry);
+                    cost.triangles += 1;
+                    sink(x, y, z);
+                });
+                cost.pointer_advances += stats.advances;
+            }
+        }
+        cost
+    }
+
+    /// Predicted T1 candidates without relabeling: `Σ X(X−1)`.
+    pub fn t1_formula(&self) -> u64 {
+        (0..self.n() as u32)
+            .map(|v| {
+                let x = self.x(v) as u64;
+                x * x.saturating_sub(1)
+            })
+            .sum()
+    }
+
+    /// Predicted E1 local term without relabeling: `Σ X²`.
+    pub fn e1_local_formula(&self) -> u64 {
+        (0..self.n() as u32).map(|v| (self.x(v) as u64).pow(2)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Method;
+    use rand::SeedableRng;
+    use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated};
+    use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+    use trilist_order::{DirectedGraph, OrderFamily};
+
+    fn fixture() -> (Graph, Relabeling) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let dist = Truncated::new(DiscretePareto::paper_beta(1.7), 40);
+        let (seq, _) = sample_degree_sequence(&dist, 800, &mut rng);
+        let g = ResidualSampler.generate(&seq, &mut rng).graph;
+        let r = OrderFamily::Descending.relabeling(&g, &mut rng);
+        (g, r)
+    }
+
+    #[test]
+    fn finds_the_same_triangles_as_relabeled() {
+        let (g, r) = fixture();
+        let oo = OrientedOnly::orient(&g, &r);
+        let mut ours = Vec::new();
+        oo.t1(|x, y, z| {
+            let mut t = [x, y, z];
+            t.sort_unstable();
+            ours.push((t[0], t[1], t[2]));
+        });
+        ours.sort_unstable();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut want = crate::list_triangles(&g, Method::T1, OrderFamily::Descending, &mut rng)
+            .triangles;
+        want.sort_unstable();
+        assert_eq!(ours, want);
+
+        let mut e1_tris = Vec::new();
+        oo.e1(|x, y, z| {
+            let mut t = [x, y, z];
+            t.sort_unstable();
+            e1_tris.push((t[0], t[1], t[2]));
+        });
+        e1_tris.sort_unstable();
+        assert_eq!(e1_tris, want);
+    }
+
+    #[test]
+    fn t1_cost_doubles_without_relabeling() {
+        let (g, r) = fixture();
+        let oo = OrientedOnly::orient(&g, &r);
+        let unrelabeled = oo.t1(|_, _, _| {}).lookups;
+        let dg = DirectedGraph::orient(&g, &r);
+        let relabeled = Method::T1.run(&dg, |_, _, _| {}).lookups;
+        assert_eq!(unrelabeled, 2 * relabeled, "Σ X(X−1) vs Σ X(X−1)/2");
+        assert_eq!(unrelabeled, oo.t1_formula());
+    }
+
+    #[test]
+    fn e1_local_term_inflates_to_sum_x_squared() {
+        let (g, r) = fixture();
+        let oo = OrientedOnly::orient(&g, &r);
+        let cost = oo.e1(|_, _, _| {});
+        assert_eq!(cost.local, oo.e1_local_formula());
+        // the relabeled local term is Σ X(X−1)/2 < Σ X² (strictly, once any
+        // node has out-degree ≥ 1)
+        let dg = DirectedGraph::orient(&g, &r);
+        let relabeled = Method::E1.run(&dg, |_, _, _| {});
+        assert!(cost.local > 2 * relabeled.local);
+        // remote term is unchanged (T2 is immune to missing relabeling)
+        assert_eq!(cost.remote, relabeled.remote);
+    }
+
+    #[test]
+    fn out_lists_sorted_by_original_id() {
+        let (g, r) = fixture();
+        let oo = OrientedOnly::orient(&g, &r);
+        for v in 0..g.n() as u32 {
+            assert!(oo.out[v as usize].windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

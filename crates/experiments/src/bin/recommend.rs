@@ -1,0 +1,97 @@
+//! End-to-end method selection for a concrete graph (§2.4 + §6.3 applied):
+//! fit the Pareto tail, measure `w_n`, and recommend a method/orientation
+//! given the machine's hash-vs-scan speed ratio.
+//!
+//! With a file argument, loads a whitespace `u v` edge list; otherwise
+//! generates a synthetic power-law graph.
+//!
+//! ```sh
+//! cargo run --release -p trilist-experiments --bin recommend [edge_list.txt]
+//! ```
+
+use trilist_core::{list_triangles, Method};
+use trilist_experiments::paper;
+use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+use trilist_graph::io::read_edge_list;
+use trilist_model::fit::recommend;
+use trilist_model::regimes::AsymptoticWinner;
+use trilist_order::OrderFamily;
+
+fn main() {
+    let mut rng = trilist_experiments::sim::seeded_rng(1);
+    let arg = std::env::args().nth(1);
+    let graph = match &arg {
+        Some(path) => {
+            let file = std::fs::File::open(path).expect("cannot open edge list");
+            let loaded = read_edge_list(file).expect("cannot parse edge list");
+            eprintln!(
+                "loaded {path}: n={} m={} ({} loops, {} duplicates erased)",
+                loaded.graph.n(),
+                loaded.graph.m(),
+                loaded.stats.loops_dropped,
+                loaded.stats.duplicates_dropped
+            );
+            loaded.graph
+        }
+        None => {
+            let n = 50_000;
+            let dist =
+                Truncated::new(DiscretePareto::paper_beta(1.7), Truncation::Root.t_n(n));
+            let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+            eprintln!("no input file: generated synthetic power-law graph (alpha=1.7, n={n})");
+            ResidualSampler.generate(&seq, &mut rng).graph
+        }
+    };
+
+    let speed_ratio = paper::TABLE3_SCAN_SPEED / paper::TABLE3_HASH_SPEED;
+    let rec = recommend(&graph, speed_ratio);
+
+    println!("tail fit:");
+    match rec.alpha_hill {
+        Some(a) => println!("  Hill alpha estimate     : {a:.3}"),
+        None => println!("  Hill alpha estimate     : (tail too degenerate)"),
+    }
+    match rec.lomax {
+        Some((a, b)) => println!("  Lomax MLE (alpha, beta) : ({a:.3}, {b:.2})"),
+        None => println!("  Lomax MLE               : (too few positive degrees)"),
+    }
+    println!("decision inputs:");
+    println!("  measured w_n            : {:.2}", rec.wn);
+    println!("  assumed speed ratio     : {speed_ratio:.0}x (Table 3)");
+    match rec.winner {
+        Some(AsymptoticWinner::VertexIterator) => {
+            println!("  asymptotic regime       : alpha in (4/3, 1.5]; T1 wins on any hardware")
+        }
+        Some(AsymptoticWinner::HardwareDependent) => {
+            println!("  asymptotic regime       : both finite; hardware decides")
+        }
+        Some(AsymptoticWinner::BothInfinite { t1_slower }) => println!(
+            "  asymptotic regime       : both diverge (T1 slower growth: {t1_slower})"
+        ),
+        None => println!("  asymptotic regime       : unknown"),
+    }
+    println!(
+        "recommendation            : {} + {} orientation",
+        rec.method.name(),
+        rec.family.name()
+    );
+
+    // run the recommendation and report what it did
+    let run = list_triangles(&graph, rec.method, rec.family, &mut rng);
+    println!(
+        "executed                  : {} triangles, {} operations ({:.2}/node)",
+        run.cost.triangles,
+        run.cost.operations(),
+        run.cost.per_node(graph.n())
+    );
+    // and the counterfactual
+    let alt = if rec.method == Method::E1 { Method::T1 } else { Method::E1 };
+    let alt_run = list_triangles(&graph, alt, OrderFamily::Descending, &mut rng);
+    println!(
+        "counterfactual {}        : {} operations ({:.2}/node)",
+        alt.name(),
+        alt_run.cost.operations(),
+        alt_run.cost.per_node(graph.n())
+    );
+}

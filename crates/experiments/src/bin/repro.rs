@@ -1,0 +1,32 @@
+//! Runs the full reproduction suite — every table of the paper's
+//! evaluation section — at the current option scale and prints each table.
+//!
+//! `cargo run --release -p trilist-experiments --bin repro` takes a few
+//! minutes at the laptop defaults; add `--full` (hours) for the paper's
+//! exact sizes and replication counts.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table3", "table5", "table6", "table7", "table8", "table9", "table10", "table11",
+        "table12", "scaling", "wn_tradeoff", "unrelabeled", "xm_tradeoff",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe dir");
+    for bin in bins {
+        println!("==================================================================");
+        println!("== {bin}");
+        println!("==================================================================");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,23 @@
+//! Table 10: Table 7 revisited under linear truncation.
+
+use trilist_core::Method;
+use trilist_experiments::{paper, run_paper_table, ColumnSpec, Opts};
+use trilist_graph::dist::Truncation;
+use trilist_order::OrderFamily;
+
+fn main() {
+    let opts = Opts::parse();
+    let cols = [
+        ColumnSpec::new(Method::T2, OrderFamily::Descending),
+        ColumnSpec::new(Method::T2, OrderFamily::RoundRobin),
+    ];
+    run_paper_table(
+        "Table 10: alpha=1.7, linear truncation",
+        &opts,
+        1.7,
+        Truncation::Linear,
+        &cols,
+        &paper::TABLE10,
+    )
+    .print();
+}

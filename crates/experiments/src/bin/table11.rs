@@ -1,0 +1,62 @@
+//! Table 11: relative error of eq. (50) under `w₁(x) = x` vs
+//! `w₂(x) = min(x, √m)`, α = 1.2, linear truncation — the asymptotically
+//! infinite-cost regime where the weight choice dominates finite-n
+//! accuracy (§7.4).
+
+use trilist_core::Method;
+use trilist_experiments::{format_n, model_cell, paper, simulate, Opts, Table};
+use trilist_graph::dist::{DegreeModel, Truncated, Truncation};
+use trilist_model::{CostClass, WeightFn};
+use trilist_order::{LimitMap, OrderFamily};
+
+fn main() {
+    let opts = Opts::parse();
+    let alpha = 1.2;
+    let cfg = opts.sim_config(alpha, Truncation::Linear);
+    let columns = [
+        (Method::T1, OrderFamily::Descending, CostClass::T1, LimitMap::Descending),
+        (Method::T2, OrderFamily::Descending, CostClass::T2, LimitMap::Descending),
+        (Method::T2, OrderFamily::RoundRobin, CostClass::T2, LimitMap::RoundRobin),
+    ];
+    let mut table = Table::new(
+        "Table 11: relative error of (50), alpha=1.2, linear truncation",
+        &[
+            "n",
+            "T1+desc w1", "T1+desc w2", "paper w1", "paper w2",
+            "T2+desc w1", "T2+desc w2", "paper w1", "paper w2",
+            "T2+rr w1", "T2+rr w2", "paper w1", "paper w2",
+        ],
+    );
+    let pairs: Vec<(Method, OrderFamily)> =
+        columns.iter().map(|&(m, f, _, _)| (m, f)).collect();
+    for &n in &opts.sizes() {
+        let cells = simulate(&cfg, n, &pairs);
+        // w2 cap: √m with m = n·E[D_n]/2 from the truncated distribution
+        let t_n = Truncation::Linear.t_n(n);
+        let mean_dn = Truncated::new(cfg.pareto(), t_n).mean_exact();
+        let w2 = WeightFn::w2(n, mean_dn);
+        let paper_idx = paper::SIM_SIZES.iter().position(|&s| s == n);
+        let mut row = vec![format_n(n)];
+        for (i, &(_, _, class, map)) in columns.iter().enumerate() {
+            let sim = cells[i].mean;
+            let m1 = model_cell(&cfg, n, class, map, WeightFn::Identity);
+            let m2 = model_cell(&cfg, n, class, map, w2);
+            let err = |model: f64| format!("{:+.1}%", (model - sim) / sim * 100.0);
+            row.push(err(m1));
+            row.push(err(m2));
+            match paper_idx {
+                Some(pi) => {
+                    let (_, w1ref, w2ref) = paper::TABLE11[i];
+                    row.push(format!("{:+.1}%", w1ref[pi]));
+                    row.push(format!("{:+.1}%", w2ref[pi]));
+                }
+                None => {
+                    row.push("-".into());
+                    row.push("-".into());
+                }
+            }
+        }
+        table.row(row);
+    }
+    table.print();
+}

@@ -1,0 +1,75 @@
+//! Table 3: single-core speed of the elementary operations — hash-table
+//! probes (vertex iterator / LEI) vs scanning intersection (SEI).
+//!
+//! The paper reports 19M nodes/sec for hashing and 1 801M nodes/sec for
+//! SIMD intersection on an i7-3930K. Our intersection is scalar Rust, so
+//! the absolute gap is smaller, but the qualitative claim — scanning
+//! processes nodes one to two orders of magnitude faster than hashing —
+//! reproduces. Criterion benches (`cargo bench -p trilist-bench`) give the
+//! rigorous version; this binary prints a quick estimate.
+
+use std::hint::black_box;
+use std::time::Instant;
+use trilist_core::hasher::{edge_key, FastSet};
+use trilist_core::intersect::intersect_sorted;
+use trilist_experiments::{paper, Table};
+
+fn main() {
+    let list_len: u32 = 16_384;
+    let reps = 2_000;
+
+    // hash probes: membership of packed edge keys, half hits half misses
+    let mut set: FastSet<u64> = FastSet::default();
+    for i in 0..list_len {
+        set.insert(edge_key(i, i * 2));
+    }
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for r in 0..reps {
+        for i in 0..list_len {
+            if set.contains(&edge_key(i, i * 2 + (r & 1) as u32)) {
+                hits += 1;
+            }
+        }
+    }
+    black_box(hits);
+    let hash_rate = (reps as f64 * list_len as f64) / start.elapsed().as_secs_f64() / 1e6;
+
+    // scanning intersection of two long sorted lists (the paper's best case)
+    let a: Vec<u32> = (0..list_len).map(|i| i * 2).collect();
+    let b: Vec<u32> = (0..list_len).map(|i| i * 3).collect();
+    let start = Instant::now();
+    let mut matches = 0u64;
+    for _ in 0..reps {
+        let stats = intersect_sorted(black_box(&a), black_box(&b), |_| {});
+        matches += stats.matches;
+    }
+    black_box(matches);
+    let scan_rate =
+        (reps as f64 * (a.len() + b.len()) as f64) / start.elapsed().as_secs_f64() / 1e6;
+
+    let mut table = Table::new(
+        "Table 3: single-core elementary-operation speed (million nodes/sec)",
+        &["family", "operation", "this machine", "paper (i7-3930K, SIMD)"],
+    );
+    table.row(vec![
+        "vertex iterator / LEI".into(),
+        "hash probe".into(),
+        format!("{hash_rate:.0}"),
+        format!("{:.0}", paper::TABLE3_HASH_SPEED),
+    ]);
+    table.row(vec![
+        "scanning edge iterator".into(),
+        "scan intersection".into(),
+        format!("{scan_rate:.0}"),
+        format!("{:.0}", paper::TABLE3_SCAN_SPEED),
+    ]);
+    table.print();
+    println!();
+    println!(
+        "speed ratio scan/hash = {:.1}x (paper: {:.0}x); SEI wins iff its op-count \
+         ratio w_n stays below this",
+        scan_rate / hash_rate,
+        paper::TABLE3_SCAN_SPEED / paper::TABLE3_HASH_SPEED
+    );
+}

@@ -1,0 +1,60 @@
+//! Table 5: model values and computation time for T1 under descending
+//! order (α = 1.5, β = 15, ε = 10⁻⁵, linear truncation) — continuous model
+//! (49) vs exact discrete model (50) vs Algorithm 2.
+//!
+//! The exact model is skipped above `10⁸` by default (the paper
+//! extrapolates four months for 10¹⁴; pass `--full` to push it to 10⁹).
+
+use std::time::Instant;
+use trilist_experiments::{fmt_cost, Opts, Table};
+use trilist_graph::dist::{DiscretePareto, Truncated};
+use trilist_model::{continuous_cost, discrete_cost, quick_cost, CostClass, ModelSpec};
+use trilist_order::LimitMap;
+
+fn main() {
+    let opts = Opts::parse();
+    let pareto = DiscretePareto::paper_beta(1.5);
+    let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+    let exact_cap: f64 = if opts.full { 1e9 } else { 1e8 };
+
+    let mut table = Table::new(
+        "Table 5: T1 + desc, alpha=1.5, linear truncation (value | seconds)",
+        &[
+            "n", "(49)", "t", "(50)", "t", "Alg2", "t", "paper(49)", "paper(50)", "paper Alg2",
+        ],
+    );
+    for (n, p49, p50, palg2) in trilist_experiments::paper::TABLE5 {
+        let t_n = (n - 1.0).max(1.0);
+        let start = Instant::now();
+        let cont = continuous_cost(&pareto, t_n, &spec, 400_000);
+        let cont_t = start.elapsed().as_secs_f64();
+
+        let (disc_s, disc_t) = if n <= exact_cap {
+            let dist = Truncated::new(pareto, t_n as u64);
+            let start = Instant::now();
+            let v = discrete_cost(&dist, &spec);
+            (fmt_cost(v), format!("{:.2}", start.elapsed().as_secs_f64()))
+        } else {
+            ("too slow".to_string(), "-".to_string())
+        };
+
+        let dist = Truncated::new(pareto, t_n as u64);
+        let start = Instant::now();
+        let quick = quick_cost(&dist, &spec, 1e-5);
+        let quick_t = start.elapsed().as_secs_f64();
+
+        table.row(vec![
+            format!("1e{}", n.log10().round() as u32),
+            fmt_cost(cont),
+            format!("{cont_t:.2}"),
+            disc_s,
+            disc_t,
+            fmt_cost(quick),
+            format!("{quick_t:.2}"),
+            fmt_cost(p49),
+            if p50.is_nan() { "too slow".into() } else { fmt_cost(p50) },
+            fmt_cost(palg2),
+        ]);
+    }
+    table.print();
+}

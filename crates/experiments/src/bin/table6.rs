@@ -1,0 +1,24 @@
+//! Table 6: sim vs model (eq. 50) for T1 under ascending/descending order,
+//! α = 1.5, root truncation.
+
+use trilist_core::Method;
+use trilist_experiments::{paper, run_paper_table, ColumnSpec, Opts};
+use trilist_graph::dist::Truncation;
+use trilist_order::OrderFamily;
+
+fn main() {
+    let opts = Opts::parse();
+    let cols = [
+        ColumnSpec::new(Method::T1, OrderFamily::Ascending),
+        ColumnSpec::new(Method::T1, OrderFamily::Descending),
+    ];
+    run_paper_table(
+        "Table 6: alpha=1.5, root truncation",
+        &opts,
+        1.5,
+        Truncation::Root,
+        &cols,
+        &paper::TABLE6,
+    )
+    .print();
+}

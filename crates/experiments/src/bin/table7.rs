@@ -1,0 +1,24 @@
+//! Table 7: sim vs model for T2 under descending/Round-Robin order,
+//! α = 1.7, root truncation.
+
+use trilist_core::Method;
+use trilist_experiments::{paper, run_paper_table, ColumnSpec, Opts};
+use trilist_graph::dist::Truncation;
+use trilist_order::OrderFamily;
+
+fn main() {
+    let opts = Opts::parse();
+    let cols = [
+        ColumnSpec::new(Method::T2, OrderFamily::Descending),
+        ColumnSpec::new(Method::T2, OrderFamily::RoundRobin),
+    ];
+    run_paper_table(
+        "Table 7: alpha=1.7, root truncation",
+        &opts,
+        1.7,
+        Truncation::Root,
+        &cols,
+        &paper::TABLE7,
+    )
+    .print();
+}

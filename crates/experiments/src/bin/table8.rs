@@ -1,0 +1,24 @@
+//! Table 8: sim vs model for T1+desc and T2+RR, α = 2.1, linear truncation
+//! (asymptotically constrained).
+
+use trilist_core::Method;
+use trilist_experiments::{paper, run_paper_table, ColumnSpec, Opts};
+use trilist_graph::dist::Truncation;
+use trilist_order::OrderFamily;
+
+fn main() {
+    let opts = Opts::parse();
+    let cols = [
+        ColumnSpec::new(Method::T1, OrderFamily::Descending),
+        ColumnSpec::new(Method::T2, OrderFamily::RoundRobin),
+    ];
+    run_paper_table(
+        "Table 8: alpha=2.1, linear truncation",
+        &opts,
+        2.1,
+        Truncation::Linear,
+        &cols,
+        &paper::TABLE8,
+    )
+    .print();
+}

@@ -1,0 +1,25 @@
+//! Table 9: Table 6 revisited under linear truncation (unconstrained
+//! degrees) — larger errors that still shrink with n when the limit is
+//! finite.
+
+use trilist_core::Method;
+use trilist_experiments::{paper, run_paper_table, ColumnSpec, Opts};
+use trilist_graph::dist::Truncation;
+use trilist_order::OrderFamily;
+
+fn main() {
+    let opts = Opts::parse();
+    let cols = [
+        ColumnSpec::new(Method::T1, OrderFamily::Ascending),
+        ColumnSpec::new(Method::T1, OrderFamily::Descending),
+    ];
+    run_paper_table(
+        "Table 9: alpha=1.5, linear truncation",
+        &opts,
+        1.5,
+        Truncation::Linear,
+        &cols,
+        &paper::TABLE9,
+    )
+    .print();
+}

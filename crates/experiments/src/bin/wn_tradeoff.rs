@@ -1,0 +1,50 @@
+//! The SEI-vs-vertex-iterator decision (§2.4, §6.3): the operation-count
+//! ratio `w_n` on simulated graphs and in the limit, against the
+//! elementary-operation speed ratio of Table 3.
+//!
+//! SEI is the faster *runtime* choice iff `w_n` stays below the hardware
+//! speed ratio (95× on the paper's i7-3930K); for `α ∈ (4/3, 1.5]` the
+//! limit of `w_n` is infinite and T1 wins on any hardware.
+
+use trilist_experiments::{fmt_cost, sim::one_graph, Opts, Table};
+use trilist_graph::dist::{DiscretePareto, Truncation};
+use trilist_model::wn::{asymptotic_gap_regime, sei_wins, wn_limit, wn_of_graph};
+use trilist_order::{DirectedGraph, OrderFamily};
+
+fn main() {
+    let opts = Opts::parse();
+    let n = 20_000.min(opts.max_n);
+    let mut table = Table::new(
+        format!("w_n tradeoff (root truncation, measured at n={n}, speed ratio 95x assumed)"),
+        &["alpha", "w_n measured", "w_n limit", "SEI wins (limit)", "regime"],
+    );
+    for &alpha in &[1.4, 1.5, 1.7, 2.1, 2.5, 3.0] {
+        let cfg = opts.sim_config(alpha, Truncation::Root);
+        let mut rng = trilist_experiments::sim::seeded_rng(opts.seed ^ alpha.to_bits());
+        let graph = one_graph(&cfg, n, &mut rng);
+        let dg =
+            DirectedGraph::orient(&graph, &OrderFamily::Descending.relabeling(&graph, &mut rng));
+        let measured = wn_of_graph(&dg);
+        let limit = wn_limit(&DiscretePareto::paper_beta(alpha));
+        let verdict = match limit {
+            Some(w) if sei_wins(w, 95.0) => "yes",
+            Some(_) => "no",
+            None => "no (w_n -> inf)",
+        };
+        let regime = if asymptotic_gap_regime(alpha) {
+            "T1 wins on any hardware"
+        } else if alpha <= 4.0 / 3.0 {
+            "both diverge"
+        } else {
+            "hardware-dependent"
+        };
+        table.row(vec![
+            format!("{alpha:.2}"),
+            format!("{measured:.2}"),
+            limit.map(fmt_cost).unwrap_or_else(|| "inf".into()),
+            verdict.into(),
+            regime.into(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,132 @@
+//! Tiny argument parsing shared by the reproduction binaries (no external
+//! CLI dependency).
+
+/// Options accepted by every `table*` binary.
+#[derive(Clone, Copy, Debug)]
+pub struct Opts {
+    /// `--full`: use the paper's replication counts and sizes (slow).
+    pub full: bool,
+    /// `--max-n N`: largest simulated graph size.
+    pub max_n: usize,
+    /// `--sequences S`: degree sequences per cell.
+    pub sequences: usize,
+    /// `--graphs G`: graphs per sequence.
+    pub graphs: usize,
+    /// `--seed X`: base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts { full: false, max_n: 100_000, sequences: 4, graphs: 4, seed: 0x7717_1157 }
+    }
+}
+
+impl Opts {
+    /// Parses `std::env::args()`; panics with a usage message on unknown
+    /// flags.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = Opts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut grab = |name: &str| -> u64 {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} requires an integer"))
+            };
+            match arg.as_str() {
+                "--full" => {
+                    opts.full = true;
+                    opts.max_n = 10_000_000;
+                    opts.sequences = 100;
+                    opts.graphs = 100;
+                }
+                "--max-n" => opts.max_n = grab("--max-n") as usize,
+                "--sequences" => opts.sequences = grab("--sequences") as usize,
+                "--graphs" => opts.graphs = grab("--graphs") as usize,
+                "--seed" => opts.seed = grab("--seed"),
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --full | --max-n N | --sequences S | --graphs G | --seed X"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        opts
+    }
+
+    /// The simulated sizes: powers of ten from 10⁴ up to `max_n`.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        let mut n = 10_000usize;
+        while n <= self.max_n {
+            sizes.push(n);
+            n = n.saturating_mul(10);
+        }
+        if sizes.is_empty() {
+            sizes.push(self.max_n.max(1_000));
+        }
+        sizes
+    }
+
+    /// A [`crate::sim::SimConfig`] with these replication counts.
+    pub fn sim_config(
+        &self,
+        alpha: f64,
+        truncation: trilist_graph::dist::Truncation,
+    ) -> crate::sim::SimConfig {
+        let mut cfg = crate::sim::SimConfig::quick(alpha, truncation);
+        cfg.sequences = self.sequences;
+        cfg.graphs_per_sequence = self.graphs;
+        cfg.base_seed = self.seed;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = Opts::parse_from(Vec::<String>::new());
+        assert!(!o.full);
+        assert_eq!(o.sizes(), vec![10_000, 100_000]);
+    }
+
+    #[test]
+    fn full_flag() {
+        let o = Opts::parse_from(vec!["--full".to_string()]);
+        assert!(o.full);
+        assert_eq!(o.sequences, 100);
+        assert_eq!(o.sizes(), vec![10_000, 100_000, 1_000_000, 10_000_000]);
+    }
+
+    #[test]
+    fn explicit_values() {
+        let o = Opts::parse_from(
+            ["--max-n", "1000000", "--sequences", "7", "--graphs", "2", "--seed", "5"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.max_n, 1_000_000);
+        assert_eq!(o.sequences, 7);
+        assert_eq!(o.graphs, 2);
+        assert_eq!(o.seed, 5);
+        assert_eq!(o.sizes(), vec![10_000, 100_000, 1_000_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        Opts::parse_from(vec!["--bogus".to_string()]);
+    }
+}

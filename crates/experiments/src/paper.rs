@@ -1,0 +1,145 @@
+//! The paper's published evaluation numbers (Tables 5–12), embedded so the
+//! reproduction binaries can print paper-vs-measured side by side.
+//!
+//! All costs are per-node operation counts `c_n(M, θ_n)`; `INF` marks the
+//! paper's `∞` entries.
+
+/// Marker for the paper's `∞` cells.
+pub const INF: f64 = f64::INFINITY;
+
+/// Row sizes of Tables 6–11: `n = 10⁴ … 10⁷`.
+pub const SIM_SIZES: [usize; 4] = [10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Table 5 columns (α = 1.5, β = 15, linear truncation, ε = 10⁻⁵):
+/// `(n, continuous (49), discrete (50), Algorithm 2)`. `NaN` marks the
+/// "too slow" cells of the exact model.
+pub const TABLE5: [(f64, f64, f64, f64); 10] = [
+    (1e3, 144.86, 142.85, 142.85),
+    (1e4, 245.29, 241.15, 241.15),
+    (1e7, 353.92, 346.92, 346.92),
+    (1e8, 359.85, 352.73, 352.73),
+    (1e9, 362.18, 354.94, 354.94),
+    (1e10, 363.06, 355.79, 355.79),
+    (1e12, 363.51, f64::NAN, 356.22),
+    (1e13, 363.56, f64::NAN, 356.26),
+    (1e14, 363.57, f64::NAN, 356.28),
+    (1e17, 363.57, f64::NAN, 356.28),
+];
+
+/// One simulated column of Tables 6–10: paper's simulation and model
+/// values for `n = 10⁴ … 10⁷` plus the limit (`INF` when divergent).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperColumn {
+    /// Label, e.g. `"T1+desc"`.
+    pub label: &'static str,
+    /// Paper's simulated cost per row of [`SIM_SIZES`].
+    pub sim: [f64; 4],
+    /// Paper's model (eq. 50) values per row.
+    pub model: [f64; 4],
+    /// Paper's `n → ∞` value.
+    pub limit: f64,
+}
+
+/// Table 6: α = 1.5, root truncation.
+pub const TABLE6: [PaperColumn; 2] = [
+    PaperColumn {
+        label: "T1+asc",
+        sim: [159.1, 518.0, 1_355.6, 3_089.1],
+        model: [155.6, 516.6, 1_354.5, 3_089.2],
+        limit: INF,
+    },
+    PaperColumn {
+        label: "T1+desc",
+        sim: [40.2, 87.8, 143.7, 196.9],
+        model: [39.3, 87.0, 142.9, 196.2],
+        limit: 356.3,
+    },
+];
+
+/// Table 7: α = 1.7, root truncation.
+pub const TABLE7: [PaperColumn; 2] = [
+    PaperColumn {
+        label: "T2+desc",
+        sim: [102.3, 260.0, 467.0, 674.6],
+        model: [103.7, 261.4, 467.4, 675.4],
+        limit: 1_307.6,
+    },
+    PaperColumn {
+        label: "T2+rr",
+        sim: [79.5, 186.4, 315.4, 436.1],
+        model: [75.8, 181.8, 310.4, 432.4],
+        limit: 770.4,
+    },
+];
+
+/// Table 8: α = 2.1, linear truncation.
+pub const TABLE8: [PaperColumn; 2] = [
+    PaperColumn {
+        label: "T1+desc",
+        sim: [178.6, 182.2, 182.6, 182.6],
+        model: [179.3, 181.3, 181.5, 181.5],
+        limit: 181.5,
+    },
+    PaperColumn {
+        label: "T2+rr",
+        sim: [318.9, 363.7, 382.0, 383.5],
+        model: [371.9, 383.0, 384.2, 384.3],
+        limit: 384.3,
+    },
+];
+
+/// Table 9: α = 1.5, linear truncation.
+pub const TABLE9: [PaperColumn; 2] = [
+    PaperColumn {
+        label: "T1+asc",
+        sim: [7_158.0, 25_770.0, 84_441.0, 274_876.0],
+        model: [6_452.0, 24_303.0, 82_815.0, 270_125.0],
+        limit: INF,
+    },
+    PaperColumn {
+        label: "T1+desc",
+        sim: [209.5, 261.0, 294.1, 317.0],
+        model: [241.1, 302.1, 333.0, 346.9],
+        limit: 356.3,
+    },
+];
+
+/// Table 10: α = 1.7, linear truncation.
+pub const TABLE10: [PaperColumn; 2] = [
+    PaperColumn {
+        label: "T2+desc",
+        sim: [499.4, 725.4, 907.7, 1_041.5],
+        model: [854.4, 1_096.6, 1_216.7, 1_270.0],
+        limit: 1_307.6,
+    },
+    PaperColumn {
+        label: "T2+rr",
+        sim: [354.5, 476.5, 570.2, 631.2],
+        model: [532.6, 662.3, 724.4, 751.5],
+        limit: 770.4,
+    },
+];
+
+/// Table 11 (α = 1.2, linear truncation): relative error (%) of eq. (50)
+/// under `w₁(x) = x` and `w₂(x) = min(x, √m)`, per method column.
+pub const TABLE11: [(&str, [f64; 4], [f64; 4]); 3] = [
+    ("T1+desc", [38.0, 107.0, 214.0, 386.0], [-54.1, -52.3, -50.4, -48.7]),
+    ("T2+desc", [304.0, 619.0, 1_207.0, 2_353.0], [21.6, 17.9, 12.9, 9.1]),
+    ("T2+rr", [216.0, 458.0, 856.0, 4_105.0], [-3.1, -2.2, -2.3, -0.5]),
+];
+
+/// Table 12 (Twitter, 41M nodes / 1.2B edges): total CPU operations per
+/// method × permutation, in raw operation counts.
+/// Columns follow `OrderFamily::ALL`: desc, asc, rr, crr, uniform, degen.
+pub const TABLE12: [(&str, [f64; 6]); 4] = [
+    ("T1", [150e9, 123e12, 63e12, 31e12, 45e12, 136e9]),
+    ("T2", [360e9, 360e9, 255e9, 62e12, 41e12, 815e9]),
+    ("E1", [511e9, 123e12, 63e12, 93e12, 86e12, 951e9]),
+    ("E4", [123e12, 123e12, 123e12, 62e12, 82e12, 123e12]),
+];
+
+/// Table 3: single-core elementary-operation speed (million nodes/sec) the
+/// paper measured on an i7-3930K @ 4.4 GHz.
+pub const TABLE3_HASH_SPEED: f64 = 19.0;
+/// SIMD scanning-intersection speed from Table 3.
+pub const TABLE3_SCAN_SPEED: f64 = 1_801.0;

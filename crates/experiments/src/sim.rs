@@ -1,0 +1,192 @@
+//! Monte-Carlo simulation harness (§7.3): average per-node cost over
+//! random degree sequences × random graphs.
+//!
+//! The paper averages every cell over 100 degree sequences with 100 graphs
+//! each (10 000 instances). That is a cluster-scale budget; the harness
+//! keeps the estimator identical and exposes the replication counts, so
+//! laptop runs use smaller defaults and `--full` restores the paper's.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trilist_core::Method;
+use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+use trilist_order::{DirectedGraph, OrderFamily};
+
+/// Simulation parameters shared by a table's cells.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Pareto tail index.
+    pub alpha: f64,
+    /// Pareto scale; the paper keeps `β = 30(α−1)` so `E[D] ≈ 30.5`.
+    pub beta: f64,
+    /// Truncation schedule for `t_n`.
+    pub truncation: Truncation,
+    /// Number of iid degree sequences.
+    pub sequences: usize,
+    /// Graphs generated per degree sequence.
+    pub graphs_per_sequence: usize,
+    /// Base RNG seed; every replicate derives a distinct stream from it.
+    pub base_seed: u64,
+}
+
+impl SimConfig {
+    /// Laptop-scale defaults: 4 sequences × 4 graphs.
+    pub fn quick(alpha: f64, truncation: Truncation) -> Self {
+        SimConfig {
+            alpha,
+            beta: 30.0 * (alpha - 1.0),
+            truncation,
+            sequences: 4,
+            graphs_per_sequence: 4,
+            base_seed: 0x7717_1157,
+        }
+    }
+
+    /// The paper's replication (100 × 100). Expensive.
+    pub fn paper(alpha: f64, truncation: Truncation) -> Self {
+        SimConfig { sequences: 100, graphs_per_sequence: 100, ..Self::quick(alpha, truncation) }
+    }
+
+    /// The Pareto distribution used for degrees.
+    pub fn pareto(&self) -> DiscretePareto {
+        DiscretePareto { alpha: self.alpha, beta: self.beta }
+    }
+}
+
+/// Mean and standard error of a simulated cell.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CellResult {
+    /// Mean per-node cost `c_n(M, θ_n)` across replicates.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Replicates aggregated.
+    pub runs: usize,
+    /// Mean triangles per graph (sanity cross-check across methods).
+    pub triangles: f64,
+}
+
+/// Runs the simulation for several `(method, family)` pairs on shared
+/// graphs of `n` nodes, parallelized over degree sequences.
+///
+/// Sharing graphs across pairs both saves generation time and mirrors the
+/// paper's setup where each instance is measured under every orientation.
+pub fn simulate(cfg: &SimConfig, n: usize, pairs: &[(Method, OrderFamily)]) -> Vec<CellResult> {
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let seq_ids: Vec<usize> = (0..cfg.sequences).collect();
+    let chunks: Vec<&[usize]> = seq_ids.chunks(cfg.sequences.div_ceil(threads)).collect();
+
+    // per-pair accumulators of per-run costs
+    let all_samples: Vec<Vec<(f64, f64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut local: Vec<Vec<(f64, f64)>> = vec![Vec::new(); pairs.len()];
+                    for &seq in chunk {
+                        run_sequence(cfg, n, seq, pairs, &mut local);
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut merged: Vec<Vec<(f64, f64)>> = vec![Vec::new(); pairs.len()];
+        for h in handles {
+            let local = h.join().expect("simulation thread panicked");
+            for (m, l) in merged.iter_mut().zip(local) {
+                m.extend(l);
+            }
+        }
+        merged
+    });
+
+    all_samples
+        .into_iter()
+        .map(|samples| {
+            let runs = samples.len();
+            if runs == 0 {
+                return CellResult::default();
+            }
+            let mean = samples.iter().map(|s| s.0).sum::<f64>() / runs as f64;
+            let var = samples.iter().map(|s| (s.0 - mean).powi(2)).sum::<f64>()
+                / (runs.max(2) - 1) as f64;
+            let triangles = samples.iter().map(|s| s.1).sum::<f64>() / runs as f64;
+            CellResult { mean, sem: (var / runs as f64).sqrt(), runs, triangles }
+        })
+        .collect()
+}
+
+fn run_sequence(
+    cfg: &SimConfig,
+    n: usize,
+    seq: usize,
+    pairs: &[(Method, OrderFamily)],
+    out: &mut [Vec<(f64, f64)>],
+) {
+    let mut rng = StdRng::seed_from_u64(cfg.base_seed ^ (seq as u64).wrapping_mul(0x9E37_79B9));
+    let t_n = cfg.truncation.t_n(n);
+    let dist = Truncated::new(cfg.pareto(), t_n);
+    let (target, _) = sample_degree_sequence(&dist, n, &mut rng);
+    for _ in 0..cfg.graphs_per_sequence {
+        let generated = ResidualSampler.generate(&target, &mut rng);
+        let graph = &generated.graph;
+        // group pairs by family so each orientation is built once
+        let mut family_cache: Vec<(OrderFamily, DirectedGraph)> = Vec::new();
+        for (pair_idx, &(method, family)) in pairs.iter().enumerate() {
+            let idx = match family_cache.iter().position(|(f, _)| *f == family) {
+                Some(i) => i,
+                None => {
+                    let relabeling = family.relabeling(graph, &mut rng);
+                    family_cache.push((family, DirectedGraph::orient(graph, &relabeling)));
+                    family_cache.len() - 1
+                }
+            };
+            let cost = method.run(&family_cache[idx].1, |_, _, _| {});
+            out[pair_idx].push((cost.per_node(n), cost.triangles as f64));
+        }
+    }
+}
+
+/// The model counterpart of a simulated cell: eq. (50) evaluated for the
+/// same `(α, β, t_n)` — the "(50)" columns of Tables 6–10.
+pub fn model_cell(
+    cfg: &SimConfig,
+    n: usize,
+    class: trilist_model::CostClass,
+    map: trilist_order::LimitMap,
+    weight: trilist_model::WeightFn,
+) -> f64 {
+    let t_n = cfg.truncation.t_n(n);
+    let dist = Truncated::new(cfg.pareto(), t_n);
+    let spec = trilist_model::ModelSpec::new(class, map).with_weight(weight);
+    if t_n <= 20_000_000 {
+        trilist_model::discrete_cost(&dist, &spec)
+    } else {
+        trilist_model::quick_cost(&dist, &spec, 1e-6)
+    }
+}
+
+/// The `n → ∞` row of a table: the limiting cost, or `None` when infinite.
+pub fn limit_cell(
+    cfg: &SimConfig,
+    class: trilist_model::CostClass,
+    map: trilist_order::LimitMap,
+) -> Option<f64> {
+    let spec = trilist_model::ModelSpec::new(class, map);
+    trilist_model::limiting_cost(&cfg.pareto(), &spec)
+}
+
+/// Deterministic RNG for one-off uses in the binaries.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one graph of `n` nodes from the config (for Table 12-style
+/// single-instance experiments).
+pub fn one_graph(cfg: &SimConfig, n: usize, rng: &mut impl Rng) -> trilist_graph::Graph {
+    let t_n = cfg.truncation.t_n(n);
+    let dist = Truncated::new(cfg.pareto(), t_n);
+    let (target, _) = sample_degree_sequence(&dist, n, rng);
+    ResidualSampler.generate(&target, rng).graph
+}

@@ -1,0 +1,138 @@
+//! Minimal aligned-text table rendering for the reproduction binaries.
+
+/// A right-aligned text table with a title and column headers.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let sep: String =
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        out.push_str(&sep);
+        out.push('\n');
+        let fmt_row = |cells: &[String]| -> String {
+            (0..ncols)
+                .map(|c| format!(" {:>width$} ", cells[c], width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with a sensible precision for cost tables.
+pub fn fmt_cost(v: f64) -> String {
+    if !v.is_finite() {
+        "inf".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 10_000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a relative error as a signed percentage.
+pub fn fmt_err(sim: f64, model: f64) -> String {
+    if sim == 0.0 {
+        return "-".to_string();
+    }
+    format!("{:+.1}%", (model - sim) / sim * 100.0)
+}
+
+/// Formats a large operation count with engineering suffixes (B/T) the way
+/// Table 12 does.
+pub fn fmt_ops(v: f64) -> String {
+    if v >= 1e12 {
+        format!("{:.0}T", v / 1e12)
+    } else if v >= 1e9 {
+        format!("{:.0}B", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.0}M", v / 1e6)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["n", "cost"]);
+        t.row(vec!["10".into(), "1.5".into()]);
+        t.row(vec!["1000000".into(), "142.85".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("1000000"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header row and data rows have the same width
+        assert_eq!(lines[2].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_width() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_cost(142.849), "142.8");
+        assert_eq!(fmt_cost(39.33), "39.33");
+        assert_eq!(fmt_cost(25_770.0), "25770");
+        assert_eq!(fmt_cost(f64::INFINITY), "inf");
+        assert_eq!(fmt_ops(150e9), "150B");
+        assert_eq!(fmt_ops(123e12), "123T");
+        assert_eq!(fmt_err(100.0, 98.0), "-2.0%");
+        assert_eq!(fmt_err(0.0, 1.0), "-");
+    }
+}

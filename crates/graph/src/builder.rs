@@ -1,0 +1,142 @@
+//! Incremental construction of simple graphs from noisy edge streams.
+//!
+//! The configuration-model generator (and any loader of real edge lists)
+//! produces self-loops and duplicate edges; [`GraphBuilder`] erases them,
+//! which is exactly the "erasure" step described in §7.2.
+
+use crate::csr::{Graph, NodeId};
+use crate::GraphError;
+
+/// Accumulates undirected edges, silently dropping self-loops and duplicate
+/// edges, then produces a [`Graph`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    adj: Vec<Vec<NodeId>>,
+    loops_dropped: u64,
+    duplicates_dropped: u64,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` nodes with no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, adj: vec![Vec::new(); n], loops_dropped: 0, duplicates_dropped: 0 }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Self-loops and edges already present are counted and dropped.
+    /// Duplicate detection is deferred to [`Self::finish`] (a linear sweep)
+    /// so insertion stays O(1); the drop counters are only final after
+    /// `finish`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        if u == v {
+            self.loops_dropped += 1;
+            return;
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+    }
+
+    /// True when edge `{u, v}` has been added (linear scan; intended for the
+    /// generator's small working sets and for tests).
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.adj[u as usize].len() <= self.adj[v as usize].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].contains(&b)
+    }
+
+    /// Degree of `u` counted over edges added so far (duplicates included
+    /// until `finish`).
+    pub fn current_degree(&self, u: NodeId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Number of self-loops dropped so far.
+    pub fn loops_dropped(&self) -> u64 {
+        self.loops_dropped
+    }
+
+    /// Number of duplicate edges dropped (final only after [`Self::finish`]).
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
+    /// Deduplicates and produces the finished simple graph.
+    pub fn finish(mut self) -> Result<(Graph, BuilderStats), GraphError> {
+        for list in &mut self.adj {
+            list.sort_unstable();
+            let before = list.len();
+            list.dedup();
+            self.duplicates_dropped += (before - list.len()) as u64;
+        }
+        // each duplicate was counted once per endpoint
+        self.duplicates_dropped /= 2;
+        let stats =
+            BuilderStats { loops_dropped: self.loops_dropped, duplicates_dropped: self.duplicates_dropped };
+        Ok((Graph::from_adjacency(self.adj)?, stats))
+    }
+}
+
+/// How much erasure the builder performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuilderStats {
+    /// Self-loops dropped.
+    pub loops_dropped: u64,
+    /// Parallel edges collapsed.
+    pub duplicates_dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 1);
+        b.add_edge(3, 0);
+        let (g, stats) = b.finish().unwrap();
+        assert_eq!(g.m(), 3);
+        assert_eq!(stats, BuilderStats::default());
+    }
+
+    #[test]
+    fn drops_loops_and_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let (g, stats) = b.finish().unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(stats.loops_dropped, 1);
+        assert_eq!(stats.duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn contains_edge_sees_pending_edges() {
+        let mut b = GraphBuilder::new(3);
+        assert!(!b.contains_edge(0, 1));
+        b.add_edge(0, 1);
+        assert!(b.contains_edge(0, 1));
+        assert!(b.contains_edge(1, 0));
+        assert!(!b.contains_edge(1, 2));
+    }
+
+    #[test]
+    fn triple_edge_collapses_to_one() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let (g, stats) = b.finish().unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(stats.duplicates_dropped, 2);
+    }
+}

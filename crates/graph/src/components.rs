@@ -1,0 +1,140 @@
+//! Connected components and structural summaries.
+//!
+//! Random graphs with a prescribed degree sequence decompose into a giant
+//! component plus dust when `E[D(D−2)] > 0` (Molloy–Reed \[30\], cited for
+//! the construction model); these helpers let the harness sanity-check
+//! generated graphs and report their shape.
+
+use crate::csr::{Graph, NodeId};
+
+/// Component labels (0-based, in discovery order) for every node.
+pub fn component_labels(g: &Graph) -> Vec<u32> {
+    let n = g.n();
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in 0..n as NodeId {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = next;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if labels[w as usize] == u32::MAX {
+                    labels[w as usize] = next;
+                    stack.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    labels
+}
+
+/// Sizes of all connected components, descending.
+pub fn component_sizes(g: &Graph) -> Vec<usize> {
+    let labels = component_labels(g);
+    let count = labels.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// Size of the largest connected component (0 for the empty graph).
+pub fn giant_component_size(g: &Graph) -> usize {
+    component_sizes(g).first().copied().unwrap_or(0)
+}
+
+/// A compact structural summary for logging in the harness.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphSummary {
+    /// Node count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree `2m/n`.
+    pub mean_degree: f64,
+    /// Number of connected components.
+    pub components: usize,
+    /// Fraction of nodes in the largest component.
+    pub giant_fraction: f64,
+}
+
+/// Computes the summary.
+pub fn summarize(g: &Graph) -> GraphSummary {
+    let sizes = component_sizes(g);
+    let n = g.n();
+    GraphSummary {
+        n,
+        m: g.m(),
+        max_degree: g.max_degree(),
+        mean_degree: if n == 0 { 0.0 } else { 2.0 * g.m() as f64 / n as f64 },
+        components: sizes.len(),
+        giant_fraction: if n == 0 { 0.0 } else { sizes.first().copied().unwrap_or(0) as f64 / n as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(component_sizes(&g), vec![4]);
+        assert_eq!(giant_component_size(&g), 4);
+    }
+
+    #[test]
+    fn two_components_and_isolate() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert_eq!(component_sizes(&g), vec![3, 2, 1]);
+        let labels = component_labels(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[3], labels[5]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(component_sizes(&g), Vec::<usize>::new());
+        assert_eq!(giant_component_size(&g), 0);
+        let s = summarize(&g);
+        assert_eq!(s.components, 0);
+        assert_eq!(s.giant_fraction, 0.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 3);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.components, 3);
+        assert!((s.giant_fraction - 0.6).abs() < 1e-12);
+        assert!((s.mean_degree - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_power_law_graph_has_giant_component() {
+        use crate::dist::{sample_degree_sequence, DiscretePareto, Truncated};
+        use crate::gen::{GraphGenerator, ResidualSampler};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let dist = Truncated::new(DiscretePareto::paper_beta(1.7), 40);
+        let (seq, _) = sample_degree_sequence(&dist, 1_000, &mut rng);
+        let g = ResidualSampler.generate(&seq, &mut rng).graph;
+        // E[D] ≈ 30 ⟹ essentially everything is in the giant component
+        assert!(summarize(&g).giant_fraction > 0.99);
+    }
+}

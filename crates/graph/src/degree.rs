@@ -1,0 +1,218 @@
+//! Degree sequences: parity repair, graphicality, and ascending order.
+//!
+//! The paper draws an iid degree sequence `D_n` from a truncated distribution
+//! `F_n` and assumes it "is graphic with probability 1 − o(1), or can be made
+//! such by removal of one edge" (§1.2). [`DegreeSequence::make_even`]
+//! implements that one-edge repair, and [`DegreeSequence::is_graphical`]
+//! implements the Erdős–Gallai test used to verify the assumption in tests.
+
+/// A multiset of target node degrees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegreeSequence {
+    degrees: Vec<u32>,
+}
+
+impl DegreeSequence {
+    /// Wraps raw degrees.
+    pub fn new(degrees: Vec<u32>) -> Self {
+        DegreeSequence { degrees }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Degrees indexed by node.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Sum of all degrees (`2m` when realized exactly).
+    pub fn sum(&self) -> u64 {
+        self.degrees.iter().map(|&d| d as u64).sum()
+    }
+
+    /// Largest requested degree (`L_n` in Definition 1).
+    pub fn max(&self) -> u32 {
+        self.degrees.iter().copied().max().unwrap_or(0)
+    }
+
+    /// True when the degree sum is even (necessary for realizability).
+    pub fn has_even_sum(&self) -> bool {
+        self.sum().is_multiple_of(2)
+    }
+
+    /// Repairs odd parity by decrementing one maximum-degree node —
+    /// the paper's "removal of one edge" (one endpoint's worth). If the only
+    /// positive degree is 1, it is zeroed instead. Returns whether a change
+    /// was made.
+    pub fn make_even(&mut self) -> bool {
+        if self.has_even_sum() {
+            return false;
+        }
+        let i = self
+            .degrees
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .expect("odd sum implies non-empty sequence");
+        debug_assert!(self.degrees[i] > 0);
+        self.degrees[i] -= 1;
+        true
+    }
+
+    /// Erdős–Gallai test: the sequence is realizable by a simple graph iff
+    /// the sum is even and for every `k`
+    /// `Σ_{i≤k} d_(i) ≤ k(k−1) + Σ_{i>k} min(d_(i), k)` with `d_(i)` sorted
+    /// descending. Runs in `O(n log n)`.
+    ///
+    /// ```
+    /// use trilist_graph::DegreeSequence;
+    /// assert!(DegreeSequence::new(vec![2, 2, 2]).is_graphical());        // triangle
+    /// assert!(!DegreeSequence::new(vec![3, 3, 1, 1]).is_graphical());    // classic failure
+    /// ```
+    pub fn is_graphical(&self) -> bool {
+        if self.degrees.is_empty() {
+            return true;
+        }
+        if !self.has_even_sum() {
+            return false;
+        }
+        let n = self.degrees.len();
+        let mut d: Vec<u64> = self.degrees.iter().map(|&x| x as u64).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        if d[0] as usize >= n {
+            return false;
+        }
+        // suffix[k] = sum of d[k..]
+        let mut suffix = vec![0u64; n + 1];
+        for k in (0..n).rev() {
+            suffix[k] = suffix[k + 1] + d[k];
+        }
+        let mut left = 0u64;
+        for k in 1..=n {
+            left += d[k - 1];
+            // Σ_{i>k} min(d_i, k): d is sorted descending, so find the first
+            // index j >= k with d[j] <= k via binary search.
+            let kk = k as u64;
+            let tail = &d[k..];
+            let j = tail.partition_point(|&x| x > kk);
+            let min_sum = kk * j as u64 + (suffix[k + j]);
+            if left > kk * (kk - 1) + min_sum {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Nodes sorted ascending by degree (stable: ties keep node order).
+    /// Returns `order` such that `order[pos]` is the node occupying ascending
+    /// position `pos` — the sequence `A_n` of §3.1.
+    pub fn ascending_order(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.degrees.len() as u32).collect();
+        order.sort_by_key(|&v| self.degrees[v as usize]);
+        order
+    }
+
+    /// Degrees in ascending order (the order-statistics vector `A_n`).
+    pub fn sorted_ascending(&self) -> Vec<u32> {
+        let mut d = self.degrees.clone();
+        d.sort_unstable();
+        d
+    }
+}
+
+impl From<Vec<u32>> for DegreeSequence {
+    fn from(v: Vec<u32>) -> Self {
+        DegreeSequence::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_parity() {
+        let mut s = DegreeSequence::new(vec![3, 2, 2]);
+        assert_eq!(s.sum(), 7);
+        assert!(!s.has_even_sum());
+        assert!(s.make_even());
+        assert_eq!(s.as_slice(), &[2, 2, 2]);
+        assert!(!s.make_even());
+    }
+
+    #[test]
+    fn make_even_decrements_max() {
+        let mut s = DegreeSequence::new(vec![1, 4, 2]);
+        s.make_even();
+        assert_eq!(s.as_slice(), &[1, 3, 2]);
+    }
+
+    #[test]
+    fn graphical_known_cases() {
+        // triangle
+        assert!(DegreeSequence::new(vec![2, 2, 2]).is_graphical());
+        // star K_{1,3}
+        assert!(DegreeSequence::new(vec![3, 1, 1, 1]).is_graphical());
+        // complete graph K4
+        assert!(DegreeSequence::new(vec![3, 3, 3, 3]).is_graphical());
+        // empty
+        assert!(DegreeSequence::new(vec![]).is_graphical());
+        assert!(DegreeSequence::new(vec![0, 0]).is_graphical());
+    }
+
+    #[test]
+    fn non_graphical_cases() {
+        // odd sum
+        assert!(!DegreeSequence::new(vec![1, 1, 1]).is_graphical());
+        // degree >= n
+        assert!(!DegreeSequence::new(vec![4, 2, 1, 1]).is_graphical());
+        assert!(!DegreeSequence::new(vec![3, 1, 1]).is_graphical());
+        // classic failure: (3,3,1,1) has even sum but is not graphical
+        assert!(!DegreeSequence::new(vec![3, 3, 1, 1]).is_graphical());
+    }
+
+    #[test]
+    fn ascending_order_is_stable() {
+        let s = DegreeSequence::new(vec![2, 1, 2, 1]);
+        assert_eq!(s.ascending_order(), vec![1, 3, 0, 2]);
+        assert_eq!(s.sorted_ascending(), vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn erdos_gallai_agrees_with_havel_hakimi_randomized() {
+        use rand::{Rng, SeedableRng};
+        fn havel_hakimi(mut d: Vec<u32>) -> bool {
+            if d.iter().map(|&x| x as u64).sum::<u64>() % 2 == 1 {
+                return false;
+            }
+            loop {
+                d.sort_unstable_by(|a, b| b.cmp(a));
+                if d[0] == 0 {
+                    return true;
+                }
+                let k = d[0] as usize;
+                if k >= d.len() {
+                    return false;
+                }
+                d[0] = 0;
+                for x in d.iter_mut().skip(1).take(k) {
+                    if *x == 0 {
+                        return false;
+                    }
+                    *x -= 1;
+                }
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..500 {
+            let n = rng.gen_range(1..12);
+            let d: Vec<u32> = (0..n).map(|_| rng.gen_range(0..n as u32)).collect();
+            let s = DegreeSequence::new(d.clone());
+            assert_eq!(s.is_graphical(), havel_hakimi(d.clone()), "sequence {d:?}");
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Degree distributions: discretized Pareto, truncation, and iid sampling.
+//!
+//! The paper's random-graph family starts from a CDF `F(x)` on integers in
+//! `[1, ∞)`, a monotone truncation function `t_n → ∞`, and the truncated
+//! distribution `F_n(x) = F(x) / F(t_n)` on `[1, t_n]` (§1.2). Degrees are
+//! drawn iid from `F_n`. The canonical choice (§7.1) is the discretized
+//! Pareto `F(x) = 1 − (1 + ⌊x⌋/β)^{−α}`, obtained by rounding up a continuous
+//! Pareto variable.
+
+use crate::degree::DegreeSequence;
+use rand::Rng;
+
+/// A discrete degree distribution on non-negative integers.
+///
+/// Implementations expose the CDF at integer points; the pmf and quantile
+/// function are derived. Degrees of zero are permitted by the trait but all
+/// provided distributions place their mass on `[1, ∞)` as the paper assumes.
+pub trait DegreeModel {
+    /// `F(k) = P(D ≤ k)` for integer `k ≥ 0`. Must be non-decreasing with
+    /// `F(∞) = 1`.
+    fn cdf(&self, k: u64) -> f64;
+
+    /// Survival `P(D > k) = 1 − F(k)`. Override when a direct form exists:
+    /// in the tail `F(k) → 1` and `1 − cdf(k)` loses all precision, which
+    /// matters for the jump-compressed model (Algorithm 2) at `t_n ≫ 10⁹`.
+    fn sf(&self, k: u64) -> f64 {
+        1.0 - self.cdf(k)
+    }
+
+    /// Upper bound of the support, if the distribution is truncated.
+    fn support_max(&self) -> Option<u64> {
+        None
+    }
+
+    /// `P(D = k)`, computed from survival differences for tail precision.
+    fn pmf(&self, k: u64) -> f64 {
+        if k == 0 {
+            self.cdf(0)
+        } else {
+            (self.sf(k - 1) - self.sf(k)).max(0.0)
+        }
+    }
+
+    /// Smallest `k` with `F(k) ≥ u`, for `u ∈ [0, 1)`.
+    fn quantile(&self, u: f64) -> u64;
+
+    /// Exact mean by summation over the support. Only call on truncated
+    /// distributions with a reasonable `t_n`; `O(t_n)` time.
+    fn mean_exact(&self) -> f64 {
+        let t = self.support_max().expect("mean_exact requires a truncated distribution");
+        // E[D] = Σ_{k≥0} P(D > k)
+        (0..t).map(|k| self.sf(k)).sum()
+    }
+
+    /// Draws one degree.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64
+    where
+        Self: Sized,
+    {
+        self.quantile(rng.gen::<f64>())
+    }
+}
+
+/// Truncation schedules `t_n` from §3.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Truncation {
+    /// `t_n = ⌊√n⌋` — deterministically AMRC (max degree ≤ √n).
+    Root,
+    /// `t_n = n − 1` — unconstrained for heavy tails.
+    Linear,
+    /// A fixed cutoff, for experiments that sweep `t` directly.
+    Fixed(u64),
+}
+
+impl Truncation {
+    /// The cutoff for a graph of `n` nodes.
+    pub fn t_n(&self, n: usize) -> u64 {
+        match *self {
+            Truncation::Root => (n as f64).sqrt().floor() as u64,
+            Truncation::Linear => (n as u64).saturating_sub(1),
+            Truncation::Fixed(t) => t,
+        }
+        .max(1)
+    }
+}
+
+/// Discretized Pareto: `F(x) = 1 − (1 + ⌊x⌋/β)^{−α}` on natural numbers,
+/// produced by rounding up a continuous Pareto (Lomax) variable (§7.1).
+#[derive(Clone, Copy, Debug)]
+pub struct DiscretePareto {
+    /// Tail index `α > 0`; smaller is heavier.
+    pub alpha: f64,
+    /// Scale `β > 0`.
+    pub beta: f64,
+}
+
+impl DiscretePareto {
+    /// A Pareto with the paper's evaluation convention `β = 30(α − 1)`,
+    /// which keeps `E[D] ≈ 30.5` after discretization (§7.3). Requires
+    /// `α > 1`.
+    pub fn paper_beta(alpha: f64) -> Self {
+        assert!(alpha > 1.0, "paper_beta requires alpha > 1 (got {alpha})");
+        DiscretePareto { alpha, beta: 30.0 * (alpha - 1.0) }
+    }
+
+    /// Continuous CDF `F*(x) = 1 − (1 + x/β)^{−α}` of the underlying
+    /// (pre-discretization) Pareto, for the continuous model (eq. 49).
+    pub fn cdf_continuous(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (1.0 + x / self.beta).powf(-self.alpha)
+        }
+    }
+
+    /// Continuous density `f*(x)` of the underlying Pareto.
+    pub fn pdf_continuous(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.alpha / self.beta * (1.0 + x / self.beta).powf(-self.alpha - 1.0)
+        }
+    }
+
+    /// Mean of the continuous Pareto, `β / (α − 1)` for `α > 1`.
+    pub fn mean_continuous(&self) -> f64 {
+        assert!(self.alpha > 1.0, "continuous Pareto mean diverges for alpha <= 1");
+        self.beta / (self.alpha - 1.0)
+    }
+}
+
+impl DegreeModel for DiscretePareto {
+    fn cdf(&self, k: u64) -> f64 {
+        1.0 - (1.0 + k as f64 / self.beta).powf(-self.alpha)
+    }
+
+    fn sf(&self, k: u64) -> f64 {
+        (1.0 + k as f64 / self.beta).powf(-self.alpha)
+    }
+
+    fn quantile(&self, u: f64) -> u64 {
+        debug_assert!((0.0..1.0).contains(&u));
+        // F(k) >= u  <=>  k >= β((1−u)^{−1/α} − 1); round up the continuous
+        // draw, never below 1 (the support starts at 1).
+        let x = self.beta * ((1.0 - u).powf(-1.0 / self.alpha) - 1.0);
+        (x.ceil() as u64).max(1)
+    }
+}
+
+/// Geometric distribution on `{1, 2, …}` with success probability `p`:
+/// `P(D = k) = (1−p)^{k−1} p`. A light-tailed alternative for tests.
+#[derive(Clone, Copy, Debug)]
+pub struct Geometric {
+    /// Success probability in `(0, 1]`.
+    pub p: f64,
+}
+
+impl DegreeModel for Geometric {
+    fn cdf(&self, k: u64) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            1.0 - (1.0 - self.p).powi(k as i32)
+        }
+    }
+
+    fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            1.0
+        } else {
+            (1.0 - self.p).powi(k as i32)
+        }
+    }
+
+    fn quantile(&self, u: f64) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        let k = ((1.0 - u).ln() / (1.0 - self.p).ln()).ceil() as u64;
+        k.max(1)
+    }
+}
+
+/// Zipf distribution on `{1, …, cap}`: `P(D = k) ∝ k^{−s}`.
+///
+/// An alternative heavy-tail law to the Lomax-type Pareto of §7.1 — mass
+/// concentrated at `k = 1` with a pure power-law decay (tail index
+/// `α = s − 1` in the paper's `P(D > x) ~ x^{−α}` convention). Useful for
+/// checking that the model machinery is not Pareto-specific.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Exponent `s > 1`.
+    pub s: f64,
+    /// Largest supported value.
+    pub cap: u64,
+    /// Cached cumulative probabilities for quantile lookups.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution (precomputes the normalizer; `O(cap)`).
+    pub fn new(s: f64, cap: u64) -> Self {
+        assert!(s > 0.0 && cap >= 1);
+        let mut cdf = Vec::with_capacity(cap as usize);
+        let mut acc = 0.0;
+        for k in 1..=cap {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        Zipf { s, cap, cdf }
+    }
+}
+
+impl DegreeModel for Zipf {
+    fn cdf(&self, k: u64) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[(k.min(self.cap) - 1) as usize]
+        }
+    }
+
+    fn support_max(&self) -> Option<u64> {
+        Some(self.cap)
+    }
+
+    fn quantile(&self, u: f64) -> u64 {
+        debug_assert!((0.0..1.0).contains(&u));
+        (self.cdf.partition_point(|&c| c < u) as u64 + 1).min(self.cap)
+    }
+}
+
+/// Degenerate distribution at a fixed degree `d` (regular graphs in tests).
+#[derive(Clone, Copy, Debug)]
+pub struct Constant {
+    /// The single supported degree.
+    pub d: u64,
+}
+
+impl DegreeModel for Constant {
+    fn cdf(&self, k: u64) -> f64 {
+        if k >= self.d {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn quantile(&self, _u: f64) -> u64 {
+        self.d
+    }
+}
+
+/// `F_n(x) = F(x) / F(t_n)` restricted to `[1, t_n]` (§1.2).
+#[derive(Clone, Copy, Debug)]
+pub struct Truncated<D> {
+    inner: D,
+    t: u64,
+    norm: f64,
+}
+
+impl<D: DegreeModel> Truncated<D> {
+    /// Truncates `inner` at `t ≥ 1`.
+    pub fn new(inner: D, t: u64) -> Self {
+        assert!(t >= 1, "truncation point must be at least 1");
+        let norm = inner.cdf(t);
+        assert!(norm > 0.0, "truncation point leaves zero mass");
+        Truncated { inner, t, norm }
+    }
+
+    /// The cutoff `t_n`.
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// The untruncated distribution.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: DegreeModel> DegreeModel for Truncated<D> {
+    fn cdf(&self, k: u64) -> f64 {
+        if k >= self.t {
+            1.0
+        } else {
+            self.inner.cdf(k) / self.norm
+        }
+    }
+
+    fn sf(&self, k: u64) -> f64 {
+        if k >= self.t {
+            0.0
+        } else {
+            // P(D_n > k) = (F(t) − F(k)) / F(t) = (S(k) − S(t)) / F(t)
+            (self.inner.sf(k) - self.inner.sf(self.t)) / self.norm
+        }
+    }
+
+    fn support_max(&self) -> Option<u64> {
+        Some(self.t)
+    }
+
+    fn quantile(&self, u: f64) -> u64 {
+        self.inner.quantile(u * self.norm).min(self.t).max(1)
+    }
+}
+
+/// Draws an iid degree sequence of length `n` from `model`, then repairs
+/// parity (the paper's one-edge slack). The returned flag reports whether a
+/// repair was needed.
+pub fn sample_degree_sequence<D: DegreeModel, R: Rng + ?Sized>(
+    model: &D,
+    n: usize,
+    rng: &mut R,
+) -> (DegreeSequence, bool) {
+    let degrees: Vec<u32> =
+        (0..n).map(|_| model.quantile(rng.gen::<f64>()).min(u32::MAX as u64) as u32).collect();
+    let mut seq = DegreeSequence::new(degrees);
+    let repaired = seq.make_even();
+    (seq, repaired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pareto_cdf_shape() {
+        let p = DiscretePareto { alpha: 1.5, beta: 15.0 };
+        assert_eq!(p.cdf(0), 0.0);
+        assert!(p.cdf(1) > 0.0);
+        assert!(p.cdf(100) < 1.0);
+        assert!(p.cdf(10) < p.cdf(20));
+        // matches the closed form at a point
+        let want = 1.0 - (1.0 + 10.0 / 15.0f64).powf(-1.5);
+        assert!((p.cdf(10) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_quantile_inverts_cdf() {
+        let p = DiscretePareto { alpha: 1.5, beta: 15.0 };
+        for &u in &[0.0, 0.1, 0.5, 0.9, 0.99, 0.99999] {
+            let k = p.quantile(u);
+            assert!(p.cdf(k) >= u - 1e-12, "u={u} k={k}");
+            if k > 1 {
+                assert!(p.cdf(k - 1) < u + 1e-12, "u={u} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_discretization_matches_round_up() {
+        // P(ceil(X*) = k) = F*(k) - F*(k-1) = F(k) - F(k-1)
+        let p = DiscretePareto { alpha: 2.0, beta: 10.0 };
+        for k in 1..50u64 {
+            let cont = p.cdf_continuous(k as f64) - p.cdf_continuous(k as f64 - 1.0);
+            assert!((p.pmf(k) - cont).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_beta_mean_is_about_30_5() {
+        // E[D] for the discretized Pareto with β = 30(α−1) is ≈ 30.5 (§7.3):
+        // rounding up adds about 1/2 to the continuous mean of 30.
+        for &alpha in &[1.5, 1.7, 2.1, 3.0] {
+            let p = DiscretePareto::paper_beta(alpha);
+            let t = Truncated::new(p, 4_000_000);
+            let mean = t.mean_exact();
+            assert!((mean - 30.5).abs() < 0.6, "alpha={alpha} mean={mean}");
+        }
+    }
+
+    #[test]
+    fn truncation_schedules() {
+        assert_eq!(Truncation::Root.t_n(10_000), 100);
+        assert_eq!(Truncation::Linear.t_n(10_000), 9_999);
+        assert_eq!(Truncation::Fixed(42).t_n(10_000), 42);
+        assert_eq!(Truncation::Root.t_n(2), 1);
+    }
+
+    #[test]
+    fn truncated_cdf_normalized() {
+        let p = DiscretePareto { alpha: 1.2, beta: 6.0 };
+        let t = Truncated::new(p, 50);
+        assert_eq!(t.cdf(50), 1.0);
+        assert_eq!(t.cdf(1_000), 1.0);
+        assert!((t.cdf(25) - p.cdf(25) / p.cdf(50)).abs() < 1e-12);
+        // pmf sums to one over the support
+        let total: f64 = (1..=50).map(|k| t.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_quantile_stays_in_support() {
+        let p = DiscretePareto { alpha: 1.1, beta: 3.0 };
+        let t = Truncated::new(p, 30);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = t.sample(&mut rng);
+            assert!((1..=30).contains(&k));
+        }
+    }
+
+    #[test]
+    fn geometric_cdf_and_quantile() {
+        let g = Geometric { p: 0.25 };
+        assert!((g.cdf(1) - 0.25).abs() < 1e-12);
+        assert!((g.pmf(2) - 0.75 * 0.25).abs() < 1e-12);
+        for &u in &[0.1, 0.3, 0.6, 0.95] {
+            let k = g.quantile(u);
+            assert!(g.cdf(k) >= u - 1e-12);
+            if k > 1 {
+                assert!(g.cdf(k - 1) < u + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_and_quantile() {
+        let z = Zipf::new(2.0, 100);
+        // pmf ratios follow k^{-2}
+        let p1 = z.pmf(1);
+        let p2 = z.pmf(2);
+        assert!((p1 / p2 - 4.0).abs() < 1e-9);
+        // CDF endpoints
+        assert_eq!(z.cdf(0), 0.0);
+        assert!((z.cdf(100) - 1.0).abs() < 1e-12);
+        // quantile inverts
+        for &u in &[0.01, 0.3, 0.61, 0.95, 0.999] {
+            let k = z.quantile(u);
+            assert!(z.cdf(k) >= u - 1e-12);
+            if k > 1 {
+                assert!(z.cdf(k - 1) < u + 1e-12);
+            }
+        }
+        // ~60.8% of the s=2 mass sits at k = 1 (1/ζ(2) truncated)
+        assert!((p1 - 0.608).abs() < 0.01);
+    }
+
+    #[test]
+    fn zipf_feeds_the_cost_machinery() {
+        use rand::SeedableRng;
+        let z = Zipf::new(2.5, 50);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let (seq, _) = sample_degree_sequence(&z, 500, &mut rng);
+        assert!(seq.has_even_sum());
+        assert!(seq.max() <= 50);
+        // pmf sums to 1
+        let total: f64 = (1..=50u64).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_distribution() {
+        let c = Constant { d: 4 };
+        assert_eq!(c.quantile(0.99), 4);
+        assert_eq!(c.pmf(4), 1.0);
+        assert_eq!(c.pmf(3), 0.0);
+        let t = Truncated::new(c, 10);
+        assert_eq!(t.quantile(0.5), 4);
+    }
+
+    #[test]
+    fn sampled_sequence_has_even_sum() {
+        let p = Truncated::new(DiscretePareto { alpha: 1.5, beta: 15.0 }, 100);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let (seq, _) = sample_degree_sequence(&p, 101, &mut rng);
+            assert!(seq.has_even_sum());
+            assert!(seq.max() <= 100);
+            assert!(seq.as_slice().iter().all(|&d| d >= 1 || d == 0));
+        }
+    }
+
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn quantile_inverts_cdf(
+                alpha in 1.01f64..4.0,
+                beta in 0.5f64..60.0,
+                u in 0.0f64..0.9999,
+            ) {
+                let p = DiscretePareto { alpha, beta };
+                let k = p.quantile(u);
+                prop_assert!(k >= 1);
+                prop_assert!(p.cdf(k) >= u - 1e-9);
+                if k > 1 {
+                    prop_assert!(p.cdf(k - 1) < u + 1e-9);
+                }
+            }
+
+            #[test]
+            fn sf_is_one_minus_cdf(alpha in 0.5f64..4.0, beta in 0.5f64..60.0, k in 0u64..10_000) {
+                let p = DiscretePareto { alpha, beta };
+                prop_assert!((p.sf(k) - (1.0 - p.cdf(k))).abs() < 1e-9);
+            }
+
+            #[test]
+            fn truncated_pmf_nonnegative_and_normalized(
+                alpha in 1.01f64..3.0,
+                t in 2u64..300,
+            ) {
+                let p = Truncated::new(DiscretePareto { alpha, beta: 10.0 }, t);
+                let mut total = 0.0;
+                for k in 1..=t {
+                    let mass = p.pmf(k);
+                    prop_assert!(mass >= 0.0);
+                    total += mass;
+                }
+                prop_assert!((total - 1.0).abs() < 1e-9);
+            }
+
+            #[test]
+            fn sampled_degrees_in_support(seed in 0u64..10_000, t in 2u64..100) {
+                use rand::SeedableRng;
+                let p = Truncated::new(DiscretePareto { alpha: 1.3, beta: 4.0 }, t);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                for _ in 0..50 {
+                    let k = p.sample(&mut rng);
+                    prop_assert!((1..=t).contains(&k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let p = Truncated::new(DiscretePareto { alpha: 2.0, beta: 10.0 }, 64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let draws = 200_000;
+        let mut counts = vec![0u64; 65];
+        for _ in 0..draws {
+            counts[p.sample(&mut rng) as usize] += 1;
+        }
+        for k in 1..=10u64 {
+            let emp = counts[k as usize] as f64 / draws as f64;
+            assert!((emp - p.pmf(k)).abs() < 0.01, "k={k} emp={emp} pmf={}", p.pmf(k));
+        }
+    }
+}

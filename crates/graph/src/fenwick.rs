@@ -1,0 +1,305 @@
+//! Fenwick tree (binary indexed tree) over `u64` weights.
+//!
+//! Used by the residual-degree random-graph generator (paper §7.2) to sample
+//! neighbors in proportion to their remaining degree in `O(log n)` per draw.
+//! The paper calls this structure an "interval tree that records the residual
+//! probability mass of degree on both sides of each node"; a Fenwick tree
+//! provides the same prefix-mass queries with a smaller constant.
+
+/// A Fenwick tree over `n` non-negative integer weights.
+///
+/// Supports point updates, prefix sums, and a logarithmic *weighted
+/// selection*: given a target mass `t < total()`, find the first index whose
+/// cumulative weight exceeds `t`.
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    /// 1-based internal array; `tree[i]` covers `i - lowbit(i) + 1 ..= i`.
+    tree: Vec<u64>,
+    /// Current weight of each element (0-based), kept for O(1) reads.
+    weight: Vec<u64>,
+    /// Sum of all weights.
+    total: u64,
+    /// Largest power of two `<= n`, used by the descent in [`Self::select`].
+    top_bit: usize,
+}
+
+impl Fenwick {
+    /// Creates a tree with all weights zero.
+    pub fn new(n: usize) -> Self {
+        let top_bit = if n == 0 { 0 } else { usize::BITS as usize - 1 - n.leading_zeros() as usize };
+        Fenwick { tree: vec![0; n + 1], weight: vec![0; n], total: 0, top_bit: 1 << top_bit }
+    }
+
+    /// Builds a tree from initial weights in `O(n)`.
+    pub fn from_weights(weights: &[u64]) -> Self {
+        let n = weights.len();
+        let mut f = Fenwick::new(n);
+        f.weight.copy_from_slice(weights);
+        for (i, &w) in weights.iter().enumerate() {
+            let j = i + 1;
+            f.tree[j] += w;
+            let parent = j + (j & j.wrapping_neg());
+            if parent <= n {
+                let add = f.tree[j];
+                f.tree[parent] += add;
+            }
+            f.total += w;
+        }
+        f
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.weight.len()
+    }
+
+    /// True when the tree tracks zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.weight.is_empty()
+    }
+
+    /// Current weight of element `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.weight[i]
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sets element `i` to weight `w`.
+    pub fn set(&mut self, i: usize, w: u64) {
+        let old = self.weight[i];
+        if w == old {
+            return;
+        }
+        self.weight[i] = w;
+        if w > old {
+            let delta = w - old;
+            self.total += delta;
+            let mut j = i + 1;
+            while j < self.tree.len() {
+                self.tree[j] += delta;
+                j += j & j.wrapping_neg();
+            }
+        } else {
+            let delta = old - w;
+            self.total -= delta;
+            let mut j = i + 1;
+            while j < self.tree.len() {
+                self.tree[j] -= delta;
+                j += j & j.wrapping_neg();
+            }
+        }
+    }
+
+    /// Adds `delta` to element `i` (saturating at zero is the caller's job;
+    /// this panics in debug builds on underflow).
+    pub fn add(&mut self, i: usize, delta: i64) {
+        let cur = self.weight[i] as i64 + delta;
+        debug_assert!(cur >= 0, "fenwick weight underflow at {i}");
+        self.set(i, cur as u64);
+    }
+
+    /// Sum of weights of elements `0..=i`.
+    pub fn prefix_sum(&self, i: usize) -> u64 {
+        let mut j = (i + 1).min(self.weight.len());
+        let mut s = 0;
+        while j > 0 {
+            s += self.tree[j];
+            j -= j & j.wrapping_neg();
+        }
+        s
+    }
+
+    /// Finds the smallest index `i` such that `prefix_sum(i) > target`.
+    ///
+    /// Requires `target < total()`. This is the weighted-sampling primitive:
+    /// drawing `target` uniformly from `[0, total)` selects element `i` with
+    /// probability `weight[i] / total`.
+    pub fn select(&self, mut target: u64) -> usize {
+        debug_assert!(target < self.total, "select target {target} >= total {}", self.total);
+        let mut pos = 0usize;
+        let mut step = self.top_bit;
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        // `pos` is the largest index with prefix_sum(pos-1) <= target, 1-based
+        // exclusive; convert to the 0-based element index.
+        pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(0);
+        assert_eq!(f.total(), 0);
+        assert_eq!(f.len(), 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn from_weights_matches_incremental() {
+        let w = [3u64, 0, 5, 1, 2, 0, 7];
+        let bulk = Fenwick::from_weights(&w);
+        let mut inc = Fenwick::new(w.len());
+        for (i, &x) in w.iter().enumerate() {
+            inc.set(i, x);
+        }
+        assert_eq!(bulk.total(), inc.total());
+        for (i, &wi) in w.iter().enumerate() {
+            assert_eq!(bulk.prefix_sum(i), inc.prefix_sum(i), "prefix at {i}");
+            assert_eq!(bulk.get(i), wi);
+        }
+    }
+
+    #[test]
+    fn prefix_sums() {
+        let f = Fenwick::from_weights(&[1, 2, 3, 4]);
+        assert_eq!(f.prefix_sum(0), 1);
+        assert_eq!(f.prefix_sum(1), 3);
+        assert_eq!(f.prefix_sum(2), 6);
+        assert_eq!(f.prefix_sum(3), 10);
+        assert_eq!(f.total(), 10);
+    }
+
+    #[test]
+    fn select_boundaries() {
+        let f = Fenwick::from_weights(&[2, 0, 3, 1]);
+        // masses: [0,2) -> 0, [2,5) -> 2, [5,6) -> 3
+        assert_eq!(f.select(0), 0);
+        assert_eq!(f.select(1), 0);
+        assert_eq!(f.select(2), 2);
+        assert_eq!(f.select(4), 2);
+        assert_eq!(f.select(5), 3);
+    }
+
+    #[test]
+    fn select_skips_zero_weight() {
+        let f = Fenwick::from_weights(&[0, 0, 1, 0, 2]);
+        assert_eq!(f.select(0), 2);
+        assert_eq!(f.select(1), 4);
+        assert_eq!(f.select(2), 4);
+    }
+
+    #[test]
+    fn set_and_update() {
+        let mut f = Fenwick::from_weights(&[5, 5, 5]);
+        f.set(1, 0);
+        assert_eq!(f.total(), 10);
+        assert_eq!(f.prefix_sum(1), 5);
+        f.add(1, 2);
+        assert_eq!(f.get(1), 2);
+        assert_eq!(f.total(), 12);
+        f.add(0, -5);
+        assert_eq!(f.get(0), 0);
+        assert_eq!(f.select(0), 1);
+    }
+
+    #[test]
+    fn select_distribution_is_proportional() {
+        use rand::{Rng, SeedableRng};
+        let w = [10u64, 0, 30, 60];
+        let f = Fenwick::from_weights(&w);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut counts = [0u64; 4];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[f.select(rng.gen_range(0..f.total()))] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac = |c: u64| c as f64 / draws as f64;
+        assert!((frac(counts[0]) - 0.1).abs() < 0.01);
+        assert!((frac(counts[2]) - 0.3).abs() < 0.01);
+        assert!((frac(counts[3]) - 0.6).abs() < 0.01);
+    }
+
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prefix_sums_match_naive(weights in proptest::collection::vec(0u64..1000, 0..200)) {
+                let f = Fenwick::from_weights(&weights);
+                let mut acc = 0u64;
+                for (i, &w) in weights.iter().enumerate() {
+                    acc += w;
+                    prop_assert_eq!(f.prefix_sum(i), acc);
+                }
+                prop_assert_eq!(f.total(), acc);
+            }
+
+            #[test]
+            fn select_inverts_prefix_sum(
+                weights in proptest::collection::vec(0u64..50, 1..100),
+                targets in proptest::collection::vec(0.0f64..1.0, 10),
+            ) {
+                let f = Fenwick::from_weights(&weights);
+                prop_assume!(f.total() > 0);
+                for t in targets {
+                    let target = (t * f.total() as f64) as u64;
+                    let idx = f.select(target);
+                    // prefix_sum(idx) > target and prefix_sum(idx-1) <= target
+                    prop_assert!(f.prefix_sum(idx) > target);
+                    if idx > 0 {
+                        prop_assert!(f.prefix_sum(idx - 1) <= target);
+                    }
+                    prop_assert!(f.get(idx) > 0);
+                }
+            }
+
+            #[test]
+            fn updates_preserve_invariants(
+                weights in proptest::collection::vec(0u64..100, 1..80),
+                updates in proptest::collection::vec((0usize..80, 0u64..100), 0..40),
+            ) {
+                let mut f = Fenwick::from_weights(&weights);
+                let mut shadow = weights.clone();
+                for (i, w) in updates {
+                    let i = i % shadow.len();
+                    f.set(i, w);
+                    shadow[i] = w;
+                }
+                let rebuilt = Fenwick::from_weights(&shadow);
+                prop_assert_eq!(f.total(), rebuilt.total());
+                for i in 0..shadow.len() {
+                    prop_assert_eq!(f.prefix_sum(i), rebuilt.prefix_sum(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [1usize, 2, 3, 5, 17, 63, 64, 65, 100] {
+            let w: Vec<u64> = (0..n as u64).map(|i| i % 4 + 1).collect();
+            let f = Fenwick::from_weights(&w);
+            let mut acc = 0u64;
+            for (i, &wi) in w.iter().enumerate() {
+                acc += wi;
+                assert_eq!(f.prefix_sum(i), acc);
+            }
+            // every unit of mass selects the right element
+            let mut idx = 0usize;
+            let mut below = 0u64;
+            for t in 0..f.total() {
+                while t >= below + w[idx] {
+                    below += w[idx];
+                    idx += 1;
+                }
+                assert_eq!(f.select(t), idx, "n={n} t={t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The classical configuration (stub-matching) model with erasure.
+//!
+//! Places `d_i` stubs of each node in an array, shuffles, pairs consecutive
+//! stubs, and erases self-loops and duplicate edges \[8\], \[30\]. As §7.2 notes,
+//! erasure noticeably distorts the realized degrees once Pareto `α < 2` under
+//! linear truncation — which is exactly why the paper (and we) also provide
+//! the residual-degree sampler. The configuration model remains useful as a
+//! fast baseline and as a cross-check for the residual sampler.
+
+use super::{Generated, GraphGenerator};
+use crate::builder::GraphBuilder;
+use crate::degree::DegreeSequence;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Stub-matching generator with loop/duplicate erasure.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConfigurationModel;
+
+impl GraphGenerator for ConfigurationModel {
+    fn generate<R: Rng + ?Sized>(&self, target: &DegreeSequence, rng: &mut R) -> Generated {
+        assert!(target.has_even_sum(), "degree sum must be even (call make_even first)");
+        let n = target.n();
+        let total = target.sum() as usize;
+        let mut stubs: Vec<u32> = Vec::with_capacity(total);
+        for (v, &d) in target.as_slice().iter().enumerate() {
+            stubs.extend(std::iter::repeat_n(v as u32, d as usize));
+        }
+        stubs.shuffle(rng);
+        let mut builder = GraphBuilder::new(n);
+        for pair in stubs.chunks_exact(2) {
+            builder.add_edge(pair[0], pair[1]);
+        }
+        let (graph, stats) = builder.finish().expect("stub pairing yields valid node ids");
+        let shortfall = Generated::compute_shortfall(target, &graph);
+        Generated { graph, shortfall, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{sample_degree_sequence, DiscretePareto, Truncated};
+    use rand::SeedableRng;
+
+    #[test]
+    fn realizes_light_tail_almost_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let target = DegreeSequence::new(vec![2; 100]);
+        let g = ConfigurationModel.generate(&target, &mut rng);
+        // 2-regular target: erasure losses are small but possible
+        assert!(g.graph.n() == 100);
+        assert!(g.shortfall <= 20, "shortfall {}", g.shortfall);
+        assert_eq!(g.shortfall, 2 * (g.stats.loops_dropped + g.stats.duplicates_dropped));
+    }
+
+    #[test]
+    fn produces_simple_graph_under_heavy_tail() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let dist = Truncated::new(DiscretePareto { alpha: 1.5, beta: 15.0 }, 100);
+        let (target, _) = sample_degree_sequence(&dist, 500, &mut rng);
+        let g = ConfigurationModel.generate(&target, &mut rng);
+        // simplicity is enforced structurally by GraphBuilder + Graph
+        assert_eq!(g.graph.n(), 500);
+        for v in 0..500u32 {
+            assert!(g.graph.degree(v) as u32 <= target.as_slice()[v as usize]);
+        }
+        assert_eq!(g.shortfall, Generated::compute_shortfall(&target, &g.graph));
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let target = DegreeSequence::new(vec![0; 5]);
+        let g = ConfigurationModel.generate(&target, &mut rng);
+        assert_eq!(g.graph.m(), 0);
+        assert_eq!(g.shortfall, 0);
+    }
+}

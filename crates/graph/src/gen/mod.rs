@@ -1,0 +1,43 @@
+//! Random graph generators that realize a prescribed degree sequence (§7.2).
+
+mod chung_lu;
+mod config;
+mod residual;
+
+pub use chung_lu::{ChungLu, Gnp};
+pub use config::ConfigurationModel;
+pub use residual::ResidualSampler;
+
+use crate::builder::BuilderStats;
+use crate::csr::Graph;
+use crate::degree::DegreeSequence;
+use rand::Rng;
+
+/// A generated graph plus bookkeeping about how closely the target degree
+/// sequence was realized.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// The simple graph.
+    pub graph: Graph,
+    /// Total degree shortfall `Σ_i (target_i − realized_i)`; the paper's
+    /// residual sampler achieves exact realization "with the exception of
+    /// possibly one last edge" (shortfall ≤ 2), while the configuration
+    /// model's erasure step loses more as the tail gets heavier.
+    pub shortfall: u64,
+    /// Erasure statistics (loops/duplicates dropped), when applicable.
+    pub stats: BuilderStats,
+}
+
+impl Generated {
+    /// Shortfall between target and realized degree sums.
+    pub fn compute_shortfall(target: &DegreeSequence, graph: &Graph) -> u64 {
+        let realized: u64 = (0..graph.n() as u32).map(|v| graph.degree(v) as u64).sum();
+        target.sum() - realized
+    }
+}
+
+/// A generator of simple graphs realizing (approximately) a degree sequence.
+pub trait GraphGenerator {
+    /// Generates one graph for `target`.
+    fn generate<R: Rng + ?Sized>(&self, target: &DegreeSequence, rng: &mut R) -> Generated;
+}

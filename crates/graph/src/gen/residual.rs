@@ -1,0 +1,170 @@
+//! Residual-degree proportional sampler (§7.2).
+//!
+//! A variation of the sequential importance sampler of Blitzstein–Diaconis
+//! \[11\]: nodes are completed one at a time (largest target degree first);
+//! each partner is drawn **in proportion to its residual degree**, excluding
+//! the node itself and its already-attached neighbors, so the realized graph
+//! is simple *by construction* — no erasure, and therefore no degree
+//! distortion. Selection uses a Fenwick tree over residual degrees, giving
+//! `O(m log n)` total time; the paper reports generating 10M-node graphs in
+//! seconds with the equivalent interval-tree structure.
+//!
+//! With the exception of possibly a few trailing edges (reported as
+//! [`Generated::shortfall`]), the output realizes the target sequence
+//! exactly.
+
+use super::{Generated, GraphGenerator};
+use crate::builder::BuilderStats;
+use crate::csr::Graph;
+use crate::degree::DegreeSequence;
+use crate::fenwick::Fenwick;
+use rand::Rng;
+
+/// The §7.2 generator: neighbor selection proportional to residual degree
+/// with exclusion of the current node and its existing neighbors.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResidualSampler;
+
+impl GraphGenerator for ResidualSampler {
+    fn generate<R: Rng + ?Sized>(&self, target: &DegreeSequence, rng: &mut R) -> Generated {
+        assert!(target.has_even_sum(), "degree sum must be even (call make_even first)");
+        let n = target.n();
+        let degrees = target.as_slice();
+        let mut residual: Vec<u64> = degrees.iter().map(|&d| d as u64).collect();
+        let mut fenwick = Fenwick::from_weights(&residual);
+        let mut adj: Vec<Vec<u32>> = degrees.iter().map(|&d| Vec::with_capacity(d as usize)).collect();
+
+        // Complete high-degree nodes first: they are the hardest to finish
+        // once the residual pool thins out.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(degrees[v as usize]));
+
+        for &u in &order {
+            let ui = u as usize;
+            if residual[ui] == 0 {
+                continue;
+            }
+            // Exclude u and its current neighbors from selection.
+            fenwick.set(ui, 0);
+            for &w in &adj[ui] {
+                fenwick.set(w as usize, 0);
+            }
+            while residual[ui] > 0 {
+                let total = fenwick.total();
+                if total == 0 {
+                    // No eligible partner remains; leave the shortfall.
+                    break;
+                }
+                let v = fenwick.select(rng.gen_range(0..total)) as u32;
+                let vi = v as usize;
+                debug_assert!(v != u && !adj[ui].contains(&v));
+                debug_assert!(residual[vi] > 0);
+                adj[ui].push(v);
+                adj[vi].push(u);
+                residual[ui] -= 1;
+                residual[vi] -= 1;
+                // v is now a neighbor: keep it excluded until u is finished.
+                fenwick.set(vi, 0);
+            }
+            // Restore residual weights of u and all its neighbors.
+            fenwick.set(ui, residual[ui]);
+            for &w in adj[ui].clone().iter() {
+                fenwick.set(w as usize, residual[w as usize]);
+            }
+        }
+
+        let shortfall: u64 = residual.iter().sum();
+        let graph = Graph::from_adjacency(adj).expect("residual sampler builds a simple graph");
+        debug_assert_eq!(shortfall, Generated::compute_shortfall(target, &graph));
+        Generated { graph, shortfall, stats: BuilderStats::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+    use rand::SeedableRng;
+
+    #[test]
+    fn realizes_regular_sequence_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for d in [2u32, 3, 4] {
+            let target = DegreeSequence::new(vec![d; 60]);
+            let g = ResidualSampler.generate(&target, &mut rng);
+            assert_eq!(g.shortfall, 0, "d={d}");
+            for v in 0..60u32 {
+                assert_eq!(g.graph.degree(v) as u32, d);
+            }
+        }
+    }
+
+    #[test]
+    fn realizes_star_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut degrees = vec![1u32; 9];
+        degrees.insert(0, 9);
+        let target = DegreeSequence::new(degrees);
+        let g = ResidualSampler.generate(&target, &mut rng);
+        assert_eq!(g.shortfall, 0);
+        assert_eq!(g.graph.degree(0), 9);
+    }
+
+    #[test]
+    fn heavy_tail_root_truncation_small_shortfall() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let n = 2_000;
+        let t = Truncation::Root.t_n(n);
+        let dist = Truncated::new(DiscretePareto { alpha: 1.5, beta: 15.0 }, t);
+        for _ in 0..5 {
+            let (target, _) = sample_degree_sequence(&dist, n, &mut rng);
+            let g = ResidualSampler.generate(&target, &mut rng);
+            // AMRC sequences should realize (nearly) exactly.
+            assert!(g.shortfall <= 2, "shortfall {}", g.shortfall);
+            // realized degree never exceeds the target
+            for v in 0..n as u32 {
+                assert!(g.graph.degree(v) as u32 <= target.as_slice()[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_tail_linear_truncation_still_simple() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 1_000;
+        let dist = Truncated::new(DiscretePareto { alpha: 1.2, beta: 6.0 }, (n - 1) as u64);
+        let (target, _) = sample_degree_sequence(&dist, n, &mut rng);
+        let g = ResidualSampler.generate(&target, &mut rng);
+        // Linear truncation with α=1.2 can be non-graphical; simplicity must
+        // hold regardless, and shortfall should stay a tiny fraction of 2m.
+        let frac = g.shortfall as f64 / target.sum() as f64;
+        assert!(frac < 0.05, "shortfall fraction {frac}");
+    }
+
+    #[test]
+    fn beats_configuration_model_on_heavy_tails() {
+        use crate::gen::ConfigurationModel;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let n = 1_000;
+        let dist = Truncated::new(DiscretePareto { alpha: 1.5, beta: 15.0 }, (n - 1) as u64);
+        let (target, _) = sample_degree_sequence(&dist, n, &mut rng);
+        let residual = ResidualSampler.generate(&target, &mut rng);
+        let config = ConfigurationModel.generate(&target, &mut rng);
+        assert!(
+            residual.shortfall <= config.shortfall,
+            "residual {} vs config {}",
+            residual.shortfall,
+            config.shortfall
+        );
+    }
+
+    #[test]
+    fn zero_degrees_are_isolated() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let target = DegreeSequence::new(vec![0, 2, 2, 2, 0]);
+        let g = ResidualSampler.generate(&target, &mut rng);
+        assert_eq!(g.graph.degree(0), 0);
+        assert_eq!(g.graph.degree(4), 0);
+        assert_eq!(g.shortfall, 0);
+    }
+}

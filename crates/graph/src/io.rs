@@ -1,0 +1,165 @@
+//! Plain-text edge-list I/O.
+//!
+//! The evaluation's real-graph experiment (Table 12) loads Twitter from an
+//! edge list; this module provides the equivalent loader so users can run
+//! the harness on their own graphs. Format: one `u v` pair per line,
+//! whitespace-separated, `#`-prefixed comment lines ignored, node IDs
+//! arbitrary `u32` (they are compacted to `0..n`), duplicate edges and
+//! self-loops erased.
+
+use crate::builder::{BuilderStats, GraphBuilder};
+use crate::csr::Graph;
+use crate::GraphError;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Result of parsing an edge list.
+#[derive(Debug)]
+pub struct LoadedGraph {
+    /// The compacted simple graph.
+    pub graph: Graph,
+    /// Compacted ID → original ID.
+    pub original_ids: Vec<u32>,
+    /// Erasure statistics.
+    pub stats: BuilderStats,
+}
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying reader failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor a `u v` pair.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content.
+        content: String,
+    },
+    /// Graph construction failure (should not happen after erasure).
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "cannot parse line {line}: {content:?}")
+            }
+            IoError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads a whitespace-separated edge list, compacting node IDs.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, IoError> {
+    let mut ids: HashMap<u32, u32> = HashMap::new();
+    let mut original_ids: Vec<u32> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<u32> { tok.and_then(|t| t.parse().ok()) };
+        let (u, v) = match (parse(parts.next()), parse(parts.next())) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(IoError::Parse { line: lineno + 1, content: trimmed.to_string() })
+            }
+        };
+        let mut intern = |orig: u32| -> u32 {
+            *ids.entry(orig).or_insert_with(|| {
+                original_ids.push(orig);
+                (original_ids.len() - 1) as u32
+            })
+        };
+        let (cu, cv) = (intern(u), intern(v));
+        edges.push((cu, cv));
+    }
+    let mut builder = GraphBuilder::new(original_ids.len());
+    for (u, v) in edges {
+        builder.add_edge(u, v);
+    }
+    let (graph, stats) = builder.finish().map_err(IoError::Graph)?;
+    Ok(LoadedGraph { graph, original_ids, stats })
+}
+
+/// Writes the graph as a `u v` edge list (compacted IDs), one edge per
+/// line with `u < v`.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# trilist edge list: n={} m={}", graph.n(), graph.m())?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(loaded.graph.n(), 4);
+        assert_eq!(loaded.graph.m(), 4);
+        assert_eq!(loaded.stats, BuilderStats::default());
+    }
+
+    #[test]
+    fn compacts_sparse_ids_and_keeps_originals() {
+        let input = "# comment\n100 200\n200 300\n\n100 300\n";
+        let loaded = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.n(), 3);
+        assert_eq!(loaded.graph.m(), 3);
+        assert_eq!(loaded.original_ids, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn erases_loops_and_duplicates() {
+        let input = "1 1\n1 2\n2 1\n2 3\n";
+        let loaded = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.m(), 2);
+        assert_eq!(loaded.stats.loops_dropped, 1);
+        assert_eq!(loaded.stats.duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_edge_list("1 2\nhello world\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tabs_and_extra_columns() {
+        // extra columns (weights) are ignored
+        let input = "0\t1\t0.5\n1\t2\t0.7\n";
+        let loaded = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.m(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let loaded = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(loaded.graph.n(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! The U-space cost representation and method comparisons (§6, Lemma 4,
+//! Theorems 4–5).
+//!
+//! With `J` continuous, `U = J(S)` is uniform and every limit can be
+//! rewritten as `c(M, ξ) = E[w(D)] · E[r(U) h(ξ(U))]` with
+//! `r(x) = g(J⁻¹(x))/w(J⁻¹(x))` (Lemma 4). In this form the optimal-map
+//! comparisons become one-dimensional integrals:
+//!
+//! * `c(T1, ξ_D) = E[w(D)]·E[r(U)(1−U)²]/2` (eq. 40)
+//! * `c(T2, ξ_RR) = E[w(D)]·E[r(U)(1−U²)]/4` (eq. 41)
+//! * `c(E1, ξ_D) = E[w(D)]·E[r(U)(1−U²)]/2` (eq. 42)
+//! * `c(E4, ξ_CRR) = E[w(D)]·E[r(U)(U²−2U+2)]/4` (eq. 43)
+//!
+//! and Theorems 4–5 state that increasing `r` makes T1 beat T2 and E1
+//! beat E4 at their respective optima. This module evaluates the U-space
+//! integrals against a discrete distribution (by mapping the quantile grid
+//! through `J⁻¹`) so the identities are checkable against the D-space
+//! model of eq. (50).
+
+use crate::spread::SpreadTable;
+use crate::weight::WeightFn;
+use trilist_graph::dist::DegreeModel;
+
+/// Which of the four optimal-pair costs (eqs. 40–43) to evaluate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptimalPair {
+    /// T1 under `ξ_D` (eq. 40).
+    T1Descending,
+    /// T2 under `ξ_RR` (eq. 41).
+    T2RoundRobin,
+    /// E1 under `ξ_D` (eq. 42).
+    E1Descending,
+    /// E4 under `ξ_CRR` (eq. 43).
+    E4ComplementaryRoundRobin,
+}
+
+impl OptimalPair {
+    /// The U-space integrand factor `E_ξ[h(ξ(u))]` of eqs. 40–43.
+    pub fn u_factor(&self, u: f64) -> f64 {
+        match self {
+            OptimalPair::T1Descending => (1.0 - u) * (1.0 - u) / 2.0,
+            OptimalPair::T2RoundRobin => (1.0 - u * u) / 4.0,
+            OptimalPair::E1Descending => (1.0 - u * u) / 2.0,
+            OptimalPair::E4ComplementaryRoundRobin => (u * u - 2.0 * u + 2.0) / 4.0,
+        }
+    }
+}
+
+/// Evaluates `c(M, ξ) = E[w(D)] E[r(U) h(ξ(U))]` (eq. 37) for one of the
+/// optimal pairs over a truncated discrete distribution.
+///
+/// The atom of degree `k` occupies the spread-quantile interval
+/// `(J(k−1), J(k)]` of length `w(k)p_k / E[w(D)]`; over it,
+/// `r(u) = g(k)/w(k)` is constant and the polynomial `u`-factor is
+/// integrated exactly by Simpson (degree ≤ 2 polynomials — exact).
+pub fn u_space_cost<D: DegreeModel>(model: &D, weight: WeightFn, pair: OptimalPair) -> f64 {
+    let t = model.support_max().expect("u_space_cost requires a truncated model");
+    let table = SpreadTable::new(model, weight);
+    let e_w = table.weighted_mean();
+    let mut total = 0.0;
+    for k in 1..=t {
+        let p = model.pmf(k);
+        if p <= 0.0 {
+            continue;
+        }
+        let kf = k as f64;
+        let (lo, hi) = (table.j(k - 1), table.j(k));
+        if hi <= lo {
+            continue;
+        }
+        let r = crate::hfun::g(kf) / weight.w(kf);
+        // ∫ over [lo, hi] of the u-factor: Simpson is exact for quadratics
+        let mid = 0.5 * (lo + hi);
+        let integral = (hi - lo) / 6.0
+            * (pair.u_factor(lo) + 4.0 * pair.u_factor(mid) + pair.u_factor(hi));
+        total += r * integral;
+    }
+    e_w * total
+}
+
+/// Theorem 4's comparison at the optimum: `c(T1, ξ_D) < c(T2, ξ_RR)` for
+/// increasing `r` (both paper weights).
+pub fn t1_beats_t2<D: DegreeModel>(model: &D, weight: WeightFn) -> bool {
+    u_space_cost(model, weight, OptimalPair::T1Descending)
+        < u_space_cost(model, weight, OptimalPair::T2RoundRobin)
+}
+
+/// Theorem 5's comparison at the optimum: `c(E1, ξ_D) < c(E4, ξ_CRR)` for
+/// increasing `r`.
+pub fn e1_beats_e4<D: DegreeModel>(model: &D, weight: WeightFn) -> bool {
+    u_space_cost(model, weight, OptimalPair::E1Descending)
+        < u_space_cost(model, weight, OptimalPair::E4ComplementaryRoundRobin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::{discrete_cost, ModelSpec};
+    use crate::hfun::CostClass;
+    use trilist_graph::dist::{DiscretePareto, Truncated};
+    use trilist_order::LimitMap;
+
+    fn dist(alpha: f64, t: u64) -> Truncated<DiscretePareto> {
+        Truncated::new(DiscretePareto::paper_beta(alpha), t)
+    }
+
+    #[test]
+    fn lemma4_u_space_equals_d_space() {
+        // the U-space representation must agree with eq. (50) evaluated
+        // with the corresponding (class, map) pair
+        let model = dist(1.8, 2_000);
+        let cases = [
+            (OptimalPair::T1Descending, CostClass::T1, LimitMap::Descending),
+            (OptimalPair::T2RoundRobin, CostClass::T2, LimitMap::RoundRobin),
+            (OptimalPair::E1Descending, CostClass::E1, LimitMap::Descending),
+            (
+                OptimalPair::E4ComplementaryRoundRobin,
+                CostClass::E4,
+                LimitMap::ComplementaryRoundRobin,
+            ),
+        ];
+        for (pair, class, map) in cases {
+            let u_space = u_space_cost(&model, WeightFn::Identity, pair);
+            let d_space = discrete_cost(&model, &ModelSpec::new(class, map));
+            // eq. (50) evaluates h at the right endpoint J(k) of each atom,
+            // the U-space form integrates across the atom: they agree up to
+            // the atom width, i.e. ever closer as t grows
+            let rel = (u_space - d_space).abs() / d_space;
+            assert!(rel < 0.05, "{pair:?}: u {u_space} vs d {d_space}");
+        }
+    }
+
+    #[test]
+    fn u_factors_match_table4_compositions() {
+        // eq. 40: h_T1(1−u); eq. 41: (h_T2((1−u)/2)+h_T2((1+u)/2))/2; etc.
+        for i in 0..=20 {
+            let u = i as f64 / 20.0;
+            let t1 = CostClass::T1.h(1.0 - u);
+            assert!((OptimalPair::T1Descending.u_factor(u) - t1).abs() < 1e-12);
+            let t2rr = 0.5
+                * (CostClass::T2.h((1.0 - u) / 2.0) + CostClass::T2.h((1.0 + u) / 2.0));
+            assert!((OptimalPair::T2RoundRobin.u_factor(u) - t2rr).abs() < 1e-12);
+            let e1 = CostClass::E1.h(1.0 - u);
+            assert!((OptimalPair::E1Descending.u_factor(u) - e1).abs() < 1e-12);
+            let e4crr =
+                0.5 * (CostClass::E4.h(u / 2.0) + CostClass::E4.h(1.0 - u / 2.0));
+            assert!(
+                (OptimalPair::E4ComplementaryRoundRobin.u_factor(u) - e4crr).abs() < 1e-12,
+                "u={u}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_4_and_5_hold_for_paper_weights() {
+        for alpha in [1.6, 2.0, 2.5] {
+            let model = dist(alpha, 1_000);
+            for weight in [WeightFn::Identity, WeightFn::Capped(40.0)] {
+                assert!(t1_beats_t2(&model, weight), "alpha={alpha} {weight:?}");
+                assert!(e1_beats_e4(&model, weight), "alpha={alpha} {weight:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_8_constant_r_equalizes_permutations() {
+        // with w(x) = g(x)/b, r is constant and all maps give E[g]·E[h(U)];
+        // emulate via a distribution concentrated on one atom (r trivially
+        // constant there)
+        let model = Truncated::new(trilist_graph::dist::Constant { d: 7 }, 10);
+        let desc = discrete_cost(&model, &ModelSpec::new(CostClass::T2, LimitMap::Descending));
+        let rr = discrete_cost(&model, &ModelSpec::new(CostClass::T2, LimitMap::RoundRobin));
+        let uni = discrete_cost(&model, &ModelSpec::new(CostClass::T2, LimitMap::Uniform));
+        // single atom: J(D) ≡ 1, so desc → h(0) = 0, rr → h(1/2±1/2)…
+        // the *uniform* value is the Proposition 8 constant E[g]·E[h(U)]
+        assert!((uni - crate::hfun::g(7.0) / 6.0).abs() < 1e-12);
+        assert!(desc <= uni && uni <= rr.max(uni));
+    }
+}

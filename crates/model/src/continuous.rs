@@ -1,0 +1,113 @@
+//! The continuous cost model, eq. (49).
+//!
+//! Replaces the discretized Pareto with the underlying continuous
+//! `F*(x) = 1 − (1 + x/β)^{−α}` truncated to `[0, t_n]`:
+//! `∫₀^{t_n} g(x) h(ξ(J(x))) dF_n(x)` with
+//! `J(x) = ∫₀ˣ w dF_n / ∫₀^{t_n} w dF_n`. The paper computes this in
+//! Matlab and shows it deviates from the discrete model by a persistent
+//! 1.5–2% (Table 5) — rounding up the degree adds roughly 1/2 to each
+//! draw, which matters because `g` is quadratic. We integrate by
+//! Riemann–Stieltjes sums over a geometric grid (the integrand's mass is
+//! spread over many decades for heavy tails).
+
+use crate::discrete::ModelSpec;
+use crate::hfun::g;
+use trilist_graph::dist::DiscretePareto;
+
+/// Evaluates eq. (49) for the continuous truncated Pareto.
+///
+/// `panels` controls the geometric grid resolution (the default used by the
+/// experiments is 400 000, matching the paper's two-decimal reporting).
+pub fn continuous_cost(pareto: &DiscretePareto, t_n: f64, spec: &ModelSpec, panels: usize) -> f64 {
+    assert!(t_n > 0.0 && panels >= 16);
+    let h = |x: f64| spec.class.h(x);
+    // survival of the *continuous* Pareto
+    let sf = |x: f64| (1.0 + x / pareto.beta).powf(-pareto.alpha);
+    let norm = 1.0 - sf(t_n); // F*(t_n)
+    // geometric grid x_k = exp(k·ln(1+t_n)/K) − 1 covers [0, t_n] densely
+    // near zero and logarithmically in the tail
+    let scale = (1.0 + t_n).ln() / panels as f64;
+    let grid = |k: usize| (scale * k as f64).exp_m1();
+
+    // pass 1: total weighted mass ∫ w dF_n
+    let mut total_w = 0.0;
+    for k in 0..panels {
+        let (lo, hi) = (grid(k), grid(k + 1).min(t_n));
+        let mass = (sf(lo) - sf(hi)) / norm;
+        let mid = 0.5 * (lo + hi);
+        total_w += spec.weight.w(mid) * mass;
+    }
+    // pass 2: running J + cost
+    let mut cum_w = 0.0;
+    let mut cost = 0.0;
+    for k in 0..panels {
+        let (lo, hi) = (grid(k), grid(k + 1).min(t_n));
+        let mass = (sf(lo) - sf(hi)) / norm;
+        let mid = 0.5 * (lo + hi);
+        let w_mass = spec.weight.w(mid) * mass;
+        let j = ((cum_w + 0.5 * w_mass) / total_w).min(1.0);
+        cost += g(mid) * spec.map.expect_h(j, h) * mass;
+        cum_w += w_mass;
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::discrete_cost;
+    use crate::hfun::CostClass;
+    use crate::spread::pareto_spread;
+    use trilist_graph::dist::Truncated;
+    use trilist_order::LimitMap;
+
+    #[test]
+    fn close_to_closed_form_for_t1_descending() {
+        // c(T1, ξ_D) = E[g(D)(1−J(D))²]/2 with the continuous J of eq. (19);
+        // cross-check the quadrature against an independent direct integral.
+        let p = DiscretePareto::paper_beta(1.7);
+        let t_n = 1e9;
+        let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+        let quad = continuous_cost(&p, t_n, &spec, 400_000);
+        // direct integral over the untruncated density with the closed-form
+        // spread (truncation at 1e9 is negligible for α = 1.7)
+        let steps = 2_000_000;
+        let scale = (1.0 + t_n).ln() / steps as f64;
+        let mut direct = 0.0;
+        for k in 0..steps {
+            let lo = (scale * k as f64).exp_m1();
+            let hi = (scale * (k + 1) as f64).exp_m1();
+            let mid = 0.5 * (lo + hi);
+            let mass = p.cdf_continuous(hi) - p.cdf_continuous(lo);
+            let j = pareto_spread(&p, mid);
+            direct += g(mid) * (1.0 - j) * (1.0 - j) / 2.0 * mass;
+        }
+        assert!((quad - direct).abs() / direct < 0.01, "{quad} vs {direct}");
+    }
+
+    #[test]
+    fn continuous_exceeds_discrete_by_small_margin() {
+        // Table 5: the continuous model runs ~1.5–2% above the discrete one
+        // (rounding up shifts the discrete variable to ceil(X*) ≥ X*, but
+        // the *spread* composition makes the continuous value larger here;
+        // what matters is a small, persistent, same-sign gap).
+        let alpha = 1.5;
+        let p = DiscretePareto::paper_beta(alpha);
+        let t = 10_000_000u64;
+        let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+        let cont = continuous_cost(&p, t as f64, &spec, 400_000);
+        let disc = discrete_cost(&Truncated::new(p, t), &spec);
+        let gap = (cont - disc) / disc;
+        assert!(gap.abs() < 0.05, "gap {gap}: cont {cont} disc {disc}");
+        assert!(cont != disc);
+    }
+
+    #[test]
+    fn panel_refinement_converges() {
+        let p = DiscretePareto::paper_beta(1.5);
+        let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+        let coarse = continuous_cost(&p, 1e8, &spec, 50_000);
+        let fine = continuous_cost(&p, 1e8, &spec, 800_000);
+        assert!((coarse - fine).abs() / fine < 5e-3, "{coarse} vs {fine}");
+    }
+}

@@ -1,0 +1,217 @@
+//! The exact discrete cost model, eq. (50).
+//!
+//! `E[c_n(M, θ_n)] ≈ Σ_{i=1}^{t_n} g(i) · E[h(ξ(J_i))] · p_i` with
+//! `J_i = Σ_{j≤i} w(j) p_j / Σ_{k≤t_n} w(k) p_k`, where `p_i` is the pmf of
+//! the truncated degree. Despite the nested appearance this runs in linear
+//! time and O(1) space: the partial weighted sum is accumulated alongside
+//! the cost sum. For `t_n ≫ 10⁹` use the jump-compressed Algorithm 2 in
+//! [`crate::quick`].
+
+use crate::hfun::{g, CostClass};
+use crate::weight::WeightFn;
+use trilist_graph::dist::DegreeModel;
+use trilist_order::LimitMap;
+
+/// Everything that parameterizes a cost-model evaluation: the method's
+/// `h` shape, the permutation's limiting map `ξ`, and the neighbor weight
+/// `w`.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelSpec {
+    /// Cost class (chooses `h`).
+    pub class: CostClass,
+    /// Limiting map of the permutation family.
+    pub map: LimitMap,
+    /// Neighbor weight `w(x)`.
+    pub weight: WeightFn,
+}
+
+impl ModelSpec {
+    /// Spec with `w(x) = x` — the evaluation default (§7.3).
+    pub fn new(class: CostClass, map: LimitMap) -> Self {
+        ModelSpec { class, map, weight: WeightFn::Identity }
+    }
+
+    /// Replaces the weight function.
+    pub fn with_weight(mut self, weight: WeightFn) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// Evaluates eq. (50) exactly in `O(t_n)` time, O(1) space.
+///
+/// `model` must be truncated (finite support `t_n`).
+pub fn discrete_cost<D: DegreeModel>(model: &D, spec: &ModelSpec) -> f64 {
+    let h = |x: f64| spec.class.h(x);
+    let map = spec.map;
+    discrete_cost_custom(model, spec.weight, move |j| map.expect_h(j, h))
+}
+
+/// Eq. (50) with a caller-supplied map expectation: `expect_h(u)` must
+/// return `E[h(ξ(u))]` for the (possibly random) limiting map `ξ` of any
+/// admissible permutation sequence (Definition 5) composed with the
+/// method's `h`. This is the extension point for orientations beyond the
+/// five built-in families — any measure-preserving kernel works
+/// (Theorem 2).
+pub fn discrete_cost_custom<D, E>(model: &D, weight: crate::weight::WeightFn, expect_h: E) -> f64
+where
+    D: DegreeModel,
+    E: Fn(f64) -> f64,
+{
+    let t = model.support_max().expect("discrete_cost requires a truncated model");
+    // pass 1: total weighted mass E[w(D_n)]
+    let mut total_w = 0.0;
+    for k in 1..=t {
+        total_w += weight.w(k as f64) * model.pmf(k);
+    }
+    if total_w <= 0.0 {
+        return 0.0;
+    }
+    // pass 2: accumulate cost with the running spread J_i
+    let mut cost = 0.0;
+    let mut partial_w = 0.0;
+    for i in 1..=t {
+        let p = model.pmf(i);
+        if p <= 0.0 {
+            continue;
+        }
+        partial_w += weight.w(i as f64) * p;
+        let j = (partial_w / total_w).min(1.0);
+        cost += g(i as f64) * expect_h(j) * p;
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trilist_graph::dist::{Constant, DiscretePareto, Truncated};
+
+    fn pareto(alpha: f64, t: u64) -> Truncated<DiscretePareto> {
+        Truncated::new(DiscretePareto::paper_beta(alpha), t)
+    }
+
+    #[test]
+    fn constant_degree_cost_is_exact() {
+        // D ≡ d: under θ_A ascending, J jumps to 1 at d, so h(ξ(1)):
+        // ascending → h(1), descending → h(0)
+        let dist = Truncated::new(Constant { d: 5 }, 10);
+        let asc = discrete_cost(&dist, &ModelSpec::new(CostClass::T1, LimitMap::Ascending));
+        let desc = discrete_cost(&dist, &ModelSpec::new(CostClass::T1, LimitMap::Descending));
+        // g(5) = 20, h(1) = 0.5, h(0) = 0
+        assert!((asc - 10.0).abs() < 1e-12);
+        assert!((desc - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_map_equals_expected_h_times_g_mean() {
+        // eq. (31): c(M, ξ_U) = E[D² − D] · E[h(U)]
+        let dist = pareto(2.5, 500);
+        for class in CostClass::ALL {
+            let spec = ModelSpec::new(class, LimitMap::Uniform);
+            let cost = discrete_cost(&dist, &spec);
+            let gmean: f64 = (1..=500u64).map(|k| g(k as f64) * dist.pmf(k)).sum();
+            let want = gmean * class.expected_h_uniform();
+            assert!((cost - want).abs() / want < 1e-6, "{}", class.name());
+        }
+    }
+
+    #[test]
+    fn t2_symmetric_under_asc_desc() {
+        // h_T2(x) = h_T2(1−x) ⟹ both monotone permutations give equal cost
+        let dist = pareto(1.7, 1_000);
+        let asc = discrete_cost(&dist, &ModelSpec::new(CostClass::T2, LimitMap::Ascending));
+        let desc = discrete_cost(&dist, &ModelSpec::new(CostClass::T2, LimitMap::Descending));
+        assert!((asc - desc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn e1_cost_decomposes_into_t1_plus_t2() {
+        let dist = pareto(1.7, 1_000);
+        for map in LimitMap::ALL {
+            let e1 = discrete_cost(&dist, &ModelSpec::new(CostClass::E1, map));
+            let t1 = discrete_cost(&dist, &ModelSpec::new(CostClass::T1, map));
+            let t2 = discrete_cost(&dist, &ModelSpec::new(CostClass::T2, map));
+            assert!((e1 - (t1 + t2)).abs() < 1e-9, "{map:?}");
+        }
+    }
+
+    #[test]
+    fn descending_beats_ascending_for_t1() {
+        // Corollary 1 with increasing r: θ_D optimal for T1
+        let dist = pareto(1.7, 1_000);
+        let asc = discrete_cost(&dist, &ModelSpec::new(CostClass::T1, LimitMap::Ascending));
+        let desc = discrete_cost(&dist, &ModelSpec::new(CostClass::T1, LimitMap::Descending));
+        assert!(desc < asc, "desc {desc} vs asc {asc}");
+    }
+
+    #[test]
+    fn rr_beats_desc_for_t2_and_crr_beats_desc_for_e4() {
+        // Corollary 2
+        let dist = pareto(1.7, 1_000);
+        let t2_rr = discrete_cost(&dist, &ModelSpec::new(CostClass::T2, LimitMap::RoundRobin));
+        let t2_desc = discrete_cost(&dist, &ModelSpec::new(CostClass::T2, LimitMap::Descending));
+        assert!(t2_rr < t2_desc);
+        let e4_crr =
+            discrete_cost(&dist, &ModelSpec::new(CostClass::E4, LimitMap::ComplementaryRoundRobin));
+        let e4_desc = discrete_cost(&dist, &ModelSpec::new(CostClass::E4, LimitMap::Descending));
+        assert!(e4_crr < e4_desc);
+    }
+
+    #[test]
+    fn t2_rr_is_half_of_e1_desc() {
+        // eq. (34) vs eq. (35): c(T2, ξ_RR) = c(E1, ξ_D)/2
+        let dist = pareto(1.7, 2_000);
+        let t2_rr = discrete_cost(&dist, &ModelSpec::new(CostClass::T2, LimitMap::RoundRobin));
+        let e1_desc = discrete_cost(&dist, &ModelSpec::new(CostClass::E1, LimitMap::Descending));
+        assert!((t2_rr - e1_desc / 2.0).abs() / t2_rr < 1e-9);
+    }
+
+    #[test]
+    fn custom_map_reproduces_builtins_and_supports_new_kernels() {
+        let dist = pareto(1.8, 800);
+        // reproduce the descending map through the custom entry point
+        let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+        let builtin = discrete_cost(&dist, &spec);
+        let custom = discrete_cost_custom(&dist, crate::weight::WeightFn::Identity, |u| {
+            CostClass::T1.h(1.0 - u)
+        });
+        assert!((builtin - custom).abs() < 1e-12);
+        // a genuinely new admissible map: ξ(u) = fractional part of u + 1/2
+        // (a measure-preserving rotation)
+        let rotated = discrete_cost_custom(&dist, crate::weight::WeightFn::Identity, |u| {
+            CostClass::T1.h((u + 0.5) % 1.0)
+        });
+        assert!(rotated.is_finite() && rotated > 0.0);
+        // the rotation is neither the best nor pathological: it must fall
+        // between the descending optimum and the ascending worst case
+        let asc = discrete_cost(&dist, &ModelSpec::new(CostClass::T1, LimitMap::Ascending));
+        assert!(rotated > builtin && rotated < asc, "{builtin} {rotated} {asc}");
+    }
+
+    #[test]
+    fn worst_map_is_complement_of_best() {
+        // Corollary 3, checked for T1 whose best map is Descending: its
+        // complement (Ascending) must be the worst among the five maps.
+        let dist = pareto(1.8, 1_000);
+        let costs: Vec<f64> = LimitMap::ALL
+            .iter()
+            .map(|&m| discrete_cost(&dist, &ModelSpec::new(CostClass::T1, m)))
+            .collect();
+        let best = costs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let worst = costs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(LimitMap::ALL[best], LimitMap::Descending);
+        assert_eq!(LimitMap::ALL[worst], LimitMap::Ascending);
+        assert_eq!(LimitMap::ALL[best].complement(), LimitMap::ALL[worst]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Conditional expected out-degree and its fraction (§3.2, eqs. 11–13).
+//!
+//! Conditioning on the degree sequence, the expected out-degree of the node
+//! holding label `i` is `E[X_i | D_n] ≈ d_i Σ_{j<i} w(d_j) / (Σ_k w(d_k) −
+//! w(d_i))` (eq. 12 generalizes eq. 11 with the weight `w`), and
+//! `q_i = E[X_i | D_n] / d_i` (eq. 13) is the fraction of `i`'s neighbors
+//! carrying smaller labels.
+
+use crate::weight::WeightFn;
+
+/// `q_i(θ_n)` (eq. 13) for every label, given the degrees *indexed by
+/// label* (`degrees[i]` = degree of the node relabeled `i`).
+pub fn q_fractions(degrees_by_label: &[u32], weight: WeightFn) -> Vec<f64> {
+    let total: f64 = degrees_by_label.iter().map(|&d| weight.w(d as f64)).sum();
+    let mut q = Vec::with_capacity(degrees_by_label.len());
+    let mut prefix = 0.0;
+    for &d in degrees_by_label {
+        let w = weight.w(d as f64);
+        let denom = total - w;
+        q.push(if denom > 0.0 { (prefix / denom).min(1.0) } else { 0.0 });
+        prefix += w;
+    }
+    q
+}
+
+/// `E[X_i(θ_n) | D_n]` (eq. 12) for every label.
+pub fn expected_out_degrees(degrees_by_label: &[u32], weight: WeightFn) -> Vec<f64> {
+    q_fractions(degrees_by_label, weight)
+        .into_iter()
+        .zip(degrees_by_label)
+        .map(|(q, &d)| q * d as f64)
+        .collect()
+}
+
+/// The model-predicted per-node cost `(1/n) Σ g(d_i) h(q_i)` of
+/// Proposition 4 (eq. 14), evaluated on a concrete relabeled degree
+/// sequence.
+pub fn predicted_cost_per_node(
+    degrees_by_label: &[u32],
+    weight: WeightFn,
+    h: impl Fn(f64) -> f64,
+) -> f64 {
+    let n = degrees_by_label.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let q = q_fractions(degrees_by_label, weight);
+    let sum: f64 = degrees_by_label
+        .iter()
+        .zip(&q)
+        .map(|(&d, &qi)| crate::hfun::g(d as f64) * h(qi))
+        .sum();
+    sum / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_degrees_give_linear_q() {
+        let d = vec![4u32; 10];
+        let q = q_fractions(&d, WeightFn::Identity);
+        for (i, &qi) in q.iter().enumerate() {
+            let want = i as f64 / 9.0; // Σ_{j<i} d / (Σ − d) = i·4/(36)
+            assert!((qi - want).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn q_zero_at_first_label_one_at_last() {
+        let d = vec![3, 1, 7, 2, 5];
+        let q = q_fractions(&d, WeightFn::Identity);
+        assert_eq!(q[0], 0.0);
+        // last label: prefix = Σ w − w_last = denom → q = 1
+        assert!((q[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_out_degree_sums_to_about_m() {
+        // Σ E[X_i] should be close to m = Σ d / 2 (exact when denominators
+        // were all Σ w; the −w(d_i) self-exclusion perturbs it slightly)
+        let d: Vec<u32> = (1..=60).collect();
+        let x = expected_out_degrees(&d, WeightFn::Identity);
+        let m = d.iter().map(|&v| v as f64).sum::<f64>() / 2.0;
+        let sum: f64 = x.iter().sum();
+        assert!((sum - m).abs() / m < 0.05, "sum {sum} vs m {m}");
+    }
+
+    #[test]
+    fn capped_weight_shrinks_high_degree_pull() {
+        let d = vec![1, 1, 1, 1, 100];
+        let q_id = q_fractions(&d, WeightFn::Identity);
+        let q_cap = q_fractions(&d, WeightFn::Capped(2.0));
+        // with the hub last, earlier labels see the same prefix but a much
+        // smaller denominator under identity weight; capping w reduces the
+        // hub's share of mass, raising everyone's denominator share
+        assert!(q_cap[4] <= q_id[4] + 1e-12);
+        // the hub's own q: prefix 4 / (total − w(hub))
+        assert!((q_id[4] - 1.0).abs() < 1e-12);
+        assert!((q_cap[4] - 4.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicted_cost_matches_manual_small_case() {
+        // two nodes of degree 2, h = x²/2 (T1 shape)
+        let d = vec![2u32, 2];
+        let q = q_fractions(&d, WeightFn::Identity);
+        assert_eq!(q, vec![0.0, 1.0]);
+        let cost = predicted_cost_per_node(&d, WeightFn::Identity, |x| x * x / 2.0);
+        // g(2) = 2; node 0 contributes 0, node 1 contributes 2·(1/2) = 1
+        assert!((cost - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        assert!(q_fractions(&[], WeightFn::Identity).is_empty());
+        assert_eq!(predicted_cost_per_node(&[], WeightFn::Identity, |x| x), 0.0);
+    }
+}

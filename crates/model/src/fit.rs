@@ -1,0 +1,189 @@
+//! Fitting the degree distribution of a real graph and recommending a
+//! listing strategy.
+//!
+//! The paper's decision framework (§2.4, §6.3) needs the Pareto tail index
+//! `α` and the operation-count ratio `w_n`; given a concrete graph this
+//! module estimates both — the Hill estimator for the tail, profile MLE
+//! for the full Lomax `(α, β)` — and combines them with the hardware speed
+//! ratio into a method/orientation recommendation.
+
+use crate::regimes::{asymptotic_winner, AsymptoticWinner};
+use crate::wn::{sei_wins, wn_of_graph};
+use trilist_core::Method;
+use trilist_graph::Graph;
+use trilist_order::{DirectedGraph, OrderFamily};
+
+/// Hill estimator of the tail index from the largest `k` observations:
+/// `α̂ = k / Σ ln(X_(n−i+1) / X_(n−k))`.
+///
+/// `tail_fraction` picks `k = ⌈fraction · n⌉` (a typical choice is 0.05);
+/// returns `None` when the tail is degenerate (fewer than 2 distinct
+/// values).
+///
+/// ```
+/// use trilist_model::hill_estimator;
+/// // a constant tail is not estimable
+/// assert!(hill_estimator(&[5; 1000], 0.05).is_none());
+/// ```
+pub fn hill_estimator(degrees: &[u32], tail_fraction: f64) -> Option<f64> {
+    assert!(tail_fraction > 0.0 && tail_fraction <= 1.0);
+    let mut sorted: Vec<u32> = degrees.iter().copied().filter(|&d| d > 0).collect();
+    if sorted.len() < 10 {
+        return None;
+    }
+    sorted.sort_unstable();
+    let k = ((sorted.len() as f64 * tail_fraction).ceil() as usize).clamp(2, sorted.len() - 1);
+    let threshold = sorted[sorted.len() - 1 - k] as f64;
+    if threshold <= 0.0 {
+        return None;
+    }
+    let sum: f64 = sorted[sorted.len() - k..]
+        .iter()
+        .map(|&x| (x as f64 / threshold).ln())
+        .sum();
+    if sum <= 0.0 {
+        None
+    } else {
+        Some(k as f64 / sum)
+    }
+}
+
+/// Profile-likelihood MLE of the Lomax parameters `(α, β)` for the
+/// continuous Pareto `F(x) = 1 − (1 + x/β)^{−α}` underlying the
+/// discretized degrees. For fixed `β`, the MLE of `α` is
+/// `n / Σ ln(1 + x_i/β)`; the profile over `β` is maximized by
+/// golden-section search on `[0.01·x̄, 100·x̄]`.
+pub fn lomax_mle(degrees: &[u32]) -> Option<(f64, f64)> {
+    // continuity correction: degree k represents the continuous draw in
+    // (k−1, k] (§7.1 rounds up), so fit against the interval midpoints
+    let data: Vec<f64> =
+        degrees.iter().filter(|&&d| d > 0).map(|&d| d as f64 - 0.5).collect();
+    let n = data.len();
+    if n < 10 {
+        return None;
+    }
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let alpha_at = |beta: f64| -> f64 {
+        let s: f64 = data.iter().map(|&x| (1.0 + x / beta).ln()).sum();
+        n as f64 / s
+    };
+    let loglik = |beta: f64| -> f64 {
+        let alpha = alpha_at(beta);
+        let s: f64 = data.iter().map(|&x| (1.0 + x / beta).ln()).sum();
+        n as f64 * alpha.ln() - n as f64 * beta.ln() - (alpha + 1.0) * s
+    };
+    // golden-section maximization over log-β
+    let (mut lo, mut hi) = ((0.01 * mean).ln(), (100.0 * mean).ln());
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    for _ in 0..120 {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        if loglik(m1.exp()) < loglik(m2.exp()) {
+            lo = m1;
+        } else {
+            hi = m2;
+        }
+    }
+    let beta = ((lo + hi) / 2.0).exp();
+    Some((alpha_at(beta), beta))
+}
+
+/// The outcome of [`recommend`].
+#[derive(Clone, Copy, Debug)]
+pub struct Recommendation {
+    /// Hill tail-index estimate (`None` for degenerate tails).
+    pub alpha_hill: Option<f64>,
+    /// Lomax MLE `(α, β)`.
+    pub lomax: Option<(f64, f64)>,
+    /// Measured `w_n` under descending orientation.
+    pub wn: f64,
+    /// Recommended method.
+    pub method: Method,
+    /// Recommended orientation family.
+    pub family: OrderFamily,
+    /// The asymptotic regime at the estimated `α`, if estimable.
+    pub winner: Option<AsymptoticWinner>,
+}
+
+/// Recommends a listing strategy for `graph` given the machine's
+/// elementary-operation speed ratio (scanning / hashing, e.g. Table 3's
+/// 95). The rule is the paper's: run SEI (E1 + θ_D) iff its extra
+/// operations (`w_n`) cost less than its speed advantage; otherwise run
+/// T1 + θ_D.
+pub fn recommend(graph: &Graph, speed_ratio: f64) -> Recommendation {
+    let degrees = graph.degrees();
+    let alpha_hill = hill_estimator(&degrees, 0.05);
+    let lomax = lomax_mle(&degrees);
+    // measure w_n under the descending orientation (deterministic)
+    let relabeling = trilist_order::Relabeling::from_positions(
+        &degrees,
+        &trilist_order::descending(graph.n()),
+    );
+    let dg = DirectedGraph::orient(graph, &relabeling);
+    let wn = wn_of_graph(&dg);
+    let (method, family) = if sei_wins(wn, speed_ratio) {
+        (Method::E1, OrderFamily::Descending)
+    } else {
+        (Method::T1, OrderFamily::Descending)
+    };
+    let winner = alpha_hill.map(asymptotic_winner);
+    Recommendation { alpha_hill, lomax, wn, method, family, winner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated};
+    use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+
+    fn pareto_degrees(alpha: f64, n: usize, t: u64, seed: u64) -> Vec<u32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dist = Truncated::new(DiscretePareto::paper_beta(alpha), t);
+        sample_degree_sequence(&dist, n, &mut rng).0.as_slice().to_vec()
+    }
+
+    #[test]
+    fn hill_recovers_alpha_roughly() {
+        // untruncated-ish tail (large t) so Hill sees a clean power law
+        for &alpha in &[1.5, 2.0] {
+            let d = pareto_degrees(alpha, 200_000, 5_000_000, 3);
+            let est = hill_estimator(&d, 0.01).expect("estimable");
+            assert!((est - alpha).abs() < 0.3, "alpha={alpha} est={est}");
+        }
+    }
+
+    #[test]
+    fn lomax_mle_recovers_parameters() {
+        let alpha = 1.7;
+        let d = pareto_degrees(alpha, 200_000, 10_000_000, 5);
+        let (a, b) = lomax_mle(&d).expect("estimable");
+        assert!((a - alpha).abs() < 0.15, "alpha est {a}");
+        // β = 30(α−1) = 21; the discretization round-up biases β upward a
+        // little
+        assert!((b - 21.0).abs() < 6.0, "beta est {b}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(hill_estimator(&[5; 8], 0.1).is_none());
+        assert!(hill_estimator(&[3; 1000], 0.05).is_none()); // constant tail
+        assert!(lomax_mle(&[1, 2]).is_none());
+    }
+
+    #[test]
+    fn recommendation_follows_speed_ratio() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let dist = Truncated::new(DiscretePareto::paper_beta(1.7), 60);
+        let (seq, _) = sample_degree_sequence(&dist, 3_000, &mut rng);
+        let g = ResidualSampler.generate(&seq, &mut rng).graph;
+        // SEI's op overhead is ~3x; with a 95x speed edge it wins
+        let fast_scan = recommend(&g, 95.0);
+        assert_eq!(fast_scan.method, Method::E1);
+        // with no speed edge the vertex iterator wins
+        let no_edge = recommend(&g, 1.0);
+        assert_eq!(no_edge.method, Method::T1);
+        assert_eq!(no_edge.family, OrderFamily::Descending);
+        assert!(fast_scan.wn > 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The shape functions of the unified cost model (Proposition 4, Table 4).
+//!
+//! All four fundamental methods (and, through the equivalence classes of
+//! §2, all 18) obey
+//! `E[c_n(M, θ_n) | D_n] ≈ (1/n) Σ g(d_i(θ_n)) h(q_i(θ_n))`
+//! with `g(x) = x² − x` and a method-specific `h`:
+//!
+//! | T1 | T2 | E1 | E4 |
+//! |---|---|---|---|
+//! | `x²/2` | `x(1−x)` | `x(2−x)/2` | `(x²+(1−x)²)/2` |
+//!
+//! plus the mirror/sum shapes implied by the cost classes: T3 is `(1−x)²/2`
+//! and E3 (= T3 + T2) is `(1−x²)/2`.
+
+use trilist_core::Method;
+
+/// The distinct `h(x)` shapes among the 18 methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// `x²/2` — T1, T4; LEI lookups of L2, L6.
+    T1,
+    /// `x(1−x)` — T2, T5; L1, L3.
+    T2,
+    /// `(1−x)²/2` — T3, T6; L4, L5.
+    T3,
+    /// `x(2−x)/2` — E1 and E2 (T1 + T2).
+    E1,
+    /// `(1−x²)/2` — E3 and E5 (T3 + T2).
+    E3,
+    /// `(x² + (1−x)²)/2` — E4 and E6 (T1 + T3).
+    E4,
+}
+
+impl CostClass {
+    /// All six shapes.
+    pub const ALL: [CostClass; 6] =
+        [CostClass::T1, CostClass::T2, CostClass::T3, CostClass::E1, CostClass::E3, CostClass::E4];
+
+    /// The cost class of any of the 18 methods (LEI classes count lookups
+    /// only; the `m`-insertion build cost is a separate constant).
+    pub fn of(method: Method) -> CostClass {
+        use Method::*;
+        match method {
+            T1 | T4 | L2 | L6 => CostClass::T1,
+            T2 | T5 | L1 | L3 => CostClass::T2,
+            T3 | T6 | L4 | L5 => CostClass::T3,
+            E1 | E2 => CostClass::E1,
+            E3 | E5 => CostClass::E3,
+            E4 | E6 => CostClass::E4,
+        }
+    }
+
+    /// `h(x)` on `[0, 1]`.
+    pub fn h(&self, x: f64) -> f64 {
+        match self {
+            CostClass::T1 => x * x / 2.0,
+            CostClass::T2 => x * (1.0 - x),
+            CostClass::T3 => (1.0 - x) * (1.0 - x) / 2.0,
+            CostClass::E1 => x * (2.0 - x) / 2.0,
+            CostClass::E3 => (1.0 - x * x) / 2.0,
+            CostClass::E4 => (x * x + (1.0 - x) * (1.0 - x)) / 2.0,
+        }
+    }
+
+    /// `E[h(U)]` for uniform `U` — the random-orientation constant of
+    /// eq. (31): `1/6` for vertex-iterator shapes, `1/3` for SEI shapes.
+    pub fn expected_h_uniform(&self) -> f64 {
+        match self {
+            CostClass::T1 | CostClass::T2 | CostClass::T3 => 1.0 / 6.0,
+            CostClass::E1 | CostClass::E3 | CostClass::E4 => 1.0 / 3.0,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CostClass::T1 => "T1",
+            CostClass::T2 => "T2",
+            CostClass::T3 => "T3",
+            CostClass::E1 => "E1",
+            CostClass::E3 => "E3",
+            CostClass::E4 => "E4",
+        }
+    }
+}
+
+/// `g(x) = x² − x`, the quadratic degree factor of Proposition 4.
+#[inline]
+pub fn g(x: f64) -> f64 {
+    x * x - x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values() {
+        assert_eq!(CostClass::T1.h(1.0), 0.5);
+        assert_eq!(CostClass::T2.h(0.5), 0.25);
+        assert_eq!(CostClass::E1.h(1.0), 0.5);
+        assert_eq!(CostClass::E4.h(0.0), 0.5);
+        assert_eq!(CostClass::E4.h(0.5), 0.25);
+        assert_eq!(CostClass::T3.h(1.0), 0.0);
+        assert_eq!(CostClass::E3.h(1.0), 0.0);
+    }
+
+    #[test]
+    fn sei_shapes_are_sums_of_vertex_shapes() {
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            let t1 = CostClass::T1.h(x);
+            let t2 = CostClass::T2.h(x);
+            let t3 = CostClass::T3.h(x);
+            assert!((CostClass::E1.h(x) - (t1 + t2)).abs() < 1e-12);
+            assert!((CostClass::E3.h(x) - (t3 + t2)).abs() < 1e-12);
+            assert!((CostClass::E4.h(x) - (t1 + t3)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn t2_and_e4_are_symmetric_about_half() {
+        for i in 0..=10 {
+            let x = i as f64 / 20.0;
+            assert!((CostClass::T2.h(0.5 + x) - CostClass::T2.h(0.5 - x)).abs() < 1e-12);
+            assert!((CostClass::E4.h(0.5 + x) - CostClass::E4.h(0.5 - x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_expectations_match_simpson() {
+        for class in CostClass::ALL {
+            let panels = 10_000;
+            let num: f64 = (0..panels)
+                .map(|i| class.h((i as f64 + 0.5) / panels as f64))
+                .sum::<f64>()
+                / panels as f64;
+            assert!(
+                (num - class.expected_h_uniform()).abs() < 1e-6,
+                "{}: {num} vs {}",
+                class.name(),
+                class.expected_h_uniform()
+            );
+        }
+    }
+
+    #[test]
+    fn class_of_all_methods() {
+        use Method::*;
+        assert_eq!(CostClass::of(T1), CostClass::T1);
+        assert_eq!(CostClass::of(T4), CostClass::T1);
+        assert_eq!(CostClass::of(L2), CostClass::T1);
+        assert_eq!(CostClass::of(L1), CostClass::T2);
+        assert_eq!(CostClass::of(E2), CostClass::E1);
+        assert_eq!(CostClass::of(E5), CostClass::E3);
+        assert_eq!(CostClass::of(E6), CostClass::E4);
+        assert_eq!(CostClass::of(L5), CostClass::T3);
+    }
+
+    #[test]
+    fn g_function() {
+        assert_eq!(g(0.0), 0.0);
+        assert_eq!(g(1.0), 0.0);
+        assert_eq!(g(3.0), 6.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Asymptotic limits of cost as `n → ∞` (§4.2, §5, §6.3).
+//!
+//! For an admissible permutation sequence the expected per-node cost
+//! converges to `E[g(D) h(ξ(J(D)))]` (Theorem 2), independent of the
+//! truncation schedule. Under Pareto `F` the limit is finite iff `α`
+//! exceeds a threshold determined by how fast `E[h(ξ(u))]` vanishes as
+//! `u → 1`:
+//!
+//! integrand tail `x² · x^{−α−1} · x^{−k(α−1)}` is integrable iff
+//! `α > (2 + k)/(1 + k)`, where `k` is the vanishing order. This yields
+//! the paper's regimes: `α > 4/3` for T1+θ_D, `α > 1.5` for T2 (θ_A/θ_D/RR)
+//! and E1+θ_D, and `α > 2` for everything whose `E[h(ξ(1))]` stays positive
+//! (ascending T1, all CRR pairings, all uniform pairings, E4 everywhere).
+
+use crate::discrete::ModelSpec;
+use crate::hfun::CostClass;
+use crate::quick::quick_cost;
+use trilist_graph::dist::{DiscretePareto, Truncated};
+use trilist_order::LimitMap;
+
+/// Order of the zero of `h` at `x = 0` (0 means `h(0) > 0`).
+fn zero_order_at_0(class: CostClass) -> u32 {
+    match class {
+        CostClass::T1 => 2,
+        CostClass::T2 | CostClass::E1 => 1,
+        CostClass::T3 | CostClass::E3 | CostClass::E4 => 0,
+    }
+}
+
+/// Order of the zero of `h` at `x = 1` (0 means `h(1) > 0`).
+fn zero_order_at_1(class: CostClass) -> u32 {
+    match class {
+        CostClass::T3 => 2,
+        CostClass::T2 | CostClass::E3 => 1,
+        CostClass::T1 | CostClass::E1 | CostClass::E4 => 0,
+    }
+}
+
+/// Vanishing order `k` of `E[h(ξ(u))]` as `u → 1`.
+fn vanishing_order(class: CostClass, map: LimitMap) -> u32 {
+    match map {
+        // ξ(u) = u → 1
+        LimitMap::Ascending => zero_order_at_1(class),
+        // ξ(u) = 1 − u → 0
+        LimitMap::Descending => zero_order_at_0(class),
+        // ξ(u) ∈ {(1−u)/2 → 0, (1+u)/2 → 1}: the slower-vanishing branch
+        // dominates the average
+        LimitMap::RoundRobin => zero_order_at_0(class).min(zero_order_at_1(class)),
+        // ξ(u) → 1/2 where every h is positive
+        LimitMap::ComplementaryRoundRobin => 0,
+        // E[h(U)] is a positive constant
+        LimitMap::Uniform => 0,
+    }
+}
+
+/// The Pareto tail index below (or at) which the limiting cost is infinite,
+/// assuming a weight with `w(x)/x → const` (both paper weights qualify in
+/// the limit: `w₂`'s cap `√m → ∞`).
+///
+/// ```
+/// use trilist_model::{finiteness_threshold, CostClass};
+/// use trilist_order::LimitMap;
+/// // the paper's headline regimes (§4.2, §6.3)
+/// assert_eq!(finiteness_threshold(CostClass::T1, LimitMap::Descending), 4.0 / 3.0);
+/// assert_eq!(finiteness_threshold(CostClass::E1, LimitMap::Descending), 1.5);
+/// assert_eq!(finiteness_threshold(CostClass::E4, LimitMap::ComplementaryRoundRobin), 2.0);
+/// ```
+pub fn finiteness_threshold(class: CostClass, map: LimitMap) -> f64 {
+    let k = vanishing_order(class, map) as f64;
+    (2.0 + k) / (1.0 + k)
+}
+
+/// Is the limiting cost finite for tail index `alpha`?
+pub fn is_finite(class: CostClass, map: LimitMap, alpha: f64) -> bool {
+    alpha > finiteness_threshold(class, map)
+}
+
+/// Numerically evaluates the `n → ∞` limit `E[g(D) h(ξ(J(D)))]` for a
+/// discretized Pareto, or `None` when it is infinite.
+///
+/// Uses Algorithm 2 with `t = 10¹⁴` and `ε = 10⁻⁵`, the point at which the
+/// paper's own Table 5 reports two-decimal convergence. Close to the
+/// finiteness threshold convergence in `t` slows down; pass a larger `t`
+/// via [`limiting_cost_at`] if needed.
+pub fn limiting_cost(pareto: &DiscretePareto, spec: &ModelSpec) -> Option<f64> {
+    if !is_finite(spec.class, spec.map, pareto.alpha) {
+        return None;
+    }
+    Some(limiting_cost_at(pareto, spec, 100_000_000_000_000, 1e-5))
+}
+
+/// The limit evaluated with explicit truncation `t` and jump parameter
+/// `eps` (see [`quick_cost`]).
+pub fn limiting_cost_at(pareto: &DiscretePareto, spec: &ModelSpec, t: u64, eps: f64) -> f64 {
+    quick_cost(&Truncated::new(*pareto, t), spec, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_thresholds() {
+        use CostClass::*;
+        use LimitMap::*;
+        // T1 + θ_D finite iff α > 4/3 (eq. 4 discussion)
+        assert!((finiteness_threshold(T1, Descending) - 4.0 / 3.0).abs() < 1e-12);
+        // T1 + θ_A finite iff α > 2 (§4.2)
+        assert_eq!(finiteness_threshold(T1, Ascending), 2.0);
+        // T2 finite iff α > 1.5 under both monotone permutations and RR
+        assert_eq!(finiteness_threshold(T2, Ascending), 1.5);
+        assert_eq!(finiteness_threshold(T2, Descending), 1.5);
+        assert_eq!(finiteness_threshold(T2, RoundRobin), 1.5);
+        // E1: α > 1.5 under θ_D (eq. 35), α > 2 under RR (eq. 36)
+        assert_eq!(finiteness_threshold(E1, Descending), 1.5);
+        assert_eq!(finiteness_threshold(E1, RoundRobin), 2.0);
+        // CRR with any method: α > 2 (§5.3)
+        for class in CostClass::ALL {
+            assert_eq!(finiteness_threshold(class, ComplementaryRoundRobin), 2.0);
+            assert_eq!(finiteness_threshold(class, Uniform), 2.0);
+        }
+        // mirror classes
+        assert!((finiteness_threshold(T3, Ascending) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(finiteness_threshold(E3, Ascending), 1.5);
+        // E4 everywhere: α > 2
+        for map in LimitMap::ALL {
+            assert_eq!(finiteness_threshold(E4, map), 2.0);
+        }
+    }
+
+    #[test]
+    fn table5_limit_value_for_alpha_1_5() {
+        // Table 5 (α = 1.5, β = 15, linear truncation): the discrete model
+        // converges to ≈ 356.28 by t = 10¹⁴ with ε = 10⁻⁵.
+        let p = DiscretePareto::paper_beta(1.5);
+        let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+        let limit = limiting_cost(&p, &spec).expect("α = 1.5 > 4/3");
+        assert!((limit - 356.28).abs() < 1.5, "limit {limit}");
+    }
+
+    #[test]
+    fn infinite_cases_return_none() {
+        let spec_t1d = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+        assert!(limiting_cost(&DiscretePareto::paper_beta(1.3), &spec_t1d).is_none());
+        let spec_t2rr = ModelSpec::new(CostClass::T2, LimitMap::RoundRobin);
+        assert!(limiting_cost(&DiscretePareto::paper_beta(1.45), &spec_t2rr).is_none());
+        let spec_e1rr = ModelSpec::new(CostClass::E1, LimitMap::RoundRobin);
+        assert!(limiting_cost(&DiscretePareto::paper_beta(1.9), &spec_e1rr).is_none());
+    }
+
+    #[test]
+    fn t1_beats_e1_in_the_gap_regime() {
+        // α ∈ (4/3, 1.5]: T1 + θ_D finite, E1 + θ_D infinite (§6.3)
+        let p = DiscretePareto::paper_beta(1.45);
+        assert!(limiting_cost(&p, &ModelSpec::new(CostClass::T1, LimitMap::Descending)).is_some());
+        assert!(limiting_cost(&p, &ModelSpec::new(CostClass::E1, LimitMap::Descending)).is_none());
+    }
+
+    #[test]
+    fn limit_matches_tables_6_to_8_infinity_rows() {
+        // Table 7/10 (α = 1.7): T2 + θ_D → 1307.6, T2 + RR → 770.4
+        let p = DiscretePareto::paper_beta(1.7);
+        let t2d = limiting_cost(&p, &ModelSpec::new(CostClass::T2, LimitMap::Descending)).unwrap();
+        assert!((t2d - 1_307.6).abs() / 1_307.6 < 0.01, "T2+D limit {t2d}");
+        let t2rr = limiting_cost(&p, &ModelSpec::new(CostClass::T2, LimitMap::RoundRobin)).unwrap();
+        assert!((t2rr - 770.4).abs() / 770.4 < 0.01, "T2+RR limit {t2rr}");
+    }
+}

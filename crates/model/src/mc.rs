@@ -1,0 +1,81 @@
+//! Monte-Carlo evaluation of the limiting cost functional — an
+//! implementation-independent cross-check of the deterministic models.
+//!
+//! Theorem 2 expresses every limit as `E[g(D) h(ξ(J(D)))]`. Sampling `D`
+//! from the (truncated) distribution, mapping it through the spread table,
+//! and sampling the random map `ξ` yields an unbiased estimator of the
+//! same quantity that [`crate::discrete_cost`] computes by summation. Used
+//! in tests to guard both implementations against a shared family of bugs
+//! (they share only `J` and `h`).
+
+use crate::discrete::ModelSpec;
+use crate::hfun::g;
+use crate::spread::SpreadTable;
+use rand::Rng;
+use trilist_graph::dist::DegreeModel;
+
+/// Unbiased Monte-Carlo estimate of `E[g(D) h(ξ(J(D)))]` with `samples`
+/// draws. Returns `(estimate, standard_error)`.
+pub fn mc_cost<D: DegreeModel, R: Rng + ?Sized>(
+    model: &D,
+    spec: &ModelSpec,
+    samples: usize,
+    rng: &mut R,
+) -> (f64, f64) {
+    assert!(samples >= 2);
+    let table = SpreadTable::new(model, spec.weight);
+    let h = |x: f64| spec.class.h(x);
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for _ in 0..samples {
+        let d = model.quantile(rng.gen::<f64>());
+        let j = table.j(d);
+        let xi = spec.map.sample(j, rng);
+        let v = g(d as f64) * h(xi);
+        sum += v;
+        sum_sq += v * v;
+    }
+    let mean = sum / samples as f64;
+    let var = (sum_sq / samples as f64 - mean * mean).max(0.0);
+    (mean, (var / samples as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::discrete_cost;
+    use crate::hfun::CostClass;
+    use rand::SeedableRng;
+    use trilist_graph::dist::{DiscretePareto, Truncated};
+    use trilist_order::LimitMap;
+
+    #[test]
+    fn mc_matches_discrete_model_within_error_bars() {
+        let dist = Truncated::new(DiscretePareto::paper_beta(2.1), 2_000);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for class in [CostClass::T1, CostClass::T2, CostClass::E4] {
+            for map in [LimitMap::Descending, LimitMap::RoundRobin, LimitMap::Uniform] {
+                let spec = ModelSpec::new(class, map);
+                let exact = discrete_cost(&dist, &spec);
+                let (mc, sem) = mc_cost(&dist, &spec, 400_000, &mut rng);
+                let tolerance = 5.0 * sem + 1e-9;
+                assert!(
+                    (mc - exact).abs() < tolerance,
+                    "{}/{:?}: mc {mc} ± {sem} vs exact {exact}",
+                    class.name(),
+                    map
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sem_shrinks_with_samples() {
+        let dist = Truncated::new(DiscretePareto::paper_beta(2.5), 500);
+        let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (_, sem_small) = mc_cost(&dist, &spec, 2_000, &mut rng);
+        let (_, sem_big) = mc_cost(&dist, &spec, 200_000, &mut rng);
+        assert!(sem_big < sem_small / 5.0, "{sem_big} vs {sem_small}");
+    }
+}

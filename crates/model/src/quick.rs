@@ -1,0 +1,169 @@
+//! Algorithm 2: jump-compressed evaluation of the discrete model (§7.1).
+//!
+//! Eq. (50) is linear in `t_n`, which is hopeless for estimating limits
+//! under linear truncation (Table 5 extrapolates four *months* for
+//! `t_n = 10¹⁴`). Algorithm 2 compresses all summands in each geometric
+//! interval `[i, (1+ε)i]` into one term evaluated at the left endpoint,
+//! bringing the runtime down to `O((1 + log(ε t_n))/ε)`. Setting
+//! `ε = 1/t_n` recovers eq. (50) exactly; larger `ε` trades accuracy for
+//! speed (the paper uses `ε = 10⁻⁵` for two-decimal agreement).
+//!
+//! Note: the paper's pseudocode accumulates `cost += w(i)·h(ξ(J))·p`; the
+//! factor must be `g(i)` for the algorithm to compute eq. (50) (and its
+//! own Table 5 confirms this — the `ε = 1/t_n` column equals the exact
+//! model). We use `g(i)`.
+
+use crate::discrete::ModelSpec;
+use crate::hfun::g;
+use trilist_graph::dist::DegreeModel;
+
+/// Evaluates eq. (50) with geometric jump compression.
+///
+/// `eps` in `[1/t_n, 1)`: `1/t_n` is exact, larger is faster and
+/// approximate.
+///
+/// ```
+/// use trilist_graph::dist::{DiscretePareto, Truncated};
+/// use trilist_model::{quick_cost, CostClass, ModelSpec};
+/// use trilist_order::LimitMap;
+/// // Table 5's t = 10^14 cell: ≈ 356.28, in milliseconds
+/// let dist = Truncated::new(DiscretePareto::paper_beta(1.5), 100_000_000_000_000);
+/// let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+/// let cost = quick_cost(&dist, &spec, 1e-5);
+/// assert!((cost - 356.28).abs() < 1.0);
+/// ```
+pub fn quick_cost<D: DegreeModel>(model: &D, spec: &ModelSpec, eps: f64) -> f64 {
+    let t = model.support_max().expect("quick_cost requires a truncated model");
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+    let h = |x: f64| spec.class.h(x);
+
+    // block mass via survival differences: p([i, j]) = S(i−1) − S(j)
+    let block_mass = |i: u64, j: u64| (model.sf(i - 1) - model.sf(j.min(t))).max(0.0);
+
+    // pass 1: E[w(D_n)] over the same blocks (so that ε = 1/t_n is exact)
+    let mut e_w = 0.0;
+    let mut i = 1u64;
+    while i <= t {
+        let jump = ((eps * i as f64).ceil() as u64).max(1);
+        let hi = (i + jump - 1).min(t);
+        e_w += spec.weight.w(i as f64) * block_mass(i, hi);
+        i += jump;
+    }
+    if e_w <= 0.0 {
+        return 0.0;
+    }
+
+    // pass 2: running spread + cost
+    let mut j_acc = 0.0;
+    let mut cost = 0.0;
+    let mut i = 1u64;
+    while i <= t {
+        let jump = ((eps * i as f64).ceil() as u64).max(1);
+        let hi = (i + jump - 1).min(t);
+        let p = block_mass(i, hi);
+        if p > 0.0 {
+            j_acc += spec.weight.w(i as f64) * p / e_w;
+            let j = j_acc.min(1.0);
+            cost += g(i as f64) * spec.map.expect_h(j, h) * p;
+        }
+        i += jump;
+    }
+    cost
+}
+
+/// Number of blocks Algorithm 2 visits for a given `t_n` and `ε` — the
+/// `O((1 + log(ε t_n))/ε)` complexity, exposed for the Table 5 timing
+/// reproduction.
+pub fn block_count(t: u64, eps: f64) -> u64 {
+    let mut count = 0u64;
+    let mut i = 1u64;
+    while i <= t {
+        let jump = ((eps * i as f64).ceil() as u64).max(1);
+        count += 1;
+        i += jump;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::discrete_cost;
+    use crate::hfun::CostClass;
+    use trilist_graph::dist::{DiscretePareto, Truncated};
+    use trilist_order::LimitMap;
+
+    fn pareto(alpha: f64, t: u64) -> Truncated<DiscretePareto> {
+        Truncated::new(DiscretePareto::paper_beta(alpha), t)
+    }
+
+    #[test]
+    fn exact_when_eps_is_one_over_t() {
+        let t = 2_000u64;
+        let dist = pareto(1.5, t);
+        for class in [CostClass::T1, CostClass::T2, CostClass::E4] {
+            for map in [LimitMap::Descending, LimitMap::RoundRobin] {
+                let spec = ModelSpec::new(class, map);
+                let exact = discrete_cost(&dist, &spec);
+                let quick = quick_cost(&dist, &spec, 1.0 / t as f64);
+                assert!(
+                    (exact - quick).abs() < 1e-9 * exact.max(1.0),
+                    "{}/{:?}: {exact} vs {quick}",
+                    class.name(),
+                    map
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_eps_close_to_exact() {
+        let t = 100_000u64;
+        let dist = pareto(1.5, t);
+        let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+        let exact = discrete_cost(&dist, &spec);
+        let quick = quick_cost(&dist, &spec, 1e-4);
+        assert!((exact - quick).abs() / exact < 1e-3, "{exact} vs {quick}");
+    }
+
+    #[test]
+    fn handles_huge_t_quickly() {
+        // t = 10^14 like Table 5's tail; must finish instantly
+        let t = 100_000_000_000_000u64;
+        let dist = pareto(1.5, t);
+        let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+        let start = std::time::Instant::now();
+        let cost = quick_cost(&dist, &spec, 1e-5);
+        assert!(start.elapsed().as_secs_f64() < 5.0);
+        // α = 1.5 > 4/3: T1 + θ_D converges; the paper's Table 5 reports
+        // ≈ 356 for exactly these parameters (β = 15, ε = 10⁻⁵)
+        assert!(cost > 300.0 && cost < 400.0, "cost {cost}");
+    }
+
+    #[test]
+    fn block_count_is_logarithmic() {
+        let small = block_count(1_000, 1e-3);
+        let big = block_count(1_000_000_000, 1e-3);
+        // growing t by 10^6 adds only ~ log(10^6)/ε ≈ 14k blocks per decade
+        assert!(big < small + 200_000, "small {small} big {big}");
+    }
+
+    #[test]
+    fn monotone_in_t_for_infinite_limit() {
+        // α = 1.2 < 4/3: T1 + θ_D diverges, so cost grows with t
+        let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+        let c1 = quick_cost(&pareto(1.2, 10_000), &spec, 1e-4);
+        let c2 = quick_cost(&pareto(1.2, 10_000_000), &spec, 1e-4);
+        let c3 = quick_cost(&pareto(1.2, 10_000_000_000), &spec, 1e-4);
+        assert!(c1 < c2 && c2 < c3, "{c1} {c2} {c3}");
+    }
+
+    #[test]
+    fn converges_in_t_for_finite_limit() {
+        // α = 1.7 > 1.5: T2 + θ_RR converges
+        let spec = ModelSpec::new(CostClass::T2, LimitMap::RoundRobin);
+        let c1 = quick_cost(&pareto(1.7, 1_000_000_000_000), &spec, 1e-5);
+        let c2 = quick_cost(&pareto(1.7, 100_000_000_000_000), &spec, 1e-5);
+        assert!((c1 - c2).abs() / c1 < 1e-3, "{c1} vs {c2}");
+    }
+}

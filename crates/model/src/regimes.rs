@@ -1,0 +1,124 @@
+//! The operating regimes of triangle listing in Pareto graphs (§4.2,
+//! §6.3): which method/orientation pairs have finite asymptotic cost at a
+//! given tail index, and who wins where.
+
+use crate::hfun::CostClass;
+use crate::limits::is_finite;
+use trilist_order::LimitMap;
+
+/// The four regimes of vertex-iterator behaviour identified in §4.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VertexRegime {
+    /// `α ≤ 4/3`: every vertex iterator diverges under every orientation.
+    AllInfinite,
+    /// `α ∈ (4/3, 3/2]`: only T1 + θ_D (and the mirror T3 + θ_A) converge.
+    OnlyT1Descending,
+    /// `α ∈ (3/2, 2]`: T2 (monotone or RR) joins; ascending T1 still
+    /// diverges.
+    T1AndT2,
+    /// `α > 2`: everything converges, even without orientation.
+    AllFinite,
+}
+
+/// Classifies `alpha` into the §4.2 regime.
+pub fn vertex_regime(alpha: f64) -> VertexRegime {
+    if alpha <= 4.0 / 3.0 {
+        VertexRegime::AllInfinite
+    } else if alpha <= 1.5 {
+        VertexRegime::OnlyT1Descending
+    } else if alpha <= 2.0 {
+        VertexRegime::T1AndT2
+    } else {
+        VertexRegime::AllFinite
+    }
+}
+
+/// All `(class, map)` pairs with finite limiting cost at `alpha`, over the
+/// six cost classes and five admissible maps.
+pub fn finite_pairs(alpha: f64) -> Vec<(CostClass, LimitMap)> {
+    let mut out = Vec::new();
+    for class in CostClass::ALL {
+        for map in LimitMap::ALL {
+            if is_finite(class, map, alpha) {
+                out.push((class, map));
+            }
+        }
+    }
+    out
+}
+
+/// The asymptotic winner between the best vertex iterator and the best
+/// scanning edge iterator at `alpha`, per §6.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AsymptoticWinner {
+    /// T1 + θ_D is finite while every SEI diverges: T1 wins outright.
+    VertexIterator,
+    /// Both families converge; the winner depends on hardware speed
+    /// (Table 3) and the graph (the `w_n` ratio of §2.4).
+    HardwareDependent,
+    /// Both families diverge; T1 still grows strictly slower for
+    /// `α ∈ [1, 4/3]` (eqs. 47–48), equally fast below `α = 1`.
+    BothInfinite {
+        /// Whether T1's divergence rate is strictly slower than E1's.
+        t1_slower: bool,
+    },
+}
+
+/// Decides the §6.3 comparison at `alpha`.
+pub fn asymptotic_winner(alpha: f64) -> AsymptoticWinner {
+    let t1_finite = is_finite(CostClass::T1, LimitMap::Descending, alpha);
+    let e1_finite = is_finite(CostClass::E1, LimitMap::Descending, alpha);
+    match (t1_finite, e1_finite) {
+        (true, false) => AsymptoticWinner::VertexIterator,
+        (true, true) => AsymptoticWinner::HardwareDependent,
+        (false, false) => AsymptoticWinner::BothInfinite { t1_slower: alpha >= 1.0 },
+        (false, true) => unreachable!("E1 finite implies T1 finite (E1 = T1 + T2)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regime_boundaries() {
+        assert_eq!(vertex_regime(1.2), VertexRegime::AllInfinite);
+        assert_eq!(vertex_regime(4.0 / 3.0), VertexRegime::AllInfinite);
+        assert_eq!(vertex_regime(1.4), VertexRegime::OnlyT1Descending);
+        assert_eq!(vertex_regime(1.5), VertexRegime::OnlyT1Descending);
+        assert_eq!(vertex_regime(1.8), VertexRegime::T1AndT2);
+        assert_eq!(vertex_regime(2.0), VertexRegime::T1AndT2);
+        assert_eq!(vertex_regime(2.5), VertexRegime::AllFinite);
+    }
+
+    #[test]
+    fn finite_pairs_grow_with_alpha() {
+        let a = finite_pairs(1.4);
+        let b = finite_pairs(1.8);
+        let c = finite_pairs(2.5);
+        assert!(a.len() < b.len());
+        assert!(b.len() < c.len());
+        // α > 2: all 30 pairs are finite
+        assert_eq!(c.len(), 30);
+        // α = 1.4: exactly the order-2-vanishing pairs (T1+desc, T3+asc)
+        assert_eq!(a, vec![
+            (CostClass::T1, LimitMap::Descending),
+            (CostClass::T3, LimitMap::Ascending),
+        ]);
+    }
+
+    #[test]
+    fn winner_by_regime() {
+        assert_eq!(asymptotic_winner(1.4), AsymptoticWinner::VertexIterator);
+        assert_eq!(asymptotic_winner(1.5), AsymptoticWinner::VertexIterator);
+        assert_eq!(asymptotic_winner(1.7), AsymptoticWinner::HardwareDependent);
+        assert_eq!(
+            asymptotic_winner(1.2),
+            AsymptoticWinner::BothInfinite { t1_slower: true }
+        );
+        assert_eq!(
+            asymptotic_winner(0.8),
+            AsymptoticWinner::BothInfinite { t1_slower: false }
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Scaling rates of cost below the finiteness thresholds (§6.3,
+//! eqs. 46–48).
+//!
+//! When `α` drops below a method's threshold, the per-node cost diverges at
+//! a rate set by the spread tail (eq. 46). Under root truncation
+//! (`t_n = √n`) the paper derives `E[c_n(T1, θ_D)|D_n] / a_n → 1` with
+//! `a_n` from eq. (47) and `E[c_n(E1, θ_D)|D_n] / b_n → 1` with `b_n` from
+//! eq. (48): T1 grows strictly slower for all `α ∈ [1, 1.5)`, while both
+//! share the `n^{1−α/2}` rate for `α ∈ (0, 1)`.
+
+/// Spread tail `1 − J_n(x)` (eq. 46), up to the asymptotic constant.
+pub fn spread_tail(alpha: f64, x: f64, t_n: f64) -> f64 {
+    assert!(alpha > 0.0 && x > 0.0 && t_n > 1.0);
+    if alpha > 1.0 {
+        x.powf(1.0 - alpha)
+    } else if (alpha - 1.0).abs() < 1e-12 {
+        1.0 - x.ln() / t_n.ln()
+    } else {
+        1.0 - x.powf(1.0 - alpha) / t_n.powf(1.0 - alpha)
+    }
+}
+
+/// `a_n` (eq. 47): the growth rate of `E[c_n(T1, θ_D)|D_n]` under root
+/// truncation for `α ≤ 4/3`.
+pub fn a_n(alpha: f64, n: f64) -> f64 {
+    assert!(alpha > 0.0 && n > 1.0);
+    if (alpha - 4.0 / 3.0).abs() < 1e-12 {
+        n.ln()
+    } else if alpha > 1.0 && alpha < 4.0 / 3.0 {
+        n.powf(2.0 - 1.5 * alpha)
+    } else if (alpha - 1.0).abs() < 1e-12 {
+        n.sqrt() / n.ln().powi(2)
+    } else if alpha < 1.0 {
+        n.powf(1.0 - alpha / 2.0)
+    } else {
+        panic!("a_n is defined for alpha <= 4/3 (got {alpha})")
+    }
+}
+
+/// `b_n` (eq. 48): the growth rate of `E[c_n(E1, θ_D)|D_n]` under root
+/// truncation for `α ≤ 1.5`.
+pub fn b_n(alpha: f64, n: f64) -> f64 {
+    assert!(alpha > 0.0 && n > 1.0);
+    if (alpha - 1.5).abs() < 1e-12 {
+        n.ln()
+    } else if alpha > 1.0 && alpha < 1.5 {
+        n.powf(1.5 - alpha)
+    } else if (alpha - 1.0).abs() < 1e-12 {
+        n.sqrt() / n.ln()
+    } else if alpha < 1.0 {
+        n.powf(1.0 - alpha / 2.0)
+    } else {
+        panic!("b_n is defined for alpha <= 1.5 (got {alpha})")
+    }
+}
+
+/// The cost-growth exponent of T1 + θ_D under root truncation (the power
+/// of `n` in `a_n`; 0 at the threshold where growth is logarithmic).
+pub fn t1_growth_exponent(alpha: f64) -> f64 {
+    if alpha >= 4.0 / 3.0 {
+        0.0
+    } else if alpha > 1.0 {
+        2.0 - 1.5 * alpha
+    } else {
+        1.0 - alpha / 2.0
+    }
+}
+
+/// The cost-growth exponent of E1 + θ_D under root truncation.
+pub fn e1_growth_exponent(alpha: f64) -> f64 {
+    if alpha >= 1.5 {
+        0.0
+    } else if alpha > 1.0 {
+        1.5 - alpha
+    } else {
+        1.0 - alpha / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::ModelSpec;
+    use crate::hfun::CostClass;
+    use crate::quick::quick_cost;
+    use trilist_graph::dist::{DiscretePareto, Truncated};
+    use trilist_order::LimitMap;
+
+    #[test]
+    fn rates_at_threshold_are_logarithmic() {
+        assert!((a_n(4.0 / 3.0, 1e6) - 1e6f64.ln()).abs() < 1e-9);
+        assert!((b_n(1.5, 1e6) - 1e6f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t1_grows_slower_than_e1_between_1_and_1_5() {
+        for &alpha in &[1.05, 1.2, 1.33, 1.45] {
+            assert!(
+                t1_growth_exponent(alpha) < e1_growth_exponent(alpha),
+                "alpha={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_rate_below_one() {
+        for &alpha in &[0.3, 0.6, 0.9] {
+            assert!((t1_growth_exponent(alpha) - e1_growth_exponent(alpha)).abs() < 1e-12);
+            assert!((a_n(alpha, 1e8) - b_n(alpha, 1e8)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spread_tail_regimes() {
+        // α > 1: pure power law independent of t_n
+        assert!((spread_tail(1.5, 100.0, 1e6) - 0.1).abs() < 1e-12);
+        // α = 1: logarithmic interpolation, 0 at x = t_n
+        assert!(spread_tail(1.0, 1e6, 1e6).abs() < 1e-9);
+        assert!((spread_tail(1.0, 1e3, 1e6) - 0.5).abs() < 1e-9);
+        // α < 1: vanishes at x = t_n, ≈ 1 for small x
+        assert!(spread_tail(0.5, 1e6, 1e6).abs() < 1e-9);
+        assert!(spread_tail(0.5, 1.0, 1e6) > 0.99);
+    }
+
+    /// Empirical growth exponent of the model cost vs the predicted one:
+    /// fit the slope of log cost against log n across three decades of
+    /// root-truncated models.
+    fn fitted_exponent(alpha: f64, class: CostClass) -> f64 {
+        let p = DiscretePareto { alpha, beta: 6.0 };
+        let spec = ModelSpec::new(class, LimitMap::Descending);
+        let cost_at = |n: f64| {
+            let t = n.sqrt() as u64;
+            quick_cost(&Truncated::new(p, t), &spec, 1e-5).ln()
+        };
+        let (n1, n2) = (1e10, 1e14);
+        (cost_at(n2) - cost_at(n1)) / (n2.ln() - n1.ln())
+    }
+
+    #[test]
+    fn model_growth_matches_eq47_for_t1() {
+        for &alpha in &[1.1, 1.2] {
+            let got = fitted_exponent(alpha, CostClass::T1);
+            let want = t1_growth_exponent(alpha);
+            assert!((got - want).abs() < 0.05, "alpha={alpha}: got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn model_growth_matches_eq48_for_e1() {
+        for &alpha in &[1.1, 1.3] {
+            let got = fitted_exponent(alpha, CostClass::E1);
+            let want = e1_growth_exponent(alpha);
+            assert!((got - want).abs() < 0.05, "alpha={alpha}: got {got} want {want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a_n is defined")]
+    fn a_n_rejects_large_alpha() {
+        a_n(1.4, 1e6);
+    }
+}

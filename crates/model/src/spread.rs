@@ -1,0 +1,180 @@
+//! The spread distribution `J(x)` (§4.1, eqs. 18–19).
+//!
+//! `J(x) = (1/E[w(D)]) ∫₀ˣ w(y) dF(y)` is the limit CDF of the degree of a
+//! node picked in proportion to `w(D)` (Proposition 5) — for `w(x) = x`,
+//! the size-biased degree seen by a random edge endpoint, with the
+//! inspection-paradox bias towards large degrees. The limiting cost of
+//! every method/permutation pair is an expectation of `h` composed with a
+//! map of `J(D)` (Theorems 1–2).
+
+use crate::weight::WeightFn;
+use trilist_graph::dist::{DegreeModel, DiscretePareto};
+
+/// Discrete spread over a truncated degree model: precomputes the partial
+/// weighted sums so `J(k)` is O(1) per query after an O(t) build.
+#[derive(Clone, Debug)]
+pub struct SpreadTable {
+    /// `J(k)` for `k = 0..=t` (index by `k`).
+    cdf: Vec<f64>,
+    /// `E[w(D_n)]`, the normalizer.
+    weighted_mean: f64,
+}
+
+impl SpreadTable {
+    /// Builds the table for a truncated model. `O(t)` time and memory; use
+    /// the streaming computations in [`crate::discrete`] for very large `t`.
+    pub fn new<D: DegreeModel>(model: &D, weight: WeightFn) -> Self {
+        let t = model
+            .support_max()
+            .expect("SpreadTable requires a truncated model") as usize;
+        let mut cdf = Vec::with_capacity(t + 1);
+        cdf.push(0.0);
+        let mut acc = 0.0;
+        for k in 1..=t {
+            acc += weight.w(k as f64) * model.pmf(k as u64);
+            cdf.push(acc);
+        }
+        let weighted_mean = acc;
+        for v in &mut cdf {
+            *v /= weighted_mean;
+        }
+        SpreadTable { cdf, weighted_mean }
+    }
+
+    /// `J(k)`.
+    pub fn j(&self, k: u64) -> f64 {
+        let k = (k as usize).min(self.cdf.len() - 1);
+        self.cdf[k]
+    }
+
+    /// The normalizer `E[w(D_n)]`.
+    pub fn weighted_mean(&self) -> f64 {
+        self.weighted_mean
+    }
+
+    /// Largest supported degree.
+    pub fn t(&self) -> u64 {
+        (self.cdf.len() - 1) as u64
+    }
+}
+
+/// Closed-form continuous spread for Pareto `F*(x) = 1 − (1 + x/β)^{−α}`
+/// with `w(x) = x` (eq. 19):
+/// `J(x) = 1 − ((β + αx)/β) (1 + x/β)^{−α}`.
+///
+/// Requires `α > 1` (finite mean). The tail is Pareto-like with the heavier
+/// shape `α − 1`.
+pub fn pareto_spread(p: &DiscretePareto, x: f64) -> f64 {
+    assert!(p.alpha > 1.0, "spread requires finite E[D] (alpha > 1)");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    1.0 - (p.beta + p.alpha * x) / p.beta * (1.0 + x / p.beta).powf(-p.alpha)
+}
+
+/// Continuous spread of an exponential `F(x) = 1 − e^{−λx}` with
+/// `w(x) = x`: the Erlang(2) CDF `1 − (1 + λx)e^{−λx}` (§4.1).
+pub fn exponential_spread(lambda: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    1.0 - (1.0 + lambda * x) * (-lambda * x).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trilist_graph::dist::Truncated;
+
+    #[test]
+    fn spread_is_a_cdf() {
+        let dist = Truncated::new(DiscretePareto { alpha: 1.7, beta: 21.0 }, 1_000);
+        let table = SpreadTable::new(&dist, WeightFn::Identity);
+        assert_eq!(table.j(0), 0.0);
+        assert!((table.j(1_000) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for k in 0..=1_000 {
+            let j = table.j(k);
+            assert!(j >= prev);
+            prev = j;
+        }
+    }
+
+    #[test]
+    fn weighted_mean_matches_direct_sum() {
+        let dist = Truncated::new(DiscretePareto { alpha: 2.0, beta: 30.0 }, 500);
+        let table = SpreadTable::new(&dist, WeightFn::Identity);
+        let direct: f64 = (1..=500u64).map(|k| k as f64 * dist.pmf(k)).sum();
+        assert!((table.weighted_mean() - direct).abs() < 1e-9);
+        // w = identity → E[w(D)] = E[D]
+        assert!((table.weighted_mean() - dist.mean_exact()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spread_is_stochastically_larger_than_degree() {
+        // size-biasing shifts mass upward: J(k) <= F_n(k) for all k
+        let dist = Truncated::new(DiscretePareto { alpha: 1.5, beta: 15.0 }, 2_000);
+        let table = SpreadTable::new(&dist, WeightFn::Identity);
+        for k in 1..2_000u64 {
+            assert!(table.j(k) <= dist.cdf(k) + 1e-12, "k={k}");
+        }
+        assert!(table.j(100) < dist.cdf(100));
+    }
+
+    #[test]
+    fn pareto_closed_form_matches_numeric_integral() {
+        // J(x) = ∫₀ˣ y f(y) dy / E[D] with f the continuous Pareto density
+        let p = DiscretePareto { alpha: 1.8, beta: 24.0 };
+        let mean = p.mean_continuous();
+        for &x in &[5.0, 30.0, 150.0, 2_000.0] {
+            let steps = 400_000;
+            let dx = x / steps as f64;
+            let numeric: f64 = (0..steps)
+                .map(|i| {
+                    let y = (i as f64 + 0.5) * dx;
+                    y * p.pdf_continuous(y) * dx
+                })
+                .sum::<f64>()
+                / mean;
+            let closed = pareto_spread(&p, x);
+            assert!((numeric - closed).abs() < 1e-4, "x={x}: {numeric} vs {closed}");
+        }
+    }
+
+    #[test]
+    fn pareto_spread_tail_has_shape_alpha_minus_one() {
+        let p = DiscretePareto { alpha: 2.0, beta: 10.0 };
+        // 1 − J(x) ~ C x^{1−α}: the local slope of log(1−J) vs log x → 1 − α
+        let slope = |x: f64| {
+            let a = (1.0 - pareto_spread(&p, x)).ln();
+            let b = (1.0 - pareto_spread(&p, x * 1.01)).ln();
+            (b - a) / (1.01f64).ln()
+        };
+        assert!((slope(1e7) - (1.0 - p.alpha)).abs() < 0.01);
+    }
+
+    #[test]
+    fn exponential_spread_is_erlang2() {
+        // Erlang(2, λ) CDF at the mean 2/λ
+        let lambda = 0.5f64;
+        let x = 4.0f64;
+        let want = 1.0 - (1.0 + lambda * x) * (-lambda * x).exp();
+        assert!((exponential_spread(lambda, x) - want).abs() < 1e-12);
+        assert_eq!(exponential_spread(lambda, 0.0), 0.0);
+        assert!(exponential_spread(lambda, 1e3) > 0.999999);
+    }
+
+    #[test]
+    fn discrete_spread_approaches_continuous_for_large_beta() {
+        // with a smooth (large-β) Pareto the discretized spread is close to
+        // the continuous closed form
+        let p = DiscretePareto { alpha: 1.7, beta: 30.0 };
+        let dist = Truncated::new(p, 2_000_000);
+        let table = SpreadTable::new(&dist, WeightFn::Identity);
+        for &k in &[10u64, 50, 200, 1_000] {
+            let cont = pareto_spread(&p, k as f64);
+            let disc = table.j(k);
+            assert!((cont - disc).abs() < 0.02, "k={k}: {cont} vs {disc}");
+        }
+    }
+}

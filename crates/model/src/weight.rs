@@ -1,0 +1,86 @@
+//! Neighbor-selection weight functions `w(x)` (§3.2, §7.4).
+//!
+//! Eq. (12) generalizes the expected out-degree with a positive,
+//! non-decreasing weight applied to potential neighbors' degrees. The paper
+//! evaluates `w₁(x) = x` (the classical product model, eq. 10) and
+//! `w₂(x) = min(x, √m)` which curbs the duplicate-link over-count at
+//! high-degree nodes in unconstrained graphs (Table 11). Both share the
+//! same `n → ∞` limit.
+
+/// A weight `w(x)` applied to neighbor degrees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightFn {
+    /// `w₁(x) = x`.
+    Identity,
+    /// `w(x) = min(x, a)` for a constant cap `a > 0`; the paper's
+    /// `w₂(x) = min(x, √m)`.
+    Capped(f64),
+}
+
+impl WeightFn {
+    /// Evaluates `w(x)`.
+    #[inline]
+    pub fn w(&self, x: f64) -> f64 {
+        match *self {
+            WeightFn::Identity => x,
+            WeightFn::Capped(a) => x.min(a),
+        }
+    }
+
+    /// The paper's `w₂(x) = min(x, √m)` given the expected edge count
+    /// `m ≈ n·E[D_n]/2`.
+    pub fn w2(n: usize, mean_degree: f64) -> WeightFn {
+        WeightFn::Capped((n as f64 * mean_degree / 2.0).sqrt())
+    }
+
+    /// Whether `r(x) = g(x)/w(x) = (x² − x)/w(x)` is monotonically
+    /// increasing — the hypothesis of Corollaries 1–2 (true for both
+    /// paper weights).
+    pub fn r_is_increasing(&self) -> bool {
+        // (x² − x)/x = x − 1 increases; (x² − x)/min(x, a) increases too:
+        // below a it is x − 1, above a it is (x² − x)/a.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_weight() {
+        assert_eq!(WeightFn::Identity.w(7.0), 7.0);
+    }
+
+    #[test]
+    fn capped_weight() {
+        let w = WeightFn::Capped(10.0);
+        assert_eq!(w.w(3.0), 3.0);
+        assert_eq!(w.w(10.0), 10.0);
+        assert_eq!(w.w(1e9), 10.0);
+    }
+
+    #[test]
+    fn w2_uses_sqrt_m() {
+        let w = WeightFn::w2(10_000, 30.0);
+        // m = 150_000 → cap ≈ 387.3
+        match w {
+            WeightFn::Capped(a) => assert!((a - 150_000f64.sqrt()).abs() < 1e-9),
+            _ => panic!("expected capped"),
+        }
+    }
+
+    #[test]
+    fn r_monotonicity_numeric() {
+        for w in [WeightFn::Identity, WeightFn::Capped(25.0)] {
+            let mut prev = f64::NEG_INFINITY;
+            for i in 2..200 {
+                let x = i as f64;
+                let r = (x * x - x) / w.w(x);
+                assert!(r >= prev, "{w:?} at x={x}");
+                prev = r;
+            }
+            assert!(w.r_is_increasing());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The SEI-vs-hash tradeoff ratio `w_n` (§2.4).
+//!
+//! Scanning edge iterators execute more elementary operations than vertex
+//! iterators (Proposition 2) but each operation is far faster (Table 3:
+//! 1 801 vs 19 million nodes/sec on the paper's hardware). Defining `w_n`
+//! as the ratio of the *lowest* SEI cost to the lowest cost among the
+//! other two families, SEI has the better runtime iff `w_n` stays below
+//! the hardware speed ratio (95× in Table 3). For Pareto tails with
+//! `α ∈ (4/3, 1.5]` the limit of `w_n` is infinite — the one regime where
+//! the choice is settled by asymptotics alone (§6.3).
+
+use crate::discrete::ModelSpec;
+use crate::hfun::CostClass;
+use crate::limits::limiting_cost;
+use trilist_core::Method;
+use trilist_graph::dist::DiscretePareto;
+use trilist_order::{DirectedGraph, LimitMap};
+
+/// The measured `w_n` on a concrete oriented graph: lowest SEI operation
+/// count divided by the lowest vertex-iterator/LEI count.
+///
+/// Vertex iterators and LEI share both cost classes and probe speed
+/// (§2.3), so their minimum is the T1/T2/T3 minimum.
+pub fn wn_of_graph(g: &DirectedGraph) -> f64 {
+    let sei = [Method::E1, Method::E2, Method::E3, Method::E4, Method::E5, Method::E6]
+        .iter()
+        .map(|m| m.predicted_operations(g))
+        .min()
+        .expect("six SEI methods");
+    let vertex = [Method::T1, Method::T2, Method::T3]
+        .iter()
+        .map(|m| m.predicted_operations(g))
+        .min()
+        .expect("three vertex iterators");
+    if vertex == 0 {
+        return if sei == 0 { 1.0 } else { f64::INFINITY };
+    }
+    sei as f64 / vertex as f64
+}
+
+/// The limit of `w_n` as `n → ∞` for a Pareto degree distribution, with
+/// each family under its optimal orientation: `min(c(E1,ξ_D), c(E4,ξ_CRR))
+/// / min(c(T1,ξ_D), c(T2,ξ_RR))`. Returns `None` (i.e. `+∞`) when every
+/// SEI option diverges while a vertex iterator stays finite.
+pub fn wn_limit(pareto: &DiscretePareto) -> Option<f64> {
+    let best = |candidates: &[(CostClass, LimitMap)]| -> Option<f64> {
+        candidates
+            .iter()
+            .filter_map(|&(class, map)| limiting_cost(pareto, &ModelSpec::new(class, map)))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite costs"))
+    };
+    let vertex = best(&[
+        (CostClass::T1, LimitMap::Descending),
+        (CostClass::T2, LimitMap::RoundRobin),
+    ]);
+    let sei = best(&[
+        (CostClass::E1, LimitMap::Descending),
+        (CostClass::E4, LimitMap::ComplementaryRoundRobin),
+    ]);
+    match (sei, vertex) {
+        (Some(s), Some(v)) => Some(s / v),
+        // SEI infinite while a vertex iterator converges: w_n → ∞
+        (None, Some(_)) => None,
+        // both infinite: the ratio is governed by the growth rates of
+        // eqs. (47)-(48); report the rate ratio at a reference size
+        (None, None) | (Some(_), None) => None,
+    }
+}
+
+/// The decision of §2.4: does SEI have the better runtime, given the
+/// hardware's elementary-operation speed ratio (e.g. 95 from Table 3)?
+pub fn sei_wins(wn: f64, speed_ratio: f64) -> bool {
+    wn < speed_ratio
+}
+
+/// True when `α` falls in the `(4/3, 3/2]` gap where T1 beats every SEI
+/// method asymptotically regardless of hardware (§6.3).
+pub fn asymptotic_gap_regime(alpha: f64) -> bool {
+    alpha > 4.0 / 3.0 && alpha <= 1.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use trilist_graph::dist::{sample_degree_sequence, Truncated};
+    use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+    use trilist_order::OrderFamily;
+
+    #[test]
+    fn wn_on_graph_between_one_and_three() {
+        // with everything measured under one orientation, SEI ≥ the best
+        // vertex iterator (Prop. 2: E1 = T1 + T2) and ≤ T1+T2+T3 worst case
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let dist = Truncated::new(DiscretePareto::paper_beta(1.7), 44);
+        let (seq, _) = sample_degree_sequence(&dist, 2_000, &mut rng);
+        let g = ResidualSampler.generate(&seq, &mut rng).graph;
+        let dg = DirectedGraph::orient(&g, &OrderFamily::Descending.relabeling(&g, &mut rng));
+        let wn = wn_of_graph(&dg);
+        assert!(wn >= 1.0, "wn {wn}");
+        assert!(wn < 3.5, "wn {wn}");
+    }
+
+    #[test]
+    fn wn_limit_finite_above_1_5() {
+        let wn = wn_limit(&DiscretePareto::paper_beta(1.8)).expect("finite for alpha > 1.5");
+        assert!(wn > 1.0 && wn < 10.0, "wn {wn}");
+        // with Table 3's 95x speed gap, SEI wins comfortably
+        assert!(sei_wins(wn, 95.0));
+        assert!(!sei_wins(wn, 1.0));
+    }
+
+    #[test]
+    fn wn_limit_infinite_in_the_gap() {
+        // α ∈ (4/3, 1.5]: T1 finite, all SEI infinite → None
+        assert!(wn_limit(&DiscretePareto::paper_beta(1.45)).is_none());
+        assert!(asymptotic_gap_regime(1.45));
+        assert!(!asymptotic_gap_regime(1.6));
+        assert!(!asymptotic_gap_regime(1.3));
+    }
+
+    #[test]
+    fn empty_graph_wn_is_one() {
+        let g = trilist_graph::Graph::from_edges(3, &[]).unwrap();
+        let dg = DirectedGraph::orient(&g, &trilist_order::Relabeling::identity(3));
+        assert_eq!(wn_of_graph(&dg), 1.0);
+    }
+}

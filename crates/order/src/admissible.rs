@@ -1,0 +1,127 @@
+//! Numeric admissibility checking (Definition 5).
+//!
+//! A permutation sequence `{θ_n}` is admissible when the neighborhood-
+//! averaged kernel `K_n(v; u)` of eq. (27) converges weakly to a
+//! measure-preserving kernel. These helpers quantify how far a concrete
+//! permutation is from a candidate limit map and let tests demonstrate
+//! both convergence (the five built-in families) and the paper's
+//! counter-example: a family that alternates between `θ_A` (odd `n`) and
+//! `θ_D` (even `n`) has no limit.
+
+use crate::map::{empirical_kernel, LimitMap};
+use crate::perm::Permutation;
+
+/// Mean absolute deviation between the empirical kernel of `perm` and the
+/// kernel of `map`, averaged over a `grid × grid` lattice of `(u, v)`
+/// points (weak-convergence distance up to discretization).
+///
+/// `k` is the neighborhood half-width of eq. (27); pick `k(n) → ∞` with
+/// `k(n)/n → 0`, e.g. `n^(2/3)/2`.
+pub fn kernel_distance(perm: &Permutation, map: LimitMap, k: usize, grid: usize) -> f64 {
+    assert!(grid >= 2);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for ui in 0..grid {
+        let u = (ui as f64 + 0.5) / grid as f64;
+        for vi in 0..grid {
+            // offset the v-grid relative to the u-grid: weak convergence is
+            // pointwise only at continuity points of K(·; u), and the
+            // built-in kernels place their jumps on u-aligned points
+            let v = (vi as f64 + 0.37) / grid as f64;
+            total += (empirical_kernel(perm, v, u, k) - map.kernel(v, u)).abs();
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+/// The default `k(n) = ⌈n^0.6⌉ / 2` neighborhood width — grows without
+/// bound but with `k(n)/n → 0` fast enough that the eq.-(27) smearing
+/// around kernel jump points shrinks below the evaluation grid.
+pub fn default_neighborhood(n: usize) -> usize {
+    (((n as f64).powf(0.6)).ceil() as usize / 2).max(1)
+}
+
+/// Checks convergence of a permutation *family* (a constructor indexed by
+/// `n`) towards `map`: the kernel distance must shrink when `n` grows
+/// across `sizes`. Returns the measured distances.
+pub fn convergence_profile<F>(family: F, map: LimitMap, sizes: &[usize], grid: usize) -> Vec<f64>
+where
+    F: Fn(usize) -> Permutation,
+{
+    sizes
+        .iter()
+        .map(|&n| kernel_distance(&family(n), map, default_neighborhood(n), grid))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{ascending, complementary_round_robin, descending, round_robin};
+
+    const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+    #[test]
+    fn monotone_families_converge_to_their_maps() {
+        for (family, map) in [
+            (ascending as fn(usize) -> Permutation, LimitMap::Ascending),
+            (descending as fn(usize) -> Permutation, LimitMap::Descending),
+        ] {
+            let profile = convergence_profile(family, map, &SIZES, 8);
+            assert!(profile[2] < 0.02, "{map:?}: {profile:?}");
+            assert!(profile[2] <= profile[0] + 1e-9, "{map:?}: {profile:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_converges_to_prop6_map() {
+        let profile =
+            convergence_profile(round_robin as fn(usize) -> Permutation, LimitMap::RoundRobin, &SIZES, 8);
+        assert!(profile[2] < 0.02, "{profile:?}");
+        let crr_profile = convergence_profile(
+            complementary_round_robin as fn(usize) -> Permutation,
+            LimitMap::ComplementaryRoundRobin,
+            &SIZES,
+            8,
+        );
+        assert!(crr_profile[2] < 0.02, "{crr_profile:?}");
+    }
+
+    #[test]
+    fn wrong_map_keeps_large_distance() {
+        // RR's kernel is far from descending's
+        let d = kernel_distance(&round_robin(100_000), LimitMap::Descending, 500, 8);
+        assert!(d > 0.2, "distance {d}");
+    }
+
+    #[test]
+    fn alternating_family_is_not_admissible() {
+        // the paper's counter-example (§5.1): θ_A for odd n, θ_D for even n.
+        // Each subsequence converges to a *different* kernel, so the family
+        // as a whole converges to neither.
+        let family = |n: usize| if n % 2 == 1 { ascending(n) } else { descending(n) };
+        let odd_sizes = [10_001usize, 100_001];
+        let even_sizes = [10_000usize, 100_000];
+        // against the ascending map: odd sizes converge, even sizes stay far
+        let odd = convergence_profile(family, LimitMap::Ascending, &odd_sizes, 8);
+        let even = convergence_profile(family, LimitMap::Ascending, &even_sizes, 8);
+        assert!(odd[1] < 0.02, "odd {odd:?}");
+        assert!(even[1] > 0.2, "even {even:?}");
+        // and symmetrically against descending
+        let even_d = convergence_profile(family, LimitMap::Descending, &even_sizes, 8);
+        assert!(even_d[1] < 0.02, "{even_d:?}");
+    }
+
+    #[test]
+    fn uniform_random_family_converges_to_uniform_map() {
+        use rand::SeedableRng;
+        let family = |n: usize| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+            crate::family::uniform(n, &mut rng)
+        };
+        let profile = convergence_profile(family, LimitMap::Uniform, &SIZES, 12);
+        assert!(profile[2] < 0.05, "{profile:?}");
+        assert!(profile[2] < profile[0], "{profile:?}");
+    }
+}

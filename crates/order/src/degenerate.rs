@@ -1,0 +1,161 @@
+//! Degenerate (smallest-last) orientation — Matula & Beck \[29\].
+//!
+//! Repeatedly removes a minimum-residual-degree node; orienting each node's
+//! edges towards its not-yet-removed neighbors bounds every out-degree by
+//! the graph's degeneracy, i.e. it solves `min_θ max_i X_i(θ)` (§1.1). The
+//! paper's Table 12 includes it as `θ_degen` to show how little the optimal
+//! worst-case out-degree helps *expected* cost.
+
+use trilist_graph::Graph;
+
+/// Computes node → label for the smallest-last ordering in `O(n + m)` using
+/// a bucket queue.
+///
+/// The first-removed node receives the **largest** label, so its
+/// out-neighbors (smaller labels) are exactly its residual neighbors at
+/// removal time; every out-degree is therefore at most the degeneracy.
+pub fn smallest_last_labels(graph: &Graph) -> Vec<u32> {
+    let n = graph.n();
+    let mut residual: Vec<usize> = (0..n as u32).map(|v| graph.degree(v)).collect();
+    let max_deg = residual.iter().copied().max().unwrap_or(0);
+
+    // bucket[d] holds nodes with residual degree d; position of each node in
+    // its bucket for O(1) removal.
+    let mut bucket: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    let mut slot = vec![0usize; n];
+    for v in 0..n {
+        slot[v] = bucket[residual[v]].len();
+        bucket[residual[v]].push(v as u32);
+    }
+
+    let mut removed = vec![false; n];
+    let mut labels = vec![0u32; n];
+    let mut cursor = 0usize; // smallest possibly-non-empty bucket
+    for rank in 0..n {
+        // find the minimum non-empty bucket; `cursor` only decreases by one
+        // per neighbor update, keeping the scan amortized O(n + m)
+        while bucket[cursor].is_empty() {
+            cursor += 1;
+        }
+        let v = bucket[cursor].pop().expect("bucket non-empty") as usize;
+        removed[v] = true;
+        labels[v] = (n - 1 - rank) as u32;
+        for &w in graph.neighbors(v as u32) {
+            let w = w as usize;
+            if removed[w] {
+                continue;
+            }
+            let d = residual[w];
+            // swap-remove w from bucket[d]
+            let s = slot[w];
+            let last = *bucket[d].last().expect("w is in bucket[d]");
+            bucket[d][s] = last;
+            slot[last as usize] = s;
+            bucket[d].pop();
+            residual[w] = d - 1;
+            slot[w] = bucket[d - 1].len();
+            bucket[d - 1].push(w as u32);
+            if d - 1 < cursor {
+                cursor = d - 1;
+            }
+        }
+    }
+    labels
+}
+
+/// The degeneracy of `graph`: the maximum residual degree encountered by the
+/// smallest-last removal, which equals the largest `k` such that a `k`-core
+/// exists.
+pub fn degeneracy(graph: &Graph) -> usize {
+    let labels = smallest_last_labels(graph);
+    // out-degree under the smallest-last labels; degeneracy = max out-degree
+    let mut best = 0usize;
+    for v in 0..graph.n() as u32 {
+        let lv = labels[v as usize];
+        let out = graph.neighbors(v).iter().filter(|&&w| labels[w as usize] < lv).count();
+        best = best.max(out);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_bijection() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let mut labels = smallest_last_labels(&g);
+        labels.sort_unstable();
+        assert_eq!(labels, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tree_has_degeneracy_one() {
+        // path graph: every out-degree must be <= 1
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        assert_eq!(degeneracy(&g), 1);
+    }
+
+    #[test]
+    fn cycle_has_degeneracy_two() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(degeneracy(&g), 2);
+    }
+
+    #[test]
+    fn complete_graph_degeneracy() {
+        // K5: degeneracy 4
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(5, &edges).unwrap();
+        assert_eq!(degeneracy(&g), 4);
+    }
+
+    #[test]
+    fn star_out_degrees_bounded_by_one() {
+        // star K_{1,6}: degeneracy 1, so the hub must point all but at most
+        // one of its edges inward
+        let edges: Vec<_> = (1..7u32).map(|v| (0u32, v)).collect();
+        let g = Graph::from_edges(7, &edges).unwrap();
+        let labels = smallest_last_labels(&g);
+        for v in 0..7u32 {
+            let out =
+                g.neighbors(v).iter().filter(|&&w| labels[w as usize] < labels[v as usize]).count();
+            assert!(out <= 1, "node {v} out-degree {out}");
+        }
+    }
+
+    #[test]
+    fn bounded_by_max_degree_and_sqrt_2m() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let n = 40;
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.15) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let d = degeneracy(&g);
+            assert!(d <= g.max_degree());
+            // degeneracy <= sqrt(2m) + 1 always holds
+            assert!(d as f64 <= (2.0 * g.m() as f64).sqrt() + 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(3, &[]).unwrap();
+        assert_eq!(degeneracy(&g), 0);
+        assert_eq!(smallest_last_labels(&g).len(), 3);
+    }
+}

@@ -1,0 +1,205 @@
+//! The five permutation families studied in the paper plus the degenerate
+//! orientation: ascending `θ_A`, descending `θ_D`, Round-Robin `θ_RR`
+//! (eq. 32), Complementary Round-Robin `θ_CRR`, uniform `θ_U`, and the
+//! smallest-last/degenerate ordering `θ_degen` \[29\].
+
+use crate::degenerate::smallest_last_labels;
+use crate::map::LimitMap;
+use crate::perm::Permutation;
+use crate::relabel::Relabeling;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use trilist_graph::Graph;
+
+/// `θ_A`: position `i` keeps label `i` (ascending degree).
+pub fn ascending(n: usize) -> Permutation {
+    Permutation::identity(n)
+}
+
+/// `θ_D`: position `i` gets label `n − 1 − i` (descending degree).
+pub fn descending(n: usize) -> Permutation {
+    Permutation::identity(n).reverse()
+}
+
+/// `θ_RR` — Round-Robin, eq. (32): large degrees are scattered to the two
+/// ends of `[1, n]`, pairing them with small `q(1 − q)` for T2.
+///
+/// With 1-based positions: `θ(i) = ⌈(n+i)/2⌉` for odd `i`,
+/// `⌊(n−i)/2⌋ + 1` for even `i`.
+///
+/// ```
+/// use trilist_order::round_robin;
+/// // paper example with n = 4 (1-based labels 3, 2, 4, 1)
+/// assert_eq!(round_robin(4).as_slice(), &[2, 1, 3, 0]);
+/// ```
+pub fn round_robin(n: usize) -> Permutation {
+    let mut theta = Vec::with_capacity(n);
+    for i in 1..=n {
+        let label_1based = if i % 2 == 1 { (n + i).div_ceil(2) } else { (n - i) / 2 + 1 };
+        theta.push((label_1based - 1) as u32);
+    }
+    Permutation::new(theta).expect("round robin is a bijection")
+}
+
+/// `θ_CRR` — Complementary Round-Robin: the complement of RR
+/// (`ξ_CRR(u) = ξ_RR(1 − u)`), which gathers large degrees towards the
+/// middle of the label range. Optimal for E4 (§5.3, Corollary 2).
+pub fn complementary_round_robin(n: usize) -> Permutation {
+    round_robin(n).complement()
+}
+
+/// `θ_U`: a uniformly random bijection (hash-based orientation in prior
+/// work \[14\]).
+pub fn uniform<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Permutation {
+    let mut theta: Vec<u32> = (0..n as u32).collect();
+    theta.shuffle(rng);
+    Permutation::new(theta).expect("shuffle preserves bijection")
+}
+
+/// The orientation families compared in Table 12.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OrderFamily {
+    /// Ascending degree `θ_A`.
+    Ascending,
+    /// Descending degree `θ_D`.
+    Descending,
+    /// Round-Robin `θ_RR` (eq. 32).
+    RoundRobin,
+    /// Complementary Round-Robin `θ_CRR`.
+    ComplementaryRoundRobin,
+    /// Uniformly random `θ_U`.
+    Uniform,
+    /// Degenerate / smallest-last orientation `θ_degen` \[29\].
+    Degenerate,
+}
+
+impl OrderFamily {
+    /// All six families, in the column order of Table 12.
+    pub const ALL: [OrderFamily; 6] = [
+        OrderFamily::Descending,
+        OrderFamily::Ascending,
+        OrderFamily::RoundRobin,
+        OrderFamily::ComplementaryRoundRobin,
+        OrderFamily::Uniform,
+        OrderFamily::Degenerate,
+    ];
+
+    /// Short display name matching the paper's notation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OrderFamily::Ascending => "asc",
+            OrderFamily::Descending => "desc",
+            OrderFamily::RoundRobin => "rr",
+            OrderFamily::ComplementaryRoundRobin => "crr",
+            OrderFamily::Uniform => "uniform",
+            OrderFamily::Degenerate => "degen",
+        }
+    }
+
+    /// Builds the node → label relabeling for `graph`.
+    ///
+    /// All families except `Degenerate` operate on ascending-degree
+    /// positions; `Degenerate` derives labels from the graph structure.
+    pub fn relabeling<R: Rng + ?Sized>(&self, graph: &Graph, rng: &mut R) -> Relabeling {
+        match self {
+            OrderFamily::Degenerate => Relabeling::from_labels(smallest_last_labels(graph)),
+            _ => {
+                let degrees = graph.degrees();
+                let perm = self.permutation(graph.n(), rng);
+                Relabeling::from_positions(&degrees, &perm)
+            }
+        }
+    }
+
+    /// The position → label permutation, for position-based families.
+    ///
+    /// Panics for [`OrderFamily::Degenerate`], which has no position form.
+    pub fn permutation<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Permutation {
+        match self {
+            OrderFamily::Ascending => ascending(n),
+            OrderFamily::Descending => descending(n),
+            OrderFamily::RoundRobin => round_robin(n),
+            OrderFamily::ComplementaryRoundRobin => complementary_round_robin(n),
+            OrderFamily::Uniform => uniform(n, rng),
+            OrderFamily::Degenerate => {
+                panic!("degenerate ordering is graph-structural; use relabeling()")
+            }
+        }
+    }
+
+    /// The limiting map `ξ(u)` of this family (§5), if it is admissible with
+    /// a known limit. `Degenerate` depends on graph structure and has none.
+    pub fn limit_map(&self) -> Option<LimitMap> {
+        match self {
+            OrderFamily::Ascending => Some(LimitMap::Ascending),
+            OrderFamily::Descending => Some(LimitMap::Descending),
+            OrderFamily::RoundRobin => Some(LimitMap::RoundRobin),
+            OrderFamily::ComplementaryRoundRobin => Some(LimitMap::ComplementaryRoundRobin),
+            OrderFamily::Uniform => Some(LimitMap::Uniform),
+            OrderFamily::Degenerate => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_robin_matches_paper_formula_small_n() {
+        // n = 4 (1-based): θ = (3, 2, 4, 1); n = 5: θ = (3, 2, 4, 1, 5)
+        assert_eq!(round_robin(4).as_slice(), &[2, 1, 3, 0]);
+        assert_eq!(round_robin(5).as_slice(), &[2, 1, 3, 0, 4]);
+    }
+
+    #[test]
+    fn round_robin_is_bijection_for_many_n() {
+        for n in 1..200 {
+            let p = round_robin(n);
+            assert_eq!(p.len(), n);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_large_positions_outside() {
+        // the two largest-degree positions receive the extreme labels
+        let n = 100;
+        let p = round_robin(n);
+        let last_two = [p.label(n - 1), p.label(n - 2)];
+        assert!(last_two.contains(&0) || last_two.contains(&(n as u32 - 1)));
+        // small-degree positions sit near the middle
+        let mid = p.label(0) as i64;
+        assert!((mid - n as i64 / 2).abs() <= 1);
+    }
+
+    #[test]
+    fn crr_gathers_large_positions_in_middle() {
+        let n = 101;
+        let p = complementary_round_robin(n);
+        let largest = p.label(n - 1) as i64;
+        assert!((largest - n as i64 / 2).abs() <= 1, "largest got label {largest}");
+        assert_eq!(p.as_slice(), round_robin(n).complement().as_slice());
+    }
+
+    #[test]
+    fn descending_reverses_ascending() {
+        assert_eq!(descending(5).as_slice(), &[4, 3, 2, 1, 0]);
+        assert_eq!(ascending(5).reverse(), descending(5));
+    }
+
+    #[test]
+    fn uniform_is_bijection_and_seed_deterministic() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(1);
+        let mut b = rand::rngs::StdRng::seed_from_u64(1);
+        let pa = uniform(50, &mut a);
+        let pb = uniform(50, &mut b);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn family_names_unique() {
+        let names: std::collections::HashSet<_> = OrderFamily::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), OrderFamily::ALL.len());
+    }
+}

@@ -1,0 +1,43 @@
+//! # trilist-order
+//!
+//! Node orderings for triangle listing: the permutation machinery of the
+//! paper's three-step framework (§2.1) — relabel, orient, list — together
+//! with the five permutation families of the evaluation (ascending,
+//! descending, Round-Robin, Complementary Round-Robin, uniform), the
+//! degenerate smallest-last orientation, Algorithm 1 (optimal permutations),
+//! and the limiting maps `ξ(u)` of §5.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use trilist_graph::Graph;
+//! use trilist_order::{DirectedGraph, OrderFamily};
+//!
+//! let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let relabeling = OrderFamily::Descending.relabeling(&g, &mut rng);
+//! let dg = DirectedGraph::orient(&g, &relabeling);
+//! assert!(dg.validate());
+//! assert_eq!(dg.m(), g.m());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admissible;
+pub mod degenerate;
+pub mod family;
+pub mod map;
+pub mod opt;
+pub mod orient;
+pub mod perm;
+pub mod relabel;
+
+pub use admissible::{convergence_profile, kernel_distance};
+pub use degenerate::{degeneracy, smallest_last_labels};
+pub use family::{
+    ascending, complementary_round_robin, descending, round_robin, uniform, OrderFamily,
+};
+pub use map::{empirical_kernel, LimitMap};
+pub use opt::{opt_permutation, pessimal_permutation, Monotonicity};
+pub use orient::DirectedGraph;
+pub use perm::{PermError, Permutation};
+pub use relabel::Relabeling;

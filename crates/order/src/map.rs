@@ -1,0 +1,247 @@
+//! Limiting maps `ξ(u)` of admissible permutation sequences (§5).
+//!
+//! A sequence `{θ_n}` is *admissible* when the neighborhood-averaged kernel
+//! `K_n(v; u)` of eq. (27) converges weakly to a measure-preserving kernel
+//! `K(v; u)`; the limit object is a random map `ξ(u) ~ K(·; u)`. The five
+//! families studied in the paper converge to the maps below (ascending
+//! `ξ(u) = u`, descending `ξ(u) = 1 − u`, RR per Proposition 6, CRR its
+//! complement, uniform an independent `U[0,1]`).
+
+use crate::perm::Permutation;
+use rand::Rng;
+
+/// The limiting random map of a permutation family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LimitMap {
+    /// `ξ(u) = u`.
+    Ascending,
+    /// `ξ(u) = 1 − u`.
+    Descending,
+    /// `ξ_RR(u) ∈ {(1−u)/2, (1+u)/2}` each w.p. 1/2 (Proposition 6).
+    RoundRobin,
+    /// `ξ_CRR(u) = ξ_RR(1 − u) ∈ {u/2, 1 − u/2}` each w.p. 1/2.
+    ComplementaryRoundRobin,
+    /// `ξ_U(u) ~ U[0, 1]`, independent of `u`.
+    Uniform,
+}
+
+impl LimitMap {
+    /// All five maps.
+    pub const ALL: [LimitMap; 5] = [
+        LimitMap::Ascending,
+        LimitMap::Descending,
+        LimitMap::RoundRobin,
+        LimitMap::ComplementaryRoundRobin,
+        LimitMap::Uniform,
+    ];
+
+    /// The kernel `K(v; u) = P(ξ(u) ≤ v)`.
+    pub fn kernel(&self, v: f64, u: f64) -> f64 {
+        let step = |point: f64| if v >= point { 1.0 } else { 0.0 };
+        match self {
+            LimitMap::Ascending => step(u),
+            LimitMap::Descending => step(1.0 - u),
+            LimitMap::RoundRobin => 0.5 * step((1.0 - u) / 2.0) + 0.5 * step((1.0 + u) / 2.0),
+            LimitMap::ComplementaryRoundRobin => 0.5 * step(u / 2.0) + 0.5 * step(1.0 - u / 2.0),
+            LimitMap::Uniform => v.clamp(0.0, 1.0),
+        }
+    }
+
+    /// `E[h(ξ(u))]` — the permutation's contribution to the limiting cost
+    /// (29). For the uniform map the expectation integrates `h` by
+    /// composite Simpson on 1024 panels.
+    pub fn expect_h<H: Fn(f64) -> f64>(&self, u: f64, h: H) -> f64 {
+        match self {
+            LimitMap::Ascending => h(u),
+            LimitMap::Descending => h(1.0 - u),
+            LimitMap::RoundRobin => 0.5 * (h((1.0 - u) / 2.0) + h((1.0 + u) / 2.0)),
+            LimitMap::ComplementaryRoundRobin => 0.5 * (h(u / 2.0) + h(1.0 - u / 2.0)),
+            LimitMap::Uniform => simpson01(&h),
+        }
+    }
+
+    /// Draws a realization of `ξ(u)`.
+    pub fn sample<R: Rng + ?Sized>(&self, u: f64, rng: &mut R) -> f64 {
+        match self {
+            LimitMap::Ascending => u,
+            LimitMap::Descending => 1.0 - u,
+            LimitMap::RoundRobin => {
+                if rng.gen_bool(0.5) {
+                    (1.0 - u) / 2.0
+                } else {
+                    (1.0 + u) / 2.0
+                }
+            }
+            LimitMap::ComplementaryRoundRobin => {
+                if rng.gen_bool(0.5) {
+                    u / 2.0
+                } else {
+                    1.0 - u / 2.0
+                }
+            }
+            LimitMap::Uniform => rng.gen::<f64>(),
+        }
+    }
+
+    /// The reverse map `ξ′(u) = 1 − ξ(u)` (Proposition 7).
+    pub fn reverse(&self) -> LimitMap {
+        match self {
+            LimitMap::Ascending => LimitMap::Descending,
+            LimitMap::Descending => LimitMap::Ascending,
+            // 1 − ξ_RR(u) ∈ {(1+u)/2, (1−u)/2} = same law
+            LimitMap::RoundRobin => LimitMap::RoundRobin,
+            LimitMap::ComplementaryRoundRobin => LimitMap::ComplementaryRoundRobin,
+            LimitMap::Uniform => LimitMap::Uniform,
+        }
+    }
+
+    /// The complementary map `ξ″(u) = ξ(1 − u)` (Proposition 7). Corollary
+    /// 3: the complement of a method's best map is its worst.
+    pub fn complement(&self) -> LimitMap {
+        match self {
+            LimitMap::Ascending => LimitMap::Descending,
+            LimitMap::Descending => LimitMap::Ascending,
+            LimitMap::RoundRobin => LimitMap::ComplementaryRoundRobin,
+            LimitMap::ComplementaryRoundRobin => LimitMap::RoundRobin,
+            LimitMap::Uniform => LimitMap::Uniform,
+        }
+    }
+}
+
+/// Composite Simpson integration of `h` over `[0, 1]` with 1024 panels.
+fn simpson01<H: Fn(f64) -> f64>(h: &H) -> f64 {
+    let panels = 1024usize;
+    let dx = 1.0 / panels as f64;
+    let mut s = h(0.0) + h(1.0);
+    for i in 1..panels {
+        let x = i as f64 * dx;
+        s += if i % 2 == 1 { 4.0 } else { 2.0 } * h(x);
+    }
+    s * dx / 3.0
+}
+
+/// The finite-`n` neighborhood kernel `K_n(v; u)` of eq. (27) for a
+/// deterministic permutation: the fraction of positions within the
+/// `k`-neighborhood of `⌈un⌉` whose label lands in `[0, vn]`.
+///
+/// Used to test admissibility claims (e.g. Proposition 6) empirically.
+pub fn empirical_kernel(perm: &Permutation, v: f64, u: f64, k: usize) -> f64 {
+    let n = perm.len();
+    assert!(n > 0);
+    let center = ((u * n as f64).ceil() as isize - 1).clamp(0, n as isize - 1);
+    let bound = (v * n as f64).floor();
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for off in -(k as isize)..=(k as isize) {
+        let pos = center + off;
+        if pos < 0 || pos >= n as isize {
+            continue;
+        }
+        total += 1;
+        if (perm.label(pos as usize) as f64) < bound {
+            hits += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::round_robin;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kernels_are_cdfs_in_v() {
+        for map in LimitMap::ALL {
+            for &u in &[0.0, 0.25, 0.5, 0.9] {
+                assert_eq!(map.kernel(-0.1, u), 0.0, "{map:?}");
+                assert_eq!(map.kernel(1.0, u), 1.0, "{map:?}");
+                let mut prev = 0.0;
+                for i in 0..=20 {
+                    let v = i as f64 / 20.0;
+                    let k = map.kernel(v, u);
+                    assert!(k >= prev - 1e-12, "{map:?} not monotone at v={v}");
+                    prev = k;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_are_measure_preserving() {
+        // Definition 4: E[K(v; U)] = v for uniform U. Check by quadrature.
+        let grid = 2_000;
+        for map in LimitMap::ALL {
+            for &v in &[0.1, 0.3, 0.5, 0.77] {
+                let mean: f64 = (0..grid)
+                    .map(|i| map.kernel(v, (i as f64 + 0.5) / grid as f64))
+                    .sum::<f64>()
+                    / grid as f64;
+                assert!((mean - v).abs() < 2e-3, "{map:?} E[K({v};U)]={mean}");
+            }
+        }
+    }
+
+    #[test]
+    fn expect_h_matches_manual_values() {
+        let h = |x: f64| x * x / 2.0; // T1 shape
+        assert!((LimitMap::Ascending.expect_h(0.4, h) - 0.08).abs() < 1e-12);
+        assert!((LimitMap::Descending.expect_h(0.4, h) - 0.18).abs() < 1e-12);
+        // uniform: E[U²/2] = 1/6
+        assert!((LimitMap::Uniform.expect_h(0.4, h) - 1.0 / 6.0).abs() < 1e-9);
+        // RR: ((0.3)² + (0.7)²)/2 / 2
+        let want = ((0.3f64).powi(2) / 2.0 + (0.7f64).powi(2) / 2.0) / 2.0;
+        assert!((LimitMap::RoundRobin.expect_h(0.4, h) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_and_complement_structure() {
+        assert_eq!(LimitMap::Ascending.reverse(), LimitMap::Descending);
+        assert_eq!(LimitMap::RoundRobin.reverse(), LimitMap::RoundRobin);
+        assert_eq!(LimitMap::RoundRobin.complement(), LimitMap::ComplementaryRoundRobin);
+        for map in LimitMap::ALL {
+            assert_eq!(map.complement().complement(), map);
+        }
+    }
+
+    #[test]
+    fn samples_follow_kernel() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        for map in LimitMap::ALL {
+            let u = 0.3;
+            let draws = 20_000;
+            for &v in &[0.2, 0.5, 0.8] {
+                let hits = (0..draws).filter(|_| map.sample(u, &mut rng) <= v).count();
+                let emp = hits as f64 / draws as f64;
+                assert!((emp - map.kernel(v, u)).abs() < 0.02, "{map:?} v={v} emp={emp}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_empirical_kernel_converges_to_prop6() {
+        // Proposition 6: ξ_RR(u) = (1−u)/2 or (1+u)/2 w.p. 1/2 each.
+        let n = 100_000;
+        let perm = round_robin(n);
+        let k = 500; // k(n) → ∞, k(n)/n → 0
+        let u = 0.4;
+        for &(v, want) in &[(0.1, 0.0), (0.29, 0.0), (0.31, 0.5), (0.5, 0.5), (0.69, 0.5), (0.71, 1.0)]
+        {
+            let got = empirical_kernel(&perm, v, u, k);
+            assert!((got - want).abs() < 0.05, "v={v}: got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn ascending_empirical_kernel_is_step() {
+        let n = 10_000;
+        let perm = Permutation::identity(n);
+        assert!(empirical_kernel(&perm, 0.5, 0.4, 50) > 0.95);
+        assert!(empirical_kernel(&perm, 0.3, 0.4, 50) < 0.05);
+    }
+}

@@ -1,0 +1,122 @@
+//! Algorithm 1: construction of optimal permutations (§6.1).
+//!
+//! Given the method's cost-shape function `h` and the monotonicity of
+//! `r(x) = g(J⁻¹(x)) / w(J⁻¹(x))` (same as that of `g(x)/w(x)`), the
+//! algorithm sorts the sequence `z = (h(1/n), …, h(1))` in the *opposite*
+//! order of `r`'s monotonicity and reads off the minimizing permutation
+//! (Theorem 3). With `w(x) = min(x, a)`, `r` is increasing, which recovers
+//! `θ_D` for T1/E1, RR for T2, and CRR for E4 (Corollaries 1–2).
+
+use crate::perm::Permutation;
+
+/// Monotonicity of `r(x) = g(x)/w(x)` on the support.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Monotonicity {
+    /// `r` increasing — the common case for triangle listing
+    /// (`g(x)/w(x) = (x² − x)/min(x, a)` is increasing).
+    Increasing,
+    /// `r` decreasing.
+    Decreasing,
+}
+
+/// Builds the cost-minimizing permutation for shape `h` (Algorithm 1).
+///
+/// Sorting is stable on the original index, so ties (constant stretches of
+/// `h`) are broken deterministically; the paper allows arbitrary
+/// tie-breaking.
+pub fn opt_permutation<H: Fn(f64) -> f64>(n: usize, h: H, r: Monotonicity) -> Permutation {
+    let mut z: Vec<(f64, u32)> =
+        (0..n).map(|i| (h((i + 1) as f64 / n as f64), i as u32)).collect();
+    match r {
+        Monotonicity::Increasing => {
+            z.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("h must not produce NaN"))
+        }
+        Monotonicity::Decreasing => {
+            z.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("h must not produce NaN"))
+        }
+    }
+    let theta: Vec<u32> = z.into_iter().map(|(_, i)| i).collect();
+    Permutation::new(theta).expect("sorting indices preserves bijection")
+}
+
+/// Builds the cost-*maximizing* permutation for shape `h`: by Corollary 3
+/// the worst map is the complement of the best, so this is
+/// `opt_permutation(…).complement()`.
+pub fn pessimal_permutation<H: Fn(f64) -> f64>(n: usize, h: H, r: Monotonicity) -> Permutation {
+    opt_permutation(n, h, r).complement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{descending, round_robin};
+
+    #[test]
+    fn t1_shape_recovers_descending() {
+        // h(x) = x²/2 increasing + r increasing → θ_D
+        let p = opt_permutation(10, |x| x * x / 2.0, Monotonicity::Increasing);
+        assert_eq!(p, descending(10));
+    }
+
+    #[test]
+    fn t3_shape_recovers_ascending() {
+        // T3 has h(x) = (1−x)²/2, decreasing + r increasing → θ_A
+        let p = opt_permutation(10, |x| (1.0 - x) * (1.0 - x) / 2.0, Monotonicity::Increasing);
+        assert_eq!(p, Permutation::identity(10));
+    }
+
+    #[test]
+    fn t2_shape_is_round_robin_like() {
+        // h(x) = x(1−x): symmetric peak at 1/2 → large-degree positions get
+        // the extreme labels, exactly like RR (possibly mirrored in ties).
+        let n = 50;
+        let p = opt_permutation(n, |x| x * (1.0 - x), Monotonicity::Increasing);
+        let rr = round_robin(n);
+        // compare the *distance from the middle* of each position's label:
+        // OPT and RR agree on |label - n/2| up to tie-breaks at equal h
+        for pos in 0..n {
+            let d_opt = (p.label(pos) as f64 + 1.0 - n as f64 / 2.0).abs().round();
+            let d_rr = (rr.label(pos) as f64 + 1.0 - n as f64 / 2.0).abs().round();
+            assert!(
+                (d_opt - d_rr).abs() <= 1.0,
+                "pos {pos}: opt label {} rr label {}",
+                p.label(pos),
+                rr.label(pos)
+            );
+        }
+    }
+
+    #[test]
+    fn e4_shape_is_crr_like() {
+        // E4's h(x) = (x² + (1−x)²)/2 dips at 1/2 → large degrees go to the
+        // middle, like CRR.
+        let n = 51;
+        let p = opt_permutation(n, |x| (x * x + (1.0 - x) * (1.0 - x)) / 2.0, Monotonicity::Increasing);
+        let largest = p.label(n - 1) as i64;
+        assert!((largest - n as i64 / 2).abs() <= 1, "largest got label {largest}");
+    }
+
+    #[test]
+    fn decreasing_r_flips_the_order() {
+        let inc = opt_permutation(10, |x| x, Monotonicity::Increasing);
+        let dec = opt_permutation(10, |x| x, Monotonicity::Decreasing);
+        assert_eq!(inc, descending(10));
+        assert_eq!(dec, Permutation::identity(10));
+    }
+
+    #[test]
+    fn constant_h_is_stable_identity() {
+        let p = opt_permutation(8, |_| 1.0, Monotonicity::Increasing);
+        assert_eq!(p, Permutation::identity(8));
+    }
+
+    #[test]
+    fn pessimal_is_complement_of_optimal() {
+        let h = |x: f64| x * x / 2.0;
+        let best = opt_permutation(12, h, Monotonicity::Increasing);
+        let worst = pessimal_permutation(12, h, Monotonicity::Increasing);
+        assert_eq!(worst, best.complement());
+        // for T1's shape: best = descending, worst = ascending
+        assert_eq!(worst, Permutation::identity(12));
+    }
+}

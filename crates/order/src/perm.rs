@@ -1,0 +1,183 @@
+//! Permutations on ascending-degree positions (§2.1).
+//!
+//! The paper models relabeling + orientation by a permutation
+//! `θ_n : V → V` that "always starts with ascending-degree order and maps
+//! each node in position `i` to a label `θ_n(i)`". [`Permutation`] is that
+//! object, 0-based: `theta[pos]` is the label given to the node occupying
+//! ascending-degree position `pos`.
+
+/// A bijection on `{0, …, n−1}` interpreted as position → label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    theta: Vec<u32>,
+}
+
+impl Permutation {
+    /// Wraps `theta`, validating that it is a bijection.
+    pub fn new(theta: Vec<u32>) -> Result<Self, PermError> {
+        let n = theta.len();
+        let mut seen = vec![false; n];
+        for &l in &theta {
+            let l = l as usize;
+            if l >= n {
+                return Err(PermError::OutOfRange { label: l as u32, n });
+            }
+            if seen[l] {
+                return Err(PermError::Duplicate { label: l as u32 });
+            }
+            seen[l] = true;
+        }
+        Ok(Permutation { theta })
+    }
+
+    /// The identity permutation (ascending-degree order, `θ_A`).
+    pub fn identity(n: usize) -> Self {
+        Permutation { theta: (0..n as u32).collect() }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// True for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.theta.is_empty()
+    }
+
+    /// Label assigned to position `pos`.
+    pub fn label(&self, pos: usize) -> u32 {
+        self.theta[pos]
+    }
+
+    /// The raw position → label table.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.theta
+    }
+
+    /// The inverse table: label → position.
+    pub fn inverse(&self) -> Vec<u32> {
+        let mut inv = vec![0u32; self.theta.len()];
+        for (pos, &l) in self.theta.iter().enumerate() {
+            inv[l as usize] = pos as u32;
+        }
+        inv
+    }
+
+    /// The *reverse* permutation `θ′(i) = n + 1 − θ(i)` (1-based; here
+    /// `n − 1 − θ[i]`). Proposition 1: reversing swaps every node's
+    /// out-degree with its in-degree.
+    pub fn reverse(&self) -> Self {
+        let n = self.theta.len() as u32;
+        Permutation { theta: self.theta.iter().map(|&l| n - 1 - l).collect() }
+    }
+
+    /// The *complementary* permutation `θ″(i) = θ(n − i + 1)` (1-based):
+    /// the same mapping applied starting from descending instead of
+    /// ascending degree order (§5.3).
+    pub fn complement(&self) -> Self {
+        let mut theta = self.theta.clone();
+        theta.reverse();
+        Permutation { theta }
+    }
+
+    /// Composition `(other ∘ self)(i) = other(self(i))`: relabel twice.
+    pub fn compose(&self, other: &Permutation) -> Self {
+        assert_eq!(self.len(), other.len(), "composition requires equal lengths");
+        Permutation {
+            theta: self.theta.iter().map(|&l| other.theta[l as usize]).collect(),
+        }
+    }
+}
+
+/// Errors raised by [`Permutation::new`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PermError {
+    /// A label exceeds `n − 1`.
+    OutOfRange {
+        /// The offending label.
+        label: u32,
+        /// The permutation length.
+        n: usize,
+    },
+    /// A label appears twice.
+    Duplicate {
+        /// The repeated label.
+        label: u32,
+    },
+}
+
+impl std::fmt::Display for PermError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PermError::OutOfRange { label, n } => {
+                write!(f, "label {label} out of range for permutation of length {n}")
+            }
+            PermError::Duplicate { label } => write!(f, "duplicate label {label}"),
+        }
+    }
+}
+
+impl std::error::Error for PermError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_accessors() {
+        let p = Permutation::identity(4);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.label(2), 2);
+        assert_eq!(p.inverse(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Permutation::new(vec![0, 2, 1]).is_ok());
+        assert!(matches!(
+            Permutation::new(vec![0, 3, 1]),
+            Err(PermError::OutOfRange { label: 3, n: 3 })
+        ));
+        assert!(matches!(Permutation::new(vec![0, 1, 1]), Err(PermError::Duplicate { label: 1 })));
+    }
+
+    #[test]
+    fn reverse_maps_to_mirror_labels() {
+        let p = Permutation::new(vec![2, 0, 1, 3]).unwrap();
+        assert_eq!(p.reverse().as_slice(), &[1, 3, 2, 0]);
+        // reversing twice is the identity operation
+        assert_eq!(p.reverse().reverse(), p);
+    }
+
+    #[test]
+    fn complement_reads_positions_backwards() {
+        let p = Permutation::new(vec![2, 0, 1, 3]).unwrap();
+        assert_eq!(p.complement().as_slice(), &[3, 1, 0, 2]);
+        assert_eq!(p.complement().complement(), p);
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let p = Permutation::new(vec![3, 1, 4, 0, 2]).unwrap();
+        let inv = p.inverse();
+        for pos in 0..5 {
+            assert_eq!(inv[p.label(pos) as usize] as usize, pos);
+        }
+    }
+
+    #[test]
+    fn composition() {
+        let p = Permutation::new(vec![2, 0, 1]).unwrap();
+        let q = Permutation::new(vec![1, 2, 0]).unwrap();
+        // (q ∘ p)(i) = q(p(i)): p(0)=2, q(2)=0 → 0; p(1)=0, q(0)=1; p(2)=1, q(1)=2
+        assert_eq!(p.compose(&q).as_slice(), &[0, 1, 2]);
+        // identity is neutral
+        let id = Permutation::identity(3);
+        assert_eq!(p.compose(&id), p);
+        assert_eq!(id.compose(&p), p);
+        // composing with the reverse of identity equals reverse()
+        let rev = Permutation::identity(3).reverse();
+        assert_eq!(p.compose(&rev), p.reverse());
+    }
+}

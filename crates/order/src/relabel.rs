@@ -1,0 +1,125 @@
+//! Relabeling: turning a position permutation into node → label IDs (§2.1,
+//! step 1 of the three-step framework).
+
+use crate::perm::Permutation;
+use trilist_graph::NodeId;
+
+/// A node → new-label assignment.
+///
+/// Labels are a bijection on `{0, …, n−1}`; after relabeling, the acyclic
+/// orientation points every edge from the larger label to the smaller
+/// (out-neighbors have smaller labels).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relabeling {
+    labels: Vec<u32>,
+}
+
+impl Relabeling {
+    /// Keeps original IDs ("no relabeling", as much of the prior work in
+    /// §2.4 does).
+    pub fn identity(n: usize) -> Self {
+        Relabeling { labels: (0..n as u32).collect() }
+    }
+
+    /// Wraps an explicit node → label table (must be a bijection; checked in
+    /// debug builds).
+    pub fn from_labels(labels: Vec<u32>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; labels.len()];
+            for &l in &labels {
+                assert!((l as usize) < labels.len() && !seen[l as usize], "labels not a bijection");
+                seen[l as usize] = true;
+            }
+        }
+        Relabeling { labels }
+    }
+
+    /// The paper's construction: sort nodes ascending by degree (stable on
+    /// node ID), then give the node at position `pos` the label
+    /// `perm.label(pos)`.
+    pub fn from_positions(degrees: &[u32], perm: &Permutation) -> Self {
+        assert_eq!(degrees.len(), perm.len());
+        let mut order: Vec<u32> = (0..degrees.len() as u32).collect();
+        order.sort_by_key(|&v| degrees[v as usize]);
+        let mut labels = vec![0u32; degrees.len()];
+        for (pos, &node) in order.iter().enumerate() {
+            labels[node as usize] = perm.label(pos);
+        }
+        Relabeling { labels }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// New label of `node`.
+    pub fn label(&self, node: NodeId) -> u32 {
+        self.labels[node as usize]
+    }
+
+    /// The raw node → label table.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// label → original node table.
+    pub fn inverse(&self) -> Vec<u32> {
+        let mut inv = vec![0u32; self.labels.len()];
+        for (node, &l) in self.labels.iter().enumerate() {
+            inv[l as usize] = node as u32;
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_positions_ascending_keeps_degree_order() {
+        // degrees: node0=3, node1=1, node2=2 → ascending order: 1, 2, 0
+        let perm = Permutation::identity(3);
+        let r = Relabeling::from_positions(&[3, 1, 2], &perm);
+        assert_eq!(r.label(1), 0); // smallest degree → label 0
+        assert_eq!(r.label(2), 1);
+        assert_eq!(r.label(0), 2); // largest degree → label 2
+    }
+
+    #[test]
+    fn from_positions_descending() {
+        let perm = Permutation::identity(3).reverse();
+        let r = Relabeling::from_positions(&[3, 1, 2], &perm);
+        assert_eq!(r.label(1), 2);
+        assert_eq!(r.label(0), 0); // largest degree → label 0 under θ_D
+    }
+
+    #[test]
+    fn stable_tie_break_on_node_id() {
+        let perm = Permutation::identity(3);
+        let r = Relabeling::from_positions(&[5, 5, 5], &perm);
+        assert_eq!(r.as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let r = Relabeling::from_labels(vec![2, 0, 3, 1]);
+        let inv = r.inverse();
+        for node in 0..4u32 {
+            assert_eq!(inv[r.label(node) as usize], node);
+        }
+    }
+
+    #[test]
+    fn identity_labels() {
+        let r = Relabeling::identity(3);
+        assert_eq!(r.as_slice(), &[0, 1, 2]);
+    }
+}

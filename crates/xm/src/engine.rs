@@ -1,0 +1,289 @@
+//! The partitioned listing engine: column-load + edge-stream.
+//!
+//! The label space `[0, n)` is split into `P` contiguous intervals. The
+//! engine makes `P` passes; pass `a` loads *column* `a` — every directed
+//! edge whose target label falls in interval `a` — into memory and streams
+//! the full edge file once. For each streamed edge `z → y`, the triangles
+//! whose smallest corner `x` lies in interval `a` are exactly the matches
+//! of `N⁺(y)∩a` against the sub-`y` prefix of `N⁺(z)∩a` — E1's
+//! intersection restricted to the column, so every triangle is found in
+//! exactly one pass (the one owning its smallest corner) and the total
+//! comparison count equals in-memory E1's.
+//!
+//! I/O cost: `P·m` streamed edges plus `m` column loads, the classic
+//! tradeoff the paper defers to \[17\]; memory: one column
+//! (`≈ m/P` edges expected) — choose `P` from the RAM budget.
+
+use crate::storage::{EdgeFile, IoStats, ScratchDir};
+use trilist_core::CostReport;
+use trilist_order::DirectedGraph;
+
+/// Contiguous label intervals covering `[0, n)`.
+#[derive(Clone, Debug)]
+pub struct Partitioning {
+    bounds: Vec<u32>, // P+1 fenceposts
+}
+
+impl Partitioning {
+    /// Splits `[0, n)` into `p` near-equal *label-width* intervals.
+    ///
+    /// Under skewed orientations (descending order puts the hubs at small
+    /// labels) the column masses can be wildly unequal; prefer
+    /// [`Partitioning::balanced`] for memory-bound runs.
+    pub fn even(n: usize, p: usize) -> Partitioning {
+        let p = p.max(1);
+        let mut bounds = Vec::with_capacity(p + 1);
+        for i in 0..=p {
+            bounds.push((i * n / p) as u32);
+        }
+        Partitioning { bounds }
+    }
+
+    /// Splits `[0, n)` so every interval owns roughly `m/p` column edges
+    /// (an edge `z → x` belongs to the column of its target `x`, so the
+    /// column mass of a label is its in-degree `Y_x`). This is the simplest
+    /// of the partitioning schemes whose design the paper leaves to \[17\].
+    pub fn balanced(g: &DirectedGraph, p: usize) -> Partitioning {
+        let p = p.max(1);
+        let n = g.n();
+        let total = g.m() as u64;
+        let per_part = total.div_ceil(p as u64).max(1);
+        let mut bounds = vec![0u32];
+        let mut acc = 0u64;
+        for x in 0..n as u32 {
+            acc += g.y(x) as u64;
+            if acc >= per_part && (bounds.len() as u64) < p as u64 && (x as usize) < n - 1 {
+                bounds.push(x + 1);
+                acc = 0;
+            }
+        }
+        while bounds.len() < p + 1 {
+            bounds.push(n as u32);
+        }
+        Partitioning { bounds }
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// True when there are no intervals (empty label space).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The half-open interval `a`.
+    pub fn interval(&self, a: usize) -> std::ops::Range<u32> {
+        self.bounds[a]..self.bounds[a + 1]
+    }
+
+    /// Which interval holds `label`.
+    pub fn owner(&self, label: u32) -> usize {
+        self.bounds.partition_point(|&b| b <= label) - 1
+    }
+}
+
+/// Result of an external-memory run.
+#[derive(Clone, Debug)]
+pub struct XmRun {
+    /// Comparison accounting (identical to in-memory E1's).
+    pub cost: CostReport,
+    /// I/O transferred.
+    pub io: IoStats,
+    /// Peak resident column size, in edges.
+    pub peak_memory_edges: usize,
+}
+
+/// External-memory E1 over `g` with `p` in-degree-balanced partitions.
+///
+/// Triangles are delivered as labels `(x, y, z)`, `x < y < z`, in column
+/// order (all `x ∈ interval 0` first, …).
+pub fn xm_e1<F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    p: usize,
+    sink: F,
+) -> std::io::Result<XmRun> {
+    xm_e1_with(g, &Partitioning::balanced(g, p), sink)
+}
+
+/// External-memory E1 with an explicit partitioning.
+pub fn xm_e1_with<F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    parts: &Partitioning,
+    mut sink: F,
+) -> std::io::Result<XmRun> {
+    let scratch = ScratchDir::new("e1")?;
+    let mut io = IoStats::default();
+
+    // setup: the main edge stream (z → y), and one column file per interval
+    let all_edges = (0..g.n() as u32)
+        .flat_map(|z| g.out(z).iter().map(move |&y| (z, y)));
+    let edge_file = EdgeFile::create(&scratch.file("edges.bin"), all_edges, &mut io)?;
+    let mut columns = Vec::with_capacity(parts.len());
+    for a in 0..parts.len() {
+        let range = parts.interval(a);
+        let col_edges = (0..g.n() as u32).flat_map(|z| {
+            let range = range.clone();
+            g.out(z).iter().copied().filter(move |t| range.contains(t)).map(move |t| (z, t))
+        });
+        columns.push(EdgeFile::create(
+            &scratch.file(&format!("col{a}.bin")),
+            col_edges,
+            &mut io,
+        )?);
+    }
+
+    let mut cost = CostReport::default();
+    let mut peak = 0usize;
+    for column in columns.iter() {
+        // load column a: per-node slices of out-neighbors inside interval a
+        let mut col_adj: Vec<Vec<u32>> = vec![Vec::new(); g.n()];
+        let mut loaded = 0usize;
+        column.stream(&mut io, |z, x| {
+            col_adj[z as usize].push(x);
+            loaded += 1;
+        })?;
+        io.edges_loaded += loaded as u64;
+        peak = peak.max(loaded);
+        // stream all edges; intersect within the column
+        edge_file.stream(&mut io, |z, y| {
+            let za = &col_adj[z as usize];
+            let ya = &col_adj[y as usize];
+            // E1's local slice restricted to the column: elements < y
+            let cut = za.partition_point(|&x| x < y);
+            let local = &za[..cut];
+            cost.local += local.len() as u64;
+            cost.remote += ya.len() as u64;
+            let stats = trilist_core::intersect::intersect_sorted(local, ya, |x| {
+                cost.triangles += 1;
+                sink(x, y, z);
+            });
+            cost.pointer_advances += stats.advances;
+        })?;
+        io.edges_streamed += edge_file.len();
+    }
+    Ok(XmRun { cost, io, peak_memory_edges: peak })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use trilist_core::Method;
+    use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated};
+    use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+    use trilist_order::{OrderFamily, Relabeling};
+
+    fn fixture(n: usize, seed: u64) -> DirectedGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dist = Truncated::new(DiscretePareto { alpha: 1.7, beta: 6.0 }, 40);
+        let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+        let g = ResidualSampler.generate(&seq, &mut rng).graph;
+        let relabeling = OrderFamily::Descending.relabeling(&g, &mut rng);
+        DirectedGraph::orient(&g, &relabeling)
+    }
+
+    #[test]
+    fn partitioning_owners() {
+        let p = Partitioning::even(10, 3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.interval(0), 0..3);
+        assert_eq!(p.interval(1), 3..6);
+        assert_eq!(p.interval(2), 6..10);
+        for label in 0..10u32 {
+            let owner = p.owner(label);
+            assert!(p.interval(owner).contains(&label), "label {label}");
+        }
+    }
+
+    #[test]
+    fn matches_in_memory_e1_for_various_p() {
+        let dg = fixture(800, 1);
+        let mut want = Vec::new();
+        let want_cost = Method::E1.run(&dg, |x, y, z| want.push((x, y, z)));
+        want.sort_unstable();
+        for p in [1usize, 2, 3, 7, 16] {
+            let mut got = Vec::new();
+            let run = xm_e1(&dg, p, |x, y, z| got.push((x, y, z))).unwrap();
+            got.sort_unstable();
+            assert_eq!(got, want, "p={p}");
+            assert_eq!(run.cost.triangles, want_cost.triangles, "p={p}");
+            // comparison accounting equals in-memory E1's regardless of P
+            assert_eq!(run.cost.local, want_cost.local, "p={p} local");
+            assert_eq!(run.cost.remote, want_cost.remote, "p={p} remote");
+        }
+    }
+
+    #[test]
+    fn io_grows_linearly_in_p() {
+        let dg = fixture(600, 2);
+        let m = dg.m() as u64;
+        for p in [1usize, 2, 4] {
+            let run = xm_e1(&dg, p, |_, _, _| {}).unwrap();
+            // edge stream is read once per pass; columns once in total
+            assert_eq!(run.io.edges_streamed, p as u64 * m, "p={p}");
+            assert_eq!(run.io.edges_loaded, m, "p={p}");
+            // setup wrote the stream + all columns
+            assert_eq!(run.io.bytes_written, (m + m) * 8, "p={p}");
+        }
+    }
+
+    #[test]
+    fn memory_shrinks_with_p() {
+        let dg = fixture(2_000, 3);
+        let run1 = xm_e1(&dg, 1, |_, _, _| {}).unwrap();
+        let run8 = xm_e1(&dg, 8, |_, _, _| {}).unwrap();
+        assert_eq!(run1.peak_memory_edges, dg.m());
+        assert!(
+            run8.peak_memory_edges * 4 < run1.peak_memory_edges,
+            "peak at p=8: {} vs p=1: {}",
+            run8.peak_memory_edges,
+            run1.peak_memory_edges
+        );
+    }
+
+    #[test]
+    fn balanced_partitioning_beats_even_on_skewed_columns() {
+        // descending order piles the in-degree mass onto small labels; the
+        // balanced fenceposts keep every column near m/p while even-width
+        // intervals overload the first one
+        let dg = fixture(2_000, 5);
+        let p = 8;
+        let even = xm_e1_with(&dg, &Partitioning::even(dg.n(), p), |_, _, _| {}).unwrap();
+        let balanced = xm_e1(&dg, p, |_, _, _| {}).unwrap();
+        assert!(
+            balanced.peak_memory_edges < even.peak_memory_edges,
+            "balanced {} vs even {}",
+            balanced.peak_memory_edges,
+            even.peak_memory_edges
+        );
+        // both find the same triangles
+        assert_eq!(balanced.cost.triangles, even.cost.triangles);
+        // balanced peak within 2x of the ideal m/p
+        assert!(balanced.peak_memory_edges as u64 <= 2 * dg.m() as u64 / p as u64 + 64);
+    }
+
+    #[test]
+    fn balanced_covers_label_space() {
+        let dg = fixture(500, 6);
+        for p in [1usize, 3, 9] {
+            let parts = Partitioning::balanced(&dg, p);
+            assert_eq!(parts.len(), p);
+            assert_eq!(parts.interval(0).start, 0);
+            assert_eq!(parts.interval(p - 1).end, dg.n() as u32);
+            for a in 0..p - 1 {
+                assert_eq!(parts.interval(a).end, parts.interval(a + 1).start);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = trilist_graph::Graph::from_edges(4, &[]).unwrap();
+        let dg = DirectedGraph::orient(&g, &Relabeling::identity(4));
+        let run = xm_e1(&dg, 3, |_, _, _| panic!("no triangles")).unwrap();
+        assert_eq!(run.cost.triangles, 0);
+        assert_eq!(run.peak_memory_edges, 0);
+    }
+}

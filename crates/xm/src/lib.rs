@@ -1,0 +1,36 @@
+//! # trilist-xm
+//!
+//! Simulated external-memory triangle listing — the companion problem the
+//! paper defers to \[17\] and names as its main open challenge (§8:
+//! "design of better external-memory partitioning schemes, and modeling of
+//! I/O complexity").
+//!
+//! The engine implements the classic column-partitioned variant of E1:
+//! split the label space into `P` intervals, make `P` passes, each pass
+//! loading one *column* (edges targeting the interval) into memory and
+//! streaming the full edge file from disk. Every byte moved is counted, so
+//! the `P·m + m` I/O / `m/P` memory tradeoff — the quantity an external-
+//! memory cost model would optimize — is measured, not asserted; the CPU
+//! comparison counts remain exactly in-memory E1's.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use trilist_graph::Graph;
+//! use trilist_order::{DirectedGraph, OrderFamily};
+//! use trilist_xm::xm_e1;
+//!
+//! let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let dg = DirectedGraph::orient(&g, &OrderFamily::Descending.relabeling(&g, &mut rng));
+//! let run = xm_e1(&dg, 2, |_, _, _| {}).unwrap();
+//! assert_eq!(run.cost.triangles, 1);
+//! assert_eq!(run.io.edges_streamed, 2 * g.m() as u64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod storage;
+
+pub use engine::{xm_e1, Partitioning, XmRun};
+pub use storage::{EdgeFile, IoStats, ScratchDir};

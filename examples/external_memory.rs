@@ -1,0 +1,43 @@
+//! External-memory triangle listing: the I/O-vs-RAM tradeoff the paper
+//! names as its companion problem (§8), measured on a simulated disk.
+//!
+//! Builds a power-law graph, then lists its triangles while only ever
+//! holding one partition column in memory — sweeping the partition count
+//! shows the `P·m` streamed-edge cost against the `m/P` resident set.
+//!
+//! ```sh
+//! cargo run --release --example external_memory
+//! ```
+
+use rand::SeedableRng;
+use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+use trilist::order::{DirectedGraph, OrderFamily};
+use trilist::xm::xm_e1;
+
+fn main() {
+    let n = 50_000;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let dist = Truncated::new(DiscretePareto::paper_beta(1.7), Truncation::Root.t_n(n));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    let graph = ResidualSampler.generate(&seq, &mut rng).graph;
+    let dg = DirectedGraph::orient(&graph, &OrderFamily::Descending.relabeling(&graph, &mut rng));
+    println!("graph: n = {n}, m = {} directed edges\n", dg.m());
+
+    println!(
+        "{:>4} {:>16} {:>16} {:>18} {:>12}",
+        "P", "bytes read", "bytes written", "peak RAM (edges)", "triangles"
+    );
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let run = xm_e1(&dg, p, |_, _, _| {}).expect("scratch files");
+        println!(
+            "{p:>4} {:>16} {:>16} {:>18} {:>12}",
+            run.io.bytes_read, run.io.bytes_written, run.peak_memory_edges, run.cost.triangles
+        );
+    }
+    println!(
+        "\nreads grow ~linearly in P (the edge stream is re-scanned every pass) while the \
+         resident column shrinks as m/P; pick P as ceil(m / RAM-budget). CPU comparisons \
+         are identical to in-memory E1 at every P."
+    );
+}

@@ -1,0 +1,68 @@
+//! Triangle-driven network analysis — the application side the paper's
+//! introduction motivates (community structure, clustering, sybil
+//! detection): per-node triangle counts, local clustering coefficients,
+//! and transitivity, computed with the optimal listing machinery.
+//!
+//! Also demonstrates edge-list I/O: the graph is written to a temp file
+//! and re-loaded, the way a real dataset (e.g. Twitter [27]) would be.
+//!
+//! ```sh
+//! cargo run --release --example graph_statistics
+//! ```
+
+use rand::SeedableRng;
+use trilist::core::clustering::{average_clustering, local_clustering, transitivity, triangle_counts};
+use trilist::graph::components::summarize;
+use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+use trilist::graph::io::{read_edge_list, write_edge_list};
+
+fn main() {
+    let n = 20_000;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let dist = Truncated::new(DiscretePareto::paper_beta(1.7), Truncation::Root.t_n(n));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    let graph = ResidualSampler.generate(&seq, &mut rng).graph;
+
+    // round-trip through the edge-list format
+    let mut buf = Vec::new();
+    write_edge_list(&graph, &mut buf).expect("in-memory write");
+    let loaded = read_edge_list(buf.as_slice()).expect("parse back");
+    let graph = loaded.graph;
+
+    let s = summarize(&graph);
+    println!(
+        "n = {}, m = {}, max degree = {}, mean degree = {:.1}, giant component = {:.1}%",
+        s.n,
+        s.m,
+        s.max_degree,
+        s.mean_degree,
+        100.0 * s.giant_fraction
+    );
+
+    let counts = triangle_counts(&graph);
+    let total: u64 = counts.iter().sum::<u64>() / 3;
+    println!("triangles: {total}");
+    println!("transitivity: {:.4}", transitivity(&graph));
+    println!("average local clustering: {:.4}", average_clustering(&graph));
+
+    // the most triangle-dense nodes — hubs of tightly knit neighborhoods
+    let clustering = local_clustering(&graph);
+    let mut by_triangles: Vec<usize> = (0..graph.n()).collect();
+    by_triangles.sort_by_key(|&v| std::cmp::Reverse(counts[v]));
+    println!("\ntop 5 nodes by triangle count:");
+    println!("{:>8} {:>8} {:>11} {:>11}", "node", "degree", "triangles", "clustering");
+    for &v in by_triangles.iter().take(5) {
+        println!(
+            "{v:>8} {:>8} {:>11} {:>11.4}",
+            graph.degree(v as u32),
+            counts[v],
+            clustering[v]
+        );
+    }
+    println!(
+        "\npower-law graphs from the configuration family have vanishing clustering as n \
+         grows — real social graphs have far more triangles, which is exactly why \
+         triangle counting is a useful signal (Section 1)."
+    );
+}

@@ -1,0 +1,55 @@
+//! Model vs simulation: evaluates the closed-form discrete model (eq. 50)
+//! against Monte-Carlo runs on actual random graphs — a laptop-scale
+//! rendition of the paper's Table 6.
+//!
+//! ```sh
+//! cargo run --release --example model_vs_simulation
+//! ```
+
+use trilist::graph::dist::Truncation;
+use trilist::model::{CostClass, WeightFn};
+use trilist::order::{LimitMap, OrderFamily};
+use trilist_experiments::{model_cell, simulate, SimConfig};
+use trilist_core::Method;
+
+fn main() {
+    let alpha = 1.5;
+    let cfg = SimConfig {
+        sequences: 5,
+        graphs_per_sequence: 5,
+        ..SimConfig::quick(alpha, Truncation::Root)
+    };
+    println!(
+        "alpha = {alpha}, beta = {} (E[D] ~ 30.5), root truncation, {}x{} replicates\n",
+        cfg.beta, cfg.sequences, cfg.graphs_per_sequence
+    );
+    println!(
+        "{:>8} | {:>12} {:>12} {:>7} | {:>12} {:>12} {:>7}",
+        "n", "T1+asc sim", "model(50)", "err", "T1+desc sim", "model(50)", "err"
+    );
+    for n in [2_000usize, 10_000, 50_000] {
+        let cells = simulate(
+            &cfg,
+            n,
+            &[(Method::T1, OrderFamily::Ascending), (Method::T1, OrderFamily::Descending)],
+        );
+        let model_asc = model_cell(&cfg, n, CostClass::T1, LimitMap::Ascending, WeightFn::Identity);
+        let model_desc =
+            model_cell(&cfg, n, CostClass::T1, LimitMap::Descending, WeightFn::Identity);
+        let err = |sim: f64, model: f64| format!("{:+.1}%", (model - sim) / sim * 100.0);
+        println!(
+            "{:>8} | {:>12.1} {:>12.1} {:>7} | {:>12.2} {:>12.2} {:>7}",
+            n,
+            cells[0].mean,
+            model_asc,
+            err(cells[0].mean, model_asc),
+            cells[1].mean,
+            model_desc,
+            err(cells[1].mean, model_desc),
+        );
+    }
+    println!(
+        "\nThe model is asymptotically exact for AMRC sequences; errors shrink as n grows \
+         (paper Table 6 reports <2.2% from n = 10^4 up)."
+    );
+}

@@ -1,0 +1,42 @@
+//! Multicore triangle listing: the acyclic orientation makes every
+//! candidate pair owned by exactly one node, so the work partitions across
+//! threads with no synchronization — operation counts stay identical and
+//! wall time divides.
+//!
+//! ```sh
+//! cargo run --release --example parallel_listing
+//! ```
+
+use rand::SeedableRng;
+use std::time::Instant;
+use trilist::core::{par_list, Method};
+use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+use trilist::order::{DirectedGraph, OrderFamily};
+
+fn main() {
+    let n = 200_000;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let dist = Truncated::new(DiscretePareto::paper_beta(1.7), Truncation::Root.t_n(n));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    let graph = ResidualSampler.generate(&seq, &mut rng).graph;
+    let dg = DirectedGraph::orient(&graph, &OrderFamily::Descending.relabeling(&graph, &mut rng));
+    println!("graph: n = {n}, m = {}", graph.m());
+
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("available cores: {cores} (speedup is bounded by this)");
+    println!("{:>8} {:>12} {:>14} {:>10}", "threads", "seconds", "triangles", "speedup");
+    let mut baseline = None;
+    for threads in [1, 2, 4, cores] {
+        let start = Instant::now();
+        let run = par_list(&dg, Method::E1, threads);
+        let secs = start.elapsed().as_secs_f64();
+        let base = *baseline.get_or_insert(secs);
+        println!(
+            "{threads:>8} {secs:>12.3} {:>14} {:>9.2}x",
+            run.cost.triangles,
+            base / secs
+        );
+    }
+    println!("\noperation counts are identical across thread counts; only wall time changes.");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: generate a power-law random graph, orient it, and list its
+//! triangles with the optimal vertex iterator (T1 under descending-degree
+//! order).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use trilist::core::{list_triangles, Method};
+use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+use trilist::order::OrderFamily;
+
+fn main() {
+    let n = 50_000;
+    let alpha = 1.7;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // 1. Degree distribution: discretized Pareto with E[D] ≈ 30.5, truncated
+    //    at √n so the sequence is AMRC (max degree ≤ √n).
+    let t_n = Truncation::Root.t_n(n);
+    let dist = Truncated::new(DiscretePareto::paper_beta(alpha), t_n);
+
+    // 2. Draw an iid degree sequence and realize it exactly with the
+    //    residual-degree sampler (no erasure distortion).
+    let (degrees, _) = sample_degree_sequence(&dist, n, &mut rng);
+    let generated = ResidualSampler.generate(&degrees, &mut rng);
+    let graph = generated.graph;
+    println!(
+        "graph: n = {}, m = {}, max degree = {}, shortfall = {}",
+        graph.n(),
+        graph.m(),
+        graph.max_degree(),
+        generated.shortfall
+    );
+
+    // 3. Relabel (descending degree), orient, and list with T1. The
+    //    framework returns triangles in original node IDs plus the exact
+    //    operation counts of eq. (7).
+    let run = list_triangles(&graph, Method::T1, OrderFamily::Descending, &mut rng);
+    println!(
+        "T1 + descending: {} triangles, {} candidate checks ({:.2} per node)",
+        run.cost.triangles,
+        run.cost.lookups,
+        run.cost.per_node(n)
+    );
+
+    // 4. Compare with the unoriented baseline: orientation avoids counting
+    //    each triangle three times and slashes the candidate count.
+    let baseline = trilist::core::baseline::unoriented_vertex_iterator(&graph, |_, _, _| {});
+    println!(
+        "unoriented baseline: {} candidate checks ({:.1}x more)",
+        baseline.lookups,
+        baseline.lookups as f64 / run.cost.lookups as f64
+    );
+
+    let (x, y, z) = run.triangles[0];
+    println!("first triangle (original IDs): ({x}, {y}, {z})");
+}

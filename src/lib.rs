@@ -1,0 +1,49 @@
+//! # trilist
+//!
+//! Triangle listing in random graphs: a Rust reproduction of
+//! *"On Asymptotic Cost of Triangle Listing in Random Graphs"*
+//! (Xiao, Cui, Cline, Loguinov — PODS 2017).
+//!
+//! This facade crate re-exports the full public API:
+//!
+//! * [`graph`] — CSR graphs, degree sequences, truncated Pareto degree
+//!   distributions, and random-graph generators that realize a prescribed
+//!   degree sequence.
+//! * [`order`] — the three-step framework's permutation machinery:
+//!   ascending/descending/Round-Robin/CRR/uniform/degenerate orderings,
+//!   relabeling, acyclic orientation, and limiting maps `ξ(u)`.
+//! * [`core`] — all 18 triangle-listing algorithms (vertex iterators
+//!   T1–T6, scanning edge iterators E1–E6, lookup edge iterators L1–L6)
+//!   with exact operation accounting.
+//! * [`model`] — the analytical cost models: spread distribution,
+//!   discrete/continuous models, Algorithm 2, asymptotic limits,
+//!   finiteness thresholds, and scaling rates.
+//! * [`xm`] — simulated external-memory listing with I/O accounting (the
+//!   companion problem of §8).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use trilist::core::{list_triangles, Method};
+//! use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+//! use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+//! use trilist::order::OrderFamily;
+//!
+//! // 1. draw a power-law degree sequence and realize it as a simple graph
+//! let n = 2_000;
+//! let dist = Truncated::new(DiscretePareto::paper_beta(1.5), Truncation::Root.t_n(n));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let (degrees, _) = sample_degree_sequence(&dist, n, &mut rng);
+//! let graph = ResidualSampler.generate(&degrees, &mut rng).graph;
+//!
+//! // 2. list triangles with the optimal vertex iterator (T1 + descending)
+//! let run = list_triangles(&graph, Method::T1, OrderFamily::Descending, &mut rng);
+//! println!("{} triangles, {} candidate checks", run.cost.triangles, run.cost.lookups);
+//! ```
+
+pub use trilist_core as core;
+pub use trilist_graph as graph;
+pub use trilist_model as model;
+pub use trilist_order as order;
+pub use trilist_xm as xm;

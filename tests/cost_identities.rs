@@ -1,0 +1,171 @@
+//! The paper's structural cost identities, verified by running the real
+//! algorithms on random graphs: eqs. (7)–(9), Propositions 1–2, Table 1,
+//! Table 2, and the equivalence classes of Figures 2 and 4.
+
+use rand::SeedableRng;
+use trilist::core::{Method, HashOracle};
+use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated};
+use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+use trilist::graph::Graph;
+use trilist::order::{DirectedGraph, OrderFamily, Relabeling};
+
+fn test_graph(seed: u64, n: usize) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dist = Truncated::new(DiscretePareto { alpha: 1.6, beta: 4.0 }, (n as f64).sqrt() as u64);
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    ResidualSampler.generate(&seq, &mut rng).graph
+}
+
+#[test]
+fn measured_operations_match_closed_forms_everywhere() {
+    let g = test_graph(1, 500);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for family in OrderFamily::ALL {
+        let dg = DirectedGraph::orient(&g, &family.relabeling(&g, &mut rng));
+        for method in Method::ALL {
+            let cost = method.run(&dg, |_, _, _| {});
+            assert_eq!(
+                cost.operations(),
+                method.predicted_operations(&dg),
+                "{method}/{}",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn eq7_8_9_from_directed_degrees() {
+    let g = test_graph(3, 400);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let dg = DirectedGraph::orient(&g, &OrderFamily::RoundRobin.relabeling(&g, &mut rng));
+    let (mut t1, mut t2, mut t3) = (0u64, 0u64, 0u64);
+    for v in 0..dg.n() as u32 {
+        let (x, y) = (dg.x(v) as u64, dg.y(v) as u64);
+        t1 += x * x.saturating_sub(1) / 2;
+        t2 += x * y;
+        t3 += y * y.saturating_sub(1) / 2;
+    }
+    assert_eq!(Method::T1.run(&dg, |_, _, _| {}).lookups, t1);
+    assert_eq!(Method::T2.run(&dg, |_, _, _| {}).lookups, t2);
+    assert_eq!(Method::T3.run(&dg, |_, _, _| {}).lookups, t3);
+}
+
+#[test]
+fn proposition_1_reversal_swaps_in_and_out_degrees() {
+    let g = test_graph(5, 300);
+    let degrees = g.degrees();
+    let perm = trilist::order::round_robin(g.n());
+    let fwd = DirectedGraph::orient(&g, &Relabeling::from_positions(&degrees, &perm));
+    let rev = DirectedGraph::orient(&g, &Relabeling::from_positions(&degrees, &perm.reverse()));
+    // multisets of (X, Y) under θ equal multisets of (Y, X) under θ′
+    let mut a: Vec<(usize, usize)> = (0..fwd.n() as u32).map(|v| (fwd.x(v), fwd.y(v))).collect();
+    let mut b: Vec<(usize, usize)> = (0..rev.n() as u32).map(|v| (rev.y(v), rev.x(v))).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+    // hence c(T1, θ) = c(T3, θ′) and c(T2, θ) = c(T2, θ′)
+    assert_eq!(Method::T1.predicted_operations(&fwd), Method::T3.predicted_operations(&rev));
+    assert_eq!(Method::T2.predicted_operations(&fwd), Method::T2.predicted_operations(&rev));
+    assert_eq!(Method::E1.predicted_operations(&fwd), Method::E3.predicted_operations(&rev));
+    assert_eq!(Method::E4.predicted_operations(&fwd), Method::E6.predicted_operations(&rev));
+}
+
+#[test]
+fn proposition_2_and_table1() {
+    let g = test_graph(7, 400);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let dg = DirectedGraph::orient(&g, &OrderFamily::Descending.relabeling(&g, &mut rng));
+    let t1 = Method::T1.run(&dg, |_, _, _| {}).lookups;
+    let t2 = Method::T2.run(&dg, |_, _, _| {}).lookups;
+    let t3 = Method::T3.run(&dg, |_, _, _| {}).lookups;
+    let expect: [(Method, u64, u64); 6] = [
+        (Method::E1, t1, t2),
+        (Method::E2, t2, t1),
+        (Method::E3, t3, t2),
+        (Method::E4, t1, t3),
+        (Method::E5, t2, t3),
+        (Method::E6, t3, t1),
+    ];
+    for (m, local, remote) in expect {
+        let cost = m.run(&dg, |_, _, _| {});
+        assert_eq!(cost.local, local, "{m} local");
+        assert_eq!(cost.remote, remote, "{m} remote");
+    }
+}
+
+#[test]
+fn table2_lei_lookup_costs() {
+    let g = test_graph(9, 400);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let dg = DirectedGraph::orient(&g, &OrderFamily::Uniform.relabeling(&g, &mut rng));
+    let oracle = HashOracle::build(&dg);
+    let t1 = Method::T1.run_with_oracle(&dg, &oracle, |_, _, _| {}).lookups;
+    let t2 = Method::T2.run_with_oracle(&dg, &oracle, |_, _, _| {}).lookups;
+    let t3 = Method::T3.run_with_oracle(&dg, &oracle, |_, _, _| {}).lookups;
+    let expect: [(Method, u64); 6] = [
+        (Method::L1, t2),
+        (Method::L2, t1),
+        (Method::L3, t2),
+        (Method::L4, t3),
+        (Method::L5, t3),
+        (Method::L6, t1),
+    ];
+    for (m, lookups) in expect {
+        let cost = m.run_with_oracle(&dg, &oracle, |_, _, _| {});
+        assert_eq!(cost.lookups, lookups, "{m}");
+        assert_eq!(cost.hash_inserts, dg.m() as u64, "{m} build");
+    }
+}
+
+#[test]
+fn vertex_equivalence_classes_figure2() {
+    // {T1, T4}, {T2, T5}, {T3, T6} have identical cost on the same graph
+    let g = test_graph(11, 350);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let dg = DirectedGraph::orient(&g, &OrderFamily::RoundRobin.relabeling(&g, &mut rng));
+    for (a, b) in [(Method::T1, Method::T4), (Method::T2, Method::T5), (Method::T3, Method::T6)] {
+        assert_eq!(
+            a.run(&dg, |_, _, _| {}).lookups,
+            b.run(&dg, |_, _, _| {}).lookups,
+            "{a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn x_plus_y_equals_degree_and_sums_to_m() {
+    let g = test_graph(13, 600);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+    for family in OrderFamily::ALL {
+        let relabeling = family.relabeling(&g, &mut rng);
+        let dg = DirectedGraph::orient(&g, &relabeling);
+        let inv = relabeling.inverse();
+        for label in 0..g.n() as u32 {
+            let node = inv[label as usize];
+            assert_eq!(dg.x(label) + dg.y(label), g.degree(node), "{}", family.name());
+        }
+        let sum_x: usize = (0..g.n() as u32).map(|v| dg.x(v)).sum();
+        let sum_y: usize = (0..g.n() as u32).map(|v| dg.y(v)).sum();
+        assert_eq!(sum_x, g.m());
+        assert_eq!(sum_y, g.m());
+    }
+}
+
+#[test]
+fn degenerate_orientation_minimizes_max_out_degree() {
+    let g = test_graph(15, 500);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+    let degen = DirectedGraph::orient(&g, &OrderFamily::Degenerate.relabeling(&g, &mut rng));
+    let degen_max = degen.max_out_degree();
+    for family in OrderFamily::ALL {
+        let dg = DirectedGraph::orient(&g, &family.relabeling(&g, &mut rng));
+        assert!(
+            degen_max <= dg.max_out_degree(),
+            "degen {} vs {} {}",
+            degen_max,
+            family.name(),
+            dg.max_out_degree()
+        );
+    }
+}

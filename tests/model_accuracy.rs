@@ -1,0 +1,156 @@
+//! Model-vs-simulation accuracy: eq. (11)'s expected out-degrees, the
+//! per-sequence model of eq. (14), and the distributional model of eq. (50)
+//! all match Monte-Carlo measurements on AMRC graphs.
+
+use rand::SeedableRng;
+use trilist::core::Method;
+use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+use trilist::model::{predicted_cost_per_node, q_fractions, CostClass, WeightFn};
+use trilist::order::{DirectedGraph, OrderFamily, LimitMap};
+use trilist_experiments::{model_cell, simulate, SimConfig};
+
+#[test]
+fn eq11_expected_out_degree_matches_monte_carlo() {
+    // Fix one degree sequence; generate many graphs; compare mean X_i to
+    // eq. (12) at a few labels.
+    let n = 1_500;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let dist = Truncated::new(DiscretePareto::paper_beta(1.7), Truncation::Root.t_n(n));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    let relabeling = {
+        let perm = trilist::order::descending(n);
+        trilist::order::Relabeling::from_positions(seq.as_slice(), &perm)
+    };
+    // degrees indexed by label
+    let inv = relabeling.inverse();
+    let degrees_by_label: Vec<u32> =
+        inv.iter().map(|&node| seq.as_slice()[node as usize]).collect();
+    let expected = trilist::model::expected_out_degrees(&degrees_by_label, WeightFn::Identity);
+
+    let reps = 60;
+    let mut sums = vec![0.0f64; n];
+    for _ in 0..reps {
+        let g = ResidualSampler.generate(&seq, &mut rng).graph;
+        let dg = DirectedGraph::orient(&g, &relabeling);
+        for v in 0..n as u32 {
+            sums[v as usize] += dg.x(v) as f64;
+        }
+    }
+    // aggregate over label blocks to suppress Monte-Carlo noise
+    for block in [(0, n / 4), (n / 4, n / 2), (n / 2, 3 * n / 4), (3 * n / 4, n)] {
+        let mc: f64 = sums[block.0..block.1].iter().sum::<f64>() / reps as f64;
+        let model: f64 = expected[block.0..block.1].iter().sum();
+        let err = (mc - model).abs() / model.max(1.0);
+        assert!(err < 0.06, "block {block:?}: mc {mc} model {model}");
+    }
+}
+
+#[test]
+fn eq14_per_sequence_model_matches_measured_cost() {
+    // Proposition 4 on a concrete sequence: (1/n)Σ g(d_i)h(q_i) vs the
+    // average measured cost over graphs realizing that sequence.
+    let n = 2_000;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let dist = Truncated::new(DiscretePareto::paper_beta(1.5), Truncation::Root.t_n(n));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    for (family, class) in [
+        (OrderFamily::Descending, CostClass::T1),
+        (OrderFamily::Ascending, CostClass::T1),
+        (OrderFamily::RoundRobin, CostClass::T2),
+    ] {
+        let relabeling = family.relabeling(
+            &ResidualSampler.generate(&seq, &mut rng).graph, // degrees drive the relabeling
+            &mut rng,
+        );
+        let inv = relabeling.inverse();
+        let degrees_by_label: Vec<u32> =
+            inv.iter().map(|&node| seq.as_slice()[node as usize]).collect();
+        let model = predicted_cost_per_node(&degrees_by_label, WeightFn::Identity, |x| {
+            class.h(x)
+        });
+        let method = match class {
+            CostClass::T1 => Method::T1,
+            CostClass::T2 => Method::T2,
+            _ => unreachable!(),
+        };
+        let reps = 20;
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let g = ResidualSampler.generate(&seq, &mut rng).graph;
+            let dg = DirectedGraph::orient(&g, &relabeling);
+            total += method.run(&dg, |_, _, _| {}).per_node(n);
+        }
+        let measured = total / reps as f64;
+        let err = (measured - model).abs() / model;
+        assert!(err < 0.1, "{:?}/{}: measured {measured} model {model}", class, family.name());
+    }
+}
+
+#[test]
+fn eq50_distribution_model_matches_simulation_root_truncation() {
+    // the Table 6/7 regime at laptop size: <10% at n = 4000
+    for (alpha, method, family, class, map) in [
+        (1.5, Method::T1, OrderFamily::Descending, CostClass::T1, LimitMap::Descending),
+        (1.7, Method::T2, OrderFamily::RoundRobin, CostClass::T2, LimitMap::RoundRobin),
+        (1.7, Method::E1, OrderFamily::Descending, CostClass::E1, LimitMap::Descending),
+    ] {
+        let cfg = SimConfig {
+            sequences: 4,
+            graphs_per_sequence: 4,
+            base_seed: 11,
+            ..SimConfig::quick(alpha, Truncation::Root)
+        };
+        let n = 4_000;
+        let cells = simulate(&cfg, n, &[(method, family)]);
+        let model = model_cell(&cfg, n, class, map, WeightFn::Identity);
+        let err = (cells[0].mean - model).abs() / model;
+        assert!(
+            err < 0.1,
+            "alpha={alpha} {method}+{}: sim {} model {model}",
+            family.name(),
+            cells[0].mean
+        );
+    }
+}
+
+#[test]
+fn q_fractions_monotone_under_equal_weights() {
+    // under any relabeling, prefix mass grows with the label
+    let d: Vec<u32> = (0..500).map(|i| 1 + (i * 7) % 40).collect();
+    let q = q_fractions(&d, WeightFn::Identity);
+    // q is not necessarily monotone in general (denominator varies with
+    // d_i), but with the capped weight at cap=1 all weights are equal and
+    // q must be strictly increasing
+    let q_flat = q_fractions(&d, WeightFn::Capped(1.0));
+    for w in q_flat.windows(2) {
+        assert!(w[0] < w[1] + 1e-12);
+    }
+    assert_eq!(q.len(), 500);
+}
+
+#[test]
+fn w2_model_reduces_error_in_unconstrained_graphs() {
+    // Table 11's headline: under α = 1.2 + linear truncation, w₂ = min(x, √m)
+    // is far more accurate than w₁ = x for T2-type methods.
+    let alpha = 1.2;
+    let cfg = SimConfig {
+        sequences: 3,
+        graphs_per_sequence: 3,
+        base_seed: 21,
+        ..SimConfig::quick(alpha, Truncation::Linear)
+    };
+    let n = 8_000;
+    let cells = simulate(&cfg, n, &[(Method::T2, OrderFamily::RoundRobin)]);
+    let sim = cells[0].mean;
+    let t_n = Truncation::Linear.t_n(n);
+    use trilist::graph::dist::DegreeModel;
+    let mean_dn = Truncated::new(cfg.pareto(), t_n).mean_exact();
+    let w2 = WeightFn::w2(n, mean_dn);
+    let m1 = model_cell(&cfg, n, CostClass::T2, LimitMap::RoundRobin, WeightFn::Identity);
+    let m2 = model_cell(&cfg, n, CostClass::T2, LimitMap::RoundRobin, w2);
+    let err1 = (m1 - sim).abs() / sim;
+    let err2 = (m2 - sim).abs() / sim;
+    assert!(err2 < err1, "w1 err {err1} vs w2 err {err2}");
+    assert!(err2 < 0.25, "w2 err {err2}");
+}

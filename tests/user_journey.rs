@@ -1,0 +1,71 @@
+//! A downstream user's workflow, end to end through the facade crate:
+//! generate → analyze the distribution → get a recommendation → list with
+//! sinks → cross-check statistics — the integration surface a README
+//! reader actually touches, in one test.
+
+use rand::SeedableRng;
+use trilist::core::{
+    list_triangles, Method, PerNodeCounter, ReservoirSink,
+};
+use trilist::graph::components::summarize;
+use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+use trilist::model::{discrete_cost, recommend, CostClass, ModelSpec};
+use trilist::order::{DirectedGraph, LimitMap, OrderFamily};
+
+#[test]
+fn full_user_journey() {
+    let n = 5_000;
+    let alpha = 1.7;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+
+    // 1. generate
+    let t_n = Truncation::Root.t_n(n);
+    let dist = Truncated::new(DiscretePareto::paper_beta(alpha), t_n);
+    let (degrees, _) = sample_degree_sequence(&dist, n, &mut rng);
+    let generated = ResidualSampler.generate(&degrees, &mut rng);
+    assert!(generated.shortfall <= 2);
+    let graph = generated.graph;
+    let summary = summarize(&graph);
+    assert_eq!(summary.n, n);
+    assert!(summary.giant_fraction > 0.95);
+
+    // 2. model prediction before running anything
+    let spec = ModelSpec::new(CostClass::T1, LimitMap::Descending);
+    let predicted = discrete_cost(&dist, &spec);
+    assert!(predicted > 0.0);
+
+    // 3. recommendation
+    let rec = recommend(&graph, 95.0);
+    assert_eq!(rec.family, OrderFamily::Descending);
+
+    // 4. run the recommended method with a reservoir sink
+    let relabeling = rec.family.relabeling(&graph, &mut rng);
+    let dg = DirectedGraph::orient(&graph, &relabeling);
+    let mut reservoir = ReservoirSink::new(16, rand::rngs::StdRng::seed_from_u64(1));
+    let mut per_node = PerNodeCounter::new(n);
+    let cost = rec.method.run(&dg, |x, y, z| {
+        reservoir.absorb(x, y, z);
+        per_node.absorb(x, y, z);
+    });
+    assert_eq!(reservoir.seen(), cost.triangles);
+    assert_eq!(per_node.total(), cost.triangles);
+    assert_eq!(reservoir.sample().len(), 16.min(cost.triangles as usize));
+
+    // 5. measured per-node cost of T1 agrees with the distributional model
+    //    within Monte-Carlo slack (one graph, so be generous)
+    let t1 = list_triangles(&graph, Method::T1, OrderFamily::Descending, &mut rng);
+    let measured = t1.cost.per_node(n);
+    assert!(
+        (measured - predicted).abs() / predicted < 0.3,
+        "measured {measured} vs predicted {predicted}"
+    );
+
+    // 6. every triangle in the reservoir is a real triangle of the graph
+    let inv = relabeling.inverse();
+    for &(x, y, z) in reservoir.sample() {
+        let (a, b, c) =
+            (inv[x as usize], inv[y as usize], inv[z as usize]);
+        assert!(graph.has_edge(a, b) && graph.has_edge(b, c) && graph.has_edge(a, c));
+    }
+}
