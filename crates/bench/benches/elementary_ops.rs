@@ -55,14 +55,18 @@ fn bench_gallop_intersection(c: &mut Criterion) {
     for short_len in [64u32, 1_024] {
         let short: Vec<u32> = (0..short_len).map(|i| i * 1_024).collect();
         group.throughput(Throughput::Elements(short_len as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(short_len), &short_len, |bch, _| {
-            bch.iter(|| {
-                let stats = intersect_gallop(black_box(&short), black_box(&long), |x| {
-                    black_box(x);
-                });
-                black_box(stats.matches)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(short_len),
+            &short_len,
+            |bch, _| {
+                bch.iter(|| {
+                    let stats = intersect_gallop(black_box(&short), black_box(&long), |x| {
+                        black_box(x);
+                    });
+                    black_box(stats.matches)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -84,9 +88,13 @@ fn bench_backwards_intersection(c: &mut Criterion) {
     });
     group.bench_function("backward", |bch| {
         bch.iter(|| {
-            black_box(intersect_sorted_backwards(black_box(&a), black_box(&b), |x| {
-                black_box(x);
-            }))
+            black_box(intersect_sorted_backwards(
+                black_box(&a),
+                black_box(&b),
+                |x| {
+                    black_box(x);
+                },
+            ))
         })
     });
     group.finish();

@@ -11,13 +11,23 @@ use trilist_xm::xm_e1;
 fn bench_xm_passes(c: &mut Criterion) {
     let graph = fixture_graph(20_000, 1.7, 21);
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let dg = DirectedGraph::orient(&graph, &OrderFamily::Descending.relabeling(&graph, &mut rng));
+    let dg = DirectedGraph::orient(
+        &graph,
+        &OrderFamily::Descending.relabeling(&graph, &mut rng),
+    );
     let mut group = c.benchmark_group("xm/e1_partitions");
     group.sample_size(10);
     group.throughput(Throughput::Elements(dg.m() as u64));
     for p in [1usize, 4, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| black_box(xm_e1(&dg, p, |_, _, _| {}).expect("scratch io").cost.triangles))
+            b.iter(|| {
+                black_box(
+                    xm_e1(&dg, p, |_, _, _| {})
+                        .expect("scratch io")
+                        .cost
+                        .triangles,
+                )
+            })
         });
     }
     group.finish();

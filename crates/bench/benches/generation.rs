@@ -52,5 +52,10 @@ fn bench_heavy_tail(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_residual_sampler, bench_configuration_model, bench_heavy_tail);
+criterion_group!(
+    benches,
+    bench_residual_sampler,
+    bench_configuration_model,
+    bench_heavy_tail
+);
 criterion_main!(benches);

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::SeedableRng;
 use std::hint::black_box;
 use trilist_bench::fixture_graph;
-use trilist_core::{HashOracle, Method};
+use trilist_core::{par_list, HashOracle, Method};
 use trilist_order::{DirectedGraph, OrderFamily};
 
 fn bench_fundamental_methods(c: &mut Criterion) {
@@ -40,15 +40,30 @@ fn bench_t1_oracles(c: &mut Criterion) {
     // hash oracle vs binary-search oracle for T1's candidate checks
     let graph = fixture_graph(50_000, 1.7, 9);
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-    let dg = DirectedGraph::orient(&graph, &OrderFamily::Descending.relabeling(&graph, &mut rng));
+    let dg = DirectedGraph::orient(
+        &graph,
+        &OrderFamily::Descending.relabeling(&graph, &mut rng),
+    );
     let hash = HashOracle::build(&dg);
     let mut group = c.benchmark_group("listing/t1_oracle");
     group.bench_function("hash", |b| {
-        b.iter(|| black_box(Method::T1.run_with_oracle(&dg, &hash, |_, _, _| {}).triangles))
+        b.iter(|| {
+            black_box(
+                Method::T1
+                    .run_with_oracle(&dg, &hash, |_, _, _| {})
+                    .triangles,
+            )
+        })
     });
     group.bench_function("binary_search", |b| {
         let sorted = trilist_core::SortedOracle::new(&dg);
-        b.iter(|| black_box(Method::T1.run_with_oracle(&dg, &sorted, |_, _, _| {}).triangles))
+        b.iter(|| {
+            black_box(
+                Method::T1
+                    .run_with_oracle(&dg, &sorted, |_, _, _| {})
+                    .triangles,
+            )
+        })
     });
     group.finish();
 }
@@ -59,18 +74,47 @@ fn bench_orientation_effect(c: &mut Criterion) {
     let graph = fixture_graph(30_000, 1.7, 11);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let mut group = c.benchmark_group("listing/e1_orientation");
-    for family in [OrderFamily::Descending, OrderFamily::Ascending, OrderFamily::Uniform] {
+    for family in [
+        OrderFamily::Descending,
+        OrderFamily::Ascending,
+        OrderFamily::Uniform,
+    ] {
         let dg = DirectedGraph::orient(&graph, &family.relabeling(&graph, &mut rng));
-        group.bench_with_input(BenchmarkId::from_parameter(family.name()), &family, |b, _| {
-            b.iter(|| black_box(Method::E1.run(&dg, |_, _, _| {}).triangles))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(family.name()),
+            &family,
+            |b, _| b.iter(|| black_box(Method::E1.run(&dg, |_, _, _| {}).triangles)),
+        );
     }
     group.finish();
+}
+
+fn bench_work_stealing(c: &mut Criterion) {
+    // the work-stealing runtime swept over worker counts; on a multicore
+    // host the E1 wall time should halve by 4 threads (see thread_scaling)
+    let graph = fixture_graph(30_000, 1.5, 19);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    for method in [Method::E1, Method::T1] {
+        let family = method.optimal_family();
+        let dg = DirectedGraph::orient(&graph, &family.relabeling(&graph, &mut rng));
+        let mut group = c.benchmark_group(format!(
+            "listing/work_stealing_{}",
+            method.name().to_lowercase()
+        ));
+        group.throughput(Throughput::Elements(graph.m() as u64));
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+                b.iter(|| black_box(par_list(&dg, method, t).cost.triangles))
+            });
+        }
+        group.finish();
+    }
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_fundamental_methods, bench_t1_oracles, bench_orientation_effect
+    targets = bench_fundamental_methods, bench_t1_oracles, bench_orientation_effect,
+        bench_work_stealing
 }
 criterion_main!(benches);

@@ -50,5 +50,10 @@ fn bench_continuous(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_discrete_exact, bench_algorithm2, bench_continuous);
+criterion_group!(
+    benches,
+    bench_discrete_exact,
+    bench_algorithm2,
+    bench_continuous
+);
 criterion_main!(benches);

@@ -16,13 +16,17 @@ fn bench_relabel_and_orient(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(graph.m() as u64));
     for family in OrderFamily::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(family.name()), &family, |b, &f| {
-            b.iter(|| {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-                let relabeling = f.relabeling(&graph, &mut rng);
-                black_box(DirectedGraph::orient(&graph, &relabeling).m())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(family.name()),
+            &family,
+            |b, &f| {
+                b.iter(|| {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                    let relabeling = f.relabeling(&graph, &mut rng);
+                    black_box(DirectedGraph::orient(&graph, &relabeling).m())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -40,5 +44,37 @@ fn bench_degeneracy_only(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_relabel_and_orient, bench_degeneracy_only);
+fn bench_parallel_orientation_effect(c: &mut Criterion) {
+    // how much of the asc-orientation penalty the work-stealing runtime
+    // can hide at 4 workers: skewed out-lists make static splits pathological,
+    // while load-proportional chunking keeps the workers busy
+    let graph = fixture_graph(30_000, 1.7, 23);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("orientation/e1_parallel");
+    group.sample_size(10);
+    for family in [OrderFamily::Descending, OrderFamily::Ascending] {
+        let dg = DirectedGraph::orient(&graph, &family.relabeling(&graph, &mut rng));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(family.name()),
+            &family,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        trilist_core::par_list(&dg, trilist_core::Method::E1, 4)
+                            .cost
+                            .triangles,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_relabel_and_orient,
+    bench_degeneracy_only,
+    bench_parallel_orientation_effect
+);
 criterion_main!(benches);

@@ -64,7 +64,12 @@ mod tests {
 
     #[test]
     fn operations_sums_accounted_fields() {
-        let r = CostReport { lookups: 5, local: 3, remote: 7, ..Default::default() };
+        let r = CostReport {
+            lookups: 5,
+            local: 3,
+            remote: 7,
+            ..Default::default()
+        };
         assert_eq!(r.operations(), 15);
         assert!((r.per_node(5) - 3.0).abs() < 1e-12);
         assert_eq!(CostReport::default().per_node(0), 0.0);
@@ -72,8 +77,17 @@ mod tests {
 
     #[test]
     fn accumulate_adds_fields() {
-        let mut a = CostReport { triangles: 1, lookups: 2, ..Default::default() };
-        let b = CostReport { triangles: 3, lookups: 4, local: 1, ..Default::default() };
+        let mut a = CostReport {
+            triangles: 1,
+            lookups: 2,
+            ..Default::default()
+        };
+        let b = CostReport {
+            triangles: 3,
+            lookups: 4,
+            local: 1,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.triangles, 4);
         assert_eq!(a.lookups, 6);

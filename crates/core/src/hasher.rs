@@ -107,7 +107,11 @@ mod tests {
             seen.insert(hash_one(k) & mask);
         }
         // a good mixer fills most of the 4096 buckets
-        assert!(seen.len() > 2_500, "only {} distinct low-bit patterns", seen.len());
+        assert!(
+            seen.len() > 2_500,
+            "only {} distinct low-bit patterns",
+            seen.len()
+        );
     }
 
     #[test]

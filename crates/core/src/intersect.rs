@@ -144,8 +144,12 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         for _ in 0..200 {
-            let mut a: Vec<u32> = (0..rng.gen_range(0..30)).map(|_| rng.gen_range(0..100)).collect();
-            let mut b: Vec<u32> = (0..rng.gen_range(0..300)).map(|_| rng.gen_range(0..400)).collect();
+            let mut a: Vec<u32> = (0..rng.gen_range(0..30))
+                .map(|_| rng.gen_range(0..100))
+                .collect();
+            let mut b: Vec<u32> = (0..rng.gen_range(0..300))
+                .map(|_| rng.gen_range(0..400))
+                .collect();
             a.sort_unstable();
             a.dedup();
             b.sort_unstable();
@@ -161,8 +165,12 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         for _ in 0..200 {
-            let mut a: Vec<u32> = (0..rng.gen_range(0..40)).map(|_| rng.gen_range(0..120)).collect();
-            let mut b: Vec<u32> = (0..rng.gen_range(0..40)).map(|_| rng.gen_range(0..120)).collect();
+            let mut a: Vec<u32> = (0..rng.gen_range(0..40))
+                .map(|_| rng.gen_range(0..120))
+                .collect();
+            let mut b: Vec<u32> = (0..rng.gen_range(0..40))
+                .map(|_| rng.gen_range(0..120))
+                .collect();
             a.sort_unstable();
             a.dedup();
             b.sort_unstable();

@@ -26,7 +26,10 @@ pub fn l1<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
     oracle: &O,
     mut sink: F,
 ) -> CostReport {
-    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    let mut cost = CostReport {
+        hash_inserts: oracle.build_cost(),
+        ..Default::default()
+    };
     for z in 0..g.n() as u32 {
         for &y in g.out(z) {
             for &x in g.out(y) {
@@ -48,7 +51,10 @@ pub fn l2<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
     oracle: &O,
     mut sink: F,
 ) -> CostReport {
-    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    let mut cost = CostReport {
+        hash_inserts: oracle.build_cost(),
+        ..Default::default()
+    };
     for z in 0..g.n() as u32 {
         let out = g.out(z);
         for (j, &y) in out.iter().enumerate() {
@@ -72,7 +78,10 @@ pub fn l3<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
     oracle: &O,
     mut sink: F,
 ) -> CostReport {
-    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    let mut cost = CostReport {
+        hash_inserts: oracle.build_cost(),
+        ..Default::default()
+    };
     for x in 0..g.n() as u32 {
         for &y in g.in_(x) {
             for &z in g.in_(y) {
@@ -94,7 +103,10 @@ pub fn l4<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
     oracle: &O,
     mut sink: F,
 ) -> CostReport {
-    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    let mut cost = CostReport {
+        hash_inserts: oracle.build_cost(),
+        ..Default::default()
+    };
     for x in 0..g.n() as u32 {
         let inn = g.in_(x);
         for (k, &z) in inn.iter().enumerate() {
@@ -117,7 +129,10 @@ pub fn l5<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
     oracle: &O,
     mut sink: F,
 ) -> CostReport {
-    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    let mut cost = CostReport {
+        hash_inserts: oracle.build_cost(),
+        ..Default::default()
+    };
     for x in 0..g.n() as u32 {
         let inn = g.in_(x);
         for (k, &y) in inn.iter().enumerate() {
@@ -140,7 +155,10 @@ pub fn l6<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
     oracle: &O,
     mut sink: F,
 ) -> CostReport {
-    let mut cost = CostReport { hash_inserts: oracle.build_cost(), ..Default::default() };
+    let mut cost = CostReport {
+        hash_inserts: oracle.build_cost(),
+        ..Default::default()
+    };
     for x in 0..g.n() as u32 {
         for &z in g.in_(x) {
             let out = g.out(z);
@@ -179,14 +197,25 @@ mod tests {
         // a graph with several triangles and irregular degrees
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (4, 5), (0, 5), (5, 6), (4, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (4, 5),
+                (0, 5),
+                (5, 6),
+                (4, 6),
+            ],
         )
         .unwrap();
         DirectedGraph::orient(&g, &Relabeling::identity(7))
     }
 
-    type Runner =
-        fn(&DirectedGraph, &HashOracle, &mut Vec<(u32, u32, u32)>) -> CostReport;
+    type Runner = fn(&DirectedGraph, &HashOracle, &mut Vec<(u32, u32, u32)>) -> CostReport;
 
     fn runners() -> [(u8, Runner); 6] {
         [

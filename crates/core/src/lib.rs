@@ -48,7 +48,7 @@ pub use clustering::{average_clustering, transitivity, triangle_count, triangle_
 pub use compressed::{e1_compressed, CompressedOut};
 pub use cost::CostReport;
 pub use oracle::{EdgeOracle, HashOracle, SortedOracle};
-pub use parallel::{par_list, ParallelRun};
+pub use parallel::{par_list, par_list_with, ParallelOpts, ParallelRun, ThreadStats};
 pub use prior_art::{chiba_nishizeki, forward};
 pub use sink::{FirstK, PerNodeCounter, ReservoirSink};
 pub use unrelabeled::OrientedOnly;
@@ -73,17 +73,47 @@ pub enum Family {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // variants are the paper's own names
 pub enum Method {
-    T1, T2, T3, T4, T5, T6,
-    E1, E2, E3, E4, E5, E6,
-    L1, L2, L3, L4, L5, L6,
+    T1,
+    T2,
+    T3,
+    T4,
+    T5,
+    T6,
+    E1,
+    E2,
+    E3,
+    E4,
+    E5,
+    E6,
+    L1,
+    L2,
+    L3,
+    L4,
+    L5,
+    L6,
 }
 
 impl Method {
     /// All 18 methods.
     pub const ALL: [Method; 18] = [
-        Method::T1, Method::T2, Method::T3, Method::T4, Method::T5, Method::T6,
-        Method::E1, Method::E2, Method::E3, Method::E4, Method::E5, Method::E6,
-        Method::L1, Method::L2, Method::L3, Method::L4, Method::L5, Method::L6,
+        Method::T1,
+        Method::T2,
+        Method::T3,
+        Method::T4,
+        Method::T5,
+        Method::T6,
+        Method::E1,
+        Method::E2,
+        Method::E3,
+        Method::E4,
+        Method::E5,
+        Method::E6,
+        Method::L1,
+        Method::L2,
+        Method::L3,
+        Method::L4,
+        Method::L5,
+        Method::L6,
     ];
 
     /// The four non-isomorphic techniques kept after the equivalence-class
@@ -130,9 +160,24 @@ impl Method {
     pub fn name(&self) -> &'static str {
         use Method::*;
         match self {
-            T1 => "T1", T2 => "T2", T3 => "T3", T4 => "T4", T5 => "T5", T6 => "T6",
-            E1 => "E1", E2 => "E2", E3 => "E3", E4 => "E4", E5 => "E5", E6 => "E6",
-            L1 => "L1", L2 => "L2", L3 => "L3", L4 => "L4", L5 => "L5", L6 => "L6",
+            T1 => "T1",
+            T2 => "T2",
+            T3 => "T3",
+            T4 => "T4",
+            T5 => "T5",
+            T6 => "T6",
+            E1 => "E1",
+            E2 => "E2",
+            E3 => "E3",
+            E4 => "E4",
+            E5 => "E5",
+            E6 => "E6",
+            L1 => "L1",
+            L2 => "L2",
+            L3 => "L3",
+            L4 => "L4",
+            L5 => "L5",
+            L6 => "L6",
         }
     }
 
@@ -210,7 +255,12 @@ impl Method {
     fn sei_index(&self) -> u8 {
         use Method::*;
         match self {
-            E1 => 1, E2 => 2, E3 => 3, E4 => 4, E5 => 5, E6 => 6,
+            E1 => 1,
+            E2 => 2,
+            E3 => 3,
+            E4 => 4,
+            E5 => 5,
+            E6 => 6,
             _ => panic!("not an SEI method"),
         }
     }
@@ -218,7 +268,12 @@ impl Method {
     fn lei_index(&self) -> u8 {
         use Method::*;
         match self {
-            L1 => 1, L2 => 2, L3 => 3, L4 => 4, L5 => 5, L6 => 6,
+            L1 => 1,
+            L2 => 2,
+            L3 => 3,
+            L4 => 4,
+            L5 => 5,
+            L6 => 6,
             _ => panic!("not an LEI method"),
         }
     }
@@ -254,12 +309,19 @@ pub fn list_triangles<R: Rng + ?Sized>(
     let inverse = relabeling.inverse();
     let mut triangles = Vec::new();
     let cost = method.run(&dg, |x, y, z| {
-        let mut t =
-            [inverse[x as usize], inverse[y as usize], inverse[z as usize]];
+        let mut t = [
+            inverse[x as usize],
+            inverse[y as usize],
+            inverse[z as usize],
+        ];
         t.sort_unstable();
         triangles.push((t[0], t[1], t[2]));
     });
-    ListingRun { cost, triangles, relabeling }
+    ListingRun {
+        cost,
+        triangles,
+        relabeling,
+    }
 }
 
 /// Counts triangles without materializing them (same framework).
@@ -284,8 +346,20 @@ mod tests {
         Graph::from_edges(
             8,
             &[
-                (0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (4, 5),
-                (0, 5), (5, 6), (4, 6), (6, 7), (0, 7), (2, 7),
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (4, 5),
+                (0, 5),
+                (5, 6),
+                (4, 6),
+                (6, 7),
+                (0, 7),
+                (2, 7),
             ],
         )
         .unwrap()
@@ -347,8 +421,14 @@ mod tests {
         let perm = trilist_order::round_robin(g.n());
         let fwd = DirectedGraph::orient(&g, &Relabeling::from_positions(&degrees, &perm));
         let rev = DirectedGraph::orient(&g, &Relabeling::from_positions(&degrees, &perm.reverse()));
-        assert_eq!(Method::T1.predicted_operations(&fwd), Method::T3.predicted_operations(&rev));
-        assert_eq!(Method::T2.predicted_operations(&fwd), Method::T2.predicted_operations(&rev));
+        assert_eq!(
+            Method::T1.predicted_operations(&fwd),
+            Method::T3.predicted_operations(&rev)
+        );
+        assert_eq!(
+            Method::T2.predicted_operations(&fwd),
+            Method::T2.predicted_operations(&rev)
+        );
     }
 
     #[test]

@@ -1,54 +1,199 @@
-//! Shared-memory parallel triangle listing.
+//! Shared-memory parallel triangle listing: a work-stealing runtime.
 //!
 //! The acyclic orientation makes the four fundamental methods embarrassingly
 //! parallel: every candidate pair (T1/T2) and every intersection (E1/E4) is
 //! owned by exactly one visited node, so partitioning the visited-node range
-//! across threads partitions the work with no synchronization beyond the
-//! final merge. This is the "multicore without tuning" observation of the
-//! literature the paper builds on (\[35\]); the operation counts are
-//! *identical* to the sequential run — parallelism only divides wall time.
+//! partitions the work with no synchronization beyond the final merge. The
+//! operation counts are *identical* to the sequential run — parallelism
+//! only divides wall time.
 //!
-//! Work balance: under descending order the heavy nodes sit at small labels
-//! (for T1's out-degree work it is the opposite), so static equal-width
-//! ranges can skew badly on power-law graphs. The splitter below balances
-//! by *candidate volume* instead: each chunk gets roughly the same share of
-//! the method's predicted operations.
+//! # Why work stealing
+//!
+//! The previous runtime pre-split the visited range into one static chunk
+//! per thread, sized by a per-node load model. On power-law graphs (the
+//! paper's whole regime, Pareto `α < 2`) any error in that model — and the
+//! old E1 proxy ignored the remote out-list lengths that dominate E1's scan
+//! cost (`h_{E1}`, Table 4) — serializes the run behind one unlucky chunk.
+//! Degree-skew-aware *dynamic* scheduling is what makes triangle listing
+//! scale on such inputs (Kolountzakis et al., arXiv:1011.0468; AOT,
+//! arXiv:2006.11494), so this runtime:
+//!
+//! 1. splits the visited range into fine-grained chunks of roughly
+//!    [`ParallelOpts::target_chunk_ops`] predicted operations each
+//!    (remote-aware [`node_load`] model);
+//! 2. feeds the chunk queue through a `crossbeam` injector; each worker
+//!    drains batches into its own deque and steals from siblings when both
+//!    its deque and the injector run dry;
+//! 3. buffers per-chunk `CostReport`s and triangles thread-locally, then
+//!    merges them **ordered by owning chunk** — so the merged cost and the
+//!    triangle order are byte-identical to the sequential run regardless of
+//!    thread count or steal schedule.
+//!
+//! Each worker also records chunks processed, chunks stolen, operations,
+//! and busy time, from which [`ParallelRun::load_balance_efficiency`]
+//! reports mean/max busy time — 1.0 is a perfectly balanced run.
 
 use crate::cost::CostReport;
 use crate::oracle::HashOracle;
 use crate::{sei, vertex, Method};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use trilist_order::DirectedGraph;
 
-/// The outcome of a parallel run: merged cost plus per-thread triangles.
-#[derive(Clone, Debug)]
-pub struct ParallelRun {
-    /// Merged operation counts (equal to the sequential run's).
-    pub cost: CostReport,
-    /// Triangles from all threads, concatenated (order is
-    /// nondeterministic across threads, deterministic within one).
-    pub triangles: Vec<(u32, u32, u32)>,
+/// Tuning knobs for [`par_list_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelOpts {
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Predicted operations per chunk. Smaller chunks balance better but
+    /// add queue traffic; ~1k operations keeps both costs negligible.
+    pub target_chunk_ops: u64,
 }
 
-/// Per-node predicted operations of a fundamental method — the load metric
-/// used to balance thread ranges.
-fn node_load(method: Method, g: &DirectedGraph, v: u32) -> u64 {
+impl Default for ParallelOpts {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        ParallelOpts {
+            threads,
+            target_chunk_ops: 1024,
+        }
+    }
+}
+
+impl ParallelOpts {
+    /// Default options with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelOpts {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// What one worker thread did during a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadStats {
+    /// Chunks this worker executed.
+    pub chunks: u64,
+    /// Chunks obtained by stealing from another worker's deque (injector
+    /// refills are not steals).
+    pub steals: u64,
+    /// Elementary operations performed (`CostReport::operations`).
+    pub operations: u64,
+    /// Time spent executing chunks (queue time excluded).
+    pub busy: Duration,
+}
+
+/// The outcome of a parallel run: merged cost, triangles, and scheduling
+/// telemetry.
+#[derive(Clone, Debug)]
+pub struct ParallelRun {
+    /// Merged operation counts — exactly equal to the sequential run's.
+    pub cost: CostReport,
+    /// Triangles merged in chunk order, which *is* sequential order: the
+    /// output is deterministic and thread-count independent.
+    pub triangles: Vec<(u32, u32, u32)>,
+    /// Per-worker telemetry, indexed by worker id.
+    pub threads: Vec<ThreadStats>,
+    /// Number of chunks the visited range was split into.
+    pub chunks: usize,
+}
+
+impl ParallelRun {
+    /// Load-balance efficiency: mean worker busy time over max worker busy
+    /// time. 1.0 means no worker waited on the longest one; values near
+    /// `1/threads` mean the run serialized behind a single worker.
+    pub fn load_balance_efficiency(&self) -> f64 {
+        let max = self
+            .threads
+            .iter()
+            .map(|t| t.busy)
+            .max()
+            .unwrap_or_default();
+        if max.is_zero() {
+            return 1.0;
+        }
+        let mean = self.threads.iter().map(|t| t.busy).sum::<Duration>()
+            / self.threads.len().max(1) as u32;
+        mean.as_secs_f64() / max.as_secs_f64()
+    }
+
+    /// Total chunks obtained via stealing, across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.threads.iter().map(|t| t.steals).sum()
+    }
+}
+
+/// Predicted elementary operations charged to visited node `v` — the load
+/// model used to size chunks.
+///
+/// T1/T2 are exact (eqs. 7–8). E1 charges the T1-local term *plus the
+/// remote out-list lengths* of `v`'s out-neighbors — the `h_{E1}` scan term
+/// that dominates on skewed graphs and that a purely local proxy
+/// under-charges. E4's remote term (the below-`z` prefix of each
+/// out-neighbor's in-list) is bounded by the full in-degree, which is the
+/// tightest proxy available without a binary search per edge.
+pub fn node_load(method: Method, g: &DirectedGraph, v: u32) -> u64 {
     let (x, y) = (g.x(v) as u64, g.y(v) as u64);
+    let local = x * x.saturating_sub(1) / 2;
     match method {
-        Method::T1 => x * x.saturating_sub(1) / 2,
+        Method::T1 => local,
         Method::T2 => x * y,
-        // E1 charges T1-local plus the remote lists of out-neighbors; the
-        // local term is a good enough balance proxy
-        Method::E1 => x * x.saturating_sub(1) / 2 + x,
-        Method::E4 => x * x.saturating_sub(1) / 2 + y,
+        Method::E1 => local + g.out(v).iter().map(|&u| g.x(u) as u64).sum::<u64>(),
+        Method::E4 => local + g.out(v).iter().map(|&u| g.y(u) as u64).sum::<u64>(),
         other => panic!("parallel listing supports the fundamental methods, not {other}"),
     }
 }
 
-/// Splits `0..n` into at most `chunks` ranges of roughly equal predicted
-/// load.
-pub fn balanced_ranges(method: Method, g: &DirectedGraph, chunks: usize) -> Vec<std::ops::Range<u32>> {
+/// Per-node loads for the whole visited range (one `O(n + m)` pass).
+pub fn node_loads(method: Method, g: &DirectedGraph) -> Vec<u64> {
+    (0..g.n() as u32).map(|v| node_load(method, g, v)).collect()
+}
+
+/// Splits `0..n` into consecutive chunks of at most ~`target_ops` predicted
+/// operations each (single nodes heavier than `target_ops` get their own
+/// chunk — visited-node granularity cannot split them further).
+pub fn chunk_ranges(
+    method: Method,
+    g: &DirectedGraph,
+    target_ops: u64,
+) -> Vec<std::ops::Range<u32>> {
     let n = g.n() as u32;
-    let total: u64 = (0..n).map(|v| node_load(method, g, v)).sum();
+    let target = target_ops.max(1);
+    let mut ranges = Vec::new();
+    let mut start = 0u32;
+    let mut acc = 0u64;
+    for v in 0..n {
+        let load = node_load(method, g, v);
+        if acc > 0 && acc + load > target {
+            ranges.push(start..v);
+            start = v;
+            acc = 0;
+        }
+        acc += load;
+    }
+    if start < n || ranges.is_empty() {
+        ranges.push(start..n);
+    }
+    ranges
+}
+
+/// Splits `0..n` into at most `chunks` ranges of roughly equal predicted
+/// load (the static-split helper, kept for diagnostics and tests; the
+/// runtime itself schedules fine-grained [`chunk_ranges`] dynamically).
+pub fn balanced_ranges(
+    method: Method,
+    g: &DirectedGraph,
+    chunks: usize,
+) -> Vec<std::ops::Range<u32>> {
+    let n = g.n() as u32;
+    let loads = node_loads(method, g);
+    let total: u64 = loads.iter().sum();
     if chunks <= 1 || total == 0 {
         return std::iter::once(0..n).collect();
     }
@@ -57,7 +202,7 @@ pub fn balanced_ranges(method: Method, g: &DirectedGraph, chunks: usize) -> Vec<
     let mut start = 0u32;
     let mut acc = 0u64;
     for v in 0..n {
-        acc += node_load(method, g, v);
+        acc += loads[v as usize];
         if acc >= per_chunk && v + 1 < n {
             ranges.push(start..v + 1);
             start = v + 1;
@@ -68,55 +213,210 @@ pub fn balanced_ranges(method: Method, g: &DirectedGraph, chunks: usize) -> Vec<
     ranges
 }
 
-/// Lists triangles with `method` using `threads` worker threads.
+/// A worker panic caught mid-run, with the scheduling context that was
+/// executing.
+struct WorkerPanic {
+    worker: usize,
+    range: std::ops::Range<u32>,
+    message: String,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lists triangles with `method` using `threads` worker threads and the
+/// default chunk size. See [`par_list_with`].
+pub fn par_list(g: &DirectedGraph, method: Method, threads: usize) -> ParallelRun {
+    par_list_with(
+        g,
+        method,
+        &ParallelOpts {
+            threads,
+            ..ParallelOpts::default()
+        },
+    )
+}
+
+/// Lists triangles with the work-stealing runtime.
 ///
 /// Only the four fundamental methods (Figure 5) are supported; the
 /// equivalence classes make the others redundant.
-pub fn par_list(g: &DirectedGraph, method: Method, threads: usize) -> ParallelRun {
+///
+/// Guarantees:
+/// - `cost` equals the sequential [`Method::run`] cost field-for-field;
+/// - `triangles` is in sequential emission order for any thread count;
+/// - a panic inside a worker (e.g. from a triangle sink) is resurfaced on
+///   the caller with the method and visited-node range that was executing.
+pub fn par_list_with(g: &DirectedGraph, method: Method, opts: &ParallelOpts) -> ParallelRun {
     let oracle = match method {
         Method::T1 | Method::T2 => Some(HashOracle::build(g)),
         _ => None,
     };
-    let ranges = balanced_ranges(method, g, threads.max(1));
-    type WorkerResult = (CostReport, Vec<(u32, u32, u32)>);
-    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
-        let oracle = &oracle;
-        let handles: Vec<_> = ranges
+    let ranges = chunk_ranges(method, g, opts.target_chunk_ops);
+    run_scheduler(&ranges, opts.threads.max(1), method.name(), &|range| {
+        run_chunk(g, method, oracle.as_ref(), range)
+    })
+}
+
+/// One chunk's merged output, tagged with its index for the ordered merge.
+type ChunkResult = (usize, CostReport, Vec<(u32, u32, u32)>);
+
+/// What a worker computes for one visited-node range.
+type ChunkFn<'a> = &'a (dyn Fn(std::ops::Range<u32>) -> (CostReport, Vec<(u32, u32, u32)>) + Sync);
+
+/// The work-stealing scheduler, independent of what a chunk computes: runs
+/// `chunk_fn` over every range on `threads` workers and merges the results
+/// in chunk order. A chunk panic stops the run and is resurfaced with
+/// `label` and the range that was executing.
+fn run_scheduler(
+    ranges: &[std::ops::Range<u32>],
+    threads: usize,
+    label: &str,
+    chunk_fn: ChunkFn<'_>,
+) -> ParallelRun {
+    let chunks = ranges.len();
+
+    // All chunks start in the injector; workers drain batches into their
+    // own deques and steal from siblings once the injector is dry.
+    let injector: Injector<usize> = Injector::new();
+    for idx in 0..chunks {
+        injector.push(idx);
+    }
+    let workers: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<usize>> = workers.iter().map(|w| w.stealer()).collect();
+    let stop = AtomicBool::new(false);
+    let failure: Mutex<Option<WorkerPanic>> = Mutex::new(None);
+
+    let mut per_worker: Vec<(ThreadStats, Vec<ChunkResult>)> = std::thread::scope(|scope| {
+        let (injector, stealers, stop, failure) = (&injector, &stealers, &stop, &failure);
+        let handles: Vec<_> = workers
             .into_iter()
-            .map(|range| {
+            .enumerate()
+            .map(|(id, local)| {
                 scope.spawn(move || {
-                    let mut tris = Vec::new();
-                    let sink = |x: u32, y: u32, z: u32| tris.push((x, y, z));
-                    let cost = match method {
-                        Method::T1 => vertex::t1_range(
-                            g,
-                            oracle.as_ref().expect("oracle built for T1"),
-                            range,
-                            sink,
-                        ),
-                        Method::T2 => vertex::t2_range(
-                            g,
-                            oracle.as_ref().expect("oracle built for T2"),
-                            range,
-                            sink,
-                        ),
-                        Method::E1 => sei::e1_range(g, range, sink),
-                        Method::E4 => sei::e4_range(g, range, sink),
-                        other => panic!("unsupported parallel method {other}"),
-                    };
-                    (cost, tris)
+                    let mut stats = ThreadStats::default();
+                    let mut results: Vec<ChunkResult> = Vec::new();
+                    'work: while !stop.load(Ordering::Relaxed) {
+                        let (idx, stolen) = match next_task(id, &local, injector, stealers) {
+                            Some(task) => task,
+                            None => break 'work,
+                        };
+                        let range = ranges[idx].clone();
+                        let started = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| chunk_fn(range.clone())));
+                        stats.busy += started.elapsed();
+                        match outcome {
+                            Ok((cost, tris)) => {
+                                stats.chunks += 1;
+                                stats.steals += stolen as u64;
+                                stats.operations += cost.operations();
+                                results.push((idx, cost, tris));
+                            }
+                            Err(payload) => {
+                                *failure.lock().expect("failure mutex poisoned") =
+                                    Some(WorkerPanic {
+                                        worker: id,
+                                        range,
+                                        message: panic_message(payload.as_ref()),
+                                    });
+                                stop.store(true, Ordering::Relaxed);
+                                break 'work;
+                            }
+                        }
+                    }
+                    (stats, results)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread infrastructure panicked"))
+            .collect()
     });
+
+    if let Some(panic) = failure.lock().expect("failure mutex poisoned").take() {
+        panic!(
+            "parallel {label} worker {} panicked while listing visited range {}..{}: {}",
+            panic.worker, panic.range.start, panic.range.end, panic.message
+        );
+    }
+
+    // Deterministic merge: accumulate in chunk order, which reproduces the
+    // sequential emission order exactly.
+    let mut all: Vec<ChunkResult> = per_worker
+        .iter_mut()
+        .flat_map(|(_, results)| results.drain(..))
+        .collect();
+    all.sort_unstable_by_key(|(idx, _, _)| *idx);
     let mut cost = CostReport::default();
     let mut triangles = Vec::new();
-    for (c, t) in results {
+    for (_, c, tris) in all {
         cost.accumulate(&c);
-        triangles.extend(t);
+        triangles.extend(tris);
     }
-    ParallelRun { cost, triangles }
+    ParallelRun {
+        cost,
+        triangles,
+        threads: per_worker.into_iter().map(|(stats, _)| stats).collect(),
+        chunks,
+    }
+}
+
+/// Next chunk for worker `id`: own deque, then an injector batch, then a
+/// steal sweep over siblings. Returns `(chunk, was_stolen)`.
+fn next_task(
+    id: usize,
+    local: &Worker<usize>,
+    injector: &Injector<usize>,
+    stealers: &[Stealer<usize>],
+) -> Option<(usize, bool)> {
+    if let Some(idx) = local.pop() {
+        return Some((idx, false));
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(idx) => return Some((idx, false)),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    let n = stealers.len();
+    let mut retry = true;
+    while std::mem::take(&mut retry) {
+        for shift in 1..n {
+            match stealers[(id + shift) % n].steal() {
+                Steal::Success(idx) => return Some((idx, true)),
+                Steal::Empty => {}
+                Steal::Retry => retry = true,
+            }
+        }
+    }
+    None
+}
+
+fn run_chunk(
+    g: &DirectedGraph,
+    method: Method,
+    oracle: Option<&HashOracle>,
+    range: std::ops::Range<u32>,
+) -> (CostReport, Vec<(u32, u32, u32)>) {
+    let mut tris = Vec::new();
+    let sink = |x: u32, y: u32, z: u32| tris.push((x, y, z));
+    let cost = match method {
+        Method::T1 => vertex::t1_range(g, oracle.expect("oracle built for T1"), range, sink),
+        Method::T2 => vertex::t2_range(g, oracle.expect("oracle built for T2"), range, sink),
+        Method::E1 => sei::e1_range(g, range, sink),
+        Method::E4 => sei::e4_range(g, range, sink),
+        other => panic!("unsupported parallel method {other}"),
+    };
+    (cost, tris)
 }
 
 #[cfg(test)]
@@ -136,6 +436,24 @@ mod tests {
         DirectedGraph::orient(&g, &relabeling)
     }
 
+    /// A Pareto `α = 1.5` fixture — the heavy-tail regime where static
+    /// splits skew worst.
+    fn pareto_fixture(n: usize, seed: u64) -> DirectedGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = (n as f64).sqrt() as u64;
+        let dist = Truncated::new(
+            DiscretePareto {
+                alpha: 1.5,
+                beta: 15.0,
+            },
+            t.max(2),
+        );
+        let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+        let g = ResidualSampler.generate(&seq, &mut rng).graph;
+        let relabeling = OrderFamily::Descending.relabeling(&g, &mut rng);
+        DirectedGraph::orient(&g, &relabeling)
+    }
+
     #[test]
     fn parallel_equals_sequential_for_all_methods() {
         let dg = fixture();
@@ -143,12 +461,44 @@ mod tests {
             let mut seq_tris = Vec::new();
             let seq_cost = method.run(&dg, |x, y, z| seq_tris.push((x, y, z)));
             for threads in [1, 2, 4, 7] {
-                let mut run = par_list(&dg, method, threads);
-                run.triangles.sort_unstable();
-                seq_tris.sort_unstable();
+                let run = par_list(&dg, method, threads);
+                // triangle *order* matches sequential, not just the set
                 assert_eq!(run.triangles, seq_tris, "{method} threads={threads}");
-                assert_eq!(run.cost.operations(), seq_cost.operations(), "{method}");
-                assert_eq!(run.cost.triangles, seq_cost.triangles, "{method}");
+                assert_eq!(run.cost, seq_cost, "{method} threads={threads}");
+                assert_eq!(run.threads.len(), threads);
+                let processed: u64 = run.threads.iter().map(|t| t.chunks).sum();
+                assert_eq!(processed as usize, run.chunks, "{method} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_output_is_thread_count_invariant() {
+        let dg = pareto_fixture(3_000, 11);
+        for method in Method::FUNDAMENTAL {
+            let one = par_list(&dg, method, 1);
+            for threads in [2, 3, 8] {
+                let many = par_list(&dg, method, threads);
+                assert_eq!(one.triangles, many.triangles, "{method} threads={threads}");
+                assert_eq!(one.cost, many.cost, "{method} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything_once() {
+        let dg = fixture();
+        for method in Method::FUNDAMENTAL {
+            for target in [64, 1024, u64::MAX] {
+                let ranges = chunk_ranges(method, &dg, target);
+                assert!(!ranges.is_empty());
+                let mut expected = 0u32;
+                for r in &ranges {
+                    assert_eq!(r.start, expected, "{method} target={target}");
+                    assert!(r.end > r.start || ranges.len() == 1);
+                    expected = r.end;
+                }
+                assert_eq!(expected, dg.n() as u32, "{method} target={target}");
             }
         }
     }
@@ -169,19 +519,65 @@ mod tests {
     }
 
     #[test]
-    fn load_balance_is_reasonable() {
-        // under descending order, T1's work concentrates at high labels;
-        // balanced ranges should keep every chunk within ~2x of the mean
-        let dg = fixture();
-        let ranges = balanced_ranges(Method::T1, &dg, 4);
-        let loads: Vec<u64> = ranges
-            .iter()
-            .map(|r| r.clone().map(|v| node_load(Method::T1, &dg, v)).sum())
-            .collect();
-        let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
-        for (i, &l) in loads.iter().enumerate() {
-            assert!((l as f64) < 2.5 * mean + 1.0, "chunk {i}: {l} vs mean {mean}");
+    fn no_chunk_exceeds_twice_the_mean_load_on_pareto_tail() {
+        // the remote-aware E1/E4 load model must bound chunk skew on an
+        // α = 1.5 power-law graph: no chunk above ~2× the mean
+        let dg = pareto_fixture(10_000, 15);
+        for method in Method::FUNDAMENTAL {
+            let loads = node_loads(method, &dg);
+            let total: u64 = loads.iter().sum();
+            let max_node = loads.iter().copied().max().unwrap_or(0);
+            // target comfortably above the heaviest single node, so chunk
+            // granularity (whole visited nodes) is not the binding limit
+            let target = (total / 256).max(2 * max_node).max(1);
+            let ranges = chunk_ranges(method, &dg, target);
+            let chunk_loads: Vec<u64> = ranges
+                .iter()
+                .map(|r| r.clone().map(|v| loads[v as usize]).sum())
+                .collect();
+            let mean = total as f64 / chunk_loads.len() as f64;
+            for (i, &l) in chunk_loads.iter().enumerate() {
+                assert!(
+                    (l as f64) <= 2.0 * mean,
+                    "{method} chunk {i}: load {l} exceeds 2x mean {mean:.0} \
+                     ({} chunks)",
+                    chunk_loads.len()
+                );
+            }
         }
+    }
+
+    #[test]
+    fn e1_load_model_charges_remote_lists() {
+        // a node with tiny out-degree pointing at huge out-lists must be
+        // charged for the remote scans the old local-only proxy ignored
+        let dg = fixture();
+        for v in 0..dg.n() as u32 {
+            let x = dg.x(v) as u64;
+            let local = x * x.saturating_sub(1) / 2;
+            let remote: u64 = dg.out(v).iter().map(|&u| dg.x(u) as u64).sum();
+            assert_eq!(node_load(Method::E1, &dg, v), local + remote);
+        }
+        // and the model totals the exact E1 operation count
+        let total: u64 = node_loads(Method::E1, &dg).iter().sum();
+        let cost = Method::E1.run(&dg, |_, _, _| {});
+        assert_eq!(total, cost.operations());
+    }
+
+    #[test]
+    fn telemetry_accounts_all_work() {
+        let dg = pareto_fixture(3_000, 4);
+        let run = par_list(&dg, Method::E1, 4);
+        let seq_cost = Method::E1.run(&dg, |_, _, _| {});
+        let thread_ops: u64 = run.threads.iter().map(|t| t.operations).sum();
+        assert_eq!(thread_ops, seq_cost.operations());
+        let eff = run.load_balance_efficiency();
+        assert!((0.0..=1.0).contains(&eff), "efficiency {eff}");
+        assert!(
+            run.chunks >= 4,
+            "expected fine-grained chunks, got {}",
+            run.chunks
+        );
     }
 
     #[test]
@@ -191,12 +587,73 @@ mod tests {
         let run = par_list(&dg, Method::E1, 8);
         assert_eq!(run.cost.triangles, 0);
         assert!(run.triangles.is_empty());
+        // one chunk on eight workers: the efficiency metric must report
+        // the imbalance honestly (only the no-work case is defined as 1.0)
+        let eff = run.load_balance_efficiency();
+        assert!((0.0..=1.0).contains(&eff), "efficiency {eff}");
     }
 
     #[test]
-    #[should_panic(expected = "parallel listing supports the fundamental methods")]
     fn rejects_non_fundamental() {
         let dg = fixture();
-        par_list(&dg, Method::T3, 2);
+        let err = std::panic::catch_unwind(|| par_list(&dg, Method::T3, 2))
+            .expect_err("T3 must be rejected");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("parallel listing supports the fundamental methods"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn chunk_panic_reports_label_and_range() {
+        // a panic inside chunk execution (e.g. a user sink) must resurface
+        // with the method label and the visited-node range that was
+        // executing, not as a bare "worker panicked"
+        let ranges: Vec<std::ops::Range<u32>> = (0..16).map(|i| i * 10..(i + 1) * 10).collect();
+        let err = std::panic::catch_unwind(|| {
+            run_scheduler(&ranges, 4, "E1", &|range| {
+                if range.start == 70 {
+                    panic!("sink exploded");
+                }
+                (CostReport::default(), Vec::new())
+            })
+        })
+        .expect_err("injected panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("parallel E1 worker")
+                && msg.contains("visited range 70..80")
+                && msg.contains("sink exploded"),
+            "panic context missing: {msg}"
+        );
+    }
+
+    #[test]
+    fn skewed_schedule_accounts_all_chunks() {
+        // heavy-tail fixture + several workers: every chunk is processed
+        // exactly once whatever the steal schedule, and steal telemetry
+        // stays within the chunk budget
+        let dg = pareto_fixture(10_000, 8);
+        let run = par_list_with(
+            &dg,
+            Method::E1,
+            &ParallelOpts {
+                threads: 4,
+                target_chunk_ops: 512,
+            },
+        );
+        let processed: u64 = run.threads.iter().map(|t| t.chunks).sum();
+        assert_eq!(processed as usize, run.chunks);
+        assert!(run.total_steals() <= processed);
+        assert!(run.chunks > 16, "chunking too coarse: {}", run.chunks);
     }
 }

@@ -81,8 +81,8 @@ pub fn forward<F: FnMut(u32, u32, u32)>(g: &Graph, mut sink: F) -> CostReport {
     let relabeling = Relabeling::from_positions(&g.degrees(), &descending(n));
     let rank = relabeling.as_slice();
     let order = relabeling.inverse(); // order[r] = node with rank r
-    // A(v): ranks of v's already-processed neighbors (ascending: pushes
-    // arrive in processing order)
+                                      // A(v): ranks of v's already-processed neighbors (ascending: pushes
+                                      // arrive in processing order)
     let mut a: Vec<Vec<u32>> = vec![Vec::new(); n];
     for &v in &order {
         let rv = rank[v as usize];
@@ -144,7 +144,13 @@ mod tests {
 
     fn fixture(n: usize, seed: u64) -> Graph {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let dist = Truncated::new(DiscretePareto { alpha: 1.7, beta: 5.0 }, 30);
+        let dist = Truncated::new(
+            DiscretePareto {
+                alpha: 1.7,
+                beta: 5.0,
+            },
+            30,
+        );
         let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
         ResidualSampler.generate(&seq, &mut rng).graph
     }
@@ -225,7 +231,12 @@ mod tests {
         let cn = chiba_nishizeki(&g, |_, _, _| {});
         let t2 = Method::T2.run(&dg, |_, _, _| {});
         let e1 = Method::E1.run(&dg, |_, _, _| {});
-        assert!(cn.lookups > t2.lookups, "cn {} vs t2 {}", cn.lookups, t2.lookups);
+        assert!(
+            cn.lookups > t2.lookups,
+            "cn {} vs t2 {}",
+            cn.lookups,
+            t2.lookups
+        );
         // same order of magnitude as E1's total
         let ratio = cn.lookups as f64 / e1.operations() as f64;
         assert!(ratio > 0.5 && ratio < 3.0, "ratio {ratio}");
@@ -234,7 +245,10 @@ mod tests {
     #[test]
     fn empty_and_tiny_graphs() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
-        assert_eq!(sorted_triangles(&g, |g, f| chiba_nishizeki(g, f)), vec![(0, 1, 2)]);
+        assert_eq!(
+            sorted_triangles(&g, |g, f| chiba_nishizeki(g, f)),
+            vec![(0, 1, 2)]
+        );
         assert_eq!(sorted_triangles(&g, |g, f| forward(g, f)), vec![(0, 1, 2)]);
         let empty = Graph::from_edges(4, &[]).unwrap();
         assert_eq!(chiba_nishizeki(&empty, |_, _, _| {}).triangles, 0);

@@ -252,7 +252,17 @@ mod tests {
         // Proposition 2 on a less symmetric graph
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (4, 5), (0, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (4, 5),
+                (0, 5),
+            ],
         )
         .unwrap();
         let dg = DirectedGraph::orient(&g, &Relabeling::identity(6));

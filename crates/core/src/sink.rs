@@ -52,7 +52,12 @@ pub struct ReservoirSink<R: Rng> {
 impl<R: Rng> ReservoirSink<R> {
     /// A reservoir of capacity `k`.
     pub fn new(k: usize, rng: R) -> Self {
-        ReservoirSink { sample: Vec::with_capacity(k), k, seen: 0, rng }
+        ReservoirSink {
+            sample: Vec::with_capacity(k),
+            k,
+            seen: 0,
+            rng,
+        }
     }
 
     /// Record one triangle.
@@ -97,7 +102,11 @@ pub struct FirstK {
 impl FirstK {
     /// Keep at most `k`.
     pub fn new(k: usize) -> Self {
-        FirstK { kept: Vec::with_capacity(k), k, seen: 0 }
+        FirstK {
+            kept: Vec::with_capacity(k),
+            k,
+            seen: 0,
+        }
     }
 
     /// Record one triangle.

@@ -128,7 +128,9 @@ impl OrientedOnly {
 
     /// Predicted E1 local term without relabeling: `Σ X²`.
     pub fn e1_local_formula(&self) -> u64 {
-        (0..self.n() as u32).map(|v| (self.x(v) as u64).pow(2)).sum()
+        (0..self.n() as u32)
+            .map(|v| (self.x(v) as u64).pow(2))
+            .sum()
     }
 }
 
@@ -162,8 +164,8 @@ mod tests {
         });
         ours.sort_unstable();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let mut want = crate::list_triangles(&g, Method::T1, OrderFamily::Descending, &mut rng)
-            .triangles;
+        let mut want =
+            crate::list_triangles(&g, Method::T1, OrderFamily::Descending, &mut rng).triangles;
         want.sort_unstable();
         assert_eq!(ours, want);
 

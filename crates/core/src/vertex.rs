@@ -183,23 +183,29 @@ pub fn t6<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
 /// Closed-form candidate counts from the oriented degrees:
 /// `Σ X(X−1)/2` for T1/T4 (eq. 7).
 pub fn t1_formula(g: &DirectedGraph) -> u64 {
-    (0..g.n() as u32).map(|v| {
-        let x = g.x(v) as u64;
-        x * x.saturating_sub(1) / 2
-    }).sum()
+    (0..g.n() as u32)
+        .map(|v| {
+            let x = g.x(v) as u64;
+            x * x.saturating_sub(1) / 2
+        })
+        .sum()
 }
 
 /// `Σ X·Y` for T2/T5 (eq. 8).
 pub fn t2_formula(g: &DirectedGraph) -> u64 {
-    (0..g.n() as u32).map(|v| g.x(v) as u64 * g.y(v) as u64).sum()
+    (0..g.n() as u32)
+        .map(|v| g.x(v) as u64 * g.y(v) as u64)
+        .sum()
 }
 
 /// `Σ Y(Y−1)/2` for T3/T6 (eq. 9).
 pub fn t3_formula(g: &DirectedGraph) -> u64 {
-    (0..g.n() as u32).map(|v| {
-        let y = g.y(v) as u64;
-        y * y.saturating_sub(1) / 2
-    }).sum()
+    (0..g.n() as u32)
+        .map(|v| {
+            let y = g.y(v) as u64;
+            y * y.saturating_sub(1) / 2
+        })
+        .sum()
 }
 
 #[cfg(test)]
@@ -247,8 +253,7 @@ mod tests {
     fn all_six_agree_on_k4() {
         let g = k4();
         let results = run_all(&g);
-        let expect: Vec<(u32, u32, u32)> =
-            vec![(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)];
+        let expect: Vec<(u32, u32, u32)> = vec![(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)];
         for (i, (cost, tris)) in results.iter().enumerate() {
             assert_eq!(tris, &expect, "method T{}", i + 1);
             assert_eq!(cost.triangles, 4, "method T{}", i + 1);

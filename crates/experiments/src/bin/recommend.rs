@@ -36,8 +36,7 @@ fn main() {
         }
         None => {
             let n = 50_000;
-            let dist =
-                Truncated::new(DiscretePareto::paper_beta(1.7), Truncation::Root.t_n(n));
+            let dist = Truncated::new(DiscretePareto::paper_beta(1.7), Truncation::Root.t_n(n));
             let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
             eprintln!("no input file: generated synthetic power-law graph (alpha=1.7, n={n})");
             ResidualSampler.generate(&seq, &mut rng).graph
@@ -66,9 +65,9 @@ fn main() {
         Some(AsymptoticWinner::HardwareDependent) => {
             println!("  asymptotic regime       : both finite; hardware decides")
         }
-        Some(AsymptoticWinner::BothInfinite { t1_slower }) => println!(
-            "  asymptotic regime       : both diverge (T1 slower growth: {t1_slower})"
-        ),
+        Some(AsymptoticWinner::BothInfinite { t1_slower }) => {
+            println!("  asymptotic regime       : both diverge (T1 slower growth: {t1_slower})")
+        }
         None => println!("  asymptotic regime       : unknown"),
     }
     println!(
@@ -86,7 +85,11 @@ fn main() {
         run.cost.per_node(graph.n())
     );
     // and the counterfactual
-    let alt = if rec.method == Method::E1 { Method::T1 } else { Method::E1 };
+    let alt = if rec.method == Method::E1 {
+        Method::T1
+    } else {
+        Method::E1
+    };
     let alt_run = list_triangles(&graph, alt, OrderFamily::Descending, &mut rng);
     println!(
         "counterfactual {}        : {} operations ({:.2}/node)",

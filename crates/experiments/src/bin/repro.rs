@@ -10,8 +10,19 @@ use std::process::Command;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
-        "table3", "table5", "table6", "table7", "table8", "table9", "table10", "table11",
-        "table12", "scaling", "wn_tradeoff", "unrelabeled", "xm_tradeoff",
+        "table3",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "table10",
+        "table11",
+        "table12",
+        "scaling",
+        "wn_tradeoff",
+        "unrelabeled",
+        "xm_tradeoff",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("exe dir");

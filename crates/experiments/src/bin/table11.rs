@@ -14,21 +14,44 @@ fn main() {
     let alpha = 1.2;
     let cfg = opts.sim_config(alpha, Truncation::Linear);
     let columns = [
-        (Method::T1, OrderFamily::Descending, CostClass::T1, LimitMap::Descending),
-        (Method::T2, OrderFamily::Descending, CostClass::T2, LimitMap::Descending),
-        (Method::T2, OrderFamily::RoundRobin, CostClass::T2, LimitMap::RoundRobin),
+        (
+            Method::T1,
+            OrderFamily::Descending,
+            CostClass::T1,
+            LimitMap::Descending,
+        ),
+        (
+            Method::T2,
+            OrderFamily::Descending,
+            CostClass::T2,
+            LimitMap::Descending,
+        ),
+        (
+            Method::T2,
+            OrderFamily::RoundRobin,
+            CostClass::T2,
+            LimitMap::RoundRobin,
+        ),
     ];
     let mut table = Table::new(
         "Table 11: relative error of (50), alpha=1.2, linear truncation",
         &[
             "n",
-            "T1+desc w1", "T1+desc w2", "paper w1", "paper w2",
-            "T2+desc w1", "T2+desc w2", "paper w1", "paper w2",
-            "T2+rr w1", "T2+rr w2", "paper w1", "paper w2",
+            "T1+desc w1",
+            "T1+desc w2",
+            "paper w1",
+            "paper w2",
+            "T2+desc w1",
+            "T2+desc w2",
+            "paper w1",
+            "paper w2",
+            "T2+rr w1",
+            "T2+rr w2",
+            "paper w1",
+            "paper w2",
         ],
     );
-    let pairs: Vec<(Method, OrderFamily)> =
-        columns.iter().map(|&(m, f, _, _)| (m, f)).collect();
+    let pairs: Vec<(Method, OrderFamily)> = columns.iter().map(|&(m, f, _, _)| (m, f)).collect();
     for &n in &opts.sizes() {
         let cells = simulate(&cfg, n, &pairs);
         // w2 cap: √m with m = n·E[D_n]/2 from the truncated distribution

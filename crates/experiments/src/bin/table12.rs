@@ -16,12 +16,20 @@ use trilist_order::{DirectedGraph, OrderFamily};
 
 fn main() {
     let opts = Opts::parse();
-    let n = if opts.max_n != Opts::default().max_n { opts.max_n } else { 200_000 };
+    let n = if opts.max_n != Opts::default().max_n {
+        opts.max_n
+    } else {
+        200_000
+    };
     let cfg = opts.sim_config(1.7, Truncation::Linear);
     let mut rng = trilist_experiments::sim::seeded_rng(opts.seed);
     eprintln!("generating Twitter-like graph: n={n}, alpha=1.7, linear truncation…");
     let graph = one_graph(&cfg, n, &mut rng);
-    eprintln!("generated: m={} edges, max degree {}", graph.m(), graph.max_degree());
+    eprintln!(
+        "generated: m={} edges, max degree {}",
+        graph.m(),
+        graph.max_degree()
+    );
 
     let methods = [Method::T1, Method::T2, Method::E1, Method::E4];
     let mut headers: Vec<String> = vec!["method".into()];
@@ -44,9 +52,17 @@ fn main() {
         .collect();
 
     for (mi, method) in methods.iter().enumerate() {
-        let ops: Vec<u64> =
-            oriented.iter().map(|(_, dg)| method.predicted_operations(dg)).collect();
-        let best = ops.iter().copied().enumerate().min_by_key(|&(_, v)| v).expect("6 families").0;
+        let ops: Vec<u64> = oriented
+            .iter()
+            .map(|(_, dg)| method.predicted_operations(dg))
+            .collect();
+        let best = ops
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(_, v)| v)
+            .expect("6 families")
+            .0;
         let mut row = vec![method.name().to_string()];
         for (fi, &v) in ops.iter().enumerate() {
             let mark = if fi == best { "*" } else { "" };
@@ -82,5 +98,8 @@ fn main() {
         "E1+desc / T2+rr = {:.2} (paper: 2.0 — E1 under θ_D costs double T2 under RR)",
         e1_desc / t2_best
     );
-    println!("T2+rr / T1+desc = {:.2} (paper: 255B/150B = 1.7)", t2_best / t1_best);
+    println!(
+        "T2+rr / T1+desc = {:.2} (paper: 255B/150B = 1.7)",
+        t2_best / t1_best
+    );
 }

@@ -50,7 +50,12 @@ fn main() {
 
     let mut table = Table::new(
         "Table 3: single-core elementary-operation speed (million nodes/sec)",
-        &["family", "operation", "this machine", "paper (i7-3930K, SIMD)"],
+        &[
+            "family",
+            "operation",
+            "this machine",
+            "paper (i7-3930K, SIMD)",
+        ],
     );
     table.row(vec![
         "vertex iterator / LEI".into(),

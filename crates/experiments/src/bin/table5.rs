@@ -20,7 +20,16 @@ fn main() {
     let mut table = Table::new(
         "Table 5: T1 + desc, alpha=1.5, linear truncation (value | seconds)",
         &[
-            "n", "(49)", "t", "(50)", "t", "Alg2", "t", "paper(49)", "paper(50)", "paper Alg2",
+            "n",
+            "(49)",
+            "t",
+            "(50)",
+            "t",
+            "Alg2",
+            "t",
+            "paper(49)",
+            "paper(50)",
+            "paper Alg2",
         ],
     );
     for (n, p49, p50, palg2) in trilist_experiments::paper::TABLE5 {
@@ -52,7 +61,11 @@ fn main() {
             fmt_cost(quick),
             format!("{quick_t:.2}"),
             fmt_cost(p49),
-            if p50.is_nan() { "too slow".into() } else { fmt_cost(p50) },
+            if p50.is_nan() {
+                "too slow".into()
+            } else {
+                fmt_cost(p50)
+            },
             fmt_cost(palg2),
         ]);
     }

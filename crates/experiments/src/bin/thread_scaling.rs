@@ -1,0 +1,76 @@
+//! Thread-scaling of the work-stealing listing runtime: one Pareto
+//! α = 1.5 graph (root truncation, the AMRC regime of Table 6), each
+//! fundamental method under its optimal orientation, swept over worker
+//! counts. Reports wall time, speedup over one thread, the load-balance
+//! efficiency metric (mean busy-time / max busy-time across workers), and
+//! the scheduler telemetry (chunks, steals).
+//!
+//! `--threads T` pins the sweep to a single count; `--max-n` sets the
+//! graph size (default 10⁵, the acceptance configuration).
+
+use std::time::Duration;
+use trilist_core::Method;
+use trilist_experiments::sim::{one_graph, seeded_rng, thread_trial};
+use trilist_experiments::{Opts, Table};
+use trilist_graph::dist::Truncation;
+use trilist_order::DirectedGraph;
+
+const ALPHA: f64 = 1.5;
+const REPS: usize = 3;
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let n = *opts.sizes().last().expect("sizes() is non-empty");
+    let cfg = opts.sim_config(ALPHA, Truncation::Root);
+    let mut rng = seeded_rng(cfg.base_seed);
+    let graph = one_graph(&cfg, n, &mut rng);
+    println!(
+        "graph: Pareto alpha={ALPHA} root truncation, n={n}, m={} (host parallelism {})",
+        graph.m(),
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    );
+
+    let sweep = opts.thread_sweep();
+    let mut table = Table::new(
+        "Work-stealing thread scaling (best of 3 runs)",
+        &[
+            "method",
+            "threads",
+            "wall ms",
+            "speedup",
+            "efficiency",
+            "chunks",
+            "steals",
+        ],
+    );
+    for method in Method::FUNDAMENTAL {
+        let family = method.optimal_family();
+        let dg = DirectedGraph::orient(&graph, &family.relabeling(&graph, &mut rng));
+        let mut baseline: Option<Duration> = None;
+        for &threads in &sweep {
+            let (wall, run) = thread_trial(&dg, method, threads, REPS);
+            let base = *baseline.get_or_insert(wall);
+            table.row(vec![
+                format!("{}+{}", method.name(), family.name()),
+                threads.to_string(),
+                fmt_ms(wall),
+                format!("{:.2}x", base.as_secs_f64() / wall.as_secs_f64()),
+                format!("{:.2}", run.load_balance_efficiency()),
+                run.chunks.to_string(),
+                run.total_steals().to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!();
+    println!(
+        "speedup is relative to the first swept thread count; efficiency is \
+         mean/max worker busy-time (1.00 = perfectly balanced)."
+    );
+}

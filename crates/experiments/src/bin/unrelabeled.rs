@@ -54,7 +54,10 @@ fn main() {
         "E1 total".into(),
         fmt_ops(e1_full.operations() as f64),
         fmt_ops(e1_partial.operations() as f64),
-        format!("{:.2}x", e1_partial.operations() as f64 / e1_full.operations() as f64),
+        format!(
+            "{:.2}x",
+            e1_partial.operations() as f64 / e1_full.operations() as f64
+        ),
     ]);
     table.print();
     println!();

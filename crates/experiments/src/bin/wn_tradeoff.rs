@@ -16,14 +16,22 @@ fn main() {
     let n = 20_000.min(opts.max_n);
     let mut table = Table::new(
         format!("w_n tradeoff (root truncation, measured at n={n}, speed ratio 95x assumed)"),
-        &["alpha", "w_n measured", "w_n limit", "SEI wins (limit)", "regime"],
+        &[
+            "alpha",
+            "w_n measured",
+            "w_n limit",
+            "SEI wins (limit)",
+            "regime",
+        ],
     );
     for &alpha in &[1.4, 1.5, 1.7, 2.1, 2.5, 3.0] {
         let cfg = opts.sim_config(alpha, Truncation::Root);
         let mut rng = trilist_experiments::sim::seeded_rng(opts.seed ^ alpha.to_bits());
         let graph = one_graph(&cfg, n, &mut rng);
-        let dg =
-            DirectedGraph::orient(&graph, &OrderFamily::Descending.relabeling(&graph, &mut rng));
+        let dg = DirectedGraph::orient(
+            &graph,
+            &OrderFamily::Descending.relabeling(&graph, &mut rng),
+        );
         let measured = wn_of_graph(&dg);
         let limit = wn_limit(&DiscretePareto::paper_beta(alpha));
         let verdict = match limit {

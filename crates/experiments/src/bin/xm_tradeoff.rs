@@ -14,12 +14,22 @@ fn main() {
     let cfg = opts.sim_config(1.7, Truncation::Root);
     let mut rng = trilist_experiments::sim::seeded_rng(opts.seed);
     let graph = one_graph(&cfg, n, &mut rng);
-    let dg = DirectedGraph::orient(&graph, &OrderFamily::Descending.relabeling(&graph, &mut rng));
+    let dg = DirectedGraph::orient(
+        &graph,
+        &OrderFamily::Descending.relabeling(&graph, &mut rng),
+    );
     eprintln!("graph: n={n} m={}", graph.m());
 
     let mut table = Table::new(
         "External-memory E1: I/O vs memory across partition counts",
-        &["P", "edges streamed", "edges loaded", "peak RAM (edges)", "comparisons", "triangles"],
+        &[
+            "P",
+            "edges streamed",
+            "edges loaded",
+            "peak RAM (edges)",
+            "comparisons",
+            "triangles",
+        ],
     );
     for p in [1usize, 2, 4, 8, 16] {
         let run = xm_e1(&dg, p, |_, _, _| {}).expect("scratch I/O");

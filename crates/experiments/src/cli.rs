@@ -14,11 +14,21 @@ pub struct Opts {
     pub graphs: usize,
     /// `--seed X`: base RNG seed.
     pub seed: u64,
+    /// `--threads T`: worker threads for the parallel listing runtime
+    /// (`None` = auto-detect via `available_parallelism`).
+    pub threads: Option<usize>,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { full: false, max_n: 100_000, sequences: 4, graphs: 4, seed: 0x7717_1157 }
+        Opts {
+            full: false,
+            max_n: 100_000,
+            sequences: 4,
+            graphs: 4,
+            seed: 0x7717_1157,
+            threads: None,
+        }
     }
 }
 
@@ -51,9 +61,11 @@ impl Opts {
                 "--sequences" => opts.sequences = grab("--sequences") as usize,
                 "--graphs" => opts.graphs = grab("--graphs") as usize,
                 "--seed" => opts.seed = grab("--seed"),
+                "--threads" => opts.threads = Some(grab("--threads") as usize),
                 "--help" | "-h" => {
                     println!(
-                        "flags: --full | --max-n N | --sequences S | --graphs G | --seed X"
+                        "flags: --full | --max-n N | --sequences S | --graphs G | --seed X \
+                         | --threads T"
                     );
                     std::process::exit(0);
                 }
@@ -77,6 +89,25 @@ impl Opts {
         sizes
     }
 
+    /// Worker threads to use: the `--threads` value, else the machine's
+    /// available parallelism.
+    pub fn thread_count(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+    }
+
+    /// Thread counts for a scaling sweep: just `--threads` when pinned,
+    /// otherwise the canonical `1, 2, 4, 8` doubling ladder.
+    pub fn thread_sweep(&self) -> Vec<usize> {
+        match self.threads {
+            Some(t) => vec![t.max(1)],
+            None => vec![1, 2, 4, 8],
+        }
+    }
+
     /// A [`crate::sim::SimConfig`] with these replication counts.
     pub fn sim_config(
         &self,
@@ -87,6 +118,7 @@ impl Opts {
         cfg.sequences = self.sequences;
         cfg.graphs_per_sequence = self.graphs;
         cfg.base_seed = self.seed;
+        cfg.threads = self.threads;
         cfg
     }
 }
@@ -100,6 +132,22 @@ mod tests {
         let o = Opts::parse_from(Vec::<String>::new());
         assert!(!o.full);
         assert_eq!(o.sizes(), vec![10_000, 100_000]);
+        assert_eq!(o.threads, None);
+        assert!(o.thread_count() >= 1);
+        assert_eq!(o.thread_sweep(), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn threads_flag() {
+        let o = Opts::parse_from(["--threads", "6"].iter().map(|s| s.to_string()));
+        assert_eq!(o.threads, Some(6));
+        assert_eq!(o.thread_count(), 6);
+        assert_eq!(o.thread_sweep(), vec![6]);
+        assert_eq!(
+            o.sim_config(1.5, trilist_graph::dist::Truncation::Root)
+                .threads,
+            Some(6)
+        );
     }
 
     #[test]
@@ -113,9 +161,18 @@ mod tests {
     #[test]
     fn explicit_values() {
         let o = Opts::parse_from(
-            ["--max-n", "1000000", "--sequences", "7", "--graphs", "2", "--seed", "5"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--max-n",
+                "1000000",
+                "--sequences",
+                "7",
+                "--graphs",
+                "2",
+                "--seed",
+                "5",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(o.max_n, 1_000_000);
         assert_eq!(o.sequences, 7);

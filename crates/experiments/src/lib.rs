@@ -44,7 +44,9 @@ impl ColumnSpec {
             method,
             family,
             class: CostClass::of(method),
-            map: family.limit_map().expect("model columns need an admissible family"),
+            map: family
+                .limit_map()
+                .expect("model columns need an admissible family"),
         }
     }
 
@@ -80,8 +82,7 @@ pub fn run_paper_table(
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(title, &header_refs);
 
-    let pairs: Vec<(Method, OrderFamily)> =
-        columns.iter().map(|c| (c.method, c.family)).collect();
+    let pairs: Vec<(Method, OrderFamily)> = columns.iter().map(|c| (c.method, c.family)).collect();
     for &n in &opts.sizes() {
         let cells = simulate(&cfg, n, &pairs);
         let mut row = vec![format_n(n)];
@@ -169,6 +170,7 @@ mod tests {
             sequences: 2,
             graphs: 2,
             seed: 1,
+            threads: None,
         };
         let cols = [ColumnSpec::new(Method::T1, OrderFamily::Descending)];
         let t = run_paper_table(
@@ -195,19 +197,43 @@ mod tests {
             sequences: 4,
             graphs_per_sequence: 4,
             base_seed: 9,
+            threads: None,
         };
         let n = 2_000;
         let cells = simulate(
             &cfg,
             n,
-            &[(Method::T1, OrderFamily::Descending), (Method::T1, OrderFamily::Ascending)],
+            &[
+                (Method::T1, OrderFamily::Descending),
+                (Method::T1, OrderFamily::Ascending),
+            ],
         );
-        let model_desc = model_cell(&cfg, n, CostClass::T1, LimitMap::Descending, WeightFn::Identity);
-        let model_asc = model_cell(&cfg, n, CostClass::T1, LimitMap::Ascending, WeightFn::Identity);
+        let model_desc = model_cell(
+            &cfg,
+            n,
+            CostClass::T1,
+            LimitMap::Descending,
+            WeightFn::Identity,
+        );
+        let model_asc = model_cell(
+            &cfg,
+            n,
+            CostClass::T1,
+            LimitMap::Ascending,
+            WeightFn::Identity,
+        );
         let err_desc = (cells[0].mean - model_desc).abs() / model_desc;
         let err_asc = (cells[1].mean - model_asc).abs() / model_asc;
-        assert!(err_desc < 0.15, "desc sim {} vs model {model_desc}", cells[0].mean);
-        assert!(err_asc < 0.15, "asc sim {} vs model {model_asc}", cells[1].mean);
+        assert!(
+            err_desc < 0.15,
+            "desc sim {} vs model {model_desc}",
+            cells[0].mean
+        );
+        assert!(
+            err_asc < 0.15,
+            "asc sim {} vs model {model_asc}",
+            cells[1].mean
+        );
         // both orientations count the same triangles
         assert!((cells[0].triangles - cells[1].triangles).abs() < 1e-9);
     }

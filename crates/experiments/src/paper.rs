@@ -123,9 +123,21 @@ pub const TABLE10: [PaperColumn; 2] = [
 /// Table 11 (α = 1.2, linear truncation): relative error (%) of eq. (50)
 /// under `w₁(x) = x` and `w₂(x) = min(x, √m)`, per method column.
 pub const TABLE11: [(&str, [f64; 4], [f64; 4]); 3] = [
-    ("T1+desc", [38.0, 107.0, 214.0, 386.0], [-54.1, -52.3, -50.4, -48.7]),
-    ("T2+desc", [304.0, 619.0, 1_207.0, 2_353.0], [21.6, 17.9, 12.9, 9.1]),
-    ("T2+rr", [216.0, 458.0, 856.0, 4_105.0], [-3.1, -2.2, -2.3, -0.5]),
+    (
+        "T1+desc",
+        [38.0, 107.0, 214.0, 386.0],
+        [-54.1, -52.3, -50.4, -48.7],
+    ),
+    (
+        "T2+desc",
+        [304.0, 619.0, 1_207.0, 2_353.0],
+        [21.6, 17.9, 12.9, 9.1],
+    ),
+    (
+        "T2+rr",
+        [216.0, 458.0, 856.0, 4_105.0],
+        [-3.1, -2.2, -2.3, -0.5],
+    ),
 ];
 
 /// Table 12 (Twitter, 41M nodes / 1.2B edges): total CPU operations per

@@ -28,6 +28,8 @@ pub struct SimConfig {
     pub graphs_per_sequence: usize,
     /// Base RNG seed; every replicate derives a distinct stream from it.
     pub base_seed: u64,
+    /// Worker threads for the harness (`None` = auto-detect).
+    pub threads: Option<usize>,
 }
 
 impl SimConfig {
@@ -40,17 +42,34 @@ impl SimConfig {
             sequences: 4,
             graphs_per_sequence: 4,
             base_seed: 0x7717_1157,
+            threads: None,
         }
     }
 
     /// The paper's replication (100 × 100). Expensive.
     pub fn paper(alpha: f64, truncation: Truncation) -> Self {
-        SimConfig { sequences: 100, graphs_per_sequence: 100, ..Self::quick(alpha, truncation) }
+        SimConfig {
+            sequences: 100,
+            graphs_per_sequence: 100,
+            ..Self::quick(alpha, truncation)
+        }
     }
 
     /// The Pareto distribution used for degrees.
     pub fn pareto(&self) -> DiscretePareto {
-        DiscretePareto { alpha: self.alpha, beta: self.beta }
+        DiscretePareto {
+            alpha: self.alpha,
+            beta: self.beta,
+        }
+    }
+
+    /// Resolved worker-thread count (`threads`, else the machine's).
+    pub fn thread_count(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
     }
 }
 
@@ -73,7 +92,7 @@ pub struct CellResult {
 /// Sharing graphs across pairs both saves generation time and mirrors the
 /// paper's setup where each instance is measured under every orientation.
 pub fn simulate(cfg: &SimConfig, n: usize, pairs: &[(Method, OrderFamily)]) -> Vec<CellResult> {
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = cfg.thread_count();
     let seq_ids: Vec<usize> = (0..cfg.sequences).collect();
     let chunks: Vec<&[usize]> = seq_ids.chunks(cfg.sequences.div_ceil(threads)).collect();
 
@@ -112,7 +131,12 @@ pub fn simulate(cfg: &SimConfig, n: usize, pairs: &[(Method, OrderFamily)]) -> V
             let var = samples.iter().map(|s| (s.0 - mean).powi(2)).sum::<f64>()
                 / (runs.max(2) - 1) as f64;
             let triangles = samples.iter().map(|s| s.1).sum::<f64>() / runs as f64;
-            CellResult { mean, sem: (var / runs as f64).sqrt(), runs, triangles }
+            CellResult {
+                mean,
+                sem: (var / runs as f64).sqrt(),
+                runs,
+                triangles,
+            }
         })
         .collect()
 }
@@ -175,6 +199,28 @@ pub fn limit_cell(
 ) -> Option<f64> {
     let spec = trilist_model::ModelSpec::new(class, map);
     trilist_model::limiting_cost(&cfg.pareto(), &spec)
+}
+
+/// One timed run of the work-stealing runtime: best-of-`reps` wall time
+/// plus the telemetry (`ParallelRun`) of the fastest repetition. Used by
+/// the `thread_scaling` binary and exposed here so thread sweeps share one
+/// measurement protocol.
+pub fn thread_trial(
+    dg: &DirectedGraph,
+    method: Method,
+    threads: usize,
+    reps: usize,
+) -> (std::time::Duration, trilist_core::ParallelRun) {
+    let mut best: Option<(std::time::Duration, trilist_core::ParallelRun)> = None;
+    for _ in 0..reps.max(1) {
+        let start = std::time::Instant::now();
+        let run = trilist_core::par_list(dg, method, threads);
+        let elapsed = start.elapsed();
+        if best.as_ref().is_none_or(|(t, _)| elapsed < *t) {
+            best = Some((elapsed, run));
+        }
+    }
+    best.expect("reps >= 1")
 }
 
 /// Deterministic RNG for one-off uses in the binaries.

@@ -20,7 +20,12 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph on `n` nodes with no edges yet.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, adj: vec![Vec::new(); n], loops_dropped: 0, duplicates_dropped: 0 }
+        GraphBuilder {
+            n,
+            adj: vec![Vec::new(); n],
+            loops_dropped: 0,
+            duplicates_dropped: 0,
+        }
     }
 
     /// Adds the undirected edge `{u, v}`.
@@ -76,8 +81,10 @@ impl GraphBuilder {
         }
         // each duplicate was counted once per endpoint
         self.duplicates_dropped /= 2;
-        let stats =
-            BuilderStats { loops_dropped: self.loops_dropped, duplicates_dropped: self.duplicates_dropped };
+        let stats = BuilderStats {
+            loops_dropped: self.loops_dropped,
+            duplicates_dropped: self.duplicates_dropped,
+        };
         Ok((Graph::from_adjacency(self.adj)?, stats))
     }
 }

@@ -35,7 +35,12 @@ pub fn component_labels(g: &Graph) -> Vec<u32> {
 /// Sizes of all connected components, descending.
 pub fn component_sizes(g: &Graph) -> Vec<usize> {
     let labels = component_labels(g);
-    let count = labels.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let count = labels
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
     let mut sizes = vec![0usize; count];
     for &l in &labels {
         sizes[l as usize] += 1;
@@ -74,9 +79,17 @@ pub fn summarize(g: &Graph) -> GraphSummary {
         n,
         m: g.m(),
         max_degree: g.max_degree(),
-        mean_degree: if n == 0 { 0.0 } else { 2.0 * g.m() as f64 / n as f64 },
+        mean_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * g.m() as f64 / n as f64
+        },
         components: sizes.len(),
-        giant_fraction: if n == 0 { 0.0 } else { sizes.first().copied().unwrap_or(0) as f64 / n as f64 },
+        giant_fraction: if n == 0 {
+            0.0
+        } else {
+            sizes.first().copied().unwrap_or(0) as f64 / n as f64
+        },
     }
 }
 

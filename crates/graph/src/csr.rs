@@ -39,7 +39,10 @@ impl Graph {
         for (v, list) in adj.iter().enumerate() {
             for pair in list.windows(2) {
                 if pair[0] == pair[1] {
-                    return Err(GraphError::DuplicateEdge { u: v as NodeId, v: pair[0] });
+                    return Err(GraphError::DuplicateEdge {
+                        u: v as NodeId,
+                        v: pair[0],
+                    });
                 }
             }
             for &u in list {
@@ -115,7 +118,9 @@ impl Graph {
 
     /// All degrees, indexed by node ID.
     pub fn degrees(&self) -> Vec<u32> {
-        (0..self.n() as NodeId).map(|v| self.degree(v) as u32).collect()
+        (0..self.n() as NodeId)
+            .map(|v| self.degree(v) as u32)
+            .collect()
     }
 
     /// Neighbors of `v`, sorted ascending.
@@ -131,20 +136,29 @@ impl Graph {
     /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.n() as NodeId).flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
     /// The maximum degree, or 0 for the empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as NodeId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of `deg(v)^2` over all nodes — the unoriented candidate-edge count
     /// `Θ(Σ dᵢ²)` cited in §1.1 drives vertex/edge iterators without
     /// orientation.
     pub fn degree_square_sum(&self) -> u64 {
-        (0..self.n() as NodeId).map(|v| (self.degree(v) as u64).pow(2)).sum()
+        (0..self.n() as NodeId)
+            .map(|v| (self.degree(v) as u64).pow(2))
+            .sum()
     }
 }
 

@@ -47,7 +47,9 @@ pub trait DegreeModel {
     /// Exact mean by summation over the support. Only call on truncated
     /// distributions with a reasonable `t_n`; `O(t_n)` time.
     fn mean_exact(&self) -> f64 {
-        let t = self.support_max().expect("mean_exact requires a truncated distribution");
+        let t = self
+            .support_max()
+            .expect("mean_exact requires a truncated distribution");
         // E[D] = Σ_{k≥0} P(D > k)
         (0..t).map(|k| self.sf(k)).sum()
     }
@@ -100,7 +102,10 @@ impl DiscretePareto {
     /// `α > 1`.
     pub fn paper_beta(alpha: f64) -> Self {
         assert!(alpha > 1.0, "paper_beta requires alpha > 1 (got {alpha})");
-        DiscretePareto { alpha, beta: 30.0 * (alpha - 1.0) }
+        DiscretePareto {
+            alpha,
+            beta: 30.0 * (alpha - 1.0),
+        }
     }
 
     /// Continuous CDF `F*(x) = 1 − (1 + x/β)^{−α}` of the underlying
@@ -124,7 +129,10 @@ impl DiscretePareto {
 
     /// Mean of the continuous Pareto, `β / (α − 1)` for `α > 1`.
     pub fn mean_continuous(&self) -> f64 {
-        assert!(self.alpha > 1.0, "continuous Pareto mean diverges for alpha <= 1");
+        assert!(
+            self.alpha > 1.0,
+            "continuous Pareto mean diverges for alpha <= 1"
+        );
         self.beta / (self.alpha - 1.0)
     }
 }
@@ -318,8 +326,9 @@ pub fn sample_degree_sequence<D: DegreeModel, R: Rng + ?Sized>(
     n: usize,
     rng: &mut R,
 ) -> (DegreeSequence, bool) {
-    let degrees: Vec<u32> =
-        (0..n).map(|_| model.quantile(rng.gen::<f64>()).min(u32::MAX as u64) as u32).collect();
+    let degrees: Vec<u32> = (0..n)
+        .map(|_| model.quantile(rng.gen::<f64>()).min(u32::MAX as u64) as u32)
+        .collect();
     let mut seq = DegreeSequence::new(degrees);
     let repaired = seq.make_even();
     (seq, repaired)
@@ -332,7 +341,10 @@ mod tests {
 
     #[test]
     fn pareto_cdf_shape() {
-        let p = DiscretePareto { alpha: 1.5, beta: 15.0 };
+        let p = DiscretePareto {
+            alpha: 1.5,
+            beta: 15.0,
+        };
         assert_eq!(p.cdf(0), 0.0);
         assert!(p.cdf(1) > 0.0);
         assert!(p.cdf(100) < 1.0);
@@ -344,7 +356,10 @@ mod tests {
 
     #[test]
     fn pareto_quantile_inverts_cdf() {
-        let p = DiscretePareto { alpha: 1.5, beta: 15.0 };
+        let p = DiscretePareto {
+            alpha: 1.5,
+            beta: 15.0,
+        };
         for &u in &[0.0, 0.1, 0.5, 0.9, 0.99, 0.99999] {
             let k = p.quantile(u);
             assert!(p.cdf(k) >= u - 1e-12, "u={u} k={k}");
@@ -357,7 +372,10 @@ mod tests {
     #[test]
     fn pareto_discretization_matches_round_up() {
         // P(ceil(X*) = k) = F*(k) - F*(k-1) = F(k) - F(k-1)
-        let p = DiscretePareto { alpha: 2.0, beta: 10.0 };
+        let p = DiscretePareto {
+            alpha: 2.0,
+            beta: 10.0,
+        };
         for k in 1..50u64 {
             let cont = p.cdf_continuous(k as f64) - p.cdf_continuous(k as f64 - 1.0);
             assert!((p.pmf(k) - cont).abs() < 1e-12);
@@ -386,7 +404,10 @@ mod tests {
 
     #[test]
     fn truncated_cdf_normalized() {
-        let p = DiscretePareto { alpha: 1.2, beta: 6.0 };
+        let p = DiscretePareto {
+            alpha: 1.2,
+            beta: 6.0,
+        };
         let t = Truncated::new(p, 50);
         assert_eq!(t.cdf(50), 1.0);
         assert_eq!(t.cdf(1_000), 1.0);
@@ -398,7 +419,10 @@ mod tests {
 
     #[test]
     fn truncated_quantile_stays_in_support() {
-        let p = DiscretePareto { alpha: 1.1, beta: 3.0 };
+        let p = DiscretePareto {
+            alpha: 1.1,
+            beta: 3.0,
+        };
         let t = Truncated::new(p, 30);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         for _ in 0..10_000 {
@@ -468,7 +492,13 @@ mod tests {
 
     #[test]
     fn sampled_sequence_has_even_sum() {
-        let p = Truncated::new(DiscretePareto { alpha: 1.5, beta: 15.0 }, 100);
+        let p = Truncated::new(
+            DiscretePareto {
+                alpha: 1.5,
+                beta: 15.0,
+            },
+            100,
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         for _ in 0..20 {
             let (seq, _) = sample_degree_sequence(&p, 101, &mut rng);
@@ -534,7 +564,13 @@ mod tests {
 
     #[test]
     fn empirical_frequencies_match_pmf() {
-        let p = Truncated::new(DiscretePareto { alpha: 2.0, beta: 10.0 }, 64);
+        let p = Truncated::new(
+            DiscretePareto {
+                alpha: 2.0,
+                beta: 10.0,
+            },
+            64,
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let draws = 200_000;
         let mut counts = vec![0u64; 65];
@@ -543,7 +579,11 @@ mod tests {
         }
         for k in 1..=10u64 {
             let emp = counts[k as usize] as f64 / draws as f64;
-            assert!((emp - p.pmf(k)).abs() < 0.01, "k={k} emp={emp} pmf={}", p.pmf(k));
+            assert!(
+                (emp - p.pmf(k)).abs() < 0.01,
+                "k={k} emp={emp} pmf={}",
+                p.pmf(k)
+            );
         }
     }
 }

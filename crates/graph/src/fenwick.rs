@@ -26,8 +26,17 @@ pub struct Fenwick {
 impl Fenwick {
     /// Creates a tree with all weights zero.
     pub fn new(n: usize) -> Self {
-        let top_bit = if n == 0 { 0 } else { usize::BITS as usize - 1 - n.leading_zeros() as usize };
-        Fenwick { tree: vec![0; n + 1], weight: vec![0; n], total: 0, top_bit: 1 << top_bit }
+        let top_bit = if n == 0 {
+            0
+        } else {
+            usize::BITS as usize - 1 - n.leading_zeros() as usize
+        };
+        Fenwick {
+            tree: vec![0; n + 1],
+            weight: vec![0; n],
+            total: 0,
+            top_bit: 1 << top_bit,
+        }
     }
 
     /// Builds a tree from initial weights in `O(n)`.
@@ -119,7 +128,11 @@ impl Fenwick {
     /// drawing `target` uniformly from `[0, total)` selects element `i` with
     /// probability `weight[i] / total`.
     pub fn select(&self, mut target: u64) -> usize {
-        debug_assert!(target < self.total, "select target {target} >= total {}", self.total);
+        debug_assert!(
+            target < self.total,
+            "select target {target} >= total {}",
+            self.total
+        );
         let mut pos = 0usize;
         let mut step = self.top_bit;
         while step > 0 {

@@ -60,7 +60,11 @@ impl GraphGenerator for ChungLu {
         }
         let graph = Graph::from_adjacency(adj).expect("chung-lu emits simple adjacency");
         let shortfall = target.sum().saturating_sub(2 * graph.m() as u64);
-        Generated { graph, shortfall, stats: BuilderStats::default() }
+        Generated {
+            graph,
+            shortfall,
+            stats: BuilderStats::default(),
+        }
     }
 }
 
@@ -127,7 +131,10 @@ mod tests {
             sum += 2.0 * g.graph.m() as f64 / 400.0;
         }
         let mean_degree = sum / reps as f64;
-        assert!((mean_degree - 10.0).abs() < 0.5, "mean degree {mean_degree}");
+        assert!(
+            (mean_degree - 10.0).abs() < 0.5,
+            "mean degree {mean_degree}"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct ConfigurationModel;
 
 impl GraphGenerator for ConfigurationModel {
     fn generate<R: Rng + ?Sized>(&self, target: &DegreeSequence, rng: &mut R) -> Generated {
-        assert!(target.has_even_sum(), "degree sum must be even (call make_even first)");
+        assert!(
+            target.has_even_sum(),
+            "degree sum must be even (call make_even first)"
+        );
         let n = target.n();
         let total = target.sum() as usize;
         let mut stubs: Vec<u32> = Vec::with_capacity(total);
@@ -31,9 +34,15 @@ impl GraphGenerator for ConfigurationModel {
         for pair in stubs.chunks_exact(2) {
             builder.add_edge(pair[0], pair[1]);
         }
-        let (graph, stats) = builder.finish().expect("stub pairing yields valid node ids");
+        let (graph, stats) = builder
+            .finish()
+            .expect("stub pairing yields valid node ids");
         let shortfall = Generated::compute_shortfall(target, &graph);
-        Generated { graph, shortfall, stats }
+        Generated {
+            graph,
+            shortfall,
+            stats,
+        }
     }
 }
 
@@ -51,13 +60,22 @@ mod tests {
         // 2-regular target: erasure losses are small but possible
         assert!(g.graph.n() == 100);
         assert!(g.shortfall <= 20, "shortfall {}", g.shortfall);
-        assert_eq!(g.shortfall, 2 * (g.stats.loops_dropped + g.stats.duplicates_dropped));
+        assert_eq!(
+            g.shortfall,
+            2 * (g.stats.loops_dropped + g.stats.duplicates_dropped)
+        );
     }
 
     #[test]
     fn produces_simple_graph_under_heavy_tail() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let dist = Truncated::new(DiscretePareto { alpha: 1.5, beta: 15.0 }, 100);
+        let dist = Truncated::new(
+            DiscretePareto {
+                alpha: 1.5,
+                beta: 15.0,
+            },
+            100,
+        );
         let (target, _) = sample_degree_sequence(&dist, 500, &mut rng);
         let g = ConfigurationModel.generate(&target, &mut rng);
         // simplicity is enforced structurally by GraphBuilder + Graph

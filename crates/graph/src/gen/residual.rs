@@ -27,12 +27,18 @@ pub struct ResidualSampler;
 
 impl GraphGenerator for ResidualSampler {
     fn generate<R: Rng + ?Sized>(&self, target: &DegreeSequence, rng: &mut R) -> Generated {
-        assert!(target.has_even_sum(), "degree sum must be even (call make_even first)");
+        assert!(
+            target.has_even_sum(),
+            "degree sum must be even (call make_even first)"
+        );
         let n = target.n();
         let degrees = target.as_slice();
         let mut residual: Vec<u64> = degrees.iter().map(|&d| d as u64).collect();
         let mut fenwick = Fenwick::from_weights(&residual);
-        let mut adj: Vec<Vec<u32>> = degrees.iter().map(|&d| Vec::with_capacity(d as usize)).collect();
+        let mut adj: Vec<Vec<u32>> = degrees
+            .iter()
+            .map(|&d| Vec::with_capacity(d as usize))
+            .collect();
 
         // Complete high-degree nodes first: they are the hardest to finish
         // once the residual pool thins out.
@@ -73,11 +79,98 @@ impl GraphGenerator for ResidualSampler {
             }
         }
 
+        repair_stranded(&mut adj, &mut residual);
+
         let shortfall: u64 = residual.iter().sum();
         let graph = Graph::from_adjacency(adj).expect("residual sampler builds a simple graph");
         debug_assert_eq!(shortfall, Generated::compute_shortfall(target, &graph));
-        Generated { graph, shortfall, stats: BuilderStats::default() }
+        Generated {
+            graph,
+            shortfall,
+            stats: BuilderStats::default(),
+        }
     }
+}
+
+/// Absorbs stranded residual stubs by edge switching.
+///
+/// The greedy pass can finish with residual degree left on nodes whose only
+/// eligible partners are themselves or existing neighbors (e.g. the last
+/// node of a 2-regular sequence whose two stubs face each other). Those
+/// sequences are still graphical; the standard repair (Blitzstein–Diaconis
+/// \[11\], also the switch step of McKay–Wormald) rewires an existing edge
+/// `(a, b)` into `(u, a)` and `(v, b)`, which consumes one stub at `u` and
+/// one at `v` while leaving every other degree unchanged. Simplicity is
+/// preserved by construction; any residue that no switch can absorb (a
+/// genuinely non-graphical tail) remains as the reported shortfall.
+fn repair_stranded(adj: &mut [Vec<u32>], residual: &mut [u64]) {
+    loop {
+        // the two stubs to connect this round: the heaviest-residual node,
+        // twice if it holds ≥ 2 stubs, else paired with the runner-up
+        let mut stubs: Vec<u32> = Vec::with_capacity(2);
+        let mut order: Vec<u32> = (0..adj.len() as u32)
+            .filter(|&v| residual[v as usize] > 0)
+            .collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(residual[v as usize]));
+        for &v in &order {
+            stubs.push(v);
+            if residual[v as usize] >= 2 && stubs.len() < 2 {
+                stubs.push(v);
+            }
+            if stubs.len() == 2 {
+                break;
+            }
+        }
+        let [u, v] = stubs[..] else { return };
+        let (ui, vi) = (u as usize, v as usize);
+
+        if u != v && !adj[ui].contains(&v) {
+            adj[ui].push(v);
+            adj[vi].push(u);
+        } else {
+            // switch: find an edge (a, b) with a ∉ N(u)∪{u,v} and
+            // b ∉ N(v)∪{u,v}, replace it by (u, a) and (v, b)
+            let Some((a, b)) = find_switch_edge(adj, u, v) else {
+                return;
+            };
+            let (ai, bi) = (a as usize, b as usize);
+            let pos = adj[ai]
+                .iter()
+                .position(|&w| w == b)
+                .expect("edge listed at a");
+            adj[ai].swap_remove(pos);
+            let pos = adj[bi]
+                .iter()
+                .position(|&w| w == a)
+                .expect("edge listed at b");
+            adj[bi].swap_remove(pos);
+            adj[ui].push(a);
+            adj[ai].push(u);
+            adj[vi].push(b);
+            adj[bi].push(v);
+        }
+        residual[ui] -= 1;
+        residual[vi] -= 1;
+    }
+}
+
+/// A directed scan for an edge `(a, b)` whose switch onto stubs `(u, v)`
+/// keeps the graph simple. Deterministic order keeps generation
+/// reproducible per RNG stream.
+fn find_switch_edge(adj: &[Vec<u32>], u: u32, v: u32) -> Option<(u32, u32)> {
+    let (ui, vi) = (u as usize, v as usize);
+    for a in 0..adj.len() as u32 {
+        if a == u || a == v || adj[ui].contains(&a) {
+            continue;
+        }
+        for &b in &adj[a as usize] {
+            if b == u || b == v || adj[vi].contains(&b) {
+                continue;
+            }
+            return Some((a, b));
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -115,7 +208,13 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         let n = 2_000;
         let t = Truncation::Root.t_n(n);
-        let dist = Truncated::new(DiscretePareto { alpha: 1.5, beta: 15.0 }, t);
+        let dist = Truncated::new(
+            DiscretePareto {
+                alpha: 1.5,
+                beta: 15.0,
+            },
+            t,
+        );
         for _ in 0..5 {
             let (target, _) = sample_degree_sequence(&dist, n, &mut rng);
             let g = ResidualSampler.generate(&target, &mut rng);
@@ -132,7 +231,13 @@ mod tests {
     fn heavy_tail_linear_truncation_still_simple() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let n = 1_000;
-        let dist = Truncated::new(DiscretePareto { alpha: 1.2, beta: 6.0 }, (n - 1) as u64);
+        let dist = Truncated::new(
+            DiscretePareto {
+                alpha: 1.2,
+                beta: 6.0,
+            },
+            (n - 1) as u64,
+        );
         let (target, _) = sample_degree_sequence(&dist, n, &mut rng);
         let g = ResidualSampler.generate(&target, &mut rng);
         // Linear truncation with α=1.2 can be non-graphical; simplicity must
@@ -146,7 +251,13 @@ mod tests {
         use crate::gen::ConfigurationModel;
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         let n = 1_000;
-        let dist = Truncated::new(DiscretePareto { alpha: 1.5, beta: 15.0 }, (n - 1) as u64);
+        let dist = Truncated::new(
+            DiscretePareto {
+                alpha: 1.5,
+                beta: 15.0,
+            },
+            (n - 1) as u64,
+        );
         let (target, _) = sample_degree_sequence(&dist, n, &mut rng);
         let residual = ResidualSampler.generate(&target, &mut rng);
         let config = ConfigurationModel.generate(&target, &mut rng);

@@ -77,7 +77,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, IoError> {
         let (u, v) = match (parse(parts.next()), parse(parts.next())) {
             (Some(u), Some(v)) => (u, v),
             _ => {
-                return Err(IoError::Parse { line: lineno + 1, content: trimmed.to_string() })
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    content: trimmed.to_string(),
+                })
             }
         };
         let mut intern = |orig: u32| -> u32 {
@@ -94,13 +97,22 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, IoError> {
         builder.add_edge(u, v);
     }
     let (graph, stats) = builder.finish().map_err(IoError::Graph)?;
-    Ok(LoadedGraph { graph, original_ids, stats })
+    Ok(LoadedGraph {
+        graph,
+        original_ids,
+        stats,
+    })
 }
 
 /// Writes the graph as a `u v` edge list (compacted IDs), one edge per
 /// line with `u < v`.
 pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# trilist edge list: n={} m={}", graph.n(), graph.m())?;
+    writeln!(
+        writer,
+        "# trilist edge list: n={} m={}",
+        graph.n(),
+        graph.m()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(writer, "{u} {v}")?;
     }

@@ -54,7 +54,9 @@ impl OptimalPair {
 /// `r(u) = g(k)/w(k)` is constant and the polynomial `u`-factor is
 /// integrated exactly by Simpson (degree ≤ 2 polynomials — exact).
 pub fn u_space_cost<D: DegreeModel>(model: &D, weight: WeightFn, pair: OptimalPair) -> f64 {
-    let t = model.support_max().expect("u_space_cost requires a truncated model");
+    let t = model
+        .support_max()
+        .expect("u_space_cost requires a truncated model");
     let table = SpreadTable::new(model, weight);
     let e_w = table.weighted_mean();
     let mut total = 0.0;
@@ -71,8 +73,8 @@ pub fn u_space_cost<D: DegreeModel>(model: &D, weight: WeightFn, pair: OptimalPa
         let r = crate::hfun::g(kf) / weight.w(kf);
         // ∫ over [lo, hi] of the u-factor: Simpson is exact for quadratics
         let mid = 0.5 * (lo + hi);
-        let integral = (hi - lo) / 6.0
-            * (pair.u_factor(lo) + 4.0 * pair.u_factor(mid) + pair.u_factor(hi));
+        let integral =
+            (hi - lo) / 6.0 * (pair.u_factor(lo) + 4.0 * pair.u_factor(mid) + pair.u_factor(hi));
         total += r * integral;
     }
     e_w * total
@@ -110,9 +112,21 @@ mod tests {
         // with the corresponding (class, map) pair
         let model = dist(1.8, 2_000);
         let cases = [
-            (OptimalPair::T1Descending, CostClass::T1, LimitMap::Descending),
-            (OptimalPair::T2RoundRobin, CostClass::T2, LimitMap::RoundRobin),
-            (OptimalPair::E1Descending, CostClass::E1, LimitMap::Descending),
+            (
+                OptimalPair::T1Descending,
+                CostClass::T1,
+                LimitMap::Descending,
+            ),
+            (
+                OptimalPair::T2RoundRobin,
+                CostClass::T2,
+                LimitMap::RoundRobin,
+            ),
+            (
+                OptimalPair::E1Descending,
+                CostClass::E1,
+                LimitMap::Descending,
+            ),
             (
                 OptimalPair::E4ComplementaryRoundRobin,
                 CostClass::E4,
@@ -137,13 +151,11 @@ mod tests {
             let u = i as f64 / 20.0;
             let t1 = CostClass::T1.h(1.0 - u);
             assert!((OptimalPair::T1Descending.u_factor(u) - t1).abs() < 1e-12);
-            let t2rr = 0.5
-                * (CostClass::T2.h((1.0 - u) / 2.0) + CostClass::T2.h((1.0 + u) / 2.0));
+            let t2rr = 0.5 * (CostClass::T2.h((1.0 - u) / 2.0) + CostClass::T2.h((1.0 + u) / 2.0));
             assert!((OptimalPair::T2RoundRobin.u_factor(u) - t2rr).abs() < 1e-12);
             let e1 = CostClass::E1.h(1.0 - u);
             assert!((OptimalPair::E1Descending.u_factor(u) - e1).abs() < 1e-12);
-            let e4crr =
-                0.5 * (CostClass::E4.h(u / 2.0) + CostClass::E4.h(1.0 - u / 2.0));
+            let e4crr = 0.5 * (CostClass::E4.h(u / 2.0) + CostClass::E4.h(1.0 - u / 2.0));
             assert!(
                 (OptimalPair::E4ComplementaryRoundRobin.u_factor(u) - e4crr).abs() < 1e-12,
                 "u={u}"

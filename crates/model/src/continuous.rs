@@ -24,8 +24,8 @@ pub fn continuous_cost(pareto: &DiscretePareto, t_n: f64, spec: &ModelSpec, pane
     // survival of the *continuous* Pareto
     let sf = |x: f64| (1.0 + x / pareto.beta).powf(-pareto.alpha);
     let norm = 1.0 - sf(t_n); // F*(t_n)
-    // geometric grid x_k = exp(k·ln(1+t_n)/K) − 1 covers [0, t_n] densely
-    // near zero and logarithmically in the tail
+                              // geometric grid x_k = exp(k·ln(1+t_n)/K) − 1 covers [0, t_n] densely
+                              // near zero and logarithmically in the tail
     let scale = (1.0 + t_n).ln() / panels as f64;
     let grid = |k: usize| (scale * k as f64).exp_m1();
 

@@ -28,7 +28,11 @@ pub struct ModelSpec {
 impl ModelSpec {
     /// Spec with `w(x) = x` — the evaluation default (§7.3).
     pub fn new(class: CostClass, map: LimitMap) -> Self {
-        ModelSpec { class, map, weight: WeightFn::Identity }
+        ModelSpec {
+            class,
+            map,
+            weight: WeightFn::Identity,
+        }
     }
 
     /// Replaces the weight function.
@@ -58,7 +62,9 @@ where
     D: DegreeModel,
     E: Fn(f64) -> f64,
 {
-    let t = model.support_max().expect("discrete_cost requires a truncated model");
+    let t = model
+        .support_max()
+        .expect("discrete_cost requires a truncated model");
     // pass 1: total weighted mass E[w(D_n)]
     let mut total_w = 0.0;
     for k in 1..=t {
@@ -152,8 +158,10 @@ mod tests {
         let t2_rr = discrete_cost(&dist, &ModelSpec::new(CostClass::T2, LimitMap::RoundRobin));
         let t2_desc = discrete_cost(&dist, &ModelSpec::new(CostClass::T2, LimitMap::Descending));
         assert!(t2_rr < t2_desc);
-        let e4_crr =
-            discrete_cost(&dist, &ModelSpec::new(CostClass::E4, LimitMap::ComplementaryRoundRobin));
+        let e4_crr = discrete_cost(
+            &dist,
+            &ModelSpec::new(CostClass::E4, LimitMap::ComplementaryRoundRobin),
+        );
         let e4_desc = discrete_cost(&dist, &ModelSpec::new(CostClass::E4, LimitMap::Descending));
         assert!(e4_crr < e4_desc);
     }
@@ -186,7 +194,10 @@ mod tests {
         // the rotation is neither the best nor pathological: it must fall
         // between the descending optimum and the ascending worst case
         let asc = discrete_cost(&dist, &ModelSpec::new(CostClass::T1, LimitMap::Ascending));
-        assert!(rotated > builtin && rotated < asc, "{builtin} {rotated} {asc}");
+        assert!(
+            rotated > builtin && rotated < asc,
+            "{builtin} {rotated} {asc}"
+        );
     }
 
     #[test]

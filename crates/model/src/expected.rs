@@ -17,7 +17,11 @@ pub fn q_fractions(degrees_by_label: &[u32], weight: WeightFn) -> Vec<f64> {
     for &d in degrees_by_label {
         let w = weight.w(d as f64);
         let denom = total - w;
-        q.push(if denom > 0.0 { (prefix / denom).min(1.0) } else { 0.0 });
+        q.push(if denom > 0.0 {
+            (prefix / denom).min(1.0)
+        } else {
+            0.0
+        });
         prefix += w;
     }
     q

@@ -56,8 +56,11 @@ pub fn hill_estimator(degrees: &[u32], tail_fraction: f64) -> Option<f64> {
 pub fn lomax_mle(degrees: &[u32]) -> Option<(f64, f64)> {
     // continuity correction: degree k represents the continuous draw in
     // (k−1, k] (§7.1 rounds up), so fit against the interval midpoints
-    let data: Vec<f64> =
-        degrees.iter().filter(|&&d| d > 0).map(|&d| d as f64 - 0.5).collect();
+    let data: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d > 0)
+        .map(|&d| d as f64 - 0.5)
+        .collect();
     let n = data.len();
     if n < 10 {
         return None;
@@ -115,10 +118,8 @@ pub fn recommend(graph: &Graph, speed_ratio: f64) -> Recommendation {
     let alpha_hill = hill_estimator(&degrees, 0.05);
     let lomax = lomax_mle(&degrees);
     // measure w_n under the descending orientation (deterministic)
-    let relabeling = trilist_order::Relabeling::from_positions(
-        &degrees,
-        &trilist_order::descending(graph.n()),
-    );
+    let relabeling =
+        trilist_order::Relabeling::from_positions(&degrees, &trilist_order::descending(graph.n()));
     let dg = DirectedGraph::orient(graph, &relabeling);
     let wn = wn_of_graph(&dg);
     let (method, family) = if sei_wins(wn, speed_ratio) {
@@ -127,7 +128,14 @@ pub fn recommend(graph: &Graph, speed_ratio: f64) -> Recommendation {
         (Method::T1, OrderFamily::Descending)
     };
     let winner = alpha_hill.map(asymptotic_winner);
-    Recommendation { alpha_hill, lomax, wn, method, family, winner }
+    Recommendation {
+        alpha_hill,
+        lomax,
+        wn,
+        method,
+        family,
+        winner,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +148,10 @@ mod tests {
     fn pareto_degrees(alpha: f64, n: usize, t: u64, seed: u64) -> Vec<u32> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let dist = Truncated::new(DiscretePareto::paper_beta(alpha), t);
-        sample_degree_sequence(&dist, n, &mut rng).0.as_slice().to_vec()
+        sample_degree_sequence(&dist, n, &mut rng)
+            .0
+            .as_slice()
+            .to_vec()
     }
 
     #[test]

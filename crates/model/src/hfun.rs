@@ -33,8 +33,14 @@ pub enum CostClass {
 
 impl CostClass {
     /// All six shapes.
-    pub const ALL: [CostClass; 6] =
-        [CostClass::T1, CostClass::T2, CostClass::T3, CostClass::E1, CostClass::E3, CostClass::E4];
+    pub const ALL: [CostClass; 6] = [
+        CostClass::T1,
+        CostClass::T2,
+        CostClass::T3,
+        CostClass::E1,
+        CostClass::E3,
+        CostClass::E4,
+    ];
 
     /// The cost class of any of the 18 methods (LEI classes count lookups
     /// only; the `m`-insertion build cost is a separate constant).

@@ -42,13 +42,13 @@ pub use comparison::{e1_beats_e4, t1_beats_t2, u_space_cost, OptimalPair};
 pub use continuous::continuous_cost;
 pub use discrete::{discrete_cost, discrete_cost_custom, ModelSpec};
 pub use expected::{expected_out_degrees, predicted_cost_per_node, q_fractions};
+pub use fit::{hill_estimator, lomax_mle, recommend, Recommendation};
 pub use hfun::{g, CostClass};
 pub use limits::{finiteness_threshold, is_finite, limiting_cost, limiting_cost_at};
-pub use quick::{block_count, quick_cost};
-pub use scaling::{a_n, b_n, spread_tail};
-pub use fit::{hill_estimator, lomax_mle, recommend, Recommendation};
 pub use mc::mc_cost;
+pub use quick::{block_count, quick_cost};
 pub use regimes::{asymptotic_winner, finite_pairs, vertex_regime, AsymptoticWinner, VertexRegime};
+pub use scaling::{a_n, b_n, spread_tail};
 pub use spread::{exponential_spread, pareto_spread, SpreadTable};
 pub use weight::WeightFn;
 pub use wn::{asymptotic_gap_regime, sei_wins, wn_limit, wn_of_graph};

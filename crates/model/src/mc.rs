@@ -54,7 +54,11 @@ mod tests {
         let dist = Truncated::new(DiscretePareto::paper_beta(2.1), 2_000);
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         for class in [CostClass::T1, CostClass::T2, CostClass::E4] {
-            for map in [LimitMap::Descending, LimitMap::RoundRobin, LimitMap::Uniform] {
+            for map in [
+                LimitMap::Descending,
+                LimitMap::RoundRobin,
+                LimitMap::Uniform,
+            ] {
                 let spec = ModelSpec::new(class, map);
                 let exact = discrete_cost(&dist, &spec);
                 let (mc, sem) = mc_cost(&dist, &spec, 400_000, &mut rng);

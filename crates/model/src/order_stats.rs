@@ -52,7 +52,9 @@ where
     G: Fn(f64) -> f64,
     P: Fn(f64) -> f64,
 {
-    let t = model.support_max().expect("limit requires a truncated model");
+    let t = model
+        .support_max()
+        .expect("limit requires a truncated model");
     let mut total = 0.0;
     let mut lo = 0.0;
     for k in 1..=t {
@@ -111,7 +113,10 @@ mod tests {
             avg += empirical_l_statistic(&mut sample, g, phi);
         }
         avg /= reps as f64;
-        assert!((avg - limit).abs() / limit < 0.02, "emp {avg} vs limit {limit}");
+        assert!(
+            (avg - limit).abs() / limit < 0.02,
+            "emp {avg} vs limit {limit}"
+        );
     }
 
     #[test]
@@ -128,7 +133,10 @@ mod tests {
                 avg += empirical_partial_sum(&mut sample, g, u);
             }
             avg /= reps as f64;
-            assert!((avg - limit).abs() / limit.max(1.0) < 0.03, "u={u}: {avg} vs {limit}");
+            assert!(
+                (avg - limit).abs() / limit.max(1.0) < 0.03,
+                "u={u}: {avg} vs {limit}"
+            );
         }
     }
 

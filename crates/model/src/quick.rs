@@ -33,7 +33,9 @@ use trilist_graph::dist::DegreeModel;
 /// assert!((cost - 356.28).abs() < 1.0);
 /// ```
 pub fn quick_cost<D: DegreeModel>(model: &D, spec: &ModelSpec, eps: f64) -> f64 {
-    let t = model.support_max().expect("quick_cost requires a truncated model");
+    let t = model
+        .support_max()
+        .expect("quick_cost requires a truncated model");
     assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
     let h = |x: f64| spec.class.h(x);
 

@@ -71,7 +71,9 @@ pub fn asymptotic_winner(alpha: f64) -> AsymptoticWinner {
     match (t1_finite, e1_finite) {
         (true, false) => AsymptoticWinner::VertexIterator,
         (true, true) => AsymptoticWinner::HardwareDependent,
-        (false, false) => AsymptoticWinner::BothInfinite { t1_slower: alpha >= 1.0 },
+        (false, false) => AsymptoticWinner::BothInfinite {
+            t1_slower: alpha >= 1.0,
+        },
         (false, true) => unreachable!("E1 finite implies T1 finite (E1 = T1 + T2)"),
     }
 }
@@ -101,10 +103,13 @@ mod tests {
         // α > 2: all 30 pairs are finite
         assert_eq!(c.len(), 30);
         // α = 1.4: exactly the order-2-vanishing pairs (T1+desc, T3+asc)
-        assert_eq!(a, vec![
-            (CostClass::T1, LimitMap::Descending),
-            (CostClass::T3, LimitMap::Ascending),
-        ]);
+        assert_eq!(
+            a,
+            vec![
+                (CostClass::T1, LimitMap::Descending),
+                (CostClass::T3, LimitMap::Ascending),
+            ]
+        );
     }
 
     #[test]

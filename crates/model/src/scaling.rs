@@ -141,7 +141,10 @@ mod tests {
         for &alpha in &[1.1, 1.2] {
             let got = fitted_exponent(alpha, CostClass::T1);
             let want = t1_growth_exponent(alpha);
-            assert!((got - want).abs() < 0.05, "alpha={alpha}: got {got} want {want}");
+            assert!(
+                (got - want).abs() < 0.05,
+                "alpha={alpha}: got {got} want {want}"
+            );
         }
     }
 
@@ -150,7 +153,10 @@ mod tests {
         for &alpha in &[1.1, 1.3] {
             let got = fitted_exponent(alpha, CostClass::E1);
             let want = e1_growth_exponent(alpha);
-            assert!((got - want).abs() < 0.05, "alpha={alpha}: got {got} want {want}");
+            assert!(
+                (got - want).abs() < 0.05,
+                "alpha={alpha}: got {got} want {want}"
+            );
         }
     }
 

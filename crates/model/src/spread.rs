@@ -88,7 +88,13 @@ mod tests {
 
     #[test]
     fn spread_is_a_cdf() {
-        let dist = Truncated::new(DiscretePareto { alpha: 1.7, beta: 21.0 }, 1_000);
+        let dist = Truncated::new(
+            DiscretePareto {
+                alpha: 1.7,
+                beta: 21.0,
+            },
+            1_000,
+        );
         let table = SpreadTable::new(&dist, WeightFn::Identity);
         assert_eq!(table.j(0), 0.0);
         assert!((table.j(1_000) - 1.0).abs() < 1e-12);
@@ -102,7 +108,13 @@ mod tests {
 
     #[test]
     fn weighted_mean_matches_direct_sum() {
-        let dist = Truncated::new(DiscretePareto { alpha: 2.0, beta: 30.0 }, 500);
+        let dist = Truncated::new(
+            DiscretePareto {
+                alpha: 2.0,
+                beta: 30.0,
+            },
+            500,
+        );
         let table = SpreadTable::new(&dist, WeightFn::Identity);
         let direct: f64 = (1..=500u64).map(|k| k as f64 * dist.pmf(k)).sum();
         assert!((table.weighted_mean() - direct).abs() < 1e-9);
@@ -113,7 +125,13 @@ mod tests {
     #[test]
     fn spread_is_stochastically_larger_than_degree() {
         // size-biasing shifts mass upward: J(k) <= F_n(k) for all k
-        let dist = Truncated::new(DiscretePareto { alpha: 1.5, beta: 15.0 }, 2_000);
+        let dist = Truncated::new(
+            DiscretePareto {
+                alpha: 1.5,
+                beta: 15.0,
+            },
+            2_000,
+        );
         let table = SpreadTable::new(&dist, WeightFn::Identity);
         for k in 1..2_000u64 {
             assert!(table.j(k) <= dist.cdf(k) + 1e-12, "k={k}");
@@ -124,7 +142,10 @@ mod tests {
     #[test]
     fn pareto_closed_form_matches_numeric_integral() {
         // J(x) = ∫₀ˣ y f(y) dy / E[D] with f the continuous Pareto density
-        let p = DiscretePareto { alpha: 1.8, beta: 24.0 };
+        let p = DiscretePareto {
+            alpha: 1.8,
+            beta: 24.0,
+        };
         let mean = p.mean_continuous();
         for &x in &[5.0, 30.0, 150.0, 2_000.0] {
             let steps = 400_000;
@@ -137,13 +158,19 @@ mod tests {
                 .sum::<f64>()
                 / mean;
             let closed = pareto_spread(&p, x);
-            assert!((numeric - closed).abs() < 1e-4, "x={x}: {numeric} vs {closed}");
+            assert!(
+                (numeric - closed).abs() < 1e-4,
+                "x={x}: {numeric} vs {closed}"
+            );
         }
     }
 
     #[test]
     fn pareto_spread_tail_has_shape_alpha_minus_one() {
-        let p = DiscretePareto { alpha: 2.0, beta: 10.0 };
+        let p = DiscretePareto {
+            alpha: 2.0,
+            beta: 10.0,
+        };
         // 1 − J(x) ~ C x^{1−α}: the local slope of log(1−J) vs log x → 1 − α
         let slope = |x: f64| {
             let a = (1.0 - pareto_spread(&p, x)).ln();
@@ -168,7 +195,10 @@ mod tests {
     fn discrete_spread_approaches_continuous_for_large_beta() {
         // with a smooth (large-β) Pareto the discretized spread is close to
         // the continuous closed form
-        let p = DiscretePareto { alpha: 1.7, beta: 30.0 };
+        let p = DiscretePareto {
+            alpha: 1.7,
+            beta: 30.0,
+        };
         let dist = Truncated::new(p, 2_000_000);
         let table = SpreadTable::new(&dist, WeightFn::Identity);
         for &k in &[10u64, 50, 200, 1_000] {

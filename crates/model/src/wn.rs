@@ -22,11 +22,18 @@ use trilist_order::{DirectedGraph, LimitMap};
 /// Vertex iterators and LEI share both cost classes and probe speed
 /// (§2.3), so their minimum is the T1/T2/T3 minimum.
 pub fn wn_of_graph(g: &DirectedGraph) -> f64 {
-    let sei = [Method::E1, Method::E2, Method::E3, Method::E4, Method::E5, Method::E6]
-        .iter()
-        .map(|m| m.predicted_operations(g))
-        .min()
-        .expect("six SEI methods");
+    let sei = [
+        Method::E1,
+        Method::E2,
+        Method::E3,
+        Method::E4,
+        Method::E5,
+        Method::E6,
+    ]
+    .iter()
+    .map(|m| m.predicted_operations(g))
+    .min()
+    .expect("six SEI methods");
     let vertex = [Method::T1, Method::T2, Method::T3]
         .iter()
         .map(|m| m.predicted_operations(g))

@@ -76,8 +76,12 @@ mod tests {
 
     #[test]
     fn round_robin_converges_to_prop6_map() {
-        let profile =
-            convergence_profile(round_robin as fn(usize) -> Permutation, LimitMap::RoundRobin, &SIZES, 8);
+        let profile = convergence_profile(
+            round_robin as fn(usize) -> Permutation,
+            LimitMap::RoundRobin,
+            &SIZES,
+            8,
+        );
         assert!(profile[2] < 0.02, "{profile:?}");
         let crr_profile = convergence_profile(
             complementary_round_robin as fn(usize) -> Permutation,
@@ -100,7 +104,13 @@ mod tests {
         // the paper's counter-example (§5.1): θ_A for odd n, θ_D for even n.
         // Each subsequence converges to a *different* kernel, so the family
         // as a whole converges to neither.
-        let family = |n: usize| if n % 2 == 1 { ascending(n) } else { descending(n) };
+        let family = |n: usize| {
+            if n % 2 == 1 {
+                ascending(n)
+            } else {
+                descending(n)
+            }
+        };
         let odd_sizes = [10_001usize, 100_001];
         let even_sizes = [10_000usize, 100_000];
         // against the ascending map: odd sizes converge, even sizes stay far

@@ -72,7 +72,11 @@ pub fn degeneracy(graph: &Graph) -> usize {
     let mut best = 0usize;
     for v in 0..graph.n() as u32 {
         let lv = labels[v as usize];
-        let out = graph.neighbors(v).iter().filter(|&&w| labels[w as usize] < lv).count();
+        let out = graph
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| labels[w as usize] < lv)
+            .count();
         best = best.max(out);
     }
     best
@@ -124,8 +128,11 @@ mod tests {
         let g = Graph::from_edges(7, &edges).unwrap();
         let labels = smallest_last_labels(&g);
         for v in 0..7u32 {
-            let out =
-                g.neighbors(v).iter().filter(|&&w| labels[w as usize] < labels[v as usize]).count();
+            let out = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| labels[w as usize] < labels[v as usize])
+                .count();
             assert!(out <= 1, "node {v} out-degree {out}");
         }
     }

@@ -35,7 +35,11 @@ pub fn descending(n: usize) -> Permutation {
 pub fn round_robin(n: usize) -> Permutation {
     let mut theta = Vec::with_capacity(n);
     for i in 1..=n {
-        let label_1based = if i % 2 == 1 { (n + i).div_ceil(2) } else { (n - i) / 2 + 1 };
+        let label_1based = if i % 2 == 1 {
+            (n + i).div_ceil(2)
+        } else {
+            (n - i) / 2 + 1
+        };
         theta.push((label_1based - 1) as u32);
     }
     Permutation::new(theta).expect("round robin is a bijection")
@@ -178,7 +182,10 @@ mod tests {
         let n = 101;
         let p = complementary_round_robin(n);
         let largest = p.label(n - 1) as i64;
-        assert!((largest - n as i64 / 2).abs() <= 1, "largest got label {largest}");
+        assert!(
+            (largest - n as i64 / 2).abs() <= 1,
+            "largest got label {largest}"
+        );
         assert_eq!(p.as_slice(), round_robin(n).complement().as_slice());
     }
 
@@ -199,7 +206,8 @@ mod tests {
 
     #[test]
     fn family_names_unique() {
-        let names: std::collections::HashSet<_> = OrderFamily::ALL.iter().map(|f| f.name()).collect();
+        let names: std::collections::HashSet<_> =
+            OrderFamily::ALL.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), OrderFamily::ALL.len());
     }
 }

@@ -203,7 +203,10 @@ mod tests {
     fn reverse_and_complement_structure() {
         assert_eq!(LimitMap::Ascending.reverse(), LimitMap::Descending);
         assert_eq!(LimitMap::RoundRobin.reverse(), LimitMap::RoundRobin);
-        assert_eq!(LimitMap::RoundRobin.complement(), LimitMap::ComplementaryRoundRobin);
+        assert_eq!(
+            LimitMap::RoundRobin.complement(),
+            LimitMap::ComplementaryRoundRobin
+        );
         for map in LimitMap::ALL {
             assert_eq!(map.complement().complement(), map);
         }
@@ -218,7 +221,10 @@ mod tests {
             for &v in &[0.2, 0.5, 0.8] {
                 let hits = (0..draws).filter(|_| map.sample(u, &mut rng) <= v).count();
                 let emp = hits as f64 / draws as f64;
-                assert!((emp - map.kernel(v, u)).abs() < 0.02, "{map:?} v={v} emp={emp}");
+                assert!(
+                    (emp - map.kernel(v, u)).abs() < 0.02,
+                    "{map:?} v={v} emp={emp}"
+                );
             }
         }
     }
@@ -230,8 +236,14 @@ mod tests {
         let perm = round_robin(n);
         let k = 500; // k(n) → ∞, k(n)/n → 0
         let u = 0.4;
-        for &(v, want) in &[(0.1, 0.0), (0.29, 0.0), (0.31, 0.5), (0.5, 0.5), (0.69, 0.5), (0.71, 1.0)]
-        {
+        for &(v, want) in &[
+            (0.1, 0.0),
+            (0.29, 0.0),
+            (0.31, 0.5),
+            (0.5, 0.5),
+            (0.69, 0.5),
+            (0.71, 1.0),
+        ] {
             let got = empirical_kernel(&perm, v, u, k);
             assert!((got - want).abs() < 0.05, "v={v}: got {got} want {want}");
         }

@@ -25,8 +25,9 @@ pub enum Monotonicity {
 /// `h`) are broken deterministically; the paper allows arbitrary
 /// tie-breaking.
 pub fn opt_permutation<H: Fn(f64) -> f64>(n: usize, h: H, r: Monotonicity) -> Permutation {
-    let mut z: Vec<(f64, u32)> =
-        (0..n).map(|i| (h((i + 1) as f64 / n as f64), i as u32)).collect();
+    let mut z: Vec<(f64, u32)> = (0..n)
+        .map(|i| (h((i + 1) as f64 / n as f64), i as u32))
+        .collect();
     match r {
         Monotonicity::Increasing => {
             z.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("h must not produce NaN"))
@@ -61,7 +62,11 @@ mod tests {
     #[test]
     fn t3_shape_recovers_ascending() {
         // T3 has h(x) = (1−x)²/2, decreasing + r increasing → θ_A
-        let p = opt_permutation(10, |x| (1.0 - x) * (1.0 - x) / 2.0, Monotonicity::Increasing);
+        let p = opt_permutation(
+            10,
+            |x| (1.0 - x) * (1.0 - x) / 2.0,
+            Monotonicity::Increasing,
+        );
         assert_eq!(p, Permutation::identity(10));
     }
 
@@ -91,9 +96,16 @@ mod tests {
         // E4's h(x) = (x² + (1−x)²)/2 dips at 1/2 → large degrees go to the
         // middle, like CRR.
         let n = 51;
-        let p = opt_permutation(n, |x| (x * x + (1.0 - x) * (1.0 - x)) / 2.0, Monotonicity::Increasing);
+        let p = opt_permutation(
+            n,
+            |x| (x * x + (1.0 - x) * (1.0 - x)) / 2.0,
+            Monotonicity::Increasing,
+        );
         let largest = p.label(n - 1) as i64;
-        assert!((largest - n as i64 / 2).abs() <= 1, "largest got label {largest}");
+        assert!(
+            (largest - n as i64 / 2).abs() <= 1,
+            "largest got label {largest}"
+        );
     }
 
     #[test]

@@ -69,7 +69,12 @@ impl DirectedGraph {
             out_neighbors[out_offsets[v]..out_offsets[v + 1]].sort_unstable();
             in_neighbors[in_offsets[v]..in_offsets[v + 1]].sort_unstable();
         }
-        DirectedGraph { out_offsets, out_neighbors, in_offsets, in_neighbors }
+        DirectedGraph {
+            out_offsets,
+            out_neighbors,
+            in_offsets,
+            in_neighbors,
+        }
     }
 
     /// Number of nodes.
@@ -115,7 +120,10 @@ impl DirectedGraph {
     /// Maximum out-degree `max_i X_i(θ_n)` — the quantity minimized by the
     /// degenerate orientation.
     pub fn max_out_degree(&self) -> usize {
-        (0..self.n() as NodeId).map(|v| self.x(v)).max().unwrap_or(0)
+        (0..self.n() as NodeId)
+            .map(|v| self.x(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// All out-degrees indexed by label.

@@ -32,7 +32,9 @@ impl Permutation {
 
     /// The identity permutation (ascending-degree order, `θ_A`).
     pub fn identity(n: usize) -> Self {
-        Permutation { theta: (0..n as u32).collect() }
+        Permutation {
+            theta: (0..n as u32).collect(),
+        }
     }
 
     /// Number of positions.
@@ -69,7 +71,9 @@ impl Permutation {
     /// out-degree with its in-degree.
     pub fn reverse(&self) -> Self {
         let n = self.theta.len() as u32;
-        Permutation { theta: self.theta.iter().map(|&l| n - 1 - l).collect() }
+        Permutation {
+            theta: self.theta.iter().map(|&l| n - 1 - l).collect(),
+        }
     }
 
     /// The *complementary* permutation `θ″(i) = θ(n − i + 1)` (1-based):
@@ -83,9 +87,17 @@ impl Permutation {
 
     /// Composition `(other ∘ self)(i) = other(self(i))`: relabel twice.
     pub fn compose(&self, other: &Permutation) -> Self {
-        assert_eq!(self.len(), other.len(), "composition requires equal lengths");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composition requires equal lengths"
+        );
         Permutation {
-            theta: self.theta.iter().map(|&l| other.theta[l as usize]).collect(),
+            theta: self
+                .theta
+                .iter()
+                .map(|&l| other.theta[l as usize])
+                .collect(),
         }
     }
 }
@@ -111,7 +123,10 @@ impl std::fmt::Display for PermError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PermError::OutOfRange { label, n } => {
-                write!(f, "label {label} out of range for permutation of length {n}")
+                write!(
+                    f,
+                    "label {label} out of range for permutation of length {n}"
+                )
             }
             PermError::Duplicate { label } => write!(f, "duplicate label {label}"),
         }
@@ -139,7 +154,10 @@ mod tests {
             Permutation::new(vec![0, 3, 1]),
             Err(PermError::OutOfRange { label: 3, n: 3 })
         ));
-        assert!(matches!(Permutation::new(vec![0, 1, 1]), Err(PermError::Duplicate { label: 1 })));
+        assert!(matches!(
+            Permutation::new(vec![0, 1, 1]),
+            Err(PermError::Duplicate { label: 1 })
+        ));
     }
 
     #[test]

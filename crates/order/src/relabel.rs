@@ -18,7 +18,9 @@ impl Relabeling {
     /// Keeps original IDs ("no relabeling", as much of the prior work in
     /// §2.4 does).
     pub fn identity(n: usize) -> Self {
-        Relabeling { labels: (0..n as u32).collect() }
+        Relabeling {
+            labels: (0..n as u32).collect(),
+        }
     }
 
     /// Wraps an explicit node → label table (must be a bijection; checked in
@@ -28,7 +30,10 @@ impl Relabeling {
         {
             let mut seen = vec![false; labels.len()];
             for &l in &labels {
-                assert!((l as usize) < labels.len() && !seen[l as usize], "labels not a bijection");
+                assert!(
+                    (l as usize) < labels.len() && !seen[l as usize],
+                    "labels not a bijection"
+                );
                 seen[l as usize] = true;
             }
         }

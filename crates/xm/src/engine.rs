@@ -117,15 +117,18 @@ pub fn xm_e1_with<F: FnMut(u32, u32, u32)>(
     let mut io = IoStats::default();
 
     // setup: the main edge stream (z → y), and one column file per interval
-    let all_edges = (0..g.n() as u32)
-        .flat_map(|z| g.out(z).iter().map(move |&y| (z, y)));
+    let all_edges = (0..g.n() as u32).flat_map(|z| g.out(z).iter().map(move |&y| (z, y)));
     let edge_file = EdgeFile::create(&scratch.file("edges.bin"), all_edges, &mut io)?;
     let mut columns = Vec::with_capacity(parts.len());
     for a in 0..parts.len() {
         let range = parts.interval(a);
         let col_edges = (0..g.n() as u32).flat_map(|z| {
             let range = range.clone();
-            g.out(z).iter().copied().filter(move |t| range.contains(t)).map(move |t| (z, t))
+            g.out(z)
+                .iter()
+                .copied()
+                .filter(move |t| range.contains(t))
+                .map(move |t| (z, t))
         });
         columns.push(EdgeFile::create(
             &scratch.file(&format!("col{a}.bin")),
@@ -163,7 +166,11 @@ pub fn xm_e1_with<F: FnMut(u32, u32, u32)>(
         })?;
         io.edges_streamed += edge_file.len();
     }
-    Ok(XmRun { cost, io, peak_memory_edges: peak })
+    Ok(XmRun {
+        cost,
+        io,
+        peak_memory_edges: peak,
+    })
 }
 
 #[cfg(test)]
@@ -177,7 +184,13 @@ mod tests {
 
     fn fixture(n: usize, seed: u64) -> DirectedGraph {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let dist = Truncated::new(DiscretePareto { alpha: 1.7, beta: 6.0 }, 40);
+        let dist = Truncated::new(
+            DiscretePareto {
+                alpha: 1.7,
+                beta: 6.0,
+            },
+            40,
+        );
         let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
         let g = ResidualSampler.generate(&seq, &mut rng).graph;
         let relabeling = OrderFamily::Descending.relabeling(&g, &mut rng);

@@ -46,7 +46,11 @@ impl EdgeFile {
     where
         I: IntoIterator<Item = (u32, u32)>,
     {
-        let file = OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
         let mut writer = BufWriter::new(file);
         let mut len = 0u64;
         for (a, b) in edges {
@@ -56,7 +60,10 @@ impl EdgeFile {
         }
         writer.flush()?;
         stats.bytes_written += len * 8;
-        Ok(EdgeFile { path: path.to_path_buf(), len })
+        Ok(EdgeFile {
+            path: path.to_path_buf(),
+            len,
+        })
     }
 
     /// Number of pairs stored.
@@ -106,10 +113,8 @@ impl ScratchDir {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let id = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "trilist-xm-{tag}-{}-{id}",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("trilist-xm-{tag}-{}-{id}", std::process::id()));
         std::fs::create_dir_all(&path)?;
         Ok(ScratchDir { path })
     }
@@ -151,7 +156,14 @@ mod tests {
         let f = EdgeFile::create(&dir.file("e.bin"), std::iter::empty(), &mut stats).unwrap();
         assert!(f.is_empty());
         f.stream(&mut stats, |_, _| panic!("no pairs")).unwrap();
-        assert_eq!(stats, IoStats { bytes_written: 0, bytes_read: 0, ..Default::default() });
+        assert_eq!(
+            stats,
+            IoStats {
+                bytes_written: 0,
+                bytes_read: 0,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]
@@ -170,8 +182,12 @@ mod tests {
     fn repeated_streams_accumulate_reads() {
         let dir = ScratchDir::new("restream").unwrap();
         let mut stats = IoStats::default();
-        let f =
-            EdgeFile::create(&dir.file("e.bin"), (0..10u32).map(|i| (i, i + 1)), &mut stats).unwrap();
+        let f = EdgeFile::create(
+            &dir.file("e.bin"),
+            (0..10u32).map(|i| (i, i + 1)),
+            &mut stats,
+        )
+        .unwrap();
         for _ in 0..3 {
             f.stream(&mut stats, |_, _| {}).unwrap();
         }

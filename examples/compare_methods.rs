@@ -16,8 +16,7 @@ use trilist::order::{DirectedGraph, OrderFamily};
 fn main() {
     let n = 30_000;
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let dist =
-        Truncated::new(DiscretePareto::paper_beta(1.7), Truncation::Linear.t_n(n));
+    let dist = Truncated::new(DiscretePareto::paper_beta(1.7), Truncation::Linear.t_n(n));
     let (degrees, _) = sample_degree_sequence(&dist, n, &mut rng);
     let graph = ResidualSampler.generate(&degrees, &mut rng).graph;
     println!("graph: n = {}, m = {}\n", graph.n(), graph.m());
@@ -25,7 +24,12 @@ fn main() {
     // orient once per family; every method reads the same oriented graph
     let oriented: Vec<(OrderFamily, DirectedGraph)> = OrderFamily::ALL
         .iter()
-        .map(|&f| (f, DirectedGraph::orient(&graph, &f.relabeling(&graph, &mut rng))))
+        .map(|&f| {
+            (
+                f,
+                DirectedGraph::orient(&graph, &f.relabeling(&graph, &mut rng)),
+            )
+        })
         .collect();
 
     print!("{:>8}", "method");
@@ -56,7 +60,9 @@ fn main() {
         "\nall method/orientation pairs agree: {} triangles",
         triangle_counts[0]
     );
-    println!("paper's optimal orientations: T1 -> desc (or degen), T2 -> rr, E1 -> desc, E4 -> crr");
+    println!(
+        "paper's optimal orientations: T1 -> desc (or degen), T2 -> rr, E1 -> desc, E4 -> crr"
+    );
 }
 
 fn format_ops(v: f64) -> String {

@@ -11,9 +11,7 @@
 //! ```
 
 use trilist::graph::dist::DiscretePareto;
-use trilist::model::{
-    finiteness_threshold, limiting_cost, scaling, CostClass, ModelSpec,
-};
+use trilist::model::{finiteness_threshold, limiting_cost, scaling, CostClass, ModelSpec};
 use trilist::order::LimitMap;
 
 fn main() {
@@ -26,7 +24,10 @@ fn main() {
 
     println!("finiteness thresholds (limit exists iff alpha > threshold):");
     for (class, map, label) in optimal {
-        println!("  {label:<8} alpha > {:.4}", finiteness_threshold(class, map));
+        println!(
+            "  {label:<8} alpha > {:.4}",
+            finiteness_threshold(class, map)
+        );
     }
     println!();
 

@@ -21,7 +21,10 @@ fn main() {
     let dist = Truncated::new(DiscretePareto::paper_beta(1.7), Truncation::Root.t_n(n));
     let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
     let graph = ResidualSampler.generate(&seq, &mut rng).graph;
-    let dg = DirectedGraph::orient(&graph, &OrderFamily::Descending.relabeling(&graph, &mut rng));
+    let dg = DirectedGraph::orient(
+        &graph,
+        &OrderFamily::Descending.relabeling(&graph, &mut rng),
+    );
     println!("graph: n = {n}, m = {} directed edges\n", dg.m());
 
     println!(

@@ -11,7 +11,9 @@
 //! ```
 
 use rand::SeedableRng;
-use trilist::core::clustering::{average_clustering, local_clustering, transitivity, triangle_counts};
+use trilist::core::clustering::{
+    average_clustering, local_clustering, transitivity, triangle_counts,
+};
 use trilist::graph::components::summarize;
 use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
 use trilist::graph::gen::{GraphGenerator, ResidualSampler};
@@ -44,14 +46,20 @@ fn main() {
     let total: u64 = counts.iter().sum::<u64>() / 3;
     println!("triangles: {total}");
     println!("transitivity: {:.4}", transitivity(&graph));
-    println!("average local clustering: {:.4}", average_clustering(&graph));
+    println!(
+        "average local clustering: {:.4}",
+        average_clustering(&graph)
+    );
 
     // the most triangle-dense nodes — hubs of tightly knit neighborhoods
     let clustering = local_clustering(&graph);
     let mut by_triangles: Vec<usize> = (0..graph.n()).collect();
     by_triangles.sort_by_key(|&v| std::cmp::Reverse(counts[v]));
     println!("\ntop 5 nodes by triangle count:");
-    println!("{:>8} {:>8} {:>11} {:>11}", "node", "degree", "triangles", "clustering");
+    println!(
+        "{:>8} {:>8} {:>11} {:>11}",
+        "node", "degree", "triangles", "clustering"
+    );
     for &v in by_triangles.iter().take(5) {
         println!(
             "{v:>8} {:>8} {:>11} {:>11.4}",

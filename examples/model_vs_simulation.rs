@@ -9,8 +9,8 @@
 use trilist::graph::dist::Truncation;
 use trilist::model::{CostClass, WeightFn};
 use trilist::order::{LimitMap, OrderFamily};
-use trilist_experiments::{model_cell, simulate, SimConfig};
 use trilist_core::Method;
+use trilist_experiments::{model_cell, simulate, SimConfig};
 
 fn main() {
     let alpha = 1.5;
@@ -31,11 +31,25 @@ fn main() {
         let cells = simulate(
             &cfg,
             n,
-            &[(Method::T1, OrderFamily::Ascending), (Method::T1, OrderFamily::Descending)],
+            &[
+                (Method::T1, OrderFamily::Ascending),
+                (Method::T1, OrderFamily::Descending),
+            ],
         );
-        let model_asc = model_cell(&cfg, n, CostClass::T1, LimitMap::Ascending, WeightFn::Identity);
-        let model_desc =
-            model_cell(&cfg, n, CostClass::T1, LimitMap::Descending, WeightFn::Identity);
+        let model_asc = model_cell(
+            &cfg,
+            n,
+            CostClass::T1,
+            LimitMap::Ascending,
+            WeightFn::Identity,
+        );
+        let model_desc = model_cell(
+            &cfg,
+            n,
+            CostClass::T1,
+            LimitMap::Descending,
+            WeightFn::Identity,
+        );
         let err = |sim: f64, model: f64| format!("{:+.1}%", (model - sim) / sim * 100.0);
         println!(
             "{:>8} | {:>12.1} {:>12.1} {:>7} | {:>12.2} {:>12.2} {:>7}",

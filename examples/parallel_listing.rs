@@ -20,12 +20,20 @@ fn main() {
     let dist = Truncated::new(DiscretePareto::paper_beta(1.7), Truncation::Root.t_n(n));
     let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
     let graph = ResidualSampler.generate(&seq, &mut rng).graph;
-    let dg = DirectedGraph::orient(&graph, &OrderFamily::Descending.relabeling(&graph, &mut rng));
+    let dg = DirectedGraph::orient(
+        &graph,
+        &OrderFamily::Descending.relabeling(&graph, &mut rng),
+    );
     println!("graph: n = {n}, m = {}", graph.m());
 
-    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     println!("available cores: {cores} (speedup is bounded by this)");
-    println!("{:>8} {:>12} {:>14} {:>10}", "threads", "seconds", "triangles", "speedup");
+    println!(
+        "{:>8} {:>12} {:>14} {:>10}",
+        "threads", "seconds", "triangles", "speedup"
+    );
     let mut baseline = None;
     for threads in [1, 2, 4, cores] {
         let start = Instant::now();

@@ -3,7 +3,7 @@
 //! Table 2, and the equivalence classes of Figures 2 and 4.
 
 use rand::SeedableRng;
-use trilist::core::{Method, HashOracle};
+use trilist::core::{HashOracle, Method};
 use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated};
 use trilist::graph::gen::{GraphGenerator, ResidualSampler};
 use trilist::graph::Graph;
@@ -11,7 +11,13 @@ use trilist::order::{DirectedGraph, OrderFamily, Relabeling};
 
 fn test_graph(seed: u64, n: usize) -> Graph {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let dist = Truncated::new(DiscretePareto { alpha: 1.6, beta: 4.0 }, (n as f64).sqrt() as u64);
+    let dist = Truncated::new(
+        DiscretePareto {
+            alpha: 1.6,
+            beta: 4.0,
+        },
+        (n as f64).sqrt() as u64,
+    );
     let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
     ResidualSampler.generate(&seq, &mut rng).graph
 }
@@ -65,10 +71,22 @@ fn proposition_1_reversal_swaps_in_and_out_degrees() {
     b.sort_unstable();
     assert_eq!(a, b);
     // hence c(T1, θ) = c(T3, θ′) and c(T2, θ) = c(T2, θ′)
-    assert_eq!(Method::T1.predicted_operations(&fwd), Method::T3.predicted_operations(&rev));
-    assert_eq!(Method::T2.predicted_operations(&fwd), Method::T2.predicted_operations(&rev));
-    assert_eq!(Method::E1.predicted_operations(&fwd), Method::E3.predicted_operations(&rev));
-    assert_eq!(Method::E4.predicted_operations(&fwd), Method::E6.predicted_operations(&rev));
+    assert_eq!(
+        Method::T1.predicted_operations(&fwd),
+        Method::T3.predicted_operations(&rev)
+    );
+    assert_eq!(
+        Method::T2.predicted_operations(&fwd),
+        Method::T2.predicted_operations(&rev)
+    );
+    assert_eq!(
+        Method::E1.predicted_operations(&fwd),
+        Method::E3.predicted_operations(&rev)
+    );
+    assert_eq!(
+        Method::E4.predicted_operations(&fwd),
+        Method::E6.predicted_operations(&rev)
+    );
 }
 
 #[test]
@@ -100,9 +118,15 @@ fn table2_lei_lookup_costs() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(10);
     let dg = DirectedGraph::orient(&g, &OrderFamily::Uniform.relabeling(&g, &mut rng));
     let oracle = HashOracle::build(&dg);
-    let t1 = Method::T1.run_with_oracle(&dg, &oracle, |_, _, _| {}).lookups;
-    let t2 = Method::T2.run_with_oracle(&dg, &oracle, |_, _, _| {}).lookups;
-    let t3 = Method::T3.run_with_oracle(&dg, &oracle, |_, _, _| {}).lookups;
+    let t1 = Method::T1
+        .run_with_oracle(&dg, &oracle, |_, _, _| {})
+        .lookups;
+    let t2 = Method::T2
+        .run_with_oracle(&dg, &oracle, |_, _, _| {})
+        .lookups;
+    let t3 = Method::T3
+        .run_with_oracle(&dg, &oracle, |_, _, _| {})
+        .lookups;
     let expect: [(Method, u64); 6] = [
         (Method::L1, t2),
         (Method::L2, t1),
@@ -124,7 +148,11 @@ fn vertex_equivalence_classes_figure2() {
     let g = test_graph(11, 350);
     let mut rng = rand::rngs::StdRng::seed_from_u64(12);
     let dg = DirectedGraph::orient(&g, &OrderFamily::RoundRobin.relabeling(&g, &mut rng));
-    for (a, b) in [(Method::T1, Method::T4), (Method::T2, Method::T5), (Method::T3, Method::T6)] {
+    for (a, b) in [
+        (Method::T1, Method::T4),
+        (Method::T2, Method::T5),
+        (Method::T3, Method::T6),
+    ] {
         assert_eq!(
             a.run(&dg, |_, _, _| {}).lookups,
             b.run(&dg, |_, _, _| {}).lookups,
@@ -143,7 +171,12 @@ fn x_plus_y_equals_degree_and_sums_to_m() {
         let inv = relabeling.inverse();
         for label in 0..g.n() as u32 {
             let node = inv[label as usize];
-            assert_eq!(dg.x(label) + dg.y(label), g.degree(node), "{}", family.name());
+            assert_eq!(
+                dg.x(label) + dg.y(label),
+                g.degree(node),
+                "{}",
+                family.name()
+            );
         }
         let sum_x: usize = (0..g.n() as u32).map(|v| dg.x(v)).sum();
         let sum_y: usize = (0..g.n() as u32).map(|v| dg.y(v)).sum();

@@ -10,7 +10,7 @@ use trilist::core::{
     baseline, compressed::CompressedOut, e1_compressed, par_list, prior_art, Method,
 };
 use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Zipf};
-use trilist::graph::gen::{ConfigurationModel, GraphGenerator, Gnp, ResidualSampler};
+use trilist::graph::gen::{ConfigurationModel, Gnp, GraphGenerator, ResidualSampler};
 use trilist::graph::Graph;
 use trilist::order::{DirectedGraph, OrderFamily};
 use trilist::xm::xm_e1;
@@ -62,13 +62,23 @@ fn all_paths_agree(g: &Graph, seed: u64) {
         // parallel fundamentals
         for method in Method::FUNDAMENTAL {
             let run = par_list(&dg, method, 3);
-            let got: Vec<_> =
-                run.triangles.iter().map(|&(x, y, z)| to_orig(x, y, z)).collect();
-            assert_eq!(canon(got), want, "parallel {method} under {}", family.name());
+            let got: Vec<_> = run
+                .triangles
+                .iter()
+                .map(|&(x, y, z)| to_orig(x, y, z))
+                .collect();
+            assert_eq!(
+                canon(got),
+                want,
+                "parallel {method} under {}",
+                family.name()
+            );
         }
         // compressed E1
         let mut got = Vec::new();
-        e1_compressed(&CompressedOut::compress(&dg), |x, y, z| got.push(to_orig(x, y, z)));
+        e1_compressed(&CompressedOut::compress(&dg), |x, y, z| {
+            got.push(to_orig(x, y, z))
+        });
         assert_eq!(canon(got), want, "compressed E1 under {}", family.name());
         // external-memory E1
         let mut got = Vec::new();
@@ -82,7 +92,13 @@ fn differential_on_pareto_realizations() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     for trial in 0..3 {
         let n = 60 + trial * 30;
-        let dist = Truncated::new(DiscretePareto { alpha: 1.6, beta: 3.0 }, 12);
+        let dist = Truncated::new(
+            DiscretePareto {
+                alpha: 1.6,
+                beta: 3.0,
+            },
+            12,
+        );
         let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
         let g = ResidualSampler.generate(&seq, &mut rng).graph;
         all_paths_agree(&g, 100 + trial as u64);

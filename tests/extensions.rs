@@ -8,7 +8,7 @@ use trilist::core::{
 };
 use trilist::graph::components::summarize;
 use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
-use trilist::graph::gen::{ChungLu, GraphGenerator, Gnp, ResidualSampler};
+use trilist::graph::gen::{ChungLu, Gnp, GraphGenerator, ResidualSampler};
 use trilist::graph::io::{read_edge_list, write_edge_list};
 use trilist::graph::Graph;
 use trilist::model::fit::{hill_estimator, recommend};
@@ -33,7 +33,9 @@ fn every_listing_path_counts_the_same_triangles() {
     let sequential = Method::E1.run(&dg, |_, _, _| {}).triangles;
     let parallel = par_list(&dg, Method::E1, 4).cost.triangles;
     let packed = e1_compressed(&CompressedOut::compress(&dg), |_, _, _| {}).triangles;
-    let partial = OrientedOnly::orient(&g, &relabeling).t1(|_, _, _| {}).triangles;
+    let partial = OrientedOnly::orient(&g, &relabeling)
+        .t1(|_, _, _| {})
+        .triangles;
     let stats = clustering::triangle_count(&g);
 
     assert_eq!(sequential, parallel);
@@ -50,7 +52,10 @@ fn io_round_trip_preserves_listing_results() {
     let loaded = read_edge_list(buf.as_slice()).unwrap().graph;
     assert_eq!(loaded.n(), g.n());
     assert_eq!(loaded.m(), g.m());
-    assert_eq!(clustering::triangle_count(&loaded), clustering::triangle_count(&g));
+    assert_eq!(
+        clustering::triangle_count(&loaded),
+        clustering::triangle_count(&g)
+    );
 }
 
 #[test]
@@ -95,7 +100,10 @@ fn gnp_transitivity_concentrates_at_p() {
         ts.push(clustering::transitivity(&g));
     }
     let mean = ts.iter().sum::<f64>() / ts.len() as f64;
-    assert!((mean - p).abs() / p < 0.1, "mean transitivity {mean} vs p {p}");
+    assert!(
+        (mean - p).abs() / p < 0.1,
+        "mean transitivity {mean} vs p {p}"
+    );
 }
 
 #[test]

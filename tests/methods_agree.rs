@@ -89,7 +89,13 @@ fn gnp_random_graphs() {
 fn power_law_realizations_from_both_generators() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(13);
     let n = 120;
-    let dist = Truncated::new(DiscretePareto { alpha: 1.6, beta: 3.0 }, Truncation::Root.t_n(n));
+    let dist = Truncated::new(
+        DiscretePareto {
+            alpha: 1.6,
+            beta: 3.0,
+        },
+        Truncation::Root.t_n(n),
+    );
     for trial in 0..4 {
         let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
         let g1 = ResidualSampler.generate(&seq, &mut rng).graph;
@@ -104,7 +110,13 @@ fn triangle_counts_invariant_across_random_orientations() {
     // the count must not depend on the uniform permutation's seed
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let n = 200;
-    let dist = Truncated::new(DiscretePareto { alpha: 2.0, beta: 5.0 }, 40);
+    let dist = Truncated::new(
+        DiscretePareto {
+            alpha: 2.0,
+            beta: 5.0,
+        },
+        40,
+    );
     let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
     let g = ResidualSampler.generate(&seq, &mut rng).graph;
     let baseline_count = ground_truth(&g).len() as u64;

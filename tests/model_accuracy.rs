@@ -7,7 +7,7 @@ use trilist::core::Method;
 use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
 use trilist::graph::gen::{GraphGenerator, ResidualSampler};
 use trilist::model::{predicted_cost_per_node, q_fractions, CostClass, WeightFn};
-use trilist::order::{DirectedGraph, OrderFamily, LimitMap};
+use trilist::order::{DirectedGraph, LimitMap, OrderFamily};
 use trilist_experiments::{model_cell, simulate, SimConfig};
 
 #[test]
@@ -24,8 +24,10 @@ fn eq11_expected_out_degree_matches_monte_carlo() {
     };
     // degrees indexed by label
     let inv = relabeling.inverse();
-    let degrees_by_label: Vec<u32> =
-        inv.iter().map(|&node| seq.as_slice()[node as usize]).collect();
+    let degrees_by_label: Vec<u32> = inv
+        .iter()
+        .map(|&node| seq.as_slice()[node as usize])
+        .collect();
     let expected = trilist::model::expected_out_degrees(&degrees_by_label, WeightFn::Identity);
 
     let reps = 60;
@@ -38,7 +40,12 @@ fn eq11_expected_out_degree_matches_monte_carlo() {
         }
     }
     // aggregate over label blocks to suppress Monte-Carlo noise
-    for block in [(0, n / 4), (n / 4, n / 2), (n / 2, 3 * n / 4), (3 * n / 4, n)] {
+    for block in [
+        (0, n / 4),
+        (n / 4, n / 2),
+        (n / 2, 3 * n / 4),
+        (3 * n / 4, n),
+    ] {
         let mc: f64 = sums[block.0..block.1].iter().sum::<f64>() / reps as f64;
         let model: f64 = expected[block.0..block.1].iter().sum();
         let err = (mc - model).abs() / model.max(1.0);
@@ -64,11 +71,11 @@ fn eq14_per_sequence_model_matches_measured_cost() {
             &mut rng,
         );
         let inv = relabeling.inverse();
-        let degrees_by_label: Vec<u32> =
-            inv.iter().map(|&node| seq.as_slice()[node as usize]).collect();
-        let model = predicted_cost_per_node(&degrees_by_label, WeightFn::Identity, |x| {
-            class.h(x)
-        });
+        let degrees_by_label: Vec<u32> = inv
+            .iter()
+            .map(|&node| seq.as_slice()[node as usize])
+            .collect();
+        let model = predicted_cost_per_node(&degrees_by_label, WeightFn::Identity, |x| class.h(x));
         let method = match class {
             CostClass::T1 => Method::T1,
             CostClass::T2 => Method::T2,
@@ -83,7 +90,12 @@ fn eq14_per_sequence_model_matches_measured_cost() {
         }
         let measured = total / reps as f64;
         let err = (measured - model).abs() / model;
-        assert!(err < 0.1, "{:?}/{}: measured {measured} model {model}", class, family.name());
+        assert!(
+            err < 0.1,
+            "{:?}/{}: measured {measured} model {model}",
+            class,
+            family.name()
+        );
     }
 }
 
@@ -91,9 +103,27 @@ fn eq14_per_sequence_model_matches_measured_cost() {
 fn eq50_distribution_model_matches_simulation_root_truncation() {
     // the Table 6/7 regime at laptop size: <10% at n = 4000
     for (alpha, method, family, class, map) in [
-        (1.5, Method::T1, OrderFamily::Descending, CostClass::T1, LimitMap::Descending),
-        (1.7, Method::T2, OrderFamily::RoundRobin, CostClass::T2, LimitMap::RoundRobin),
-        (1.7, Method::E1, OrderFamily::Descending, CostClass::E1, LimitMap::Descending),
+        (
+            1.5,
+            Method::T1,
+            OrderFamily::Descending,
+            CostClass::T1,
+            LimitMap::Descending,
+        ),
+        (
+            1.7,
+            Method::T2,
+            OrderFamily::RoundRobin,
+            CostClass::T2,
+            LimitMap::RoundRobin,
+        ),
+        (
+            1.7,
+            Method::E1,
+            OrderFamily::Descending,
+            CostClass::E1,
+            LimitMap::Descending,
+        ),
     ] {
         let cfg = SimConfig {
             sequences: 4,
@@ -147,7 +177,13 @@ fn w2_model_reduces_error_in_unconstrained_graphs() {
     use trilist::graph::dist::DegreeModel;
     let mean_dn = Truncated::new(cfg.pareto(), t_n).mean_exact();
     let w2 = WeightFn::w2(n, mean_dn);
-    let m1 = model_cell(&cfg, n, CostClass::T2, LimitMap::RoundRobin, WeightFn::Identity);
+    let m1 = model_cell(
+        &cfg,
+        n,
+        CostClass::T2,
+        LimitMap::RoundRobin,
+        WeightFn::Identity,
+    );
     let m2 = model_cell(&cfg, n, CostClass::T2, LimitMap::RoundRobin, w2);
     let err1 = (m1 - sim).abs() / sim;
     let err2 = (m2 - sim).abs() / sim;

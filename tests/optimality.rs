@@ -64,8 +64,14 @@ fn corollary_1_descending_optimal_for_t1_and_e1() {
 fn corollary_2_rr_optimal_for_t2_crr_for_e4() {
     let graphs = power_law_graphs(1.7, 6_000, 4, 2);
     assert_eq!(best_family(&graphs, Method::T2), OrderFamily::RoundRobin);
-    assert_eq!(best_family(&graphs, Method::E4), OrderFamily::ComplementaryRoundRobin);
-    assert_eq!(best_family(&graphs, Method::E6), OrderFamily::ComplementaryRoundRobin);
+    assert_eq!(
+        best_family(&graphs, Method::E4),
+        OrderFamily::ComplementaryRoundRobin
+    );
+    assert_eq!(
+        best_family(&graphs, Method::E6),
+        OrderFamily::ComplementaryRoundRobin
+    );
 }
 
 #[test]
@@ -76,8 +82,16 @@ fn corollary_3_worst_is_complement_of_best() {
             .into_iter()
             .map(|f| (f, avg_ops(&graphs, method, f, 7)))
             .collect();
-        let best = costs.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
-        let worst = costs.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
+        let best = costs
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        let worst = costs
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
         // the complement of the best map should be the worst
         let complement = match best {
             OrderFamily::Ascending => OrderFamily::Descending,
@@ -138,7 +152,10 @@ fn degenerate_close_to_descending_for_t1() {
     let desc = avg_ops(&graphs, Method::T1, OrderFamily::Descending, 11);
     let degen = avg_ops(&graphs, Method::T1, OrderFamily::Degenerate, 11);
     let asc = avg_ops(&graphs, Method::T1, OrderFamily::Ascending, 11);
-    assert!((degen - desc).abs() / desc < 0.25, "degen {degen} desc {desc}");
+    assert!(
+        (degen - desc).abs() / desc < 0.25,
+        "degen {degen} desc {desc}"
+    );
     // ascending is far worse than descending for T1 (the margin grows with
     // n and with tail heaviness; at this scale expect at least ~2.5x)
     assert!(desc * 2.5 < asc, "desc {desc} asc {asc}");

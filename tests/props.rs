@@ -6,9 +6,7 @@ use trilist::core::{baseline, list_triangles, Method};
 use trilist::graph::dist::{DegreeModel, DiscretePareto, Truncated};
 use trilist::graph::gen::{GraphGenerator, ResidualSampler};
 use trilist::graph::{DegreeSequence, Graph};
-use trilist::order::{
-    round_robin, DirectedGraph, LimitMap, OrderFamily, Permutation, Relabeling,
-};
+use trilist::order::{round_robin, DirectedGraph, LimitMap, OrderFamily, Permutation, Relabeling};
 
 /// Strategy: a random simple graph as an edge set over `n ≤ 16` nodes.
 fn arb_graph() -> impl Strategy<Value = Graph> {

@@ -4,9 +4,7 @@
 //! reader actually touches, in one test.
 
 use rand::SeedableRng;
-use trilist::core::{
-    list_triangles, Method, PerNodeCounter, ReservoirSink,
-};
+use trilist::core::{list_triangles, Method, PerNodeCounter, ReservoirSink};
 use trilist::graph::components::summarize;
 use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
 use trilist::graph::gen::{GraphGenerator, ResidualSampler};
@@ -64,8 +62,7 @@ fn full_user_journey() {
     // 6. every triangle in the reservoir is a real triangle of the graph
     let inv = relabeling.inverse();
     for &(x, y, z) in reservoir.sample() {
-        let (a, b, c) =
-            (inv[x as usize], inv[y as usize], inv[z as usize]);
+        let (a, b, c) = (inv[x as usize], inv[y as usize], inv[z as usize]);
         assert!(graph.has_edge(a, b) && graph.has_edge(b, c) && graph.has_edge(a, c));
     }
 }

@@ -1,0 +1,264 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the criterion 0.5 API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The harness is intentionally small: per benchmark it warms up once,
+//! sizes an iteration batch to ~100 ms, and reports the mean wall time
+//! (plus element throughput when declared). No statistics, plots, or
+//! baseline comparisons — enough to observe relative speed and to keep
+//! `cargo bench` working end to end.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the batch size chosen by the harness.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible knob; here it bounds the measured batch size.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let sample_size = self.sample_size;
+        run_one(&id.into().label, None, sample_size, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Bounds the measured batch size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, self.effective_sample_size(), f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, self.effective_sample_size(), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; the shim is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self._criterion.sample_size)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    // warm-up + calibration pass with a single iteration
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    // size the measured batch to ~100 ms, capped by sample_size
+    let target = Duration::from_millis(100);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, sample_size as u128) as u64;
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mean = bencher.elapsed / iters as u32;
+    match throughput {
+        Some(Throughput::Elements(elems)) if !mean.is_zero() => {
+            let rate = elems as f64 / mean.as_secs_f64();
+            eprintln!("  {label}: {mean:?}/iter ({iters} iters, {rate:.3e} elem/s)");
+        }
+        Some(Throughput::Bytes(bytes)) if !mean.is_zero() => {
+            let rate = bytes as f64 / mean.as_secs_f64();
+            eprintln!("  {label}: {mean:?}/iter ({iters} iters, {rate:.3e} B/s)");
+        }
+        _ => eprintln!("  {label}: {mean:?}/iter ({iters} iters)"),
+    }
+}
+
+/// Groups benchmark functions, mirroring criterion's two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        group.bench_function("counts", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        // one calibration pass + one measured batch, at least 1 iter each
+        assert!(runs >= 2, "runs {runs}");
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+    }
+}

@@ -1,0 +1,276 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the crossbeam API the work-stealing runtime uses: the
+//! [`deque`] module with [`deque::Injector`], [`deque::Worker`],
+//! [`deque::Stealer`], and [`deque::Steal`].
+//!
+//! Upstream implements the Chase–Lev lock-free deque; this shim uses a
+//! mutex-protected `VecDeque` per queue. The scheduling semantics are the
+//! same (LIFO owner pops, FIFO steals, FIFO injector), and at the chunk
+//! granularity the runtime operates at (thousands of chunks, each worth
+//! ~1k operations) lock contention is negligible next to the work itself.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `true` iff the attempt yielded a task.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// Converts to `Option`, discarding the retry/empty distinction.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A global FIFO queue every worker can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends a task to the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Takes a task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks, moving all but the first into `dest`
+        /// and returning the first (upstream `steal_batch_and_pop`
+        /// semantics: up to half the queue, capped at 32, in one lock).
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().expect("injector poisoned");
+            let first = match queue.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            let extra = (queue.len() / 2).min(31);
+            for _ in 0..extra {
+                let task = queue.pop_front().expect("len checked");
+                dest.push(task);
+            }
+            Steal::Success(first)
+        }
+
+        /// `true` iff the queue has no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+
+    /// A worker-owned deque: the owner pushes and pops at the back (LIFO),
+    /// thieves steal from the front (FIFO).
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A new FIFO worker queue (`pop` takes the front).
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// A new LIFO worker queue (`pop` takes the back).
+        pub fn new_lifo() -> Self {
+            // the shim always pops the front; LIFO vs FIFO only changes
+            // owner locality, not correctness, at chunk granularity
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("worker queue poisoned")
+                .push_back(task);
+        }
+
+        /// Pops the owner's next task.
+        pub fn pop(&self) -> Option<T> {
+            self.queue
+                .lock()
+                .expect("worker queue poisoned")
+                .pop_front()
+        }
+
+        /// `true` iff the queue has no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker queue poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("worker queue poisoned").len()
+        }
+
+        /// A handle other threads can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A shareable handle that steals from the far end of a [`Worker`].
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the opposite end to the owner.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("worker queue poisoned").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` iff the queue has no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker queue poisoned").is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            inj.push(3);
+            assert_eq!(inj.len(), 3);
+            assert_eq!(inj.steal(), Steal::Success(1));
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert_eq!(inj.steal(), Steal::Success(3));
+            assert_eq!(inj.steal(), Steal::Empty);
+            assert!(inj.is_empty());
+        }
+
+        #[test]
+        fn stealer_takes_opposite_end() {
+            let w: Worker<u32> = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal(), Steal::Success(3));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(s.clone().steal(), Steal::Success(2));
+            assert_eq!(w.pop(), None);
+            assert!(w.is_empty() && s.is_empty());
+            assert_eq!(w.len(), 0);
+        }
+
+        #[test]
+        fn concurrent_stealing_conserves_tasks() {
+            let inj = std::sync::Arc::new(Injector::new());
+            for i in 0..10_000u64 {
+                inj.push(i);
+            }
+            let total: u64 = std::thread::scope(|scope| {
+                (0..8)
+                    .map(|_| {
+                        let inj = std::sync::Arc::clone(&inj);
+                        scope.spawn(move || {
+                            let mut sum = 0u64;
+                            while let Steal::Success(v) = inj.steal() {
+                                sum += v;
+                            }
+                            sum
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum()
+            });
+            assert_eq!(total, 10_000 * 9_999 / 2);
+        }
+
+        #[test]
+        fn batch_steal_moves_tasks_to_worker() {
+            let inj = Injector::new();
+            for i in 0..20 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            // half of the remaining 19 tasks move to the worker
+            assert_eq!(w.len(), 9);
+            assert_eq!(inj.len(), 10);
+            assert_eq!(w.pop(), Some(1));
+            let empty: Injector<i32> = Injector::new();
+            assert_eq!(empty.steal_batch_and_pop(&w), Steal::Empty);
+        }
+
+        #[test]
+        fn steal_helpers() {
+            let s: Steal<u32> = Steal::Success(5);
+            assert!(s.is_success());
+            assert_eq!(s.success(), Some(5));
+            assert_eq!(Steal::<u32>::Empty.success(), None);
+            assert!(!Steal::<u32>::Retry.is_success());
+        }
+    }
+}
