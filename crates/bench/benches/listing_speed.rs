@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::SeedableRng;
 use std::hint::black_box;
 use trilist_bench::fixture_graph;
-use trilist_core::{par_list, HashOracle, Method};
+use trilist_core::{par_list, HashOracle, KernelPolicy, Kernels, Method};
 use trilist_order::{DirectedGraph, OrderFamily};
 
 fn bench_fundamental_methods(c: &mut Criterion) {
@@ -89,6 +89,36 @@ fn bench_orientation_effect(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel_policy(c: &mut Criterion) {
+    // the adaptive kernel layer vs the paper-faithful scan on the
+    // hub-heavy regime (Pareto α = 1.5): same paper-cost operations, so
+    // any wall-clock gap is pure kernel selection. The acceptance bar for
+    // the layer is ≥ 1.3× on E1 at n = 10⁵ (see BENCH_listing.json).
+    let n = 100_000;
+    let graph = fixture_graph(n, 1.5, 23);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for method in [Method::E1, Method::E4] {
+        let family = method.optimal_family();
+        let dg = DirectedGraph::orient(&graph, &family.relabeling(&graph, &mut rng));
+        let mut group = c.benchmark_group(format!(
+            "listing/kernel_policy_{}",
+            method.name().to_lowercase()
+        ));
+        group.throughput(Throughput::Elements(graph.m() as u64));
+        for policy in [KernelPolicy::PaperFaithful, KernelPolicy::adaptive()] {
+            // kernels (incl. hub bitmaps) built once, outside the timed
+            // region: this measures steady-state listing throughput
+            let kernels = Kernels::build(policy, &dg);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(policy.name()),
+                &policy,
+                |b, _| b.iter(|| black_box(method.count_with_kernels(&dg, &kernels).triangles)),
+            );
+        }
+        group.finish();
+    }
+}
+
 fn bench_work_stealing(c: &mut Criterion) {
     // the work-stealing runtime swept over worker counts; on a multicore
     // host the E1 wall time should halve by 4 threads (see thread_scaling)
@@ -115,6 +145,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_fundamental_methods, bench_t1_oracles, bench_orientation_effect,
-        bench_work_stealing
+        bench_kernel_policy, bench_work_stealing
 }
 criterion_main!(benches);

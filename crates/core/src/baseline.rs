@@ -58,15 +58,28 @@ pub fn unoriented_vertex_iterator<F: FnMut(u32, u32, u32)>(g: &Graph, mut sink: 
 /// both endpoints of every undirected edge. Comparison accounting
 /// `Σ_(u,v)∈E (d_u + d_v) = Σ d²`, i.e. double the unoriented vertex
 /// iterator plus `2m` — the `E[D² − D]` regime of §5.3.
-pub fn unoriented_edge_iterator<F: FnMut(u32, u32, u32)>(g: &Graph, mut sink: F) -> CostReport {
-    use crate::intersect::intersect_sorted;
+pub fn unoriented_edge_iterator<F: FnMut(u32, u32, u32)>(g: &Graph, sink: F) -> CostReport {
+    unoriented_edge_iterator_with(g, &crate::kernel::Kernels::paper(), sink)
+}
+
+/// [`unoriented_edge_iterator`] with an explicit kernel context. The
+/// undirected neighbor lists are not slices of an *oriented* graph's
+/// lists, so hub-bitmap rows never apply here — pass a
+/// [`Kernels::scan_only`](crate::kernel::Kernels::scan_only) context to get
+/// the adaptive merge/gallop selection; the accounted `local`/`remote`
+/// (and triangles) are kernel-independent.
+pub fn unoriented_edge_iterator_with<F: FnMut(u32, u32, u32)>(
+    g: &Graph,
+    k: &crate::kernel::Kernels,
+    mut sink: F,
+) -> CostReport {
     let mut cost = CostReport::default();
     for (u, v) in g.edges() {
         let a = g.neighbors(u);
         let b = g.neighbors(v);
         cost.local += a.len() as u64 - 1; // exclude v itself
         cost.remote += b.len() as u64 - 1; // exclude u itself
-        let stats = intersect_sorted(a, b, |w| {
+        let stats = k.intersect(a, None, b, None, |w| {
             // (u, v, w) is a triangle; emit once, when (u, v) is the
             // lexicographically smallest edge, i.e. w is the largest corner
             if w > v {
@@ -133,6 +146,21 @@ mod tests {
         // Σ d² = Σ_(u,v) (d_u + d_v); accounting excludes the two endpoints
         let sum_sq: u64 = g.degree_square_sum();
         assert_eq!(cost.local + cost.remote, sum_sq - 2 * g.m() as u64);
+    }
+
+    #[test]
+    fn adaptive_scan_only_kernels_agree_with_paper() {
+        use crate::kernel::{KernelPolicy, Kernels};
+        let g = k4_plus_pendant();
+        let mut want = Vec::new();
+        let paper = unoriented_edge_iterator(&g, |x, y, z| want.push((x, y, z)));
+        let k = Kernels::scan_only(KernelPolicy::adaptive());
+        let mut got = Vec::new();
+        let adaptive = unoriented_edge_iterator_with(&g, &k, |x, y, z| got.push((x, y, z)));
+        assert_eq!(got, want);
+        assert_eq!(adaptive.triangles, paper.triangles);
+        assert_eq!(adaptive.local, paper.local);
+        assert_eq!(adaptive.remote, paper.remote);
     }
 
     #[test]

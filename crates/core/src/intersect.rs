@@ -66,9 +66,53 @@ pub fn intersect_sorted_backwards<F: FnMut(u32)>(a: &[u32], b: &[u32], mut sink:
     stats
 }
 
+/// Branchless-advance merge intersection: the same two-pointer walk as
+/// [`intersect_sorted`] with the pointer increments computed arithmetically
+/// (`i += (x <= y)`, `j += (y <= x)`) instead of via a three-way branch, so
+/// the loop carries no data-dependent branch misprediction on the advance
+/// path. `advances` accounting is **identical** to [`intersect_sorted`]
+/// (both pointers advance on a match, one otherwise), as is the emission
+/// order — only wall-clock differs.
+pub fn intersect_branchless<F: FnMut(u32)>(a: &[u32], b: &[u32], mut sink: F) -> ScanStats {
+    let mut stats = ScanStats::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            sink(x);
+            stats.matches += 1;
+        }
+        let ai = (x <= y) as usize;
+        let bj = (y <= x) as usize;
+        i += ai;
+        j += bj;
+        stats.advances += (ai + bj) as u64;
+    }
+    stats
+}
+
+/// Counting-only branchless merge: no sink dispatch at all — the match is
+/// folded into the counter arithmetically. Paper-cost accounting (and
+/// `advances`) is identical to [`intersect_sorted`] with a no-op sink.
+pub fn count_branchless(a: &[u32], b: &[u32]) -> ScanStats {
+    let mut stats = ScanStats::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        stats.matches += (x == y) as u64;
+        let ai = (x <= y) as usize;
+        let bj = (y <= x) as usize;
+        i += ai;
+        j += bj;
+        stats.advances += (ai + bj) as u64;
+    }
+    stats
+}
+
 /// Galloping (exponential-search) intersection: preferable when one list is
 /// much shorter. Same output contract as [`intersect_sorted`]; `advances`
-/// counts probed positions.
+/// counts probed positions — each short element pays a doubling phase and a
+/// binary-search phase, each bounded by `2 + log2|long| + 1` probes.
 pub fn intersect_gallop<F: FnMut(u32)>(short: &[u32], long: &[u32], mut sink: F) -> ScanStats {
     let mut stats = ScanStats::default();
     let mut lo = 0usize;
@@ -205,7 +249,7 @@ mod tests {
 
         proptest! {
             #[test]
-            fn all_three_variants_agree_with_set_intersection(
+            fn all_variants_agree_with_set_intersection(
                 a in sorted_unique(200, 60),
                 b in sorted_unique(200, 60),
             ) {
@@ -220,8 +264,34 @@ mod tests {
                 let mut gal = Vec::new();
                 intersect_gallop(&a, &b, |x| gal.push(x));
                 prop_assert_eq!(&gal, &want);
+                let mut bl = Vec::new();
+                let sb = intersect_branchless(&a, &b, |x| bl.push(x));
+                prop_assert_eq!(&bl, &want);
+                // branchless is the same walk: advances match exactly
+                prop_assert_eq!(sb.advances, sf.advances);
+                let sc = count_branchless(&a, &b);
+                prop_assert_eq!(sc.matches as usize, want.len());
+                prop_assert_eq!(sc.advances, sf.advances);
                 prop_assert!(sf.advances <= (a.len() + b.len()) as u64);
                 prop_assert_eq!(sf.matches as usize, want.len());
+            }
+
+            #[test]
+            fn gallop_advances_bounded_by_short_log_long(
+                short in sorted_unique(100_000, 40),
+                long in sorted_unique(100_000, 400),
+            ) {
+                prop_assume!(!long.is_empty());
+                let stats = intersect_gallop(&short, &long, |_| {});
+                // per short element: a doubling phase and a binary-search
+                // phase, each within 2 + log2|long| + 1 probed positions
+                let per_phase = 2 + u64::from((long.len() as u64).max(2).ilog2()) + 1;
+                let bound = short.len() as u64 * per_phase * 2;
+                prop_assert!(
+                    stats.advances <= bound,
+                    "advances {} > bound {} (|short|={}, |long|={})",
+                    stats.advances, bound, short.len(), long.len()
+                );
             }
         }
     }

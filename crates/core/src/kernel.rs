@@ -1,0 +1,589 @@
+//! Adaptive intersection-kernel selection and the hub-bitmap oracle.
+//!
+//! The paper's practical claim (§2.3–§2.4, Table 3) is that *elementary-
+//! operation speed* decides which listing family wins: scanning
+//! intersection beats hash probing iff the op-count ratio `w_n` stays below
+//! the hardware speed ratio. That makes the intersection kernel itself the
+//! hot path, and modern triangle-listing systems take their headroom
+//! exactly there — adaptive kernel selection by list-length ratio and
+//! skew-aware hub data structures. This module supplies that layer:
+//!
+//! * [`KernelPolicy::PaperFaithful`] (the default) routes every
+//!   intersection through the branchy two-pointer loop
+//!   [`intersect_sorted`] — the kernel whose `advances` the paper's
+//!   implementation-level benches describe.
+//! * [`KernelPolicy::Adaptive`] picks per call between a branchless-advance
+//!   merge, a galloping search (when the length ratio clears
+//!   [`AdaptiveConfig::gallop_crossover`]), and O(|short|) word probes
+//!   against a [`HubBitmap`] when one side is (a slice of) a high-degree
+//!   node's neighbor list.
+//!
+//! **Accounting contract**: every paper-cost field of
+//! [`CostReport`](crate::CostReport) — `local`, `remote`, `lookups`,
+//! `hash_inserts`, `triangles` — is computed identically under every
+//! policy, because those fields are charged from the *eligible slice
+//! lengths* at the call site, never from what the kernel actually did.
+//! Only `pointer_advances` (probed positions, a kernel-dependent
+//! implementation metric) and wall-clock may differ. Every kernel also
+//! emits matches in ascending order, so triangle emission order is
+//! policy-independent.
+//!
+//! # Exactness of bitmap probes on slices
+//!
+//! A hub row stores the node's *full* out- (or in-) list, while the SEI
+//! methods intersect prefixes/suffixes of those lists. Probing element `w`
+//! of the other side against the full-list row is exact whenever `w`'s
+//! membership in the slice is implied by membership in the full list. The
+//! orientation makes this free at every SEI call site: out-lists hold only
+//! smaller labels and in-lists only larger ones, so e.g. E1's probes
+//! (drawn from `N⁺(y)`, hence `< y`) can never land in the part of
+//! `N⁺(z)` at or above `y` that its prefix slice excludes. Call sites
+//! assert eligibility by passing the owning node via [`SideOwner`]; a
+//! `None` owner (e.g. the external-memory engine's column slices would be
+//! wrong-by-construction… they are not: see `xm`) disables the bitmap for
+//! that side.
+
+use crate::intersect::{
+    count_branchless, intersect_branchless, intersect_gallop, intersect_sorted, ScanStats,
+};
+use crate::oracle::EdgeOracle;
+use std::sync::atomic::{AtomicU64, Ordering};
+use trilist_order::DirectedGraph;
+
+/// Which neighbor list of a node backs a bitmap row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ListDir {
+    /// The out-list `N⁺(v)` (labels `< v`).
+    Out,
+    /// The in-list `N⁻(v)` (labels `> v`).
+    In,
+}
+
+/// Bitmap eligibility of one intersection side: `Some((v, dir))` asserts
+/// that the slice is a sub-slice of `dir`-list(`v`) *and* that every
+/// element of the other side that belongs to the full list also lies in
+/// the slice (the exactness condition above).
+pub type SideOwner = Option<(u32, ListDir)>;
+
+/// Tuning knobs for [`KernelPolicy::Adaptive`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Gallop when `|long| >= gallop_crossover * |short|`. The shipped
+    /// default is the measured crossover on the dev machine (see the
+    /// `kernel_matrix` binary, our Table-3 analogue); re-measure on new
+    /// hardware.
+    pub gallop_crossover: u32,
+    /// Nodes whose directional degree is at least this get a bitmap row.
+    pub hub_degree_threshold: u32,
+    /// Memory bound: at most this many rows per direction (top-degree
+    /// nodes win ties). Each row costs `⌈n/64⌉` words.
+    pub max_hubs: usize,
+}
+
+impl Default for AdaptiveConfig {
+    /// Tuned on Pareto α = 1.5 at n = 10⁵ via the `kernel_matrix` sweep:
+    /// crossover 4 (3–6 measured equivalent, 8 already slower), threshold
+    /// 16 with an 8192-row budget (≈100 MB/direction at n = 10⁵ — halve
+    /// `max_hubs` twice for a quarter of the memory at ~0.75× of the
+    /// speedup; see EXPERIMENTS.md).
+    fn default() -> Self {
+        AdaptiveConfig {
+            gallop_crossover: 4,
+            hub_degree_threshold: 16,
+            max_hubs: 8192,
+        }
+    }
+}
+
+/// How intersections and oracle probes are executed (never how they are
+/// *accounted* — see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelPolicy {
+    /// The paper's branchy two-pointer scan everywhere. Default, so cost
+    /// reproduction stays byte-for-byte comparable with the seed.
+    #[default]
+    PaperFaithful,
+    /// Branchless merge / gallop / hub-bitmap probes, selected per call.
+    Adaptive(AdaptiveConfig),
+}
+
+impl KernelPolicy {
+    /// `Adaptive` with default tuning.
+    pub fn adaptive() -> Self {
+        KernelPolicy::Adaptive(AdaptiveConfig::default())
+    }
+
+    /// Short display name for tables and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelPolicy::PaperFaithful => "paper",
+            KernelPolicy::Adaptive(_) => "adaptive",
+        }
+    }
+}
+
+const NO_ROW: u32 = u32::MAX;
+
+/// A `u64`-word bitset over node IDs with one row per high-degree "hub"
+/// node, so membership in a hub's neighbor list is a single word probe.
+#[derive(Clone, Debug)]
+pub struct HubBitmap {
+    /// Words per row: `⌈n/64⌉`.
+    words: usize,
+    /// Node → row index (`NO_ROW` for non-hubs); always length `n`.
+    row_of: Vec<u32>,
+    /// Row-major bit storage, `hubs.len() * words` words.
+    bits: Vec<u64>,
+    /// The hub nodes, ascending.
+    hubs: Vec<u32>,
+}
+
+impl HubBitmap {
+    /// Builds rows for every node whose `dir`-degree is at least
+    /// `threshold`, keeping only the `max_hubs` highest-degree nodes when
+    /// over budget. One pass over the selected lists.
+    pub fn build(g: &DirectedGraph, dir: ListDir, threshold: u32, max_hubs: usize) -> Self {
+        let n = g.n();
+        let deg = |v: u32| -> usize {
+            match dir {
+                ListDir::Out => g.x(v),
+                ListDir::In => g.y(v),
+            }
+        };
+        let mut hubs: Vec<u32> = (0..n as u32)
+            .filter(|&v| deg(v) >= threshold as usize)
+            .collect();
+        if hubs.len() > max_hubs {
+            hubs.sort_unstable_by_key(|&v| std::cmp::Reverse(deg(v)));
+            hubs.truncate(max_hubs);
+            hubs.sort_unstable();
+        }
+        let words = n.div_ceil(64);
+        let mut row_of = vec![NO_ROW; n];
+        let mut bits = vec![0u64; words * hubs.len()];
+        for (r, &h) in hubs.iter().enumerate() {
+            row_of[h as usize] = r as u32;
+            let row = &mut bits[r * words..(r + 1) * words];
+            let list = match dir {
+                ListDir::Out => g.out(h),
+                ListDir::In => g.in_(h),
+            };
+            for &w in list {
+                row[(w >> 6) as usize] |= 1u64 << (w & 63);
+            }
+        }
+        HubBitmap {
+            words,
+            row_of,
+            bits,
+            hubs,
+        }
+    }
+
+    /// The bit row for `v`, if `v` is a hub.
+    #[inline]
+    pub fn row(&self, v: u32) -> Option<&[u64]> {
+        let r = self.row_of[v as usize];
+        if r == NO_ROW {
+            None
+        } else {
+            Some(&self.bits[r as usize * self.words..(r as usize + 1) * self.words])
+        }
+    }
+
+    /// The hub nodes, ascending.
+    pub fn hubs(&self) -> &[u32] {
+        &self.hubs
+    }
+
+    /// Bitmap memory footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[inline]
+fn row_has(row: &[u64], x: u32) -> bool {
+    row[(x >> 6) as usize] & (1u64 << (x & 63)) != 0
+}
+
+/// Probes every element of `probe` against a hub row, delivering hits in
+/// `probe` order (ascending). `advances` = word probes = `|probe|`.
+#[inline]
+fn probe_bitmap<F: FnMut(u32)>(probe: &[u32], row: &[u64], mut sink: F) -> ScanStats {
+    let mut matches = 0u64;
+    for &x in probe {
+        if row_has(row, x) {
+            matches += 1;
+            sink(x);
+        }
+    }
+    ScanStats {
+        advances: probe.len() as u64,
+        matches,
+    }
+}
+
+/// Counting-only bitmap probe: branchless accumulate, no sink dispatch.
+#[inline]
+fn count_bitmap(probe: &[u32], row: &[u64]) -> ScanStats {
+    let mut matches = 0u64;
+    for &x in probe {
+        matches += row_has(row, x) as u64;
+    }
+    ScanStats {
+        advances: probe.len() as u64,
+        matches,
+    }
+}
+
+/// The kernel-selection context for one oriented graph: the policy plus
+/// (for `Adaptive`) the out- and in-direction hub bitmaps.
+///
+/// Cheap to construct for `PaperFaithful`; for `Adaptive` the build costs
+/// one pass over the hub lists. Immutable after construction — the
+/// parallel runtime gives each worker its own instance (built once per
+/// worker, reused across all its chunks) rather than sharing rows across
+/// threads.
+#[derive(Clone, Debug)]
+pub struct Kernels {
+    policy: KernelPolicy,
+    out_bits: Option<HubBitmap>,
+    in_bits: Option<HubBitmap>,
+}
+
+impl Kernels {
+    /// The paper-faithful context (no bitmaps, branchy scan everywhere).
+    pub fn paper() -> Self {
+        Kernels {
+            policy: KernelPolicy::PaperFaithful,
+            out_bits: None,
+            in_bits: None,
+        }
+    }
+
+    /// Builds the context for `policy` over `g` (bitmaps only under
+    /// `Adaptive`).
+    pub fn build(policy: KernelPolicy, g: &DirectedGraph) -> Self {
+        match policy {
+            KernelPolicy::PaperFaithful => Kernels::paper(),
+            KernelPolicy::Adaptive(cfg) => Kernels {
+                policy,
+                out_bits: Some(HubBitmap::build(
+                    g,
+                    ListDir::Out,
+                    cfg.hub_degree_threshold,
+                    cfg.max_hubs,
+                )),
+                in_bits: Some(HubBitmap::build(
+                    g,
+                    ListDir::In,
+                    cfg.hub_degree_threshold,
+                    cfg.max_hubs,
+                )),
+            },
+        }
+    }
+
+    /// A context with adaptive merge/gallop selection but no bitmaps — for
+    /// callers intersecting lists that are not neighbor lists of an
+    /// oriented graph (the unoriented baselines).
+    pub fn scan_only(policy: KernelPolicy) -> Self {
+        Kernels {
+            policy,
+            out_bits: None,
+            in_bits: None,
+        }
+    }
+
+    /// The policy this context executes.
+    pub fn policy(&self) -> KernelPolicy {
+        self.policy
+    }
+
+    /// The out-direction hub bitmap, when built.
+    pub fn out_bitmaps(&self) -> Option<&HubBitmap> {
+        self.out_bits.as_ref()
+    }
+
+    #[inline]
+    fn bitmap_row(&self, own: SideOwner) -> Option<&[u64]> {
+        let (v, dir) = own?;
+        match dir {
+            ListDir::Out => self.out_bits.as_ref()?.row(v),
+            ListDir::In => self.in_bits.as_ref()?.row(v),
+        }
+    }
+
+    /// Intersects two ascending-sorted slices under the policy, invoking
+    /// `sink` on each common element in ascending order. `a_own`/`b_own`
+    /// declare bitmap eligibility (see [`SideOwner`]).
+    #[inline]
+    pub fn intersect<F: FnMut(u32)>(
+        &self,
+        a: &[u32],
+        a_own: SideOwner,
+        b: &[u32],
+        b_own: SideOwner,
+        sink: F,
+    ) -> ScanStats {
+        if a.is_empty() || b.is_empty() {
+            return ScanStats::default();
+        }
+        let cfg = match self.policy {
+            KernelPolicy::PaperFaithful => return intersect_sorted(a, b, sink),
+            KernelPolicy::Adaptive(cfg) => cfg,
+        };
+        let (short, short_own, long, long_own) = if a.len() <= b.len() {
+            (a, a_own, b, b_own)
+        } else {
+            (b, b_own, a, a_own)
+        };
+        // a hub row on the longer side turns the whole intersection into
+        // |short| word probes; a row on the shorter side still beats any
+        // scan (|long| probes < |short| + |long| advances)
+        if let Some(row) = self.bitmap_row(long_own) {
+            return probe_bitmap(short, row, sink);
+        }
+        if let Some(row) = self.bitmap_row(short_own) {
+            return probe_bitmap(long, row, sink);
+        }
+        if long.len() as u64 >= cfg.gallop_crossover as u64 * short.len() as u64 {
+            return intersect_gallop(short, long, sink);
+        }
+        intersect_branchless(short, long, sink)
+    }
+
+    /// Counting-only intersection: identical `matches` (and, for the merge
+    /// kernels, identical `advances`) to [`Kernels::intersect`], with no
+    /// per-match sink dispatch — the fast path when the listing sink is a
+    /// pure counter.
+    #[inline]
+    pub fn count(&self, a: &[u32], a_own: SideOwner, b: &[u32], b_own: SideOwner) -> ScanStats {
+        if a.is_empty() || b.is_empty() {
+            return ScanStats::default();
+        }
+        let cfg = match self.policy {
+            KernelPolicy::PaperFaithful => return intersect_sorted(a, b, |_| {}),
+            KernelPolicy::Adaptive(cfg) => cfg,
+        };
+        let (short, short_own, long, long_own) = if a.len() <= b.len() {
+            (a, a_own, b, b_own)
+        } else {
+            (b, b_own, a, a_own)
+        };
+        if let Some(row) = self.bitmap_row(long_own) {
+            return count_bitmap(short, row);
+        }
+        if let Some(row) = self.bitmap_row(short_own) {
+            return count_bitmap(long, row);
+        }
+        if long.len() as u64 >= cfg.gallop_crossover as u64 * short.len() as u64 {
+            return intersect_gallop(short, long, |_| {});
+        }
+        count_branchless(short, long)
+    }
+}
+
+/// An [`EdgeOracle`] that answers hub probes from the out-direction
+/// [`HubBitmap`] (one word read) and falls back to `base` for everything
+/// else. Used by the vertex and lookup iterators under
+/// [`KernelPolicy::Adaptive`]: `has(from, to)` is exactly "`to ∈ N⁺(from)`",
+/// which is what a `from`-row stores.
+pub struct BitmapOracle<'a, O: EdgeOracle> {
+    base: &'a O,
+    bits: &'a HubBitmap,
+    probes: AtomicU64,
+}
+
+impl<'a, O: EdgeOracle> BitmapOracle<'a, O> {
+    /// Wraps a base oracle with hub rows.
+    pub fn new(base: &'a O, bits: &'a HubBitmap) -> Self {
+        BitmapOracle {
+            base,
+            bits,
+            probes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<O: EdgeOracle> EdgeOracle for BitmapOracle<'_, O> {
+    #[inline]
+    fn has(&self, from: u32, to: u32) -> bool {
+        match self.bits.row(from) {
+            Some(row) => row_has(row, to),
+            None => self.base.has(from, to),
+        }
+    }
+
+    #[inline]
+    fn has_counted(&self, from: u32, to: u32) -> bool {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.has(from, to)
+    }
+
+    fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    fn build_cost(&self) -> u64 {
+        self.base.build_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::HashOracle;
+    use rand::{Rng, SeedableRng};
+    use trilist_graph::Graph;
+    use trilist_order::OrderFamily;
+
+    fn random_directed(n: usize, p: f64, seed: u64) -> DirectedGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let r = OrderFamily::Descending.relabeling(&g, &mut rng);
+        DirectedGraph::orient(&g, &r)
+    }
+
+    #[test]
+    fn hub_bitmap_rows_match_lists() {
+        let dg = random_directed(60, 0.4, 1);
+        type ListFn = fn(&DirectedGraph, u32) -> &[u32];
+        let cases: [(ListDir, ListFn); 2] = [
+            (ListDir::Out, |g, v| g.out(v)),
+            (ListDir::In, |g, v| g.in_(v)),
+        ];
+        for (dir, list) in cases {
+            let bm = HubBitmap::build(&dg, dir, 0, usize::MAX);
+            assert_eq!(bm.hubs().len(), dg.n());
+            for v in 0..dg.n() as u32 {
+                let row = bm.row(v).expect("threshold 0 makes every node a hub");
+                for w in 0..dg.n() as u32 {
+                    assert_eq!(
+                        row_has(row, w),
+                        list(&dg, v).contains(&w),
+                        "{dir:?} {v}->{w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_selection_respects_threshold_and_budget() {
+        let dg = random_directed(80, 0.3, 2);
+        let bm = HubBitmap::build(&dg, ListDir::Out, 5, usize::MAX);
+        for v in 0..dg.n() as u32 {
+            assert_eq!(bm.row(v).is_some(), dg.x(v) >= 5, "node {v}");
+        }
+        let capped = HubBitmap::build(&dg, ListDir::Out, 0, 7);
+        assert_eq!(capped.hubs().len(), 7);
+        // the budget keeps the highest-degree nodes
+        let min_kept = capped.hubs().iter().map(|&v| dg.x(v)).min().unwrap();
+        let dropped_max = (0..dg.n() as u32)
+            .filter(|v| capped.row(*v).is_none())
+            .map(|v| dg.x(v))
+            .max()
+            .unwrap_or(0);
+        assert!(
+            min_kept >= dropped_max,
+            "kept {min_kept} < dropped {dropped_max}"
+        );
+        assert_eq!(capped.bytes(), 7 * dg.n().div_ceil(64) * 8);
+    }
+
+    #[test]
+    fn adaptive_intersect_agrees_with_paper_on_all_dispatch_paths() {
+        let dg = random_directed(120, 0.25, 3);
+        let paper = Kernels::paper();
+        // sweep configs that force each dispatch path: bitmap-everything,
+        // gallop-always, merge-always
+        let configs = [
+            AdaptiveConfig {
+                gallop_crossover: 1,
+                hub_degree_threshold: 0,
+                max_hubs: usize::MAX,
+            },
+            AdaptiveConfig {
+                gallop_crossover: 1,
+                hub_degree_threshold: u32::MAX,
+                max_hubs: 0,
+            },
+            AdaptiveConfig {
+                gallop_crossover: u32::MAX,
+                hub_degree_threshold: u32::MAX,
+                max_hubs: 0,
+            },
+            AdaptiveConfig::default(),
+        ];
+        for cfg in configs {
+            let k = Kernels::build(KernelPolicy::Adaptive(cfg), &dg);
+            for z in 0..dg.n() as u32 {
+                let out = dg.out(z);
+                for (j, &y) in out.iter().enumerate() {
+                    let local = &out[..j];
+                    let remote = dg.out(y);
+                    let mut want = Vec::new();
+                    let sp = paper.intersect(local, None, remote, None, |x| want.push(x));
+                    let mut got = Vec::new();
+                    let sa = k.intersect(
+                        local,
+                        Some((z, ListDir::Out)),
+                        remote,
+                        Some((y, ListDir::Out)),
+                        |x| got.push(x),
+                    );
+                    assert_eq!(got, want, "cfg {cfg:?} z={z} y={y}");
+                    assert_eq!(sa.matches, sp.matches);
+                    let sc = k.count(
+                        local,
+                        Some((z, ListDir::Out)),
+                        remote,
+                        Some((y, ListDir::Out)),
+                    );
+                    assert_eq!(sc.matches, sp.matches, "count cfg {cfg:?}");
+                    assert_eq!(sc.advances, sa.advances, "count advances cfg {cfg:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_oracle_agrees_with_base() {
+        let dg = random_directed(70, 0.35, 4);
+        let base = HashOracle::build(&dg);
+        let bits = HubBitmap::build(&dg, ListDir::Out, 3, usize::MAX);
+        let oracle = BitmapOracle::new(&base, &bits);
+        for from in 0..dg.n() as u32 {
+            for to in 0..dg.n() as u32 {
+                assert_eq!(oracle.has(from, to), base.has(from, to), "{from}->{to}");
+            }
+        }
+        assert_eq!(oracle.build_cost(), base.build_cost());
+        // counted probes accumulate on the wrapper
+        let before = oracle.probes();
+        oracle.has_counted(1, 0);
+        oracle.has_counted(2, 0);
+        assert_eq!(oracle.probes(), before + 2);
+    }
+
+    #[test]
+    fn paper_policy_is_default_and_cheap() {
+        assert_eq!(KernelPolicy::default(), KernelPolicy::PaperFaithful);
+        assert_eq!(KernelPolicy::default().name(), "paper");
+        assert_eq!(KernelPolicy::adaptive().name(), "adaptive");
+        let k = Kernels::paper();
+        assert!(k.out_bitmaps().is_none());
+        let s = k.intersect(&[1, 2, 3], None, &[2, 3, 4], None, |_| {});
+        assert_eq!(s.matches, 2);
+    }
+}

@@ -14,6 +14,12 @@
 //! Since lookup cost and probe speed match the vertex iterators (Table 3),
 //! the paper reduces LEI to vertex iterators and drops it from the asymptotic
 //! study; we implement it fully so that reduction is verifiable.
+//!
+//! Lookup accounting is oracle-side: every probe goes through
+//! [`EdgeOracle::has_counted`] and each method reports the delta of the
+//! oracle's [`probes`](EdgeOracle::probes) counter, so `cost.lookups` is the
+//! number of probes the oracle actually served rather than caller-side
+//! bookkeeping (the two are differential-tested equal to Table 2).
 
 use crate::cost::CostReport;
 use crate::oracle::EdgeOracle;
@@ -30,17 +36,18 @@ pub fn l1<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
         hash_inserts: oracle.build_cost(),
         ..Default::default()
     };
+    let probes_before = oracle.probes();
     for z in 0..g.n() as u32 {
         for &y in g.out(z) {
             for &x in g.out(y) {
-                cost.lookups += 1;
-                if oracle.has(z, x) {
+                if oracle.has_counted(z, x) {
                     cost.triangles += 1;
                     sink(x, y, z);
                 }
             }
         }
     }
+    cost.lookups = oracle.probes() - probes_before;
     cost
 }
 
@@ -55,18 +62,19 @@ pub fn l2<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
         hash_inserts: oracle.build_cost(),
         ..Default::default()
     };
+    let probes_before = oracle.probes();
     for z in 0..g.n() as u32 {
         let out = g.out(z);
         for (j, &y) in out.iter().enumerate() {
             for &x in &out[..j] {
-                cost.lookups += 1;
-                if oracle.has(y, x) {
+                if oracle.has_counted(y, x) {
                     cost.triangles += 1;
                     sink(x, y, z);
                 }
             }
         }
     }
+    cost.lookups = oracle.probes() - probes_before;
     cost
 }
 
@@ -82,17 +90,18 @@ pub fn l3<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
         hash_inserts: oracle.build_cost(),
         ..Default::default()
     };
+    let probes_before = oracle.probes();
     for x in 0..g.n() as u32 {
         for &y in g.in_(x) {
             for &z in g.in_(y) {
-                cost.lookups += 1;
-                if oracle.has(z, x) {
+                if oracle.has_counted(z, x) {
                     cost.triangles += 1;
                     sink(x, y, z);
                 }
             }
         }
     }
+    cost.lookups = oracle.probes() - probes_before;
     cost
 }
 
@@ -107,18 +116,19 @@ pub fn l4<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
         hash_inserts: oracle.build_cost(),
         ..Default::default()
     };
+    let probes_before = oracle.probes();
     for x in 0..g.n() as u32 {
         let inn = g.in_(x);
         for (k, &z) in inn.iter().enumerate() {
             for &y in &inn[..k] {
-                cost.lookups += 1;
-                if oracle.has(z, y) {
+                if oracle.has_counted(z, y) {
                     cost.triangles += 1;
                     sink(x, y, z);
                 }
             }
         }
     }
+    cost.lookups = oracle.probes() - probes_before;
     cost
 }
 
@@ -133,18 +143,19 @@ pub fn l5<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
         hash_inserts: oracle.build_cost(),
         ..Default::default()
     };
+    let probes_before = oracle.probes();
     for x in 0..g.n() as u32 {
         let inn = g.in_(x);
         for (k, &y) in inn.iter().enumerate() {
             for &z in &inn[k + 1..] {
-                cost.lookups += 1;
-                if oracle.has(z, y) {
+                if oracle.has_counted(z, y) {
                     cost.triangles += 1;
                     sink(x, y, z);
                 }
             }
         }
     }
+    cost.lookups = oracle.probes() - probes_before;
     cost
 }
 
@@ -159,19 +170,20 @@ pub fn l6<O: EdgeOracle, F: FnMut(u32, u32, u32)>(
         hash_inserts: oracle.build_cost(),
         ..Default::default()
     };
+    let probes_before = oracle.probes();
     for x in 0..g.n() as u32 {
         for &z in g.in_(x) {
             let out = g.out(z);
             let r = out.partition_point(|&w| w <= x);
             for &y in &out[r..] {
-                cost.lookups += 1;
-                if oracle.has(y, x) {
+                if oracle.has_counted(y, x) {
                     cost.triangles += 1;
                     sink(x, y, z);
                 }
             }
         }
     }
+    cost.lookups = oracle.probes() - probes_before;
     cost
 }
 
@@ -254,6 +266,58 @@ mod tests {
             let cost = run(&g, &oracle, &mut tris);
             assert_eq!(cost.lookups, lei_formula(id, &g), "L{id}");
             assert_eq!(cost.hash_inserts, g.m() as u64, "L{id} build");
+        }
+    }
+
+    #[test]
+    fn oracle_side_lookups_match_caller_side_counts() {
+        // the pre-refactor accounting incremented `cost.lookups` at every
+        // call site; prove the oracle-side probes delta reports the exact
+        // same number, per method, even on a shared oracle
+        use std::cell::Cell;
+
+        struct Audited<'a> {
+            inner: &'a HashOracle,
+            caller_side: Cell<u64>,
+        }
+        impl EdgeOracle for Audited<'_> {
+            fn has(&self, from: u32, to: u32) -> bool {
+                self.inner.has(from, to)
+            }
+            fn has_counted(&self, from: u32, to: u32) -> bool {
+                self.caller_side.set(self.caller_side.get() + 1);
+                self.inner.has_counted(from, to)
+            }
+            fn probes(&self) -> u64 {
+                self.inner.probes()
+            }
+            fn build_cost(&self) -> u64 {
+                self.inner.build_cost()
+            }
+        }
+
+        let g = petersen_like();
+        let hash = HashOracle::build(&g);
+        let oracle = Audited {
+            inner: &hash,
+            caller_side: Cell::new(0),
+        };
+        type Run = fn(&DirectedGraph, &Audited, &mut Vec<(u32, u32, u32)>) -> CostReport;
+        let runs: [(u8, Run); 6] = [
+            (1, |g, o, v| l1(g, o, |x, y, z| v.push((x, y, z)))),
+            (2, |g, o, v| l2(g, o, |x, y, z| v.push((x, y, z)))),
+            (3, |g, o, v| l3(g, o, |x, y, z| v.push((x, y, z)))),
+            (4, |g, o, v| l4(g, o, |x, y, z| v.push((x, y, z)))),
+            (5, |g, o, v| l5(g, o, |x, y, z| v.push((x, y, z)))),
+            (6, |g, o, v| l6(g, o, |x, y, z| v.push((x, y, z)))),
+        ];
+        for (id, run) in runs {
+            let caller_before = oracle.caller_side.get();
+            let mut tris = Vec::new();
+            let cost = run(&g, &oracle, &mut tris);
+            let caller_delta = oracle.caller_side.get() - caller_before;
+            assert_eq!(cost.lookups, caller_delta, "L{id}");
+            assert_eq!(cost.lookups, lei_formula(id, &g), "L{id} vs Table 2");
         }
     }
 

@@ -35,6 +35,7 @@ pub mod compressed;
 pub mod cost;
 pub mod hasher;
 pub mod intersect;
+pub mod kernel;
 pub mod lei;
 pub mod oracle;
 pub mod parallel;
@@ -47,6 +48,7 @@ pub mod vertex;
 pub use clustering::{average_clustering, transitivity, triangle_count, triangle_counts};
 pub use compressed::{e1_compressed, CompressedOut};
 pub use cost::CostReport;
+pub use kernel::{AdaptiveConfig, BitmapOracle, HubBitmap, KernelPolicy, Kernels, ListDir};
 pub use oracle::{EdgeOracle, HashOracle, SortedOracle};
 pub use parallel::{par_list, par_list_with, ParallelOpts, ParallelRun, ThreadStats};
 pub use prior_art::{chiba_nishizeki, forward};
@@ -222,15 +224,87 @@ impl Method {
     }
 
     fn run_sei<F: FnMut(u32, u32, u32)>(&self, g: &DirectedGraph, sink: F) -> CostReport {
+        self.run_sei_with(g, &Kernels::paper(), sink)
+    }
+
+    fn run_sei_with<F: FnMut(u32, u32, u32)>(
+        &self,
+        g: &DirectedGraph,
+        k: &Kernels,
+        sink: F,
+    ) -> CostReport {
         use Method::*;
         match self {
-            E1 => sei::e1(g, sink),
-            E2 => sei::e2(g, sink),
-            E3 => sei::e3(g, sink),
-            E4 => sei::e4(g, sink),
-            E5 => sei::e5(g, sink),
-            E6 => sei::e6(g, sink),
+            E1 => sei::e1_with(g, k, sink),
+            E2 => sei::e2_with(g, k, sink),
+            E3 => sei::e3_with(g, k, sink),
+            E4 => sei::e4_with(g, k, sink),
+            E5 => sei::e5_with(g, k, sink),
+            E6 => sei::e6_with(g, k, sink),
             _ => unreachable!("run_sei called on non-SEI method"),
+        }
+    }
+
+    fn count_sei_with(&self, g: &DirectedGraph, k: &Kernels) -> CostReport {
+        use Method::*;
+        match self {
+            E1 => sei::e1_count_with(g, k),
+            E2 => sei::e2_count_with(g, k),
+            E3 => sei::e3_count_with(g, k),
+            E4 => sei::e4_count_with(g, k),
+            E5 => sei::e5_count_with(g, k),
+            E6 => sei::e6_count_with(g, k),
+            _ => unreachable!("count_sei_with called on non-SEI method"),
+        }
+    }
+
+    /// Runs the method under an explicit kernel context: SEI intersections
+    /// go through [`Kernels::intersect`]; vertex and lookup iterators probe
+    /// through a [`BitmapOracle`] over the context's out-direction hub rows
+    /// when present. Every paper-cost field of the returned report is
+    /// identical to [`Method::run`]'s — only `pointer_advances` and
+    /// wall-clock depend on the policy.
+    pub fn run_with_kernels<F: FnMut(u32, u32, u32)>(
+        &self,
+        g: &DirectedGraph,
+        k: &Kernels,
+        sink: F,
+    ) -> CostReport {
+        match self.family() {
+            Family::Sei => self.run_sei_with(g, k, sink),
+            Family::Vertex | Family::Lei => {
+                let oracle = HashOracle::build(g);
+                match k.out_bitmaps() {
+                    Some(bits) => {
+                        let wrapped = BitmapOracle::new(&oracle, bits);
+                        self.run_with_oracle(g, &wrapped, sink)
+                    }
+                    None => self.run_with_oracle(g, &oracle, sink),
+                }
+            }
+        }
+    }
+
+    /// Builds the kernel context for `policy` and runs the method under it.
+    pub fn run_with_policy<F: FnMut(u32, u32, u32)>(
+        &self,
+        g: &DirectedGraph,
+        policy: KernelPolicy,
+        sink: F,
+    ) -> CostReport {
+        let k = Kernels::build(policy, g);
+        self.run_with_kernels(g, &k, sink)
+    }
+
+    /// Counting-only run under an explicit kernel context: SEI methods use
+    /// the no-materialization fast path (no per-match sink dispatch at
+    /// all); vertex and lookup iterators run with a no-op sink. The report
+    /// is field-for-field identical to [`Method::run_with_kernels`] under
+    /// the same context.
+    pub fn count_with_kernels(&self, g: &DirectedGraph, k: &Kernels) -> CostReport {
+        match self.family() {
+            Family::Sei => self.count_sei_with(g, k),
+            Family::Vertex | Family::Lei => self.run_with_kernels(g, k, |_, _, _| {}),
         }
     }
 
@@ -331,9 +405,53 @@ pub fn count_triangles<R: Rng + ?Sized>(
     family: OrderFamily,
     rng: &mut R,
 ) -> (u64, CostReport) {
+    count_triangles_with(g, method, family, KernelPolicy::PaperFaithful, rng)
+}
+
+/// [`list_triangles`] under an explicit kernel policy. The triangle
+/// multiset and every paper-cost field are policy-independent (the
+/// differential suites assert this); only `pointer_advances` and wall-clock
+/// change.
+pub fn list_triangles_with<R: Rng + ?Sized>(
+    g: &Graph,
+    method: Method,
+    family: OrderFamily,
+    policy: KernelPolicy,
+    rng: &mut R,
+) -> ListingRun {
     let relabeling = family.relabeling(g, rng);
     let dg = DirectedGraph::orient(g, &relabeling);
-    let cost = method.run(&dg, |_, _, _| {});
+    let inverse = relabeling.inverse();
+    let mut triangles = Vec::new();
+    let cost = method.run_with_policy(&dg, policy, |x, y, z| {
+        let mut t = [
+            inverse[x as usize],
+            inverse[y as usize],
+            inverse[z as usize],
+        ];
+        t.sort_unstable();
+        triangles.push((t[0], t[1], t[2]));
+    });
+    ListingRun {
+        cost,
+        triangles,
+        relabeling,
+    }
+}
+
+/// [`count_triangles`] under an explicit kernel policy, taking the
+/// counting-only fast path for SEI methods.
+pub fn count_triangles_with<R: Rng + ?Sized>(
+    g: &Graph,
+    method: Method,
+    family: OrderFamily,
+    policy: KernelPolicy,
+    rng: &mut R,
+) -> (u64, CostReport) {
+    let relabeling = family.relabeling(g, rng);
+    let dg = DirectedGraph::orient(g, &relabeling);
+    let k = Kernels::build(policy, &dg);
+    let cost = method.count_with_kernels(&dg, &k);
     (cost.triangles, cost)
 }
 

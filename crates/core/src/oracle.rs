@@ -7,13 +7,30 @@
 //! graphs where hash memory is undesirable (and for differential testing).
 
 use crate::hasher::{edge_key, FastSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use trilist_order::DirectedGraph;
 
 /// Answers "does the directed edge `from → to` exist?".
 pub trait EdgeOracle {
     /// Membership test for `from → to` (with `to < from` under the paper's
-    /// orientation convention).
+    /// orientation convention). Deliberately uncounted: the vertex
+    /// iterators charge `lookups` from the candidate-set sizes at the call
+    /// site, and the shared-oracle parallel runtime must not contend on a
+    /// counter cache line.
     fn has(&self, from: u32, to: u32) -> bool;
+
+    /// Membership test that also increments the oracle-side [`probes`]
+    /// counter. The lookup edge iterators route every probe through this so
+    /// their `lookups` accounting comes from the oracle itself rather than
+    /// caller-side bookkeeping.
+    ///
+    /// [`probes`]: EdgeOracle::probes
+    fn has_counted(&self, from: u32, to: u32) -> bool;
+
+    /// Total probes performed through [`has_counted`] so far.
+    ///
+    /// [`has_counted`]: EdgeOracle::has_counted
+    fn probes(&self) -> u64;
 
     /// Number of insertions performed to build the oracle (the `m`
     /// hash-population cost of §2.3 for LEI; vertex iterators amortize the
@@ -25,21 +42,33 @@ pub trait EdgeOracle {
 pub struct HashOracle {
     set: FastSet<u64>,
     build_cost: u64,
+    probes: AtomicU64,
 }
 
 impl HashOracle {
-    /// Indexes every directed edge of `g`.
+    /// Indexes every directed edge of `g`. Capacity is reserved from
+    /// `g.m()` exactly once up front, and nodes with empty out-lists are
+    /// skipped entirely (under skewed orientations like θ_A most nodes
+    /// contribute nothing).
     pub fn build(g: &DirectedGraph) -> Self {
         let mut set: FastSet<u64> = FastSet::default();
         set.reserve(g.m());
         let mut build_cost = 0u64;
         for v in 0..g.n() as u32 {
-            for &w in g.out(v) {
+            let out = g.out(v);
+            if out.is_empty() {
+                continue;
+            }
+            for &w in out {
                 set.insert(edge_key(v, w));
                 build_cost += 1;
             }
         }
-        HashOracle { set, build_cost }
+        HashOracle {
+            set,
+            build_cost,
+            probes: AtomicU64::new(0),
+        }
     }
 }
 
@@ -47,6 +76,16 @@ impl EdgeOracle for HashOracle {
     #[inline]
     fn has(&self, from: u32, to: u32) -> bool {
         self.set.contains(&edge_key(from, to))
+    }
+
+    #[inline]
+    fn has_counted(&self, from: u32, to: u32) -> bool {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.has(from, to)
+    }
+
+    fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
     }
 
     fn build_cost(&self) -> u64 {
@@ -58,12 +97,16 @@ impl EdgeOracle for HashOracle {
 /// cost, `O(log X_from)` per probe.
 pub struct SortedOracle<'g> {
     g: &'g DirectedGraph,
+    probes: AtomicU64,
 }
 
 impl<'g> SortedOracle<'g> {
     /// Wraps the oriented graph.
     pub fn new(g: &'g DirectedGraph) -> Self {
-        SortedOracle { g }
+        SortedOracle {
+            g,
+            probes: AtomicU64::new(0),
+        }
     }
 }
 
@@ -71,6 +114,16 @@ impl EdgeOracle for SortedOracle<'_> {
     #[inline]
     fn has(&self, from: u32, to: u32) -> bool {
         self.g.has_out_edge(from, to)
+    }
+
+    #[inline]
+    fn has_counted(&self, from: u32, to: u32) -> bool {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.has(from, to)
+    }
+
+    fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
     }
 
     fn build_cost(&self) -> u64 {
@@ -111,5 +164,34 @@ mod tests {
             }
         }
         assert_eq!(s.build_cost(), 0);
+    }
+
+    #[test]
+    fn probes_counter_tracks_counted_lookups_only() {
+        let dg = oriented_diamond();
+        let o = HashOracle::build(&dg);
+        assert_eq!(o.probes(), 0);
+        o.has(2, 0); // uncounted path
+        assert_eq!(o.probes(), 0);
+        assert!(o.has_counted(2, 0));
+        assert!(!o.has_counted(0, 2));
+        assert_eq!(o.probes(), 2);
+        let s = SortedOracle::new(&dg);
+        s.has_counted(3, 1);
+        assert_eq!(s.probes(), 1);
+    }
+
+    #[test]
+    fn build_skips_empty_out_lists() {
+        // node 0 has no out-edges under identity orientation; the build
+        // must still index every edge exactly once
+        let dg = oriented_diamond();
+        let o = HashOracle::build(&dg);
+        assert_eq!(o.build_cost(), dg.m() as u64);
+        for v in 0..dg.n() as u32 {
+            for &w in dg.out(v) {
+                assert!(o.has(v, w));
+            }
+        }
     }
 }

@@ -34,6 +34,7 @@
 //! reports mean/max busy time — 1.0 is a perfectly balanced run.
 
 use crate::cost::CostReport;
+use crate::kernel::{BitmapOracle, KernelPolicy, Kernels};
 use crate::oracle::HashOracle;
 use crate::{sei, vertex, Method};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
@@ -51,6 +52,12 @@ pub struct ParallelOpts {
     /// Predicted operations per chunk. Smaller chunks balance better but
     /// add queue traffic; ~1k operations keeps both costs negligible.
     pub target_chunk_ops: u64,
+    /// Intersection-kernel policy. Each worker builds its own
+    /// [`Kernels`] context from this once at startup and reuses it across
+    /// every chunk it executes — hub bitmaps are never shared across
+    /// threads. The merged `cost` stays byte-identical to the sequential
+    /// run in every paper-cost field regardless of policy.
+    pub policy: KernelPolicy,
 }
 
 impl Default for ParallelOpts {
@@ -61,6 +68,7 @@ impl Default for ParallelOpts {
         ParallelOpts {
             threads,
             target_chunk_ops: 1024,
+            policy: KernelPolicy::PaperFaithful,
         }
     }
 }
@@ -260,26 +268,37 @@ pub fn par_list_with(g: &DirectedGraph, method: Method, opts: &ParallelOpts) -> 
         _ => None,
     };
     let ranges = chunk_ranges(method, g, opts.target_chunk_ops);
-    run_scheduler(&ranges, opts.threads.max(1), method.name(), &|range| {
-        run_chunk(g, method, oracle.as_ref(), range)
-    })
+    let policy = opts.policy;
+    run_scheduler(
+        &ranges,
+        opts.threads.max(1),
+        method.name(),
+        &|| Kernels::build(policy, g),
+        &|kernels, range| run_chunk(g, method, oracle.as_ref(), kernels, range),
+    )
 }
 
 /// One chunk's merged output, tagged with its index for the ordered merge.
 type ChunkResult = (usize, CostReport, Vec<(u32, u32, u32)>);
 
-/// What a worker computes for one visited-node range.
-type ChunkFn<'a> = &'a (dyn Fn(std::ops::Range<u32>) -> (CostReport, Vec<(u32, u32, u32)>) + Sync);
+/// What a worker computes for one visited-node range, given its
+/// worker-local state.
+type ChunkFn<'a, S> =
+    &'a (dyn Fn(&mut S, std::ops::Range<u32>) -> (CostReport, Vec<(u32, u32, u32)>) + Sync);
 
 /// The work-stealing scheduler, independent of what a chunk computes: runs
 /// `chunk_fn` over every range on `threads` workers and merges the results
-/// in chunk order. A chunk panic stops the run and is resurfaced with
-/// `label` and the range that was executing.
-fn run_scheduler(
+/// in chunk order. Each worker builds its own state with `init` exactly
+/// once at startup (kernel contexts, bitmaps, scratch buffers — never
+/// shared across threads) and hands it to every chunk it executes. A chunk
+/// panic stops the run and is resurfaced with `label` and the range that
+/// was executing.
+fn run_scheduler<S>(
     ranges: &[std::ops::Range<u32>],
     threads: usize,
     label: &str,
-    chunk_fn: ChunkFn<'_>,
+    init: &(dyn Fn() -> S + Sync),
+    chunk_fn: ChunkFn<'_, S>,
 ) -> ParallelRun {
     let chunks = ranges.len();
 
@@ -303,6 +322,7 @@ fn run_scheduler(
                 scope.spawn(move || {
                     let mut stats = ThreadStats::default();
                     let mut results: Vec<ChunkResult> = Vec::new();
+                    let mut state = init();
                     'work: while !stop.load(Ordering::Relaxed) {
                         let (idx, stolen) = match next_task(id, &local, injector, stealers) {
                             Some(task) => task,
@@ -310,7 +330,8 @@ fn run_scheduler(
                         };
                         let range = ranges[idx].clone();
                         let started = Instant::now();
-                        let outcome = catch_unwind(AssertUnwindSafe(|| chunk_fn(range.clone())));
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| chunk_fn(&mut state, range.clone())));
                         stats.busy += started.elapsed();
                         match outcome {
                             Ok((cost, tris)) => {
@@ -405,15 +426,32 @@ fn run_chunk(
     g: &DirectedGraph,
     method: Method,
     oracle: Option<&HashOracle>,
+    kernels: &Kernels,
     range: std::ops::Range<u32>,
 ) -> (CostReport, Vec<(u32, u32, u32)>) {
     let mut tris = Vec::new();
     let sink = |x: u32, y: u32, z: u32| tris.push((x, y, z));
     let cost = match method {
-        Method::T1 => vertex::t1_range(g, oracle.expect("oracle built for T1"), range, sink),
-        Method::T2 => vertex::t2_range(g, oracle.expect("oracle built for T2"), range, sink),
-        Method::E1 => sei::e1_range(g, range, sink),
-        Method::E4 => sei::e4_range(g, range, sink),
+        Method::T1 | Method::T2 => {
+            let base = oracle.expect("oracle built for vertex methods");
+            // the worker-local hub rows (if any) front the shared hash
+            // oracle; the wrapper is a couple of pointers, so per-chunk
+            // construction costs nothing while the bitmap itself is reused
+            // across all of this worker's chunks
+            match (method, kernels.out_bitmaps()) {
+                (Method::T1, Some(bits)) => {
+                    vertex::t1_range(g, &BitmapOracle::new(base, bits), range, sink)
+                }
+                (Method::T1, None) => vertex::t1_range(g, base, range, sink),
+                (Method::T2, Some(bits)) => {
+                    vertex::t2_range(g, &BitmapOracle::new(base, bits), range, sink)
+                }
+                (_, None) => vertex::t2_range(g, base, range, sink),
+                _ => unreachable!(),
+            }
+        }
+        Method::E1 => sei::e1_range_with(g, range, kernels, sink),
+        Method::E4 => sei::e4_range_with(g, range, kernels, sink),
         other => panic!("unsupported parallel method {other}"),
     };
     (cost, tris)
@@ -616,7 +654,7 @@ mod tests {
         // executing, not as a bare "worker panicked"
         let ranges: Vec<std::ops::Range<u32>> = (0..16).map(|i| i * 10..(i + 1) * 10).collect();
         let err = std::panic::catch_unwind(|| {
-            run_scheduler(&ranges, 4, "E1", &|range| {
+            run_scheduler(&ranges, 4, "E1", &|| (), &|(), range| {
                 if range.start == 70 {
                     panic!("sink exploded");
                 }
@@ -638,6 +676,33 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_policy_parallel_matches_paper_sequential() {
+        // per-worker kernel state (bitmaps included) must not change the
+        // triangle order or any paper-cost field vs the sequential
+        // paper-faithful run
+        let dg = pareto_fixture(3_000, 21);
+        for method in Method::FUNDAMENTAL {
+            let mut seq = Vec::new();
+            let seq_cost = method.run(&dg, |x, y, z| seq.push((x, y, z)));
+            let run = par_list_with(
+                &dg,
+                method,
+                &ParallelOpts {
+                    threads: 4,
+                    target_chunk_ops: 1024,
+                    policy: KernelPolicy::adaptive(),
+                },
+            );
+            assert_eq!(run.triangles, seq, "{method}");
+            assert_eq!(run.cost.triangles, seq_cost.triangles, "{method}");
+            assert_eq!(run.cost.local, seq_cost.local, "{method}");
+            assert_eq!(run.cost.remote, seq_cost.remote, "{method}");
+            assert_eq!(run.cost.lookups, seq_cost.lookups, "{method}");
+            assert_eq!(run.cost.hash_inserts, seq_cost.hash_inserts, "{method}");
+        }
+    }
+
+    #[test]
     fn skewed_schedule_accounts_all_chunks() {
         // heavy-tail fixture + several workers: every chunk is processed
         // exactly once whatever the steal schedule, and steal telemetry
@@ -649,6 +714,7 @@ mod tests {
             &ParallelOpts {
                 threads: 4,
                 target_chunk_ops: 512,
+                policy: KernelPolicy::PaperFaithful,
             },
         );
         let processed: u64 = run.threads.iter().map(|t| t.chunks).sum();

@@ -26,14 +26,149 @@
 //! the counted comparisons, matching the paper's cost model.
 
 use crate::cost::CostReport;
-use crate::intersect::intersect_sorted;
+use crate::intersect::ScanStats;
+use crate::kernel::{Kernels, ListDir, SideOwner};
 use crate::vertex::{t1_formula, t2_formula, t3_formula};
 use trilist_order::DirectedGraph;
+
+// Each method is one *drive* — the edge traversal plus the paper-cost
+// accounting (local/remote are charged from the eligible slice lengths
+// before the kernel runs, so they are byte-identical under every
+// `KernelPolicy`) — instantiated twice: a listing body that routes matches
+// to the sink, and a counting body with no per-match dispatch. The drive
+// hands each intersection its `SideOwner`s, the structural facts (derived
+// from the orientation invariant out(v) < v < in(v)) that make hub-bitmap
+// probes against full-list rows exact on the sliced lists.
+
+/// One eligible pair: charge paper cost from the slice lengths, then let
+/// the kernel body do (and meter) the actual intersection work.
+#[inline]
+fn charge<K: FnMut(&[u32], &[u32], u32, u32) -> ScanStats>(
+    cost: &mut CostReport,
+    body: &mut K,
+    local: &[u32],
+    remote: &[u32],
+    a: u32,
+    b: u32,
+) {
+    cost.local += local.len() as u64;
+    cost.remote += remote.len() as u64;
+    let stats = body(local, remote, a, b);
+    cost.pointer_advances += stats.advances;
+    cost.triangles += stats.matches;
+}
+
+fn e1_drive<K: FnMut(&[u32], &[u32], u32, u32) -> ScanStats>(
+    g: &DirectedGraph,
+    range: std::ops::Range<u32>,
+    mut body: K,
+) -> CostReport {
+    let mut cost = CostReport::default();
+    for z in range {
+        let out = g.out(z);
+        for (j, &y) in out.iter().enumerate() {
+            charge(&mut cost, &mut body, &out[..j], g.out(y), y, z);
+        }
+    }
+    cost
+}
+
+fn e2_drive<K: FnMut(&[u32], &[u32], u32, u32) -> ScanStats>(
+    g: &DirectedGraph,
+    range: std::ops::Range<u32>,
+    mut body: K,
+) -> CostReport {
+    let mut cost = CostReport::default();
+    for z in range {
+        let out = g.out(z);
+        for (j, &y) in out.iter().enumerate() {
+            charge(&mut cost, &mut body, g.out(y), &out[..j], y, z);
+        }
+    }
+    cost
+}
+
+fn e3_drive<K: FnMut(&[u32], &[u32], u32, u32) -> ScanStats>(
+    g: &DirectedGraph,
+    range: std::ops::Range<u32>,
+    mut body: K,
+) -> CostReport {
+    let mut cost = CostReport::default();
+    for x in range {
+        let inn = g.in_(x);
+        for (i, &y) in inn.iter().enumerate() {
+            charge(&mut cost, &mut body, &inn[i + 1..], g.in_(y), y, x);
+        }
+    }
+    cost
+}
+
+fn e4_drive<K: FnMut(&[u32], &[u32], u32, u32) -> ScanStats>(
+    g: &DirectedGraph,
+    range: std::ops::Range<u32>,
+    mut body: K,
+) -> CostReport {
+    let mut cost = CostReport::default();
+    for z in range {
+        let out = g.out(z);
+        for (j, &x) in out.iter().enumerate() {
+            let inn = g.in_(x);
+            // rank of z within N⁻(x): everything before it is an eligible y
+            let r = inn.partition_point(|&w| w < z);
+            charge(&mut cost, &mut body, &out[j + 1..], &inn[..r], x, z);
+        }
+    }
+    cost
+}
+
+fn e5_drive<K: FnMut(&[u32], &[u32], u32, u32) -> ScanStats>(
+    g: &DirectedGraph,
+    range: std::ops::Range<u32>,
+    mut body: K,
+) -> CostReport {
+    let mut cost = CostReport::default();
+    for y in range {
+        let local = g.in_(y);
+        for &x in g.out(y) {
+            let inn = g.in_(x);
+            let r = inn.partition_point(|&w| w <= y);
+            charge(&mut cost, &mut body, local, &inn[r..], x, y);
+        }
+    }
+    cost
+}
+
+fn e6_drive<K: FnMut(&[u32], &[u32], u32, u32) -> ScanStats>(
+    g: &DirectedGraph,
+    range: std::ops::Range<u32>,
+    mut body: K,
+) -> CostReport {
+    let mut cost = CostReport::default();
+    for x in range {
+        let inn = g.in_(x);
+        for (k, &z) in inn.iter().enumerate() {
+            let out = g.out(z);
+            let r = out.partition_point(|&w| w <= x);
+            charge(&mut cost, &mut body, &inn[..k], &out[r..], z, x);
+        }
+    }
+    cost
+}
+
+#[inline]
+fn out_of(v: u32) -> SideOwner {
+    Some((v, ListDir::Out))
+}
+
+#[inline]
+fn in_of(v: u32) -> SideOwner {
+    Some((v, ListDir::In))
+}
 
 /// E1: visit `z`, then each `y ∈ N⁺(z)`; intersect the sub-`y` prefix of
 /// `N⁺(z)` (local) with `N⁺(y)` (remote).
 pub fn e1<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, sink: F) -> CostReport {
-    e1_range(g, 0..g.n() as u32, sink)
+    e1_range_with(g, 0..g.n() as u32, &Kernels::paper(), sink)
 }
 
 /// E1 restricted to visited nodes `z ∈ range` — the parallel partitioning
@@ -41,133 +176,164 @@ pub fn e1<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, sink: F) -> CostReport {
 pub fn e1_range<F: FnMut(u32, u32, u32)>(
     g: &DirectedGraph,
     range: std::ops::Range<u32>,
+    sink: F,
+) -> CostReport {
+    e1_range_with(g, range, &Kernels::paper(), sink)
+}
+
+/// E1 with an explicit kernel context.
+pub fn e1_with<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, k: &Kernels, sink: F) -> CostReport {
+    e1_range_with(g, 0..g.n() as u32, k, sink)
+}
+
+/// E1 over `range` with an explicit kernel context. The local slice is a
+/// prefix of `N⁺(z)` below `y`; every probe element comes from `N⁺(y)` and
+/// is therefore `< y`, so the full-list `(z, Out)` row is exact for it.
+pub fn e1_range_with<F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    range: std::ops::Range<u32>,
+    k: &Kernels,
     mut sink: F,
 ) -> CostReport {
-    let mut cost = CostReport::default();
-    for z in range {
-        let out = g.out(z);
-        for (j, &y) in out.iter().enumerate() {
-            let local = &out[..j];
-            let remote = g.out(y);
-            cost.local += local.len() as u64;
-            cost.remote += remote.len() as u64;
-            let stats = intersect_sorted(local, remote, |x| sink(x, y, z));
-            cost.pointer_advances += stats.advances;
-            cost.triangles += stats.matches;
-        }
-    }
-    cost
+    e1_drive(g, range, |local, remote, y, z| {
+        k.intersect(local, out_of(z), remote, out_of(y), |x| sink(x, y, z))
+    })
+}
+
+/// E1 counting-only fast path: no triangle materialization, no per-match
+/// sink dispatch. Paper-cost fields equal [`e1_with`]'s under the same
+/// kernel context.
+pub fn e1_count_with(g: &DirectedGraph, k: &Kernels) -> CostReport {
+    e1_drive(g, 0..g.n() as u32, |local, remote, y, z| {
+        k.count(local, out_of(z), remote, out_of(y))
+    })
 }
 
 /// E2: the same intersections as E1 with `y` as the first-visited node, so
 /// local/remote accounting swaps (`Forward`/`Compact Forward` \[33\], \[28\]
 /// are E2 variants).
-pub fn e2<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, mut sink: F) -> CostReport {
-    let mut cost = CostReport::default();
-    for z in 0..g.n() as u32 {
-        let out = g.out(z);
-        for (j, &y) in out.iter().enumerate() {
-            let remote = &out[..j];
-            let local = g.out(y);
-            cost.local += local.len() as u64;
-            cost.remote += remote.len() as u64;
-            let stats = intersect_sorted(local, remote, |x| sink(x, y, z));
-            cost.pointer_advances += stats.advances;
-            cost.triangles += stats.matches;
-        }
-    }
-    cost
+pub fn e2<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, sink: F) -> CostReport {
+    e2_with(g, &Kernels::paper(), sink)
+}
+
+/// E2 with an explicit kernel context (owners mirror E1 with the roles
+/// swapped).
+pub fn e2_with<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, k: &Kernels, mut sink: F) -> CostReport {
+    e2_drive(g, 0..g.n() as u32, |local, remote, y, z| {
+        k.intersect(local, out_of(y), remote, out_of(z), |x| sink(x, y, z))
+    })
+}
+
+/// E2 counting-only fast path.
+pub fn e2_count_with(g: &DirectedGraph, k: &Kernels) -> CostReport {
+    e2_drive(g, 0..g.n() as u32, |local, remote, y, z| {
+        k.count(local, out_of(y), remote, out_of(z))
+    })
 }
 
 /// E3: visit `x`, then each `y ∈ N⁻(x)`; intersect the above-`y` suffix of
 /// `N⁻(x)` (local) with `N⁻(y)` (remote).
-pub fn e3<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, mut sink: F) -> CostReport {
-    let mut cost = CostReport::default();
-    for x in 0..g.n() as u32 {
-        let inn = g.in_(x);
-        for (i, &y) in inn.iter().enumerate() {
-            let local = &inn[i + 1..];
-            let remote = g.in_(y);
-            cost.local += local.len() as u64;
-            cost.remote += remote.len() as u64;
-            let stats = intersect_sorted(local, remote, |z| sink(x, y, z));
-            cost.pointer_advances += stats.advances;
-            cost.triangles += stats.matches;
-        }
-    }
-    cost
+pub fn e3<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, sink: F) -> CostReport {
+    e3_with(g, &Kernels::paper(), sink)
+}
+
+/// E3 with an explicit kernel context. Probes into the `(x, In)` row come
+/// from `N⁻(y)` and are `> y`, exactly the suffix the slice keeps.
+pub fn e3_with<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, k: &Kernels, mut sink: F) -> CostReport {
+    e3_drive(g, 0..g.n() as u32, |local, remote, y, x| {
+        k.intersect(local, in_of(x), remote, in_of(y), |z| sink(x, y, z))
+    })
+}
+
+/// E3 counting-only fast path.
+pub fn e3_count_with(g: &DirectedGraph, k: &Kernels) -> CostReport {
+    e3_drive(g, 0..g.n() as u32, |local, remote, y, x| {
+        k.count(local, in_of(x), remote, in_of(y))
+    })
 }
 
 /// E4: visit `z`, then each `x ∈ N⁺(z)`; intersect the above-`x` suffix of
 /// `N⁺(z)` (local) with the below-`z` prefix of `N⁻(x)` (remote).
 pub fn e4<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, sink: F) -> CostReport {
-    e4_range(g, 0..g.n() as u32, sink)
+    e4_range_with(g, 0..g.n() as u32, &Kernels::paper(), sink)
 }
 
 /// E4 restricted to visited nodes `z ∈ range`.
 pub fn e4_range<F: FnMut(u32, u32, u32)>(
     g: &DirectedGraph,
     range: std::ops::Range<u32>,
+    sink: F,
+) -> CostReport {
+    e4_range_with(g, range, &Kernels::paper(), sink)
+}
+
+/// E4 with an explicit kernel context.
+pub fn e4_with<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, k: &Kernels, sink: F) -> CostReport {
+    e4_range_with(g, 0..g.n() as u32, k, sink)
+}
+
+/// E4 over `range` with an explicit kernel context. Both sides are sliced
+/// mid-list, and both stay bitmap-exact: probes into the `(z, Out)` row
+/// come from `N⁻(x)` (all `> x`, the kept suffix) and probes into the
+/// `(x, In)` row come from `N⁺(z)` (all `< z`, the kept prefix).
+pub fn e4_range_with<F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    range: std::ops::Range<u32>,
+    k: &Kernels,
     mut sink: F,
 ) -> CostReport {
-    let mut cost = CostReport::default();
-    for z in range {
-        let out = g.out(z);
-        for (j, &x) in out.iter().enumerate() {
-            let local = &out[j + 1..];
-            let inn = g.in_(x);
-            // rank of z within N⁻(x): everything before it is an eligible y
-            let r = inn.partition_point(|&w| w < z);
-            let remote = &inn[..r];
-            cost.local += local.len() as u64;
-            cost.remote += remote.len() as u64;
-            let stats = intersect_sorted(local, remote, |y| sink(x, y, z));
-            cost.pointer_advances += stats.advances;
-            cost.triangles += stats.matches;
-        }
-    }
-    cost
+    e4_drive(g, range, |local, remote, x, z| {
+        k.intersect(local, out_of(z), remote, in_of(x), |y| sink(x, y, z))
+    })
+}
+
+/// E4 counting-only fast path.
+pub fn e4_count_with(g: &DirectedGraph, k: &Kernels) -> CostReport {
+    e4_drive(g, 0..g.n() as u32, |local, remote, x, z| {
+        k.count(local, out_of(z), remote, in_of(x))
+    })
 }
 
 /// E5: visit `y`, then each `x ∈ N⁺(y)`; intersect `N⁻(y)` (local) with the
 /// above-`y` suffix of `N⁻(x)` (remote) — the search start buried mid-list.
-pub fn e5<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, mut sink: F) -> CostReport {
-    let mut cost = CostReport::default();
-    for y in 0..g.n() as u32 {
-        let local = g.in_(y);
-        for &x in g.out(y) {
-            let inn = g.in_(x);
-            let r = inn.partition_point(|&w| w <= y);
-            let remote = &inn[r..];
-            cost.local += local.len() as u64;
-            cost.remote += remote.len() as u64;
-            let stats = intersect_sorted(local, remote, |z| sink(x, y, z));
-            cost.pointer_advances += stats.advances;
-            cost.triangles += stats.matches;
-        }
-    }
-    cost
+pub fn e5<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, sink: F) -> CostReport {
+    e5_with(g, &Kernels::paper(), sink)
+}
+
+/// E5 with an explicit kernel context. Probes into the `(x, In)` row come
+/// from `N⁻(y)` and are `> y`, the kept suffix.
+pub fn e5_with<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, k: &Kernels, mut sink: F) -> CostReport {
+    e5_drive(g, 0..g.n() as u32, |local, remote, x, y| {
+        k.intersect(local, in_of(y), remote, in_of(x), |z| sink(x, y, z))
+    })
+}
+
+/// E5 counting-only fast path.
+pub fn e5_count_with(g: &DirectedGraph, k: &Kernels) -> CostReport {
+    e5_drive(g, 0..g.n() as u32, |local, remote, x, y| {
+        k.count(local, in_of(y), remote, in_of(x))
+    })
 }
 
 /// E6: visit `x`, then each `z ∈ N⁻(x)`; intersect the below-`z` prefix of
 /// `N⁻(x)` (local) with the above-`x` suffix of `N⁺(z)` (remote).
-pub fn e6<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, mut sink: F) -> CostReport {
-    let mut cost = CostReport::default();
-    for x in 0..g.n() as u32 {
-        let inn = g.in_(x);
-        for (k, &z) in inn.iter().enumerate() {
-            let local = &inn[..k];
-            let out = g.out(z);
-            let r = out.partition_point(|&w| w <= x);
-            let remote = &out[r..];
-            cost.local += local.len() as u64;
-            cost.remote += remote.len() as u64;
-            let stats = intersect_sorted(local, remote, |y| sink(x, y, z));
-            cost.pointer_advances += stats.advances;
-            cost.triangles += stats.matches;
-        }
-    }
-    cost
+pub fn e6<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, sink: F) -> CostReport {
+    e6_with(g, &Kernels::paper(), sink)
+}
+
+/// E6 with an explicit kernel context (owners mirror E4 with the roles
+/// swapped).
+pub fn e6_with<F: FnMut(u32, u32, u32)>(g: &DirectedGraph, k: &Kernels, mut sink: F) -> CostReport {
+    e6_drive(g, 0..g.n() as u32, |local, remote, z, x| {
+        k.intersect(local, in_of(x), remote, out_of(z), |y| sink(x, y, z))
+    })
+}
+
+/// E6 counting-only fast path.
+pub fn e6_count_with(g: &DirectedGraph, k: &Kernels) -> CostReport {
+    e6_drive(g, 0..g.n() as u32, |local, remote, z, x| {
+        k.count(local, in_of(x), remote, out_of(z))
+    })
 }
 
 /// Table 1 closed forms: `(local, remote)` totals for each SEI method from

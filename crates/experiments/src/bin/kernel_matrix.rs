@@ -1,0 +1,289 @@
+//! Kernel-selection matrix: the Table-3 analogue for the adaptive
+//! intersection layer.
+//!
+//! Three measurements, all on this machine:
+//!
+//! 1. **Crossover sweep** — branchless two-pointer merge vs galloping
+//!    intersection over a ladder of `|long|/|short|` ratios. The first
+//!    ratio where galloping wins is the machine's crossover; the shipped
+//!    `AdaptiveConfig::default()` should sit near it.
+//! 2. **Method × kernel × n throughput** — E1/E4 (scanning) and T1/T2
+//!    (hash-probe) under `PaperFaithful` vs `Adaptive` kernels on Pareto
+//!    α = 1.5 graphs, each method under its optimal orientation. Paper-cost
+//!    operations per wall-clock second; the adaptive column must not change
+//!    any paper-cost field, so the ops numerator is identical by
+//!    construction and the speedup is pure wall-clock.
+//! 3. **§2.4 calibration** — the measured scan/hash elementary-operation
+//!    ratio (the paper's 95×) fed into `trilist_model::wn::sei_wins`.
+//!
+//! Results are printed as tables and written machine-readably to
+//! `BENCH_listing.json` in the working directory.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use rand::SeedableRng;
+use trilist_core::intersect::{intersect_branchless, intersect_gallop};
+use trilist_core::{BitmapOracle, HashOracle, KernelPolicy, Kernels, Method};
+use trilist_experiments::{Opts, Table};
+use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+use trilist_model::calibrate;
+use trilist_order::DirectedGraph;
+
+/// One measured cell of the method × kernel × n matrix.
+struct Cell {
+    method: &'static str,
+    kernel: &'static str,
+    n: usize,
+    ops: u64,
+    secs: f64,
+    triangles: u64,
+}
+
+impl Cell {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Best-of-`rounds` wall time of `f` (returns whatever `f` returns on the
+/// last round, for black-boxing).
+fn time_best<T>(rounds: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..rounds.max(1) {
+        let started = Instant::now();
+        let v = f();
+        best = best.min(started.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.unwrap())
+}
+
+/// A reproducible Pareto α-tail graph oriented for `method`.
+fn oriented_fixture(n: usize, alpha: f64, seed: u64, method: Method) -> DirectedGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dist = Truncated::new(DiscretePareto::paper_beta(alpha), Truncation::Root.t_n(n));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    let g = ResidualSampler.generate(&seq, &mut rng).graph;
+    let relabeling = method.optimal_family().relabeling(&g, &mut rng);
+    DirectedGraph::orient(&g, &relabeling)
+}
+
+/// Sweeps `|long|/|short|` ratios and reports per-ratio merge vs gallop
+/// time; returns the smallest ratio where galloping won.
+fn crossover_sweep(rounds: usize) -> (Table, Option<u32>) {
+    let short_len = 256u32;
+    let mut table = Table::new(
+        "Kernel crossover: branchless merge vs gallop, |short| = 256 (ns/short-elem)",
+        &["|long|/|short|", "merge", "gallop", "winner"],
+    );
+    let mut crossover = None;
+    for ratio in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let long_len = short_len * ratio;
+        // strided lists with a sprinkling of shared elements
+        let short: Vec<u32> = (0..short_len).map(|i| i * ratio * 2).collect();
+        let long: Vec<u32> = (0..long_len).map(|i| i * 2 + (i % 3 == 0) as u32).collect();
+        let reps = (1 << 22) / long_len.max(1);
+        let (merge_s, _) = time_best(rounds, || {
+            let mut m = 0u64;
+            for _ in 0..reps {
+                m += intersect_branchless(black_box(&short), black_box(&long), |x| {
+                    black_box(x);
+                })
+                .matches;
+            }
+            black_box(m)
+        });
+        let (gallop_s, _) = time_best(rounds, || {
+            let mut m = 0u64;
+            for _ in 0..reps {
+                m += intersect_gallop(black_box(&short), black_box(&long), |x| {
+                    black_box(x);
+                })
+                .matches;
+            }
+            black_box(m)
+        });
+        let per_elem = |s: f64| s / (reps as f64 * short_len as f64) * 1e9;
+        let gallop_wins = gallop_s < merge_s;
+        if gallop_wins && crossover.is_none() {
+            crossover = Some(ratio);
+        }
+        table.row(vec![
+            format!("{ratio}"),
+            format!("{:.2}", per_elem(merge_s)),
+            format!("{:.2}", per_elem(gallop_s)),
+            if gallop_wins { "gallop" } else { "merge" }.into(),
+        ]);
+    }
+    (table, crossover)
+}
+
+/// Times one method under one policy on an oriented graph. Kernel and
+/// oracle construction happen once, outside the timed region — the matrix
+/// measures steady-state listing throughput, and bitmap build cost is
+/// reported separately.
+fn measure(dg: &DirectedGraph, method: Method, policy: KernelPolicy, rounds: usize) -> Cell {
+    let kernels = Kernels::build(policy, dg);
+    let is_sei = matches!(
+        method,
+        Method::E1 | Method::E2 | Method::E3 | Method::E4 | Method::E5 | Method::E6
+    );
+    let (secs, cost) = if is_sei {
+        time_best(rounds, || method.count_with_kernels(dg, &kernels))
+    } else {
+        let oracle = HashOracle::build(dg);
+        match kernels.out_bitmaps() {
+            Some(bits) => {
+                let wrapped = BitmapOracle::new(&oracle, bits);
+                time_best(rounds, || {
+                    method.run_with_oracle(dg, &wrapped, |_, _, _| {})
+                })
+            }
+            None => time_best(rounds, || method.run_with_oracle(dg, &oracle, |_, _, _| {})),
+        }
+    };
+    Cell {
+        method: method.name(),
+        kernel: policy.name(),
+        n: dg.n(),
+        ops: cost.operations(),
+        secs,
+        triangles: cost.triangles,
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // all strings we emit are method/kernel names — no escaping needed
+    debug_assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    s
+}
+
+/// Hand-rolled JSON (no serde in the dependency tree): the machine-readable
+/// companion to the printed tables.
+fn render_json(
+    crossover: Option<u32>,
+    cal: &calibrate::Calibration,
+    wn: f64,
+    sei_recommended: bool,
+    cells: &[Cell],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"kernel_matrix\",");
+    let _ = writeln!(out, "  \"alpha\": 1.5,");
+    match crossover {
+        Some(r) => {
+            let _ = writeln!(out, "  \"gallop_crossover_measured\": {r},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"gallop_crossover_measured\": null,");
+        }
+    }
+    let _ = writeln!(out, "  \"calibration\": {{");
+    let _ = writeln!(
+        out,
+        "    \"hash_ops_per_sec\": {:.1},",
+        cal.hash_ops_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"scan_ops_per_sec\": {:.1},",
+        cal.scan_ops_per_sec
+    );
+    let _ = writeln!(out, "    \"speed_ratio\": {:.3},", cal.speed_ratio);
+    let _ = writeln!(out, "    \"wn\": {wn:.3},");
+    let _ = writeln!(out, "    \"sei_recommended\": {sei_recommended}");
+    let _ = writeln!(out, "  }},");
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"method\": \"{}\", \"kernel\": \"{}\", \"n\": {}, \"ops\": {}, \
+             \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \"triangles\": {}}}",
+            json_escape_free(c.method),
+            json_escape_free(c.kernel),
+            c.n,
+            c.ops,
+            c.secs,
+            c.ops_per_sec(),
+            c.triangles,
+        );
+        out.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let rounds = if opts.full { 7 } else { 3 };
+
+    // 1. crossover sweep
+    let (sweep, crossover) = crossover_sweep(rounds);
+    sweep.print();
+    match crossover {
+        Some(r) => println!(
+            "\nsynthetic crossover ≈ {r}×; AdaptiveConfig::default() ships {}× — tuned \
+             in-situ on E1/E4, where dispatch overhead and short-list mixes move it up \
+             (see EXPERIMENTS.md)\n",
+            trilist_core::AdaptiveConfig::default().gallop_crossover
+        ),
+        None => println!("\ngalloping never won on this machine — merge everywhere\n"),
+    }
+
+    // 2. method × kernel × n matrix
+    let methods = [Method::E1, Method::E4, Method::T1, Method::T2];
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut matrix = Table::new(
+        "Listing throughput, Pareto α = 1.5, optimal orientations (paper-cost Mops/s)",
+        &["method", "n", "paper", "adaptive", "speedup"],
+    );
+    for &n in &opts.sizes() {
+        for &method in &methods {
+            let dg = oriented_fixture(n, 1.5, opts.seed ^ n as u64, method);
+            let paper = measure(&dg, method, KernelPolicy::PaperFaithful, rounds);
+            let adaptive = measure(&dg, method, KernelPolicy::adaptive(), rounds);
+            assert_eq!(
+                paper.ops, adaptive.ops,
+                "paper-cost operations diverged between kernels"
+            );
+            let speedup = paper.secs / adaptive.secs.max(f64::MIN_POSITIVE);
+            matrix.row(vec![
+                method.name().into(),
+                format!("{n}"),
+                format!("{:.1}", paper.ops_per_sec() / 1e6),
+                format!("{:.1}", adaptive.ops_per_sec() / 1e6),
+                format!("{speedup:.2}x"),
+            ]);
+            cells.push(paper);
+            cells.push(adaptive);
+        }
+    }
+    matrix.print();
+    println!();
+
+    // 3. §2.4 calibration on the largest E1-oriented graph
+    let n_max = *opts.sizes().last().unwrap();
+    let dg = oriented_fixture(n_max, 1.5, opts.seed ^ n_max as u64, Method::E1);
+    let cal = calibrate::calibrate(&dg, rounds);
+    let wn = trilist_model::wn_of_graph(&dg);
+    let sei = calibrate::sei_recommended(&dg, &cal);
+    println!(
+        "calibration (n = {n_max}): scan {:.1}M ops/s, hash {:.1}M ops/s, ratio {:.1}x \
+         (paper: 95x); w_n = {:.2} -> {} recommended",
+        cal.scan_ops_per_sec / 1e6,
+        cal.hash_ops_per_sec / 1e6,
+        cal.speed_ratio,
+        wn,
+        if sei { "SEI (E1)" } else { "hash (T1)" },
+    );
+
+    let json = render_json(crossover, &cal, wn, sei, &cells);
+    let path = "BENCH_listing.json";
+    std::fs::write(path, &json).expect("write BENCH_listing.json");
+    println!("\nwrote {path} ({} result cells)", cells.len());
+}

@@ -1,0 +1,118 @@
+//! Hardware calibration for the §2.4 decision rule.
+//!
+//! Table 3 settles SEI-vs-hash with *measured* elementary-operation
+//! speeds: on the paper's i7, sequential scan comparisons ran ~95× faster
+//! than hash probes, so SEI wins whenever `w_n < 95`. That constant is a
+//! property of the paper's 2017 hardware, not of the algorithms — on a
+//! machine with a different cache hierarchy or hash throughput the
+//! crossover moves. This module reproduces the Table 3 methodology on the
+//! *current* machine: run T1 (pure hash probes) and E1 (pure scan
+//! comparisons) on the same oriented graph, divide operation counts by
+//! wall-clock, and feed the resulting ratio into
+//! [`sei_wins`](crate::wn::sei_wins) in place of the paper's 95.
+
+use std::time::Instant;
+use trilist_core::{HashOracle, Method};
+use trilist_order::DirectedGraph;
+
+/// Measured elementary-operation speeds on this machine.
+#[derive(Clone, Copy, Debug)]
+pub struct Calibration {
+    /// Hash probes per second (T1's elementary operation).
+    pub hash_ops_per_sec: f64,
+    /// Scan comparisons per second (E1's elementary operation,
+    /// paper-accounted as the eligible slice lengths).
+    pub scan_ops_per_sec: f64,
+    /// `scan_ops_per_sec / hash_ops_per_sec` — this machine's analogue of
+    /// the paper's 95×.
+    pub speed_ratio: f64,
+}
+
+/// Runs the Table-3 measurement on `g`: T1 for hash-probe speed, E1 for
+/// scan-comparison speed, each timed over `rounds` repetitions (report the
+/// best round, minimizing scheduler noise). `g` should be large enough
+/// that one round takes well over a timer tick — `n ≥ 10⁴` on a Pareto
+/// tail is plenty.
+pub fn calibrate(g: &DirectedGraph, rounds: usize) -> Calibration {
+    let rounds = rounds.max(1);
+    let oracle = HashOracle::build(g);
+
+    let mut best_hash = f64::INFINITY;
+    let mut hash_ops = 0u64;
+    for _ in 0..rounds {
+        let started = Instant::now();
+        let cost = Method::T1.run_with_oracle(g, &oracle, |_, _, _| {});
+        best_hash = best_hash.min(started.elapsed().as_secs_f64());
+        hash_ops = cost.lookups;
+    }
+
+    let mut best_scan = f64::INFINITY;
+    let mut scan_ops = 0u64;
+    for _ in 0..rounds {
+        let started = Instant::now();
+        let cost = Method::E1.run(g, |_, _, _| {});
+        best_scan = best_scan.min(started.elapsed().as_secs_f64());
+        scan_ops = cost.local + cost.remote;
+    }
+
+    let hash_ops_per_sec = hash_ops as f64 / best_hash.max(f64::MIN_POSITIVE);
+    let scan_ops_per_sec = scan_ops as f64 / best_scan.max(f64::MIN_POSITIVE);
+    Calibration {
+        hash_ops_per_sec,
+        scan_ops_per_sec,
+        speed_ratio: scan_ops_per_sec / hash_ops_per_sec.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// The §2.4 decision with *this machine's* numbers: SEI is recommended on
+/// `g` iff its operation-count ratio `w_n` stays below the measured speed
+/// ratio.
+pub fn sei_recommended(g: &DirectedGraph, cal: &Calibration) -> bool {
+    crate::wn::sei_wins(crate::wn::wn_of_graph(g), cal.speed_ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated};
+    use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+    use trilist_order::OrderFamily;
+
+    fn fixture() -> DirectedGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let dist = Truncated::new(DiscretePareto::paper_beta(1.7), 40);
+        let (seq, _) = sample_degree_sequence(&dist, 3_000, &mut rng);
+        let g = ResidualSampler.generate(&seq, &mut rng).graph;
+        let relabeling = OrderFamily::Descending.relabeling(&g, &mut rng);
+        DirectedGraph::orient(&g, &relabeling)
+    }
+
+    #[test]
+    fn calibration_yields_positive_finite_speeds() {
+        let dg = fixture();
+        let cal = calibrate(&dg, 2);
+        assert!(cal.hash_ops_per_sec > 0.0 && cal.hash_ops_per_sec.is_finite());
+        assert!(cal.scan_ops_per_sec > 0.0 && cal.scan_ops_per_sec.is_finite());
+        assert!(cal.speed_ratio > 0.0 && cal.speed_ratio.is_finite());
+    }
+
+    #[test]
+    fn recommendation_is_consistent_with_wn() {
+        let dg = fixture();
+        let wn = crate::wn::wn_of_graph(&dg);
+        // a made-up calibration on either side of wn must flip the call
+        let fast_scan = Calibration {
+            hash_ops_per_sec: 1.0,
+            scan_ops_per_sec: wn * 10.0,
+            speed_ratio: wn * 10.0,
+        };
+        let slow_scan = Calibration {
+            hash_ops_per_sec: 1.0,
+            scan_ops_per_sec: wn / 10.0,
+            speed_ratio: wn / 10.0,
+        };
+        assert!(sei_recommended(&dg, &fast_scan));
+        assert!(!sei_recommended(&dg, &slow_scan));
+    }
+}

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod comparison;
 pub mod continuous;
 pub mod discrete;
@@ -38,6 +39,7 @@ pub mod spread;
 pub mod weight;
 pub mod wn;
 
+pub use calibrate::{calibrate, sei_recommended, Calibration};
 pub use comparison::{e1_beats_e4, t1_beats_t2, u_space_cost, OptimalPair};
 pub use continuous::continuous_cost;
 pub use discrete::{discrete_cost, discrete_cost_custom, ModelSpec};

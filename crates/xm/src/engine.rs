@@ -15,6 +15,7 @@
 //! (`≈ m/P` edges expected) — choose `P` from the RAM budget.
 
 use crate::storage::{EdgeFile, IoStats, ScratchDir};
+use trilist_core::kernel::{Kernels, ListDir};
 use trilist_core::CostReport;
 use trilist_order::DirectedGraph;
 
@@ -111,6 +112,23 @@ pub fn xm_e1<F: FnMut(u32, u32, u32)>(
 pub fn xm_e1_with<F: FnMut(u32, u32, u32)>(
     g: &DirectedGraph,
     parts: &Partitioning,
+    sink: F,
+) -> std::io::Result<XmRun> {
+    xm_e1_with_kernels(g, parts, &Kernels::paper(), sink)
+}
+
+/// External-memory E1 with an explicit partitioning and kernel context.
+///
+/// The hub bitmaps in `k` are built from the *full* graph, yet stay exact
+/// on the column-restricted lists: a probe element always comes from the
+/// other column list, so it lies inside the column interval by
+/// construction, and the sub-`y` prefix constraint is satisfied because
+/// out-list elements are `< y` (the same structural argument as in-memory
+/// E1). Paper-cost fields are kernel-independent.
+pub fn xm_e1_with_kernels<F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    parts: &Partitioning,
+    k: &Kernels,
     mut sink: F,
 ) -> std::io::Result<XmRun> {
     let scratch = ScratchDir::new("e1")?;
@@ -158,10 +176,16 @@ pub fn xm_e1_with<F: FnMut(u32, u32, u32)>(
             let local = &za[..cut];
             cost.local += local.len() as u64;
             cost.remote += ya.len() as u64;
-            let stats = trilist_core::intersect::intersect_sorted(local, ya, |x| {
-                cost.triangles += 1;
-                sink(x, y, z);
-            });
+            let stats = k.intersect(
+                local,
+                Some((z, ListDir::Out)),
+                ya,
+                Some((y, ListDir::Out)),
+                |x| {
+                    cost.triangles += 1;
+                    sink(x, y, z);
+                },
+            );
             cost.pointer_advances += stats.advances;
         })?;
         io.edges_streamed += edge_file.len();
@@ -226,6 +250,22 @@ mod tests {
             assert_eq!(run.cost.local, want_cost.local, "p={p} local");
             assert_eq!(run.cost.remote, want_cost.remote, "p={p} remote");
         }
+    }
+
+    #[test]
+    fn adaptive_kernels_match_paper_across_partitions() {
+        use trilist_core::kernel::KernelPolicy;
+        let dg = fixture(800, 4);
+        let mut want = Vec::new();
+        let paper = xm_e1(&dg, 4, |x, y, z| want.push((x, y, z))).unwrap();
+        let k = Kernels::build(KernelPolicy::adaptive(), &dg);
+        let parts = Partitioning::balanced(&dg, 4);
+        let mut got = Vec::new();
+        let adaptive = xm_e1_with_kernels(&dg, &parts, &k, |x, y, z| got.push((x, y, z))).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(adaptive.cost.triangles, paper.cost.triangles);
+        assert_eq!(adaptive.cost.local, paper.cost.local);
+        assert_eq!(adaptive.cost.remote, paper.cost.remote);
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Differential suite for the kernel-selection layer: under every
+//! `KernelPolicy`, every one of the 18 methods, under every orientation
+//! family, must emit the identical triangle multiset and identical
+//! paper-cost `CostReport` fields (`triangles`, `lookups`, `local`,
+//! `remote`, `hash_inserts`) as the paper-faithful run. Only
+//! `pointer_advances` — an implementation-level metric — and wall-clock
+//! may differ. The adaptive configs swept here force every dispatch path:
+//! bitmap-everything, gallop-everything, branchless-merge-everything, and
+//! the shipped defaults.
+
+use rand::{Rng, SeedableRng};
+use trilist::core::{
+    count_triangles_with, list_triangles_with, AdaptiveConfig, CostReport, KernelPolicy, Method,
+};
+use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated};
+use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+use trilist::graph::Graph;
+use trilist::order::OrderFamily;
+
+/// Adaptive configurations that force each kernel-dispatch path.
+fn adaptive_configs() -> [AdaptiveConfig; 4] {
+    [
+        // every node a hub: every intersection and oracle probe hits bitmaps
+        AdaptiveConfig {
+            gallop_crossover: 1,
+            hub_degree_threshold: 0,
+            max_hubs: usize::MAX,
+        },
+        // no hubs, crossover 1: everything gallops
+        AdaptiveConfig {
+            gallop_crossover: 1,
+            hub_degree_threshold: u32::MAX,
+            max_hubs: 0,
+        },
+        // no hubs, unreachable crossover: everything branchless-merges
+        AdaptiveConfig {
+            gallop_crossover: u32::MAX,
+            hub_degree_threshold: u32::MAX,
+            max_hubs: 0,
+        },
+        AdaptiveConfig::default(),
+    ]
+}
+
+fn paper_cost_fields(c: &CostReport) -> (u64, u64, u64, u64, u64) {
+    (c.triangles, c.lookups, c.local, c.remote, c.hash_inserts)
+}
+
+fn assert_policies_agree(g: &Graph, seed: u64) {
+    for family in OrderFamily::ALL {
+        for method in Method::ALL {
+            // same seed → same relabeling → byte-comparable reports
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut paper =
+                list_triangles_with(g, method, family, KernelPolicy::PaperFaithful, &mut rng);
+            paper.triangles.sort_unstable();
+            for cfg in adaptive_configs() {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let mut adaptive =
+                    list_triangles_with(g, method, family, KernelPolicy::Adaptive(cfg), &mut rng);
+                adaptive.triangles.sort_unstable();
+                assert_eq!(
+                    adaptive.triangles,
+                    paper.triangles,
+                    "{method} under {} with {cfg:?}: triangle multiset diverged",
+                    family.name()
+                );
+                assert_eq!(
+                    paper_cost_fields(&adaptive.cost),
+                    paper_cost_fields(&paper.cost),
+                    "{method} under {} with {cfg:?}: paper-cost fields diverged",
+                    family.name()
+                );
+            }
+        }
+    }
+}
+
+fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).unwrap()
+}
+
+fn pareto(n: usize, alpha: f64, seed: u64) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let t = (n as f64).sqrt() as u64;
+    let dist = Truncated::new(DiscretePareto { alpha, beta: 3.0 }, t.max(2));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    ResidualSampler.generate(&seq, &mut rng).graph
+}
+
+#[test]
+fn policies_agree_on_gnp_graphs() {
+    for trial in 0..3u64 {
+        let g = gnp(30, 0.2 + 0.1 * trial as f64, 40 + trial);
+        assert_policies_agree(&g, 500 + trial);
+    }
+}
+
+#[test]
+fn policies_agree_on_pareto_tail() {
+    // α = 1.5 is the paper's heavy-tail regime and the hub-bitmap sweet
+    // spot: high-degree hubs exist at every size
+    let g = pareto(150, 1.5, 9);
+    assert_policies_agree(&g, 700);
+}
+
+#[test]
+fn policies_agree_on_structured_graphs() {
+    // complete graph: every intersection non-trivial
+    let mut edges = Vec::new();
+    for u in 0..8u32 {
+        for v in (u + 1)..8 {
+            edges.push((u, v));
+        }
+    }
+    assert_policies_agree(&Graph::from_edges(8, &edges).unwrap(), 1);
+    // triangle-free cycle and the empty graph: zero-match edge cases
+    let c7: Vec<_> = (0..7u32).map(|i| (i, (i + 1) % 7)).collect();
+    assert_policies_agree(&Graph::from_edges(7, &c7).unwrap(), 2);
+    assert_policies_agree(&Graph::from_edges(5, &[]).unwrap(), 3);
+}
+
+#[test]
+fn counting_fast_path_reports_identical_cost_to_listing() {
+    // the no-materialization SEI path must produce a field-for-field
+    // identical CostReport (pointer_advances included — same kernel, same
+    // policy, just no sink dispatch)
+    let g = pareto(120, 1.5, 11);
+    for family in [OrderFamily::Descending, OrderFamily::Uniform] {
+        for method in Method::ALL {
+            for policy in [KernelPolicy::PaperFaithful, KernelPolicy::adaptive()] {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+                let listed = list_triangles_with(&g, method, family, policy, &mut rng);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+                let (count, cost) = count_triangles_with(&g, method, family, policy, &mut rng);
+                assert_eq!(count, listed.triangles.len() as u64, "{method}");
+                assert_eq!(
+                    cost,
+                    listed.cost,
+                    "{method} under {} {}: counting path cost diverged",
+                    family.name(),
+                    policy.name()
+                );
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! realized power-law degree sequences.
 
 use rand::{Rng, SeedableRng};
-use trilist::core::{baseline, list_triangles, Method};
+use trilist::core::{baseline, list_triangles, list_triangles_with, KernelPolicy, Method};
 use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
 use trilist::graph::gen::{ConfigurationModel, GraphGenerator, ResidualSampler};
 use trilist::graph::Graph;
@@ -102,6 +102,38 @@ fn power_law_realizations_from_both_generators() {
         assert_all_methods_agree(&g1, 200 + trial);
         let g2 = ConfigurationModel.generate(&seq, &mut rng).graph;
         assert_all_methods_agree(&g2, 300 + trial);
+    }
+}
+
+#[test]
+fn adaptive_kernels_agree_with_brute_force() {
+    // the adaptive kernel layer must be invisible to correctness: every
+    // method, every family, default adaptive tuning, against ground truth
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    let n = 35;
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(0.25) {
+                edges.push((u, v));
+            }
+        }
+    }
+    let g = Graph::from_edges(n, &edges).unwrap();
+    let want = ground_truth(&g);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    for family in OrderFamily::ALL {
+        for method in Method::ALL {
+            let mut run =
+                list_triangles_with(&g, method, family, KernelPolicy::adaptive(), &mut rng);
+            run.triangles.sort_unstable();
+            assert_eq!(
+                run.triangles,
+                want,
+                "{method} under {} (adaptive) disagrees with brute force",
+                family.name()
+            );
+        }
     }
 }
 

@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 use rand::SeedableRng;
-use trilist::core::{par_list, par_list_with, Method, ParallelOpts};
+use trilist::core::{par_list, par_list_with, KernelPolicy, Method, ParallelOpts};
 use trilist::graph::Graph;
 use trilist::order::{DirectedGraph, OrderFamily};
 
@@ -81,12 +81,49 @@ proptest! {
         for method in Method::FUNDAMENTAL {
             let mut seq_tris = Vec::new();
             let seq_cost = method.run(&dg, |x, y, z| seq_tris.push((x, y, z)));
-            let opts = ParallelOpts { threads: 4, target_chunk_ops: target_ops };
+            let opts = ParallelOpts {
+                threads: 4,
+                target_chunk_ops: target_ops,
+                policy: KernelPolicy::PaperFaithful,
+            };
             let run = par_list_with(&dg, method, &opts);
             prop_assert_eq!(run.cost, seq_cost, "{} target_ops={}", method, target_ops);
             prop_assert_eq!(run.triangles, seq_tris, "{} target_ops={}", method, target_ops);
             let processed: u64 = run.threads.iter().map(|t| t.chunks).sum();
             prop_assert_eq!(processed as usize, run.chunks);
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_matches_sequential_paper_run(
+        g in arb_graph(),
+        seed in 0u64..1_000,
+        threads in 1usize..=8,
+    ) {
+        // per-worker adaptive kernel state must change neither the triangle
+        // emission order nor any paper-cost field vs the sequential
+        // paper-faithful run; only pointer_advances may move
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let family = OrderFamily::ALL[(seed % OrderFamily::ALL.len() as u64) as usize];
+        let dg = DirectedGraph::orient(&g, &family.relabeling(&g, &mut rng));
+        for method in Method::FUNDAMENTAL {
+            let mut seq_tris = Vec::new();
+            let seq_cost = method.run(&dg, |x, y, z| seq_tris.push((x, y, z)));
+            let opts = ParallelOpts {
+                threads,
+                target_chunk_ops: 64,
+                policy: KernelPolicy::adaptive(),
+            };
+            let run = par_list_with(&dg, method, &opts);
+            prop_assert_eq!(
+                &run.triangles, &seq_tris,
+                "{} under {} at {} threads", method, family.name(), threads
+            );
+            prop_assert_eq!(run.cost.triangles, seq_cost.triangles, "{}", method);
+            prop_assert_eq!(run.cost.local, seq_cost.local, "{}", method);
+            prop_assert_eq!(run.cost.remote, seq_cost.remote, "{}", method);
+            prop_assert_eq!(run.cost.lookups, seq_cost.lookups, "{}", method);
+            prop_assert_eq!(run.cost.hash_inserts, seq_cost.hash_inserts, "{}", method);
         }
     }
 
