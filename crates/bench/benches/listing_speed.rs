@@ -134,7 +134,7 @@ fn bench_work_stealing(c: &mut Criterion) {
         group.throughput(Throughput::Elements(graph.m() as u64));
         for threads in [1usize, 2, 4, 8] {
             group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-                b.iter(|| black_box(par_list(&dg, method, t).cost.triangles))
+                b.iter(|| black_box(par_list(&dg, method, t).unwrap().cost.triangles))
             });
         }
         group.finish();

@@ -61,6 +61,7 @@ fn bench_parallel_orientation_effect(c: &mut Criterion) {
                 b.iter(|| {
                     black_box(
                         trilist_core::par_list(&dg, trilist_core::Method::E1, 4)
+                            .unwrap()
                             .cost
                             .triangles,
                     )

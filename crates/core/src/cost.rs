@@ -28,14 +28,34 @@ pub struct CostReport {
     /// an implementation metric, always `≤ local + remote`, reported for
     /// completeness but never used in the paper's tables.
     pub pointer_advances: u64,
+    /// Sticky overflow flag: set (and never cleared) when any field of an
+    /// [`CostReport::accumulate`] would have wrapped `u64`. Saturation
+    /// keeps aggregate reports well-ordered instead of wrapping to small
+    /// values; this flag keeps the saturation honest.
+    pub overflowed: bool,
+}
+
+/// `a + b` clamped to `u64::MAX`, setting `flag` when the clamp engaged.
+#[inline]
+fn sat_add(a: u64, b: u64, flag: &mut bool) -> u64 {
+    let (sum, wrapped) = a.overflowing_add(b);
+    *flag |= wrapped;
+    if wrapped {
+        u64::MAX
+    } else {
+        sum
+    }
 }
 
 impl CostReport {
     /// The paper's headline operation count `n · c_n(M, θ_n)` for this run:
     /// candidate checks for vertex iterators, `local + remote` comparisons
-    /// for SEI, lookups for LEI.
+    /// for SEI, lookups for LEI. Saturating: an aggregate of many runs near
+    /// the `u64` boundary reports `u64::MAX` rather than wrapping.
     pub fn operations(&self) -> u64 {
-        self.lookups + self.local + self.remote
+        self.lookups
+            .saturating_add(self.local)
+            .saturating_add(self.remote)
     }
 
     /// Per-node cost `c_n(M, θ_n)` (eq. 1).
@@ -47,14 +67,19 @@ impl CostReport {
         }
     }
 
-    /// Component-wise sum, for aggregating over runs.
+    /// Component-wise sum, for aggregating over runs. Saturating with a
+    /// sticky [`CostReport::overflowed`] flag: aggregation can cross the
+    /// `u64` boundary long before any single run does, and a wrapped count
+    /// would silently corrupt every downstream table.
     pub fn accumulate(&mut self, other: &CostReport) {
-        self.triangles += other.triangles;
-        self.lookups += other.lookups;
-        self.local += other.local;
-        self.remote += other.remote;
-        self.hash_inserts += other.hash_inserts;
-        self.pointer_advances += other.pointer_advances;
+        let mut flag = self.overflowed | other.overflowed;
+        self.triangles = sat_add(self.triangles, other.triangles, &mut flag);
+        self.lookups = sat_add(self.lookups, other.lookups, &mut flag);
+        self.local = sat_add(self.local, other.local, &mut flag);
+        self.remote = sat_add(self.remote, other.remote, &mut flag);
+        self.hash_inserts = sat_add(self.hash_inserts, other.hash_inserts, &mut flag);
+        self.pointer_advances = sat_add(self.pointer_advances, other.pointer_advances, &mut flag);
+        self.overflowed = flag;
     }
 }
 
@@ -92,5 +117,43 @@ mod tests {
         assert_eq!(a.triangles, 4);
         assert_eq!(a.lookups, 6);
         assert_eq!(a.local, 1);
+        assert!(!a.overflowed);
+    }
+
+    #[test]
+    fn accumulate_saturates_at_u64_boundary() {
+        let mut a = CostReport {
+            lookups: u64::MAX - 1,
+            local: 7,
+            ..Default::default()
+        };
+        let b = CostReport {
+            lookups: 5,
+            local: 1,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        // the overflowing field clamps, the clean field still adds
+        assert_eq!(a.lookups, u64::MAX);
+        assert_eq!(a.local, 8);
+        assert!(a.overflowed, "sticky flag must record the clamp");
+        // the flag stays set through further clean accumulation
+        a.accumulate(&CostReport::default());
+        assert!(a.overflowed);
+        // and infects reports it is accumulated into
+        let mut c = CostReport::default();
+        c.accumulate(&a);
+        assert!(c.overflowed);
+    }
+
+    #[test]
+    fn operations_saturates_instead_of_wrapping() {
+        let r = CostReport {
+            lookups: u64::MAX,
+            local: 3,
+            remote: 9,
+            ..Default::default()
+        };
+        assert_eq!(r.operations(), u64::MAX);
     }
 }

@@ -180,6 +180,23 @@ impl HubBitmap {
         }
     }
 
+    /// Predicted [`HubBitmap::bytes`] of a build with these parameters,
+    /// without allocating anything — the memory-budget planner's estimate.
+    pub fn estimate_bytes(g: &DirectedGraph, dir: ListDir, threshold: u32, max_hubs: usize) -> u64 {
+        let n = g.n();
+        let deg = |v: u32| -> usize {
+            match dir {
+                ListDir::Out => g.x(v),
+                ListDir::In => g.y(v),
+            }
+        };
+        let hubs = (0..n as u32)
+            .filter(|&v| deg(v) >= threshold as usize)
+            .count()
+            .min(max_hubs);
+        n.div_ceil(64) as u64 * 8 * hubs as u64
+    }
+
     /// The bit row for `v`, if `v` is a hub.
     #[inline]
     pub fn row(&self, v: u32) -> Option<&[u64]> {
@@ -285,6 +302,42 @@ impl Kernels {
         }
     }
 
+    /// Builds the largest context for `policy` that fits inside
+    /// `allowance` bytes of bitmap memory (`None` = unlimited, plain
+    /// [`Kernels::build`]).
+    ///
+    /// The degradation ladder under `Adaptive`: halve `max_hubs` until the
+    /// estimated footprint ([`HubBitmap::estimate_bytes`], both directions)
+    /// fits, and when even zero rows would not help, keep the policy but
+    /// skip bitmap construction entirely — merge/gallop selection still
+    /// applies, and every paper-cost field is unaffected by construction
+    /// (the accounting contract in the module docs).
+    pub fn build_within(policy: KernelPolicy, g: &DirectedGraph, allowance: Option<u64>) -> Self {
+        let Some(budget) = allowance else {
+            return Kernels::build(policy, g);
+        };
+        let KernelPolicy::Adaptive(mut cfg) = policy else {
+            return Kernels::paper();
+        };
+        loop {
+            let need =
+                HubBitmap::estimate_bytes(g, ListDir::Out, cfg.hub_degree_threshold, cfg.max_hubs)
+                    + HubBitmap::estimate_bytes(
+                        g,
+                        ListDir::In,
+                        cfg.hub_degree_threshold,
+                        cfg.max_hubs,
+                    );
+            if cfg.max_hubs == 0 {
+                return Kernels::scan_only(policy);
+            }
+            if need <= budget {
+                return Kernels::build(KernelPolicy::Adaptive(cfg), g);
+            }
+            cfg.max_hubs /= 2;
+        }
+    }
+
     /// A context with adaptive merge/gallop selection but no bitmaps — for
     /// callers intersecting lists that are not neighbor lists of an
     /// oriented graph (the unoriented baselines).
@@ -304,6 +357,13 @@ impl Kernels {
     /// The out-direction hub bitmap, when built.
     pub fn out_bitmaps(&self) -> Option<&HubBitmap> {
         self.out_bits.as_ref()
+    }
+
+    /// Bitmap memory held by this context, in bytes (what a memory budget
+    /// charges per worker).
+    pub fn bytes(&self) -> u64 {
+        self.out_bits.as_ref().map_or(0, |b| b.bytes() as u64)
+            + self.in_bits.as_ref().map_or(0, |b| b.bytes() as u64)
     }
 
     #[inline]
@@ -574,6 +634,55 @@ mod tests {
         oracle.has_counted(1, 0);
         oracle.has_counted(2, 0);
         assert_eq!(oracle.probes(), before + 2);
+    }
+
+    #[test]
+    fn build_within_degrades_bitmaps_under_tight_budgets() {
+        let dg = random_directed(100, 0.3, 7);
+        let policy = KernelPolicy::Adaptive(AdaptiveConfig {
+            gallop_crossover: 4,
+            hub_degree_threshold: 0,
+            max_hubs: usize::MAX,
+        });
+        // unlimited: full build, estimate matches the actual footprint
+        let full = Kernels::build_within(policy, &dg, None);
+        let est = HubBitmap::estimate_bytes(&dg, ListDir::Out, 0, usize::MAX)
+            + HubBitmap::estimate_bytes(&dg, ListDir::In, 0, usize::MAX);
+        assert_eq!(full.bytes(), est);
+        assert!(full.bytes() > 0);
+        // a halved budget keeps some rows but fewer than the full build
+        let half = Kernels::build_within(policy, &dg, Some(est / 2));
+        assert!(half.bytes() <= est / 2, "{} > {}", half.bytes(), est / 2);
+        assert!(half.out_bitmaps().is_some());
+        // a zero budget keeps the scan kernels but drops all bitmaps
+        let none = Kernels::build_within(policy, &dg, Some(0));
+        assert_eq!(none.bytes(), 0);
+        assert!(none.out_bitmaps().is_none());
+        assert_eq!(none.policy().name(), "adaptive");
+        // intersections still agree with the paper kernel after degrading
+        let paper = Kernels::paper();
+        for z in 0..dg.n() as u32 {
+            let out = dg.out(z);
+            for (j, &y) in out.iter().enumerate() {
+                let want = paper.count(&out[..j], None, dg.out(y), None).matches;
+                for k in [&half, &none] {
+                    let got = k
+                        .count(
+                            &out[..j],
+                            Some((z, ListDir::Out)),
+                            dg.out(y),
+                            Some((y, ListDir::Out)),
+                        )
+                        .matches;
+                    assert_eq!(got, want, "z={z} y={y}");
+                }
+            }
+        }
+        // paper policy ignores the budget entirely
+        assert_eq!(
+            Kernels::build_within(KernelPolicy::PaperFaithful, &dg, Some(0)).bytes(),
+            0
+        );
     }
 
     #[test]

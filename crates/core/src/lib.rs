@@ -40,6 +40,7 @@ pub mod lei;
 pub mod oracle;
 pub mod parallel;
 pub mod prior_art;
+pub mod resilient;
 pub mod sei;
 pub mod sink;
 pub mod unrelabeled;
@@ -50,9 +51,15 @@ pub use compressed::{e1_compressed, CompressedOut};
 pub use cost::CostReport;
 pub use kernel::{AdaptiveConfig, BitmapOracle, HubBitmap, KernelPolicy, Kernels, ListDir};
 pub use oracle::{EdgeOracle, HashOracle, SortedOracle};
-pub use parallel::{par_list, par_list_with, ParallelOpts, ParallelRun, ThreadStats};
+pub use parallel::{
+    par_list, par_list_with, ParallelError, ParallelOpts, ParallelRun, ThreadStats,
+};
 pub use prior_art::{chiba_nishizeki, forward};
-pub use sink::{FirstK, PerNodeCounter, ReservoirSink};
+pub use resilient::{
+    list_resilient, silence_injected_panics, CancelToken, ChunkFault, ChunkPiece, Fault, FaultPlan,
+    PartialRun, ResilientOpts, ResumePoint, RunBudget, RunOutcome, StopReason,
+};
+pub use sink::{FirstK, PerNodeCounter, ReservoirSink, TriangleBuffer};
 pub use unrelabeled::OrientedOnly;
 
 use rand::Rng;
@@ -156,6 +163,12 @@ impl Method {
             // E4 class: Complementary Round-Robin
             E4 | E6 => OrderFamily::ComplementaryRoundRobin,
         }
+    }
+
+    /// Inverse of [`Method::name`]: `"E4"` → `Some(Method::E4)`. Used by
+    /// the resume-point text format and CLI flags.
+    pub fn from_name(name: &str) -> Option<Method> {
+        Method::ALL.into_iter().find(|m| m.name() == name)
     }
 
     /// Display name matching the paper (`T1`, `E4`, …).

@@ -32,16 +32,20 @@
 //! Each worker also records chunks processed, chunks stolen, operations,
 //! and busy time, from which [`ParallelRun::load_balance_efficiency`]
 //! reports mean/max busy time — 1.0 is a perfectly balanced run.
+//!
+//! The scheduler itself lives in [`resilient`](crate::resilient), which
+//! adds run budgets, chunk-level panic quarantine with retry, and partial
+//! results. [`par_list`] is the plain entry point: no budget, fail-fast
+//! (one attempt per chunk), errors surfaced as a typed [`ParallelError`]
+//! instead of a panic.
 
 use crate::cost::CostReport;
 use crate::kernel::{BitmapOracle, KernelPolicy, Kernels};
 use crate::oracle::HashOracle;
+use crate::resilient::{self, ChunkFault, ResilientOpts, RunBudget, RunOutcome};
+use crate::sink::TriangleBuffer;
 use crate::{sei, vertex, Method};
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use trilist_order::DirectedGraph;
 
 /// Tuning knobs for [`par_list_with`].
@@ -83,6 +87,68 @@ impl ParallelOpts {
     }
 }
 
+/// What can go wrong in a parallel listing call — the typed replacement
+/// for the panics the runtime used to throw.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParallelError {
+    /// Parallel listing supports only the four fundamental methods
+    /// (Figure 5); the equivalence classes make the others redundant.
+    UnsupportedMethod(Method),
+    /// A chunk panicked on every allowed attempt. Carries the scheduling
+    /// context that used to be formatted into the resurfaced panic.
+    ChunkFailed {
+        /// The listing method that was running.
+        method: Method,
+        /// Worker executing the final failed attempt.
+        worker: usize,
+        /// Visited-node range of the failed chunk.
+        range: std::ops::Range<u32>,
+        /// Executions the chunk burned before being declared failed.
+        attempts: u32,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A resume point does not fit the graph or run it was offered to.
+    InvalidResume(String),
+}
+
+impl std::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelError::UnsupportedMethod(m) => {
+                write!(
+                    f,
+                    "parallel listing supports the fundamental methods, not {m}"
+                )
+            }
+            ParallelError::ChunkFailed {
+                method,
+                worker,
+                range,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "parallel {method} worker {worker} panicked while listing visited range \
+                 {}..{} ({attempts} attempt(s)): {message}",
+                range.start, range.end
+            ),
+            ParallelError::InvalidResume(msg) => write!(f, "invalid resume point: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+/// `Ok` iff `method` is one of the four fundamental methods.
+pub(crate) fn ensure_fundamental(method: Method) -> Result<(), ParallelError> {
+    if Method::FUNDAMENTAL.contains(&method) {
+        Ok(())
+    } else {
+        Err(ParallelError::UnsupportedMethod(method))
+    }
+}
+
 /// What one worker thread did during a run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ThreadStats {
@@ -110,6 +176,10 @@ pub struct ParallelRun {
     pub threads: Vec<ThreadStats>,
     /// Number of chunks the visited range was split into.
     pub chunks: usize,
+    /// Chunk executions that panicked but were recovered by retry (always
+    /// empty under [`par_list`], which allows a single attempt; populated
+    /// by the resilient runtime when retries saved the run).
+    pub faults: Vec<ChunkFault>,
 }
 
 impl ParallelRun {
@@ -138,7 +208,7 @@ impl ParallelRun {
 }
 
 /// Predicted elementary operations charged to visited node `v` — the load
-/// model used to size chunks.
+/// model used to size chunks. Errors on non-fundamental methods.
 ///
 /// T1/T2 are exact (eqs. 7–8). E1 charges the T1-local term *plus the
 /// remote out-list lengths* of `v`'s out-neighbors — the `h_{E1}` scan term
@@ -146,7 +216,13 @@ impl ParallelRun {
 /// under-charges. E4's remote term (the below-`z` prefix of each
 /// out-neighbor's in-list) is bounded by the full in-degree, which is the
 /// tightest proxy available without a binary search per edge.
-pub fn node_load(method: Method, g: &DirectedGraph, v: u32) -> u64 {
+pub fn node_load(method: Method, g: &DirectedGraph, v: u32) -> Result<u64, ParallelError> {
+    ensure_fundamental(method)?;
+    Ok(fundamental_load(method, g, v))
+}
+
+/// [`node_load`] after validation: callers guarantee a fundamental method.
+fn fundamental_load(method: Method, g: &DirectedGraph, v: u32) -> u64 {
     let (x, y) = (g.x(v) as u64, g.y(v) as u64);
     let local = x * x.saturating_sub(1) / 2;
     match method {
@@ -154,13 +230,16 @@ pub fn node_load(method: Method, g: &DirectedGraph, v: u32) -> u64 {
         Method::T2 => x * y,
         Method::E1 => local + g.out(v).iter().map(|&u| g.x(u) as u64).sum::<u64>(),
         Method::E4 => local + g.out(v).iter().map(|&u| g.y(u) as u64).sum::<u64>(),
-        other => panic!("parallel listing supports the fundamental methods, not {other}"),
+        _ => unreachable!("method validated as fundamental"),
     }
 }
 
 /// Per-node loads for the whole visited range (one `O(n + m)` pass).
-pub fn node_loads(method: Method, g: &DirectedGraph) -> Vec<u64> {
-    (0..g.n() as u32).map(|v| node_load(method, g, v)).collect()
+pub fn node_loads(method: Method, g: &DirectedGraph) -> Result<Vec<u64>, ParallelError> {
+    ensure_fundamental(method)?;
+    Ok((0..g.n() as u32)
+        .map(|v| fundamental_load(method, g, v))
+        .collect())
 }
 
 /// Splits `0..n` into consecutive chunks of at most ~`target_ops` predicted
@@ -170,14 +249,15 @@ pub fn chunk_ranges(
     method: Method,
     g: &DirectedGraph,
     target_ops: u64,
-) -> Vec<std::ops::Range<u32>> {
+) -> Result<Vec<std::ops::Range<u32>>, ParallelError> {
+    ensure_fundamental(method)?;
     let n = g.n() as u32;
     let target = target_ops.max(1);
     let mut ranges = Vec::new();
     let mut start = 0u32;
     let mut acc = 0u64;
     for v in 0..n {
-        let load = node_load(method, g, v);
+        let load = fundamental_load(method, g, v);
         if acc > 0 && acc + load > target {
             ranges.push(start..v);
             start = v;
@@ -188,7 +268,7 @@ pub fn chunk_ranges(
     if start < n || ranges.is_empty() {
         ranges.push(start..n);
     }
-    ranges
+    Ok(ranges)
 }
 
 /// Splits `0..n` into at most `chunks` ranges of roughly equal predicted
@@ -198,12 +278,12 @@ pub fn balanced_ranges(
     method: Method,
     g: &DirectedGraph,
     chunks: usize,
-) -> Vec<std::ops::Range<u32>> {
+) -> Result<Vec<std::ops::Range<u32>>, ParallelError> {
     let n = g.n() as u32;
-    let loads = node_loads(method, g);
+    let loads = node_loads(method, g)?;
     let total: u64 = loads.iter().sum();
     if chunks <= 1 || total == 0 {
-        return std::iter::once(0..n).collect();
+        return Ok(std::iter::once(0..n).collect());
     }
     let per_chunk = total.div_ceil(chunks as u64).max(1);
     let mut ranges = Vec::with_capacity(chunks);
@@ -218,30 +298,16 @@ pub fn balanced_ranges(
         }
     }
     ranges.push(start..n);
-    ranges
-}
-
-/// A worker panic caught mid-run, with the scheduling context that was
-/// executing.
-struct WorkerPanic {
-    worker: usize,
-    range: std::ops::Range<u32>,
-    message: String,
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
+    Ok(ranges)
 }
 
 /// Lists triangles with `method` using `threads` worker threads and the
 /// default chunk size. See [`par_list_with`].
-pub fn par_list(g: &DirectedGraph, method: Method, threads: usize) -> ParallelRun {
+pub fn par_list(
+    g: &DirectedGraph,
+    method: Method,
+    threads: usize,
+) -> Result<ParallelRun, ParallelError> {
     par_list_with(
         g,
         method,
@@ -260,177 +326,60 @@ pub fn par_list(g: &DirectedGraph, method: Method, threads: usize) -> ParallelRu
 /// Guarantees:
 /// - `cost` equals the sequential [`Method::run`] cost field-for-field;
 /// - `triangles` is in sequential emission order for any thread count;
-/// - a panic inside a worker (e.g. from a triangle sink) is resurfaced on
-///   the caller with the method and visited-node range that was executing.
-pub fn par_list_with(g: &DirectedGraph, method: Method, opts: &ParallelOpts) -> ParallelRun {
-    let oracle = match method {
-        Method::T1 | Method::T2 => Some(HashOracle::build(g)),
-        _ => None,
+/// - a panic inside a worker (e.g. from library code on a poisoned input)
+///   is returned as [`ParallelError::ChunkFailed`] with the method and
+///   visited-node range that was executing — never resurfaced as a panic.
+///
+/// This is the fail-fast path: no budget, a single attempt per chunk. For
+/// deadlines, memory ceilings, cancellation, retries, and partial results,
+/// use [`resilient::list_resilient`].
+pub fn par_list_with(
+    g: &DirectedGraph,
+    method: Method,
+    opts: &ParallelOpts,
+) -> Result<ParallelRun, ParallelError> {
+    let ropts = ResilientOpts {
+        parallel: *opts,
+        budget: RunBudget::unlimited(),
+        max_attempts: 1,
+        fault_plan: None,
     };
-    let ranges = chunk_ranges(method, g, opts.target_chunk_ops);
-    let policy = opts.policy;
-    run_scheduler(
-        &ranges,
-        opts.threads.max(1),
-        method.name(),
-        &|| Kernels::build(policy, g),
-        &|kernels, range| run_chunk(g, method, oracle.as_ref(), kernels, range),
-    )
-}
-
-/// One chunk's merged output, tagged with its index for the ordered merge.
-type ChunkResult = (usize, CostReport, Vec<(u32, u32, u32)>);
-
-/// What a worker computes for one visited-node range, given its
-/// worker-local state.
-type ChunkFn<'a, S> =
-    &'a (dyn Fn(&mut S, std::ops::Range<u32>) -> (CostReport, Vec<(u32, u32, u32)>) + Sync);
-
-/// The work-stealing scheduler, independent of what a chunk computes: runs
-/// `chunk_fn` over every range on `threads` workers and merges the results
-/// in chunk order. Each worker builds its own state with `init` exactly
-/// once at startup (kernel contexts, bitmaps, scratch buffers — never
-/// shared across threads) and hands it to every chunk it executes. A chunk
-/// panic stops the run and is resurfaced with `label` and the range that
-/// was executing.
-fn run_scheduler<S>(
-    ranges: &[std::ops::Range<u32>],
-    threads: usize,
-    label: &str,
-    init: &(dyn Fn() -> S + Sync),
-    chunk_fn: ChunkFn<'_, S>,
-) -> ParallelRun {
-    let chunks = ranges.len();
-
-    // All chunks start in the injector; workers drain batches into their
-    // own deques and steal from siblings once the injector is dry.
-    let injector: Injector<usize> = Injector::new();
-    for idx in 0..chunks {
-        injector.push(idx);
-    }
-    let workers: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_lifo()).collect();
-    let stealers: Vec<Stealer<usize>> = workers.iter().map(|w| w.stealer()).collect();
-    let stop = AtomicBool::new(false);
-    let failure: Mutex<Option<WorkerPanic>> = Mutex::new(None);
-
-    let mut per_worker: Vec<(ThreadStats, Vec<ChunkResult>)> = std::thread::scope(|scope| {
-        let (injector, stealers, stop, failure) = (&injector, &stealers, &stop, &failure);
-        let handles: Vec<_> = workers
-            .into_iter()
-            .enumerate()
-            .map(|(id, local)| {
-                scope.spawn(move || {
-                    let mut stats = ThreadStats::default();
-                    let mut results: Vec<ChunkResult> = Vec::new();
-                    let mut state = init();
-                    'work: while !stop.load(Ordering::Relaxed) {
-                        let (idx, stolen) = match next_task(id, &local, injector, stealers) {
-                            Some(task) => task,
-                            None => break 'work,
-                        };
-                        let range = ranges[idx].clone();
-                        let started = Instant::now();
-                        let outcome =
-                            catch_unwind(AssertUnwindSafe(|| chunk_fn(&mut state, range.clone())));
-                        stats.busy += started.elapsed();
-                        match outcome {
-                            Ok((cost, tris)) => {
-                                stats.chunks += 1;
-                                stats.steals += stolen as u64;
-                                stats.operations += cost.operations();
-                                results.push((idx, cost, tris));
-                            }
-                            Err(payload) => {
-                                *failure.lock().expect("failure mutex poisoned") =
-                                    Some(WorkerPanic {
-                                        worker: id,
-                                        range,
-                                        message: panic_message(payload.as_ref()),
-                                    });
-                                stop.store(true, Ordering::Relaxed);
-                                break 'work;
-                            }
-                        }
-                    }
-                    (stats, results)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread infrastructure panicked"))
-            .collect()
-    });
-
-    if let Some(panic) = failure.lock().expect("failure mutex poisoned").take() {
-        panic!(
-            "parallel {label} worker {} panicked while listing visited range {}..{}: {}",
-            panic.worker, panic.range.start, panic.range.end, panic.message
-        );
-    }
-
-    // Deterministic merge: accumulate in chunk order, which reproduces the
-    // sequential emission order exactly.
-    let mut all: Vec<ChunkResult> = per_worker
-        .iter_mut()
-        .flat_map(|(_, results)| results.drain(..))
-        .collect();
-    all.sort_unstable_by_key(|(idx, _, _)| *idx);
-    let mut cost = CostReport::default();
-    let mut triangles = Vec::new();
-    for (_, c, tris) in all {
-        cost.accumulate(&c);
-        triangles.extend(tris);
-    }
-    ParallelRun {
-        cost,
-        triangles,
-        threads: per_worker.into_iter().map(|(stats, _)| stats).collect(),
-        chunks,
+    match resilient::list_resilient(g, method, &ropts)? {
+        RunOutcome::Complete(run) => Ok(run),
+        RunOutcome::Partial(partial) => Err(chunk_error(method, &partial)),
     }
 }
 
-/// Next chunk for worker `id`: own deque, then an injector batch, then a
-/// steal sweep over siblings. Returns `(chunk, was_stolen)`.
-fn next_task(
-    id: usize,
-    local: &Worker<usize>,
-    injector: &Injector<usize>,
-    stealers: &[Stealer<usize>],
-) -> Option<(usize, bool)> {
-    if let Some(idx) = local.pop() {
-        return Some((idx, false));
+/// Converts a partial run under fail-fast settings into the typed error:
+/// with no budget the only way to fall short is a fatally failed chunk.
+fn chunk_error(method: Method, partial: &resilient::PartialRun) -> ParallelError {
+    match partial.faults.iter().find(|f| f.fatal) {
+        Some(f) => ParallelError::ChunkFailed {
+            method,
+            worker: f.worker,
+            range: f.range.clone(),
+            attempts: f.attempt + 1,
+            message: f.message.clone(),
+        },
+        None => ParallelError::InvalidResume(format!(
+            "run stopped early ({}) without a recorded fault",
+            partial.reason
+        )),
     }
-    loop {
-        match injector.steal_batch_and_pop(local) {
-            Steal::Success(idx) => return Some((idx, false)),
-            Steal::Empty => break,
-            Steal::Retry => continue,
-        }
-    }
-    let n = stealers.len();
-    let mut retry = true;
-    while std::mem::take(&mut retry) {
-        for shift in 1..n {
-            match stealers[(id + shift) % n].steal() {
-                Steal::Success(idx) => return Some((idx, true)),
-                Steal::Empty => {}
-                Steal::Retry => retry = true,
-            }
-        }
-    }
-    None
 }
 
-fn run_chunk(
+/// Executes one visited-node range, staging triangles in a
+/// [`TriangleBuffer`] so the scheduler can charge their footprint to the
+/// memory gauge before the ordered merge.
+pub(crate) fn run_chunk(
     g: &DirectedGraph,
     method: Method,
     oracle: Option<&HashOracle>,
     kernels: &Kernels,
     range: std::ops::Range<u32>,
-) -> (CostReport, Vec<(u32, u32, u32)>) {
-    let mut tris = Vec::new();
-    let sink = |x: u32, y: u32, z: u32| tris.push((x, y, z));
+) -> (CostReport, TriangleBuffer) {
+    let mut tris = TriangleBuffer::new();
+    let sink = |x: u32, y: u32, z: u32| tris.push(x, y, z);
     let cost = match method {
         Method::T1 | Method::T2 => {
             let base = oracle.expect("oracle built for vertex methods");
@@ -452,7 +401,7 @@ fn run_chunk(
         }
         Method::E1 => sei::e1_range_with(g, range, kernels, sink),
         Method::E4 => sei::e4_range_with(g, range, kernels, sink),
-        other => panic!("unsupported parallel method {other}"),
+        _ => unreachable!("method validated as fundamental"),
     };
     (cost, tris)
 }
@@ -499,11 +448,12 @@ mod tests {
             let mut seq_tris = Vec::new();
             let seq_cost = method.run(&dg, |x, y, z| seq_tris.push((x, y, z)));
             for threads in [1, 2, 4, 7] {
-                let run = par_list(&dg, method, threads);
+                let run = par_list(&dg, method, threads).unwrap();
                 // triangle *order* matches sequential, not just the set
                 assert_eq!(run.triangles, seq_tris, "{method} threads={threads}");
                 assert_eq!(run.cost, seq_cost, "{method} threads={threads}");
                 assert_eq!(run.threads.len(), threads);
+                assert!(run.faults.is_empty(), "{method} threads={threads}");
                 let processed: u64 = run.threads.iter().map(|t| t.chunks).sum();
                 assert_eq!(processed as usize, run.chunks, "{method} threads={threads}");
             }
@@ -514,9 +464,9 @@ mod tests {
     fn merged_output_is_thread_count_invariant() {
         let dg = pareto_fixture(3_000, 11);
         for method in Method::FUNDAMENTAL {
-            let one = par_list(&dg, method, 1);
+            let one = par_list(&dg, method, 1).unwrap();
             for threads in [2, 3, 8] {
-                let many = par_list(&dg, method, threads);
+                let many = par_list(&dg, method, threads).unwrap();
                 assert_eq!(one.triangles, many.triangles, "{method} threads={threads}");
                 assert_eq!(one.cost, many.cost, "{method} threads={threads}");
             }
@@ -528,7 +478,7 @@ mod tests {
         let dg = fixture();
         for method in Method::FUNDAMENTAL {
             for target in [64, 1024, u64::MAX] {
-                let ranges = chunk_ranges(method, &dg, target);
+                let ranges = chunk_ranges(method, &dg, target).unwrap();
                 assert!(!ranges.is_empty());
                 let mut expected = 0u32;
                 for r in &ranges {
@@ -545,7 +495,7 @@ mod tests {
     fn balanced_ranges_cover_everything_once() {
         let dg = fixture();
         for method in Method::FUNDAMENTAL {
-            let ranges = balanced_ranges(method, &dg, 5);
+            let ranges = balanced_ranges(method, &dg, 5).unwrap();
             assert!(!ranges.is_empty() && ranges.len() <= 6);
             let mut expected = 0u32;
             for r in &ranges {
@@ -562,13 +512,13 @@ mod tests {
         // α = 1.5 power-law graph: no chunk above ~2× the mean
         let dg = pareto_fixture(10_000, 15);
         for method in Method::FUNDAMENTAL {
-            let loads = node_loads(method, &dg);
+            let loads = node_loads(method, &dg).unwrap();
             let total: u64 = loads.iter().sum();
             let max_node = loads.iter().copied().max().unwrap_or(0);
             // target comfortably above the heaviest single node, so chunk
             // granularity (whole visited nodes) is not the binding limit
             let target = (total / 256).max(2 * max_node).max(1);
-            let ranges = chunk_ranges(method, &dg, target);
+            let ranges = chunk_ranges(method, &dg, target).unwrap();
             let chunk_loads: Vec<u64> = ranges
                 .iter()
                 .map(|r| r.clone().map(|v| loads[v as usize]).sum())
@@ -594,10 +544,10 @@ mod tests {
             let x = dg.x(v) as u64;
             let local = x * x.saturating_sub(1) / 2;
             let remote: u64 = dg.out(v).iter().map(|&u| dg.x(u) as u64).sum();
-            assert_eq!(node_load(Method::E1, &dg, v), local + remote);
+            assert_eq!(node_load(Method::E1, &dg, v).unwrap(), local + remote);
         }
         // and the model totals the exact E1 operation count
-        let total: u64 = node_loads(Method::E1, &dg).iter().sum();
+        let total: u64 = node_loads(Method::E1, &dg).unwrap().iter().sum();
         let cost = Method::E1.run(&dg, |_, _, _| {});
         assert_eq!(total, cost.operations());
     }
@@ -605,7 +555,7 @@ mod tests {
     #[test]
     fn telemetry_accounts_all_work() {
         let dg = pareto_fixture(3_000, 4);
-        let run = par_list(&dg, Method::E1, 4);
+        let run = par_list(&dg, Method::E1, 4).unwrap();
         let seq_cost = Method::E1.run(&dg, |_, _, _| {});
         let thread_ops: u64 = run.threads.iter().map(|t| t.operations).sum();
         assert_eq!(thread_ops, seq_cost.operations());
@@ -622,7 +572,7 @@ mod tests {
     fn single_node_graph() {
         let g = trilist_graph::Graph::from_edges(1, &[]).unwrap();
         let dg = DirectedGraph::orient(&g, &Relabeling::identity(1));
-        let run = par_list(&dg, Method::E1, 8);
+        let run = par_list(&dg, Method::E1, 8).unwrap();
         assert_eq!(run.cost.triangles, 0);
         assert!(run.triangles.is_empty());
         // one chunk on eight workers: the efficiency metric must report
@@ -632,46 +582,45 @@ mod tests {
     }
 
     #[test]
-    fn rejects_non_fundamental() {
+    fn rejects_non_fundamental_with_typed_error() {
         let dg = fixture();
-        let err = std::panic::catch_unwind(|| par_list(&dg, Method::T3, 2))
-            .expect_err("T3 must be rejected");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-            .unwrap_or_default();
+        // every non-fundamental method is rejected across the whole API
+        // surface — as a value, not a panic
+        for method in Method::ALL {
+            if Method::FUNDAMENTAL.contains(&method) {
+                continue;
+            }
+            assert_eq!(
+                par_list(&dg, method, 2).unwrap_err(),
+                ParallelError::UnsupportedMethod(method)
+            );
+            assert!(node_load(method, &dg, 0).is_err());
+            assert!(node_loads(method, &dg).is_err());
+            assert!(chunk_ranges(method, &dg, 1024).is_err());
+            assert!(balanced_ranges(method, &dg, 4).is_err());
+        }
+        let msg = ParallelError::UnsupportedMethod(Method::T3).to_string();
         assert!(
             msg.contains("parallel listing supports the fundamental methods"),
-            "unexpected panic message: {msg}"
+            "unexpected message: {msg}"
         );
     }
 
     #[test]
-    fn chunk_panic_reports_label_and_range() {
-        // a panic inside chunk execution (e.g. a user sink) must resurface
-        // with the method label and the visited-node range that was
-        // executing, not as a bare "worker panicked"
-        let ranges: Vec<std::ops::Range<u32>> = (0..16).map(|i| i * 10..(i + 1) * 10).collect();
-        let err = std::panic::catch_unwind(|| {
-            run_scheduler(&ranges, 4, "E1", &|| (), &|(), range| {
-                if range.start == 70 {
-                    panic!("sink exploded");
-                }
-                (CostReport::default(), Vec::new())
-            })
-        })
-        .expect_err("injected panic must propagate");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-            .unwrap_or_default();
+    fn chunk_failure_error_carries_scheduling_context() {
+        let err = ParallelError::ChunkFailed {
+            method: Method::E1,
+            worker: 2,
+            range: 70..80,
+            attempts: 1,
+            message: "sink exploded".to_string(),
+        };
+        let msg = err.to_string();
         assert!(
-            msg.contains("parallel E1 worker")
+            msg.contains("parallel E1 worker 2")
                 && msg.contains("visited range 70..80")
                 && msg.contains("sink exploded"),
-            "panic context missing: {msg}"
+            "context missing: {msg}"
         );
     }
 
@@ -692,7 +641,8 @@ mod tests {
                     target_chunk_ops: 1024,
                     policy: KernelPolicy::adaptive(),
                 },
-            );
+            )
+            .unwrap();
             assert_eq!(run.triangles, seq, "{method}");
             assert_eq!(run.cost.triangles, seq_cost.triangles, "{method}");
             assert_eq!(run.cost.local, seq_cost.local, "{method}");
@@ -716,7 +666,8 @@ mod tests {
                 target_chunk_ops: 512,
                 policy: KernelPolicy::PaperFaithful,
             },
-        );
+        )
+        .unwrap();
         let processed: u64 = run.threads.iter().map(|t| t.chunks).sum();
         assert_eq!(processed as usize, run.chunks);
         assert!(run.total_steals() <= processed);

@@ -1,0 +1,1244 @@
+//! The resilience layer over the work-stealing runtime: run budgets,
+//! chunk-level fault isolation with retry, and partial-result delivery.
+//!
+//! The ROADMAP's north star is a production-scale listing service, and a
+//! production runtime cannot let one poisoned chunk abort a multi-minute
+//! run, nor run unbounded in wall-clock or memory (Berry et al. on
+//! adversarial real-world inputs; AOT on memory-footprint-bound listing).
+//! This module threads three guarantees through the scheduler in
+//! [`parallel`](crate::parallel):
+//!
+//! 1. **Budgets.** A [`RunBudget`] (deadline, cooperative [`CancelToken`],
+//!    approximate memory ceiling) is checked by every worker at each chunk
+//!    boundary, so a triggered budget stops the run within one chunk's
+//!    worth of work — never mid-chunk, so the completed prefix is always
+//!    well-formed.
+//! 2. **Fault isolation.** A panicking chunk is quarantined, not fatal:
+//!    it goes back to the shared queue (so with more than one worker the
+//!    retry usually lands elsewhere) up to [`ResilientOpts::max_attempts`]
+//!    times, with the final attempt running *degraded* — paper-faithful
+//!    kernels, no adaptive state — in case worker-local kernel state was
+//!    implicated. Only when retries exhaust is the chunk reported failed,
+//!    and even then the rest of the run completes.
+//! 3. **Partial results.** On any early stop the caller gets a
+//!    [`PartialRun`]: completed per-chunk [`CostReport`]s and triangles
+//!    plus a [`ResumePoint`] of unvisited ranges. Resuming and merging is
+//!    byte-identical to an uninterrupted run, because chunks are merged by
+//!    chunk index and every chunk's output is schedule-independent.
+//!
+//! A deterministic, seeded [`FaultPlan`] (panic-at-chunk, slow-chunk,
+//! alloc-pressure) drives the differential suite in `tests/resilience.rs`:
+//! faults are decided by hashing `(seed, chunk, attempt)`, so a plan
+//! reproduces exactly across thread counts and steal schedules.
+
+use crate::cost::CostReport;
+use crate::kernel::Kernels;
+use crate::oracle::HashOracle;
+use crate::parallel::{
+    chunk_ranges, ensure_fundamental, run_chunk, ParallelError, ParallelRun, ThreadStats,
+};
+use crate::sink::TriangleBuffer;
+use crate::Method;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+use trilist_order::DirectedGraph;
+
+/// Poison-tolerant lock: a worker that panicked while holding the mutex
+/// must not cascade into a second panic on the merge path.
+pub(crate) fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Cooperative cancellation handle: clone it, hand one clone to the run,
+/// and call [`CancelToken::cancel`] from anywhere (another thread, a signal
+/// handler) to stop the run at the next chunk boundary.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`CancelToken::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a run stopped before completing every chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+    /// The approximate memory gauge crossed the ceiling.
+    MemoryExhausted,
+    /// At least one chunk exhausted all retry attempts (the rest of the
+    /// run still completed; the failed ranges are in the resume point).
+    ChunkFailed,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopReason::DeadlineExceeded => "deadline exceeded",
+            StopReason::Cancelled => "cancelled",
+            StopReason::MemoryExhausted => "memory budget exhausted",
+            StopReason::ChunkFailed => "chunk failed after all retries",
+        })
+    }
+}
+
+/// Declarative limits for one run. The default is unlimited (no deadline,
+/// no ceiling, no token), which reproduces the plain runtime exactly.
+#[derive(Clone, Debug, Default)]
+pub struct RunBudget {
+    /// Wall-clock allowance measured from [`RunBudget::start`].
+    pub deadline: Option<Duration>,
+    /// Approximate memory ceiling in bytes. The gauge counts the dominant
+    /// allocations — hash-oracle build, per-worker kernel bitmaps, staged
+    /// triangles — not every byte, so treat it as a guardrail, not `rusage`.
+    pub memory_bytes: Option<u64>,
+    /// Cooperative cancellation token, checked at chunk boundaries.
+    pub cancel: Option<CancelToken>,
+}
+
+impl RunBudget {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// With a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// With an approximate memory ceiling in bytes.
+    pub fn with_memory_bytes(mut self, bytes: u64) -> Self {
+        self.memory_bytes = Some(bytes);
+        self
+    }
+
+    /// With a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.memory_bytes.is_none() && self.cancel.is_none()
+    }
+
+    /// Arms the budget: the deadline clock starts now.
+    pub fn start(&self) -> ActiveBudget {
+        let now = Instant::now();
+        ActiveBudget {
+            started: now,
+            deadline: self.deadline.map(|d| now + d),
+            memory_limit: self.memory_bytes,
+            cancel: self.cancel.clone(),
+            used: AtomicU64::new(0),
+        }
+    }
+}
+
+/// An armed [`RunBudget`]: the deadline instant plus the shared memory
+/// gauge that workers charge as they allocate.
+#[derive(Debug)]
+pub struct ActiveBudget {
+    started: Instant,
+    deadline: Option<Instant>,
+    memory_limit: Option<u64>,
+    cancel: Option<CancelToken>,
+    used: AtomicU64,
+}
+
+impl ActiveBudget {
+    /// First triggered limit, if any — cancellation wins over the deadline,
+    /// the deadline over memory (the cheaper checks first).
+    pub fn check(&self) -> Option<StopReason> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::DeadlineExceeded);
+            }
+        }
+        if let Some(limit) = self.memory_limit {
+            if self.used.load(Ordering::Relaxed) > limit {
+                return Some(StopReason::MemoryExhausted);
+            }
+        }
+        None
+    }
+
+    /// Charge `bytes` to the memory gauge.
+    pub fn add_memory(&self, bytes: u64) {
+        self.used.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Return `bytes` to the gauge (e.g. a pass-local column was dropped).
+    pub fn release_memory(&self, bytes: u64) {
+        let _ = self
+            .used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
+                Some(u.saturating_sub(bytes))
+            });
+    }
+
+    /// Bytes currently charged.
+    pub fn memory_used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes left under the ceiling (`None` = unlimited).
+    pub fn remaining_memory(&self) -> Option<u64> {
+        self.memory_limit
+            .map(|l| l.saturating_sub(self.memory_used()))
+    }
+
+    /// Wall time since the budget was armed.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// What a [`FaultPlan`] injects into one chunk execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic before the chunk body runs.
+    Panic,
+    /// Sleep this long before the chunk body runs.
+    Slow(Duration),
+    /// Allocate (and charge to the memory gauge) this many bytes.
+    Alloc(u64),
+}
+
+/// Deterministic, seeded fault injector for the differential suite.
+///
+/// Whether chunk `c` faults on attempt `a` is a pure function of
+/// `(seed, c, a)` — independent of thread count, steal schedule, and chunk
+/// count — so a failing fault schedule replays exactly from its seed.
+/// Rates are per-mille (0–1000) over chunks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed feeding the per-chunk hash.
+    pub seed: u64,
+    /// Per-mille of chunks that panic.
+    pub panic_permille: u16,
+    /// A selected chunk panics on attempts `0..panic_attempts` and then
+    /// succeeds — set it at or above the run's `max_attempts` to make the
+    /// fault permanent.
+    pub panic_attempts: u32,
+    /// Per-mille of chunks delayed (every attempt).
+    pub slow_permille: u16,
+    /// Delay applied to slow chunks.
+    pub slow: Duration,
+    /// Per-mille of chunks that allocate ballast (every attempt).
+    pub alloc_permille: u16,
+    /// Ballast size charged to the memory gauge per selected chunk.
+    pub alloc_bytes: u64,
+}
+
+impl FaultPlan {
+    /// A mixed plan exercising all three fault kinds at moderate rates:
+    /// 15% of chunks panic once (recoverable with retries), 10% are slowed
+    /// by 200µs, 10% allocate 1 MiB of ballast.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_permille: 150,
+            panic_attempts: 1,
+            slow_permille: 100,
+            slow: Duration::from_micros(200),
+            alloc_permille: 100,
+            alloc_bytes: 1 << 20,
+        }
+    }
+
+    /// Pure panic plan: `permille` of chunks panic on their first
+    /// `attempts` attempts.
+    pub fn panic_at(seed: u64, permille: u16, attempts: u32) -> Self {
+        FaultPlan {
+            seed,
+            panic_permille: permille,
+            panic_attempts: attempts,
+            slow_permille: 0,
+            slow: Duration::ZERO,
+            alloc_permille: 0,
+            alloc_bytes: 0,
+        }
+    }
+
+    /// Pure slow-chunk plan.
+    pub fn slow_chunks(seed: u64, permille: u16, delay: Duration) -> Self {
+        FaultPlan {
+            seed,
+            panic_permille: 0,
+            panic_attempts: 0,
+            slow_permille: permille,
+            slow: delay,
+            alloc_permille: 0,
+            alloc_bytes: 0,
+        }
+    }
+
+    /// Pure alloc-pressure plan.
+    pub fn alloc_pressure(seed: u64, permille: u16, bytes: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_permille: 0,
+            panic_attempts: 0,
+            slow_permille: 0,
+            slow: Duration::ZERO,
+            alloc_permille: permille,
+            alloc_bytes: bytes,
+        }
+    }
+
+    /// The fault injected into `(chunk, attempt)`, if any. Panic takes
+    /// precedence over slow over alloc when a chunk is selected by more
+    /// than one rate.
+    pub fn fault_for(&self, chunk: u32, attempt: u32) -> Option<Fault> {
+        if roll(self.seed, 0x5041_4e49, chunk) < self.panic_permille
+            && attempt < self.panic_attempts
+        {
+            return Some(Fault::Panic);
+        }
+        if roll(self.seed, 0x534c_4f57, chunk) < self.slow_permille {
+            return Some(Fault::Slow(self.slow));
+        }
+        if roll(self.seed, 0x414c_4c43, chunk) < self.alloc_permille {
+            return Some(Fault::Alloc(self.alloc_bytes));
+        }
+        None
+    }
+
+    /// Executes the injected fault (called inside the chunk's panic
+    /// isolation). Alloc ballast really allocates (capped at 4 MiB of
+    /// touched memory) and charges the *nominal* size to the gauge.
+    pub(crate) fn inject(&self, chunk: u32, attempt: u32, budget: &ActiveBudget) {
+        match self.fault_for(chunk, attempt) {
+            Some(Fault::Panic) => {
+                panic!("injected fault: panic at chunk {chunk} attempt {attempt}")
+            }
+            Some(Fault::Slow(delay)) => std::thread::sleep(delay),
+            Some(Fault::Alloc(bytes)) => {
+                let ballast = vec![0xA5u8; bytes.min(1 << 22) as usize];
+                std::hint::black_box(&ballast);
+                budget.add_memory(bytes);
+            }
+            None => {}
+        }
+    }
+}
+
+/// Installs a process-wide panic hook that swallows the default report for
+/// panics raised by [`FaultPlan`] injection (payloads beginning with
+/// `injected fault`), so fault-heavy runs don't flood stderr with
+/// backtraces for panics the scheduler is designed to absorb. All other
+/// panics still reach the previously installed hook. Idempotent.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.starts_with("injected fault"))
+                .unwrap_or(false);
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// splitmix64 finalizer — the per-chunk hash behind [`FaultPlan`].
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform-ish draw in `0..1000` from `(seed, salt, chunk)`.
+fn roll(seed: u64, salt: u64, chunk: u32) -> u16 {
+    (mix(mix(seed ^ salt) ^ chunk as u64) % 1000) as u16
+}
+
+/// One chunk execution that panicked: the quarantine record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkFault {
+    /// Global chunk index.
+    pub chunk: u32,
+    /// Visited-node range the chunk covers.
+    pub range: Range<u32>,
+    /// Worker that was executing.
+    pub worker: usize,
+    /// Zero-based attempt number that faulted.
+    pub attempt: u32,
+    /// The panic payload, stringified.
+    pub message: String,
+    /// True when this was the final allowed attempt (the chunk is
+    /// permanently failed; its range appears in the resume point).
+    pub fatal: bool,
+}
+
+/// One completed chunk's output, tagged with its global index so partial
+/// and resumed runs merge in the exact sequential order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkPiece {
+    /// Global chunk index (position in the original chunking).
+    pub chunk: u32,
+    /// Visited-node range the chunk covers.
+    pub range: Range<u32>,
+    /// The chunk's operation counts.
+    pub cost: CostReport,
+    /// The chunk's triangles, in emission order.
+    pub triangles: Vec<(u32, u32, u32)>,
+}
+
+/// The unvisited remainder of an interrupted run, serializable to a stable
+/// one-line text format (see [`std::fmt::Display`] /
+/// [`std::str::FromStr`]) so it can be checkpointed and resumed by a later
+/// process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResumePoint {
+    /// The listing method of the original run.
+    pub method: Method,
+    /// Node count of the graph the chunking was computed for (resume
+    /// refuses a graph of a different size).
+    pub n: u32,
+    /// `(chunk index, visited range)` still to execute, ascending.
+    pub ranges: Vec<(u32, Range<u32>)>,
+}
+
+impl ResumePoint {
+    /// Chunks still unvisited.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Executes the remaining chunks. The merged result of the partial
+    /// run's pieces plus these (see [`PartialRun::resume_with`]) is
+    /// byte-identical to an uninterrupted run.
+    pub fn run(
+        &self,
+        g: &DirectedGraph,
+        opts: &ResilientOpts,
+    ) -> Result<RunOutcome, ParallelError> {
+        check_graph(self.n, g)?;
+        run_jobs(g, self.method, &self.ranges, opts, Vec::new())
+    }
+}
+
+/// `trilist-resume v1 <method> n=<n> <chunk>:<start>-<end> ...`
+impl std::fmt::Display for ResumePoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trilist-resume v1 {} n={}", self.method, self.n)?;
+        for (chunk, r) in &self.ranges {
+            write!(f, " {chunk}:{}-{}", r.start, r.end)?;
+        }
+        Ok(())
+    }
+}
+
+/// A [`ResumePoint`] that failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResumeParseError(String);
+
+impl std::fmt::Display for ResumeParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid resume point: {}", self.0)
+    }
+}
+
+impl std::error::Error for ResumeParseError {}
+
+impl std::str::FromStr for ResumePoint {
+    type Err = ResumeParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |m: &str| ResumeParseError(m.to_string());
+        let mut tokens = s.split_whitespace();
+        if tokens.next() != Some("trilist-resume") {
+            return Err(err("missing trilist-resume magic"));
+        }
+        if tokens.next() != Some("v1") {
+            return Err(err("unsupported version (expected v1)"));
+        }
+        let method = tokens
+            .next()
+            .and_then(Method::from_name)
+            .ok_or_else(|| err("bad method token"))?;
+        let n = tokens
+            .next()
+            .and_then(|t| t.strip_prefix("n="))
+            .and_then(|t| t.parse::<u32>().ok())
+            .ok_or_else(|| err("bad n= token"))?;
+        let mut ranges = Vec::new();
+        for tok in tokens {
+            let (chunk, span) = tok.split_once(':').ok_or_else(|| err("bad range token"))?;
+            let (start, end) = span.split_once('-').ok_or_else(|| err("bad range token"))?;
+            let chunk = chunk.parse::<u32>().map_err(|_| err("bad chunk index"))?;
+            let start = start.parse::<u32>().map_err(|_| err("bad range start"))?;
+            let end = end.parse::<u32>().map_err(|_| err("bad range end"))?;
+            if start > end || end > n {
+                return Err(err("range outside 0..n"));
+            }
+            ranges.push((chunk, start..end));
+        }
+        Ok(ResumePoint { method, n, ranges })
+    }
+}
+
+/// An interrupted run: everything completed so far plus what remains.
+#[derive(Clone, Debug)]
+pub struct PartialRun {
+    /// Why the run stopped early.
+    pub reason: StopReason,
+    /// Completed chunks, ascending by chunk index.
+    pub completed: Vec<ChunkPiece>,
+    /// The unvisited remainder.
+    pub resume: ResumePoint,
+    /// Every quarantined chunk execution (recovered and fatal).
+    pub faults: Vec<ChunkFault>,
+    /// Per-worker telemetry.
+    pub threads: Vec<ThreadStats>,
+}
+
+impl PartialRun {
+    /// Merged cost of the completed chunks.
+    pub fn cost(&self) -> CostReport {
+        let mut cost = CostReport::default();
+        for p in &self.completed {
+            cost.accumulate(&p.cost);
+        }
+        cost
+    }
+
+    /// Completed triangles, in sequential (chunk) order.
+    pub fn triangles(&self) -> Vec<(u32, u32, u32)> {
+        self.completed
+            .iter()
+            .flat_map(|p| p.triangles.iter().copied())
+            .collect()
+    }
+
+    /// Chunks completed before the stop.
+    pub fn completed_chunks(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Total chunks in the original run.
+    pub fn total_chunks(&self) -> usize {
+        self.completed.len() + self.resume.ranges.len()
+    }
+
+    /// Executes the unvisited remainder and merges it with the completed
+    /// pieces. A `Complete` outcome is byte-identical — triangles and every
+    /// cost field — to the same run never having been interrupted (under
+    /// the paper-faithful policy; adaptive policies may differ in the
+    /// `pointer_advances` implementation metric only).
+    pub fn resume_with(
+        &self,
+        g: &DirectedGraph,
+        opts: &ResilientOpts,
+    ) -> Result<RunOutcome, ParallelError> {
+        check_graph(self.resume.n, g)?;
+        run_jobs(
+            g,
+            self.resume.method,
+            &self.resume.ranges,
+            opts,
+            self.completed.clone(),
+        )
+    }
+}
+
+/// The outcome of a budgeted run.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// Every chunk completed; identical shape to the plain runtime's
+    /// result.
+    Complete(ParallelRun),
+    /// The run stopped early; completed work and a resume point inside.
+    Partial(PartialRun),
+}
+
+impl RunOutcome {
+    /// Did every chunk complete?
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Complete(_))
+    }
+
+    /// The complete run, if it is one.
+    pub fn complete(self) -> Option<ParallelRun> {
+        match self {
+            RunOutcome::Complete(run) => Some(run),
+            RunOutcome::Partial(_) => None,
+        }
+    }
+
+    /// The partial run, if it is one.
+    pub fn partial(self) -> Option<PartialRun> {
+        match self {
+            RunOutcome::Complete(_) => None,
+            RunOutcome::Partial(p) => Some(p),
+        }
+    }
+}
+
+/// Options for a resilient run: the plain scheduler knobs plus budget,
+/// retry limit, and (for tests) a fault plan.
+#[derive(Clone, Debug)]
+pub struct ResilientOpts {
+    /// Scheduler knobs (threads, chunk size, kernel policy).
+    pub parallel: crate::parallel::ParallelOpts,
+    /// Limits checked at chunk boundaries.
+    pub budget: RunBudget,
+    /// Executions allowed per chunk (clamped to at least 1). The final
+    /// attempt runs degraded: paper-faithful kernels, no adaptive state.
+    pub max_attempts: u32,
+    /// Deterministic fault injection, for the differential suite.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ResilientOpts {
+    fn default() -> Self {
+        ResilientOpts {
+            parallel: crate::parallel::ParallelOpts::default(),
+            budget: RunBudget::unlimited(),
+            max_attempts: 3,
+            fault_plan: None,
+        }
+    }
+}
+
+impl ResilientOpts {
+    /// Defaults with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ResilientOpts {
+            parallel: crate::parallel::ParallelOpts::with_threads(threads),
+            ..Self::default()
+        }
+    }
+}
+
+/// Lists triangles under budgets and fault isolation. The entry point of
+/// the resilience layer: chunk the visited range exactly as the plain
+/// runtime would, then run every chunk through the retrying scheduler.
+pub fn list_resilient(
+    g: &DirectedGraph,
+    method: Method,
+    opts: &ResilientOpts,
+) -> Result<RunOutcome, ParallelError> {
+    ensure_fundamental(method)?;
+    let ranges = chunk_ranges(method, g, opts.parallel.target_chunk_ops)?;
+    let jobs: Vec<(u32, Range<u32>)> = ranges
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (i as u32, r))
+        .collect();
+    run_jobs(g, method, &jobs, opts, Vec::new())
+}
+
+fn check_graph(n: u32, g: &DirectedGraph) -> Result<(), ParallelError> {
+    if g.n() as u32 != n {
+        return Err(ParallelError::InvalidResume(format!(
+            "resume point is for n={n}, graph has n={}",
+            g.n()
+        )));
+    }
+    Ok(())
+}
+
+/// Approximate bytes held by [`HashOracle::build`]: one `u64` key per
+/// directed edge plus hash-table overhead.
+fn oracle_estimate_bytes(m: usize) -> u64 {
+    m as u64 * 12
+}
+
+/// Runs `jobs` (pre-chunked, globally indexed ranges) through the
+/// retrying scheduler and merges with `prior` completed pieces.
+fn run_jobs(
+    g: &DirectedGraph,
+    method: Method,
+    jobs: &[(u32, Range<u32>)],
+    opts: &ResilientOpts,
+    prior: Vec<ChunkPiece>,
+) -> Result<RunOutcome, ParallelError> {
+    ensure_fundamental(method)?;
+    let n = g.n() as u32;
+    for (chunk, r) in jobs {
+        if r.start > r.end || r.end > n {
+            return Err(ParallelError::InvalidResume(format!(
+                "chunk {chunk} range {}..{} outside 0..{n}",
+                r.start, r.end
+            )));
+        }
+    }
+    let budget = opts.budget.start();
+    let oracle = match method {
+        Method::T1 | Method::T2 => {
+            budget.add_memory(oracle_estimate_bytes(g.m()));
+            Some(HashOracle::build(g))
+        }
+        _ => None,
+    };
+    let threads = opts.parallel.threads.max(1);
+    let policy = opts.parallel.policy;
+    let outcome = run_schedule(
+        jobs,
+        threads,
+        opts.max_attempts.max(1),
+        &budget,
+        opts.fault_plan.as_ref(),
+        &|| {
+            // each worker gets an equal share of whatever memory remains,
+            // so concurrent kernel builds cannot jointly blow the ceiling
+            let allowance = budget.remaining_memory().map(|r| r / threads as u64);
+            let kernels = Kernels::build_within(policy, g, allowance);
+            budget.add_memory(kernels.bytes());
+            kernels
+        },
+        &|kernels, range, degraded| {
+            if degraded {
+                run_chunk(g, method, oracle.as_ref(), &Kernels::paper(), range)
+            } else {
+                run_chunk(g, method, oracle.as_ref(), kernels, range)
+            }
+        },
+    );
+    Ok(conclude(method, n, jobs, prior, outcome))
+}
+
+/// One chunk's merged output, tagged with its global index.
+type ChunkOutput = (u32, CostReport, Vec<(u32, u32, u32)>);
+
+/// What the scheduler hands back before the ordered merge.
+struct ScheduleOutcome {
+    results: Vec<ChunkOutput>,
+    threads: Vec<ThreadStats>,
+    faults: Vec<ChunkFault>,
+    stop: Option<StopReason>,
+}
+
+/// Worker-local state builder (kernel contexts, scratch — never shared).
+type InitFn<'a, S> = &'a (dyn Fn() -> S + Sync);
+
+/// What a worker computes for one visited range; the `bool` asks for the
+/// degraded (paper-faithful) path on a final retry.
+type ExecFn<'a, S> = &'a (dyn Fn(&mut S, Range<u32>, bool) -> (CostReport, TriangleBuffer) + Sync);
+
+/// The work-stealing scheduler with budget checks, panic quarantine, and
+/// retry. Independent of what a chunk computes.
+///
+/// Every worker: check `stop`, check the budget, pop a task (own deque →
+/// injector batch → steal sweep), execute it inside `catch_unwind`. A
+/// panicking task goes back to the *injector* with its attempt count
+/// bumped — the panicking worker stays in its loop, so a requeued task can
+/// never be orphaned even if every other worker has already drained out —
+/// and on the final allowed attempt `exec` is asked to run degraded. A
+/// triggered budget records the first [`StopReason`] and stops all workers
+/// at their next boundary; in-flight chunks finish, so completed output is
+/// never torn.
+fn run_schedule<S>(
+    jobs: &[(u32, Range<u32>)],
+    threads: usize,
+    max_attempts: u32,
+    budget: &ActiveBudget,
+    plan: Option<&FaultPlan>,
+    init: InitFn<'_, S>,
+    exec: ExecFn<'_, S>,
+) -> ScheduleOutcome {
+    // tasks are (job slot, attempt) pairs; all start at attempt 0
+    let injector: Injector<(u32, u32)> = Injector::new();
+    for slot in 0..jobs.len() as u32 {
+        injector.push((slot, 0));
+    }
+    let workers: Vec<Worker<(u32, u32)>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<(u32, u32)>> = workers.iter().map(|w| w.stealer()).collect();
+    let stop = AtomicBool::new(false);
+    let verdict: Mutex<Option<StopReason>> = Mutex::new(None);
+    let faults: Mutex<Vec<ChunkFault>> = Mutex::new(Vec::new());
+
+    let mut per_worker: Vec<(ThreadStats, Vec<ChunkOutput>)> = std::thread::scope(|scope| {
+        let (injector, stealers, stop, verdict, faults) =
+            (&injector, &stealers, &stop, &verdict, &faults);
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(id, local)| {
+                scope.spawn(move || {
+                    let mut stats = ThreadStats::default();
+                    let mut results: Vec<ChunkOutput> = Vec::new();
+                    let mut state = init();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Some(reason) = budget.check() {
+                            let mut v = lock_tolerant(verdict);
+                            if v.is_none() {
+                                *v = Some(reason);
+                            }
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        let ((slot, attempt), stolen) =
+                            match next_task(id, &local, injector, stealers) {
+                                Some(task) => task,
+                                None => break,
+                            };
+                        let (chunk, range) = &jobs[slot as usize];
+                        let degraded = attempt > 0 && attempt + 1 >= max_attempts;
+                        let started = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(plan) = plan {
+                                plan.inject(*chunk, attempt, budget);
+                            }
+                            exec(&mut state, range.clone(), degraded)
+                        }));
+                        stats.busy += started.elapsed();
+                        match outcome {
+                            Ok((cost, tris)) => {
+                                budget.add_memory(tris.bytes());
+                                stats.chunks += 1;
+                                stats.steals += stolen as u64;
+                                stats.operations =
+                                    stats.operations.saturating_add(cost.operations());
+                                results.push((*chunk, cost, tris.into_vec()));
+                            }
+                            Err(payload) => {
+                                let fatal = attempt + 1 >= max_attempts;
+                                lock_tolerant(faults).push(ChunkFault {
+                                    chunk: *chunk,
+                                    range: range.clone(),
+                                    worker: id,
+                                    attempt,
+                                    message: panic_message(payload.as_ref()),
+                                    fatal,
+                                });
+                                if !fatal {
+                                    injector.push((slot, attempt + 1));
+                                }
+                            }
+                        }
+                    }
+                    (stats, results)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread infrastructure panicked"))
+            .collect()
+    });
+
+    let results = per_worker
+        .iter_mut()
+        .flat_map(|(_, r)| r.drain(..))
+        .collect();
+    ScheduleOutcome {
+        results,
+        threads: per_worker.into_iter().map(|(s, _)| s).collect(),
+        faults: faults.into_inner().unwrap_or_else(PoisonError::into_inner),
+        stop: verdict.into_inner().unwrap_or_else(PoisonError::into_inner),
+    }
+}
+
+/// Merges scheduler output (plus prior pieces from an interrupted run)
+/// into the final outcome: complete when every job has a piece, partial
+/// with a resume point otherwise.
+fn conclude(
+    method: Method,
+    n: u32,
+    jobs: &[(u32, Range<u32>)],
+    prior: Vec<ChunkPiece>,
+    out: ScheduleOutcome,
+) -> RunOutcome {
+    let ranges: HashMap<u32, Range<u32>> = jobs.iter().map(|(c, r)| (*c, r.clone())).collect();
+    let mut pieces = prior;
+    pieces.extend(
+        out.results
+            .into_iter()
+            .map(|(chunk, cost, triangles)| ChunkPiece {
+                chunk,
+                range: ranges[&chunk].clone(),
+                cost,
+                triangles,
+            }),
+    );
+    pieces.sort_unstable_by_key(|p| p.chunk);
+    let done: HashSet<u32> = pieces.iter().map(|p| p.chunk).collect();
+    let missing: Vec<(u32, Range<u32>)> = jobs
+        .iter()
+        .filter(|(c, _)| !done.contains(c))
+        .cloned()
+        .collect();
+    if missing.is_empty() {
+        let chunks = pieces.len();
+        let mut cost = CostReport::default();
+        let mut triangles = Vec::new();
+        for p in pieces {
+            cost.accumulate(&p.cost);
+            triangles.extend(p.triangles);
+        }
+        RunOutcome::Complete(ParallelRun {
+            cost,
+            triangles,
+            threads: out.threads,
+            chunks,
+            faults: out.faults,
+        })
+    } else {
+        RunOutcome::Partial(PartialRun {
+            reason: out.stop.unwrap_or(StopReason::ChunkFailed),
+            completed: pieces,
+            resume: ResumePoint {
+                method,
+                n,
+                ranges: missing,
+            },
+            faults: out.faults,
+            threads: out.threads,
+        })
+    }
+}
+
+/// Next task for worker `id`: own deque, then an injector batch, then a
+/// steal sweep over siblings. Returns `(task, was_stolen)`.
+fn next_task(
+    id: usize,
+    local: &Worker<(u32, u32)>,
+    injector: &Injector<(u32, u32)>,
+    stealers: &[Stealer<(u32, u32)>],
+) -> Option<((u32, u32), bool)> {
+    if let Some(task) = local.pop() {
+        return Some((task, false));
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some((task, false)),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    let n = stealers.len();
+    let mut retry = true;
+    while std::mem::take(&mut retry) {
+        for shift in 1..n {
+            match stealers[(id + shift) % n].steal() {
+                Steal::Success(task) => return Some((task, true)),
+                Steal::Empty => {}
+                Steal::Retry => retry = true,
+            }
+        }
+    }
+    None
+}
+
+/// Stringifies a panic payload for fault records.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::ParallelOpts;
+    use rand::SeedableRng;
+    use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated};
+    use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+    use trilist_order::OrderFamily;
+
+    fn fixture(n: usize, seed: u64) -> DirectedGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dist = Truncated::new(DiscretePareto::paper_beta(1.7), 50);
+        let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+        let g = ResidualSampler.generate(&seq, &mut rng).graph;
+        let relabeling = OrderFamily::Descending.relabeling(&g, &mut rng);
+        DirectedGraph::orient(&g, &relabeling)
+    }
+
+    fn opts(threads: usize) -> ResilientOpts {
+        ResilientOpts {
+            parallel: ParallelOpts {
+                threads,
+                target_chunk_ops: 512,
+                ..ParallelOpts::default()
+            },
+            ..ResilientOpts::default()
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let budget = RunBudget::unlimited();
+        assert!(budget.is_unlimited());
+        let active = budget.start();
+        active.add_memory(u64::MAX / 2);
+        assert_eq!(active.check(), None);
+        assert_eq!(active.remaining_memory(), None);
+    }
+
+    #[test]
+    fn budget_checks_report_first_cause() {
+        let token = CancelToken::new();
+        let active = RunBudget::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .with_memory_bytes(100)
+            .with_cancel(token.clone())
+            .start();
+        assert_eq!(active.check(), None);
+        active.add_memory(101);
+        assert_eq!(active.check(), Some(StopReason::MemoryExhausted));
+        active.release_memory(50);
+        assert_eq!(active.memory_used(), 51);
+        assert_eq!(active.remaining_memory(), Some(49));
+        assert_eq!(active.check(), None);
+        token.cancel();
+        assert_eq!(active.check(), Some(StopReason::Cancelled));
+        // release below zero saturates instead of wrapping
+        active.release_memory(u64::MAX);
+        assert_eq!(active.memory_used(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let active = RunBudget::unlimited().with_deadline(Duration::ZERO).start();
+        assert_eq!(active.check(), Some(StopReason::DeadlineExceeded));
+        assert!(active.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_schedule_independent() {
+        let plan = FaultPlan::seeded(42);
+        for chunk in 0..2_000u32 {
+            for attempt in 0..3 {
+                assert_eq!(
+                    plan.fault_for(chunk, attempt),
+                    plan.fault_for(chunk, attempt),
+                    "chunk {chunk} attempt {attempt}"
+                );
+            }
+        }
+        // rates land in the right ballpark over many chunks
+        let panics = (0..10_000u32)
+            .filter(|&c| plan.fault_for(c, 0) == Some(Fault::Panic))
+            .count();
+        assert!(
+            (1_000..2_000).contains(&panics),
+            "~15% expected, got {panics}/10000"
+        );
+        // a panicking chunk recovers once its attempts are spent
+        let victim = (0..10_000u32)
+            .find(|&c| plan.fault_for(c, 0) == Some(Fault::Panic))
+            .unwrap();
+        assert_ne!(plan.fault_for(victim, 1), Some(Fault::Panic));
+        // different seeds give different schedules
+        let other = FaultPlan::seeded(43);
+        assert!((0..10_000u32).any(|c| plan.fault_for(c, 0) != other.fault_for(c, 0)));
+    }
+
+    #[test]
+    fn resume_point_round_trips_through_text() {
+        let rp = ResumePoint {
+            method: Method::E4,
+            n: 2_000,
+            ranges: vec![(3, 30..40), (7, 70..80), (9, 95..2_000)],
+        };
+        let text = rp.to_string();
+        assert_eq!(
+            text,
+            "trilist-resume v1 E4 n=2000 3:30-40 7:70-80 9:95-2000"
+        );
+        assert_eq!(text.parse::<ResumePoint>().unwrap(), rp);
+        // an empty remainder round-trips too
+        let done = ResumePoint {
+            method: Method::T1,
+            n: 5,
+            ranges: vec![],
+        };
+        assert_eq!(done.to_string().parse::<ResumePoint>().unwrap(), done);
+        // malformed inputs are rejected, never panic
+        for bad in [
+            "",
+            "trilist-resume",
+            "trilist-resume v2 E4 n=10",
+            "trilist-resume v1 Z9 n=10",
+            "trilist-resume v1 E4 n=x",
+            "trilist-resume v1 E4 n=10 3:9",
+            "trilist-resume v1 E4 n=10 3:9-5",
+            "trilist-resume v1 E4 n=10 3:5-11",
+        ] {
+            assert!(bad.parse::<ResumePoint>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn clean_run_matches_sequential_exactly() {
+        let dg = fixture(1_500, 3);
+        for method in Method::FUNDAMENTAL {
+            let mut seq = Vec::new();
+            let seq_cost = method.run(&dg, |x, y, z| seq.push((x, y, z)));
+            let run = list_resilient(&dg, method, &opts(4))
+                .unwrap()
+                .complete()
+                .expect("unlimited budget, no faults");
+            assert_eq!(run.triangles, seq, "{method}");
+            assert_eq!(run.cost, seq_cost, "{method}");
+            assert!(run.faults.is_empty());
+        }
+    }
+
+    #[test]
+    fn recoverable_panics_retry_to_identical_result() {
+        silence_injected_panics();
+        let dg = fixture(1_500, 3);
+        let mut seq = Vec::new();
+        let seq_cost = Method::E1.run(&dg, |x, y, z| seq.push((x, y, z)));
+        for threads in [1, 2, 4] {
+            let mut o = opts(threads);
+            o.fault_plan = Some(FaultPlan::panic_at(7, 300, 2));
+            o.max_attempts = 3;
+            let run = list_resilient(&dg, Method::E1, &o)
+                .unwrap()
+                .complete()
+                .expect("2 panic attempts < 3 max_attempts must recover");
+            assert_eq!(run.triangles, seq, "threads={threads}");
+            assert_eq!(run.cost, seq_cost, "threads={threads}");
+            assert!(!run.faults.is_empty(), "plan must actually fire");
+            assert!(run.faults.iter().all(|f| !f.fatal));
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_the_chunk_and_finish_the_rest() {
+        silence_injected_panics();
+        let dg = fixture(1_500, 3);
+        let mut o = opts(2);
+        // always-panic on a slice of chunks: unrecoverable
+        o.fault_plan = Some(FaultPlan::panic_at(11, 200, u32::MAX));
+        o.max_attempts = 2;
+        let partial = list_resilient(&dg, Method::E4, &o)
+            .unwrap()
+            .partial()
+            .expect("permanent faults must yield a partial run");
+        assert_eq!(partial.reason, StopReason::ChunkFailed);
+        assert!(partial.completed_chunks() > 0, "healthy chunks completed");
+        assert!(!partial.resume.is_empty());
+        let fatal: Vec<_> = partial.faults.iter().filter(|f| f.fatal).collect();
+        assert!(!fatal.is_empty());
+        // every fatal fault's chunk is in the resume point, exactly once
+        let missing: Vec<u32> = partial.resume.ranges.iter().map(|(c, _)| *c).collect();
+        for f in &fatal {
+            assert!(missing.contains(&f.chunk), "chunk {} lost", f.chunk);
+        }
+        // each fatal chunk burned exactly max_attempts executions
+        for &chunk in &missing {
+            let attempts = partial.faults.iter().filter(|f| f.chunk == chunk).count();
+            assert_eq!(attempts, 2, "chunk {chunk}");
+        }
+        // resuming without the fault plan completes to the sequential result
+        let resumed = partial
+            .resume_with(&dg, &opts(2))
+            .unwrap()
+            .complete()
+            .expect("no faults on resume");
+        let mut seq = Vec::new();
+        let seq_cost = Method::E4.run(&dg, |x, y, z| seq.push((x, y, z)));
+        assert_eq!(resumed.triangles, seq);
+        assert_eq!(resumed.cost, seq_cost);
+    }
+
+    #[test]
+    fn cancellation_stops_cleanly_and_resume_completes() {
+        let dg = fixture(1_500, 5);
+        let token = CancelToken::new();
+        token.cancel(); // pre-cancelled: stops at the first boundary
+        let mut o = opts(3);
+        o.budget = RunBudget::unlimited().with_cancel(token);
+        let partial = list_resilient(&dg, Method::T1, &o)
+            .unwrap()
+            .partial()
+            .expect("pre-cancelled run cannot complete");
+        assert_eq!(partial.reason, StopReason::Cancelled);
+        assert_eq!(partial.completed_chunks(), 0);
+        // the resume point text round-trips and completes the run
+        let text = partial.resume.to_string();
+        let rp: ResumePoint = text.parse().unwrap();
+        let resumed = rp
+            .run(&dg, &opts(3))
+            .unwrap()
+            .complete()
+            .expect("no limits on resume");
+        let mut seq = Vec::new();
+        let seq_cost = Method::T1.run(&dg, |x, y, z| seq.push((x, y, z)));
+        assert_eq!(resumed.triangles, seq);
+        assert_eq!(resumed.cost, seq_cost);
+    }
+
+    #[test]
+    fn memory_ceiling_stops_t_methods_on_oracle_charge() {
+        let dg = fixture(1_500, 5);
+        let mut o = opts(2);
+        o.budget = RunBudget::unlimited().with_memory_bytes(16);
+        let partial = list_resilient(&dg, Method::T2, &o)
+            .unwrap()
+            .partial()
+            .expect("16-byte ceiling cannot fit the oracle");
+        assert_eq!(partial.reason, StopReason::MemoryExhausted);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_graph() {
+        let dg = fixture(1_500, 5);
+        let rp = ResumePoint {
+            method: Method::E1,
+            n: 3,
+            ranges: vec![(0, 0..3)],
+        };
+        assert!(matches!(
+            rp.run(&dg, &opts(1)),
+            Err(ParallelError::InvalidResume(_))
+        ));
+        let bad = ResumePoint {
+            method: Method::E1,
+            n: dg.n() as u32,
+            ranges: vec![(0, 5..(dg.n() as u32 + 7))],
+        };
+        assert!(matches!(
+            bad.run(&dg, &opts(1)),
+            Err(ParallelError::InvalidResume(_))
+        ));
+    }
+}

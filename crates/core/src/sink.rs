@@ -90,6 +90,56 @@ impl<R: Rng> ReservoirSink<R> {
     }
 }
 
+/// Growable triangle staging buffer that knows its own heap footprint.
+///
+/// The work-stealing runtime stages each chunk's triangles here before the
+/// ordered merge; exposing the buffer (instead of a bare `Vec`) lets
+/// memory-budgeted callers charge materialized triangles against a
+/// [`RunBudget`](crate::resilient::RunBudget) as chunks complete.
+#[derive(Clone, Debug, Default)]
+pub struct TriangleBuffer {
+    tris: Vec<(u32, u32, u32)>,
+}
+
+impl TriangleBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        TriangleBuffer::default()
+    }
+
+    /// Record one triangle.
+    #[inline]
+    pub fn push(&mut self, x: u32, y: u32, z: u32) {
+        self.tris.push((x, y, z));
+    }
+
+    /// Triangles staged so far.
+    pub fn len(&self) -> usize {
+        self.tris.len()
+    }
+
+    /// True when nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.tris.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (allocated capacity, not just
+    /// occupied length — capacity is what the allocator actually holds).
+    pub fn bytes(&self) -> u64 {
+        (self.tris.capacity() * std::mem::size_of::<(u32, u32, u32)>()) as u64
+    }
+
+    /// The staged triangles, in emission order.
+    pub fn as_slice(&self) -> &[(u32, u32, u32)] {
+        &self.tris
+    }
+
+    /// Consumes the buffer, returning the triangles.
+    pub fn into_vec(self) -> Vec<(u32, u32, u32)> {
+        self.tris
+    }
+}
+
 /// Keeps only the first `k` triangles in listing order — the "give me a
 /// few examples" sink.
 #[derive(Clone, Debug)]
@@ -188,6 +238,19 @@ mod tests {
         sink.absorb(0, 1, 2);
         sink.absorb(1, 2, 3);
         assert_eq!(sink.into_sample(), vec![(0, 1, 2), (1, 2, 3)]);
+    }
+
+    #[test]
+    fn triangle_buffer_tracks_footprint() {
+        let mut buf = TriangleBuffer::new();
+        assert!(buf.is_empty());
+        assert_eq!(buf.bytes(), 0);
+        buf.push(0, 1, 2);
+        buf.push(1, 2, 3);
+        assert_eq!(buf.len(), 2);
+        assert!(buf.bytes() >= 2 * 12, "capacity bytes cover the contents");
+        assert_eq!(buf.as_slice(), &[(0, 1, 2), (1, 2, 3)]);
+        assert_eq!(buf.into_vec(), vec![(0, 1, 2), (1, 2, 3)]);
     }
 
     #[test]

@@ -3,12 +3,21 @@
 //!
 //! `cargo run --release -p trilist-experiments --bin repro` takes a few
 //! minutes at the laptop defaults; add `--full` (hours) for the paper's
-//! exact sizes and replication counts.
+//! exact sizes and replication counts. `--deadline D` bounds the *whole
+//! suite's* wall clock: binaries still pending when the deadline passes
+//! are skipped (each child also receives the flag, so a long-running
+//! resilient stage inside a binary is interrupted cooperatively too).
 
 use std::process::Command;
+use std::time::Instant;
+use trilist_experiments::cli::parse_duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let deadline = args.iter().position(|a| a == "--deadline").map(|i| {
+        let raw = args.get(i + 1).expect("--deadline requires a value");
+        parse_duration(raw).unwrap_or_else(|e| panic!("--deadline: {e}"))
+    });
     let bins = [
         "table3",
         "table5",
@@ -23,10 +32,21 @@ fn main() {
         "wn_tradeoff",
         "unrelabeled",
         "xm_tradeoff",
+        "resilience",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("exe dir");
+    let started = Instant::now();
     for bin in bins {
+        if let Some(d) = deadline {
+            if started.elapsed() >= d {
+                println!(
+                    "== repro deadline ({d:?}) reached after {:.1}s; skipping {bin} and the rest",
+                    started.elapsed().as_secs_f64()
+                );
+                return;
+            }
+        }
         println!("==================================================================");
         println!("== {bin}");
         println!("==================================================================");

@@ -1,6 +1,9 @@
 //! Tiny argument parsing shared by the reproduction binaries (no external
 //! CLI dependency).
 
+use std::time::Duration;
+use trilist_core::{FaultPlan, ResilientOpts, RunBudget};
+
 /// Options accepted by every `table*` binary.
 #[derive(Clone, Copy, Debug)]
 pub struct Opts {
@@ -17,6 +20,16 @@ pub struct Opts {
     /// `--threads T`: worker threads for the parallel listing runtime
     /// (`None` = auto-detect via `available_parallelism`).
     pub threads: Option<usize>,
+    /// `--deadline D`: wall-clock budget per resilient run (`2`, `1.5`,
+    /// `250ms`, `30s`).
+    pub deadline: Option<Duration>,
+    /// `--mem-budget B`: approximate memory ceiling in bytes (`K`/`M`/`G`
+    /// suffixes accepted).
+    pub mem_budget: Option<u64>,
+    /// `--fault-plan SPEC`: deterministic fault injection — a bare seed for
+    /// the mixed default plan, or `key=value` pairs (see
+    /// [`parse_fault_plan`]).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Opts {
@@ -28,6 +41,9 @@ impl Default for Opts {
             graphs: 4,
             seed: 0x7717_1157,
             threads: None,
+            deadline: None,
+            mem_budget: None,
+            fault_plan: None,
         }
     }
 }
@@ -62,10 +78,26 @@ impl Opts {
                 "--graphs" => opts.graphs = grab("--graphs") as usize,
                 "--seed" => opts.seed = grab("--seed"),
                 "--threads" => opts.threads = Some(grab("--threads") as usize),
+                "--deadline" => {
+                    let raw = it.next().expect("--deadline requires a value");
+                    opts.deadline =
+                        Some(parse_duration(&raw).unwrap_or_else(|e| panic!("--deadline: {e}")));
+                }
+                "--mem-budget" => {
+                    let raw = it.next().expect("--mem-budget requires a value");
+                    opts.mem_budget =
+                        Some(parse_bytes(&raw).unwrap_or_else(|e| panic!("--mem-budget: {e}")));
+                }
+                "--fault-plan" => {
+                    let raw = it.next().expect("--fault-plan requires a value");
+                    opts.fault_plan = Some(
+                        parse_fault_plan(&raw).unwrap_or_else(|e| panic!("--fault-plan: {e}")),
+                    );
+                }
                 "--help" | "-h" => {
                     println!(
                         "flags: --full | --max-n N | --sequences S | --graphs G | --seed X \
-                         | --threads T"
+                         | --threads T | --deadline D | --mem-budget B | --fault-plan SPEC"
                     );
                     std::process::exit(0);
                 }
@@ -108,6 +140,28 @@ impl Opts {
         }
     }
 
+    /// The [`RunBudget`] implied by `--deadline` / `--mem-budget`
+    /// (unlimited when neither flag is given).
+    pub fn budget(&self) -> RunBudget {
+        let mut budget = RunBudget::unlimited();
+        if let Some(deadline) = self.deadline {
+            budget = budget.with_deadline(deadline);
+        }
+        if let Some(bytes) = self.mem_budget {
+            budget = budget.with_memory_bytes(bytes);
+        }
+        budget
+    }
+
+    /// [`ResilientOpts`] assembled from the budget, fault-plan, and thread
+    /// flags.
+    pub fn resilient_opts(&self) -> ResilientOpts {
+        let mut opts = ResilientOpts::with_threads(self.thread_count());
+        opts.budget = self.budget();
+        opts.fault_plan = self.fault_plan;
+        opts
+    }
+
     /// A [`crate::sim::SimConfig`] with these replication counts.
     pub fn sim_config(
         &self,
@@ -121,6 +175,91 @@ impl Opts {
         cfg.threads = self.threads;
         cfg
     }
+}
+
+/// Parses a wall-clock duration: bare seconds (`2`, `1.5`), `30s`, or
+/// `250ms`.
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, scale) = if let Some(v) = s.strip_suffix("ms") {
+        (v, 1e-3)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    let secs: f64 = num
+        .parse()
+        .map_err(|_| format!("{s:?} is not a duration (try 2, 1.5, 30s, 250ms)"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("{s:?} is not a non-negative duration"));
+    }
+    Ok(Duration::from_secs_f64(secs * scale))
+}
+
+/// Parses a byte count with an optional `K`/`M`/`G` binary suffix.
+pub fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (num, mult) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 1u64 << 20),
+        Some(b'g' | b'G') => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    let v: u64 = num
+        .parse()
+        .map_err(|_| format!("{s:?} is not a byte count (try 65536, 64K, 512M, 2G)"))?;
+    v.checked_mul(mult)
+        .ok_or_else(|| format!("{s:?} overflows a u64 byte count"))
+}
+
+/// Parses a [`FaultPlan`] spec.
+///
+/// A bare integer is a seed for [`FaultPlan::seeded`] (the mixed default
+/// plan). Otherwise the spec is comma-separated `key=value` pairs over an
+/// inert plan (all rates zero): `seed=U64`, `panic=PERMILLE`,
+/// `attempts=N`, `slow=PERMILLE`, `delay=DURATION`, `alloc=PERMILLE`,
+/// `bytes=BYTES`. Example: `seed=42,panic=300,attempts=2,slow=50,delay=1ms`.
+pub fn parse_fault_plan(s: &str) -> Result<FaultPlan, String> {
+    if let Ok(seed) = s.parse::<u64>() {
+        return Ok(FaultPlan::seeded(seed));
+    }
+    let mut plan = FaultPlan {
+        seed: 0,
+        panic_permille: 0,
+        panic_attempts: 1,
+        slow_permille: 0,
+        slow: Duration::from_micros(200),
+        alloc_permille: 0,
+        alloc_bytes: 1 << 20,
+    };
+    let permille = |v: &str| -> Result<u16, String> {
+        let p: u16 = v
+            .parse()
+            .map_err(|_| format!("{v:?} is not a per-mille rate"))?;
+        if p > 1000 {
+            return Err(format!("rate {p} exceeds 1000 per-mille"));
+        }
+        Ok(p)
+    };
+    for part in s.split(',') {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+        match k {
+            "seed" => plan.seed = v.parse().map_err(|_| format!("{v:?} is not a seed"))?,
+            "panic" => plan.panic_permille = permille(v)?,
+            "attempts" => {
+                plan.panic_attempts = v
+                    .parse()
+                    .map_err(|_| format!("{v:?} is not an attempt count"))?
+            }
+            "slow" => plan.slow_permille = permille(v)?,
+            "delay" => plan.slow = parse_duration(v)?,
+            "alloc" => plan.alloc_permille = permille(v)?,
+            "bytes" => plan.alloc_bytes = parse_bytes(v)?,
+            other => return Err(format!("unknown fault-plan key {other:?}")),
+        }
+    }
+    Ok(plan)
 }
 
 #[cfg(test)]
@@ -185,5 +324,64 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         Opts::parse_from(vec!["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(parse_duration("2").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("1.5").unwrap(), Duration::from_millis(1500));
+        assert_eq!(parse_duration("30s").unwrap(), Duration::from_secs(30));
+        assert_eq!(parse_duration("250ms").unwrap(), Duration::from_millis(250));
+        assert!(parse_duration("-1").is_err());
+        assert!(parse_duration("soon").is_err());
+    }
+
+    #[test]
+    fn byte_counts_parse() {
+        assert_eq!(parse_bytes("65536").unwrap(), 65_536);
+        assert_eq!(parse_bytes("64K").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("512m").unwrap(), 512 << 20);
+        assert_eq!(parse_bytes("2G").unwrap(), 2 << 30);
+        assert!(parse_bytes("lots").is_err());
+        assert!(parse_bytes("99999999999G").is_err());
+    }
+
+    #[test]
+    fn fault_plans_parse() {
+        assert_eq!(parse_fault_plan("42").unwrap(), FaultPlan::seeded(42));
+        let plan = parse_fault_plan("seed=7,panic=300,attempts=2,slow=50,delay=1ms").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.panic_permille, 300);
+        assert_eq!(plan.panic_attempts, 2);
+        assert_eq!(plan.slow_permille, 50);
+        assert_eq!(plan.slow, Duration::from_millis(1));
+        assert_eq!(plan.alloc_permille, 0);
+        assert!(parse_fault_plan("panic=1500").is_err());
+        assert!(parse_fault_plan("mystery=1").is_err());
+    }
+
+    #[test]
+    fn budget_flags_assemble_a_run_budget() {
+        let o = Opts::parse_from(
+            [
+                "--deadline",
+                "500ms",
+                "--mem-budget",
+                "64M",
+                "--fault-plan",
+                "9",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        let budget = o.budget();
+        assert_eq!(budget.deadline, Some(Duration::from_millis(500)));
+        assert_eq!(budget.memory_bytes, Some(64 << 20));
+        assert_eq!(o.fault_plan, Some(FaultPlan::seeded(9)));
+        let r = o.resilient_opts();
+        assert_eq!(r.budget.deadline, Some(Duration::from_millis(500)));
+        assert_eq!(r.fault_plan, Some(FaultPlan::seeded(9)));
+        // without the flags the budget is unlimited — the default path
+        assert!(Opts::default().budget().is_unlimited());
     }
 }

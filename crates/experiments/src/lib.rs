@@ -165,12 +165,11 @@ mod tests {
     fn small_end_to_end_table() {
         // a tiny but complete sim-vs-model table: n = 1000, 2×2 replicates
         let opts = Opts {
-            full: false,
             max_n: 1_000,
             sequences: 2,
             graphs: 2,
             seed: 1,
-            threads: None,
+            ..Opts::default()
         };
         let cols = [ColumnSpec::new(Method::T1, OrderFamily::Descending)];
         let t = run_paper_table(

@@ -214,7 +214,8 @@ pub fn thread_trial(
     let mut best: Option<(std::time::Duration, trilist_core::ParallelRun)> = None;
     for _ in 0..reps.max(1) {
         let start = std::time::Instant::now();
-        let run = trilist_core::par_list(dg, method, threads);
+        let run = trilist_core::par_list(dg, method, threads)
+            .expect("fundamental methods list in parallel");
         let elapsed = start.elapsed();
         if best.as_ref().is_none_or(|(t, _)| elapsed < *t) {
             best = Some((elapsed, run));

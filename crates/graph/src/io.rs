@@ -1,4 +1,4 @@
-//! Plain-text edge-list I/O.
+//! Plain-text edge-list I/O, hardened against malformed input.
 //!
 //! The evaluation's real-graph experiment (Table 12) loads Twitter from an
 //! edge list; this module provides the equivalent loader so users can run
@@ -6,6 +6,16 @@
 //! whitespace-separated, `#`-prefixed comment lines ignored, node IDs
 //! arbitrary `u32` (they are compacted to `0..n`), duplicate edges and
 //! self-loops erased.
+//!
+//! Real deployments feed loaders adversarial and heavy-tailed inputs far
+//! from clean models (Berry et al.), so parsing is defensive end to end:
+//! lines are read through a bounded buffer (a newline-free multi-gigabyte
+//! stream cannot balloon memory), node and edge counts are capped by
+//! [`IoLimits`] (the node cap also makes the `u32` ID compaction
+//! structurally overflow-free), numeric tokens are overflow-checked by
+//! `u32` parsing, invalid UTF-8 is tolerated byte-wise, and every failure
+//! is a structured [`IoError`] — never a panic (property-tested against
+//! arbitrary byte streams).
 
 use crate::builder::{BuilderStats, GraphBuilder};
 use crate::csr::Graph;
@@ -24,17 +34,58 @@ pub struct LoadedGraph {
     pub stats: BuilderStats,
 }
 
+/// Caps applied while parsing untrusted edge lists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoLimits {
+    /// Maximum distinct node IDs. The default (`u32::MAX`) is exactly the
+    /// structural limit of the compacted `u32` ID space.
+    pub max_nodes: usize,
+    /// Maximum edge lines kept (pre-erasure).
+    pub max_edges: usize,
+    /// Maximum bytes in one line (comment lines included).
+    pub max_line_bytes: usize,
+}
+
+impl Default for IoLimits {
+    fn default() -> Self {
+        IoLimits {
+            max_nodes: u32::MAX as usize,
+            max_edges: u32::MAX as usize,
+            max_line_bytes: 1 << 16,
+        }
+    }
+}
+
 /// Errors from edge-list parsing.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying reader failure.
     Io(std::io::Error),
-    /// A line that is neither a comment nor a `u v` pair.
+    /// A line that is neither a comment nor a `u v` pair (including
+    /// numeric tokens that overflow `u32`).
     Parse {
         /// 1-based line number.
         line: usize,
         /// Offending content.
         content: String,
+    },
+    /// A line exceeded [`IoLimits::max_line_bytes`].
+    LineTooLong {
+        /// 1-based line number.
+        line: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The stream introduced more distinct node IDs than
+    /// [`IoLimits::max_nodes`].
+    TooManyNodes {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The stream carried more edge lines than [`IoLimits::max_edges`].
+    TooManyEdges {
+        /// The configured cap.
+        limit: usize,
     },
     /// Graph construction failure (should not happen after erasure).
     Graph(GraphError),
@@ -46,6 +97,15 @@ impl std::fmt::Display for IoError {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Parse { line, content } => {
                 write!(f, "cannot parse line {line}: {content:?}")
+            }
+            IoError::LineTooLong { line, limit } => {
+                write!(f, "line {line} exceeds the {limit}-byte line limit")
+            }
+            IoError::TooManyNodes { limit } => {
+                write!(f, "edge list exceeds the {limit}-node limit")
+            }
+            IoError::TooManyEdges { limit } => {
+                write!(f, "edge list exceeds the {limit}-edge limit")
             }
             IoError::Graph(e) => write!(f, "graph error: {e}"),
         }
@@ -60,36 +120,54 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Reads a whitespace-separated edge list, compacting node IDs.
+/// Reads a whitespace-separated edge list under the default [`IoLimits`],
+/// compacting node IDs.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, IoError> {
+    read_edge_list_with(reader, &IoLimits::default())
+}
+
+/// [`read_edge_list`] with explicit caps — the entry point for untrusted
+/// input, bounding nodes, edges, and line length up front.
+pub fn read_edge_list_with<R: Read>(reader: R, limits: &IoLimits) -> Result<LoadedGraph, IoError> {
     let mut ids: HashMap<u32, u32> = HashMap::new();
     let mut original_ids: Vec<u32> = Vec::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
-    let buf = BufReader::new(reader);
-    for (lineno, line) in buf.lines().enumerate() {
-        let line = line?;
+    let mut buf = BufReader::new(reader);
+    let mut raw: Vec<u8> = Vec::new();
+    let mut lineno = 0usize;
+    loop {
+        raw.clear();
+        let consumed = read_bounded_line(&mut buf, &mut raw, limits.max_line_bytes, lineno + 1)?;
+        if consumed == 0 {
+            break;
+        }
+        lineno += 1;
+        // tolerate invalid UTF-8: damaged bytes become replacement chars
+        // and fail token parsing as a structured error, not an io error
+        let line = String::from_utf8_lossy(&raw);
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
+        // u32 parsing is overflow-checked: "4294967296" is a parse error
         let parse = |tok: Option<&str>| -> Option<u32> { tok.and_then(|t| t.parse().ok()) };
         let (u, v) = match (parse(parts.next()), parse(parts.next())) {
             (Some(u), Some(v)) => (u, v),
             _ => {
                 return Err(IoError::Parse {
-                    line: lineno + 1,
+                    line: lineno,
                     content: trimmed.to_string(),
                 })
             }
         };
-        let mut intern = |orig: u32| -> u32 {
-            *ids.entry(orig).or_insert_with(|| {
-                original_ids.push(orig);
-                (original_ids.len() - 1) as u32
-            })
-        };
-        let (cu, cv) = (intern(u), intern(v));
+        if edges.len() >= limits.max_edges {
+            return Err(IoError::TooManyEdges {
+                limit: limits.max_edges,
+            });
+        }
+        let cu = intern(u, &mut ids, &mut original_ids, limits.max_nodes)?;
+        let cv = intern(v, &mut ids, &mut original_ids, limits.max_nodes)?;
         edges.push((cu, cv));
     }
     let mut builder = GraphBuilder::new(original_ids.len());
@@ -102,6 +180,66 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, IoError> {
         original_ids,
         stats,
     })
+}
+
+/// Maps an original ID to its compacted ID, minting a new one under the
+/// node cap.
+fn intern(
+    orig: u32,
+    ids: &mut HashMap<u32, u32>,
+    original_ids: &mut Vec<u32>,
+    max_nodes: usize,
+) -> Result<u32, IoError> {
+    if let Some(&c) = ids.get(&orig) {
+        return Ok(c);
+    }
+    if original_ids.len() >= max_nodes {
+        return Err(IoError::TooManyNodes { limit: max_nodes });
+    }
+    let c = original_ids.len() as u32;
+    ids.insert(orig, c);
+    original_ids.push(orig);
+    Ok(c)
+}
+
+/// Reads one line (up to and excluding `\n`) into `out`, erroring as soon
+/// as the line crosses `cap` bytes — the buffer never grows past the cap,
+/// whatever the stream does. Returns the bytes consumed; 0 means EOF.
+fn read_bounded_line<R: BufRead>(
+    r: &mut R,
+    out: &mut Vec<u8>,
+    cap: usize,
+    lineno: usize,
+) -> Result<usize, IoError> {
+    let mut consumed = 0usize;
+    loop {
+        let available = r.fill_buf()?;
+        if available.is_empty() {
+            return Ok(consumed);
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            out.extend_from_slice(&available[..pos]);
+            r.consume(pos + 1);
+            consumed += pos + 1;
+            if out.len() > cap {
+                return Err(IoError::LineTooLong {
+                    line: lineno,
+                    limit: cap,
+                });
+            }
+            return Ok(consumed);
+        }
+        let len = available.len();
+        out.extend_from_slice(available);
+        r.consume(len);
+        consumed += len;
+        if out.len() > cap {
+            return Err(IoError::LineTooLong {
+                line: lineno,
+                limit: cap,
+            });
+        }
+    }
 }
 
 /// Writes the graph as a `u v` edge list (compacted IDs), one edge per
@@ -162,6 +300,86 @@ mod tests {
     }
 
     #[test]
+    fn rejects_u32_overflow_as_parse_error() {
+        // 2^32 does not fit a u32: checked parsing, not silent wrap
+        let err = read_edge_list("1 4294967296\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // u32::MAX itself is fine
+        let loaded = read_edge_list("0 4294967295\n".as_bytes()).unwrap();
+        assert_eq!(loaded.graph.m(), 1);
+    }
+
+    #[test]
+    fn node_cap_is_enforced() {
+        let limits = IoLimits {
+            max_nodes: 3,
+            ..IoLimits::default()
+        };
+        let ok = read_edge_list_with("1 2\n2 3\n".as_bytes(), &limits).unwrap();
+        assert_eq!(ok.graph.n(), 3);
+        let err = read_edge_list_with("1 2\n3 4\n".as_bytes(), &limits).unwrap_err();
+        match err {
+            IoError::TooManyNodes { limit } => assert_eq!(limit, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_cap_is_enforced() {
+        let limits = IoLimits {
+            max_edges: 2,
+            ..IoLimits::default()
+        };
+        assert!(read_edge_list_with("1 2\n2 3\n".as_bytes(), &limits).is_ok());
+        let err = read_edge_list_with("1 2\n2 3\n3 4\n".as_bytes(), &limits).unwrap_err();
+        match err {
+            IoError::TooManyEdges { limit } => assert_eq!(limit, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_cap_bounds_memory_even_without_newlines() {
+        let limits = IoLimits {
+            max_line_bytes: 16,
+            ..IoLimits::default()
+        };
+        // a long comment line with a newline
+        let long = format!("# {}\n1 2\n", "x".repeat(64));
+        match read_edge_list_with(long.as_bytes(), &limits).unwrap_err() {
+            IoError::LineTooLong { line, limit } => {
+                assert_eq!((line, limit), (1, 16));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // and a newline-free stream trips the cap instead of buffering it
+        let endless = "9".repeat(1 << 12);
+        assert!(matches!(
+            read_edge_list_with(endless.as_bytes(), &limits).unwrap_err(),
+            IoError::LineTooLong { .. }
+        ));
+        // a line exactly at the cap passes
+        let exact = "# 0123456789abcd\n1 2\n";
+        assert_eq!(exact.lines().next().unwrap().len(), 16);
+        assert!(read_edge_list_with(exact.as_bytes(), &limits).is_ok());
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_structured_error_not_a_panic() {
+        let input: &[u8] = &[0xff, 0xfe, b' ', 0xc0, b'\n'];
+        match read_edge_list(input).unwrap_err() {
+            IoError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // invalid bytes on a comment line are simply skipped
+        let commented: &[u8] = b"# \xff\xfe\n1 2\n";
+        assert_eq!(read_edge_list(commented).unwrap().graph.m(), 1);
+    }
+
+    #[test]
     fn tabs_and_extra_columns() {
         // extra columns (weights) are ignored
         let input = "0\t1\t0.5\n1\t2\t0.7\n";
@@ -173,5 +391,45 @@ mod tests {
     fn empty_input() {
         let loaded = read_edge_list("".as_bytes()).unwrap();
         assert_eq!(loaded.graph.n(), 0);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let loaded = read_edge_list("1 2\n2 3".as_bytes()).unwrap();
+        assert_eq!(loaded.graph.m(), 2);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            // the loader never panics, whatever bytes arrive: every input
+            // yields either a graph or a structured error
+            #[test]
+            fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let tight = IoLimits { max_nodes: 64, max_edges: 64, max_line_bytes: 64 };
+                let _ = read_edge_list(bytes.as_slice());
+                let _ = read_edge_list_with(bytes.as_slice(), &tight);
+            }
+
+            // digit-and-separator soup — the near-valid adversarial case —
+            // also never panics, and successful parses respect the caps
+            #[test]
+            fn digit_soup_respects_caps(
+                bytes in proptest::collection::vec(
+                    (0usize..15).prop_map(|i| b"0123456789 \t\n#-"[i]),
+                    0..512,
+                )
+            ) {
+                let tight = IoLimits { max_nodes: 16, max_edges: 16, max_line_bytes: 32 };
+                if let Ok(loaded) = read_edge_list_with(bytes.as_slice(), &tight) {
+                    prop_assert!(loaded.graph.n() <= 16);
+                    prop_assert!(loaded.graph.m() <= 16);
+                }
+            }
+        }
     }
 }

@@ -16,8 +16,12 @@
 
 use crate::storage::{EdgeFile, IoStats, ScratchDir};
 use trilist_core::kernel::{Kernels, ListDir};
-use trilist_core::CostReport;
+use trilist_core::{CostReport, RunBudget, StopReason};
 use trilist_order::DirectedGraph;
+
+/// Estimated resident bytes per column edge: the `u32` target plus its
+/// share of the per-node `Vec` bookkeeping, rounded up to a power of two.
+pub const COLUMN_BYTES_PER_EDGE: u64 = 8;
 
 /// Contiguous label intervals covering `[0, n)`.
 #[derive(Clone, Debug)]
@@ -83,6 +87,22 @@ impl Partitioning {
     pub fn owner(&self, label: u32) -> usize {
         self.bounds.partition_point(|&b| b <= label) - 1
     }
+
+    /// Picks the coarsest in-degree-balanced partitioning whose expected
+    /// resident column (`≈ m/P` edges at [`COLUMN_BYTES_PER_EDGE`] bytes)
+    /// fits inside `bytes`. With no memory limit this is a single pass;
+    /// `P` never exceeds `n`, the finest meaningful split.
+    pub fn for_memory_budget(g: &DirectedGraph, bytes: Option<u64>) -> Partitioning {
+        let p = match bytes {
+            None => 1,
+            Some(bytes) => {
+                let need = g.m() as u64 * COLUMN_BYTES_PER_EDGE;
+                let p = need.div_ceil(bytes.max(1)).max(1);
+                p.min(g.n().max(1) as u64) as usize
+            }
+        };
+        Partitioning::balanced(g, p)
+    }
 }
 
 /// Result of an external-memory run.
@@ -94,6 +114,54 @@ pub struct XmRun {
     pub io: IoStats,
     /// Peak resident column size, in edges.
     pub peak_memory_edges: usize,
+}
+
+/// Outcome of a budgeted external-memory run.
+///
+/// Passes are the fault-isolation unit out of core: a pass either streams
+/// to completion (its column's triangles are fully delivered, in order) or
+/// is not started, so a partial outcome is always a clean prefix of the
+/// column sequence and can be resumed by re-running the remaining
+/// intervals.
+#[derive(Clone, Debug)]
+pub enum XmOutcome {
+    /// Every pass ran; the triangle set is complete.
+    Complete(XmRun),
+    /// The budget tripped between passes; `run` covers the first
+    /// `completed_passes` columns only.
+    Partial {
+        /// Accounting for the passes that did run.
+        run: XmRun,
+        /// Number of leading columns fully processed.
+        completed_passes: usize,
+        /// Total passes the partitioning called for.
+        total_passes: usize,
+        /// What stopped the run.
+        reason: StopReason,
+    },
+}
+
+impl XmOutcome {
+    /// True when every pass completed.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, XmOutcome::Complete(_))
+    }
+
+    /// The run accounting, complete or not.
+    pub fn run(&self) -> &XmRun {
+        match self {
+            XmOutcome::Complete(run) => run,
+            XmOutcome::Partial { run, .. } => run,
+        }
+    }
+
+    /// Unwraps the complete run, if there is one.
+    pub fn complete(self) -> Option<XmRun> {
+        match self {
+            XmOutcome::Complete(run) => Some(run),
+            XmOutcome::Partial { .. } => None,
+        }
+    }
 }
 
 /// External-memory E1 over `g` with `p` in-degree-balanced partitions.
@@ -129,8 +197,32 @@ pub fn xm_e1_with_kernels<F: FnMut(u32, u32, u32)>(
     g: &DirectedGraph,
     parts: &Partitioning,
     k: &Kernels,
-    mut sink: F,
+    sink: F,
 ) -> std::io::Result<XmRun> {
+    let outcome = xm_e1_budgeted(g, parts, k, &RunBudget::unlimited(), sink)?;
+    Ok(outcome
+        .complete()
+        .expect("an unlimited budget never interrupts a run"))
+}
+
+/// External-memory E1 under a [`RunBudget`].
+///
+/// The budget is checked at every pass boundary: the deadline and the
+/// cancellation token before a column is loaded, the memory ceiling after
+/// (a resident column is charged [`COLUMN_BYTES_PER_EDGE`] bytes per edge
+/// and released when its pass ends). A tripped budget yields
+/// [`XmOutcome::Partial`] carrying the accounting for the passes that did
+/// complete — their triangles have already been delivered to `sink` in
+/// column order, so the prefix is exact. Pair with
+/// [`Partitioning::for_memory_budget`] to pick a `P` whose columns fit.
+pub fn xm_e1_budgeted<F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    parts: &Partitioning,
+    k: &Kernels,
+    budget: &RunBudget,
+    mut sink: F,
+) -> std::io::Result<XmOutcome> {
+    let active = budget.start();
     let scratch = ScratchDir::new("e1")?;
     let mut io = IoStats::default();
 
@@ -157,7 +249,14 @@ pub fn xm_e1_with_kernels<F: FnMut(u32, u32, u32)>(
 
     let mut cost = CostReport::default();
     let mut peak = 0usize;
+    let mut completed = 0usize;
+    let mut stopped = None;
     for column in columns.iter() {
+        // deadline / cancellation gate before committing to a pass
+        if let Some(reason) = active.check() {
+            stopped = Some(reason);
+            break;
+        }
         // load column a: per-node slices of out-neighbors inside interval a
         let mut col_adj: Vec<Vec<u32>> = vec![Vec::new(); g.n()];
         let mut loaded = 0usize;
@@ -167,6 +266,15 @@ pub fn xm_e1_with_kernels<F: FnMut(u32, u32, u32)>(
         })?;
         io.edges_loaded += loaded as u64;
         peak = peak.max(loaded);
+        // the resident column is the engine's working set; charge it and
+        // bail before streaming if it blows the ceiling
+        let charge = loaded as u64 * COLUMN_BYTES_PER_EDGE;
+        active.add_memory(charge);
+        if let Some(reason) = active.check() {
+            active.release_memory(charge);
+            stopped = Some(reason);
+            break;
+        }
         // stream all edges; intersect within the column
         edge_file.stream(&mut io, |z, y| {
             let za = &col_adj[z as usize];
@@ -189,11 +297,22 @@ pub fn xm_e1_with_kernels<F: FnMut(u32, u32, u32)>(
             cost.pointer_advances += stats.advances;
         })?;
         io.edges_streamed += edge_file.len();
+        active.release_memory(charge);
+        completed += 1;
     }
-    Ok(XmRun {
+    let run = XmRun {
         cost,
         io,
         peak_memory_edges: peak,
+    };
+    Ok(match stopped {
+        None => XmOutcome::Complete(run),
+        Some(reason) => XmOutcome::Partial {
+            run,
+            completed_passes: completed,
+            total_passes: parts.len(),
+            reason,
+        },
     })
 }
 
@@ -329,6 +448,135 @@ mod tests {
                 assert_eq!(parts.interval(a).end, parts.interval(a + 1).start);
             }
         }
+    }
+
+    #[test]
+    fn budgeted_run_with_room_is_complete_and_identical() {
+        let dg = fixture(800, 7);
+        let mut want = Vec::new();
+        let plain = xm_e1(&dg, 4, |x, y, z| want.push((x, y, z))).unwrap();
+        let parts = Partitioning::balanced(&dg, 4);
+        let budget = RunBudget::unlimited()
+            .with_deadline(std::time::Duration::from_secs(3600))
+            .with_memory_bytes(u64::MAX);
+        let mut got = Vec::new();
+        let outcome = xm_e1_budgeted(&dg, &parts, &Kernels::paper(), &budget, |x, y, z| {
+            got.push((x, y, z))
+        })
+        .unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(got, want);
+        let run = outcome.run();
+        assert_eq!(run.cost.triangles, plain.cost.triangles);
+        assert_eq!(run.cost.local, plain.cost.local);
+        assert_eq!(run.cost.remote, plain.cost.remote);
+        assert_eq!(run.io.edges_streamed, plain.io.edges_streamed);
+    }
+
+    #[test]
+    fn zero_deadline_stops_before_the_first_pass() {
+        let dg = fixture(400, 8);
+        let parts = Partitioning::balanced(&dg, 3);
+        let budget = RunBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let outcome = xm_e1_budgeted(&dg, &parts, &Kernels::paper(), &budget, |_, _, _| {
+            panic!("no triangles may be delivered")
+        })
+        .unwrap();
+        match outcome {
+            XmOutcome::Partial {
+                run,
+                completed_passes,
+                total_passes,
+                reason,
+            } => {
+                assert_eq!(completed_passes, 0);
+                assert_eq!(total_passes, 3);
+                assert_eq!(reason, StopReason::DeadlineExceeded);
+                assert_eq!(run.cost.triangles, 0);
+            }
+            XmOutcome::Complete(_) => panic!("a zero deadline must interrupt the run"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_between_passes() {
+        use trilist_core::CancelToken;
+        let dg = fixture(400, 9);
+        let parts = Partitioning::balanced(&dg, 2);
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = RunBudget::unlimited().with_cancel(token);
+        let outcome =
+            xm_e1_budgeted(&dg, &parts, &Kernels::paper(), &budget, |_, _, _| {}).unwrap();
+        match outcome {
+            XmOutcome::Partial {
+                completed_passes,
+                reason,
+                ..
+            } => {
+                assert_eq!(completed_passes, 0);
+                assert_eq!(reason, StopReason::Cancelled);
+            }
+            XmOutcome::Complete(_) => panic!("a cancelled token must interrupt the run"),
+        }
+    }
+
+    #[test]
+    fn memory_ceiling_yields_an_exact_column_prefix() {
+        let dg = fixture(1_500, 10);
+        let p = 6;
+        let parts = Partitioning::balanced(&dg, p);
+        // a ceiling below one balanced column: the first load trips it
+        let ceiling = dg.m() as u64 * COLUMN_BYTES_PER_EDGE / (2 * p as u64);
+        let budget = RunBudget::unlimited().with_memory_bytes(ceiling.max(1));
+        let mut got = Vec::new();
+        let outcome = xm_e1_budgeted(&dg, &parts, &Kernels::paper(), &budget, |x, y, z| {
+            got.push((x, y, z))
+        })
+        .unwrap();
+        let (completed, reason) = match &outcome {
+            XmOutcome::Partial {
+                completed_passes,
+                reason,
+                ..
+            } => (*completed_passes, *reason),
+            XmOutcome::Complete(_) => panic!("the ceiling must interrupt the run"),
+        };
+        assert_eq!(reason, StopReason::MemoryExhausted);
+        assert!(completed < p);
+        // delivered triangles are exactly those whose smallest corner lies
+        // in the completed leading intervals
+        let cutoff = parts.interval(completed).start;
+        let mut want = Vec::new();
+        xm_e1_with(&dg, &parts, |x, y, z| {
+            if x < cutoff {
+                want.push((x, y, z));
+            }
+        })
+        .unwrap();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn for_memory_budget_sizes_columns_to_fit() {
+        let dg = fixture(2_000, 11);
+        assert_eq!(Partitioning::for_memory_budget(&dg, None).len(), 1);
+        let bytes = dg.m() as u64 * COLUMN_BYTES_PER_EDGE / 4;
+        let parts = Partitioning::for_memory_budget(&dg, Some(bytes));
+        assert!(
+            parts.len() >= 4,
+            "P={} for a quarter-size budget",
+            parts.len()
+        );
+        // balanced columns stay near m/P, so a 2x-of-ideal slack covers the
+        // fencepost rounding; the budgeted run itself must then complete
+        let budget =
+            RunBudget::unlimited().with_memory_bytes(2 * bytes + 64 * COLUMN_BYTES_PER_EDGE);
+        let outcome =
+            xm_e1_budgeted(&dg, &parts, &Kernels::paper(), &budget, |_, _, _| {}).unwrap();
+        assert!(outcome.is_complete());
     }
 
     #[test]

@@ -32,5 +32,5 @@
 pub mod engine;
 pub mod storage;
 
-pub use engine::{xm_e1, Partitioning, XmRun};
+pub use engine::{xm_e1, xm_e1_budgeted, Partitioning, XmOutcome, XmRun, COLUMN_BYTES_PER_EDGE};
 pub use storage::{EdgeFile, IoStats, ScratchDir};

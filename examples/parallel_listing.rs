@@ -37,7 +37,7 @@ fn main() {
     let mut baseline = None;
     for threads in [1, 2, 4, cores] {
         let start = Instant::now();
-        let run = par_list(&dg, Method::E1, threads);
+        let run = par_list(&dg, Method::E1, threads).expect("parallel E1 should succeed");
         let secs = start.elapsed().as_secs_f64();
         let base = *baseline.get_or_insert(secs);
         println!(

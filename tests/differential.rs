@@ -61,7 +61,7 @@ fn all_paths_agree(g: &Graph, seed: u64) {
         }
         // parallel fundamentals
         for method in Method::FUNDAMENTAL {
-            let run = par_list(&dg, method, 3);
+            let run = par_list(&dg, method, 3).unwrap();
             let got: Vec<_> = run
                 .triangles
                 .iter()

@@ -31,7 +31,7 @@ fn every_listing_path_counts_the_same_triangles() {
     let dg = DirectedGraph::orient(&g, &relabeling);
 
     let sequential = Method::E1.run(&dg, |_, _, _| {}).triangles;
-    let parallel = par_list(&dg, Method::E1, 4).cost.triangles;
+    let parallel = par_list(&dg, Method::E1, 4).unwrap().cost.triangles;
     let packed = e1_compressed(&CompressedOut::compress(&dg), |_, _, _| {}).triangles;
     let partial = OrientedOnly::orient(&g, &relabeling)
         .t1(|_, _, _| {})

@@ -47,7 +47,7 @@ proptest! {
         for method in Method::FUNDAMENTAL {
             let mut seq_tris = Vec::new();
             let seq_cost = method.run(&dg, |x, y, z| seq_tris.push((x, y, z)));
-            let run = par_list(&dg, method, threads);
+            let run = par_list(&dg, method, threads).unwrap();
             // cost merges exactly: every field, not just the headline count
             prop_assert_eq!(
                 run.cost, seq_cost,
@@ -86,7 +86,7 @@ proptest! {
                 target_chunk_ops: target_ops,
                 policy: KernelPolicy::PaperFaithful,
             };
-            let run = par_list_with(&dg, method, &opts);
+            let run = par_list_with(&dg, method, &opts).unwrap();
             prop_assert_eq!(run.cost, seq_cost, "{} target_ops={}", method, target_ops);
             prop_assert_eq!(run.triangles, seq_tris, "{} target_ops={}", method, target_ops);
             let processed: u64 = run.threads.iter().map(|t| t.chunks).sum();
@@ -114,7 +114,7 @@ proptest! {
                 target_chunk_ops: 64,
                 policy: KernelPolicy::adaptive(),
             };
-            let run = par_list_with(&dg, method, &opts);
+            let run = par_list_with(&dg, method, &opts).unwrap();
             prop_assert_eq!(
                 &run.triangles, &seq_tris,
                 "{} under {} at {} threads", method, family.name(), threads
@@ -135,7 +135,7 @@ proptest! {
         let dg = DirectedGraph::orient(&g, &OrderFamily::Descending.relabeling(&g, &mut rand::rngs::StdRng::seed_from_u64(7)));
         for method in Method::FUNDAMENTAL {
             let seq_cost = method.run(&dg, |_, _, _| {});
-            let run = par_list(&dg, method, threads);
+            let run = par_list(&dg, method, threads).unwrap();
             let thread_ops: u64 = run.threads.iter().map(|t| t.operations).sum();
             prop_assert_eq!(thread_ops, seq_cost.operations(), "{}", method);
             let eff = run.load_balance_efficiency();
