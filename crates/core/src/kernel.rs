@@ -46,9 +46,61 @@
 use crate::intersect::{
     count_branchless, intersect_branchless, intersect_gallop, intersect_sorted, ScanStats,
 };
+use crate::obs::{Counter, Recorder};
 use crate::oracle::EdgeOracle;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use trilist_order::DirectedGraph;
+
+/// Per-kernel-variant dispatch tallies, accumulated by a metered
+/// [`Kernels`] and flushed into a [`Recorder`] at chunk/run boundaries.
+///
+/// Fields are atomics only so a metered context stays `Sync`; the runtime
+/// attaches one meter per *worker* (each worker owns its `Kernels`), so in
+/// practice every `fetch_add` is an uncontended cache line. An unmetered
+/// context (`meter: None`, the default everywhere) costs a single
+/// predictable branch per intersection.
+#[derive(Debug, Default)]
+pub struct KernelMeter {
+    paper: AtomicU64,
+    branchless: AtomicU64,
+    gallop: AtomicU64,
+    bitmap: AtomicU64,
+    gallop_steps: AtomicU64,
+    bitmap_probes: AtomicU64,
+}
+
+impl KernelMeter {
+    /// A fresh meter with all tallies zero.
+    pub fn new() -> Self {
+        KernelMeter::default()
+    }
+
+    #[inline]
+    fn bump(&self, field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Drains every tally into `rec` (the tallies reset to zero), so one
+    /// meter can be flushed repeatedly across chunks without double
+    /// counting.
+    pub fn flush_into(&self, rec: &dyn Recorder) {
+        let pairs = [
+            (&self.paper, Counter::IntersectPaper),
+            (&self.branchless, Counter::IntersectBranchless),
+            (&self.gallop, Counter::IntersectGallop),
+            (&self.bitmap, Counter::IntersectBitmap),
+            (&self.gallop_steps, Counter::GallopSteps),
+            (&self.bitmap_probes, Counter::BitmapProbes),
+        ];
+        for (field, counter) in pairs {
+            let v = field.swap(0, Ordering::Relaxed);
+            if v > 0 {
+                rec.add(counter, v);
+            }
+        }
+    }
+}
 
 /// Which neighbor list of a node backs a bitmap row.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -267,6 +319,7 @@ pub struct Kernels {
     policy: KernelPolicy,
     out_bits: Option<HubBitmap>,
     in_bits: Option<HubBitmap>,
+    meter: Option<Arc<KernelMeter>>,
 }
 
 impl Kernels {
@@ -276,6 +329,7 @@ impl Kernels {
             policy: KernelPolicy::PaperFaithful,
             out_bits: None,
             in_bits: None,
+            meter: None,
         }
     }
 
@@ -298,6 +352,7 @@ impl Kernels {
                     cfg.hub_degree_threshold,
                     cfg.max_hubs,
                 )),
+                meter: None,
             },
         }
     }
@@ -346,7 +401,22 @@ impl Kernels {
             policy,
             out_bits: None,
             in_bits: None,
+            meter: None,
         }
+    }
+
+    /// Attaches a dispatch meter: subsequent [`Kernels::intersect`] /
+    /// [`Kernels::count`] calls tally which kernel variant ran (and its
+    /// probe counts) into `meter`. Metering is pure observation — dispatch
+    /// decisions and results are unchanged.
+    pub fn with_meter(mut self, meter: Arc<KernelMeter>) -> Self {
+        self.meter = Some(meter);
+        self
+    }
+
+    /// The attached dispatch meter, if any.
+    pub fn meter(&self) -> Option<&Arc<KernelMeter>> {
+        self.meter.as_ref()
     }
 
     /// The policy this context executes.
@@ -391,7 +461,12 @@ impl Kernels {
             return ScanStats::default();
         }
         let cfg = match self.policy {
-            KernelPolicy::PaperFaithful => return intersect_sorted(a, b, sink),
+            KernelPolicy::PaperFaithful => {
+                if let Some(m) = &self.meter {
+                    m.bump(&m.paper, 1);
+                }
+                return intersect_sorted(a, b, sink);
+            }
             KernelPolicy::Adaptive(cfg) => cfg,
         };
         let (short, short_own, long, long_own) = if a.len() <= b.len() {
@@ -403,13 +478,31 @@ impl Kernels {
         // |short| word probes; a row on the shorter side still beats any
         // scan (|long| probes < |short| + |long| advances)
         if let Some(row) = self.bitmap_row(long_own) {
-            return probe_bitmap(short, row, sink);
+            let stats = probe_bitmap(short, row, sink);
+            if let Some(m) = &self.meter {
+                m.bump(&m.bitmap, 1);
+                m.bump(&m.bitmap_probes, stats.advances);
+            }
+            return stats;
         }
         if let Some(row) = self.bitmap_row(short_own) {
-            return probe_bitmap(long, row, sink);
+            let stats = probe_bitmap(long, row, sink);
+            if let Some(m) = &self.meter {
+                m.bump(&m.bitmap, 1);
+                m.bump(&m.bitmap_probes, stats.advances);
+            }
+            return stats;
         }
         if long.len() as u64 >= cfg.gallop_crossover as u64 * short.len() as u64 {
-            return intersect_gallop(short, long, sink);
+            let stats = intersect_gallop(short, long, sink);
+            if let Some(m) = &self.meter {
+                m.bump(&m.gallop, 1);
+                m.bump(&m.gallop_steps, stats.advances);
+            }
+            return stats;
+        }
+        if let Some(m) = &self.meter {
+            m.bump(&m.branchless, 1);
         }
         intersect_branchless(short, long, sink)
     }
@@ -424,7 +517,12 @@ impl Kernels {
             return ScanStats::default();
         }
         let cfg = match self.policy {
-            KernelPolicy::PaperFaithful => return intersect_sorted(a, b, |_| {}),
+            KernelPolicy::PaperFaithful => {
+                if let Some(m) = &self.meter {
+                    m.bump(&m.paper, 1);
+                }
+                return intersect_sorted(a, b, |_| {});
+            }
             KernelPolicy::Adaptive(cfg) => cfg,
         };
         let (short, short_own, long, long_own) = if a.len() <= b.len() {
@@ -433,13 +531,31 @@ impl Kernels {
             (b, b_own, a, a_own)
         };
         if let Some(row) = self.bitmap_row(long_own) {
-            return count_bitmap(short, row);
+            let stats = count_bitmap(short, row);
+            if let Some(m) = &self.meter {
+                m.bump(&m.bitmap, 1);
+                m.bump(&m.bitmap_probes, stats.advances);
+            }
+            return stats;
         }
         if let Some(row) = self.bitmap_row(short_own) {
-            return count_bitmap(long, row);
+            let stats = count_bitmap(long, row);
+            if let Some(m) = &self.meter {
+                m.bump(&m.bitmap, 1);
+                m.bump(&m.bitmap_probes, stats.advances);
+            }
+            return stats;
         }
         if long.len() as u64 >= cfg.gallop_crossover as u64 * short.len() as u64 {
-            return intersect_gallop(short, long, |_| {});
+            let stats = intersect_gallop(short, long, |_| {});
+            if let Some(m) = &self.meter {
+                m.bump(&m.gallop, 1);
+                m.bump(&m.gallop_steps, stats.advances);
+            }
+            return stats;
+        }
+        if let Some(m) = &self.meter {
+            m.bump(&m.branchless, 1);
         }
         count_branchless(short, long)
     }
@@ -683,6 +799,54 @@ mod tests {
             Kernels::build_within(KernelPolicy::PaperFaithful, &dg, Some(0)).bytes(),
             0
         );
+    }
+
+    #[test]
+    fn meter_tallies_dispatch_without_changing_results() {
+        use crate::obs::{Counter, InMemoryRecorder};
+        let dg = random_directed(100, 0.3, 11);
+        let meter = Arc::new(KernelMeter::new());
+        let paper = Kernels::paper();
+        let metered = Kernels::build(KernelPolicy::adaptive(), &dg).with_meter(Arc::clone(&meter));
+        let rec = InMemoryRecorder::new();
+        let mut calls = 0u64;
+        for z in 0..dg.n() as u32 {
+            let out = dg.out(z);
+            for (j, &y) in out.iter().enumerate() {
+                let local = &out[..j];
+                let remote = dg.out(y);
+                if local.is_empty() || remote.is_empty() {
+                    continue;
+                }
+                calls += 1;
+                let want = paper.count(local, None, remote, None).matches;
+                let got = metered
+                    .count(
+                        local,
+                        Some((z, ListDir::Out)),
+                        remote,
+                        Some((y, ListDir::Out)),
+                    )
+                    .matches;
+                assert_eq!(got, want, "z={z} y={y}");
+            }
+        }
+        meter.flush_into(&rec);
+        let dispatched = rec.counter(Counter::IntersectPaper)
+            + rec.counter(Counter::IntersectBranchless)
+            + rec.counter(Counter::IntersectGallop)
+            + rec.counter(Counter::IntersectBitmap);
+        assert_eq!(dispatched, calls, "every non-empty call is tallied once");
+        assert_eq!(rec.counter(Counter::IntersectPaper), 0, "adaptive policy");
+        // flushing drained the meter: a second flush adds nothing
+        meter.flush_into(&rec);
+        let again = rec.counter(Counter::IntersectBranchless)
+            + rec.counter(Counter::IntersectGallop)
+            + rec.counter(Counter::IntersectBitmap);
+        assert_eq!(again, dispatched);
+        // an unmetered clone of a metered context shares the same meter arc
+        assert!(metered.meter().is_some());
+        assert!(Kernels::paper().meter().is_none());
     }
 
     #[test]

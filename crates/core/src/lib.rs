@@ -37,6 +37,7 @@ pub mod hasher;
 pub mod intersect;
 pub mod kernel;
 pub mod lei;
+pub mod obs;
 pub mod oracle;
 pub mod parallel;
 pub mod prior_art;
@@ -49,15 +50,21 @@ pub mod vertex;
 pub use clustering::{average_clustering, transitivity, triangle_count, triangle_counts};
 pub use compressed::{e1_compressed, CompressedOut};
 pub use cost::CostReport;
-pub use kernel::{AdaptiveConfig, BitmapOracle, HubBitmap, KernelPolicy, Kernels, ListDir};
+pub use kernel::{
+    AdaptiveConfig, BitmapOracle, HubBitmap, KernelMeter, KernelPolicy, Kernels, ListDir,
+};
+pub use obs::{
+    log2_bucket, ChunkSpan, Counter, CounterSnapshot, HistKind, InMemoryRecorder, MeasuredVsModel,
+    MethodMeasurement, NoopRecorder, Recorder, HIST_BUCKETS,
+};
 pub use oracle::{EdgeOracle, HashOracle, SortedOracle};
 pub use parallel::{
     par_list, par_list_with, ParallelError, ParallelOpts, ParallelRun, ThreadStats,
 };
 pub use prior_art::{chiba_nishizeki, forward};
 pub use resilient::{
-    list_resilient, silence_injected_panics, CancelToken, ChunkFault, ChunkPiece, Fault, FaultPlan,
-    PartialRun, ResilientOpts, ResumePoint, RunBudget, RunOutcome, StopReason,
+    list_resilient, silence_injected_panics, ActiveBudget, CancelToken, ChunkFault, ChunkPiece,
+    Fault, FaultPlan, PartialRun, ResilientOpts, ResumePoint, RunBudget, RunOutcome, StopReason,
 };
 pub use sink::{FirstK, PerNodeCounter, ReservoirSink, TriangleBuffer};
 pub use unrelabeled::OrientedOnly;

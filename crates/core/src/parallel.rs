@@ -343,6 +343,7 @@ pub fn par_list_with(
         budget: RunBudget::unlimited(),
         max_attempts: 1,
         fault_plan: None,
+        recorder: None,
     };
     match resilient::list_resilient(g, method, &ropts)? {
         RunOutcome::Complete(run) => Ok(run),

@@ -32,7 +32,8 @@
 //! reproduces exactly across thread counts and steal schedules.
 
 use crate::cost::CostReport;
-use crate::kernel::Kernels;
+use crate::kernel::{KernelMeter, Kernels};
+use crate::obs::{ChunkSpan, Counter, HistKind, Recorder, NOOP};
 use crate::oracle::HashOracle;
 use crate::parallel::{
     chunk_ranges, ensure_fundamental, run_chunk, ParallelError, ParallelRun, ThreadStats,
@@ -611,8 +612,8 @@ impl RunOutcome {
 }
 
 /// Options for a resilient run: the plain scheduler knobs plus budget,
-/// retry limit, and (for tests) a fault plan.
-#[derive(Clone, Debug)]
+/// retry limit, observability sink, and (for tests) a fault plan.
+#[derive(Clone)]
 pub struct ResilientOpts {
     /// Scheduler knobs (threads, chunk size, kernel policy).
     pub parallel: crate::parallel::ParallelOpts,
@@ -623,6 +624,23 @@ pub struct ResilientOpts {
     pub max_attempts: u32,
     /// Deterministic fault injection, for the differential suite.
     pub fault_plan: Option<FaultPlan>,
+    /// Observability sink shared by all workers (`None` = the no-op
+    /// recorder). Recording is pure observation: triangles, every
+    /// `CostReport` field, and schedule semantics are identical with any
+    /// recorder attached (`tests/obs_differential.rs`).
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for ResilientOpts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientOpts")
+            .field("parallel", &self.parallel)
+            .field("budget", &self.budget)
+            .field("max_attempts", &self.max_attempts)
+            .field("fault_plan", &self.fault_plan)
+            .field("recorder", &self.recorder.as_ref().map(|_| "dyn Recorder"))
+            .finish()
+    }
 }
 
 impl Default for ResilientOpts {
@@ -632,6 +650,7 @@ impl Default for ResilientOpts {
             budget: RunBudget::unlimited(),
             max_attempts: 3,
             fault_plan: None,
+            recorder: None,
         }
     }
 }
@@ -700,6 +719,20 @@ fn run_jobs(
         }
     }
     let budget = opts.budget.start();
+    let recorder: &dyn Recorder = opts.recorder.as_deref().unwrap_or(&NOOP);
+    let threads = opts.parallel.threads.max(1);
+    let policy = opts.parallel.policy;
+    // one shared meter for all workers' kernel contexts, allocated only
+    // when a real recorder is listening — the unrecorded hot path never
+    // sees a metered context at all
+    let meter = recorder.enabled().then(|| Arc::new(KernelMeter::new()));
+    let ctx = SpanCtx {
+        recorder,
+        method,
+        policy: policy.name(),
+        origin: Instant::now(),
+    };
+    let oracle_started = Instant::now();
     let oracle = match method {
         Method::T1 | Method::T2 => {
             budget.add_memory(oracle_estimate_bytes(g.m()));
@@ -707,21 +740,26 @@ fn run_jobs(
         }
         _ => None,
     };
-    let threads = opts.parallel.threads.max(1);
-    let policy = opts.parallel.policy;
+    if recorder.enabled() && oracle.is_some() {
+        ctx.setup_span(0, oracle_started);
+    }
     let outcome = run_schedule(
         jobs,
         threads,
         opts.max_attempts.max(1),
         &budget,
         opts.fault_plan.as_ref(),
+        &ctx,
         &|| {
             // each worker gets an equal share of whatever memory remains,
             // so concurrent kernel builds cannot jointly blow the ceiling
             let allowance = budget.remaining_memory().map(|r| r / threads as u64);
             let kernels = Kernels::build_within(policy, g, allowance);
             budget.add_memory(kernels.bytes());
-            kernels
+            match &meter {
+                Some(m) => kernels.with_meter(Arc::clone(m)),
+                None => kernels,
+            }
         },
         &|kernels, range, degraded| {
             if degraded {
@@ -731,6 +769,9 @@ fn run_jobs(
             }
         },
     );
+    if let Some(m) = &meter {
+        m.flush_into(recorder);
+    }
     Ok(conclude(method, n, jobs, prior, outcome))
 }
 
@@ -743,6 +784,41 @@ struct ScheduleOutcome {
     threads: Vec<ThreadStats>,
     faults: Vec<ChunkFault>,
     stop: Option<StopReason>,
+}
+
+/// Run-level observability context handed to the scheduler: what to tag
+/// spans with, and where the run's clock origin sits.
+struct SpanCtx<'a> {
+    recorder: &'a dyn Recorder,
+    method: Method,
+    /// Name of the configured kernel policy (degraded attempts report
+    /// `"paper"` regardless).
+    policy: &'static str,
+    origin: Instant,
+}
+
+impl SpanCtx<'_> {
+    fn ns_since_origin(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.origin).as_nanos() as u64
+    }
+
+    /// Emits a [`ChunkSpan::SETUP`] span covering `started..now` on
+    /// `worker`: oracle builds and per-worker kernel construction, so the
+    /// span total accounts for run time spent outside chunk executions.
+    fn setup_span(&self, worker: usize, started: Instant) {
+        self.recorder.span(ChunkSpan {
+            method: self.method,
+            policy: "setup",
+            chunk: ChunkSpan::SETUP,
+            attempt: 0,
+            worker,
+            range: 0..0,
+            start_ns: self.ns_since_origin(started),
+            dur_ns: started.elapsed().as_nanos() as u64,
+            ops: 0,
+            ok: true,
+        });
+    }
 }
 
 /// Worker-local state builder (kernel contexts, scratch — never shared).
@@ -764,12 +840,14 @@ type ExecFn<'a, S> = &'a (dyn Fn(&mut S, Range<u32>, bool) -> (CostReport, Trian
 /// triggered budget records the first [`StopReason`] and stops all workers
 /// at their next boundary; in-flight chunks finish, so completed output is
 /// never torn.
+#[allow(clippy::too_many_arguments)] // internal seam: scheduler wiring, not API
 fn run_schedule<S>(
     jobs: &[(u32, Range<u32>)],
     threads: usize,
     max_attempts: u32,
     budget: &ActiveBudget,
     plan: Option<&FaultPlan>,
+    ctx: &SpanCtx<'_>,
     init: InitFn<'_, S>,
     exec: ExecFn<'_, S>,
 ) -> ScheduleOutcome {
@@ -792,12 +870,21 @@ fn run_schedule<S>(
             .enumerate()
             .map(|(id, local)| {
                 scope.spawn(move || {
+                    let recording = ctx.recorder.enabled();
+                    let worker_started = Instant::now();
                     let mut stats = ThreadStats::default();
                     let mut results: Vec<ChunkOutput> = Vec::new();
+                    let init_started = Instant::now();
                     let mut state = init();
+                    if recording {
+                        ctx.setup_span(id, init_started);
+                    }
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
+                        }
+                        if recording {
+                            ctx.recorder.add(Counter::BudgetChecks, 1);
                         }
                         if let Some(reason) = budget.check() {
                             let mut v = lock_tolerant(verdict);
@@ -814,6 +901,14 @@ fn run_schedule<S>(
                             };
                         let (chunk, range) = &jobs[slot as usize];
                         let degraded = attempt > 0 && attempt + 1 >= max_attempts;
+                        if recording {
+                            if attempt > 0 {
+                                ctx.recorder.add(Counter::ChunkRetries, 1);
+                            }
+                            if degraded {
+                                ctx.recorder.add(Counter::Degradations, 1);
+                            }
+                        }
                         let started = Instant::now();
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             if let Some(plan) = plan {
@@ -821,7 +916,23 @@ fn run_schedule<S>(
                             }
                             exec(&mut state, range.clone(), degraded)
                         }));
-                        stats.busy += started.elapsed();
+                        // one duration for both the thread telemetry and
+                        // the span, so span-derived load balance matches
+                        // ThreadStats-derived exactly
+                        let dur = started.elapsed();
+                        stats.busy += dur;
+                        let mut span = recording.then(|| ChunkSpan {
+                            method: ctx.method,
+                            policy: if degraded { "paper" } else { ctx.policy },
+                            chunk: *chunk,
+                            attempt,
+                            worker: id,
+                            range: range.clone(),
+                            start_ns: ctx.ns_since_origin(started),
+                            dur_ns: dur.as_nanos() as u64,
+                            ops: 0,
+                            ok: false,
+                        });
                         match outcome {
                             Ok((cost, tris)) => {
                                 budget.add_memory(tris.bytes());
@@ -829,6 +940,22 @@ fn run_schedule<S>(
                                 stats.steals += stolen as u64;
                                 stats.operations =
                                     stats.operations.saturating_add(cost.operations());
+                                if let Some(span) = &mut span {
+                                    span.ops = cost.operations();
+                                    span.ok = true;
+                                    ctx.recorder.observe(HistKind::ChunkWallNs, span.dur_ns);
+                                    ctx.recorder.observe(HistKind::ChunkOps, span.ops);
+                                    if matches!(ctx.method, Method::T1 | Method::T2) {
+                                        // T-method lookups are oracle
+                                        // candidate checks; hits are
+                                        // exactly the listed triangles
+                                        ctx.recorder.add(Counter::OracleHits, cost.triangles);
+                                        ctx.recorder.add(
+                                            Counter::OracleMisses,
+                                            cost.lookups.saturating_sub(cost.triangles),
+                                        );
+                                    }
+                                }
                                 results.push((*chunk, cost, tris.into_vec()));
                             }
                             Err(payload) => {
@@ -846,6 +973,17 @@ fn run_schedule<S>(
                                 }
                             }
                         }
+                        if let Some(span) = span {
+                            ctx.recorder.span(span);
+                        }
+                    }
+                    if recording {
+                        ctx.recorder.add(Counter::Steals, stats.steals);
+                        let idle = worker_started
+                            .elapsed()
+                            .saturating_sub(stats.busy)
+                            .as_nanos() as u64;
+                        ctx.recorder.observe(HistKind::WorkerIdleNs, idle);
                     }
                     (stats, results)
                 })

@@ -1,0 +1,205 @@
+//! Profiles the listing runtime with the observability layer on: every
+//! fundamental method under its optimal orientation × {paper-faithful,
+//! adaptive} kernels, each run through [`list_resilient`] with an
+//! [`InMemoryRecorder`] attached. Prints a span timeline, the top-k
+//! hottest chunks, and the measured-vs-model table (span nanoseconds per
+//! modeled operation), then writes the whole report as JSON
+//! (`target/profile_metrics.json` unless `--metrics-out` overrides it).
+//!
+//! Defaults to one thread so the span total is directly comparable to the
+//! end-to-end wall clock; the binary self-checks that single-threaded span
+//! coverage stays within 10% of each run's wall time.
+//!
+//! `--overhead-check [TOL]` switches to a smoke test instead: the same
+//! runs are timed best-of-5 with no recorder and with the no-op recorder,
+//! and the binary fails if the no-op recorder costs more than TOL
+//! (default 5%) extra wall clock.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use trilist_core::{list_resilient, KernelPolicy, Method, NoopRecorder, Recorder, RunOutcome};
+use trilist_experiments::obs::{render_hottest, render_timeline};
+use trilist_experiments::sim::{one_graph, seeded_rng};
+use trilist_experiments::{ObsSession, Opts, Table};
+use trilist_graph::dist::Truncation;
+use trilist_order::DirectedGraph;
+
+const ALPHA: f64 = 1.5;
+const COVERAGE_TOLERANCE: f64 = 0.10;
+
+fn main() {
+    // `--overhead-check [TOL]` is profile-specific: strip it before the
+    // shared parser sees it.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut overhead_tol: Option<f64> = None;
+    if let Some(i) = raw.iter().position(|a| a == "--overhead-check") {
+        raw.remove(i);
+        overhead_tol = Some(match raw.get(i).and_then(|v| v.parse::<f64>().ok()) {
+            Some(t) => {
+                raw.remove(i);
+                t
+            }
+            None => 0.05,
+        });
+    }
+    let mut opts = Opts::parse_from(raw);
+    // single-threaded by default: span total ≈ wall clock, so the
+    // measured-vs-model join is an apples-to-apples comparison
+    if opts.threads.is_none() {
+        opts.threads = Some(1);
+    }
+    if overhead_tol.is_none() && opts.metrics_out.is_none() {
+        opts.metrics_out = Some(std::path::PathBuf::from("target/profile_metrics.json"));
+    }
+
+    let n = *opts.sizes().last().expect("sizes() is non-empty");
+    let cfg = opts.sim_config(ALPHA, Truncation::Root);
+    let mut rng = seeded_rng(cfg.base_seed);
+    let graph = one_graph(&cfg, n, &mut rng);
+    println!(
+        "profile graph: Pareto alpha={ALPHA} root truncation, n={n}, m={}, threads={}",
+        graph.m(),
+        opts.thread_count()
+    );
+
+    if let Some(tol) = overhead_tol {
+        overhead_check(&opts, &graph, &mut rng, tol);
+        return;
+    }
+
+    let mut session = ObsSession::from_opts(&opts).expect("profile always records");
+    let policies = [
+        ("paper", KernelPolicy::PaperFaithful),
+        ("adaptive", KernelPolicy::adaptive()),
+    ];
+    let threads = opts.thread_count();
+    let mut coverage_failures = Vec::new();
+    for method in Method::FUNDAMENTAL {
+        let family = method.optimal_family();
+        let dg = DirectedGraph::orient(&graph, &family.relabeling(&graph, &mut rng));
+        let modeled = method.predicted_operations(&dg);
+        for (pname, policy) in policies {
+            let mut ropts = opts.resilient_opts();
+            ropts.parallel.policy = policy;
+            // coarse chunks: per-chunk scheduling/merge time stays tiny
+            // relative to kernel time, so spans cover the wall clock
+            ropts.parallel.target_chunk_ops = 200_000;
+            session.attach(&mut ropts);
+            let started = Instant::now();
+            let outcome = list_resilient(&dg, method, &ropts).expect("fundamental method");
+            let wall = started.elapsed();
+            let run = match outcome {
+                RunOutcome::Complete(run) => run,
+                RunOutcome::Partial(p) => {
+                    eprintln!(
+                        "profile run stopped early ({}); rerun without budgets",
+                        p.reason
+                    );
+                    std::process::exit(1);
+                }
+            };
+            let (rec, spans) = session.take_run();
+            let label = format!("{}+{} [{pname}]", method.name(), family.name());
+            session.measure(
+                method.name(),
+                pname,
+                modeled,
+                wall.as_nanos() as u64,
+                run.triangles.len() as u64,
+                threads,
+                &spans,
+            );
+            println!();
+            render_timeline(&label, &spans, 12).print();
+            render_hottest(&label, &rec, 5).print();
+            let span_total = rec.span_total_ns();
+            let coverage = span_total as f64 / wall.as_nanos().max(1) as f64;
+            println!(
+                "{label}: span total {:.3}ms over wall {:.3}ms — coverage {:.1}%",
+                span_total as f64 / 1e6,
+                wall.as_secs_f64() * 1e3,
+                coverage * 100.0
+            );
+            if threads == 1 && (coverage - 1.0).abs() > COVERAGE_TOLERANCE {
+                coverage_failures.push(format!("{label}: coverage {:.3}", coverage));
+            }
+        }
+    }
+    session.finish().expect("writing the metrics file");
+    if !coverage_failures.is_empty() {
+        eprintln!("span coverage outside {:.0}%:", COVERAGE_TOLERANCE * 100.0);
+        for f in &coverage_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("span coverage within 10% of wall clock for every single-threaded run");
+}
+
+/// Times one `list_resilient` run with the given recorder.
+fn one_wall(
+    dg: &DirectedGraph,
+    method: Method,
+    opts: &Opts,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> Duration {
+    let mut ropts = opts.resilient_opts();
+    ropts.parallel.target_chunk_ops = 200_000;
+    ropts.recorder = recorder;
+    let started = Instant::now();
+    let outcome = list_resilient(dg, method, &ropts).expect("fundamental method");
+    let wall = started.elapsed();
+    assert!(
+        matches!(outcome, RunOutcome::Complete(_)),
+        "overhead check needs unbudgeted runs"
+    );
+    wall
+}
+
+/// Compares bare runs against no-op-recorder runs; fails above `tol`.
+fn overhead_check(opts: &Opts, graph: &trilist_graph::Graph, rng: &mut impl rand::Rng, tol: f64) {
+    const REPS: usize = 5;
+    let mut table = Table::new(
+        format!("no-op recorder overhead (best of {REPS})"),
+        &["method", "bare", "noop recorder", "overhead"],
+    );
+    let mut bare_total = Duration::ZERO;
+    let mut noop_total = Duration::ZERO;
+    for method in Method::FUNDAMENTAL {
+        let family = method.optimal_family();
+        let dg = DirectedGraph::orient(graph, &family.relabeling(graph, rng));
+        // warm caches, then interleave bare/noop reps so thermal and
+        // allocator drift hits both sides equally
+        one_wall(&dg, method, opts, None);
+        let mut bare = Duration::MAX;
+        let mut noop = Duration::MAX;
+        for _ in 0..REPS {
+            bare = bare.min(one_wall(&dg, method, opts, None));
+            noop = noop.min(one_wall(&dg, method, opts, Some(Arc::new(NoopRecorder))));
+        }
+        bare_total += bare;
+        noop_total += noop;
+        table.row(vec![
+            format!("{}+{}", method.name(), family.name()),
+            format!("{:.3}ms", bare.as_secs_f64() * 1e3),
+            format!("{:.3}ms", noop.as_secs_f64() * 1e3),
+            format!(
+                "{:+.2}%",
+                (noop.as_secs_f64() / bare.as_secs_f64() - 1.0) * 100.0
+            ),
+        ]);
+    }
+    table.print();
+    let overhead = noop_total.as_secs_f64() / bare_total.as_secs_f64() - 1.0;
+    println!(
+        "total: bare {:.3}ms vs noop {:.3}ms — overhead {:+.2}% (tolerance {:.0}%)",
+        bare_total.as_secs_f64() * 1e3,
+        noop_total.as_secs_f64() * 1e3,
+        overhead * 100.0,
+        tol * 100.0
+    );
+    if overhead > tol {
+        eprintln!("no-op recorder overhead {overhead:.4} exceeds tolerance {tol}");
+        std::process::exit(1);
+    }
+}

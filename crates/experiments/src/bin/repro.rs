@@ -7,13 +7,26 @@
 //! suite's* wall clock: binaries still pending when the deadline passes
 //! are skipped (each child also receives the flag, so a long-running
 //! resilient stage inside a binary is interrupted cooperatively too).
+//!
+//! Everything printed is also teed to `target/repro_output.txt`, so a full
+//! run leaves a durable transcript without shell redirection.
 
+use std::io::Write;
 use std::process::Command;
 use std::time::Instant;
 use trilist_experiments::cli::parse_duration;
 
+/// Prints a line and appends it to the transcript.
+fn tee(log: &mut std::fs::File, line: &str) {
+    println!("{line}");
+    writeln!(log, "{line}").expect("writing the repro transcript");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    std::fs::create_dir_all("target").expect("creating target/");
+    let log_path = std::path::Path::new("target/repro_output.txt");
+    let mut log = std::fs::File::create(log_path).expect("creating the repro transcript");
     let deadline = args.iter().position(|a| a == "--deadline").map(|i| {
         let raw = args.get(i + 1).expect("--deadline requires a value");
         parse_duration(raw).unwrap_or_else(|e| panic!("--deadline: {e}"))
@@ -40,24 +53,38 @@ fn main() {
     for bin in bins {
         if let Some(d) = deadline {
             if started.elapsed() >= d {
-                println!(
-                    "== repro deadline ({d:?}) reached after {:.1}s; skipping {bin} and the rest",
-                    started.elapsed().as_secs_f64()
+                tee(
+                    &mut log,
+                    &format!(
+                        "== repro deadline ({d:?}) reached after {:.1}s; skipping {bin} and the rest",
+                        started.elapsed().as_secs_f64()
+                    ),
                 );
                 return;
             }
         }
-        println!("==================================================================");
-        println!("== {bin}");
-        println!("==================================================================");
-        let status = Command::new(dir.join(bin))
+        tee(
+            &mut log,
+            "==================================================================",
+        );
+        tee(&mut log, &format!("== {bin}"));
+        tee(
+            &mut log,
+            "==================================================================",
+        );
+        let output = Command::new(dir.join(bin))
             .args(&args)
-            .status()
+            .output()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
+        tee(&mut log, String::from_utf8_lossy(&output.stdout).trim_end());
+        if !output.stderr.is_empty() {
+            tee(&mut log, String::from_utf8_lossy(&output.stderr).trim_end());
+        }
+        if !output.status.success() {
+            eprintln!("{bin} exited with {}", output.status);
             std::process::exit(1);
         }
-        println!();
+        tee(&mut log, "");
     }
+    println!("transcript written to {}", log_path.display());
 }

@@ -20,7 +20,7 @@ use trilist_core::{
     list_resilient, par_list, silence_injected_panics, Method, ResilientOpts, RunOutcome,
 };
 use trilist_experiments::sim::{one_graph, seeded_rng};
-use trilist_experiments::{Opts, Table};
+use trilist_experiments::{ObsSession, Opts, Table};
 use trilist_graph::dist::Truncation;
 use trilist_order::DirectedGraph;
 
@@ -34,6 +34,7 @@ fn main() {
     let mut rng = seeded_rng(cfg.base_seed);
     let graph = one_graph(&cfg, n, &mut rng);
     let ropts = opts.resilient_opts();
+    let mut session = ObsSession::from_opts(&opts);
     println!(
         "graph: Pareto alpha={ALPHA} root truncation, n={n}, m={}; threads={}, \
          max_attempts={}, budget={:?}, fault_plan={:?}",
@@ -63,9 +64,34 @@ fn main() {
         let want = par_list(&dg, method, opts.thread_count())
             .expect("baseline parallel run")
             .triangles;
+        let mut ropts = ropts.clone();
+        if let Some(session) = &session {
+            session.attach(&mut ropts);
+        }
         let started = Instant::now();
         let outcome = list_resilient(&dg, method, &ropts).expect("fundamental method");
         let wall = started.elapsed();
+        if let Some(session) = &mut session {
+            let (rec, spans) = session.take_run();
+            let triangles = match &outcome {
+                RunOutcome::Complete(run) => run.triangles.len() as u64,
+                RunOutcome::Partial(p) => p.triangles().len() as u64,
+            };
+            session.measure(
+                method.name(),
+                ropts.parallel.policy.name(),
+                method.predicted_operations(&dg),
+                wall.as_nanos() as u64,
+                triangles,
+                opts.thread_count(),
+                &spans,
+            );
+            session.trace_run(
+                &format!("{}+{}", method.name(), family.name()),
+                &rec,
+                &spans,
+            );
+        }
         let row = match outcome {
             RunOutcome::Complete(run) => {
                 let ok = run.triangles == want;
@@ -104,6 +130,9 @@ fn main() {
         table.row(row);
     }
     table.print();
+    if let Some(session) = &session {
+        session.finish().expect("writing the metrics file");
+    }
     println!();
     println!(
         "resume+merge: a partial outcome is resumed without budget or faults \

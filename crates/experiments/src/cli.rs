@@ -1,11 +1,12 @@
 //! Tiny argument parsing shared by the reproduction binaries (no external
 //! CLI dependency).
 
+use std::path::PathBuf;
 use std::time::Duration;
 use trilist_core::{FaultPlan, ResilientOpts, RunBudget};
 
 /// Options accepted by every `table*` binary.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Opts {
     /// `--full`: use the paper's replication counts and sizes (slow).
     pub full: bool,
@@ -30,6 +31,12 @@ pub struct Opts {
     /// the mixed default plan, or `key=value` pairs (see
     /// [`parse_fault_plan`]).
     pub fault_plan: Option<FaultPlan>,
+    /// `--metrics-out PATH`: write the measured-vs-model JSON report here
+    /// after instrumented runs (implies recording).
+    pub metrics_out: Option<PathBuf>,
+    /// `--trace`: attach an in-memory recorder and print the span timeline
+    /// and counters after instrumented runs.
+    pub trace: bool,
 }
 
 impl Default for Opts {
@@ -44,6 +51,8 @@ impl Default for Opts {
             deadline: None,
             mem_budget: None,
             fault_plan: None,
+            metrics_out: None,
+            trace: false,
         }
     }
 }
@@ -94,10 +103,16 @@ impl Opts {
                         parse_fault_plan(&raw).unwrap_or_else(|e| panic!("--fault-plan: {e}")),
                     );
                 }
+                "--metrics-out" => {
+                    let raw = it.next().expect("--metrics-out requires a path");
+                    opts.metrics_out = Some(PathBuf::from(raw));
+                }
+                "--trace" => opts.trace = true,
                 "--help" | "-h" => {
                     println!(
                         "flags: --full | --max-n N | --sequences S | --graphs G | --seed X \
-                         | --threads T | --deadline D | --mem-budget B | --fault-plan SPEC"
+                         | --threads T | --deadline D | --mem-budget B | --fault-plan SPEC \
+                         | --metrics-out PATH | --trace"
                     );
                     std::process::exit(0);
                 }
@@ -154,12 +169,19 @@ impl Opts {
     }
 
     /// [`ResilientOpts`] assembled from the budget, fault-plan, and thread
-    /// flags.
+    /// flags. Attach a recorder via [`crate::obs::ObsSession`] when
+    /// [`Opts::wants_recording`].
     pub fn resilient_opts(&self) -> ResilientOpts {
         let mut opts = ResilientOpts::with_threads(self.thread_count());
         opts.budget = self.budget();
         opts.fault_plan = self.fault_plan;
         opts
+    }
+
+    /// True when `--trace` or `--metrics-out` asked for an instrumented
+    /// run.
+    pub fn wants_recording(&self) -> bool {
+        self.trace || self.metrics_out.is_some()
     }
 
     /// A [`crate::sim::SimConfig`] with these replication counts.
@@ -324,6 +346,23 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         Opts::parse_from(vec!["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn observability_flags() {
+        let o = Opts::parse_from(Vec::<String>::new());
+        assert!(!o.trace);
+        assert_eq!(o.metrics_out, None);
+        assert!(!o.wants_recording());
+        let o = Opts::parse_from(vec!["--trace".to_string()]);
+        assert!(o.trace && o.wants_recording());
+        let o = Opts::parse_from(
+            ["--metrics-out", "target/metrics.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.metrics_out, Some(PathBuf::from("target/metrics.json")));
+        assert!(o.wants_recording());
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use crate::storage::{EdgeFile, IoStats, ScratchDir};
 use trilist_core::kernel::{Kernels, ListDir};
-use trilist_core::{CostReport, RunBudget, StopReason};
+use trilist_core::obs::{ChunkSpan, Counter, HistKind, Recorder, NOOP};
+use trilist_core::{CostReport, Method, RunBudget, StopReason};
 use trilist_order::DirectedGraph;
 
 /// Estimated resident bytes per column edge: the `u32` target plus its
@@ -220,8 +221,27 @@ pub fn xm_e1_budgeted<F: FnMut(u32, u32, u32)>(
     parts: &Partitioning,
     k: &Kernels,
     budget: &RunBudget,
+    sink: F,
+) -> std::io::Result<XmOutcome> {
+    xm_e1_observed(g, parts, k, budget, &NOOP, sink)
+}
+
+/// [`xm_e1_budgeted`] with an observability sink: each completed pass is
+/// emitted as a [`ChunkSpan`] (method `E1`, chunk = pass index, worker 0,
+/// range = the pass's column interval) with chunk-wall/op histograms, and
+/// every pass-boundary budget gate counts a
+/// [`Counter::BudgetChecks`]. Recording is pure observation — triangles,
+/// cost, and I/O accounting are identical to the unobserved run.
+pub fn xm_e1_observed<F: FnMut(u32, u32, u32)>(
+    g: &DirectedGraph,
+    parts: &Partitioning,
+    k: &Kernels,
+    budget: &RunBudget,
+    recorder: &dyn Recorder,
     mut sink: F,
 ) -> std::io::Result<XmOutcome> {
+    let recording = recorder.enabled();
+    let origin = std::time::Instant::now();
     let active = budget.start();
     let scratch = ScratchDir::new("e1")?;
     let mut io = IoStats::default();
@@ -251,12 +271,17 @@ pub fn xm_e1_budgeted<F: FnMut(u32, u32, u32)>(
     let mut peak = 0usize;
     let mut completed = 0usize;
     let mut stopped = None;
-    for column in columns.iter() {
+    for (pass, column) in columns.iter().enumerate() {
         // deadline / cancellation gate before committing to a pass
+        if recording {
+            recorder.add(Counter::BudgetChecks, 1);
+        }
         if let Some(reason) = active.check() {
             stopped = Some(reason);
             break;
         }
+        let pass_started = std::time::Instant::now();
+        let ops_before = cost.operations();
         // load column a: per-node slices of out-neighbors inside interval a
         let mut col_adj: Vec<Vec<u32>> = vec![Vec::new(); g.n()];
         let mut loaded = 0usize;
@@ -270,6 +295,9 @@ pub fn xm_e1_budgeted<F: FnMut(u32, u32, u32)>(
         // bail before streaming if it blows the ceiling
         let charge = loaded as u64 * COLUMN_BYTES_PER_EDGE;
         active.add_memory(charge);
+        if recording {
+            recorder.add(Counter::BudgetChecks, 1);
+        }
         if let Some(reason) = active.check() {
             active.release_memory(charge);
             stopped = Some(reason);
@@ -299,6 +327,24 @@ pub fn xm_e1_budgeted<F: FnMut(u32, u32, u32)>(
         io.edges_streamed += edge_file.len();
         active.release_memory(charge);
         completed += 1;
+        if recording {
+            let dur_ns = pass_started.elapsed().as_nanos() as u64;
+            let ops = cost.operations().saturating_sub(ops_before);
+            recorder.observe(HistKind::ChunkWallNs, dur_ns);
+            recorder.observe(HistKind::ChunkOps, ops);
+            recorder.span(ChunkSpan {
+                method: Method::E1,
+                policy: k.policy().name(),
+                chunk: pass as u32,
+                attempt: 0,
+                worker: 0,
+                range: parts.interval(pass),
+                start_ns: pass_started.saturating_duration_since(origin).as_nanos() as u64,
+                dur_ns,
+                ops,
+                ok: true,
+            });
+        }
     }
     let run = XmRun {
         cost,
@@ -577,6 +623,48 @@ mod tests {
         let outcome =
             xm_e1_budgeted(&dg, &parts, &Kernels::paper(), &budget, |_, _, _| {}).unwrap();
         assert!(outcome.is_complete());
+    }
+
+    #[test]
+    fn observed_run_is_identical_and_spans_cover_every_pass() {
+        use trilist_core::obs::{Counter, InMemoryRecorder};
+        let dg = fixture(800, 12);
+        let p = 5;
+        let parts = Partitioning::balanced(&dg, p);
+        let mut want = Vec::new();
+        let plain = xm_e1_with(&dg, &parts, |x, y, z| want.push((x, y, z))).unwrap();
+        let rec = InMemoryRecorder::new();
+        let mut got = Vec::new();
+        let observed = xm_e1_observed(
+            &dg,
+            &parts,
+            &Kernels::paper(),
+            &RunBudget::unlimited(),
+            &rec,
+            |x, y, z| got.push((x, y, z)),
+        )
+        .unwrap()
+        .complete()
+        .expect("unlimited budget");
+        assert_eq!(got, want, "recording must not change the triangles");
+        assert_eq!(observed.cost, plain.cost);
+        assert_eq!(observed.io.edges_streamed, plain.io.edges_streamed);
+        // one ok span per pass, covering the column intervals exactly
+        let spans = rec.spans();
+        assert_eq!(spans.len(), p);
+        for (a, s) in spans.iter().enumerate() {
+            assert_eq!(s.chunk, a as u32);
+            assert_eq!(s.range, parts.interval(a));
+            assert_eq!(s.method, Method::E1);
+            assert!(s.ok);
+        }
+        assert_eq!(
+            spans.iter().map(|s| s.ops).sum::<u64>(),
+            plain.cost.operations(),
+            "span ops partition the run's operations"
+        );
+        // two budget gates per started pass
+        assert_eq!(rec.counter(Counter::BudgetChecks), 2 * p as u64);
     }
 
     #[test]

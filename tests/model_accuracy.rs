@@ -190,3 +190,74 @@ fn w2_model_reduces_error_in_unconstrained_graphs() {
     assert!(err2 < err1, "w1 err {err1} vs w2 err {err2}");
     assert!(err2 < 0.25, "w2 err {err2}");
 }
+
+#[test]
+fn golden_model_predictions_are_pinned() {
+    // Golden regression pins for eq. (50): three Pareto configurations
+    // spanning the paper's α regimes (heavy 1.5, Table-6/7 1.7, light
+    // 2.5), evaluated at fixed n with the identity weight. The model is
+    // analytic, so any drift beyond float-accumulation noise (relative
+    // 1e-9) means the cost model changed — bump these values only with a
+    // derivation in hand, not to make the test pass.
+    use trilist::graph::dist::Truncation;
+    use trilist_experiments::limit_cell;
+
+    struct Golden {
+        alpha: f64,
+        n: usize,
+        class: CostClass,
+        map: LimitMap,
+        model: f64,
+        limit: f64,
+    }
+    let pins = [
+        Golden {
+            alpha: 1.5,
+            n: 10_000,
+            class: CostClass::T1,
+            map: LimitMap::Descending,
+            model: 39.330826741147945,
+            limit: 356.27594861060186,
+        },
+        Golden {
+            alpha: 1.7,
+            n: 100_000,
+            class: CostClass::T2,
+            map: LimitMap::RoundRobin,
+            model: 181.46624831446564,
+            limit: 770.4177864197397,
+        },
+        Golden {
+            alpha: 2.5,
+            n: 10_000,
+            class: CostClass::E4,
+            map: LimitMap::ComplementaryRoundRobin,
+            model: 249.8201676408816,
+            limit: 1432.9070067582604,
+        },
+    ];
+    for g in &pins {
+        let cfg = SimConfig::quick(g.alpha, Truncation::Root);
+        let model = model_cell(&cfg, g.n, g.class, g.map, WeightFn::Identity);
+        let rel = (model - g.model).abs() / g.model;
+        assert!(
+            rel < 1e-9,
+            "alpha={} n={} {:?}/{:?}: model {model:?} drifted from pinned {:?} (rel {rel:e})",
+            g.alpha,
+            g.n,
+            g.class,
+            g.map,
+            g.model
+        );
+        let limit = limit_cell(&cfg, g.class, g.map).expect("these configs have finite limits");
+        let rel = (limit - g.limit).abs() / g.limit;
+        assert!(
+            rel < 1e-9,
+            "alpha={} {:?}/{:?}: limit {limit:?} drifted from pinned {:?} (rel {rel:e})",
+            g.alpha,
+            g.class,
+            g.map,
+            g.limit
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based invariants for the observability layer (proptest):
+//! log2 bucketing is total and monotone over all of `u64`, counter
+//! snapshot merging is associative and commutative, and the hand-rolled
+//! measured-vs-model JSON codec round-trips losslessly.
+
+use proptest::prelude::*;
+use trilist::core::{
+    log2_bucket, Counter, CounterSnapshot, MeasuredVsModel, MethodMeasurement, HIST_BUCKETS,
+};
+
+/// Strategy: an arbitrary counter snapshot.
+fn arb_snapshot() -> impl Strategy<Value = CounterSnapshot> {
+    proptest::collection::vec(any::<u64>(), Counter::COUNT).prop_map(|v| {
+        let mut s = CounterSnapshot::default();
+        s.counts.copy_from_slice(&v);
+        s
+    })
+}
+
+/// Characters the JSON escaper must survive: quotes, backslashes, braces,
+/// separators, a control character, and a non-ASCII scalar.
+const AWKWARD: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '/', '{', '}', '[', ']', ':', ',', '.', '-', '_', '\n', '\t',
+    '\u{1}', 'é',
+];
+
+/// Strategy: a short string over [`AWKWARD`].
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..AWKWARD.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| AWKWARD[i]).collect())
+}
+
+/// Strategy: one measured-vs-model entry with awkward strings and finite
+/// floats.
+fn arb_entry() -> impl Strategy<Value = MethodMeasurement> {
+    (
+        (arb_label(), arb_label()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u32>(), any::<u32>(), 0u32..=1_000_000),
+    )
+        .prop_map(
+            |((method, policy), (modeled, measured, wall), (spans, tris, eff_millionths))| {
+                MethodMeasurement::derive(
+                    &method,
+                    &policy,
+                    modeled,
+                    measured,
+                    wall,
+                    spans as u64,
+                    tris as u64,
+                    eff_millionths as f64 / 1e6,
+                )
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn log2_bucket_total_and_monotone(v in any::<u64>(), w in any::<u64>()) {
+        let (bv, bw) = (log2_bucket(v), log2_bucket(w));
+        prop_assert!(bv < HIST_BUCKETS, "bucket {bv} out of range for {v}");
+        prop_assert!(bw < HIST_BUCKETS);
+        if v <= w {
+            prop_assert!(bv <= bw, "bucketing must be monotone: {v}→{bv}, {w}→{bw}");
+        }
+        // the bucket is the bit length: 2^(b-1) <= v < 2^b for v > 0
+        if v > 0 {
+            let b = bv as u32;
+            prop_assert!(v >= 1u64.checked_shl(b - 1).unwrap_or(u64::MAX));
+            prop_assert!(b == 64 || v < 1u64 << b);
+        } else {
+            prop_assert_eq!(bv, 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        let ab = a.merge(&b);
+        prop_assert_eq!(ab, b.merge(&a), "merge must commute");
+        prop_assert_eq!(ab.merge(&c), a.merge(&b.merge(&c)), "merge must associate");
+        let zero = CounterSnapshot::default();
+        prop_assert_eq!(a.merge(&zero), a, "zero is the identity");
+    }
+
+    #[test]
+    fn measured_vs_model_json_round_trips(entries in proptest::collection::vec(arb_entry(), 0..6)) {
+        let report = MeasuredVsModel { entries };
+        let json = report.to_json();
+        let parsed = MeasuredVsModel::from_json(&json).expect("own output must parse");
+        prop_assert_eq!(&parsed, &report, "decode(encode(r)) != r\njson: {}", json);
+        // and the codec is a fixpoint: re-encoding the parse is stable
+        prop_assert_eq!(parsed.to_json(), json);
+    }
+}

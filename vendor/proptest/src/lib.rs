@@ -33,6 +33,18 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count to actually run: the `PROPTEST_CASES` environment
+    /// variable overrides the configured count when set (matching
+    /// upstream), so CI can run extended sweeps without code changes.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {v:?}")),
+            Err(_) => self.cases,
+        }
+    }
 }
 
 /// Why a single test case did not pass.
@@ -399,11 +411,12 @@ macro_rules! __proptest_impl {
             #[test]
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
                 let mut rng = $crate::runner_rng(concat!(module_path!(), "::", stringify!($name)));
                 let mut passed: u32 = 0;
                 let mut attempts: u32 = 0;
-                let max_attempts = config.cases.saturating_mul(10).max(100);
-                while passed < config.cases {
+                let max_attempts = cases.saturating_mul(10).max(100);
+                while passed < cases {
                     attempts += 1;
                     if attempts > max_attempts {
                         panic!(
@@ -422,7 +435,7 @@ macro_rules! __proptest_impl {
                         ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
                             panic!(
                                 "proptest {} failed at case {} of {}: {}",
-                                stringify!($name), passed + 1, config.cases, msg
+                                stringify!($name), passed + 1, cases, msg
                             );
                         }
                     }
