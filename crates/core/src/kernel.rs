@@ -172,6 +172,16 @@ impl KernelPolicy {
             KernelPolicy::Adaptive(_) => "adaptive",
         }
     }
+
+    /// Inverse of [`KernelPolicy::name`] (with default adaptive tuning):
+    /// `"paper"` / `"adaptive"`. Used by wire protocols and CLI flags.
+    pub fn from_name(name: &str) -> Option<KernelPolicy> {
+        match name {
+            "paper" => Some(KernelPolicy::PaperFaithful),
+            "adaptive" => Some(KernelPolicy::adaptive()),
+            _ => None,
+        }
+    }
 }
 
 const NO_ROW: u32 = u32::MAX;

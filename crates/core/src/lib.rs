@@ -64,7 +64,8 @@ pub use parallel::{
 pub use prior_art::{chiba_nishizeki, forward};
 pub use resilient::{
     list_resilient, silence_injected_panics, ActiveBudget, CancelToken, ChunkFault, ChunkPiece,
-    Fault, FaultPlan, PartialRun, ResilientOpts, ResumePoint, RunBudget, RunOutcome, StopReason,
+    Fault, FaultPlan, MemoryGauge, PartialRun, ResilientOpts, ResumeParseError, ResumePoint,
+    RunBudget, RunOutcome, StopReason,
 };
 pub use sink::{FirstK, PerNodeCounter, ReservoirSink, TriangleBuffer};
 pub use unrelabeled::OrientedOnly;

@@ -180,6 +180,12 @@ pub struct ParallelRun {
     /// empty under [`par_list`], which allows a single attempt; populated
     /// by the resilient runtime when retries saved the run).
     pub faults: Vec<ChunkFault>,
+    /// `(global chunk index, triangle count)` per merged piece, ascending
+    /// by chunk index and aligned with `triangles` — a session layer can
+    /// split the flat list back into chunk-tagged pieces, which is what
+    /// lets a resumed run on the far side of a wire be merged with the
+    /// earlier partial pieces in exact sequential order.
+    pub piece_counts: Vec<(u32, u32)>,
 }
 
 impl ParallelRun {
@@ -342,8 +348,7 @@ pub fn par_list_with(
         parallel: *opts,
         budget: RunBudget::unlimited(),
         max_attempts: 1,
-        fault_plan: None,
-        recorder: None,
+        ..ResilientOpts::default()
     };
     match resilient::list_resilient(g, method, &ropts)? {
         RunOutcome::Complete(run) => Ok(run),

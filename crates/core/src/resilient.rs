@@ -78,6 +78,44 @@ impl CancelToken {
     }
 }
 
+/// A process-wide memory gauge shared by a cache layer and any number of
+/// concurrent runs, so both respect one global ceiling.
+///
+/// Clone it freely — clones share the same counter. Attach a clone to a
+/// [`RunBudget`] via [`RunBudget::with_gauge`]: the run's transient
+/// allocations (oracle build, kernel bitmaps, staged triangles) are charged
+/// to the shared gauge while the run executes and released when it
+/// concludes, while charges made directly through [`MemoryGauge::add`]
+/// (e.g. cache entries) persist until explicitly released.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryGauge(Arc<AtomicU64>);
+
+impl MemoryGauge {
+    /// A fresh gauge reading zero.
+    pub fn new() -> Self {
+        MemoryGauge::default()
+    }
+
+    /// Charge `bytes` to the gauge.
+    pub fn add(&self, bytes: u64) {
+        self.0.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Return `bytes` to the gauge (saturating at zero).
+    pub fn release(&self, bytes: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
+                Some(u.saturating_sub(bytes))
+            });
+    }
+
+    /// Bytes currently charged by every holder of this gauge.
+    pub fn used(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Why a run stopped before completing every chunk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StopReason {
@@ -115,6 +153,12 @@ pub struct RunBudget {
     pub memory_bytes: Option<u64>,
     /// Cooperative cancellation token, checked at chunk boundaries.
     pub cancel: Option<CancelToken>,
+    /// Shared gauge the run charges alongside its private one (see
+    /// [`MemoryGauge`]). When set, the memory ceiling is checked against
+    /// the *shared* total — cache residency plus every in-flight run —
+    /// and the run's own charges are returned to the gauge when it
+    /// concludes.
+    pub gauge: Option<MemoryGauge>,
 }
 
 impl RunBudget {
@@ -141,6 +185,12 @@ impl RunBudget {
         self
     }
 
+    /// With a shared [`MemoryGauge`] (cache + runs under one ceiling).
+    pub fn with_gauge(mut self, gauge: MemoryGauge) -> Self {
+        self.gauge = Some(gauge);
+        self
+    }
+
     /// True when no limit is set.
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none() && self.memory_bytes.is_none() && self.cancel.is_none()
@@ -155,6 +205,7 @@ impl RunBudget {
             memory_limit: self.memory_bytes,
             cancel: self.cancel.clone(),
             used: AtomicU64::new(0),
+            gauge: self.gauge.clone(),
         }
     }
 }
@@ -168,6 +219,7 @@ pub struct ActiveBudget {
     memory_limit: Option<u64>,
     cancel: Option<CancelToken>,
     used: AtomicU64,
+    gauge: Option<MemoryGauge>,
 }
 
 impl ActiveBudget {
@@ -185,16 +237,19 @@ impl ActiveBudget {
             }
         }
         if let Some(limit) = self.memory_limit {
-            if self.used.load(Ordering::Relaxed) > limit {
+            if self.total_used() > limit {
                 return Some(StopReason::MemoryExhausted);
             }
         }
         None
     }
 
-    /// Charge `bytes` to the memory gauge.
+    /// Charge `bytes` to the memory gauge (and the shared gauge, if any).
     pub fn add_memory(&self, bytes: u64) {
         self.used.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(g) = &self.gauge {
+            g.add(bytes);
+        }
     }
 
     /// Return `bytes` to the gauge (e.g. a pass-local column was dropped).
@@ -204,17 +259,40 @@ impl ActiveBudget {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
                 Some(u.saturating_sub(bytes))
             });
+        if let Some(g) = &self.gauge {
+            g.release(bytes);
+        }
     }
 
-    /// Bytes currently charged.
+    /// Bytes charged by *this run*.
     pub fn memory_used(&self) -> u64 {
         self.used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes the ceiling is compared against: the shared gauge's total
+    /// when one is attached (cache + every in-flight run), this run's
+    /// charges otherwise.
+    pub fn total_used(&self) -> u64 {
+        match &self.gauge {
+            Some(g) => g.used(),
+            None => self.memory_used(),
+        }
     }
 
     /// Bytes left under the ceiling (`None` = unlimited).
     pub fn remaining_memory(&self) -> Option<u64> {
         self.memory_limit
-            .map(|l| l.saturating_sub(self.memory_used()))
+            .map(|l| l.saturating_sub(self.total_used()))
+    }
+
+    /// Returns every byte this run charged to the shared gauge (no-op
+    /// without one): transient run memory is gone once the run concludes,
+    /// while direct cache charges persist. Called by the runtime at the
+    /// end of a run; idempotent because the local counter zeroes out.
+    pub fn settle(&self) {
+        if let Some(g) = &self.gauge {
+            g.release(self.used.swap(0, Ordering::Relaxed));
+        }
     }
 
     /// Wall time since the budget was armed.
@@ -629,6 +707,23 @@ pub struct ResilientOpts {
     /// `CostReport` field, and schedule semantics are identical with any
     /// recorder attached (`tests/obs_differential.rs`).
     pub recorder: Option<Arc<dyn Recorder>>,
+    /// A prebuilt edge oracle for T1/T2 runs (ignored by SEI methods).
+    /// When set, the runtime skips its internal [`HashOracle::build`] and
+    /// the oracle's memory charge — the holder (e.g. a graph cache)
+    /// already accounts for it. Results are byte-identical either way:
+    /// vertex iterators probe through the uncounted [`EdgeOracle::has`]
+    /// path, so a shared oracle carries no per-run state.
+    ///
+    /// [`EdgeOracle::has`]: crate::oracle::EdgeOracle::has
+    pub oracle: Option<Arc<HashOracle>>,
+    /// A prebuilt kernel context shared by all workers. When set, workers
+    /// reuse it instead of each building their own hub bitmaps (and the
+    /// per-worker bitmap memory charge is skipped — the holder accounts
+    /// for it). Its policy overrides `parallel.policy` for non-degraded
+    /// attempts. [`Kernels`] is read-only during execution, so sharing
+    /// preserves byte-identical results; when a recorder is attached each
+    /// worker clones the context to attach the run's meter.
+    pub kernels: Option<Arc<Kernels>>,
 }
 
 impl std::fmt::Debug for ResilientOpts {
@@ -639,6 +734,8 @@ impl std::fmt::Debug for ResilientOpts {
             .field("max_attempts", &self.max_attempts)
             .field("fault_plan", &self.fault_plan)
             .field("recorder", &self.recorder.as_ref().map(|_| "dyn Recorder"))
+            .field("oracle", &self.oracle.as_ref().map(|_| "shared"))
+            .field("kernels", &self.kernels.as_ref().map(|_| "shared"))
             .finish()
     }
 }
@@ -651,6 +748,8 @@ impl Default for ResilientOpts {
             max_attempts: 3,
             fault_plan: None,
             recorder: None,
+            oracle: None,
+            kernels: None,
         }
     }
 }
@@ -721,7 +820,12 @@ fn run_jobs(
     let budget = opts.budget.start();
     let recorder: &dyn Recorder = opts.recorder.as_deref().unwrap_or(&NOOP);
     let threads = opts.parallel.threads.max(1);
-    let policy = opts.parallel.policy;
+    // a shared kernel context carries its own policy; spans and degraded
+    // rebuilds must describe what actually runs
+    let policy = match &opts.kernels {
+        Some(shared) => shared.policy(),
+        None => opts.parallel.policy,
+    };
     // one shared meter for all workers' kernel contexts, allocated only
     // when a real recorder is listening — the unrecorded hot path never
     // sees a metered context at all
@@ -733,16 +837,23 @@ fn run_jobs(
         origin: Instant::now(),
     };
     let oracle_started = Instant::now();
-    let oracle = match method {
-        Method::T1 | Method::T2 => {
-            budget.add_memory(oracle_estimate_bytes(g.m()));
-            Some(HashOracle::build(g))
-        }
+    let oracle: Option<Arc<HashOracle>> = match method {
+        Method::T1 | Method::T2 => match &opts.oracle {
+            // a cache-provided oracle is already memory-accounted by its
+            // holder and carries no per-run state (T-methods probe the
+            // uncounted path), so reuse is free and byte-identical
+            Some(shared) => Some(Arc::clone(shared)),
+            None => {
+                budget.add_memory(oracle_estimate_bytes(g.m()));
+                let built = Some(Arc::new(HashOracle::build(g)));
+                if recorder.enabled() {
+                    ctx.setup_span(0, oracle_started);
+                }
+                built
+            }
+        },
         _ => None,
     };
-    if recorder.enabled() && oracle.is_some() {
-        ctx.setup_span(0, oracle_started);
-    }
     let outcome = run_schedule(
         jobs,
         threads,
@@ -750,28 +861,41 @@ fn run_jobs(
         &budget,
         opts.fault_plan.as_ref(),
         &ctx,
-        &|| {
-            // each worker gets an equal share of whatever memory remains,
-            // so concurrent kernel builds cannot jointly blow the ceiling
-            let allowance = budget.remaining_memory().map(|r| r / threads as u64);
-            let kernels = Kernels::build_within(policy, g, allowance);
-            budget.add_memory(kernels.bytes());
-            match &meter {
-                Some(m) => kernels.with_meter(Arc::clone(m)),
-                None => kernels,
+        &|| match &opts.kernels {
+            Some(shared) => match &meter {
+                // metering is worker-local observation: clone the shared
+                // context so the run's meter attaches without mutating
+                // the cached copy
+                Some(m) => Arc::new((**shared).clone().with_meter(Arc::clone(m))),
+                None => Arc::clone(shared),
+            },
+            None => {
+                // each worker gets an equal share of whatever memory
+                // remains, so concurrent kernel builds cannot jointly
+                // blow the ceiling
+                let allowance = budget.remaining_memory().map(|r| r / threads as u64);
+                let kernels = Kernels::build_within(policy, g, allowance);
+                budget.add_memory(kernels.bytes());
+                Arc::new(match &meter {
+                    Some(m) => kernels.with_meter(Arc::clone(m)),
+                    None => kernels,
+                })
             }
         },
         &|kernels, range, degraded| {
             if degraded {
-                run_chunk(g, method, oracle.as_ref(), &Kernels::paper(), range)
+                run_chunk(g, method, oracle.as_deref(), &Kernels::paper(), range)
             } else {
-                run_chunk(g, method, oracle.as_ref(), kernels, range)
+                run_chunk(g, method, oracle.as_deref(), kernels, range)
             }
         },
     );
     if let Some(m) = &meter {
         m.flush_into(recorder);
     }
+    // transient run memory (oracle, bitmaps, staged triangles) returns to
+    // the shared gauge; cache charges made directly on it persist
+    budget.settle();
     Ok(conclude(method, n, jobs, prior, outcome))
 }
 
@@ -1040,8 +1164,10 @@ fn conclude(
         let chunks = pieces.len();
         let mut cost = CostReport::default();
         let mut triangles = Vec::new();
+        let mut piece_counts = Vec::with_capacity(pieces.len());
         for p in pieces {
             cost.accumulate(&p.cost);
+            piece_counts.push((p.chunk, p.triangles.len() as u32));
             triangles.extend(p.triangles);
         }
         RunOutcome::Complete(ParallelRun {
@@ -1050,6 +1176,7 @@ fn conclude(
             threads: out.threads,
             chunks,
             faults: out.faults,
+            piece_counts,
         })
     } else {
         RunOutcome::Partial(PartialRun {

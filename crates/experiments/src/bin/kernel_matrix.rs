@@ -19,14 +19,13 @@
 //! Results are printed as tables and written machine-readably to
 //! `BENCH_listing.json` in the working directory.
 
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
 use rand::SeedableRng;
 use trilist_core::intersect::{intersect_branchless, intersect_gallop};
 use trilist_core::{BitmapOracle, HashOracle, KernelPolicy, Kernels, Method};
-use trilist_experiments::{Opts, Table};
+use trilist_experiments::{JsonWriter, Opts, Table};
 use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
 use trilist_graph::gen::{GraphGenerator, ResidualSampler};
 use trilist_model::calibrate;
@@ -156,14 +155,10 @@ fn measure(dg: &DirectedGraph, method: Method, policy: KernelPolicy, rounds: usi
     }
 }
 
-fn json_escape_free(s: &str) -> &str {
-    // all strings we emit are method/kernel names — no escaping needed
-    debug_assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
-    s
-}
-
-/// Hand-rolled JSON (no serde in the dependency tree): the machine-readable
-/// companion to the printed tables.
+/// Machine-readable companion to the printed tables, emitted through the
+/// deterministic [`JsonWriter`]: stable field order, fixed float
+/// formatting — regenerating on the same measurements reproduces the file
+/// byte-for-byte.
 fn render_json(
     crossover: Option<u32>,
     cal: &calibrate::Calibration,
@@ -171,51 +166,36 @@ fn render_json(
     sei_recommended: bool,
     cells: &[Cell],
 ) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"bench\": \"kernel_matrix\",");
-    let _ = writeln!(out, "  \"alpha\": 1.5,");
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("bench").string("kernel_matrix");
+    w.key("alpha").f64_prec(1.5, 1);
     match crossover {
-        Some(r) => {
-            let _ = writeln!(out, "  \"gallop_crossover_measured\": {r},");
-        }
-        None => {
-            let _ = writeln!(out, "  \"gallop_crossover_measured\": null,");
-        }
+        Some(r) => w.key("gallop_crossover_measured").u64(r as u64),
+        None => w.key("gallop_crossover_measured").null(),
+    };
+    w.key("calibration").begin_object();
+    w.key("hash_ops_per_sec").f64_prec(cal.hash_ops_per_sec, 1);
+    w.key("scan_ops_per_sec").f64_prec(cal.scan_ops_per_sec, 1);
+    w.key("speed_ratio").f64_prec(cal.speed_ratio, 3);
+    w.key("wn").f64_prec(wn, 3);
+    w.key("sei_recommended").bool(sei_recommended);
+    w.end_object();
+    w.key("results").begin_array();
+    for c in cells {
+        w.begin_object();
+        w.key("method").string(c.method);
+        w.key("kernel").string(c.kernel);
+        w.key("n").u64(c.n as u64);
+        w.key("ops").u64(c.ops);
+        w.key("secs").f64(c.secs);
+        w.key("ops_per_sec").f64_prec(c.ops_per_sec(), 1);
+        w.key("triangles").u64(c.triangles);
+        w.end_object();
     }
-    let _ = writeln!(out, "  \"calibration\": {{");
-    let _ = writeln!(
-        out,
-        "    \"hash_ops_per_sec\": {:.1},",
-        cal.hash_ops_per_sec
-    );
-    let _ = writeln!(
-        out,
-        "    \"scan_ops_per_sec\": {:.1},",
-        cal.scan_ops_per_sec
-    );
-    let _ = writeln!(out, "    \"speed_ratio\": {:.3},", cal.speed_ratio);
-    let _ = writeln!(out, "    \"wn\": {wn:.3},");
-    let _ = writeln!(out, "    \"sei_recommended\": {sei_recommended}");
-    let _ = writeln!(out, "  }},");
-    out.push_str("  \"results\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"method\": \"{}\", \"kernel\": \"{}\", \"n\": {}, \"ops\": {}, \
-             \"secs\": {:.6}, \"ops_per_sec\": {:.1}, \"triangles\": {}}}",
-            json_escape_free(c.method),
-            json_escape_free(c.kernel),
-            c.n,
-            c.ops,
-            c.secs,
-            c.ops_per_sec(),
-            c.triangles,
-        );
-        out.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
+    w.end_array();
+    w.end_object();
+    w.finish()
 }
 
 fn main() {

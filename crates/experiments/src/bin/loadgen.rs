@@ -1,0 +1,290 @@
+//! Closed-loop load generator for `trilist-serve`.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--graph-n N]
+//!         [--workers N] [--seed S] [--out PATH]
+//! ```
+//!
+//! Without `--addr` it spawns an in-process server on an ephemeral
+//! loopback port, registers a Pareto α = 1.5 graph, and drives it with
+//! `--threads` closed-loop clients issuing a deterministic mix of
+//! `List` / `Count` / `ModelPredict` / `Stats` requests. Per-request
+//! latency lands in a log₂ histogram; results go to `BENCH_serve.json`
+//! (deterministic field order via [`JsonWriter`]).
+//!
+//! Exit status is non-zero if any request hit a protocol error or two
+//! completed runs of the same request shape disagreed on the triangle
+//! count — the smoke-test contract the CI `serve` job relies on.
+
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use trilist_experiments::JsonWriter;
+use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist_graph::gen::{GraphGenerator, ResidualSampler};
+use trilist_serve::{Client, ClientError, ListParams, ServeConfig, Server};
+
+struct Flags {
+    addr: Option<String>,
+    requests: u64,
+    threads: usize,
+    graph_n: usize,
+    workers: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_flags() -> Flags {
+    let mut f = Flags {
+        addr: None,
+        requests: 100,
+        threads: 4,
+        graph_n: 1500,
+        workers: 2,
+        seed: 0x010A_D6E4,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    fn val<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+        v.and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{flag} needs a valid value"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => f.addr = Some(val("--addr", args.next())),
+            "--requests" => f.requests = val("--requests", args.next()),
+            "--threads" => f.threads = val("--threads", args.next()),
+            "--graph-n" => f.graph_n = val("--graph-n", args.next()),
+            "--workers" => f.workers = val("--workers", args.next()),
+            "--seed" => f.seed = val("--seed", args.next()),
+            "--out" => f.out = val("--out", args.next()),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    f
+}
+
+/// The deterministic request mix, cycled by global request index.
+const MIX: [&str; 6] = [
+    "list/T1/desc/paper",
+    "count/E4/crr/adaptive",
+    "list/E1/desc/adaptive",
+    "count/T2/rr/paper",
+    "predict/T1/desc",
+    "stats",
+];
+
+#[derive(Default)]
+struct Outcome {
+    ok: AtomicU64,
+    rejected: AtomicU64,
+    protocol_errors: AtomicU64,
+    consistency_failures: AtomicU64,
+}
+
+/// Per-shape triangle counts: every completed run of the same
+/// `(method, family)` on the same graph must agree.
+type Agreement = Mutex<HashMap<&'static str, u64>>;
+
+fn check_agreement(agreement: &Agreement, outcome: &Outcome, shape: &'static str, triangles: u64) {
+    let mut seen = agreement.lock().unwrap();
+    match seen.get(shape) {
+        Some(&prior) if prior != triangles => {
+            eprintln!("{shape}: {triangles} triangles, but an earlier run saw {prior}");
+            outcome.consistency_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(_) => {}
+        None => {
+            seen.insert(shape, triangles);
+        }
+    }
+}
+
+fn one_request(
+    client: &mut Client,
+    graph: &str,
+    index: u64,
+    outcome: &Outcome,
+    agreement: &Agreement,
+) {
+    let shape = MIX[(index % MIX.len() as u64) as usize];
+    let parts: Vec<&str> = shape.split('/').collect();
+    let result: Result<Option<u64>, ClientError> = match parts[0] {
+        "list" => client
+            .list(ListParams::new(graph, parts[1], parts[2], parts[3]))
+            .map(|r| r.complete.then_some(r.cost.triangles)),
+        "count" => client
+            .count(ListParams::new(graph, parts[1], parts[2], parts[3]))
+            .map(|r| r.complete.then_some(r.cost.triangles)),
+        "predict" => client.predict(graph, parts[1], parts[2]).map(|_| None),
+        _ => client.stats().map(|_| None),
+    };
+    match result {
+        Ok(triangles) => {
+            outcome.ok.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = triangles {
+                check_agreement(agreement, outcome, shape, t);
+            }
+        }
+        Err(ClientError::Server(_)) => {
+            // typed server-side rejection (admission etc.): shed, not broken
+            outcome.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            eprintln!("request {index} ({shape}): {e}");
+            outcome.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let flags = parse_flags();
+
+    // A reproducible Pareto graph to serve.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(flags.seed);
+    let dist = Truncated::new(
+        DiscretePareto::paper_beta(1.5),
+        Truncation::Root.t_n(flags.graph_n),
+    );
+    let (seq, _) = sample_degree_sequence(&dist, flags.graph_n, &mut rng);
+    let g = ResidualSampler.generate(&seq, &mut rng).graph;
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+
+    let server = match flags.addr {
+        Some(_) => None,
+        None => Some(
+            Server::bind(
+                "127.0.0.1:0",
+                ServeConfig {
+                    workers: flags.workers,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("bind loopback server"),
+        ),
+    };
+    let addr = match (&flags.addr, &server) {
+        (Some(a), _) => a.clone(),
+        (None, Some(s)) => s.addr().to_string(),
+        _ => unreachable!(),
+    };
+
+    let graph_name = "loadgen";
+    let mut setup = Client::connect(addr.as_str()).expect("connect for setup");
+    let (n, m) = setup
+        .register_graph(graph_name, g.n() as u32, &edges)
+        .expect("register graph");
+    println!("serving {graph_name}: n = {n}, m = {m} at {addr}");
+
+    let outcome = Arc::new(Outcome::default());
+    let agreement: Arc<Agreement> = Arc::new(Mutex::new(HashMap::new()));
+    let next = Arc::new(AtomicU64::new(0));
+    let total = flags.requests;
+    let started = Instant::now();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..flags.threads.max(1))
+            .map(|_| {
+                let next = Arc::clone(&next);
+                let outcome = Arc::clone(&outcome);
+                let agreement = Arc::clone(&agreement);
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr.as_str()).expect("connect client");
+                    let mut lat = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            return lat;
+                        }
+                        let t0 = Instant::now();
+                        one_request(&mut client, graph_name, i, &outcome, &agreement);
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    all.sort_unstable();
+    let mut hist = [0u64; 64];
+    for &ns in &all {
+        hist[(64 - ns.leading_zeros()).min(63) as usize] += 1;
+    }
+
+    let ok = outcome.ok.load(Ordering::Relaxed);
+    let rejected = outcome.rejected.load(Ordering::Relaxed);
+    let protocol_errors = outcome.protocol_errors.load(Ordering::Relaxed);
+    let consistency_failures = outcome.consistency_failures.load(Ordering::Relaxed);
+    println!(
+        "{total} requests in {elapsed:.3}s ({:.0} req/s): {ok} ok, {rejected} rejected, \
+         {protocol_errors} protocol errors; p50 {} us, p99 {} us",
+        total as f64 / elapsed.max(f64::MIN_POSITIVE),
+        percentile(&all, 0.50) / 1_000,
+        percentile(&all, 0.99) / 1_000,
+    );
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("bench").string("serve_loadgen");
+    w.key("config").begin_object();
+    w.key("requests").u64(total);
+    w.key("threads").u64(flags.threads as u64);
+    w.key("graph_n").u64(n as u64);
+    w.key("graph_m").u64(m);
+    w.key("server_workers").u64(flags.workers as u64);
+    w.key("in_process_server").bool(server.is_some());
+    w.key("seed").u64(flags.seed);
+    w.end_object();
+    w.key("outcome").begin_object();
+    w.key("ok").u64(ok);
+    w.key("rejected").u64(rejected);
+    w.key("protocol_errors").u64(protocol_errors);
+    w.key("consistency_failures").u64(consistency_failures);
+    w.key("elapsed_secs").f64(elapsed);
+    w.key("requests_per_sec")
+        .f64_prec(total as f64 / elapsed.max(f64::MIN_POSITIVE), 1);
+    w.end_object();
+    w.key("latency_ns").begin_object();
+    w.key("p50").u64(percentile(&all, 0.50));
+    w.key("p90").u64(percentile(&all, 0.90));
+    w.key("p99").u64(percentile(&all, 0.99));
+    w.key("max").u64(all.last().copied().unwrap_or(0));
+    w.key("histogram_log2").begin_array();
+    for (bucket, &count) in hist.iter().enumerate() {
+        if count > 0 {
+            w.begin_object();
+            w.key("le_ns").u64(1u64 << bucket);
+            w.key("count").u64(count);
+            w.end_object();
+        }
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    std::fs::write(&flags.out, w.finish()).expect("write bench json");
+    println!("wrote {}", flags.out);
+
+    if let Some(server) = server {
+        let _ = setup.shutdown();
+        server.join();
+    }
+    if protocol_errors > 0 || consistency_failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -9,12 +9,14 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod json;
 pub mod obs;
 pub mod paper;
 pub mod sim;
 pub mod table;
 
 pub use cli::Opts;
+pub use json::JsonWriter;
 pub use obs::ObsSession;
 pub use sim::{limit_cell, model_cell, simulate, CellResult, SimConfig};
 pub use table::{fmt_cost, fmt_err, fmt_ops, Table};

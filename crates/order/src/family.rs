@@ -100,6 +100,12 @@ impl OrderFamily {
         }
     }
 
+    /// Inverse of [`OrderFamily::name`]: `"desc"` → `Some(Descending)`.
+    /// Used by wire protocols and CLI flags.
+    pub fn from_name(name: &str) -> Option<OrderFamily> {
+        OrderFamily::ALL.into_iter().find(|f| f.name() == name)
+    }
+
     /// Builds the node → label relabeling for `graph`.
     ///
     /// All families except `Degenerate` operate on ascending-degree

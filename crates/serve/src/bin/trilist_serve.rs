@@ -1,0 +1,46 @@
+//! Standalone `trilist-serve` server.
+//!
+//! ```text
+//! trilist_serve [--addr HOST:PORT] [--workers N] [--max-inflight N]
+//!               [--max-queue N] [--max-ops F] [--memory-bytes N]
+//!               [--cache-entries N] [--cache-bytes N]
+//! ```
+//!
+//! Runs until a client sends `Shutdown` (or the process is killed).
+
+use trilist_serve::{ServeConfig, Server};
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{flag} needs a valid value"))
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse("--addr", args.next()),
+            "--workers" => cfg.workers = parse("--workers", args.next()),
+            "--max-inflight" => cfg.admission.max_inflight = parse("--max-inflight", args.next()),
+            "--max-queue" => cfg.admission.max_queue = parse("--max-queue", args.next()),
+            "--max-ops" => cfg.admission.max_predicted_ops = Some(parse("--max-ops", args.next())),
+            "--memory-bytes" => cfg.memory_bytes = Some(parse("--memory-bytes", args.next())),
+            "--cache-entries" => cfg.store.max_entries = parse("--cache-entries", args.next()),
+            "--cache-bytes" => cfg.store.cache_bytes = Some(parse("--cache-bytes", args.next())),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = Server::bind(addr.as_str(), cfg).unwrap_or_else(|e| {
+        eprintln!("bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("trilist-serve listening on {}", server.addr());
+    server.wait();
+    println!("trilist-serve drained");
+}

@@ -1,0 +1,207 @@
+//! A blocking client for the wire protocol: one request/response pair at
+//! a time over one TCP connection, typed errors, and a resume-chain
+//! driver that stitches interrupted runs back together.
+
+use crate::codec::WireError;
+use crate::protocol::{
+    merge_pieces, read_frame, write_frame, ErrorFrame, FrameError, ListParams, Request, Response,
+    RunResult,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+use trilist_core::CostReport;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP stream failed (including EOF mid-frame).
+    Transport(std::io::Error),
+    /// The server's bytes violated the protocol.
+    Protocol(WireError),
+    /// The server answered with a typed error frame.
+    Server(ErrorFrame),
+    /// The server answered with a well-formed frame of the wrong kind
+    /// for the request, or an inconsistent piece table.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(e) => write!(f, "server {}: {}", e.code, e.message),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Transport(e),
+            FrameError::Wire(e) => ClientError::Protocol(e),
+        }
+    }
+}
+
+/// The merged outcome of a `List` resume chain driven to completion.
+#[derive(Clone, Debug)]
+pub struct ChainResult {
+    /// Triangles in exact sequential order, original node IDs.
+    pub triangles: Vec<(u32, u32, u32)>,
+    /// Costs accumulated across every request of the chain.
+    pub cost: CostReport,
+    /// Requests the chain took (1 = never interrupted).
+    pub requests: u32,
+    /// Whether the first request was served from the prepared cache.
+    pub first_cache_hit: bool,
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// One raw request/response round trip. Error frames come back as
+    /// `Ok(Response::Error(_))` — the typed helpers turn them into
+    /// [`ClientError::Server`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, req.kind(), &req.payload())?;
+        let (kind, body) = read_frame(&mut self.stream)?;
+        Ok(Response::decode(kind, &body)?)
+    }
+
+    fn call_ok(&mut self, req: &Request) -> Result<Response, ClientError> {
+        match self.call(req)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Registers (or replaces) a graph; returns `(n, m)` as the server
+    /// parsed it.
+    pub fn register_graph(
+        &mut self,
+        name: &str,
+        n: u32,
+        edges: &[(u32, u32)],
+    ) -> Result<(u32, u64), ClientError> {
+        match self.call_ok(&Request::RegisterGraph {
+            name: name.to_string(),
+            n,
+            edges: edges.to_vec(),
+        })? {
+            Response::Registered { n, m } => Ok((n, m)),
+            _ => Err(ClientError::Unexpected("wanted Registered")),
+        }
+    }
+
+    /// One `List` request (possibly returning a partial result).
+    pub fn list(&mut self, params: ListParams) -> Result<RunResult, ClientError> {
+        match self.call_ok(&Request::List(params))? {
+            Response::ListResult(res) => Ok(res),
+            _ => Err(ClientError::Unexpected("wanted ListResult")),
+        }
+    }
+
+    /// One `Count` request (possibly returning a partial result).
+    pub fn count(&mut self, params: ListParams) -> Result<RunResult, ClientError> {
+        match self.call_ok(&Request::Count(params))? {
+            Response::CountResult(res) => Ok(res),
+            _ => Err(ClientError::Unexpected("wanted CountResult")),
+        }
+    }
+
+    /// Drives a `List` to completion, feeding each partial response's
+    /// resume token into the next request and merging the chunk-tagged
+    /// pieces into exact sequential order.
+    pub fn list_to_completion(&mut self, params: ListParams) -> Result<ChainResult, ClientError> {
+        let mut responses: Vec<RunResult> = Vec::new();
+        let mut next = params;
+        loop {
+            let res = self.list(next.clone())?;
+            let complete = res.complete;
+            let resume = res.resume.clone();
+            responses.push(res);
+            if complete {
+                break;
+            }
+            if resume.is_empty() {
+                return Err(ClientError::Unexpected("partial result without resume"));
+            }
+            next.resume = resume;
+        }
+        let mut cost = CostReport::default();
+        for res in &responses {
+            cost.accumulate(&res.cost);
+        }
+        let triangles =
+            merge_pieces(&responses).ok_or(ClientError::Unexpected("inconsistent piece tables"))?;
+        Ok(ChainResult {
+            triangles,
+            cost,
+            requests: responses.len() as u32,
+            first_cache_hit: responses[0].cache_hit,
+        })
+    }
+
+    /// Prices a prospective request with the server's cost model; returns
+    /// `(per_node, total_ops, n)`.
+    pub fn predict(
+        &mut self,
+        graph: &str,
+        method: &str,
+        family: &str,
+    ) -> Result<(f64, f64, u64), ClientError> {
+        match self.call_ok(&Request::ModelPredict {
+            graph: graph.to_string(),
+            method: method.to_string(),
+            family: family.to_string(),
+        })? {
+            Response::Predicted {
+                per_node,
+                total_ops,
+                n,
+            } => Ok((per_node, total_ops, n)),
+            _ => Err(ClientError::Unexpected("wanted Predicted")),
+        }
+    }
+
+    /// Fetches the server's counters in their stable order.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        match self.call_ok(&Request::Stats)? {
+            Response::StatsResult(fields) => Ok(fields),
+            _ => Err(ClientError::Unexpected("wanted StatsResult")),
+        }
+    }
+
+    /// Asks the server to drain.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call_ok(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted ShutdownAck")),
+        }
+    }
+}

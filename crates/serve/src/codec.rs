@@ -1,0 +1,301 @@
+//! Serde-free byte codec for the wire protocol: little-endian primitives,
+//! length-prefixed strings and arrays, and a bounds-checked reader that
+//! never allocates more than the bytes actually present.
+//!
+//! The repo's convention (resume points, measured-vs-model JSON) is that
+//! every serialized format is hand-rolled and property-tested; the wire
+//! protocol follows it. Two rules make the decoder fuzz-safe:
+//!
+//! 1. **Every read is bounds-checked** against the remaining buffer; a
+//!    short buffer yields [`WireError::UnexpectedEof`], never a panic.
+//! 2. **Every declared length is validated before allocation**: a string
+//!    or array length is compared against the bytes that could possibly
+//!    back it (`remaining / element_size`), so a hostile 4 GiB length
+//!    prefix on a 10-byte frame is rejected without reserving anything.
+
+/// A decode failure. Every variant is a *typed* protocol error — the
+/// decoder has no panicking paths (`tests/serve_props.rs` fuzzes this).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before a fixed-size field.
+    UnexpectedEof {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// A declared length exceeds what the frame (or the protocol cap)
+    /// could possibly back.
+    Oversized {
+        /// The declared length.
+        declared: u64,
+        /// The maximum the decoder would accept here.
+        limit: u64,
+    },
+    /// The frame header carried an unsupported protocol version.
+    BadVersion(u8),
+    /// The frame kind byte is not a known request or response.
+    UnknownKind(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after a complete message was decoded.
+    TrailingBytes(usize),
+    /// A field value was structurally invalid (e.g. a boolean that is
+    /// neither 0 nor 1).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected eof: needed {needed} bytes, had {remaining}")
+            }
+            WireError::Oversized { declared, limit } => {
+                write!(f, "declared length {declared} exceeds limit {limit}")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            WireError::BadUtf8 => f.write_str("string field is not valid utf-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Bounds-checked cursor over a received payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// A `bool` encoded as exactly 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid("bool byte must be 0 or 1")),
+        }
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// An `f64` carried as its raw IEEE-754 bits — bit-exact round-trip,
+    /// NaN payloads included.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u32`-length-prefixed UTF-8 string. The declared length is
+    /// validated against the remaining bytes before anything is copied.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::Oversized {
+                declared: len as u64,
+                limit: self.remaining() as u64,
+            });
+        }
+        std::str::from_utf8(self.bytes(len)?)
+            .map(str::to_owned)
+            .map_err(|_| WireError::BadUtf8)
+    }
+
+    /// A `u32`-count-prefixed array decoded by `item`, with the count
+    /// validated against `remaining / min_item_bytes` before allocating.
+    pub fn array<T>(
+        &mut self,
+        min_item_bytes: usize,
+        item: impl Fn(&mut Reader<'a>) -> Result<T, WireError>,
+    ) -> Result<Vec<T>, WireError> {
+        let count = self.u32()? as usize;
+        let fit = self.remaining() / min_item_bytes.max(1);
+        if count > fit {
+            return Err(WireError::Oversized {
+                declared: count as u64,
+                limit: fit as u64,
+            });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(item(self)?);
+        }
+        Ok(out)
+    }
+
+    /// Asserts the message consumed the whole payload.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+}
+
+/// Append-only encoder mirroring [`Reader`].
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// A `bool` as 0/1.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// An `f64` as raw IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// A `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// A `u32`-count-prefixed array encoded by `item`.
+    pub fn array<T>(&mut self, items: &[T], item: impl Fn(&mut Writer, &T)) {
+        self.u32(items.len() as u32);
+        for it in items {
+            item(self, it);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.bool(true);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f64(-0.0);
+        w.string("héllo\n\"");
+        w.array(&[(1u32, 2u32), (3, 4)], |w, &(a, b)| {
+            w.u32(a);
+            w.u32(b);
+        });
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.string().unwrap(), "héllo\n\"");
+        let pairs = r.array(8, |r| Ok((r.u32()?, r.u32()?))).unwrap();
+        assert_eq!(pairs, vec![(1, 2), (3, 4)]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn hostile_lengths_rejected_before_allocation() {
+        // 4 GiB string length on a 4-byte buffer
+        let mut r = Reader::new(&[0xFF, 0xFF, 0xFF, 0xFF]);
+        assert!(matches!(r.string(), Err(WireError::Oversized { .. })));
+        // array count far beyond what the payload could back
+        let mut w = Writer::new();
+        w.u32(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.array(8, |r| r.u32()),
+            Err(WireError::Oversized { .. })
+        ));
+        // short fixed field
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(
+            r.u32(),
+            Err(WireError::UnexpectedEof {
+                needed: 4,
+                remaining: 2
+            })
+        );
+        // bad bool and trailing bytes
+        let mut r = Reader::new(&[9, 0]);
+        assert!(matches!(r.bool(), Err(WireError::Invalid(_))));
+        assert!(matches!(r.finish(), Err(WireError::TrailingBytes(1))));
+    }
+}

@@ -1,0 +1,566 @@
+//! The TCP server: an accept loop, one thread per connection, and the
+//! request handler that glues store, admission, and the resilient listing
+//! runtime together.
+//!
+//! # Determinism across the wire
+//!
+//! Every `List`/`Count` request executes through
+//! [`list_resilient`] against the cached [`Prepared`] artifacts, with the
+//! entry's shared oracle (T-methods) and shared adaptive kernels
+//! (adaptive policy only — paper-policy requests build their own
+//! paper-faithful contexts so the policy a client names is the policy
+//! that runs). Both sharing hooks are read-only during execution, so the
+//! triangles and every `CostReport` field are byte-identical to a direct
+//! in-process run against the same artifacts
+//! (`tests/serve_differential.rs`).
+//!
+//! # Budgets and the shared gauge
+//!
+//! Each request's [`RunBudget`] carries the server-wide [`MemoryGauge`]:
+//! the ceiling (per-request override or the server default) is checked
+//! against cache residency *plus* every in-flight run, one global number.
+//! Deadlines map to budget deadlines; an interrupted run answers with a
+//! partial [`RunResult`] whose resume token a follow-up request can
+//! continue — the per-chunk piece table in the response lets the client
+//! stitch the chain back into exact sequential order.
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::protocol::{
+    write_frame, ErrorCode, ErrorFrame, ListParams, Request, Response, RunResult, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+use crate::store::{GraphStore, Prepared, StoreConfig};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use trilist_core::{
+    list_resilient, Counter, InMemoryRecorder, KernelPolicy, MemoryGauge, Method, ParallelOpts,
+    Recorder, ResilientOpts, ResumeParseError, ResumePoint, RunBudget, RunOutcome,
+};
+use trilist_model::price_request;
+use trilist_order::OrderFamily;
+
+/// Server knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listing worker threads per request when the request does not name
+    /// its own count.
+    pub workers: usize,
+    /// Admission-control limits.
+    pub admission: AdmissionConfig,
+    /// Graph store and prepared-cache limits.
+    pub store: StoreConfig,
+    /// Default memory ceiling in bytes, checked against the shared gauge
+    /// (cache residency + in-flight runs). A request's own
+    /// `memory_bytes` overrides it. `None` = unlimited.
+    pub memory_bytes: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            admission: AdmissionConfig::default(),
+            store: StoreConfig::default(),
+            memory_bytes: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct RequestCounters {
+    total: AtomicU64,
+    register: AtomicU64,
+    list: AtomicU64,
+    count: AtomicU64,
+    predict: AtomicU64,
+    stats: AtomicU64,
+    shutdown: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    gauge: MemoryGauge,
+    store: GraphStore,
+    admission: Admission,
+    recorder: Arc<InMemoryRecorder>,
+    shutting: AtomicBool,
+    counters: RequestCounters,
+}
+
+/// The service entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop on a background thread.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let gauge = MemoryGauge::new();
+        let shared = Arc::new(Shared {
+            store: GraphStore::new(cfg.store.clone(), gauge.clone()),
+            admission: Admission::new(cfg.admission),
+            recorder: Arc::new(InMemoryRecorder::new()),
+            shutting: AtomicBool::new(false),
+            counters: RequestCounters::default(),
+            gauge,
+            cfg,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(ServerHandle {
+            addr: local,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A running server. Dropping it drains and joins.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain: stop accepting connections and new work,
+    /// finish what is in flight. Returns immediately.
+    pub fn shutdown(&self) {
+        self.shared.shutting.store(true, Ordering::SeqCst);
+    }
+
+    /// Drains and blocks until every connection thread has finished.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the server shuts down (a client's `Shutdown` request,
+    /// or [`ServerHandle::shutdown`] from another thread).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.shutting.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutting.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                conns.push(std::thread::spawn(move || serve_conn(&conn_shared, stream)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+}
+
+/// Scans the accumulation buffer for one complete frame. `Ok(None)` means
+/// more bytes are needed; `Err` means the stream violated the framing and
+/// the connection cannot resync.
+fn frame_in_buffer(buf: &[u8]) -> Result<Option<(u8, usize)>, ErrorFrame> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if len < 2 {
+        return Err(ErrorFrame::new(
+            ErrorCode::Protocol,
+            "frame length below header size",
+        ));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(ErrorFrame::new(
+            ErrorCode::Protocol,
+            format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let version = buf[4];
+    if version != PROTOCOL_VERSION {
+        return Err(ErrorFrame::new(
+            ErrorCode::Protocol,
+            format!("unsupported protocol version {version}"),
+        ));
+    }
+    Ok(Some((buf[5], total)))
+}
+
+fn send(stream: &mut TcpStream, shared: &Shared, resp: &Response) -> bool {
+    if matches!(resp, Response::Error(_)) {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    write_frame(stream, resp.kind(), &resp.payload()).is_ok()
+}
+
+/// One connection: accumulate bytes, answer every complete frame. The
+/// read timeout only paces the drain check — a timeout mid-frame leaves
+/// the buffer intact, so slow writers never desynchronize the stream.
+fn serve_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut acc: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    let mut idle_drain_polls = 0u32;
+    loop {
+        loop {
+            match frame_in_buffer(&acc) {
+                Ok(None) => break,
+                Ok(Some((kind, total))) => {
+                    let resp = match Request::decode(kind, &acc[6..total]) {
+                        Ok(req) => handle_request(shared, req),
+                        Err(e) => {
+                            Response::Error(ErrorFrame::new(ErrorCode::Protocol, e.to_string()))
+                        }
+                    };
+                    acc.drain(..total);
+                    if !send(&mut stream, shared, &resp) {
+                        return;
+                    }
+                }
+                Err(frame_err) => {
+                    // framing is broken; report once and close
+                    send(&mut stream, shared, &Response::Error(frame_err));
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                idle_drain_polls = 0;
+                acc.extend_from_slice(&tmp[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting.load(Ordering::SeqCst) {
+                    idle_drain_polls += 1;
+                    // ~1 s of grace for a half-written frame, then close
+                    if acc.is_empty() || idle_drain_polls > 20 {
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, req: Request) -> Response {
+    let c = &shared.counters;
+    c.total.fetch_add(1, Ordering::Relaxed);
+    match req {
+        Request::Stats => {
+            c.stats.fetch_add(1, Ordering::Relaxed);
+            Response::StatsResult(stats_fields(shared))
+        }
+        Request::Shutdown => {
+            c.shutdown.fetch_add(1, Ordering::Relaxed);
+            shared.shutting.store(true, Ordering::SeqCst);
+            Response::ShutdownAck
+        }
+        _ if shared.shutting.load(Ordering::SeqCst) => Response::Error(ErrorFrame::new(
+            ErrorCode::ShuttingDown,
+            "server is draining and accepts no new work",
+        )),
+        Request::RegisterGraph { name, n, edges } => {
+            c.register.fetch_add(1, Ordering::Relaxed);
+            match shared.store.register(&name, n, &edges) {
+                Ok((n, m)) => Response::Registered { n, m },
+                Err(e) => Response::Error(ErrorFrame::new(ErrorCode::BadRequest, e.to_string())),
+            }
+        }
+        Request::ModelPredict {
+            graph,
+            method,
+            family,
+        } => {
+            c.predict.fetch_add(1, Ordering::Relaxed);
+            match predict(shared, &graph, &method, &family) {
+                Ok(resp) => resp,
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::List(p) => {
+            c.list.fetch_add(1, Ordering::Relaxed);
+            match run_listing(shared, &p, true) {
+                Ok(res) => Response::ListResult(res),
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::Count(p) => {
+            c.count.fetch_add(1, Ordering::Relaxed);
+            match run_listing(shared, &p, false) {
+                Ok(res) => Response::CountResult(res),
+                Err(e) => Response::Error(e),
+            }
+        }
+    }
+}
+
+fn bad(msg: impl Into<String>) -> ErrorFrame {
+    ErrorFrame::new(ErrorCode::BadRequest, msg)
+}
+
+fn parse_method(name: &str) -> Result<Method, ErrorFrame> {
+    Method::from_name(name).ok_or_else(|| bad(format!("unknown method {name:?}")))
+}
+
+fn parse_family(name: &str) -> Result<OrderFamily, ErrorFrame> {
+    OrderFamily::from_name(name).ok_or_else(|| bad(format!("unknown order family {name:?}")))
+}
+
+fn predict(
+    shared: &Shared,
+    graph: &str,
+    method: &str,
+    family: &str,
+) -> Result<Response, ErrorFrame> {
+    let method = parse_method(method)?;
+    let family = parse_family(family)?;
+    let (prepared, _) = shared
+        .store
+        .prepare(graph, family)
+        .map_err(|e| ErrorFrame::new(ErrorCode::UnknownGraph, e.to_string()))?;
+    let price = price_request(method, &prepared.degrees_by_label);
+    Ok(Response::Predicted {
+        per_node: price.per_node,
+        total_ops: price.total_ops,
+        n: price.n,
+    })
+}
+
+/// Maps relabeled triangles back to original node IDs, each triple sorted
+/// — the same convention as [`trilist_core::list_triangles`].
+fn map_triangles<'a>(
+    inverse: &'a [u32],
+    triangles: &'a [(u32, u32, u32)],
+) -> impl Iterator<Item = (u32, u32, u32)> + 'a {
+    triangles.iter().map(move |&(x, y, z)| {
+        let mut t = [
+            inverse[x as usize],
+            inverse[y as usize],
+            inverse[z as usize],
+        ];
+        t.sort_unstable();
+        (t[0], t[1], t[2])
+    })
+}
+
+fn run_listing(
+    shared: &Shared,
+    p: &ListParams,
+    materialize: bool,
+) -> Result<RunResult, ErrorFrame> {
+    let method = parse_method(&p.method)?;
+    if !Method::FUNDAMENTAL.contains(&method) {
+        return Err(bad(format!(
+            "method {method} is not served (the parallel runtime covers T1, T2, E1, E4)"
+        )));
+    }
+    let family = parse_family(&p.family)?;
+    let policy = KernelPolicy::from_name(&p.policy)
+        .ok_or_else(|| bad(format!("unknown kernel policy {:?}", p.policy)))?;
+    let (prepared, cache_hit) = shared
+        .store
+        .prepare(&p.graph, family)
+        .map_err(|e| ErrorFrame::new(ErrorCode::UnknownGraph, e.to_string()))?;
+
+    let price = price_request(method, &prepared.degrees_by_label);
+    shared
+        .admission
+        .check_price(&price)
+        .map_err(|r| ErrorFrame::new(ErrorCode::RejectedCost, r.to_string()))?;
+    let permit = shared
+        .admission
+        .admit()
+        .map_err(|r| ErrorFrame::new(ErrorCode::RejectedBusy, r.to_string()))?;
+
+    let mut budget = RunBudget::unlimited().with_gauge(shared.gauge.clone());
+    if p.deadline_ms > 0 {
+        budget = budget.with_deadline(Duration::from_millis(p.deadline_ms));
+    }
+    let ceiling = if p.memory_bytes > 0 {
+        Some(p.memory_bytes)
+    } else {
+        shared.cfg.memory_bytes
+    };
+    if let Some(bytes) = ceiling {
+        budget = budget.with_memory_bytes(bytes);
+    }
+    let threads = if p.threads > 0 {
+        p.threads as usize
+    } else {
+        shared.cfg.workers
+    };
+    let recorder: Arc<dyn Recorder> = Arc::clone(&shared.recorder) as Arc<dyn Recorder>;
+    let opts = ResilientOpts {
+        parallel: ParallelOpts {
+            threads,
+            policy,
+            ..ParallelOpts::default()
+        },
+        budget,
+        recorder: Some(recorder),
+        oracle: matches!(method, Method::T1 | Method::T2).then(|| Arc::clone(&prepared.oracle)),
+        kernels: matches!(policy, KernelPolicy::Adaptive(_)).then(|| Arc::clone(&prepared.kernels)),
+        ..ResilientOpts::default()
+    };
+
+    let outcome = if p.resume.is_empty() {
+        list_resilient(&prepared.dg, method, &opts)
+    } else {
+        let rp: ResumePoint = p
+            .resume
+            .parse()
+            .map_err(|e: ResumeParseError| bad(e.to_string()))?;
+        if rp.method != method {
+            return Err(bad(format!(
+                "resume token is for {}, request names {}",
+                rp.method, method
+            )));
+        }
+        rp.run(&prepared.dg, &opts)
+    };
+    drop(permit);
+    let outcome = outcome.map_err(|e| bad(e.to_string()))?;
+    Ok(wire_result(&prepared, cache_hit, materialize, outcome))
+}
+
+fn wire_result(
+    prepared: &Prepared,
+    cache_hit: bool,
+    materialize: bool,
+    outcome: RunOutcome,
+) -> RunResult {
+    match outcome {
+        RunOutcome::Complete(run) => RunResult {
+            complete: true,
+            stop_reason: String::new(),
+            cache_hit,
+            cost: run.cost,
+            resume: String::new(),
+            chunks: if materialize {
+                run.piece_counts
+            } else {
+                vec![]
+            },
+            triangles: if materialize {
+                map_triangles(&prepared.inverse, &run.triangles).collect()
+            } else {
+                vec![]
+            },
+        },
+        RunOutcome::Partial(pr) => {
+            let (chunks, triangles) = if materialize {
+                let mut chunks = Vec::with_capacity(pr.completed.len());
+                let mut tris = Vec::new();
+                for piece in &pr.completed {
+                    chunks.push((piece.chunk, piece.triangles.len() as u32));
+                    tris.extend(map_triangles(&prepared.inverse, &piece.triangles));
+                }
+                (chunks, tris)
+            } else {
+                (vec![], vec![])
+            };
+            RunResult {
+                complete: false,
+                stop_reason: pr.reason.to_string(),
+                cache_hit,
+                cost: pr.cost(),
+                resume: pr.resume.to_string(),
+                chunks,
+                triangles,
+            }
+        }
+    }
+}
+
+/// Every server counter, in a stable order the client and tests can rely
+/// on: request counts, admission, cache, gauge, then recorder telemetry.
+fn stats_fields(shared: &Shared) -> Vec<(String, u64)> {
+    let c = &shared.counters;
+    let a = shared.admission.stats();
+    let s = shared.store.stats();
+    let mut out: Vec<(String, u64)> = vec![
+        ("requests_total".into(), c.total.load(Ordering::Relaxed)),
+        (
+            "requests_register".into(),
+            c.register.load(Ordering::Relaxed),
+        ),
+        ("requests_list".into(), c.list.load(Ordering::Relaxed)),
+        ("requests_count".into(), c.count.load(Ordering::Relaxed)),
+        ("requests_predict".into(), c.predict.load(Ordering::Relaxed)),
+        ("requests_stats".into(), c.stats.load(Ordering::Relaxed)),
+        (
+            "requests_shutdown".into(),
+            c.shutdown.load(Ordering::Relaxed),
+        ),
+        ("responses_error".into(), c.errors.load(Ordering::Relaxed)),
+        ("admission_admitted".into(), a.admitted),
+        ("admission_queued".into(), a.queued),
+        ("admission_rejected_busy".into(), a.rejected_busy),
+        ("admission_rejected_cost".into(), a.rejected_cost),
+        ("admission_inflight".into(), a.inflight),
+        ("cache_hits".into(), s.hits),
+        ("cache_misses".into(), s.misses),
+        ("cache_evictions".into(), s.evictions),
+        ("cache_entries".into(), s.entries),
+        ("cache_bytes".into(), s.bytes),
+        ("graphs_registered".into(), s.graphs),
+        ("gauge_bytes".into(), shared.gauge.used()),
+        (
+            "memory_ceiling_bytes".into(),
+            shared.cfg.memory_bytes.unwrap_or(0),
+        ),
+    ];
+    for counter in Counter::ALL {
+        out.push((
+            format!("recorder_{}", counter.name()),
+            shared.recorder.counter(counter),
+        ));
+    }
+    out.push((
+        "recorder_spans".into(),
+        shared.recorder.spans().len() as u64,
+    ));
+    out.push(("recorder_span_ns".into(), shared.recorder.span_total_ns()));
+    out
+}

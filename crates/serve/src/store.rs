@@ -1,0 +1,412 @@
+//! The graph store: registered undirected graphs plus an LRU cache of
+//! prepared listing artifacts, memory-accounted through the runtime's
+//! shared [`MemoryGauge`].
+//!
+//! The three-step framework (§2.1) splits a listing request into a
+//! query-independent part — relabel by family, orient, build the edge
+//! oracle and hub bitmaps — and the per-request listing itself. The
+//! expensive first part depends only on `(graph, family)`, so the store
+//! caches one [`Prepared`] entry per such key and every request against
+//! the same key reuses it. Cache residency is charged to the same gauge
+//! the in-flight runs charge their transient memory to, so one global
+//! ceiling covers both (the [`RunBudget::with_gauge`] hook).
+//!
+//! Preparation is deliberately performed *under the store lock*: it makes
+//! the cache single-flight (two concurrent requests for the same key
+//! build once), at the price of serializing distinct-key preparations.
+//!
+//! [`RunBudget::with_gauge`]: trilist_core::RunBudget::with_gauge
+
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use trilist_core::{HashOracle, KernelPolicy, Kernels, MemoryGauge};
+use trilist_graph::{Graph, GraphError};
+use trilist_order::{DirectedGraph, OrderFamily};
+
+/// Store knobs.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Maximum prepared entries held (LRU beyond this).
+    pub max_entries: usize,
+    /// Soft cache-residency target in bytes: entries are evicted
+    /// (least-recently-used first) while the cache exceeds it. `None`
+    /// leaves entry count as the only bound.
+    pub cache_bytes: Option<u64>,
+    /// Base seed for deterministic relabeling (see [`prepare_seed_for`]).
+    pub prepare_seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_entries: 8,
+            cache_bytes: None,
+            prepare_seed: 0x7472_696C,
+        }
+    }
+}
+
+/// The cached, query-independent artifacts for one `(graph, family)` key:
+/// everything a listing run needs except the visited ranges.
+pub struct Prepared {
+    /// The oriented (relabeled CSR) graph.
+    pub dg: DirectedGraph,
+    /// Label → original node ID, for translating triangles back.
+    pub inverse: Vec<u32>,
+    /// Degree of the node holding each label — the cost model's input
+    /// (Proposition 4), so admission pricing is O(n) with no extra pass.
+    pub degrees_by_label: Vec<u32>,
+    /// Shared edge oracle for T-method runs
+    /// ([`ResilientOpts::oracle`]).
+    ///
+    /// [`ResilientOpts::oracle`]: trilist_core::ResilientOpts
+    pub oracle: Arc<HashOracle>,
+    /// Shared adaptive kernel context — hub bitmaps both directions —
+    /// for adaptive-policy runs ([`ResilientOpts::kernels`]).
+    ///
+    /// [`ResilientOpts::kernels`]: trilist_core::ResilientOpts
+    pub kernels: Arc<Kernels>,
+    /// Bytes this entry charges to the gauge while cached.
+    pub bytes: u64,
+}
+
+/// FNV-1a over a string, for mixing names into the prepare seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The RNG seed used to relabel `graph_name` under `family_name` with
+/// store base seed `base`. Public so differential tests can reproduce the
+/// server's exact relabeling (only [`OrderFamily::Uniform`] actually
+/// consumes randomness, but the convention covers every family).
+pub fn prepare_seed_for(base: u64, graph_name: &str, family_name: &str) -> u64 {
+    base ^ fnv1a(graph_name).rotate_left(17) ^ fnv1a(family_name)
+}
+
+/// Builds the [`Prepared`] artifacts for `graph` under `family`, using
+/// the store's deterministic seeding convention. This is exactly what the
+/// server executes on a cache miss, exported so tests can compute the
+/// expected byte-identical result in-process.
+pub fn prepare_graph(graph: &Graph, family: OrderFamily, seed: u64) -> Prepared {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let relabeling = family.relabeling(graph, &mut rng);
+    let dg = DirectedGraph::orient(graph, &relabeling);
+    let inverse = relabeling.inverse();
+    let degrees_by_label: Vec<u32> = (0..dg.n() as u32).map(|v| dg.degree(v) as u32).collect();
+    let oracle = Arc::new(HashOracle::build(&dg));
+    let kernels = Arc::new(Kernels::build(KernelPolicy::adaptive(), &dg));
+    let (n, m) = (dg.n() as u64, dg.m() as u64);
+    // the dominant allocations: CSR lists + offsets, both label maps,
+    // oracle hash set (12 B/edge, the runtime's own estimate), bitmaps
+    let bytes = 2 * m * 4 + 2 * (n + 1) * 8 + n * 8 + m * 12 + kernels.bytes();
+    Prepared {
+        dg,
+        inverse,
+        degrees_by_label,
+        oracle,
+        kernels,
+        bytes,
+    }
+}
+
+/// A prepared-cache lookup failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// No graph registered under the requested name.
+    UnknownGraph(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownGraph(name) => write!(f, "no graph registered as {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Cache observability counters (monotonic except `entries`/`bytes`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Prepared-cache hits.
+    pub hits: u64,
+    /// Prepared-cache misses (each implies one preparation).
+    pub misses: u64,
+    /// Entries evicted by LRU pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Bytes currently charged to the gauge by resident entries.
+    pub bytes: u64,
+    /// Graphs currently registered.
+    pub graphs: u64,
+}
+
+struct CacheSlot {
+    entry: Arc<Prepared>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    graphs: HashMap<String, Arc<Graph>>,
+    prepared: HashMap<(String, &'static str), CacheSlot>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    cached_bytes: u64,
+}
+
+/// Registered graphs + the prepared LRU, behind one poison-tolerant lock.
+pub struct GraphStore {
+    cfg: StoreConfig,
+    gauge: MemoryGauge,
+    inner: Mutex<StoreInner>,
+}
+
+fn lock(m: &Mutex<StoreInner>) -> MutexGuard<'_, StoreInner> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl GraphStore {
+    /// An empty store charging cache residency to `gauge`.
+    pub fn new(cfg: StoreConfig, gauge: MemoryGauge) -> Self {
+        GraphStore {
+            cfg,
+            gauge,
+            inner: Mutex::new(StoreInner::default()),
+        }
+    }
+
+    /// The gauge cache residency is charged to.
+    pub fn gauge(&self) -> &MemoryGauge {
+        &self.gauge
+    }
+
+    /// Registers (or replaces) a graph. Replacement drops every cached
+    /// entry prepared from the old graph. Returns `(n, m)`.
+    pub fn register(
+        &self,
+        name: &str,
+        n: u32,
+        edges: &[(u32, u32)],
+    ) -> Result<(u32, u64), GraphError> {
+        let graph = Graph::from_edges(n as usize, edges)?;
+        let m = graph.m() as u64;
+        let mut inner = lock(&self.inner);
+        inner.graphs.insert(name.to_string(), Arc::new(graph));
+        let stale: Vec<(String, &'static str)> = inner
+            .prepared
+            .keys()
+            .filter(|(g, _)| g == name)
+            .cloned()
+            .collect();
+        for key in stale {
+            self.evict_key(&mut inner, &key);
+        }
+        Ok((n, m))
+    }
+
+    /// The registered graph under `name`, if any.
+    pub fn graph(&self, name: &str) -> Option<Arc<Graph>> {
+        lock(&self.inner).graphs.get(name).cloned()
+    }
+
+    /// The prepared entry for `(name, family)`: from cache on a hit
+    /// (second return `true`), built — and cached, possibly evicting LRU
+    /// entries — on a miss.
+    pub fn prepare(
+        &self,
+        name: &str,
+        family: OrderFamily,
+    ) -> Result<(Arc<Prepared>, bool), StoreError> {
+        let mut inner = lock(&self.inner);
+        let graph = inner
+            .graphs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::UnknownGraph(name.to_string()))?;
+        let key = (name.to_string(), family.name());
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.prepared.contains_key(&key) {
+            inner.hits += 1;
+            let slot = inner.prepared.get_mut(&key).expect("checked above");
+            slot.last_used = tick;
+            return Ok((Arc::clone(&slot.entry), true));
+        }
+        inner.misses += 1;
+        let seed = prepare_seed_for(self.cfg.prepare_seed, name, family.name());
+        let entry = Arc::new(prepare_graph(&graph, family, seed));
+        self.gauge.add(entry.bytes);
+        inner.cached_bytes += entry.bytes;
+        inner.prepared.insert(
+            key,
+            CacheSlot {
+                entry: Arc::clone(&entry),
+                last_used: tick,
+            },
+        );
+        self.shrink(&mut inner);
+        Ok((entry, false))
+    }
+
+    /// Evicts LRU entries until both the entry-count and byte bounds
+    /// hold. May evict the entry just inserted (a tiny ceiling still
+    /// serves the request — the caller holds an `Arc` — it just won't be
+    /// cached for the next one).
+    fn shrink(&self, inner: &mut StoreInner) {
+        loop {
+            let over_count = inner.prepared.len() > self.cfg.max_entries;
+            let over_bytes = self
+                .cfg
+                .cache_bytes
+                .is_some_and(|cap| inner.cached_bytes > cap);
+            if !(over_count || over_bytes) || inner.prepared.is_empty() {
+                return;
+            }
+            let lru = inner
+                .prepared
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(key, _)| key.clone())
+                .expect("non-empty cache has an LRU entry");
+            self.evict_key(inner, &lru);
+            inner.evictions += 1;
+        }
+    }
+
+    fn evict_key(&self, inner: &mut StoreInner, key: &(String, &'static str)) {
+        if let Some(slot) = inner.prepared.remove(key) {
+            inner.cached_bytes = inner.cached_bytes.saturating_sub(slot.entry.bytes);
+            self.gauge.release(slot.entry.bytes);
+        }
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = lock(&self.inner);
+        StoreStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.prepared.len() as u64,
+            bytes: inner.cached_bytes,
+            graphs: inner.graphs.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_fan(n: u32) -> Vec<(u32, u32)> {
+        // hub 0 connected to everyone, plus a path among the rest: many
+        // triangles (0, i, i+1)
+        let mut edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        edges.extend((1..n - 1).map(|v| (v, v + 1)));
+        edges
+    }
+
+    fn store(max_entries: usize) -> GraphStore {
+        GraphStore::new(
+            StoreConfig {
+                max_entries,
+                ..StoreConfig::default()
+            },
+            MemoryGauge::new(),
+        )
+    }
+
+    #[test]
+    fn register_validates_and_replaces() {
+        let s = store(4);
+        let (n, m) = s.register("g", 50, &triangle_fan(50)).unwrap();
+        assert_eq!((n, m), (50, 49 + 48));
+        assert!(s.register("bad", 3, &[(0, 0)]).is_err());
+        assert!(s.graph("g").is_some());
+        assert!(s.graph("missing").is_none());
+        // prepare, then replace: the cached entry must drop
+        s.prepare("g", OrderFamily::Descending).unwrap();
+        assert_eq!(s.stats().entries, 1);
+        let charged = s.gauge().used();
+        assert!(charged > 0);
+        s.register("g", 10, &triangle_fan(10)).unwrap();
+        assert_eq!(s.stats().entries, 0);
+        assert_eq!(s.gauge().used(), 0, "replacement releases the gauge");
+    }
+
+    #[test]
+    fn prepare_hits_and_deterministic_artifacts() {
+        let s = store(4);
+        s.register("g", 60, &triangle_fan(60)).unwrap();
+        let (a, hit_a) = s.prepare("g", OrderFamily::Descending).unwrap();
+        let (b, hit_b) = s.prepare("g", OrderFamily::Descending).unwrap();
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "hit returns the same entry");
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+        // the exported builder reproduces the entry byte-for-byte
+        let seed = prepare_seed_for(s.cfg.prepare_seed, "g", "desc");
+        let again = prepare_graph(&s.graph("g").unwrap(), OrderFamily::Descending, seed);
+        assert_eq!(again.inverse, a.inverse);
+        assert_eq!(again.degrees_by_label, a.degrees_by_label);
+        assert_eq!(again.bytes, a.bytes);
+        // uniform consumes randomness, still deterministic per seed
+        let (u1, _) = s.prepare("g", OrderFamily::Uniform).unwrap();
+        let useed = prepare_seed_for(s.cfg.prepare_seed, "g", "uniform");
+        let u2 = prepare_graph(&s.graph("g").unwrap(), OrderFamily::Uniform, useed);
+        assert_eq!(u1.inverse, u2.inverse);
+    }
+
+    #[test]
+    fn lru_evicts_and_gauge_balances() {
+        let s = store(2);
+        s.register("g", 40, &triangle_fan(40)).unwrap();
+        let families = [
+            OrderFamily::Descending,
+            OrderFamily::Ascending,
+            OrderFamily::RoundRobin,
+        ];
+        for f in families {
+            s.prepare("g", f).unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.entries, 2, "third prepare evicts the LRU entry");
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.bytes, s.gauge().used(), "cache bytes == gauge charge");
+        // the evicted (oldest) key misses again; the newest two still hit
+        let (_, hit) = s.prepare("g", OrderFamily::RoundRobin).unwrap();
+        assert!(hit);
+        let (_, hit) = s.prepare("g", OrderFamily::Descending).unwrap();
+        assert!(!hit, "descending was the LRU victim");
+    }
+
+    #[test]
+    fn byte_cap_can_evict_everything() {
+        let s = GraphStore::new(
+            StoreConfig {
+                max_entries: 8,
+                cache_bytes: Some(1),
+                ..StoreConfig::default()
+            },
+            MemoryGauge::new(),
+        );
+        s.register("g", 30, &triangle_fan(30)).unwrap();
+        let (entry, hit) = s.prepare("g", OrderFamily::Descending).unwrap();
+        assert!(!hit);
+        assert!(entry.dg.n() == 30, "request still served");
+        let st = s.stats();
+        assert_eq!(st.entries, 0, "1-byte cap cannot hold the entry");
+        assert_eq!(s.gauge().used(), 0);
+    }
+}

@@ -46,4 +46,5 @@ pub use trilist_core as core;
 pub use trilist_graph as graph;
 pub use trilist_model as model;
 pub use trilist_order as order;
+pub use trilist_serve as serve;
 pub use trilist_xm as xm;

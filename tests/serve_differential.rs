@@ -1,0 +1,225 @@
+//! Differential suite for the service layer: a `List`/`Count` request
+//! answered over the wire must return triangles and a `CostReport`
+//! byte-identical to a direct in-process run against the same prepared
+//! artifacts — for every fundamental method, both kernel policies, and
+//! 1–4 listing workers, including runs interrupted by a budget and
+//! continued through the resume token.
+
+use rand::SeedableRng;
+use trilist::core::{
+    list_resilient, CostReport, KernelPolicy, Method, ParallelOpts, ResilientOpts, RunOutcome,
+};
+use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+use trilist::graph::Graph;
+use trilist::serve::{
+    prepare_graph, prepare_seed_for, Client, ListParams, ServeConfig, Server, StoreConfig,
+};
+
+/// A reproducible Pareto α = 1.5 graph with plenty of triangles.
+fn pareto_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dist = Truncated::new(DiscretePareto::paper_beta(1.5), Truncation::Root.t_n(n));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    ResidualSampler.generate(&seq, &mut rng).graph
+}
+
+/// What a direct in-process run against the server's exact prepared
+/// artifacts produces: triangles mapped to original IDs plus the cost.
+fn direct_run(
+    g: &Graph,
+    graph_name: &str,
+    method: Method,
+    policy: KernelPolicy,
+    threads: usize,
+) -> (Vec<(u32, u32, u32)>, CostReport) {
+    let family = method.optimal_family();
+    let seed = prepare_seed_for(
+        StoreConfig::default().prepare_seed,
+        graph_name,
+        family.name(),
+    );
+    let prepared = prepare_graph(g, family, seed);
+    let opts = ResilientOpts {
+        parallel: ParallelOpts {
+            threads,
+            policy,
+            ..ParallelOpts::default()
+        },
+        ..ResilientOpts::default()
+    };
+    let run = match list_resilient(&prepared.dg, method, &opts).expect("direct run") {
+        RunOutcome::Complete(run) => run,
+        RunOutcome::Partial(_) => panic!("unlimited budget cannot stop early"),
+    };
+    let triangles = run
+        .triangles
+        .iter()
+        .map(|&(x, y, z)| {
+            let mut t = [
+                prepared.inverse[x as usize],
+                prepared.inverse[y as usize],
+                prepared.inverse[z as usize],
+            ];
+            t.sort_unstable();
+            (t[0], t[1], t[2])
+        })
+        .collect();
+    (triangles, run.cost)
+}
+
+#[test]
+fn wire_results_match_direct_runs_for_every_method_policy_and_worker_count() {
+    let g = pareto_graph(600, 0xD1FF);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.register_graph("diff", g.n() as u32, &edges).unwrap();
+
+    for method in Method::FUNDAMENTAL {
+        let family = method.optimal_family();
+        for policy in [KernelPolicy::PaperFaithful, KernelPolicy::adaptive()] {
+            let (expected_tris, expected_cost) = direct_run(&g, "diff", method, policy, 1);
+            assert!(expected_cost.triangles > 0, "fixture must have triangles");
+            for workers in [1u16, 2, 4] {
+                let params = ListParams {
+                    threads: workers,
+                    ..ListParams::new("diff", method.name(), family.name(), policy.name())
+                };
+                let run = client.list(params.clone()).unwrap();
+                assert!(run.complete, "unlimited budget completes");
+                assert_eq!(
+                    run.cost, expected_cost,
+                    "{method} {policy:?} workers={workers}: cost must be byte-identical"
+                );
+                assert_eq!(
+                    run.triangles, expected_tris,
+                    "{method} {policy:?} workers={workers}: triangles must be byte-identical"
+                );
+                // Count is the same execution without the triangle payload.
+                let count = client.count(params).unwrap();
+                assert_eq!(count.cost, expected_cost);
+                assert!(count.triangles.is_empty());
+                assert!(count.complete);
+            }
+        }
+    }
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn interrupted_then_resumed_chain_is_byte_identical() {
+    let g = pareto_graph(900, 0x5E5);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .register_graph("resume", g.n() as u32, &edges)
+        .unwrap();
+
+    for method in Method::FUNDAMENTAL {
+        let family = method.optimal_family();
+        let (expected_tris, expected_cost) =
+            direct_run(&g, "resume", method, KernelPolicy::PaperFaithful, 2);
+
+        // A 1-byte memory ceiling is always already exceeded (cache
+        // residency counts against the shared gauge), so the first
+        // request stops at the first budget check and answers with a
+        // resume token; the chain driver finishes the run without the
+        // ceiling.
+        let first = ListParams {
+            threads: 2,
+            memory_bytes: 1,
+            ..ListParams::new("resume", method.name(), family.name(), "paper")
+        };
+        let partial = client.list(first).unwrap();
+        assert!(!partial.complete, "{method}: 1-byte ceiling must interrupt");
+        assert_eq!(partial.stop_reason, "memory budget exhausted");
+        assert!(!partial.resume.is_empty());
+
+        let rest = ListParams {
+            threads: 2,
+            resume: partial.resume.clone(),
+            ..ListParams::new("resume", method.name(), family.name(), "paper")
+        };
+        let chain = {
+            // drive the remainder (itself resumable) to completion
+            let mut responses = vec![partial];
+            let mut next = rest;
+            loop {
+                let res = client.list(next.clone()).unwrap();
+                let done = res.complete;
+                next.resume = res.resume.clone();
+                responses.push(res);
+                if done {
+                    break;
+                }
+            }
+            responses
+        };
+        assert!(chain.len() >= 2, "{method}: chain spans multiple requests");
+        let mut cost = CostReport::default();
+        for res in &chain {
+            cost.accumulate(&res.cost);
+        }
+        let triangles = trilist::serve::merge_pieces(&chain).expect("consistent piece tables");
+        assert_eq!(cost, expected_cost, "{method}: merged cost byte-identical");
+        assert_eq!(
+            triangles, expected_tris,
+            "{method}: merged triangles byte-identical"
+        );
+    }
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn chain_driver_matches_manual_merge_and_deadlines_resume() {
+    // The convenience driver on a deadline-interrupted run: whatever mix
+    // of partial responses the deadline produces, the merged chain equals
+    // the uninterrupted run.
+    let g = pareto_graph(900, 0xCAFE);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .register_graph("deadline", g.n() as u32, &edges)
+        .unwrap();
+
+    let method = Method::T2;
+    let family = method.optimal_family();
+    let (expected_tris, expected_cost) =
+        direct_run(&g, "deadline", method, KernelPolicy::PaperFaithful, 2);
+    let params = ListParams {
+        threads: 2,
+        deadline_ms: 1,
+        ..ListParams::new("deadline", method.name(), family.name(), "paper")
+    };
+    let chain = client.list_to_completion(params).unwrap();
+    assert_eq!(chain.cost, expected_cost);
+    assert_eq!(chain.triangles, expected_tris);
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn predict_matches_in_process_pricing() {
+    let g = pareto_graph(400, 0xBEEF);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.register_graph("p", g.n() as u32, &edges).unwrap();
+    for method in Method::FUNDAMENTAL {
+        let family = method.optimal_family();
+        let seed = prepare_seed_for(StoreConfig::default().prepare_seed, "p", family.name());
+        let prepared = prepare_graph(&g, family, seed);
+        let expected = trilist::model::price_request(method, &prepared.degrees_by_label);
+        let (per_node, total_ops, n) = client.predict("p", method.name(), family.name()).unwrap();
+        assert_eq!(per_node.to_bits(), expected.per_node.to_bits());
+        assert_eq!(total_ops.to_bits(), expected.total_ops.to_bits());
+        assert_eq!(n, expected.n);
+    }
+    client.shutdown().unwrap();
+    server.join();
+}
