@@ -284,6 +284,10 @@ pub struct InMemoryRecorder {
     counters: [AtomicU64; Counter::COUNT],
     hists: [[AtomicU64; HIST_BUCKETS]; HistKind::COUNT],
     spans: Mutex<Vec<ChunkSpan>>,
+    // Running aggregates so hot paths (a server answering `Stats` per
+    // request) never clone the span list under the lock.
+    span_count: AtomicU64,
+    span_ns: AtomicU64,
 }
 
 impl Default for InMemoryRecorder {
@@ -299,6 +303,8 @@ impl InMemoryRecorder {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
             spans: Mutex::new(Vec::new()),
+            span_count: AtomicU64::new(0),
+            span_ns: AtomicU64::new(0),
         }
     }
 
@@ -332,13 +338,18 @@ impl InMemoryRecorder {
             .clone()
     }
 
+    /// Number of spans recorded so far, without touching the span list
+    /// (constant time, safe to call from a request hot path).
+    pub fn span_count(&self) -> u64 {
+        self.span_count.load(Ordering::Relaxed)
+    }
+
     /// Total duration across all spans — successful, faulted, and setup
     /// alike. This is the run's aggregate covered time, the quantity the
-    /// `profile` binary checks against end-to-end wall clock.
+    /// `profile` binary checks against end-to-end wall clock. Maintained
+    /// as a running sum, so it is constant time too.
     pub fn span_total_ns(&self) -> u64 {
-        self.spans()
-            .iter()
-            .fold(0u64, |acc, s| acc.saturating_add(s.dur_ns))
+        self.span_ns.load(Ordering::Relaxed)
     }
 
     /// Busy nanoseconds per worker, derived purely from *chunk* spans
@@ -406,6 +417,8 @@ impl Recorder for InMemoryRecorder {
     }
 
     fn span(&self, span: ChunkSpan) {
+        self.span_count.fetch_add(1, Ordering::Relaxed);
+        self.span_ns.fetch_add(span.dur_ns, Ordering::Relaxed);
         self.spans
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)

@@ -986,14 +986,15 @@ fn run_schedule<S>(
     let verdict: Mutex<Option<StopReason>> = Mutex::new(None);
     let faults: Mutex<Vec<ChunkFault>> = Mutex::new(Vec::new());
 
-    let mut per_worker: Vec<(ThreadStats, Vec<ChunkOutput>)> = std::thread::scope(|scope| {
+    // The whole worker loop, callable inline (threads == 1) or on a
+    // scoped thread — identical code path either way, so telemetry,
+    // spans, and retry semantics cannot diverge between the two.
+    let worker_loop = {
         let (injector, stealers, stop, verdict, faults) =
             (&injector, &stealers, &stop, &verdict, &faults);
-        let handles: Vec<_> = workers
-            .into_iter()
-            .enumerate()
-            .map(|(id, local)| {
-                scope.spawn(move || {
+        move |id: usize, local: Worker<(u32, u32)>| -> (ThreadStats, Vec<ChunkOutput>) {
+            {
+                {
                     let recording = ctx.recorder.enabled();
                     let worker_started = Instant::now();
                     let mut stats = ThreadStats::default();
@@ -1110,14 +1111,30 @@ fn run_schedule<S>(
                         ctx.recorder.observe(HistKind::WorkerIdleNs, idle);
                     }
                     (stats, results)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread infrastructure panicked"))
-            .collect()
-    });
+                }
+            }
+        }
+    };
+
+    // One thread means no parallelism to buy: run the loop right here and
+    // skip the spawn/join round trip (it costs more than a small request).
+    let mut per_worker: Vec<(ThreadStats, Vec<ChunkOutput>)> = if threads == 1 {
+        let local = workers.into_iter().next().expect("one worker deque");
+        vec![worker_loop(0, local)]
+    } else {
+        std::thread::scope(|scope| {
+            let worker_loop = &worker_loop;
+            let handles: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(id, local)| scope.spawn(move || worker_loop(id, local)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread infrastructure panicked"))
+                .collect()
+        })
+    };
 
     let results = per_worker
         .iter_mut()

@@ -1,26 +1,43 @@
-//! Closed-loop load generator for `trilist-serve`.
+//! Load generator for `trilist-serve`: a closed-loop throughput phase and
+//! an optional open-loop rate sweep.
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--graph-n N]
-//!         [--workers N] [--seed S] [--out PATH]
+//!         [--workers N] [--seed S] [--out PATH] [--blocking]
+//!         [--warmup N] [--rates A,B,C] [--duration-secs S] [--conns N]
+//!         [--idle-conns N]
 //! ```
 //!
 //! Without `--addr` it spawns an in-process server on an ephemeral
-//! loopback port, registers a Pareto α = 1.5 graph, and drives it with
-//! `--threads` closed-loop clients issuing a deterministic mix of
-//! `List` / `Count` / `ModelPredict` / `Stats` requests. Per-request
-//! latency lands in a log₂ histogram; results go to `BENCH_serve.json`
-//! (deterministic field order via [`JsonWriter`]).
+//! loopback port (`--blocking` selects the legacy thread-per-connection
+//! layer), registers a Pareto α = 1.5 graph, and drives it with a
+//! deterministic mix of `List` / `Count` / `ModelPredict` / `Stats`
+//! requests.
 //!
-//! Exit status is non-zero if any request hit a protocol error or two
-//! completed runs of the same request shape disagreed on the triangle
-//! count — the smoke-test contract the CI `serve` job relies on.
+//! **Closed loop** (`--requests` over `--threads` clients): connections
+//! are established and `--warmup` requests retired *before* the timer
+//! starts, so `requests_per_sec` is steady-state throughput; the old
+//! setup-inclusive number is kept as `requests_per_sec_incl_setup`.
+//!
+//! **Open loop** (`--rates`, per-rate `--duration-secs`): arrival `i` is
+//! scheduled at `start + i/rate` regardless of completions; `--conns`
+//! workers retire arrivals, and latency is measured from the *scheduled*
+//! time, so queueing delay under overload shows up in the percentiles.
+//! `--idle-conns` holds extra idle connections open through the sweep
+//! (the CI 10k-connection smoke).
+//!
+//! Results go to `BENCH_serve.json` (deterministic field order via
+//! [`JsonWriter`]). Exit status is non-zero if any request hit a protocol
+//! error, two completed runs of the same request shape disagreed on the
+//! triangle count, or the server's memory gauge disagreed with its cache
+//! accounting at rest — the smoke-test contract the CI `serve` job
+//! relies on.
 
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
 use trilist_experiments::JsonWriter;
 use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
 use trilist_graph::gen::{GraphGenerator, ResidualSampler};
@@ -34,6 +51,12 @@ struct Flags {
     workers: usize,
     seed: u64,
     out: String,
+    blocking: bool,
+    warmup: u64,
+    rates: Vec<f64>,
+    duration_secs: f64,
+    conns: usize,
+    idle_conns: usize,
 }
 
 fn parse_flags() -> Flags {
@@ -45,6 +68,12 @@ fn parse_flags() -> Flags {
         workers: 2,
         seed: 0x010A_D6E4,
         out: "BENCH_serve.json".to_string(),
+        blocking: false,
+        warmup: 24,
+        rates: Vec::new(),
+        duration_secs: 5.0,
+        conns: 32,
+        idle_conns: 0,
     };
     let mut args = std::env::args().skip(1);
     fn val<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
@@ -60,6 +89,19 @@ fn parse_flags() -> Flags {
             "--workers" => f.workers = val("--workers", args.next()),
             "--seed" => f.seed = val("--seed", args.next()),
             "--out" => f.out = val("--out", args.next()),
+            "--blocking" => f.blocking = true,
+            "--warmup" => f.warmup = val("--warmup", args.next()),
+            "--duration-secs" => f.duration_secs = val("--duration-secs", args.next()),
+            "--conns" => f.conns = val("--conns", args.next()),
+            "--idle-conns" => f.idle_conns = val("--idle-conns", args.next()),
+            "--rates" => {
+                let list: String = val("--rates", args.next());
+                f.rates = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().expect("--rates wants numbers"))
+                    .collect();
+            }
             other => {
                 eprintln!("unknown flag {other:?}");
                 std::process::exit(2);
@@ -85,6 +127,16 @@ struct Outcome {
     rejected: AtomicU64,
     protocol_errors: AtomicU64,
     consistency_failures: AtomicU64,
+}
+
+impl Outcome {
+    fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.ok.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.protocol_errors.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// Per-shape triangle counts: every completed run of the same
@@ -150,6 +202,140 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Closed-loop phase: `threads` clients connect and warm up first, then a
+/// barrier releases them into the timed window. Returns
+/// `(latencies_ns, setup_secs, elapsed_secs)`.
+fn closed_loop(
+    addr: &str,
+    graph: &str,
+    flags: &Flags,
+    outcome: &Outcome,
+    agreement: &Agreement,
+) -> (Vec<u64>, f64, f64) {
+    let threads = flags.threads.max(1);
+    let next = AtomicU64::new(0);
+    let total = flags.requests;
+    let barrier = Barrier::new(threads + 1);
+    let setup_started = Instant::now();
+    let setup_secs = Mutex::new(0.0f64);
+    let started = Mutex::new(Instant::now());
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect client");
+                    // Warmup retires the mix (prepared-cache fills, JIT-warm
+                    // paths) before anything is measured — against a
+                    // throwaway outcome so the counters cover only the
+                    // measured window (the shared agreement still applies).
+                    let warmup_outcome = Outcome::default();
+                    for i in 0..flags.warmup / threads as u64 {
+                        one_request(&mut client, graph, i, &warmup_outcome, agreement);
+                    }
+                    barrier.wait();
+                    let mut lat = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            return lat;
+                        }
+                        let t0 = Instant::now();
+                        one_request(&mut client, graph, i, outcome, agreement);
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                    }
+                })
+            })
+            .collect();
+        // Everyone connected and warm: the measured window starts now.
+        barrier.wait();
+        *setup_secs.lock().unwrap() = setup_started.elapsed().as_secs_f64();
+        *started.lock().unwrap() = Instant::now();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.lock().unwrap().elapsed().as_secs_f64();
+    let setup = *setup_secs.lock().unwrap();
+    (latencies.into_iter().flatten().collect(), setup, elapsed)
+}
+
+/// One open-loop run at `rate` arrivals/sec for `duration` seconds:
+/// arrival `i` is due at `start + i/rate`; `conns` workers retire due
+/// arrivals, and each latency is measured from the scheduled time.
+struct OpenLoopRun {
+    offered_rps: f64,
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    protocol_errors: u64,
+    consistency_failures: u64,
+    elapsed_secs: f64,
+    latencies_ns: Vec<u64>,
+}
+
+fn open_loop(
+    addr: &str,
+    graph: &str,
+    rate: f64,
+    duration: f64,
+    conns: usize,
+    agreement: &Agreement,
+) -> OpenLoopRun {
+    let total = (rate * duration).ceil() as u64;
+    let outcome = Outcome::default();
+    let next = AtomicU64::new(0);
+    let conns = conns.max(1);
+    let barrier = Barrier::new(conns + 1);
+    let started = Mutex::new(Instant::now());
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|_| {
+                let next = &next;
+                let barrier = &barrier;
+                let started = &started;
+                let outcome = &outcome;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect client");
+                    barrier.wait();
+                    let start = *started.lock().unwrap();
+                    let mut lat = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            return lat;
+                        }
+                        let due = start + Duration::from_secs_f64(i as f64 / rate);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        one_request(&mut client, graph, i, outcome, agreement);
+                        // From the scheduled arrival, so queueing delay
+                        // under overload is part of the number.
+                        lat.push(due.elapsed().as_nanos() as u64);
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        *started.lock().unwrap() = Instant::now();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_secs = started.lock().unwrap().elapsed().as_secs_f64();
+    let (ok, rejected, protocol_errors) = outcome.snapshot();
+    let mut latencies_ns: Vec<u64> = latencies.into_iter().flatten().collect();
+    latencies_ns.sort_unstable();
+    OpenLoopRun {
+        offered_rps: rate,
+        sent: total,
+        ok,
+        rejected,
+        protocol_errors,
+        consistency_failures: outcome.consistency_failures.load(Ordering::Relaxed),
+        elapsed_secs,
+        latencies_ns,
+    }
+}
+
 fn main() {
     let flags = parse_flags();
 
@@ -170,6 +356,7 @@ fn main() {
                 "127.0.0.1:0",
                 ServeConfig {
                     workers: flags.workers,
+                    blocking: flags.blocking,
                     ..ServeConfig::default()
                 },
             )
@@ -189,55 +376,92 @@ fn main() {
         .expect("register graph");
     println!("serving {graph_name}: n = {n}, m = {m} at {addr}");
 
-    let outcome = Arc::new(Outcome::default());
-    let agreement: Arc<Agreement> = Arc::new(Mutex::new(HashMap::new()));
-    let next = Arc::new(AtomicU64::new(0));
-    let total = flags.requests;
-    let started = Instant::now();
-    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..flags.threads.max(1))
-            .map(|_| {
-                let next = Arc::clone(&next);
-                let outcome = Arc::clone(&outcome);
-                let agreement = Arc::clone(&agreement);
-                let addr = addr.clone();
-                scope.spawn(move || {
-                    let mut client = Client::connect(addr.as_str()).expect("connect client");
-                    let mut lat = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
-                            return lat;
-                        }
-                        let t0 = Instant::now();
-                        one_request(&mut client, graph_name, i, &outcome, &agreement);
-                        lat.push(t0.elapsed().as_nanos() as u64);
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let elapsed = started.elapsed().as_secs_f64();
+    // Extra idle connections held open through everything below (the CI
+    // 10k-connection smoke): each must still answer at the end.
+    let mut idle: Vec<Client> = (0..flags.idle_conns)
+        .map(|i| {
+            Client::connect(addr.as_str())
+                .unwrap_or_else(|e| panic!("idle connection {i} failed: {e}"))
+        })
+        .collect();
+    if !idle.is_empty() {
+        println!("holding {} idle connections", idle.len());
+    }
 
-    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    let outcome = Outcome::default();
+    let agreement: Agreement = Mutex::new(HashMap::new());
+    let (mut all, setup_secs, elapsed) =
+        closed_loop(&addr, graph_name, &flags, &outcome, &agreement);
     all.sort_unstable();
     let mut hist = [0u64; 64];
     for &ns in &all {
         hist[(64 - ns.leading_zeros()).min(63) as usize] += 1;
     }
-
-    let ok = outcome.ok.load(Ordering::Relaxed);
-    let rejected = outcome.rejected.load(Ordering::Relaxed);
-    let protocol_errors = outcome.protocol_errors.load(Ordering::Relaxed);
-    let consistency_failures = outcome.consistency_failures.load(Ordering::Relaxed);
+    let total = flags.requests;
+    let (ok, rejected, protocol_errors) = outcome.snapshot();
+    let steady_rps = total as f64 / elapsed.max(f64::MIN_POSITIVE);
     println!(
-        "{total} requests in {elapsed:.3}s ({:.0} req/s): {ok} ok, {rejected} rejected, \
-         {protocol_errors} protocol errors; p50 {} us, p99 {} us",
-        total as f64 / elapsed.max(f64::MIN_POSITIVE),
+        "closed loop: {total} requests in {elapsed:.3}s ({steady_rps:.0} req/s steady-state, \
+         setup {setup_secs:.3}s): {ok} ok, {rejected} rejected, {protocol_errors} protocol \
+         errors; p50 {} us, p99 {} us",
         percentile(&all, 0.50) / 1_000,
         percentile(&all, 0.99) / 1_000,
     );
+
+    // The open-loop sweep, one run per offered rate.
+    let sweep: Vec<OpenLoopRun> = flags
+        .rates
+        .iter()
+        .map(|&rate| {
+            let run = open_loop(
+                &addr,
+                graph_name,
+                rate,
+                flags.duration_secs,
+                flags.conns,
+                &agreement,
+            );
+            println!(
+                "open loop @ {rate:.0} req/s offered: {} sent, {} ok, {} rejected, {} protocol \
+                 errors, achieved {:.0} req/s; p50 {} us, p99 {} us",
+                run.sent,
+                run.ok,
+                run.rejected,
+                run.protocol_errors,
+                run.sent as f64 / run.elapsed_secs.max(f64::MIN_POSITIVE),
+                percentile(&run.latencies_ns, 0.50) / 1_000,
+                percentile(&run.latencies_ns, 0.99) / 1_000,
+            );
+            run
+        })
+        .collect();
+    // The sweep shares `agreement`, so a disagreement anywhere counts.
+    let consistency_failures = outcome.consistency_failures.load(Ordering::Relaxed)
+        + sweep.iter().map(|r| r.consistency_failures).sum::<u64>();
+
+    // Every idle connection must still be answered after the storm, and
+    // at rest the memory gauge must agree with the cache's accounting.
+    for (i, c) in idle.iter_mut().enumerate() {
+        c.stats()
+            .unwrap_or_else(|e| panic!("idle connection {i} dead after sweep: {e}"));
+    }
+    drop(idle);
+    let stats = setup.stats().expect("final stats");
+    let field = |name: &str| -> u64 {
+        stats
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("stats missing {name}"))
+    };
+    let gauge_bytes = field("gauge_bytes");
+    let cache_bytes = field("cache_bytes");
+    let gauge_consistent = gauge_bytes == cache_bytes;
+    if !gauge_consistent {
+        eprintln!("gauge_bytes {gauge_bytes} != cache_bytes {cache_bytes} at rest");
+    }
+
+    let open_errors: u64 = sweep.iter().map(|r| r.protocol_errors).sum();
 
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -245,10 +469,14 @@ fn main() {
     w.key("config").begin_object();
     w.key("requests").u64(total);
     w.key("threads").u64(flags.threads as u64);
+    w.key("warmup").u64(flags.warmup);
     w.key("graph_n").u64(n as u64);
     w.key("graph_m").u64(m);
     w.key("server_workers").u64(flags.workers as u64);
+    w.key("blocking").bool(flags.blocking);
     w.key("in_process_server").bool(server.is_some());
+    w.key("open_loop_conns").u64(flags.conns as u64);
+    w.key("idle_conns").u64(flags.idle_conns as u64);
     w.key("seed").u64(flags.seed);
     w.end_object();
     w.key("outcome").begin_object();
@@ -256,9 +484,13 @@ fn main() {
     w.key("rejected").u64(rejected);
     w.key("protocol_errors").u64(protocol_errors);
     w.key("consistency_failures").u64(consistency_failures);
+    w.key("setup_secs").f64(setup_secs);
     w.key("elapsed_secs").f64(elapsed);
-    w.key("requests_per_sec")
-        .f64_prec(total as f64 / elapsed.max(f64::MIN_POSITIVE), 1);
+    w.key("requests_per_sec").f64_prec(steady_rps, 1);
+    w.key("requests_per_sec_incl_setup").f64_prec(
+        total as f64 / (elapsed + setup_secs).max(f64::MIN_POSITIVE),
+        1,
+    );
     w.end_object();
     w.key("latency_ns").begin_object();
     w.key("p50").u64(percentile(&all, 0.50));
@@ -276,6 +508,32 @@ fn main() {
     }
     w.end_array();
     w.end_object();
+    w.key("open_loop").begin_array();
+    for run in &sweep {
+        w.begin_object();
+        w.key("offered_rps").f64_prec(run.offered_rps, 1);
+        w.key("duration_secs").f64(flags.duration_secs);
+        w.key("sent").u64(run.sent);
+        w.key("ok").u64(run.ok);
+        w.key("rejected").u64(run.rejected);
+        w.key("protocol_errors").u64(run.protocol_errors);
+        w.key("achieved_rps")
+            .f64_prec(run.sent as f64 / run.elapsed_secs.max(f64::MIN_POSITIVE), 1);
+        w.key("latency_ns").begin_object();
+        w.key("p50").u64(percentile(&run.latencies_ns, 0.50));
+        w.key("p90").u64(percentile(&run.latencies_ns, 0.90));
+        w.key("p99").u64(percentile(&run.latencies_ns, 0.99));
+        w.key("max")
+            .u64(run.latencies_ns.last().copied().unwrap_or(0));
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("gauge").begin_object();
+    w.key("gauge_bytes").u64(gauge_bytes);
+    w.key("cache_bytes").u64(cache_bytes);
+    w.key("consistent").bool(gauge_consistent);
+    w.end_object();
     w.end_object();
     std::fs::write(&flags.out, w.finish()).expect("write bench json");
     println!("wrote {}", flags.out);
@@ -284,7 +542,7 @@ fn main() {
         let _ = setup.shutdown();
         server.join();
     }
-    if protocol_errors > 0 || consistency_failures > 0 {
+    if protocol_errors > 0 || open_errors > 0 || consistency_failures > 0 || !gauge_consistent {
         std::process::exit(1);
     }
 }

@@ -167,6 +167,19 @@ impl Admission {
         Ok(Permit { gate: self })
     }
 
+    /// Records a busy rejection decided *outside* [`Admission::admit`] —
+    /// the event loop's executor sheds at submit time, before a worker is
+    /// occupied — and returns the same [`Rejection::Busy`] the in-band
+    /// path produces, so the wire message and the `rejected_busy` counter
+    /// are identical across connection layers.
+    pub fn shed_busy(&self) -> Rejection {
+        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        Rejection::Busy {
+            max_inflight: self.cfg.max_inflight.max(1),
+            max_queue: self.cfg.max_queue,
+        }
+    }
+
     /// Current counters.
     pub fn stats(&self) -> AdmissionStats {
         AdmissionStats {

@@ -3,8 +3,11 @@
 //! ```text
 //! trilist_serve [--addr HOST:PORT] [--workers N] [--max-inflight N]
 //!               [--max-queue N] [--max-ops F] [--memory-bytes N]
-//!               [--cache-entries N] [--cache-bytes N]
+//!               [--cache-entries N] [--cache-bytes N] [--blocking]
 //! ```
+//!
+//! `--blocking` selects the legacy thread-per-connection layer instead
+//! of the default event loop (kept for differential testing).
 //!
 //! Runs until a client sends `Shutdown` (or the process is killed).
 
@@ -30,6 +33,7 @@ fn main() {
             "--memory-bytes" => cfg.memory_bytes = Some(parse("--memory-bytes", args.next())),
             "--cache-entries" => cfg.store.max_entries = parse("--cache-entries", args.next()),
             "--cache-bytes" => cfg.store.cache_bytes = Some(parse("--cache-bytes", args.next())),
+            "--blocking" => cfg.blocking = true,
             other => {
                 eprintln!("unknown flag {other:?}");
                 std::process::exit(2);

@@ -4,9 +4,10 @@
 
 use crate::codec::WireError;
 use crate::protocol::{
-    merge_pieces, read_frame, write_frame, ErrorFrame, FrameError, ListParams, Request, Response,
-    RunResult,
+    encode_frame, merge_pieces, read_frame, write_frame, ErrorFrame, FrameError, ListParams,
+    Request, Response, RunResult,
 };
+use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use trilist_core::CostReport;
 
@@ -91,6 +92,26 @@ impl Client {
         write_frame(&mut self.stream, req.kind(), &req.payload())?;
         let (kind, body) = read_frame(&mut self.stream)?;
         Ok(Response::decode(kind, &body)?)
+    }
+
+    /// Pipelines a batch: every request is written back-to-back before a
+    /// single response is read, then exactly one response per request is
+    /// read back, in request order (the protocol guarantees in-order
+    /// responses on one connection). Error frames come back in place as
+    /// `Response::Error(_)`, like [`Client::call`].
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ClientError> {
+        let mut batch = Vec::new();
+        for req in reqs {
+            batch.extend_from_slice(&encode_frame(req.kind(), &req.payload()));
+        }
+        self.stream.write_all(&batch)?;
+        self.stream.flush()?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            let (kind, body) = read_frame(&mut self.stream)?;
+            out.push(Response::decode(kind, &body)?);
+        }
+        Ok(out)
     }
 
     fn call_ok(&mut self, req: &Request) -> Result<Response, ClientError> {

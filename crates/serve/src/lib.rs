@@ -34,13 +34,15 @@ pub mod server;
 pub mod store;
 
 mod client;
+mod event_loop;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionStats, Permit, Rejection};
 pub use client::{ChainResult, Client, ClientError};
 pub use codec::{Reader, WireError, Writer};
 pub use protocol::{
-    decode_frame, encode_frame, merge_pieces, read_frame, write_frame, ErrorCode, ErrorFrame,
-    FrameError, ListParams, Request, Response, RunResult, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    decode_frame, encode_frame, merge_pieces, read_frame, scan_frame, write_frame, ErrorCode,
+    ErrorFrame, FrameError, ListParams, Request, Response, RunResult, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use store::{

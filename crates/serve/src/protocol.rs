@@ -518,6 +518,47 @@ pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Scans an accumulation buffer for one complete frame without consuming
+/// it: `Ok(None)` means more bytes are needed (a short header — even a
+/// 3-byte one — is *never* an error, because more of it may still be in
+/// flight); `Ok(Some((kind, total)))` means `buf[..total]` holds a whole
+/// frame of that kind; `Err` means the bytes already present violate the
+/// framing and the connection cannot resync.
+///
+/// Both the blocking connection loop and the event-loop state machine
+/// parse through this one function, so the two servers reject exactly the
+/// same byte streams with exactly the same typed [`WireError`]s — and
+/// neither has a panicking path on a short read (the `try_into().unwrap()`
+/// this replaced could not panic either, but only by virtue of a length
+/// check several lines away; the bounds-checked [`Reader`] makes the
+/// safety local).
+pub fn scan_frame(buf: &[u8]) -> Result<Option<(u8, usize)>, WireError> {
+    let mut r = Reader::new(buf);
+    let len = match r.u32() {
+        Ok(len) => len,
+        Err(WireError::UnexpectedEof { .. }) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if len < 2 {
+        return Err(WireError::Invalid("frame length below header size"));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized {
+            declared: len as u64,
+            limit: MAX_FRAME_BYTES as u64,
+        });
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let version = buf[4];
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    Ok(Some((buf[5], total)))
+}
+
 /// Splits a standalone byte buffer into `(kind, payload)`, validating the
 /// header exactly as the streaming reader does. Used by the fuzz suite to
 /// drive the decoder without a socket.
@@ -718,6 +759,57 @@ mod tests {
         assert!(matches!(
             Request::decode(KIND_STATS, &[0]),
             Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn scan_frame_short_headers_want_more_bytes() {
+        // The regression this guards: a partial length prefix (0–3 bytes)
+        // must read as "incomplete", not panic or error.
+        assert_eq!(scan_frame(&[]), Ok(None));
+        assert_eq!(scan_frame(&[7]), Ok(None));
+        assert_eq!(scan_frame(&[7, 0]), Ok(None));
+        assert_eq!(scan_frame(&[7, 0, 0]), Ok(None));
+        // Full length prefix but incomplete body: still incomplete.
+        assert_eq!(scan_frame(&[7, 0, 0, 0]), Ok(None));
+        assert_eq!(scan_frame(&[7, 0, 0, 0, 1, 5, 0]), Ok(None));
+    }
+
+    #[test]
+    fn scan_frame_finds_exactly_one_frame() {
+        let frame = encode_frame(KIND_STATS, &[]);
+        assert_eq!(scan_frame(&frame), Ok(Some((KIND_STATS, frame.len()))));
+        // A second pipelined frame behind it does not confuse the scan.
+        let mut two = frame.clone();
+        two.extend_from_slice(&encode_frame(KIND_SHUTDOWN, &[]));
+        assert_eq!(scan_frame(&two), Ok(Some((KIND_STATS, frame.len()))));
+        // And scanning past the first finds the second.
+        assert_eq!(
+            scan_frame(&two[frame.len()..]),
+            Ok(Some((KIND_SHUTDOWN, frame.len())))
+        );
+    }
+
+    #[test]
+    fn scan_frame_header_violations_are_typed() {
+        // len < 2: unrecoverable framing error even with only the header.
+        assert!(matches!(
+            scan_frame(&[1, 0, 0, 0, 1, 5]),
+            Err(WireError::Invalid(_))
+        ));
+        // Oversized length rejected from the 4-byte prefix alone, before
+        // any body arrives (the cap is what bounds per-conn buffering).
+        let huge = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        assert!(matches!(
+            scan_frame(&huge),
+            Err(WireError::Oversized { .. })
+        ));
+        // Version is only judged once the whole frame is present, so a
+        // garbled version still reads as incomplete until then.
+        assert_eq!(scan_frame(&[2, 0, 0, 0, 9]), Ok(None));
+        assert!(matches!(
+            scan_frame(&[2, 0, 0, 0, 9, 5]),
+            Err(WireError::BadVersion(9))
         ));
     }
 

@@ -1,6 +1,14 @@
-//! The TCP server: an accept loop, one thread per connection, and the
-//! request handler that glues store, admission, and the resilient listing
-//! runtime together.
+//! The TCP server: one request core behind two interchangeable connection
+//! layers.
+//!
+//! The default layer is the nonblocking event loop in [`crate::event_loop`]
+//! — one thread multiplexing every connection through readiness
+//! notifications, with request execution decoupled onto a fixed worker
+//! pool. `ServeConfig { blocking: true, .. }` selects the legacy
+//! thread-per-connection layer instead; both call the same
+//! [`classify`]/[`execute`] pair here, so for every deterministic frame
+//! type the two layers produce byte-identical responses
+//! (`tests/serve_async.rs` holds them to that differentially).
 //!
 //! # Determinism across the wire
 //!
@@ -25,9 +33,9 @@
 //! stitch the chain back into exact sequential order.
 
 use crate::admission::{Admission, AdmissionConfig};
+use crate::event_loop;
 use crate::protocol::{
-    write_frame, ErrorCode, ErrorFrame, ListParams, Request, Response, RunResult, MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    scan_frame, write_frame, ErrorCode, ErrorFrame, ListParams, Request, Response, RunResult,
 };
 use crate::store::{GraphStore, Prepared, StoreConfig};
 use std::io::Read;
@@ -35,7 +43,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use trilist_core::{
     list_resilient, Counter, InMemoryRecorder, KernelPolicy, MemoryGauge, Method, ParallelOpts,
     Recorder, ResilientOpts, ResumeParseError, ResumePoint, RunBudget, RunOutcome,
@@ -57,6 +65,11 @@ pub struct ServeConfig {
     /// (cache residency + in-flight runs). A request's own
     /// `memory_bytes` overrides it. `None` = unlimited.
     pub memory_bytes: Option<u64>,
+    /// Serve connections on the legacy blocking thread-per-connection
+    /// layer instead of the default event loop. Kept for differential
+    /// testing: both layers must answer every deterministic frame type
+    /// byte-identically.
+    pub blocking: bool,
 }
 
 impl Default for ServeConfig {
@@ -66,12 +79,13 @@ impl Default for ServeConfig {
             admission: AdmissionConfig::default(),
             store: StoreConfig::default(),
             memory_bytes: None,
+            blocking: false,
         }
     }
 }
 
 #[derive(Default)]
-struct RequestCounters {
+pub(crate) struct RequestCounters {
     total: AtomicU64,
     register: AtomicU64,
     list: AtomicU64,
@@ -82,14 +96,14 @@ struct RequestCounters {
     errors: AtomicU64,
 }
 
-struct Shared {
-    cfg: ServeConfig,
-    gauge: MemoryGauge,
-    store: GraphStore,
-    admission: Admission,
-    recorder: Arc<InMemoryRecorder>,
-    shutting: AtomicBool,
-    counters: RequestCounters,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) gauge: MemoryGauge,
+    pub(crate) store: GraphStore,
+    pub(crate) admission: Admission,
+    pub(crate) recorder: Arc<InMemoryRecorder>,
+    pub(crate) shutting: AtomicBool,
+    pub(crate) counters: RequestCounters,
 }
 
 /// The service entry point.
@@ -97,12 +111,14 @@ pub struct Server;
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the accept loop on a background thread.
+    /// starts the connection layer [`ServeConfig::blocking`] selects on a
+    /// background thread.
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let gauge = MemoryGauge::new();
+        let blocking = cfg.blocking;
         let shared = Arc::new(Shared {
             store: GraphStore::new(cfg.store.clone(), gauge.clone()),
             admission: Admission::new(cfg.admission),
@@ -112,13 +128,24 @@ impl Server {
             gauge,
             cfg,
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
-        Ok(ServerHandle {
-            addr: local,
-            shared,
-            accept: Some(accept),
-        })
+        if blocking {
+            let accept_shared = Arc::clone(&shared);
+            let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+            Ok(ServerHandle {
+                addr: local,
+                shared,
+                accept: Some(accept),
+                waker: None,
+            })
+        } else {
+            let (thread, waker) = event_loop::spawn(listener, Arc::clone(&shared))?;
+            Ok(ServerHandle {
+                addr: local,
+                shared,
+                accept: Some(thread),
+                waker: Some(waker),
+            })
+        }
     }
 }
 
@@ -127,6 +154,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    waker: Option<Arc<mio::Waker>>,
 }
 
 impl ServerHandle {
@@ -139,6 +167,9 @@ impl ServerHandle {
     /// finish what is in flight. Returns immediately.
     pub fn shutdown(&self) {
         self.shared.shutting.store(true, Ordering::SeqCst);
+        if let Some(waker) = &self.waker {
+            let _ = waker.wake();
+        }
     }
 
     /// Drains and blocks until every connection thread has finished.
@@ -160,7 +191,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shared.shutting.store(true, Ordering::SeqCst);
+        self.shutdown();
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -186,59 +217,37 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-/// Scans the accumulation buffer for one complete frame. `Ok(None)` means
-/// more bytes are needed; `Err` means the stream violated the framing and
-/// the connection cannot resync.
-fn frame_in_buffer(buf: &[u8]) -> Result<Option<(u8, usize)>, ErrorFrame> {
-    if buf.len() < 4 {
-        return Ok(None);
-    }
-    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
-    if len < 2 {
-        return Err(ErrorFrame::new(
-            ErrorCode::Protocol,
-            "frame length below header size",
-        ));
-    }
-    if len > MAX_FRAME_BYTES {
-        return Err(ErrorFrame::new(
-            ErrorCode::Protocol,
-            format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
-        ));
-    }
-    let total = 4 + len as usize;
-    if buf.len() < total {
-        return Ok(None);
-    }
-    let version = buf[4];
-    if version != PROTOCOL_VERSION {
-        return Err(ErrorFrame::new(
-            ErrorCode::Protocol,
-            format!("unsupported protocol version {version}"),
-        ));
-    }
-    Ok(Some((buf[5], total)))
-}
-
 fn send(stream: &mut TcpStream, shared: &Shared, resp: &Response) -> bool {
-    if matches!(resp, Response::Error(_)) {
-        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-    }
+    note_response(shared, resp);
     write_frame(stream, resp.kind(), &resp.payload()).is_ok()
 }
 
-/// One connection: accumulate bytes, answer every complete frame. The
-/// read timeout only paces the drain check — a timeout mid-frame leaves
-/// the buffer intact, so slow writers never desynchronize the stream.
+/// Floor of the idle-read backoff (also the first timeout after data).
+const IDLE_BACKOFF_MIN: Duration = Duration::from_millis(25);
+/// Ceiling of the idle-read backoff — an idle blocking connection wakes
+/// at most ~1.25×/s, instead of the fixed 50 ms spin this replaced.
+const IDLE_BACKOFF_MAX: Duration = Duration::from_millis(800);
+/// Poll cadence while draining, so closure is noticed promptly.
+const DRAIN_POLL: Duration = Duration::from_millis(50);
+/// Grace a draining connection gets to finish a half-written frame.
+const DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+/// One blocking connection: accumulate bytes, answer every complete
+/// frame. The read timeout only paces the drain check — a timeout
+/// mid-frame leaves the buffer intact, so slow writers never
+/// desynchronize the stream — and doubles while the connection stays
+/// idle, so parked connections cost near-zero CPU
+/// (`tests/serve_idle.rs`).
 fn serve_conn(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_nodelay(true);
     let mut acc: Vec<u8> = Vec::new();
     let mut tmp = [0u8; 16 * 1024];
-    let mut idle_drain_polls = 0u32;
+    let mut backoff = IDLE_BACKOFF_MIN;
+    let mut timeout = Duration::ZERO; // differs from any real value, so the first pass sets one
+    let mut drain_since: Option<Instant> = None;
     loop {
         loop {
-            match frame_in_buffer(&acc) {
+            match scan_frame(&acc) {
                 Ok(None) => break,
                 Ok(Some((kind, total))) => {
                     let resp = match Request::decode(kind, &acc[6..total]) {
@@ -252,17 +261,28 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream) {
                         return;
                     }
                 }
-                Err(frame_err) => {
+                Err(e) => {
                     // framing is broken; report once and close
+                    let frame_err = ErrorFrame::new(ErrorCode::Protocol, e.to_string());
                     send(&mut stream, shared, &Response::Error(frame_err));
                     return;
                 }
             }
         }
+        let want = if shared.shutting.load(Ordering::SeqCst) {
+            DRAIN_POLL
+        } else {
+            backoff
+        };
+        if want != timeout {
+            let _ = stream.set_read_timeout(Some(want));
+            timeout = want;
+        }
         match stream.read(&mut tmp) {
             Ok(0) => return, // peer closed
             Ok(n) => {
-                idle_drain_polls = 0;
+                backoff = IDLE_BACKOFF_MIN;
+                drain_since = None;
                 acc.extend_from_slice(&tmp[..n]);
             }
             Err(e)
@@ -270,11 +290,13 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream) {
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 if shared.shutting.load(Ordering::SeqCst) {
-                    idle_drain_polls += 1;
-                    // ~1 s of grace for a half-written frame, then close
-                    if acc.is_empty() || idle_drain_polls > 20 {
+                    let since = *drain_since.get_or_insert_with(Instant::now);
+                    // grace for a half-written frame, then close
+                    if acc.is_empty() || since.elapsed() >= DRAIN_GRACE {
                         return;
                     }
+                } else {
+                    backoff = (backoff * 2).min(IDLE_BACKOFF_MAX);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -283,25 +305,79 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-fn handle_request(shared: &Shared, req: Request) -> Response {
+/// Tallies a response the way the wire sees it — error frames feed the
+/// `responses_error` counter. Both connection layers call this exactly
+/// once per response.
+pub(crate) fn note_response(shared: &Shared, resp: &Response) {
+    if matches!(resp, Response::Error(_)) {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// What the connection layer should do with one decoded request.
+pub(crate) enum Dispatch {
+    /// Answered at classification time, in frame order: `Stats`,
+    /// `Shutdown`, and the drain gate. These never enter a queue, so a
+    /// pipelined `Stats` behind a slow `List` answers immediately (the
+    /// response still flushes in frame order).
+    Inline(Response),
+    /// Cheap control-plane work (`RegisterGraph`, `ModelPredict`): runs
+    /// on the express lane, never behind a priced listing run.
+    Express(Request),
+    /// Priced data-plane work (`List`, `Count`): pulled by the fixed
+    /// worker pool through the admission gate.
+    Priced(Request),
+}
+
+/// Classifies one request at dispatch time. Counters and the drain gate
+/// live here so they observe frame arrival order — identically in both
+/// connection layers. In particular `Shutdown` flips the drain flag the
+/// moment its frame is parsed, so a pipelined `[List, Shutdown]` still
+/// answers the `List` but a later `[Shutdown, List]` rejects the `List`.
+pub(crate) fn classify(shared: &Shared, req: Request) -> Dispatch {
     let c = &shared.counters;
     c.total.fetch_add(1, Ordering::Relaxed);
     match req {
         Request::Stats => {
             c.stats.fetch_add(1, Ordering::Relaxed);
-            Response::StatsResult(stats_fields(shared))
+            Dispatch::Inline(Response::StatsResult(stats_fields(shared)))
         }
         Request::Shutdown => {
             c.shutdown.fetch_add(1, Ordering::Relaxed);
             shared.shutting.store(true, Ordering::SeqCst);
-            Response::ShutdownAck
+            Dispatch::Inline(Response::ShutdownAck)
         }
-        _ if shared.shutting.load(Ordering::SeqCst) => Response::Error(ErrorFrame::new(
-            ErrorCode::ShuttingDown,
-            "server is draining and accepts no new work",
-        )),
-        Request::RegisterGraph { name, n, edges } => {
+        _ if shared.shutting.load(Ordering::SeqCst) => {
+            Dispatch::Inline(Response::Error(ErrorFrame::new(
+                ErrorCode::ShuttingDown,
+                "server is draining and accepts no new work",
+            )))
+        }
+        Request::RegisterGraph { .. } => {
             c.register.fetch_add(1, Ordering::Relaxed);
+            Dispatch::Express(req)
+        }
+        Request::ModelPredict { .. } => {
+            c.predict.fetch_add(1, Ordering::Relaxed);
+            Dispatch::Express(req)
+        }
+        Request::List(_) => {
+            c.list.fetch_add(1, Ordering::Relaxed);
+            Dispatch::Priced(req)
+        }
+        Request::Count(_) => {
+            c.count.fetch_add(1, Ordering::Relaxed);
+            Dispatch::Priced(req)
+        }
+    }
+}
+
+/// Executes one already-classified request. No gates and no counters —
+/// [`classify`] applied both — so the response depends only on the
+/// request and server state, never on which connection layer called it.
+pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
+    match req {
+        Request::RegisterGraph { name, n, edges } => {
             match shared.store.register(&name, n, &edges) {
                 Ok((n, m)) => Response::Registered { n, m },
                 Err(e) => Response::Error(ErrorFrame::new(ErrorCode::BadRequest, e.to_string())),
@@ -311,27 +387,32 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
             graph,
             method,
             family,
-        } => {
-            c.predict.fetch_add(1, Ordering::Relaxed);
-            match predict(shared, &graph, &method, &family) {
-                Ok(resp) => resp,
-                Err(e) => Response::Error(e),
-            }
+        } => match predict(shared, &graph, &method, &family) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error(e),
+        },
+        Request::List(p) => match run_listing(shared, &p, true) {
+            Ok(res) => Response::ListResult(res),
+            Err(e) => Response::Error(e),
+        },
+        Request::Count(p) => match run_listing(shared, &p, false) {
+            Ok(res) => Response::CountResult(res),
+            Err(e) => Response::Error(e),
+        },
+        // classify() always answers these inline; if one reaches here
+        // anyway, answer it the same way rather than panic.
+        Request::Stats => Response::StatsResult(stats_fields(shared)),
+        Request::Shutdown => {
+            shared.shutting.store(true, Ordering::SeqCst);
+            Response::ShutdownAck
         }
-        Request::List(p) => {
-            c.list.fetch_add(1, Ordering::Relaxed);
-            match run_listing(shared, &p, true) {
-                Ok(res) => Response::ListResult(res),
-                Err(e) => Response::Error(e),
-            }
-        }
-        Request::Count(p) => {
-            c.count.fetch_add(1, Ordering::Relaxed);
-            match run_listing(shared, &p, false) {
-                Ok(res) => Response::CountResult(res),
-                Err(e) => Response::Error(e),
-            }
-        }
+    }
+}
+
+fn handle_request(shared: &Shared, req: Request) -> Response {
+    match classify(shared, req) {
+        Dispatch::Inline(resp) => resp,
+        Dispatch::Express(req) | Dispatch::Priced(req) => execute(shared, req),
     }
 }
 
@@ -435,7 +516,12 @@ fn run_listing(
         parallel: ParallelOpts {
             threads,
             policy,
-            ..ParallelOpts::default()
+            // Serve-sized chunks: the default 1024-op chunks exist for
+            // fine-grained budget checks in long batch runs; per-request
+            // scheduling overhead dominates at service request sizes, and
+            // cost/triangle accounting is chunk-count-invariant (pinned by
+            // tests/serve_differential.rs).
+            target_chunk_ops: 32768,
         },
         budget,
         recorder: Some(recorder),
@@ -557,10 +643,7 @@ fn stats_fields(shared: &Shared) -> Vec<(String, u64)> {
             shared.recorder.counter(counter),
         ));
     }
-    out.push((
-        "recorder_spans".into(),
-        shared.recorder.spans().len() as u64,
-    ));
+    out.push(("recorder_spans".into(), shared.recorder.span_count()));
     out.push(("recorder_span_ns".into(), shared.recorder.span_total_ns()));
     out
 }

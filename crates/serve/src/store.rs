@@ -220,6 +220,17 @@ impl GraphStore {
         lock(&self.inner).graphs.get(name).cloned()
     }
 
+    /// Whether `(name, family)` is already in the prepared cache — a
+    /// peek that touches no counters and no LRU state, for callers that
+    /// must know whether [`GraphStore::prepare`] would be cheap (the
+    /// event loop only answers `ModelPredict` on the loop thread when it
+    /// cannot trigger a build).
+    pub fn has_prepared(&self, name: &str, family: OrderFamily) -> bool {
+        lock(&self.inner)
+            .prepared
+            .contains_key(&(name.to_string(), family.name()))
+    }
+
     /// The prepared entry for `(name, family)`: from cache on a hit
     /// (second return `true`), built — and cached, possibly evicting LRU
     /// entries — on a miss.

@@ -1,0 +1,497 @@
+//! Differential and pipelining suite for the event-loop connection
+//! layer: the async server (the default) and the legacy blocking server
+//! (`ServeConfig { blocking: true }`) must answer every deterministic
+//! frame type byte-identically — success results, every error class,
+//! framing violations, the shutdown gate, and budget-interrupted resume
+//! chains — and a pipelined batch on one connection must answer in
+//! order, byte-identical to issuing the same requests sequentially.
+
+use rand::SeedableRng;
+use std::io::Write;
+use std::net::TcpStream;
+use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+use trilist::graph::Graph;
+use trilist::serve::{
+    encode_frame, read_frame, Client, ErrorCode, ListParams, Request, Response, ServeConfig,
+    Server, ServerHandle,
+};
+
+/// A reproducible Pareto α = 1.5 graph with plenty of triangles.
+fn pareto_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dist = Truncated::new(DiscretePareto::paper_beta(1.5), Truncation::Root.t_n(n));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    ResidualSampler.generate(&seq, &mut rng).graph
+}
+
+fn bind(blocking: bool) -> ServerHandle {
+    Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            blocking,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind")
+}
+
+/// A frame-level client: raw bytes out, raw frames back — so the tests
+/// compare exactly what went over the wire.
+struct RawClient {
+    stream: TcpStream,
+}
+
+impl RawClient {
+    fn connect(addr: std::net::SocketAddr) -> RawClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        RawClient { stream }
+    }
+
+    fn send_bytes(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write");
+        self.stream.flush().expect("flush");
+    }
+
+    fn send(&mut self, req: &Request) {
+        self.send_bytes(&encode_frame(req.kind(), &req.payload()));
+    }
+
+    /// One whole response frame, as canonical bytes.
+    fn recv_frame(&mut self) -> Vec<u8> {
+        let (kind, body) = read_frame(&mut self.stream).expect("response frame");
+        encode_frame(kind, &body)
+    }
+
+    fn recv(&mut self) -> Response {
+        let (kind, body) = read_frame(&mut self.stream).expect("response frame");
+        Response::decode(kind, &body).expect("well-formed response")
+    }
+
+    /// The stream must be at EOF (the server closed it).
+    fn expect_eof(&mut self) {
+        assert!(
+            read_frame(&mut self.stream).is_err(),
+            "expected the server to close the connection"
+        );
+    }
+}
+
+fn k4_edges() -> Vec<(u32, u32)> {
+    vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+}
+
+/// The deterministic request matrix: registration, every fundamental
+/// method under both kernel policies (list + count), predictions, and
+/// one of every error class the server can produce.
+fn matrix_script(edges: &[(u32, u32)], n: u32) -> Vec<Request> {
+    let mut script = vec![Request::RegisterGraph {
+        name: "g".into(),
+        n,
+        edges: edges.to_vec(),
+    }];
+    for method in ["T1", "T2", "E1", "E4"] {
+        let family = match method {
+            "T1" | "T2" => "desc",
+            "E1" => "asc",
+            _ => "crr",
+        };
+        for policy in ["paper", "adaptive"] {
+            let params = ListParams {
+                threads: 2,
+                ..ListParams::new("g", method, family, policy)
+            };
+            script.push(Request::List(params.clone()));
+            script.push(Request::Count(params));
+        }
+        script.push(Request::ModelPredict {
+            graph: "g".into(),
+            method: method.into(),
+            family: family.into(),
+        });
+    }
+    // Every error class, deterministically:
+    script.push(Request::List(ListParams::new("g", "T9", "desc", "paper")));
+    script.push(Request::List(ListParams::new("g", "T1", "zig", "paper")));
+    script.push(Request::List(ListParams::new("g", "T1", "desc", "magic")));
+    script.push(Request::List(ListParams::new(
+        "nope", "T1", "desc", "paper",
+    )));
+    script.push(Request::ModelPredict {
+        graph: "nope".into(),
+        method: "T1".into(),
+        family: "desc".into(),
+    });
+    script.push(Request::RegisterGraph {
+        name: "bad".into(),
+        n: 2,
+        edges: vec![(0, 7)], // endpoint out of range
+    });
+    script.push(Request::List(ListParams {
+        resume: "not a resume token".into(),
+        ..ListParams::new("g", "T1", "desc", "paper")
+    }));
+    script.push(Request::List(ListParams {
+        resume: "trilist-resume v1 E4 n=10 0:0-10".into(),
+        ..ListParams::new("g", "T1", "desc", "paper") // token names E4
+    }));
+    script
+}
+
+/// Runs `script` sequentially (one request, one response) against a
+/// fresh server in the given mode and returns the raw response frames.
+fn run_script(blocking: bool, script: &[Request]) -> Vec<Vec<u8>> {
+    let server = bind(blocking);
+    let mut c = RawClient::connect(server.addr());
+    let frames = script
+        .iter()
+        .map(|req| {
+            c.send(req);
+            c.recv_frame()
+        })
+        .collect();
+    drop(c);
+    server.join();
+    frames
+}
+
+#[test]
+fn async_and_blocking_answer_the_matrix_byte_identically() {
+    let g = pareto_graph(500, 0xA51C);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let script = matrix_script(&edges, g.n() as u32);
+    let async_frames = run_script(false, &script);
+    let blocking_frames = run_script(true, &script);
+    assert_eq!(async_frames.len(), blocking_frames.len());
+    for (i, (a, b)) in async_frames.iter().zip(&blocking_frames).enumerate() {
+        assert_eq!(a, b, "request #{i} ({:?}) answered differently", script[i]);
+    }
+    // And at least one of each class actually appeared.
+    let errors = async_frames.iter().filter(|f| f[5] == 0xFF).count();
+    assert_eq!(errors, 8, "the script ends with eight error responses");
+}
+
+/// Budget-interrupted resume chains: a 1-byte memory ceiling interrupts
+/// deterministically (cache residency already exceeds it), and each
+/// follow-up carries the previous token. Every frame of the chain —
+/// partial results, tokens, piece tables — must match across layers.
+fn run_chain(blocking: bool, method: &str, family: &str) -> Vec<Vec<u8>> {
+    let g = pareto_graph(700, 0xC4A1);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let server = bind(blocking);
+    let mut c = RawClient::connect(server.addr());
+    c.send(&Request::RegisterGraph {
+        name: "g".into(),
+        n: g.n() as u32,
+        edges,
+    });
+    let mut frames = vec![c.recv_frame()];
+    let mut params = ListParams {
+        threads: 2,
+        memory_bytes: 1, // always exhausted: deterministic interruption
+        ..ListParams::new("g", method, family, "paper")
+    };
+    c.send(&Request::List(params.clone()));
+    let mut frame = c.recv_frame();
+    params.memory_bytes = 0; // let the rest of the chain run
+    loop {
+        let (kind, body) = trilist::serve::decode_frame(&frame).expect("frame");
+        frames.push(frame.clone());
+        let resp = Response::decode(kind, body).expect("response");
+        let run = match resp {
+            Response::ListResult(run) => run,
+            other => panic!("wanted ListResult, got {other:?}"),
+        };
+        if run.complete {
+            break;
+        }
+        assert_eq!(run.stop_reason, "memory budget exhausted");
+        assert!(!run.resume.is_empty(), "partial result carries a token");
+        params.resume = run.resume;
+        c.send(&Request::List(params.clone()));
+        frame = c.recv_frame();
+    }
+    drop(c);
+    server.join();
+    frames
+}
+
+#[test]
+fn interrupted_resume_chains_are_byte_identical_across_layers() {
+    for (method, family) in [("T1", "desc"), ("E4", "crr")] {
+        let async_chain = run_chain(false, method, family);
+        let blocking_chain = run_chain(true, method, family);
+        assert!(
+            async_chain.len() >= 3,
+            "{method}: register + at least two chain responses"
+        );
+        assert_eq!(
+            async_chain, blocking_chain,
+            "{method}: resume chain diverged between layers"
+        );
+    }
+}
+
+#[test]
+fn pipelined_batch_answers_in_order_and_matches_sequential_issue() {
+    let g = pareto_graph(500, 0x9199);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let n = g.n() as u32;
+
+    // Warm every (graph, family) the batch touches so cache_hit flags
+    // cannot depend on which concurrent request prepares first.
+    let warm = |client: &mut Client| {
+        client.register_graph("g", n, &edges).expect("register");
+        for (m, f) in [("T1", "desc"), ("T2", "desc"), ("E1", "asc"), ("E4", "crr")] {
+            client
+                .count(ListParams::new("g", m, f, "paper"))
+                .expect("warm");
+        }
+    };
+
+    let batch: Vec<Request> = vec![
+        Request::List(ListParams::new("g", "T1", "desc", "paper")),
+        Request::Count(ListParams::new("g", "T2", "desc", "adaptive")),
+        Request::ModelPredict {
+            graph: "g".into(),
+            method: "T1".into(),
+            family: "desc".into(),
+        },
+        Request::Stats,
+        Request::List(ListParams::new("g", "E1", "asc", "adaptive")),
+        // A Register mid-pipeline is a barrier: the List behind it must
+        // see the graph.
+        Request::RegisterGraph {
+            name: "h".into(),
+            n: 4,
+            edges: k4_edges(),
+        },
+        Request::List(ListParams::new("h", "T1", "desc", "paper")),
+        Request::Count(ListParams::new("g", "E4", "crr", "paper")),
+        Request::List(ListParams::new("g", "T1", "desc", "wat")), // error in place
+        Request::Stats,
+    ];
+
+    // Pipelined: everything written before anything is read.
+    let server = bind(false);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    warm(&mut client);
+    let pipelined = client.pipeline(&batch).expect("pipelined batch");
+    client.shutdown().expect("shutdown");
+    server.join();
+
+    // Sequential: same requests, fresh identically-warmed server.
+    let server = bind(false);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    warm(&mut client);
+    let sequential: Vec<Response> = batch
+        .iter()
+        .map(|req| client.call(req).expect("sequential call"))
+        .collect();
+    client.shutdown().expect("shutdown");
+    server.join();
+
+    assert_eq!(pipelined.len(), batch.len());
+    for (i, (p, s)) in pipelined.iter().zip(&sequential).enumerate() {
+        if matches!(batch[i], Request::Stats) {
+            // Stats bodies carry timing counters; only the shape and
+            // in-order position are deterministic.
+            assert!(
+                matches!(p, Response::StatsResult(_)) && matches!(s, Response::StatsResult(_)),
+                "request #{i}: both issues answer Stats in position"
+            );
+        } else {
+            assert_eq!(p, s, "request #{i} ({:?}) answered differently", batch[i]);
+        }
+    }
+    match &pipelined[8] {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+        other => panic!("unknown policy must error in place, got {other:?}"),
+    }
+}
+
+#[test]
+fn pipelined_priced_requests_execute_concurrently_and_shed_busy() {
+    // max_inflight=1, max_queue=0: the second of two pipelined Counts is
+    // shed busy while the first still runs — structural proof that
+    // execution is decoupled from the connection (the blocking layer
+    // would serialize them and answer both).
+    let g = pareto_graph(3000, 0xB059);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let mut cfg = ServeConfig::default();
+    cfg.admission.max_inflight = 1;
+    cfg.admission.max_queue = 0;
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .register_graph("g", g.n() as u32, &edges)
+        .expect("register");
+    client
+        .count(ListParams::new("g", "T2", "desc", "paper"))
+        .expect("warm the prepared cache");
+    let params = ListParams::new("g", "T2", "desc", "paper");
+    let responses = client
+        .pipeline(&[
+            Request::Count(params.clone()),
+            Request::Count(params.clone()),
+        ])
+        .expect("pipelined counts");
+    assert!(
+        matches!(responses[0], Response::CountResult(_)),
+        "first count runs: got {:?}",
+        responses[0]
+    );
+    match &responses[1] {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::RejectedBusy);
+            assert_eq!(e.message, "busy: 1 in flight and 0 queued");
+        }
+        other => panic!("second count must be shed busy, got {other:?}"),
+    }
+    // The express lane is not behind the priced lane: a Predict pipelined
+    // after a shed still answers (and a Stats answers inline).
+    let more = client
+        .pipeline(&[
+            Request::ModelPredict {
+                graph: "g".into(),
+                method: "T2".into(),
+                family: "desc".into(),
+            },
+            Request::Stats,
+        ])
+        .expect("express batch");
+    assert!(matches!(more[0], Response::Predicted { .. }));
+    assert!(matches!(more[1], Response::StatsResult(_)));
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn shutdown_gate_applies_in_frame_order_in_both_layers() {
+    for blocking in [false, true] {
+        let server = bind(blocking);
+        let mut c = RawClient::connect(server.addr());
+        // One write: [Register, List, Shutdown, List]. The first List
+        // precedes the Shutdown frame, so it must be answered; the
+        // second follows it, so it must be rejected.
+        let reqs = [
+            Request::RegisterGraph {
+                name: "k".into(),
+                n: 4,
+                edges: k4_edges(),
+            },
+            Request::List(ListParams::new("k", "T1", "desc", "paper")),
+            Request::Shutdown,
+            Request::List(ListParams::new("k", "T1", "desc", "paper")),
+        ];
+        let mut bytes = Vec::new();
+        for req in &reqs {
+            bytes.extend_from_slice(&encode_frame(req.kind(), &req.payload()));
+        }
+        c.send_bytes(&bytes);
+        assert!(
+            matches!(c.recv(), Response::Registered { n: 4, m: 6 }),
+            "blocking={blocking}"
+        );
+        match c.recv() {
+            Response::ListResult(run) => assert_eq!(run.cost.triangles, 4),
+            other => panic!("blocking={blocking}: List before Shutdown runs, got {other:?}"),
+        }
+        assert!(matches!(c.recv(), Response::ShutdownAck));
+        match c.recv() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::ShuttingDown),
+            other => panic!("blocking={blocking}: List after Shutdown gated, got {other:?}"),
+        }
+        server.join();
+    }
+}
+
+#[test]
+fn short_headers_wait_for_bytes_instead_of_erroring() {
+    // Regression for the frame-length parse: a 3-byte header (or any
+    // partial delivery, down to one byte at a time) is "not yet a
+    // frame", never a protocol error or a panic.
+    for blocking in [false, true] {
+        let server = bind(blocking);
+        let mut c = RawClient::connect(server.addr());
+        let frame = encode_frame(Request::Stats.kind(), &Request::Stats.payload());
+        c.send_bytes(&frame[..3]); // 3 bytes of the length prefix
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        c.send_bytes(&frame[3..]);
+        assert!(
+            matches!(c.recv(), Response::StatsResult(_)),
+            "blocking={blocking}: split header still answers"
+        );
+        // Byte-at-a-time delivery of a whole request.
+        for b in &frame {
+            c.send_bytes(std::slice::from_ref(b));
+        }
+        assert!(
+            matches!(c.recv(), Response::StatsResult(_)),
+            "blocking={blocking}: byte-at-a-time delivery still answers"
+        );
+        drop(c);
+        server.join();
+    }
+}
+
+#[test]
+fn framing_violations_answer_once_then_close_in_both_layers() {
+    // (name, poisoned bytes): each breaks the stream irrecoverably.
+    let oversized = (trilist::serve::MAX_FRAME_BYTES + 1).to_le_bytes();
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("length below header size", vec![1, 0, 0, 0, 1, 5]),
+        ("bad version", vec![2, 0, 0, 0, 9, 5]),
+        ("oversized length", oversized.to_vec()),
+    ];
+    for (name, poison) in &cases {
+        let mut per_mode: Vec<Vec<Vec<u8>>> = Vec::new();
+        for blocking in [false, true] {
+            let server = bind(blocking);
+            let mut c = RawClient::connect(server.addr());
+            // A valid request then the poison, in one write: the valid
+            // one answers, the poison draws one typed error, then EOF.
+            let mut bytes = encode_frame(Request::Stats.kind(), &Request::Stats.payload());
+            bytes.extend_from_slice(poison);
+            c.send_bytes(&bytes);
+            let first = c.recv_frame();
+            assert_eq!(first[5], 0x85, "{name}, blocking={blocking}: StatsResult");
+            let second = c.recv_frame();
+            assert_eq!(second[5], 0xFF, "{name}, blocking={blocking}: error frame");
+            c.expect_eof();
+            per_mode.push(vec![second]);
+            server.join();
+        }
+        assert_eq!(
+            per_mode[0], per_mode[1],
+            "{name}: error frames must be byte-identical across layers"
+        );
+    }
+    // A malformed *body* (valid framing) poisons only its own frame: the
+    // connection answers the error and keeps serving.
+    for blocking in [false, true] {
+        let server = bind(blocking);
+        let mut c = RawClient::connect(server.addr());
+        c.send_bytes(&encode_frame(0x02, &[0xFF, 0xFF, 0xFF, 0xFF])); // List with garbage params
+        match c.recv() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Protocol),
+            other => panic!("blocking={blocking}: wanted protocol error, got {other:?}"),
+        }
+        c.send(&Request::Stats);
+        assert!(
+            matches!(c.recv(), Response::StatsResult(_)),
+            "blocking={blocking}: connection survives a bad body"
+        );
+        // An unknown kind byte is also only a per-frame error.
+        c.send_bytes(&encode_frame(0x7E, &[]));
+        match c.recv() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Protocol),
+            other => panic!("blocking={blocking}: unknown kind errors, got {other:?}"),
+        }
+        c.send(&Request::Stats);
+        assert!(matches!(c.recv(), Response::StatsResult(_)));
+        drop(c);
+        server.join();
+    }
+}

@@ -1,0 +1,762 @@
+//! Offline shim for the `mio` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the mio API the serve event loop uses: [`Poll`],
+//! [`Events`], [`Event`], [`Token`], [`Interest`], and [`Waker`],
+//! registering raw file descriptors (upstream's `SourceFd` shape) rather
+//! than wrapped socket types.
+//!
+//! Upstream mio backs these with epoll on Linux and kqueue elsewhere.
+//! This shim speaks to the kernel directly through a thin `libc`-style
+//! FFI layer ([`sys`]): **epoll** (`epoll_create1` / `epoll_ctl` /
+//! `epoll_wait`) on Linux, and portable **poll(2)** on other unixes —
+//! level-triggered in both backends, so a readiness event is never lost
+//! by consuming only part of a buffer. [`Waker`] is an `eventfd` on
+//! Linux and a self-pipe on the poll backend; either way `wake()` is
+//! async-signal-safe-ish (one `write` syscall) and coalesces: any number
+//! of wakes before the next `poll` produce one readiness event.
+//!
+//! Nothing here spins: with no ready descriptors and no timeout, both
+//! backends block in the kernel at zero CPU (`tests/serve_idle.rs`
+//! pins this for the serve event loop).
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registered file descriptor and
+/// echoed back on every [`Event`] for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(1);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(2);
+
+    /// Union of two interests. Named to match the real mio's
+    /// `Interest::add`, which deliberately isn't `std::ops::Add`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Does this interest include read readiness?
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Does this interest include write readiness?
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    hup: bool,
+}
+
+impl Event {
+    /// The token the descriptor was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read readiness (includes peer-closed, so a subsequent `read`
+    /// observes the EOF rather than blocking).
+    pub fn is_readable(&self) -> bool {
+        self.readable || self.hup || self.error
+    }
+
+    /// Write readiness.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// An error condition on the descriptor (`EPOLLERR`/`POLLERR`).
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// Peer hangup (`EPOLLHUP`/`POLLHUP`).
+    pub fn is_read_closed(&self) -> bool {
+        self.hup
+    }
+}
+
+/// A batch of events filled by [`Poll::poll`].
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// An empty batch that will deliver at most `capacity` events per
+    /// poll call.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates the events from the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Were any events delivered?
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Events delivered by the last poll.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Thin `libc`-style FFI: just the syscalls the two backends need, with
+/// the constants transcribed from the kernel/POSIX headers.
+mod sys {
+    #![allow(non_camel_case_types, missing_docs)]
+    use std::os::unix::io::RawFd;
+
+    pub type c_int = i32;
+
+    // fcntl
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+    pub const O_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        pub fn close(fd: RawFd) -> c_int;
+        pub fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+        pub fn fcntl(fd: RawFd, cmd: c_int, arg: c_int) -> c_int;
+        #[cfg(not(target_os = "linux"))]
+        pub fn pipe(fds: *mut RawFd) -> c_int;
+    }
+
+    #[cfg(target_os = "linux")]
+    pub mod epoll {
+        use super::c_int;
+        use std::os::unix::io::RawFd;
+
+        pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+
+        pub const EFD_CLOEXEC: c_int = 0o2000000;
+        pub const EFD_NONBLOCK: c_int = 0o4000;
+
+        /// The kernel ABI struct. Packed on x86-64 (and x32), naturally
+        /// aligned everywhere else — exactly as `<sys/epoll.h>` declares
+        /// it.
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        #[derive(Clone, Copy)]
+        pub struct epoll_event {
+            pub events: u32,
+            pub u64: u64,
+        }
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> RawFd;
+            pub fn epoll_ctl(epfd: RawFd, op: c_int, fd: RawFd, event: *mut epoll_event) -> c_int;
+            pub fn epoll_wait(
+                epfd: RawFd,
+                events: *mut epoll_event,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            pub fn eventfd(initval: u32, flags: c_int) -> RawFd;
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    pub mod pollsys {
+        use super::c_int;
+        use std::os::unix::io::RawFd;
+
+        pub const POLLIN: i16 = 0x001;
+        pub const POLLOUT: i16 = 0x004;
+        pub const POLLERR: i16 = 0x008;
+        pub const POLLHUP: i16 = 0x010;
+
+        /// POSIX `struct pollfd` — identical layout on every unix.
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        pub struct pollfd {
+            pub fd: RawFd,
+            pub events: i16,
+            pub revents: i16,
+        }
+
+        extern "C" {
+            pub fn poll(fds: *mut pollfd, nfds: u64, timeout: c_int) -> c_int;
+        }
+    }
+}
+
+fn cvt(ret: sys::c_int) -> io::Result<sys::c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Marks `fd` nonblocking via `fcntl` — a convenience for callers that
+/// hold raw descriptors (accepted sockets already go through
+/// `TcpStream::set_nonblocking`).
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    unsafe {
+        let flags = cvt(sys::fcntl(fd, sys::F_GETFL, 0))?;
+        cvt(sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK))?;
+    }
+    Ok(())
+}
+
+/// Milliseconds for the kernel timeout argument: `None` blocks forever
+/// (-1), sub-millisecond durations round up so a short timeout never
+/// turns into a busy loop.
+fn timeout_ms(timeout: Option<Duration>) -> sys::c_int {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            let ms = if ms == 0 && d.as_nanos() > 0 { 1 } else { ms };
+            ms.min(sys::c_int::MAX as u128) as sys::c_int
+        }
+    }
+}
+
+/// Handle used to (de)register descriptors with a [`Poll`]. Cloneable and
+/// thread-safe — [`Waker`] holds one.
+#[derive(Clone)]
+pub struct Registry {
+    inner: std::sync::Arc<imp::Selector>,
+}
+
+impl Registry {
+    /// Starts watching `fd` under `token` with `interest`.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.inner.register(fd, token, interest)
+    }
+
+    /// Changes the interest set of an already-registered `fd`.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.inner.reregister(fd, token, interest)
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.inner.deregister(fd)
+    }
+}
+
+/// The readiness selector: epoll on Linux, poll(2) elsewhere.
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// A fresh selector.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                inner: std::sync::Arc::new(imp::Selector::new()?),
+            },
+        })
+    }
+
+    /// The registration handle.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered descriptor is ready, the
+    /// timeout elapses, or a [`Waker`] fires. Fills `events` with what
+    /// became ready (empty on timeout).
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        self.registry.inner.poll(events, timeout)
+    }
+}
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from another thread: the
+/// waker's token surfaces as a readable [`Event`]. Multiple wakes before
+/// the next poll coalesce into one event.
+pub struct Waker {
+    inner: imp::WakerImpl,
+}
+
+impl Waker {
+    /// A waker delivering `token` through `registry`'s poll.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        Ok(Waker {
+            inner: imp::WakerImpl::new(registry, token)?,
+        })
+    }
+
+    /// Triggers the wake. Cheap (one `write` syscall) and safe to call
+    /// from any thread, any number of times.
+    pub fn wake(&self) -> io::Result<()> {
+        self.inner.wake()
+    }
+
+    /// Re-arms a level-triggered waker: call when its token surfaces
+    /// from a poll, or the selector keeps reporting it readable.
+    /// (Upstream mio hides this inside its edge-triggered `Waker`; the
+    /// shim's selectors are level-triggered, so the drain is explicit.)
+    pub fn drain(&self) {
+        self.inner.drain();
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    //! epoll backend.
+
+    use super::sys::epoll::*;
+    use super::{cvt, sys, timeout_ms, Event, Events, Interest, Registry, Token};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    pub struct Selector {
+        epfd: RawFd,
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut ev = EPOLLRDHUP;
+        if interest.is_readable() {
+            ev |= EPOLLIN;
+        }
+        if interest.is_writable() {
+            ev |= EPOLLOUT;
+        }
+        ev
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            cvt(epfd)?;
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: sys::c_int, fd: RawFd, ev: Option<epoll_event>) -> io::Result<()> {
+            let mut ev = ev;
+            let ptr = ev
+                .as_mut()
+                .map(|e| e as *mut epoll_event)
+                .unwrap_or(std::ptr::null_mut());
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })?;
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                fd,
+                Some(epoll_event {
+                    events: interest_bits(interest),
+                    u64: token.0 as u64,
+                }),
+            )
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_MOD,
+                fd,
+                Some(epoll_event {
+                    events: interest_bits(interest),
+                    u64: token.0 as u64,
+                }),
+            )
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.inner.clear();
+            let mut buf = vec![epoll_event { events: 0, u64: 0 }; events.capacity];
+            let n = loop {
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        buf.as_mut_ptr(),
+                        buf.len() as sys::c_int,
+                        timeout_ms(timeout),
+                    )
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+                // EINTR with a timeout: retry with the full timeout; the
+                // caller's loop owns overall pacing.
+            };
+            for raw in &buf[..n] {
+                let bits = raw.events;
+                events.inner.push(Event {
+                    token: Token(raw.u64 as usize),
+                    readable: bits & EPOLLIN != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & EPOLLERR != 0,
+                    hup: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            unsafe { sys::close(self.epfd) };
+        }
+    }
+
+    pub struct WakerImpl {
+        efd: RawFd,
+    }
+
+    impl WakerImpl {
+        pub fn new(registry: &Registry, token: Token) -> io::Result<WakerImpl> {
+            let efd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            cvt(efd)?;
+            registry.register(efd, token, Interest::READABLE)?;
+            Ok(WakerImpl { efd })
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            let ret = unsafe { sys::write(self.efd, &one as *const u64 as *const u8, 8) };
+            // EAGAIN means the counter is already at max — the poller is
+            // overdue for a wake anyway, which is all we wanted.
+            if ret < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::WouldBlock {
+                    return Err(err);
+                }
+            }
+            Ok(())
+        }
+
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            unsafe { sys::read(self.efd, buf.as_mut_ptr(), buf.len()) };
+        }
+    }
+
+    impl Drop for WakerImpl {
+        fn drop(&mut self) {
+            unsafe { sys::close(self.efd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    //! Portable poll(2) backend for non-Linux unixes.
+
+    use super::sys::pollsys::*;
+    use super::{cvt, sys, timeout_ms, Event, Events, Interest, Registry, Token};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    pub struct Selector {
+        registered: Mutex<HashMap<RawFd, (Token, Interest)>>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                registered: Mutex::new(HashMap::new()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.registered
+                .lock()
+                .unwrap()
+                .insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.register(fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().unwrap().remove(&fd);
+            Ok(())
+        }
+
+        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.inner.clear();
+            let snapshot: Vec<(RawFd, Token, Interest)> = {
+                let reg = self.registered.lock().unwrap();
+                reg.iter().map(|(&fd, &(t, i))| (fd, t, i)).collect()
+            };
+            let mut fds: Vec<pollfd> = snapshot
+                .iter()
+                .map(|&(fd, _, interest)| pollfd {
+                    fd,
+                    events: if interest.is_readable() { POLLIN } else { 0 }
+                        | if interest.is_writable() { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let n = loop {
+                let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+                if n >= 0 {
+                    break n;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            if n == 0 {
+                return Ok(());
+            }
+            for (slot, &(_, token, _)) in fds.iter().zip(&snapshot) {
+                if slot.revents == 0 {
+                    continue;
+                }
+                if events.inner.len() == events.capacity {
+                    break;
+                }
+                events.inner.push(Event {
+                    token,
+                    readable: slot.revents & POLLIN != 0,
+                    writable: slot.revents & POLLOUT != 0,
+                    error: slot.revents & POLLERR != 0,
+                    hup: slot.revents & POLLHUP != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    pub struct WakerImpl {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    impl WakerImpl {
+        pub fn new(registry: &Registry, token: Token) -> io::Result<WakerImpl> {
+            let mut fds: [RawFd; 2] = [0; 2];
+            cvt(unsafe { sys::pipe(fds.as_mut_ptr()) })?;
+            super::set_nonblocking(fds[0])?;
+            super::set_nonblocking(fds[1])?;
+            registry.register(fds[0], token, Interest::READABLE)?;
+            Ok(WakerImpl {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            let byte = [1u8];
+            let ret = unsafe { sys::write(self.write_fd, byte.as_ptr(), 1) };
+            if ret < 0 {
+                let err = io::Error::last_os_error();
+                // a full pipe already guarantees the poller will wake
+                if err.kind() != io::ErrorKind::WouldBlock {
+                    return Err(err);
+                }
+            }
+            Ok(())
+        }
+
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    impl Drop for WakerImpl {
+        fn drop(&mut self) {
+            unsafe {
+                sys::close(self.read_fd);
+                sys::close(self.write_fd);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_when_bytes_arrive_and_not_before() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.registry()
+            .register(b.as_raw_fd(), Token(7), Interest::READABLE)
+            .unwrap();
+
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "no bytes yet, no event");
+
+        a.write_all(b"hi").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        let ev = events.iter().next().expect("readable event");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+
+        // level-triggered: still readable until drained
+        poll.poll(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert!(!events.is_empty(), "level-triggered readiness persists");
+        let mut buf = [0u8; 8];
+        let mut b2 = &b;
+        assert_eq!(b2.read(&mut buf).unwrap(), 2);
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "drained socket is quiet");
+    }
+
+    #[test]
+    fn writable_and_interest_changes() {
+        let (a, _b) = pair();
+        a.set_nonblocking(true).unwrap();
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let fd = a.as_raw_fd();
+        poll.registry()
+            .register(fd, Token(1), Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "read-only interest on idle socket");
+
+        poll.registry()
+            .reregister(fd, Token(1), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.is_writable()));
+
+        poll.registry().deregister(fd).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "deregistered fd reports nothing");
+    }
+
+    #[test]
+    fn hup_reported_as_readable() {
+        let (a, b) = pair();
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.registry()
+            .register(b.as_raw_fd(), Token(3), Interest::READABLE)
+            .unwrap();
+        drop(a);
+        poll.poll(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        let ev = events.iter().next().expect("hangup event");
+        assert!(ev.is_readable(), "peer close surfaces as readable (EOF)");
+    }
+
+    #[test]
+    fn waker_wakes_across_threads_and_coalesces() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let waker = std::sync::Arc::new(Waker::new(poll.registry(), Token(99)).unwrap());
+        let w2 = std::sync::Arc::clone(&waker);
+        let t0 = Instant::now();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            for _ in 0..5 {
+                w2.wake().unwrap(); // coalesce
+            }
+        });
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(5), "woke, not timed out");
+        let evs: Vec<_> = events.iter().collect();
+        assert_eq!(evs.len(), 1, "five wakes coalesce to one event");
+        assert_eq!(evs[0].token(), Token(99));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_expires_without_events() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let t0 = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_millis(25)))
+            .unwrap();
+        assert!(events.is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+}
