@@ -1,0 +1,758 @@
+//! Blocked bitset adjacency and its word-wise intersection kernels.
+//!
+//! The scan kernels of [`crate::intersect`] touch one `u32` per pointer
+//! advance. After relabeling, neighbor lists are *dense in label space* —
+//! descending orders give hubs the smallest labels, so out-lists crowd the
+//! low end of the ID range — and a dense run of neighbors can be packed
+//! into 64-bit membership words. This module stores every adjacency list
+//! as a sorted sequence of *blocks* `(base, mask)` where `base = label >> 6`
+//! and `mask` holds the members of `[base*64, base*64 + 63]`. Intersecting
+//! two lists becomes a merge over their block bases with one `AND` +
+//! popcount per aligned pair: up to 64 candidate comparisons collapse into
+//! a single word operation, and aligned runs of blocks are processed by an
+//! autovectorizable word loop with explicit `core::arch` x86_64
+//! POPCNT/AVX2 paths behind runtime feature detection.
+//!
+//! # Exactness on eligible slices
+//!
+//! The SEI methods intersect contiguous *slices* of neighbor lists. A
+//! slice of a sorted list is exactly the set of full-list elements inside
+//! the closed value range `[slice[0], slice[len-1]]`, so a bounded
+//! [`BlockView`] over the full block encoding — first/last block masked to
+//! the range — represents the slice without decoding it. The intersection
+//! of two such views equals the intersection of the two slices because
+//! every common element lies inside both ranges.
+//!
+//! # Accounting
+//!
+//! Paper-cost fields are charged by the drive loops from eligible-slice
+//! lengths before any kernel runs (see [`crate::kernel`]), so this kernel
+//! cannot perturb them. [`ScanStats::advances`] reports block-pointer
+//! steps (≤ `blocks(a) + blocks(b)`), the kernel-dependent implementation
+//! metric, and `matches` is exact.
+
+use crate::intersect::ScanStats;
+use crate::source::GraphSource;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which explicit instruction paths the word kernels may use. Levels are
+/// ordered: each includes everything below it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Pure-Rust word loop (`u64::count_ones`), available everywhere.
+    Portable = 0,
+    /// x86_64 `POPCNT` hardware popcount.
+    Popcnt = 1,
+    /// x86_64 AVX2 256-bit `AND` + `POPCNT` accumulation.
+    Avx2 = 2,
+}
+
+impl SimdLevel {
+    /// Short display name for tables and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimdLevel::Portable => "portable",
+            SimdLevel::Popcnt => "popcnt",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// 255 = not yet detected; otherwise a `SimdLevel` discriminant.
+static SIMD_LEVEL: AtomicU8 = AtomicU8::new(255);
+
+fn detect() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("popcnt")
+        {
+            return SimdLevel::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("popcnt") {
+            return SimdLevel::Popcnt;
+        }
+    }
+    SimdLevel::Portable
+}
+
+fn from_u8(v: u8) -> SimdLevel {
+    match v {
+        2 => SimdLevel::Avx2,
+        1 => SimdLevel::Popcnt,
+        _ => SimdLevel::Portable,
+    }
+}
+
+/// The instruction path the word kernels currently use: the highest level
+/// the CPU supports, unless lowered by [`set_simd_level`]. First call runs
+/// feature detection; afterwards it is one relaxed atomic load.
+pub fn simd_level() -> SimdLevel {
+    match SIMD_LEVEL.load(Ordering::Relaxed) {
+        255 => {
+            let detected = detect();
+            // keep an explicit earlier override if one raced us
+            let _ = SIMD_LEVEL.compare_exchange(
+                255,
+                detected as u8,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            from_u8(SIMD_LEVEL.load(Ordering::Relaxed))
+        }
+        v => from_u8(v),
+    }
+}
+
+/// Caps the word kernels at `level` (clamped to what the CPU actually
+/// supports — requesting `Avx2` on a machine without it yields the
+/// detected maximum). Returns the level now in effect. The differential
+/// suites use this to prove the portable fallback produces identical
+/// results; production code never needs it.
+pub fn set_simd_level(level: SimdLevel) -> SimdLevel {
+    let effective = level.min(detect());
+    SIMD_LEVEL.store(effective as u8, Ordering::Relaxed);
+    effective
+}
+
+/// `AND` + popcount over two equal-length word slices, dispatched on the
+/// active [`SimdLevel`].
+pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { and_popcount_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Popcnt => unsafe { and_popcount_popcnt(a, b) },
+        _ => and_popcount_portable(a, b),
+    }
+}
+
+fn and_popcount_portable(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x & y).count_ones() as u64)
+        .sum()
+}
+
+/// # Safety
+/// Caller must ensure the CPU supports POPCNT (guaranteed by dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn and_popcount_popcnt(a: &[u64], b: &[u64]) -> u64 {
+    use core::arch::x86_64::_popcnt64;
+    let mut total = 0u64;
+    for (&x, &y) in a.iter().zip(b) {
+        total += _popcnt64((x & y) as i64) as u64;
+    }
+    total
+}
+
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and POPCNT (guaranteed by
+/// dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn and_popcount_avx2(a: &[u64], b: &[u64]) -> u64 {
+    use core::arch::x86_64::{
+        _mm256_and_si256, _mm256_loadu_si256, _mm256_storeu_si256, _popcnt64,
+    };
+    let mut total = 0u64;
+    let lanes = a.len() / 4 * 4;
+    let mut buf = [0u64; 4];
+    let mut i = 0;
+    while i < lanes {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+        _mm256_storeu_si256(buf.as_mut_ptr().cast(), _mm256_and_si256(va, vb));
+        total += _popcnt64(buf[0] as i64) as u64;
+        total += _popcnt64(buf[1] as i64) as u64;
+        total += _popcnt64(buf[2] as i64) as u64;
+        total += _popcnt64(buf[3] as i64) as u64;
+        i += 4;
+    }
+    while i < a.len() {
+        total += _popcnt64((a[i] & b[i]) as i64) as u64;
+        i += 1;
+    }
+    total
+}
+
+/// Every adjacency list of one direction, encoded as sorted `(base, mask)`
+/// blocks. Blocks cost 12 B each; a list that is dense in label space
+/// packs up to 64 neighbors per block, while a pathologically scattered
+/// list degrades to one block per neighbor (12 B vs the CSR's 4 B — the
+/// build reports [`BitsetBlocks::bytes`] so memory budgets can weigh the
+/// trade).
+#[derive(Clone, Debug)]
+pub struct BitsetBlocks {
+    /// Node → first block index; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Block base (`label >> 6`), ascending within each node.
+    bases: Vec<u32>,
+    /// Membership mask of `[base*64, base*64 + 63]`.
+    words: Vec<u64>,
+}
+
+impl BitsetBlocks {
+    /// Encodes the `dir`-lists of `src` (one streaming pass).
+    pub fn build_src(src: GraphSource<'_>, dir: crate::kernel::ListDir) -> Self {
+        let n = src.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut bases: Vec<u32> = Vec::new();
+        let mut words: Vec<u64> = Vec::new();
+        offsets.push(0u32);
+        for v in 0..n as u32 {
+            // `start` keeps a node's first element from merging into the
+            // previous node's trailing block when their bases coincide
+            let start = bases.len();
+            let mut push = |w: u32| {
+                let base = w >> 6;
+                let bit = 1u64 << (w & 63);
+                if bases.len() > start && *bases.last().unwrap() == base {
+                    *words.last_mut().unwrap() |= bit;
+                } else {
+                    bases.push(base);
+                    words.push(bit);
+                }
+            };
+            match dir {
+                crate::kernel::ListDir::Out => src.for_each_out(v, &mut push),
+                crate::kernel::ListDir::In => src.for_each_in(v, &mut push),
+            }
+            offsets.push(bases.len() as u32);
+        }
+        BitsetBlocks {
+            offsets,
+            bases,
+            words,
+        }
+    }
+
+    /// Predicted [`BitsetBlocks::bytes`] of a build over `src`, without
+    /// allocating the block arrays (one streaming counting pass) — the
+    /// memory-budget planner's estimate, exact by construction.
+    pub fn estimate_bytes(src: GraphSource<'_>, dir: crate::kernel::ListDir) -> u64 {
+        let n = src.n();
+        let mut blocks = 0u64;
+        for v in 0..n as u32 {
+            let mut last = u32::MAX;
+            let mut count = |w: u32| {
+                let base = w >> 6;
+                if base != last {
+                    blocks += 1;
+                    last = base;
+                }
+            };
+            match dir {
+                crate::kernel::ListDir::Out => src.for_each_out(v, &mut count),
+                crate::kernel::ListDir::In => src.for_each_in(v, &mut count),
+            }
+        }
+        blocks * 12 + (n as u64 + 1) * 4
+    }
+
+    /// The `(bases, words)` blocks of node `v`.
+    #[inline]
+    pub fn blocks(&self, v: u32) -> (&[u32], &[u64]) {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        (&self.bases[s..e], &self.words[s..e])
+    }
+
+    /// Total blocks stored.
+    pub fn block_count(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Number of blocks encoding `v`'s full list — O(1). The dispatch
+    /// layer's density gate divides list lengths by these totals *before*
+    /// building any view, so sparse pairs reject without touching the
+    /// block arrays.
+    #[inline]
+    pub fn node_blocks(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// First and last label of `v`'s list — O(1) from the boundary
+    /// blocks, `None` for an empty list. This is what lets the compressed
+    /// drivers route a pair without decoding the remote list: the block
+    /// encoding answers the same range questions the decoded slice would.
+    #[inline]
+    pub fn label_bounds(&self, v: u32) -> Option<(u32, u32)> {
+        let (bases, words) = self.blocks(v);
+        let last = bases.len().checked_sub(1)?;
+        // stored blocks always have at least one member bit set
+        let lo = (bases[0] << 6) | words[0].trailing_zeros();
+        let hi = (bases[last] << 6) | (63 - words[last].leading_zeros());
+        Some((lo, hi))
+    }
+
+    /// Heap footprint in bytes (what a memory budget charges).
+    pub fn bytes(&self) -> u64 {
+        self.bases.len() as u64 * 12 + self.offsets.len() as u64 * 4
+    }
+
+    /// A bounded view of `v`'s blocks covering labels in `[lo, hi]`
+    /// (inclusive). Returns `None` when no block overlaps the range.
+    ///
+    /// The hot callers bound a view to *its own slice's* value range, so
+    /// `lo`/`hi` usually coincide with the list ends: full lists hit both
+    /// fast paths below, prefixes and suffixes hit one, and the binary
+    /// searches only run for genuinely interior bounds.
+    #[inline]
+    pub fn view(&self, v: u32, lo: u32, hi: u32) -> Option<BlockView<'_>> {
+        let (bases, words) = self.blocks(v);
+        if bases.is_empty() {
+            return None;
+        }
+        let (blo, bhi) = (lo >> 6, hi >> 6);
+        let s = if bases[0] >= blo {
+            0
+        } else {
+            bases.partition_point(|&b| b < blo)
+        };
+        let e = if bases[bases.len() - 1] <= bhi {
+            bases.len()
+        } else {
+            bases.partition_point(|&b| b <= bhi)
+        };
+        if s >= e {
+            return None;
+        }
+        let mut first_mask = !0u64;
+        if bases[s] == blo {
+            first_mask = !0u64 << (lo & 63);
+        }
+        let mut last_mask = !0u64;
+        if bases[e - 1] == bhi {
+            let shift = 63 - (hi & 63);
+            last_mask = !0u64 >> shift;
+        }
+        if e - s == 1 {
+            first_mask &= last_mask;
+            last_mask = first_mask;
+        }
+        Some(BlockView {
+            bases: &bases[s..e],
+            words: &words[s..e],
+            first_mask,
+            last_mask,
+        })
+    }
+}
+
+/// A zero-copy slice of one node's blocks with the first/last words masked
+/// to a closed label range — the blocked representation of an eligible
+/// slice.
+#[derive(Clone, Copy)]
+pub struct BlockView<'a> {
+    bases: &'a [u32],
+    words: &'a [u64],
+    first_mask: u64,
+    last_mask: u64,
+}
+
+impl BlockView<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Number of blocks in the bounded view — the dispatch layer's
+    /// density gate divides slice lengths by this.
+    #[inline]
+    pub fn blocks(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// The mask word at `i` with boundary masks applied.
+    #[inline]
+    fn word(&self, i: usize) -> u64 {
+        let mut w = self.words[i];
+        if i == 0 {
+            w &= self.first_mask;
+        }
+        if i == self.len() - 1 {
+            w &= self.last_mask;
+        }
+        w
+    }
+
+    /// Whether index `i` carries a boundary mask (so the SIMD run loop,
+    /// which reads raw words, must exclude it).
+    #[inline]
+    fn masked(&self, i: usize) -> bool {
+        (i == 0 && self.first_mask != !0) || (i == self.len() - 1 && self.last_mask != !0)
+    }
+}
+
+/// Block-count ratio above which the merge walk switches to galloping over
+/// the longer side's bases. The gallop pays `O(log blocks_long)` probes per
+/// *block* of the short side — each hit resolving up to 64 labels at once —
+/// so the crossover sits lower than the label-gallop's.
+const GALLOP_BLOCK_SKEW: usize = 8;
+
+/// Issues a best-effort cache-line prefetch for `bases[idx]` (no-op off
+/// x86_64 or out of bounds). Purely a latency hint.
+#[inline(always)]
+fn prefetch_base(bases: &[u32], idx: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if idx < bases.len() {
+        // SAFETY: index checked above; prefetch has no side effects beyond
+        // the cache hierarchy.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                bases.as_ptr().add(idx).cast::<i8>(),
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (bases, idx);
+    }
+}
+
+/// Skew path shared by counting and listing: gallop through `l.bases` for
+/// each of `s`'s blocks, handing every base-aligned pair to `hit`.
+/// `advances` counts gallop/binary probes exactly like
+/// [`crate::intersect::intersect_gallop`], plus 2 per aligned pair.
+#[inline]
+fn gallop_blocks<F: FnMut(usize, usize, &mut ScanStats)>(
+    s: BlockView<'_>,
+    l: BlockView<'_>,
+    swapped: bool,
+    mut hit: F,
+) -> ScanStats {
+    let mut stats = ScanStats::default();
+    let mut lo = 0usize;
+    for i in 0..s.len() {
+        let x = s.bases[i];
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < l.len() && l.bases[hi] < x {
+            lo = hi + 1;
+            prefetch_base(l.bases, hi + step);
+            hi += step;
+            step <<= 1;
+            stats.advances += 1;
+        }
+        let hi = hi.min(l.len());
+        let idx = lo + l.bases[lo..hi].partition_point(|&y| y < x);
+        stats.advances += (hi - lo).max(1).ilog2() as u64 + 1;
+        if idx < l.len() && l.bases[idx] == x {
+            stats.advances += 2;
+            if swapped {
+                hit(idx, i, &mut stats);
+            } else {
+                hit(i, idx, &mut stats);
+            }
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+        if lo >= l.len() {
+            break;
+        }
+    }
+    stats
+}
+
+/// Counting-only blocked intersection: merge over bases, `AND` + popcount
+/// per aligned pair, aligned contiguous runs processed by a word loop the
+/// compiler vectorizes inside the feature-specialized clones (see
+/// [`count_blocks`]). Heavily skewed pairs gallop over the longer side's
+/// bases instead. `advances` counts block-pointer steps / probes and is
+/// identical to [`intersect_blocks`] on the same views.
+#[inline(always)]
+fn count_blocks_impl(a: BlockView<'_>, b: BlockView<'_>) -> ScanStats {
+    if a.len() * GALLOP_BLOCK_SKEW < b.len() || b.len() * GALLOP_BLOCK_SKEW < a.len() {
+        let (s, l, swapped) = if a.len() <= b.len() {
+            (a, b, false)
+        } else {
+            (b, a, true)
+        };
+        return gallop_blocks(s, l, swapped, |i, j, stats| {
+            stats.matches += (a.word(i) & b.word(j)).count_ones() as u64;
+        });
+    }
+    let mut stats = ScanStats::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (ab, bb) = (a.bases[i], b.bases[j]);
+        if ab != bb {
+            // branchless catch-up: exactly one side is behind
+            i += (ab < bb) as usize;
+            j += (bb < ab) as usize;
+            stats.advances += 1;
+            continue;
+        }
+        // how far do both sides stay base-aligned and contiguous?
+        let mut k = 1usize;
+        while i + k < a.len()
+            && j + k < b.len()
+            && a.bases[i + k] == ab + k as u32
+            && b.bases[j + k] == bb + k as u32
+        {
+            k += 1;
+        }
+        // peel masked boundary words off the run; the interior is a raw
+        // word-wise AND+popcount loop that the AVX2 clone vectorizes
+        let mut lo = 0usize;
+        let mut hi = k;
+        while lo < hi && (a.masked(i + lo) || b.masked(j + lo)) {
+            stats.matches += (a.word(i + lo) & b.word(j + lo)).count_ones() as u64;
+            lo += 1;
+        }
+        while hi > lo && (a.masked(i + hi - 1) || b.masked(j + hi - 1)) {
+            stats.matches += (a.word(i + hi - 1) & b.word(j + hi - 1)).count_ones() as u64;
+            hi -= 1;
+        }
+        let mut interior = 0u64;
+        for w in lo..hi {
+            interior += (a.words[i + w] & b.words[j + w]).count_ones() as u64;
+        }
+        stats.matches += interior;
+        stats.advances += 2 * k as u64;
+        i += k;
+        j += k;
+    }
+    stats
+}
+
+/// [`count_blocks_impl`] compiled with hardware POPCNT. The `inline(always)`
+/// impl is re-specialized inside this body, so every scalar `count_ones`
+/// becomes one `popcnt` instruction.
+///
+/// # Safety
+/// Caller must ensure the CPU supports POPCNT (guaranteed by dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn count_blocks_popcnt(a: BlockView<'_>, b: BlockView<'_>) -> ScanStats {
+    count_blocks_impl(a, b)
+}
+
+/// [`count_blocks_impl`] compiled with AVX2 + POPCNT: the aligned-run
+/// interior loop vectorizes to 256-bit `AND`s and the scalar popcounts
+/// become hardware instructions.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and POPCNT (guaranteed by
+/// dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn count_blocks_avx2(a: BlockView<'_>, b: BlockView<'_>) -> ScanStats {
+    count_blocks_impl(a, b)
+}
+
+/// Counting-only blocked intersection, dispatched once per call on the
+/// active [`SimdLevel`] to a feature-specialized clone of the merge (the
+/// baseline x86-64 target has no POPCNT, so the portable path pays ~12
+/// ops per scalar popcount that the clones do in one instruction).
+/// `matches` and `advances` are identical across levels.
+pub fn count_blocks(a: BlockView<'_>, b: BlockView<'_>) -> ScanStats {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd_level() only reports levels the CPU supports.
+        SimdLevel::Avx2 => unsafe { count_blocks_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        SimdLevel::Popcnt => unsafe { count_blocks_popcnt(a, b) },
+        _ => count_blocks_impl(a, b),
+    }
+}
+
+/// Blocked intersection delivering each common label to `sink` in
+/// ascending order. Same merge/gallop dispatch (and `advances`) as
+/// [`count_blocks`].
+pub fn intersect_blocks<F: FnMut(u32)>(
+    a: BlockView<'_>,
+    b: BlockView<'_>,
+    mut sink: F,
+) -> ScanStats {
+    if a.len() * GALLOP_BLOCK_SKEW < b.len() || b.len() * GALLOP_BLOCK_SKEW < a.len() {
+        let (s, l, swapped) = if a.len() <= b.len() {
+            (a, b, false)
+        } else {
+            (b, a, true)
+        };
+        return gallop_blocks(s, l, swapped, |i, j, stats| {
+            let mut and = a.word(i) & b.word(j);
+            let origin = a.bases[i] << 6;
+            while and != 0 {
+                let t = and.trailing_zeros();
+                stats.matches += 1;
+                sink(origin | t);
+                and &= and - 1;
+            }
+        });
+    }
+    let mut stats = ScanStats::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (ab, bb) = (a.bases[i], b.bases[j]);
+        if ab != bb {
+            i += (ab < bb) as usize;
+            j += (bb < ab) as usize;
+            stats.advances += 1;
+            continue;
+        }
+        let mut and = a.word(i) & b.word(j);
+        let origin = ab << 6;
+        while and != 0 {
+            let t = and.trailing_zeros();
+            stats.matches += 1;
+            sink(origin | t);
+            and &= and - 1;
+        }
+        stats.advances += 2;
+        i += 1;
+        j += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ListDir;
+    use rand::{Rng, SeedableRng};
+    use trilist_graph::Graph;
+    use trilist_order::{DirectedGraph, OrderFamily};
+
+    fn random_directed(n: usize, p: f64, seed: u64) -> DirectedGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let r = OrderFamily::Descending.relabeling(&g, &mut rng);
+        DirectedGraph::orient(&g, &r)
+    }
+
+    fn decode(view: Option<BlockView<'_>>) -> Vec<u32> {
+        let mut out = Vec::new();
+        let Some(v) = view else { return out };
+        for i in 0..v.len() {
+            let mut w = v.word(i);
+            while w != 0 {
+                out.push((v.bases[i] << 6) | w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocks_round_trip_all_lists() {
+        let dg = random_directed(90, 0.3, 1);
+        let src = GraphSource::Plain(&dg);
+        type ListFn = fn(&DirectedGraph, u32) -> &[u32];
+        let cases: [(ListDir, ListFn); 2] = [
+            (ListDir::Out, |g, v| g.out(v)),
+            (ListDir::In, |g, v| g.in_(v)),
+        ];
+        for (dir, list) in cases {
+            let blocks = BitsetBlocks::build_src(src, dir);
+            assert_eq!(blocks.bytes(), BitsetBlocks::estimate_bytes(src, dir));
+            for v in 0..dg.n() as u32 {
+                let want = list(&dg, v);
+                let got = decode(blocks.view(v, 0, u32::MAX >> 1));
+                assert_eq!(got.as_slice(), want, "{dir:?} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_views_equal_slices() {
+        let dg = random_directed(120, 0.25, 2);
+        let blocks = BitsetBlocks::build_src(GraphSource::Plain(&dg), ListDir::Out);
+        for v in 0..dg.n() as u32 {
+            let full = dg.out(v);
+            for s in 0..full.len() {
+                for e in s..full.len() {
+                    let slice = &full[s..=e];
+                    let got = decode(blocks.view(v, slice[0], slice[slice.len() - 1]));
+                    assert_eq!(got.as_slice(), slice, "node {v} [{s}..={e}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_intersections_agree_with_scan_on_slices() {
+        let dg = random_directed(140, 0.3, 3);
+        let blocks = BitsetBlocks::build_src(GraphSource::Plain(&dg), ListDir::Out);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..400 {
+            let a_node = rng.gen_range(0..dg.n() as u32);
+            let b_node = rng.gen_range(0..dg.n() as u32);
+            let (a_full, b_full) = (dg.out(a_node), dg.out(b_node));
+            if a_full.is_empty() || b_full.is_empty() {
+                continue;
+            }
+            let (asp, bsp) = (
+                rng.gen_range(0..a_full.len()),
+                rng.gen_range(0..b_full.len()),
+            );
+            let a = &a_full[asp..];
+            let b = &b_full[..=bsp];
+            let want: Vec<u32> = a.iter().filter(|x| b.contains(x)).copied().collect();
+            let lo = a[0].max(b[0]);
+            let hi = a[a.len() - 1].min(b[b.len() - 1]);
+            if lo > hi {
+                assert!(want.is_empty());
+                continue;
+            }
+            let (va, vb) = (blocks.view(a_node, lo, hi), blocks.view(b_node, lo, hi));
+            let (Some(va), Some(vb)) = (va, vb) else {
+                assert!(want.is_empty(), "missing view but scan found matches");
+                continue;
+            };
+            let mut got = Vec::new();
+            let si = intersect_blocks(va, vb, |x| got.push(x));
+            assert_eq!(got, want, "a={a_node} b={b_node}");
+            let sc = count_blocks(va, vb);
+            assert_eq!(sc.matches, si.matches);
+            assert_eq!(sc.advances, si.advances);
+        }
+    }
+
+    #[test]
+    fn simd_levels_agree_on_and_popcount() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let initial = simd_level();
+        for len in [0usize, 1, 3, 4, 5, 16, 33, 100] {
+            let a: Vec<u64> = (0..len).map(|_| rng.gen()).collect();
+            let b: Vec<u64> = (0..len).map(|_| rng.gen()).collect();
+            let want: u64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x & y).count_ones() as u64)
+                .sum();
+            for level in [SimdLevel::Portable, SimdLevel::Popcnt, SimdLevel::Avx2] {
+                let eff = set_simd_level(level);
+                assert!(eff <= level);
+                assert_eq!(and_popcount(&a, &b), want, "level {level:?} len {len}");
+            }
+        }
+        set_simd_level(initial);
+    }
+
+    #[test]
+    fn set_simd_level_clamps_to_detected() {
+        let initial = simd_level();
+        let eff = set_simd_level(SimdLevel::Avx2);
+        assert_eq!(eff, detect().min(SimdLevel::Avx2));
+        assert_eq!(set_simd_level(SimdLevel::Portable), SimdLevel::Portable);
+        assert_eq!(simd_level(), SimdLevel::Portable);
+        set_simd_level(initial);
+        assert_eq!(simd_level(), initial);
+    }
+}

@@ -109,10 +109,37 @@ pub fn count_branchless(a: &[u32], b: &[u32]) -> ScanStats {
     stats
 }
 
+/// Issues a best-effort cache-line prefetch for `slice[idx]` (no-op off
+/// x86_64 or out of bounds). Purely a latency hint: no architectural state
+/// changes, so results and accounting are untouched.
+#[inline(always)]
+fn prefetch_read(slice: &[u32], idx: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if idx < slice.len() {
+        // SAFETY: index checked above; prefetch has no side effects beyond
+        // the cache hierarchy.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                slice.as_ptr().add(idx).cast::<i8>(),
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (slice, idx);
+    }
+}
+
 /// Galloping (exponential-search) intersection: preferable when one list is
 /// much shorter. Same output contract as [`intersect_sorted`]; `advances`
 /// counts probed positions — each short element pays a doubling phase and a
 /// binary-search phase, each bounded by `2 + log2|long| + 1` probes.
+///
+/// The doubling phase strides exponentially through `long`, so its probes
+/// are cache misses almost by construction; each iteration prefetches the
+/// position the *next* doubling step will touch to overlap that miss with
+/// the current compare.
 pub fn intersect_gallop<F: FnMut(u32)>(short: &[u32], long: &[u32], mut sink: F) -> ScanStats {
     let mut stats = ScanStats::default();
     let mut lo = 0usize;
@@ -122,6 +149,7 @@ pub fn intersect_gallop<F: FnMut(u32)>(short: &[u32], long: &[u32], mut sink: F)
         let mut hi = lo;
         while hi < long.len() && long[hi] < x {
             lo = hi + 1;
+            prefetch_read(long, hi + step);
             hi += step;
             step <<= 1;
             stats.advances += 1;

@@ -43,11 +43,14 @@
 //! wrong-by-construction… they are not: see `xm`) disables the bitmap for
 //! that side.
 
+use crate::bitset::{count_blocks, intersect_blocks, BitsetBlocks, BlockView};
 use crate::intersect::{
     count_branchless, intersect_branchless, intersect_gallop, intersect_sorted, ScanStats,
 };
 use crate::obs::{Counter, Recorder};
 use crate::oracle::EdgeOracle;
+use crate::source::GraphSource;
+use crate::stamp::{stamp_count, stamp_intersect};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use trilist_order::DirectedGraph;
@@ -66,8 +69,12 @@ pub struct KernelMeter {
     branchless: AtomicU64,
     gallop: AtomicU64,
     bitmap: AtomicU64,
+    bitset: AtomicU64,
+    stamp: AtomicU64,
     gallop_steps: AtomicU64,
     bitmap_probes: AtomicU64,
+    bitset_words: AtomicU64,
+    stamp_probes: AtomicU64,
 }
 
 impl KernelMeter {
@@ -90,8 +97,12 @@ impl KernelMeter {
             (&self.branchless, Counter::IntersectBranchless),
             (&self.gallop, Counter::IntersectGallop),
             (&self.bitmap, Counter::IntersectBitmap),
+            (&self.bitset, Counter::IntersectBitset),
+            (&self.stamp, Counter::IntersectStamp),
             (&self.gallop_steps, Counter::GallopSteps),
             (&self.bitmap_probes, Counter::BitmapProbes),
+            (&self.bitset_words, Counter::BitsetBlockSteps),
+            (&self.stamp_probes, Counter::StampProbes),
         ];
         for (field, counter) in pairs {
             let v = field.swap(0, Ordering::Relaxed);
@@ -147,6 +158,54 @@ impl Default for AdaptiveConfig {
     }
 }
 
+/// Tuning knobs for [`KernelPolicy::Bitset`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitsetConfig {
+    /// Run the blocked word kernel only when *both* eligible slices have at
+    /// least this many elements — tiny intersections are cheaper as merges
+    /// than as block-view setup.
+    pub min_short: u32,
+    /// Density gate: take the block path only when the slices carry at
+    /// least this many labels per full-list block on average
+    /// (`(|a| + |b|) ≥ min_density × (node_blocks_a + node_blocks_b)`).
+    /// A block step (base merge + masked AND + popcount) costs several
+    /// times a branchless-merge element step, so sparse encodings — ~1
+    /// label per 64-label block — must fall back or the word kernel
+    /// *loses*. Full-list block totals are O(1) reads, so the gate
+    /// rejects sparse pairs before any view is built.
+    pub min_density: u32,
+    /// Skew gate for the source-anchored stamp path: when the owned `a`
+    /// side is at least this many times the length of `b` (and clears
+    /// `min_short`), mark `a`'s labels into the per-thread stamp array
+    /// (amortized across the anchor's run of calls) and answer with
+    /// `|b|` O(1) probes — the anchor side drops out of the per-pair
+    /// cost. `0` forces the stamp path whenever `a` is owned;
+    /// `u32::MAX` disables it.
+    pub stamp_crossover: u32,
+    /// Dispatch used when a side has no [`SideOwner`] (so no block
+    /// encoding applies), or when a slice fails the `min_short` /
+    /// `min_density` gates. Also selects the hub-bitmap rows the context
+    /// still builds — the vertex iterators' `BitmapOracle` path rides on
+    /// those rows under every non-paper policy.
+    pub fallback: AdaptiveConfig,
+}
+
+impl Default for BitsetConfig {
+    /// `min_short` 16 and `min_density` 4: below either, block-view
+    /// setup (two binary searches plus boundary masking) and the
+    /// ~2–3 ns/block merge walk cost more than the branchless merge they
+    /// replace. Measured on the dev machine via the `bitset` columns of
+    /// the `kernel_matrix` sweep (see EXPERIMENTS.md); re-measure there.
+    fn default() -> Self {
+        BitsetConfig {
+            min_short: 16,
+            min_density: 4,
+            stamp_crossover: 3,
+            fallback: AdaptiveConfig::default(),
+        }
+    }
+}
+
 /// How intersections and oracle probes are executed (never how they are
 /// *accounted* — see the module docs).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -157,6 +216,10 @@ pub enum KernelPolicy {
     PaperFaithful,
     /// Branchless merge / gallop / hub-bitmap probes, selected per call.
     Adaptive(AdaptiveConfig),
+    /// Blocked `u64`-word bitset intersection when both sides are owned
+    /// slices of encoded lists, falling back to adaptive dispatch
+    /// otherwise.
+    Bitset(BitsetConfig),
 }
 
 impl KernelPolicy {
@@ -165,21 +228,70 @@ impl KernelPolicy {
         KernelPolicy::Adaptive(AdaptiveConfig::default())
     }
 
+    /// `Bitset` with default tuning.
+    pub fn bitset() -> Self {
+        KernelPolicy::Bitset(BitsetConfig::default())
+    }
+
     /// Short display name for tables and JSON.
     pub fn name(&self) -> &'static str {
         match self {
             KernelPolicy::PaperFaithful => "paper",
             KernelPolicy::Adaptive(_) => "adaptive",
+            KernelPolicy::Bitset(_) => "bitset",
         }
     }
 
-    /// Inverse of [`KernelPolicy::name`] (with default adaptive tuning):
-    /// `"paper"` / `"adaptive"`. Used by wire protocols and CLI flags.
+    /// Inverse of [`KernelPolicy::name`] (with default tuning):
+    /// `"paper"` / `"adaptive"` / `"bitset"`. Used by wire protocols and
+    /// CLI flags.
     pub fn from_name(name: &str) -> Option<KernelPolicy> {
         match name {
             "paper" => Some(KernelPolicy::PaperFaithful),
             "adaptive" => Some(KernelPolicy::adaptive()),
+            "bitset" => Some(KernelPolicy::bitset()),
             _ => None,
+        }
+    }
+}
+
+/// The calibrated execution choice for one (machine, graph) pair: which
+/// kernel policy to run and whether to keep adjacency in the compressed
+/// CSR. Emitted by `trilist-model::calibrate::kernel_plan` from measured
+/// word-intersect / varint-decode / gallop throughputs; consumed by
+/// `GraphStore::prepare` (which stores the winning plan per graph) and by
+/// anything that forwards a policy into the runtime. Paper cost fields are
+/// plan-invariant by the accounting contract, so a plan only ever moves
+/// wall-clock and memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelPlan {
+    /// The dispatch policy per-call kernel selection consults.
+    pub policy: KernelPolicy,
+    /// Run the listing drivers on the delta/varint [`CompressedCsr`]
+    /// (trading per-list decode for memory bandwidth) instead of the plain
+    /// `u32` CSR.
+    ///
+    /// [`CompressedCsr`]: crate::compressed::CompressedCsr
+    pub compressed: bool,
+}
+
+impl Default for KernelPlan {
+    /// Adaptive on the plain layout — the pre-calibration behavior every
+    /// layer shipped with, so an absent calibration changes nothing.
+    fn default() -> Self {
+        KernelPlan {
+            policy: KernelPolicy::adaptive(),
+            compressed: false,
+        }
+    }
+}
+
+impl KernelPlan {
+    /// A plan that pins `policy` on the plain layout.
+    pub fn fixed(policy: KernelPolicy) -> Self {
+        KernelPlan {
+            policy,
+            compressed: false,
         }
     }
 }
@@ -205,11 +317,18 @@ impl HubBitmap {
     /// `threshold`, keeping only the `max_hubs` highest-degree nodes when
     /// over budget. One pass over the selected lists.
     pub fn build(g: &DirectedGraph, dir: ListDir, threshold: u32, max_hubs: usize) -> Self {
-        let n = g.n();
+        HubBitmap::build_src(GraphSource::Plain(g), dir, threshold, max_hubs)
+    }
+
+    /// [`HubBitmap::build`] over either adjacency layout — hub selection
+    /// uses the O(1) degree tables, rows are filled by one streaming pass,
+    /// so plain and compressed sources build bit-identical rows.
+    pub fn build_src(src: GraphSource<'_>, dir: ListDir, threshold: u32, max_hubs: usize) -> Self {
+        let n = src.n();
         let deg = |v: u32| -> usize {
             match dir {
-                ListDir::Out => g.x(v),
-                ListDir::In => g.y(v),
+                ListDir::Out => src.x(v),
+                ListDir::In => src.y(v),
             }
         };
         let mut hubs: Vec<u32> = (0..n as u32)
@@ -226,12 +345,10 @@ impl HubBitmap {
         for (r, &h) in hubs.iter().enumerate() {
             row_of[h as usize] = r as u32;
             let row = &mut bits[r * words..(r + 1) * words];
-            let list = match dir {
-                ListDir::Out => g.out(h),
-                ListDir::In => g.in_(h),
-            };
-            for &w in list {
-                row[(w >> 6) as usize] |= 1u64 << (w & 63);
+            let set = |w: u32| row[(w >> 6) as usize] |= 1u64 << (w & 63);
+            match dir {
+                ListDir::Out => src.for_each_out(h, set),
+                ListDir::In => src.for_each_in(h, set),
             }
         }
         HubBitmap {
@@ -245,11 +362,21 @@ impl HubBitmap {
     /// Predicted [`HubBitmap::bytes`] of a build with these parameters,
     /// without allocating anything — the memory-budget planner's estimate.
     pub fn estimate_bytes(g: &DirectedGraph, dir: ListDir, threshold: u32, max_hubs: usize) -> u64 {
-        let n = g.n();
+        HubBitmap::estimate_bytes_src(GraphSource::Plain(g), dir, threshold, max_hubs)
+    }
+
+    /// [`HubBitmap::estimate_bytes`] over either adjacency layout.
+    pub fn estimate_bytes_src(
+        src: GraphSource<'_>,
+        dir: ListDir,
+        threshold: u32,
+        max_hubs: usize,
+    ) -> u64 {
+        let n = src.n();
         let deg = |v: u32| -> usize {
             match dir {
-                ListDir::Out => g.x(v),
-                ListDir::In => g.y(v),
+                ListDir::Out => src.x(v),
+                ListDir::In => src.y(v),
             }
         };
         let hubs = (0..n as u32)
@@ -329,6 +456,13 @@ pub struct Kernels {
     policy: KernelPolicy,
     out_bits: Option<HubBitmap>,
     in_bits: Option<HubBitmap>,
+    out_blocks: Option<BitsetBlocks>,
+    in_blocks: Option<BitsetBlocks>,
+    /// Process-unique epoch embedded in stamp keys, so stamp markings
+    /// from other contexts (other graphs) can never be mistaken for ours.
+    /// Clones share the epoch — they describe the same graph, so their
+    /// markings are interchangeable.
+    stamp_epoch: u64,
     meter: Option<Arc<KernelMeter>>,
 }
 
@@ -339,36 +473,71 @@ impl Kernels {
             policy: KernelPolicy::PaperFaithful,
             out_bits: None,
             in_bits: None,
+            out_blocks: None,
+            in_blocks: None,
+            stamp_epoch: crate::stamp::next_epoch(),
             meter: None,
         }
     }
 
-    /// Builds the context for `policy` over `g` (bitmaps only under
-    /// `Adaptive`).
+    /// Builds the context for `policy` over `g` (bitmaps under `Adaptive`;
+    /// bitmaps + block encodings under `Bitset`).
     pub fn build(policy: KernelPolicy, g: &DirectedGraph) -> Self {
+        Kernels::build_src(policy, GraphSource::Plain(g))
+    }
+
+    /// [`Kernels::build`] over either adjacency layout. Both layouts
+    /// stream identical lists, so they build bit-identical contexts —
+    /// which is what keeps `pointer_advances` byte-identical across
+    /// plain/compressed runs under every policy.
+    pub fn build_src(policy: KernelPolicy, src: GraphSource<'_>) -> Self {
         match policy {
             KernelPolicy::PaperFaithful => Kernels::paper(),
             KernelPolicy::Adaptive(cfg) => Kernels {
                 policy,
-                out_bits: Some(HubBitmap::build(
-                    g,
+                out_bits: Some(HubBitmap::build_src(
+                    src,
                     ListDir::Out,
                     cfg.hub_degree_threshold,
                     cfg.max_hubs,
                 )),
-                in_bits: Some(HubBitmap::build(
-                    g,
+                in_bits: Some(HubBitmap::build_src(
+                    src,
                     ListDir::In,
                     cfg.hub_degree_threshold,
                     cfg.max_hubs,
                 )),
+                out_blocks: None,
+                in_blocks: None,
+                stamp_epoch: crate::stamp::next_epoch(),
+                meter: None,
+            },
+            KernelPolicy::Bitset(cfg) => Kernels {
+                policy,
+                // the hub rows keep serving the vertex iterators'
+                // BitmapOracle probes; selection follows the fallback knobs
+                out_bits: Some(HubBitmap::build_src(
+                    src,
+                    ListDir::Out,
+                    cfg.fallback.hub_degree_threshold,
+                    cfg.fallback.max_hubs,
+                )),
+                in_bits: Some(HubBitmap::build_src(
+                    src,
+                    ListDir::In,
+                    cfg.fallback.hub_degree_threshold,
+                    cfg.fallback.max_hubs,
+                )),
+                out_blocks: Some(BitsetBlocks::build_src(src, ListDir::Out)),
+                in_blocks: Some(BitsetBlocks::build_src(src, ListDir::In)),
+                stamp_epoch: crate::stamp::next_epoch(),
                 meter: None,
             },
         }
     }
 
     /// Builds the largest context for `policy` that fits inside
-    /// `allowance` bytes of bitmap memory (`None` = unlimited, plain
+    /// `allowance` bytes of kernel memory (`None` = unlimited, plain
     /// [`Kernels::build`]).
     ///
     /// The degradation ladder under `Adaptive`: halve `max_hubs` until the
@@ -376,41 +545,85 @@ impl Kernels {
     /// fits, and when even zero rows would not help, keep the policy but
     /// skip bitmap construction entirely — merge/gallop selection still
     /// applies, and every paper-cost field is unaffected by construction
-    /// (the accounting contract in the module docs).
+    /// (the accounting contract in the module docs). Under `Bitset` the
+    /// block encodings have a fixed cost, so the ladder halves the
+    /// fallback's `max_hubs` first and drops the blocks only when they
+    /// alone exceed the budget (degrading to scan-only dispatch).
     pub fn build_within(policy: KernelPolicy, g: &DirectedGraph, allowance: Option<u64>) -> Self {
+        Kernels::build_within_src(policy, GraphSource::Plain(g), allowance)
+    }
+
+    /// [`Kernels::build_within`] over either adjacency layout.
+    pub fn build_within_src(
+        policy: KernelPolicy,
+        src: GraphSource<'_>,
+        allowance: Option<u64>,
+    ) -> Self {
         let Some(budget) = allowance else {
-            return Kernels::build(policy, g);
+            return Kernels::build_src(policy, src);
         };
-        let KernelPolicy::Adaptive(mut cfg) = policy else {
-            return Kernels::paper();
+        let mut cfg = match policy {
+            KernelPolicy::PaperFaithful => return Kernels::paper(),
+            KernelPolicy::Adaptive(cfg) => cfg,
+            KernelPolicy::Bitset(mut cfg) => {
+                let blocks_need = BitsetBlocks::estimate_bytes(src, ListDir::Out)
+                    + BitsetBlocks::estimate_bytes(src, ListDir::In);
+                loop {
+                    let hub_need = HubBitmap::estimate_bytes_src(
+                        src,
+                        ListDir::Out,
+                        cfg.fallback.hub_degree_threshold,
+                        cfg.fallback.max_hubs,
+                    ) + HubBitmap::estimate_bytes_src(
+                        src,
+                        ListDir::In,
+                        cfg.fallback.hub_degree_threshold,
+                        cfg.fallback.max_hubs,
+                    );
+                    if blocks_need + hub_need <= budget {
+                        return Kernels::build_src(KernelPolicy::Bitset(cfg), src);
+                    }
+                    if cfg.fallback.max_hubs == 0 {
+                        return Kernels::scan_only(policy);
+                    }
+                    cfg.fallback.max_hubs /= 2;
+                }
+            }
         };
         loop {
-            let need =
-                HubBitmap::estimate_bytes(g, ListDir::Out, cfg.hub_degree_threshold, cfg.max_hubs)
-                    + HubBitmap::estimate_bytes(
-                        g,
-                        ListDir::In,
-                        cfg.hub_degree_threshold,
-                        cfg.max_hubs,
-                    );
+            let need = HubBitmap::estimate_bytes_src(
+                src,
+                ListDir::Out,
+                cfg.hub_degree_threshold,
+                cfg.max_hubs,
+            ) + HubBitmap::estimate_bytes_src(
+                src,
+                ListDir::In,
+                cfg.hub_degree_threshold,
+                cfg.max_hubs,
+            );
             if cfg.max_hubs == 0 {
                 return Kernels::scan_only(policy);
             }
             if need <= budget {
-                return Kernels::build(KernelPolicy::Adaptive(cfg), g);
+                return Kernels::build_src(KernelPolicy::Adaptive(cfg), src);
             }
             cfg.max_hubs /= 2;
         }
     }
 
-    /// A context with adaptive merge/gallop selection but no bitmaps — for
-    /// callers intersecting lists that are not neighbor lists of an
-    /// oriented graph (the unoriented baselines).
+    /// A context with adaptive merge/gallop selection but no bitmaps or
+    /// block encodings — for callers intersecting lists that are not
+    /// neighbor lists of an oriented graph (the unoriented baselines), and
+    /// the terminal rung of the memory-degradation ladder.
     pub fn scan_only(policy: KernelPolicy) -> Self {
         Kernels {
             policy,
             out_bits: None,
             in_bits: None,
+            out_blocks: None,
+            in_blocks: None,
+            stamp_epoch: crate::stamp::next_epoch(),
             meter: None,
         }
     }
@@ -439,11 +652,25 @@ impl Kernels {
         self.out_bits.as_ref()
     }
 
-    /// Bitmap memory held by this context, in bytes (what a memory budget
-    /// charges per worker).
+    /// Kernel memory held by this context — hub bitmaps plus bitset block
+    /// encodings — in bytes (what a memory budget charges per worker).
     pub fn bytes(&self) -> u64 {
         self.out_bits.as_ref().map_or(0, |b| b.bytes() as u64)
             + self.in_bits.as_ref().map_or(0, |b| b.bytes() as u64)
+            + self.out_blocks.as_ref().map_or(0, |b| b.bytes())
+            + self.in_blocks.as_ref().map_or(0, |b| b.bytes())
+    }
+
+    /// The out-direction block encoding, when built.
+    pub fn out_blocks(&self) -> Option<&BitsetBlocks> {
+        self.out_blocks.as_ref()
+    }
+
+    /// The stamp key identifying `dir`-list(`v`) under this context's
+    /// epoch (see [`crate::stamp`]).
+    #[inline]
+    fn stamp_key(&self, v: u32, dir: ListDir) -> u64 {
+        (self.stamp_epoch << 33) | ((v as u64) << 1) | matches!(dir, ListDir::In) as u64
     }
 
     #[inline]
@@ -453,6 +680,178 @@ impl Kernels {
             ListDir::Out => self.out_bits.as_ref()?.row(v),
             ListDir::In => self.in_bits.as_ref()?.row(v),
         }
+    }
+
+    /// Resolves the blocked-kernel dispatch for one owned slice pair:
+    /// bounded views over the common value range `[max(a₀,b₀),
+    /// min(a_last,b_last)]` of both slices. Outer `None` = not eligible
+    /// (missing owner or encoding — fall back to adaptive dispatch); inner
+    /// `None` = eligible with provably empty intersection.
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    fn block_views(
+        &self,
+        a: &[u32],
+        a_own: SideOwner,
+        b: &[u32],
+        b_own: SideOwner,
+        min_density: u32,
+    ) -> Option<Option<(BlockView<'_>, BlockView<'_>)>> {
+        let (va, da) = a_own?;
+        let (vb, db) = b_own?;
+        let blocks_of = |dir| match dir {
+            ListDir::Out => self.out_blocks.as_ref(),
+            ListDir::In => self.in_blocks.as_ref(),
+        };
+        let (ba, bb) = (blocks_of(da)?, blocks_of(db)?);
+        // density gate on the O(1) full-list block totals: sparse
+        // encodings walk ~1 label per block and lose to the merge
+        // fallback, and gating here rejects them before any view is built
+        if a.len() + b.len() < min_density as usize * (ba.node_blocks(va) + bb.node_blocks(vb)) {
+            return None;
+        }
+        // value ranges disjoint → no common element, skip view setup
+        if a[0] > b[b.len() - 1] || b[0] > a[a.len() - 1] {
+            return Some(None);
+        }
+        // each view is bounded to its *own* slice's closed value range: a
+        // view then represents its slice exactly, so the merge of the two
+        // views is exactly the slice intersection. (Narrowing both sides
+        // to the range overlap would also be exact, but costs interior
+        // binary searches on every call; own-range bounds coincide with
+        // list ends for full lists, prefixes, and suffixes — the hot
+        // shapes — and the block merge skips non-overlapping bases at one
+        // branchless step each.)
+        match (
+            ba.view(va, a[0], a[a.len() - 1]),
+            bb.view(vb, b[0], b[b.len() - 1]),
+        ) {
+            (Some(x), Some(y)) => Some(Some((x, y))),
+            _ => Some(None),
+        }
+    }
+
+    /// Label-free intersection for compressed sources: tries to answer the
+    /// pair from the block encodings alone, so the caller can skip
+    /// decoding the remote list. `b_own`/`b_len` describe the remote side,
+    /// which must be the owner's *entire* `b_own.1`-list (the block
+    /// encoding stands in for the labels, so a sub-slice would be wrong).
+    ///
+    /// Returns `None` when the dispatch needs decoded labels — the caller
+    /// decodes and invokes [`Kernels::intersect`], which re-derives the
+    /// same routing decision. The gate sequence below mirrors the
+    /// [`KernelPolicy::Bitset`] arm of `intersect` exactly (same gates,
+    /// same view bounds, same merge), so `advances` — and therefore the
+    /// `CostReport` — is byte-identical to the plain-layout run whether or
+    /// not the label-free path fires.
+    pub fn intersect_remote<F: FnMut(u32)>(
+        &self,
+        a: &[u32],
+        a_own: SideOwner,
+        b_own: (u32, ListDir),
+        b_len: usize,
+        sink: F,
+    ) -> Option<ScanStats> {
+        if a.is_empty() || b_len == 0 {
+            return Some(ScanStats::default());
+        }
+        let KernelPolicy::Bitset(bcfg) = self.policy else {
+            return None;
+        };
+        // stamp gate first, as in `intersect`: stamps probe decoded labels
+        if a_own.is_some()
+            && a.len() >= bcfg.min_short as usize
+            && a.len() as u64 >= bcfg.stamp_crossover as u64 * b_len as u64
+            && self.bitmap_row(a_own).is_none()
+        {
+            return None;
+        }
+        // block stage: answered entirely from the encodings when dense
+        // enough; a density-gate miss falls through to the fallback
+        // mirror below, exactly like the labeled dispatch
+        'blocks: {
+            if a.len().min(b_len) < bcfg.min_short as usize {
+                break 'blocks;
+            }
+            let Some((va_node, da)) = a_own else {
+                break 'blocks;
+            };
+            let (vb_node, db) = b_own;
+            let blocks_of = |dir| match dir {
+                ListDir::Out => self.out_blocks.as_ref(),
+                ListDir::In => self.in_blocks.as_ref(),
+            };
+            let (Some(ba), Some(bb)) = (blocks_of(da), blocks_of(db)) else {
+                break 'blocks;
+            };
+            if a.len() + b_len
+                < bcfg.min_density as usize * (ba.node_blocks(va_node) + bb.node_blocks(vb_node))
+            {
+                break 'blocks;
+            }
+            // the remote slice is the full list, so its value range —
+            // what `block_views` reads from the decoded slice — is O(1)
+            let Some((b0, bl)) = bb.label_bounds(vb_node) else {
+                break 'blocks;
+            };
+            if a[0] > bl || b0 > a[a.len() - 1] {
+                if let Some(m) = &self.meter {
+                    m.bump(&m.bitset, 1);
+                }
+                return Some(ScanStats::default());
+            }
+            let (Some(va), Some(vb)) = (
+                ba.view(va_node, a[0], a[a.len() - 1]),
+                bb.view(vb_node, b0, bl),
+            ) else {
+                if let Some(m) = &self.meter {
+                    m.bump(&m.bitset, 1);
+                }
+                return Some(ScanStats::default());
+            };
+            if let Some(m) = &self.meter {
+                m.bump(&m.bitset, 1);
+            }
+            let stats = intersect_blocks(va, vb, sink);
+            if let Some(m) = &self.meter {
+                m.bump(&m.bitset_words, stats.advances);
+            }
+            return Some(stats);
+        }
+        // fallback mirror: the adaptive row paths probe the *short* side's
+        // labels against the long side's row (or the long side's labels
+        // against a short-side row). Whenever the probed side is the
+        // already-decoded local slice, the remote labels are never read —
+        // answer label-free. Branch order matches `intersect`'s fallback:
+        // row(long) first, then row(short).
+        let b_row_own: SideOwner = Some(b_own);
+        if a.len() <= b_len {
+            // short = local a, long = remote: row(long) probes `a`
+            if let Some(row) = self.bitmap_row(b_row_own) {
+                let stats = probe_bitmap(a, row, sink);
+                if let Some(m) = &self.meter {
+                    m.bump(&m.bitmap, 1);
+                    m.bump(&m.bitmap_probes, stats.advances);
+                }
+                return Some(stats);
+            }
+            // row(short) would probe the remote labels
+            return None;
+        }
+        // short = remote, long = local a: row(long) probes the remote
+        if self.bitmap_row(a_own).is_some() {
+            return None;
+        }
+        // row(short) probes the long side — the local slice
+        if let Some(row) = self.bitmap_row(b_row_own) {
+            let stats = probe_bitmap(a, row, sink);
+            if let Some(m) = &self.meter {
+                m.bump(&m.bitmap, 1);
+                m.bump(&m.bitmap_probes, stats.advances);
+            }
+            return Some(stats);
+        }
+        None
     }
 
     /// Intersects two ascending-sorted slices under the policy, invoking
@@ -478,6 +877,48 @@ impl Kernels {
                 return intersect_sorted(a, b, sink);
             }
             KernelPolicy::Adaptive(cfg) => cfg,
+            KernelPolicy::Bitset(bcfg) => {
+                // skew: anchor-side marking answers the pair in |b| probes.
+                // Anchors with a precomputed hub row skip this — the row
+                // path below is the same probe shape without marking cost.
+                if let Some((v, dir)) = a_own {
+                    if a.len() >= bcfg.min_short as usize
+                        && a.len() as u64 >= bcfg.stamp_crossover as u64 * b.len() as u64
+                        && self.bitmap_row(a_own).is_none()
+                    {
+                        let stats = stamp_intersect(self.stamp_key(v, dir), a, b, sink);
+                        if let Some(m) = &self.meter {
+                            m.bump(&m.stamp, 1);
+                            m.bump(&m.stamp_probes, stats.advances);
+                        }
+                        return stats;
+                    }
+                }
+                if a.len().min(b.len()) >= bcfg.min_short as usize {
+                    match self.block_views(a, a_own, b, b_own, bcfg.min_density) {
+                        // no encoding, or too sparse for blocks: fall back
+                        None => {}
+                        Some(None) => {
+                            // bounded ranges don't overlap: provably empty
+                            if let Some(m) = &self.meter {
+                                m.bump(&m.bitset, 1);
+                            }
+                            return ScanStats::default();
+                        }
+                        Some(Some((va, vb))) => {
+                            if let Some(m) = &self.meter {
+                                m.bump(&m.bitset, 1);
+                            }
+                            let stats = intersect_blocks(va, vb, sink);
+                            if let Some(m) = &self.meter {
+                                m.bump(&m.bitset_words, stats.advances);
+                            }
+                            return stats;
+                        }
+                    }
+                }
+                bcfg.fallback
+            }
         };
         let (short, short_own, long, long_own) = if a.len() <= b.len() {
             (a, a_own, b, b_own)
@@ -534,6 +975,43 @@ impl Kernels {
                 return intersect_sorted(a, b, |_| {});
             }
             KernelPolicy::Adaptive(cfg) => cfg,
+            KernelPolicy::Bitset(bcfg) => {
+                if let Some((v, dir)) = a_own {
+                    if a.len() >= bcfg.min_short as usize
+                        && a.len() as u64 >= bcfg.stamp_crossover as u64 * b.len() as u64
+                        && self.bitmap_row(a_own).is_none()
+                    {
+                        let stats = stamp_count(self.stamp_key(v, dir), a, b);
+                        if let Some(m) = &self.meter {
+                            m.bump(&m.stamp, 1);
+                            m.bump(&m.stamp_probes, stats.advances);
+                        }
+                        return stats;
+                    }
+                }
+                if a.len().min(b.len()) >= bcfg.min_short as usize {
+                    match self.block_views(a, a_own, b, b_own, bcfg.min_density) {
+                        None => {}
+                        Some(None) => {
+                            if let Some(m) = &self.meter {
+                                m.bump(&m.bitset, 1);
+                            }
+                            return ScanStats::default();
+                        }
+                        Some(Some((va, vb))) => {
+                            if let Some(m) = &self.meter {
+                                m.bump(&m.bitset, 1);
+                            }
+                            let stats = count_blocks(va, vb);
+                            if let Some(m) = &self.meter {
+                                m.bump(&m.bitset_words, stats.advances);
+                            }
+                            return stats;
+                        }
+                    }
+                }
+                bcfg.fallback
+            }
         };
         let (short, short_own, long, long_own) = if a.len() <= b.len() {
             (a, a_own, b, b_own)
@@ -868,5 +1346,236 @@ mod tests {
         assert!(k.out_bitmaps().is_none());
         let s = k.intersect(&[1, 2, 3], None, &[2, 3, 4], None, |_| {});
         assert_eq!(s.matches, 2);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in [
+            KernelPolicy::PaperFaithful,
+            KernelPolicy::adaptive(),
+            KernelPolicy::bitset(),
+        ] {
+            assert_eq!(KernelPolicy::from_name(policy.name()), Some(policy));
+        }
+        assert_eq!(KernelPolicy::from_name("nope"), None);
+        assert_eq!(KernelPlan::default().policy.name(), "adaptive");
+        assert!(!KernelPlan::default().compressed);
+        assert_eq!(
+            KernelPlan::fixed(KernelPolicy::bitset()).policy.name(),
+            "bitset"
+        );
+    }
+
+    #[test]
+    fn bitset_intersect_agrees_with_paper_on_all_dispatch_paths() {
+        let dg = random_directed(140, 0.25, 13);
+        let paper = Kernels::paper();
+        // force each path: blocks-everywhere, stamps-everywhere,
+        // fallback-everywhere, default
+        let configs = [
+            BitsetConfig {
+                min_short: 0,
+                min_density: 0,
+                stamp_crossover: u32::MAX,
+                fallback: AdaptiveConfig::default(),
+            },
+            BitsetConfig {
+                min_short: 0,
+                min_density: u32::MAX,
+                stamp_crossover: 0,
+                // no hub rows, so every owned anchor routes to stamps
+                fallback: AdaptiveConfig {
+                    max_hubs: 0,
+                    ..AdaptiveConfig::default()
+                },
+            },
+            BitsetConfig {
+                min_short: u32::MAX,
+                min_density: 0,
+                stamp_crossover: u32::MAX,
+                fallback: AdaptiveConfig::default(),
+            },
+            BitsetConfig::default(),
+        ];
+        for cfg in configs {
+            let k = Kernels::build(KernelPolicy::Bitset(cfg), &dg);
+            assert_eq!(k.policy().name(), "bitset");
+            for z in 0..dg.n() as u32 {
+                let out = dg.out(z);
+                // E1-shaped slice pairs
+                for (j, &y) in out.iter().enumerate() {
+                    let local = &out[..j];
+                    let remote = dg.out(y);
+                    let mut want = Vec::new();
+                    let sp = paper.intersect(local, None, remote, None, |x| want.push(x));
+                    let mut got = Vec::new();
+                    let sb = k.intersect(
+                        local,
+                        Some((z, ListDir::Out)),
+                        remote,
+                        Some((y, ListDir::Out)),
+                        |x| got.push(x),
+                    );
+                    assert_eq!(got, want, "E1 cfg {cfg:?} z={z} y={y}");
+                    assert_eq!(sb.matches, sp.matches);
+                    let sc = k.count(
+                        local,
+                        Some((z, ListDir::Out)),
+                        remote,
+                        Some((y, ListDir::Out)),
+                    );
+                    assert_eq!(sc.matches, sp.matches, "count cfg {cfg:?}");
+                    assert_eq!(sc.advances, sb.advances, "count advances cfg {cfg:?}");
+                }
+                // E4-shaped slice pairs (out suffix × in prefix)
+                for (j, &x) in out.iter().enumerate() {
+                    let inn = dg.in_(x);
+                    let r = inn.partition_point(|&w| w < z);
+                    let local = &out[j + 1..];
+                    let remote = &inn[..r];
+                    let mut want = Vec::new();
+                    paper.intersect(local, None, remote, None, |y| want.push(y));
+                    let mut got = Vec::new();
+                    k.intersect(
+                        local,
+                        Some((z, ListDir::Out)),
+                        remote,
+                        Some((x, ListDir::In)),
+                        |y| got.push(y),
+                    );
+                    assert_eq!(got, want, "E4 cfg {cfg:?} z={z} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_build_within_degrades_hubs_then_blocks() {
+        use crate::source::GraphSource;
+        let dg = random_directed(100, 0.3, 17);
+        let policy = KernelPolicy::Bitset(BitsetConfig {
+            min_short: 0,
+            min_density: 0,
+            stamp_crossover: u32::MAX,
+            fallback: AdaptiveConfig {
+                gallop_crossover: 4,
+                hub_degree_threshold: 0,
+                max_hubs: usize::MAX,
+            },
+        });
+        let src = GraphSource::Plain(&dg);
+        let blocks_need = BitsetBlocks::estimate_bytes(src, ListDir::Out)
+            + BitsetBlocks::estimate_bytes(src, ListDir::In);
+        let full = Kernels::build_within(policy, &dg, None);
+        assert!(full.out_blocks().is_some());
+        assert!(full.bytes() > blocks_need, "bytes include hub rows");
+        // a budget that covers the blocks but not all hub rows keeps the
+        // blocks and sheds rows
+        let tight = Kernels::build_within(policy, &dg, Some(blocks_need + 1024));
+        assert!(tight.out_blocks().is_some());
+        assert!(tight.bytes() <= blocks_need + 1024);
+        // a budget below the block encoding drops to scan-only
+        let none = Kernels::build_within(policy, &dg, Some(blocks_need / 2));
+        assert!(none.out_blocks().is_none());
+        assert_eq!(none.bytes(), 0);
+        assert_eq!(none.policy().name(), "bitset");
+        // degraded contexts still agree with the paper kernel
+        let paper = Kernels::paper();
+        for z in 0..dg.n() as u32 {
+            let out = dg.out(z);
+            for (j, &y) in out.iter().enumerate() {
+                let want = paper.count(&out[..j], None, dg.out(y), None).matches;
+                for k in [&tight, &none] {
+                    let got = k
+                        .count(
+                            &out[..j],
+                            Some((z, ListDir::Out)),
+                            dg.out(y),
+                            Some((y, ListDir::Out)),
+                        )
+                        .matches;
+                    assert_eq!(got, want, "z={z} y={y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meter_tallies_bitset_dispatch() {
+        use crate::obs::{Counter, InMemoryRecorder};
+        let dg = random_directed(120, 0.3, 19);
+        let meter = Arc::new(KernelMeter::new());
+        let k = Kernels::build(
+            KernelPolicy::Bitset(BitsetConfig {
+                min_short: 0,
+                min_density: 0,
+                stamp_crossover: u32::MAX,
+                fallback: AdaptiveConfig::default(),
+            }),
+            &dg,
+        )
+        .with_meter(Arc::clone(&meter));
+        let mut calls = 0u64;
+        for z in 0..dg.n() as u32 {
+            let out = dg.out(z);
+            for (j, &y) in out.iter().enumerate() {
+                let local = &out[..j];
+                let remote = dg.out(y);
+                if local.is_empty() || remote.is_empty() {
+                    continue;
+                }
+                calls += 1;
+                k.count(
+                    local,
+                    Some((z, ListDir::Out)),
+                    remote,
+                    Some((y, ListDir::Out)),
+                );
+            }
+        }
+        let rec = InMemoryRecorder::new();
+        meter.flush_into(&rec);
+        assert_eq!(
+            rec.counter(Counter::IntersectBitset),
+            calls,
+            "min_short 0 + owned sides routes every call to the block kernel"
+        );
+        assert!(rec.counter(Counter::BitsetBlockSteps) > 0);
+        assert_eq!(rec.counter(Counter::IntersectBranchless), 0);
+        // stamp_crossover 0 routes the same calls to the stamp bitmap
+        let stamped = Kernels::build(
+            KernelPolicy::Bitset(BitsetConfig {
+                min_short: 0,
+                min_density: 0,
+                stamp_crossover: 0,
+                fallback: AdaptiveConfig {
+                    max_hubs: 0,
+                    ..AdaptiveConfig::default()
+                },
+            }),
+            &dg,
+        )
+        .with_meter(Arc::clone(&meter));
+        let mut stamp_calls = 0u64;
+        for z in 0..dg.n() as u32 {
+            let out = dg.out(z);
+            for (j, &y) in out.iter().enumerate() {
+                let local = &out[..j];
+                let remote = dg.out(y);
+                if local.is_empty() || remote.is_empty() {
+                    continue;
+                }
+                stamp_calls += 1;
+                stamped.count(
+                    local,
+                    Some((z, ListDir::Out)),
+                    remote,
+                    Some((y, ListDir::Out)),
+                );
+            }
+        }
+        meter.flush_into(&rec);
+        assert_eq!(rec.counter(Counter::IntersectStamp), stamp_calls);
+        assert!(rec.counter(Counter::StampProbes) > 0);
     }
 }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod bitset;
 pub mod clustering;
 pub mod compressed;
 pub mod cost;
@@ -44,14 +45,18 @@ pub mod prior_art;
 pub mod resilient;
 pub mod sei;
 pub mod sink;
+pub mod source;
+pub mod stamp;
 pub mod unrelabeled;
 pub mod vertex;
 
+pub use bitset::{set_simd_level, simd_level, BitsetBlocks, SimdLevel};
 pub use clustering::{average_clustering, transitivity, triangle_count, triangle_counts};
-pub use compressed::{e1_compressed, CompressedOut};
+pub use compressed::{e1_compressed, CompressedCsr, CompressedOut, DecodeScratch};
 pub use cost::CostReport;
 pub use kernel::{
-    AdaptiveConfig, BitmapOracle, HubBitmap, KernelMeter, KernelPolicy, Kernels, ListDir,
+    AdaptiveConfig, BitmapOracle, BitsetConfig, HubBitmap, KernelMeter, KernelPlan, KernelPolicy,
+    Kernels, ListDir,
 };
 pub use obs::{
     log2_bucket, ChunkSpan, Counter, CounterSnapshot, HistKind, InMemoryRecorder, MeasuredVsModel,
@@ -59,15 +64,17 @@ pub use obs::{
 };
 pub use oracle::{EdgeOracle, HashOracle, SortedOracle};
 pub use parallel::{
-    par_list, par_list_with, ParallelError, ParallelOpts, ParallelRun, ThreadStats,
+    par_list, par_list_compressed_with, par_list_with, ParallelError, ParallelOpts, ParallelRun,
+    ThreadStats,
 };
 pub use prior_art::{chiba_nishizeki, forward};
 pub use resilient::{
-    list_resilient, silence_injected_panics, ActiveBudget, CancelToken, ChunkFault, ChunkPiece,
-    Fault, FaultPlan, MemoryGauge, PartialRun, ResilientOpts, ResumeParseError, ResumePoint,
-    RunBudget, RunOutcome, StopReason,
+    list_resilient, list_resilient_src, silence_injected_panics, ActiveBudget, CancelToken,
+    ChunkFault, ChunkPiece, Fault, FaultPlan, MemoryGauge, PartialRun, ResilientOpts,
+    ResumeParseError, ResumePoint, RunBudget, RunOutcome, StopReason,
 };
 pub use sink::{FirstK, PerNodeCounter, ReservoirSink, TriangleBuffer};
+pub use source::GraphSource;
 pub use unrelabeled::OrientedOnly;
 
 use rand::Rng;

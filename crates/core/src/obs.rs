@@ -79,11 +79,22 @@ pub enum Counter {
     /// Chunk executions that ran degraded (paper-faithful kernels on a
     /// final retry).
     Degradations,
+    /// Intersections answered by the blocked bitset word kernel (including
+    /// provably-empty range rejections).
+    IntersectBitset,
+    /// Block-pointer steps inside bitset-routed intersections (each
+    /// aligned pair costs 2, each skipped block 1).
+    BitsetBlockSteps,
+    /// Intersections answered by the source-anchored stamp bitmap.
+    IntersectStamp,
+    /// Stamp-array probes plus fresh marks inside stamp-routed
+    /// intersections.
+    StampProbes,
 }
 
 impl Counter {
     /// How many counters exist.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 16;
 
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -99,6 +110,10 @@ impl Counter {
         Counter::ChunkRetries,
         Counter::BudgetChecks,
         Counter::Degradations,
+        Counter::IntersectBitset,
+        Counter::BitsetBlockSteps,
+        Counter::IntersectStamp,
+        Counter::StampProbes,
     ];
 
     /// Dense index of this counter (its position in [`Counter::ALL`]).
@@ -122,6 +137,10 @@ impl Counter {
             Counter::ChunkRetries => "chunk_retries",
             Counter::BudgetChecks => "budget_checks",
             Counter::Degradations => "degradations",
+            Counter::IntersectBitset => "intersect_bitset",
+            Counter::BitsetBlockSteps => "bitset_block_steps",
+            Counter::IntersectStamp => "intersect_stamp",
+            Counter::StampProbes => "stamp_probes",
         }
     }
 }

@@ -51,18 +51,21 @@ impl HashOracle {
     /// skipped entirely (under skewed orientations like θ_A most nodes
     /// contribute nothing).
     pub fn build(g: &DirectedGraph) -> Self {
+        HashOracle::build_src(crate::source::GraphSource::Plain(g))
+    }
+
+    /// [`HashOracle::build`] over either adjacency layout — insertion
+    /// order and `build_cost` are identical, so plain and compressed
+    /// sources produce interchangeable oracles.
+    pub fn build_src(src: crate::source::GraphSource<'_>) -> Self {
         let mut set: FastSet<u64> = FastSet::default();
-        set.reserve(g.m());
+        set.reserve(src.m());
         let mut build_cost = 0u64;
-        for v in 0..g.n() as u32 {
-            let out = g.out(v);
-            if out.is_empty() {
-                continue;
-            }
-            for &w in out {
+        for v in 0..src.n() as u32 {
+            src.for_each_out(v, |w| {
                 set.insert(edge_key(v, w));
                 build_cost += 1;
-            }
+            });
         }
         HashOracle {
             set,

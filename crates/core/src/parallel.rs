@@ -39,11 +39,13 @@
 //! (one attempt per chunk), errors surfaced as a typed [`ParallelError`]
 //! instead of a panic.
 
+use crate::compressed::{self, CompressedCsr, DecodeScratch};
 use crate::cost::CostReport;
 use crate::kernel::{BitmapOracle, KernelPolicy, Kernels};
 use crate::oracle::HashOracle;
 use crate::resilient::{self, ChunkFault, ResilientOpts, RunBudget, RunOutcome};
 use crate::sink::TriangleBuffer;
+use crate::source::GraphSource;
 use crate::{sei, vertex, Method};
 use std::time::Duration;
 use trilist_order::DirectedGraph;
@@ -240,6 +242,32 @@ fn fundamental_load(method: Method, g: &DirectedGraph, v: u32) -> u64 {
     }
 }
 
+/// [`fundamental_load`] over either adjacency layout — identical loads
+/// (the compressed layout stores O(1) degree tables and streams out-lists),
+/// so both layouts chunk the visited range identically.
+fn fundamental_load_src(method: Method, src: GraphSource<'_>, v: u32) -> u64 {
+    if let Some(g) = src.plain() {
+        return fundamental_load(method, g, v);
+    }
+    let (x, y) = (src.x(v) as u64, src.y(v) as u64);
+    let local = x * x.saturating_sub(1) / 2;
+    match method {
+        Method::T1 => local,
+        Method::T2 => x * y,
+        Method::E1 => {
+            let mut remote = 0u64;
+            src.for_each_out(v, |u| remote += src.x(u) as u64);
+            local + remote
+        }
+        Method::E4 => {
+            let mut remote = 0u64;
+            src.for_each_out(v, |u| remote += src.y(u) as u64);
+            local + remote
+        }
+        _ => unreachable!("method validated as fundamental"),
+    }
+}
+
 /// Per-node loads for the whole visited range (one `O(n + m)` pass).
 pub fn node_loads(method: Method, g: &DirectedGraph) -> Result<Vec<u64>, ParallelError> {
     ensure_fundamental(method)?;
@@ -256,14 +284,24 @@ pub fn chunk_ranges(
     g: &DirectedGraph,
     target_ops: u64,
 ) -> Result<Vec<std::ops::Range<u32>>, ParallelError> {
+    chunk_ranges_src(method, GraphSource::Plain(g), target_ops)
+}
+
+/// [`chunk_ranges`] over either adjacency layout; both produce identical
+/// splits because the load model sees identical degrees and lists.
+pub fn chunk_ranges_src(
+    method: Method,
+    src: GraphSource<'_>,
+    target_ops: u64,
+) -> Result<Vec<std::ops::Range<u32>>, ParallelError> {
     ensure_fundamental(method)?;
-    let n = g.n() as u32;
+    let n = src.n() as u32;
     let target = target_ops.max(1);
     let mut ranges = Vec::new();
     let mut start = 0u32;
     let mut acc = 0u64;
     for v in 0..n {
-        let load = fundamental_load(method, g, v);
+        let load = fundamental_load_src(method, src, v);
         if acc > 0 && acc + load > target {
             ranges.push(start..v);
             start = v;
@@ -356,6 +394,28 @@ pub fn par_list_with(
     }
 }
 
+/// [`par_list_with`] on the delta/varint-compressed layout: the same
+/// work-stealing runtime with each worker decoding lists into its own
+/// scratch. Guarantees are identical to [`par_list_with`] — same cost
+/// fields, same triangle order — because the chunking, the kernels, and
+/// the per-call accounting are all layout-invariant.
+pub fn par_list_compressed_with(
+    c: &CompressedCsr,
+    method: Method,
+    opts: &ParallelOpts,
+) -> Result<ParallelRun, ParallelError> {
+    let ropts = ResilientOpts {
+        parallel: *opts,
+        budget: RunBudget::unlimited(),
+        max_attempts: 1,
+        ..ResilientOpts::default()
+    };
+    match resilient::list_resilient_src(GraphSource::Compressed(c), method, &ropts)? {
+        RunOutcome::Complete(run) => Ok(run),
+        RunOutcome::Partial(partial) => Err(chunk_error(method, &partial)),
+    }
+}
+
 /// Converts a partial run under fail-fast settings into the typed error:
 /// with no budget the only way to fall short is a fatally failed chunk.
 fn chunk_error(method: Method, partial: &resilient::PartialRun) -> ParallelError {
@@ -407,6 +467,59 @@ pub(crate) fn run_chunk(
         }
         Method::E1 => sei::e1_range_with(g, range, kernels, sink),
         Method::E4 => sei::e4_range_with(g, range, kernels, sink),
+        _ => unreachable!("method validated as fundamental"),
+    };
+    (cost, tris)
+}
+
+/// [`run_chunk`] over either adjacency layout: plain sources take the
+/// slice drivers verbatim; compressed sources take the `*_csr` drivers,
+/// which decode into the worker's [`DecodeScratch`] and then charge and
+/// dispatch identically — the `CostReport` is byte-identical either way.
+pub(crate) fn run_chunk_src(
+    src: GraphSource<'_>,
+    method: Method,
+    oracle: Option<&HashOracle>,
+    kernels: &Kernels,
+    scratch: &mut DecodeScratch,
+    range: std::ops::Range<u32>,
+) -> (CostReport, TriangleBuffer) {
+    let GraphSource::Compressed(c) = src else {
+        return run_chunk(
+            src.plain().expect("plain source"),
+            method,
+            oracle,
+            kernels,
+            range,
+        );
+    };
+    let mut tris = TriangleBuffer::new();
+    let sink = |x: u32, y: u32, z: u32| tris.push(x, y, z);
+    let cost = match method {
+        Method::T1 | Method::T2 => {
+            let base = oracle.expect("oracle built for vertex methods");
+            match (method, kernels.out_bitmaps()) {
+                (Method::T1, Some(bits)) => compressed::t1_range_csr(
+                    c,
+                    &BitmapOracle::new(base, bits),
+                    range,
+                    scratch,
+                    sink,
+                ),
+                (Method::T1, None) => compressed::t1_range_csr(c, base, range, scratch, sink),
+                (Method::T2, Some(bits)) => compressed::t2_range_csr(
+                    c,
+                    &BitmapOracle::new(base, bits),
+                    range,
+                    scratch,
+                    sink,
+                ),
+                (_, None) => compressed::t2_range_csr(c, base, range, scratch, sink),
+                _ => unreachable!(),
+            }
+        }
+        Method::E1 => compressed::e1_range_with_csr(c, range, kernels, scratch, sink),
+        Method::E4 => compressed::e4_range_with_csr(c, range, kernels, scratch, sink),
         _ => unreachable!("method validated as fundamental"),
     };
     (cost, tris)

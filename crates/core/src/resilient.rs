@@ -31,14 +31,16 @@
 //! faults are decided by hashing `(seed, chunk, attempt)`, so a plan
 //! reproduces exactly across thread counts and steal schedules.
 
+use crate::compressed::DecodeScratch;
 use crate::cost::CostReport;
 use crate::kernel::{KernelMeter, Kernels};
 use crate::obs::{ChunkSpan, Counter, HistKind, Recorder, NOOP};
 use crate::oracle::HashOracle;
 use crate::parallel::{
-    chunk_ranges, ensure_fundamental, run_chunk, ParallelError, ParallelRun, ThreadStats,
+    chunk_ranges_src, ensure_fundamental, run_chunk_src, ParallelError, ParallelRun, ThreadStats,
 };
 use crate::sink::TriangleBuffer;
+use crate::source::GraphSource;
 use crate::Method;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use std::collections::{HashMap, HashSet};
@@ -527,8 +529,19 @@ impl ResumePoint {
         g: &DirectedGraph,
         opts: &ResilientOpts,
     ) -> Result<RunOutcome, ParallelError> {
-        check_graph(self.n, g)?;
-        run_jobs(g, self.method, &self.ranges, opts, Vec::new())
+        self.run_src(GraphSource::Plain(g), opts)
+    }
+
+    /// [`ResumePoint::run`] over either adjacency layout. A resume point
+    /// taken on one layout may be finished on the other — chunk indices
+    /// and per-chunk results are layout-invariant.
+    pub fn run_src(
+        &self,
+        src: GraphSource<'_>,
+        opts: &ResilientOpts,
+    ) -> Result<RunOutcome, ParallelError> {
+        check_graph(self.n, src)?;
+        run_jobs(src, self.method, &self.ranges, opts, Vec::new())
     }
 }
 
@@ -645,9 +658,18 @@ impl PartialRun {
         g: &DirectedGraph,
         opts: &ResilientOpts,
     ) -> Result<RunOutcome, ParallelError> {
-        check_graph(self.resume.n, g)?;
+        self.resume_with_src(GraphSource::Plain(g), opts)
+    }
+
+    /// [`PartialRun::resume_with`] over either adjacency layout.
+    pub fn resume_with_src(
+        &self,
+        src: GraphSource<'_>,
+        opts: &ResilientOpts,
+    ) -> Result<RunOutcome, ParallelError> {
+        check_graph(self.resume.n, src)?;
         run_jobs(
-            g,
+            src,
             self.resume.method,
             &self.resume.ranges,
             opts,
@@ -772,21 +794,33 @@ pub fn list_resilient(
     method: Method,
     opts: &ResilientOpts,
 ) -> Result<RunOutcome, ParallelError> {
+    list_resilient_src(GraphSource::Plain(g), method, opts)
+}
+
+/// [`list_resilient`] over either adjacency layout: the chunking, the
+/// scheduler, the budgets, and the fault isolation are identical; a
+/// compressed source only changes how workers read lists (per-worker
+/// decode scratch) — every `CostReport` field stays byte-identical.
+pub fn list_resilient_src(
+    src: GraphSource<'_>,
+    method: Method,
+    opts: &ResilientOpts,
+) -> Result<RunOutcome, ParallelError> {
     ensure_fundamental(method)?;
-    let ranges = chunk_ranges(method, g, opts.parallel.target_chunk_ops)?;
+    let ranges = chunk_ranges_src(method, src, opts.parallel.target_chunk_ops)?;
     let jobs: Vec<(u32, Range<u32>)> = ranges
         .into_iter()
         .enumerate()
         .map(|(i, r)| (i as u32, r))
         .collect();
-    run_jobs(g, method, &jobs, opts, Vec::new())
+    run_jobs(src, method, &jobs, opts, Vec::new())
 }
 
-fn check_graph(n: u32, g: &DirectedGraph) -> Result<(), ParallelError> {
-    if g.n() as u32 != n {
+fn check_graph(n: u32, src: GraphSource<'_>) -> Result<(), ParallelError> {
+    if src.n() as u32 != n {
         return Err(ParallelError::InvalidResume(format!(
             "resume point is for n={n}, graph has n={}",
-            g.n()
+            src.n()
         )));
     }
     Ok(())
@@ -798,17 +832,24 @@ fn oracle_estimate_bytes(m: usize) -> u64 {
     m as u64 * 12
 }
 
+/// Per-worker state: the kernel context plus (for compressed sources)
+/// reusable decode buffers. Never shared across workers.
+struct WorkerState {
+    kernels: Arc<Kernels>,
+    scratch: DecodeScratch,
+}
+
 /// Runs `jobs` (pre-chunked, globally indexed ranges) through the
 /// retrying scheduler and merges with `prior` completed pieces.
 fn run_jobs(
-    g: &DirectedGraph,
+    src: GraphSource<'_>,
     method: Method,
     jobs: &[(u32, Range<u32>)],
     opts: &ResilientOpts,
     prior: Vec<ChunkPiece>,
 ) -> Result<RunOutcome, ParallelError> {
     ensure_fundamental(method)?;
-    let n = g.n() as u32;
+    let n = src.n() as u32;
     for (chunk, r) in jobs {
         if r.start > r.end || r.end > n {
             return Err(ParallelError::InvalidResume(format!(
@@ -844,8 +885,8 @@ fn run_jobs(
             // uncounted path), so reuse is free and byte-identical
             Some(shared) => Some(Arc::clone(shared)),
             None => {
-                budget.add_memory(oracle_estimate_bytes(g.m()));
-                let built = Some(Arc::new(HashOracle::build(g)));
+                budget.add_memory(oracle_estimate_bytes(src.m()));
+                let built = Some(Arc::new(HashOracle::build_src(src)));
                 if recorder.enabled() {
                     ctx.setup_span(0, oracle_started);
                 }
@@ -861,32 +902,52 @@ fn run_jobs(
         &budget,
         opts.fault_plan.as_ref(),
         &ctx,
-        &|| match &opts.kernels {
-            Some(shared) => match &meter {
-                // metering is worker-local observation: clone the shared
-                // context so the run's meter attaches without mutating
-                // the cached copy
-                Some(m) => Arc::new((**shared).clone().with_meter(Arc::clone(m))),
-                None => Arc::clone(shared),
-            },
-            None => {
-                // each worker gets an equal share of whatever memory
-                // remains, so concurrent kernel builds cannot jointly
-                // blow the ceiling
-                let allowance = budget.remaining_memory().map(|r| r / threads as u64);
-                let kernels = Kernels::build_within(policy, g, allowance);
-                budget.add_memory(kernels.bytes());
-                Arc::new(match &meter {
-                    Some(m) => kernels.with_meter(Arc::clone(m)),
-                    None => kernels,
-                })
+        &|| {
+            let kernels = match &opts.kernels {
+                Some(shared) => match &meter {
+                    // metering is worker-local observation: clone the shared
+                    // context so the run's meter attaches without mutating
+                    // the cached copy
+                    Some(m) => Arc::new((**shared).clone().with_meter(Arc::clone(m))),
+                    None => Arc::clone(shared),
+                },
+                None => {
+                    // each worker gets an equal share of whatever memory
+                    // remains, so concurrent kernel builds cannot jointly
+                    // blow the ceiling
+                    let allowance = budget.remaining_memory().map(|r| r / threads as u64);
+                    let kernels = Kernels::build_within_src(policy, src, allowance);
+                    budget.add_memory(kernels.bytes());
+                    Arc::new(match &meter {
+                        Some(m) => kernels.with_meter(Arc::clone(m)),
+                        None => kernels,
+                    })
+                }
+            };
+            WorkerState {
+                kernels,
+                scratch: DecodeScratch::new(),
             }
         },
-        &|kernels, range, degraded| {
+        &|state, range, degraded| {
             if degraded {
-                run_chunk(g, method, oracle.as_deref(), &Kernels::paper(), range)
+                run_chunk_src(
+                    src,
+                    method,
+                    oracle.as_deref(),
+                    &Kernels::paper(),
+                    &mut state.scratch,
+                    range,
+                )
             } else {
-                run_chunk(g, method, oracle.as_deref(), kernels, range)
+                run_chunk_src(
+                    src,
+                    method,
+                    oracle.as_deref(),
+                    &state.kernels,
+                    &mut state.scratch,
+                    range,
+                )
             }
         },
     );

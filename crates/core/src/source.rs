@@ -1,0 +1,150 @@
+//! A layout-polymorphic view of one oriented graph.
+//!
+//! The listing runtime reads adjacency two ways: *streaming* passes
+//! (chunk-load models, oracle builds, kernel-structure builds) that touch
+//! every list front-to-back once, and *slice* passes (the drive loops)
+//! that need random-access sub-slices. A plain [`DirectedGraph`] serves
+//! both directly; a [`CompressedCsr`](crate::compressed::CompressedCsr)
+//! serves streaming natively and slice passes via per-worker decode
+//! scratch. `GraphSource` is the seam: one `Copy` enum the builders and
+//! the scheduler accept, so every build pass (chunking, hash oracle, hub
+//! bitmaps, bitset blocks) is written once and produces *identical
+//! structures* for both layouts — which is what makes the cross-layout
+//! differential suites byte-exact.
+
+use crate::compressed::CompressedCsr;
+use trilist_order::DirectedGraph;
+
+/// A borrowed oriented graph in either adjacency layout.
+#[derive(Clone, Copy)]
+pub enum GraphSource<'a> {
+    /// Uncompressed CSR with sliceable neighbor lists.
+    Plain(&'a DirectedGraph),
+    /// Delta/varint-compressed CSR; lists decode front-to-back only.
+    Compressed(&'a CompressedCsr),
+}
+
+impl<'a> GraphSource<'a> {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        match self {
+            GraphSource::Plain(g) => g.n(),
+            GraphSource::Compressed(c) => c.n(),
+        }
+    }
+
+    /// Number of directed edges.
+    pub fn m(&self) -> usize {
+        match self {
+            GraphSource::Plain(g) => g.m(),
+            GraphSource::Compressed(c) => c.m(),
+        }
+    }
+
+    /// Out-degree `X_v` (O(1) in both layouts — the compressed form stores
+    /// its degree tables).
+    #[inline]
+    pub fn x(&self, v: u32) -> usize {
+        match self {
+            GraphSource::Plain(g) => g.x(v),
+            GraphSource::Compressed(c) => c.x(v),
+        }
+    }
+
+    /// In-degree `Y_v`.
+    #[inline]
+    pub fn y(&self, v: u32) -> usize {
+        match self {
+            GraphSource::Plain(g) => g.y(v),
+            GraphSource::Compressed(c) => c.y(v),
+        }
+    }
+
+    /// The plain graph, when this source is one (slice-path fast paths).
+    pub fn plain(&self) -> Option<&'a DirectedGraph> {
+        match self {
+            GraphSource::Plain(g) => Some(g),
+            GraphSource::Compressed(_) => None,
+        }
+    }
+
+    /// Streams `N⁺(v)` ascending through `f` (slice iteration or varint
+    /// decode, depending on layout).
+    #[inline]
+    pub fn for_each_out<F: FnMut(u32)>(&self, v: u32, f: F) {
+        match self {
+            GraphSource::Plain(g) => g.out(v).iter().copied().for_each(f),
+            GraphSource::Compressed(c) => c.out_iter(v).for_each(f),
+        }
+    }
+
+    /// Streams `N⁻(v)` ascending through `f`.
+    #[inline]
+    pub fn for_each_in<F: FnMut(u32)>(&self, v: u32, f: F) {
+        match self {
+            GraphSource::Plain(g) => g.in_(v).iter().copied().for_each(f),
+            GraphSource::Compressed(c) => c.in_iter(v).for_each(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use trilist_graph::Graph;
+    use trilist_order::{OrderFamily, Relabeling};
+
+    fn random_directed(n: usize, p: f64, seed: u64) -> DirectedGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let r = OrderFamily::Descending.relabeling(&g, &mut rng);
+        DirectedGraph::orient(&g, &r)
+    }
+
+    #[test]
+    fn both_layouts_stream_identical_lists() {
+        let dg = random_directed(80, 0.3, 5);
+        let csr = CompressedCsr::compress(&dg);
+        let plain = GraphSource::Plain(&dg);
+        let packed = GraphSource::Compressed(&csr);
+        assert_eq!(plain.n(), packed.n());
+        assert_eq!(plain.m(), packed.m());
+        assert!(plain.plain().is_some() && packed.plain().is_none());
+        for v in 0..dg.n() as u32 {
+            assert_eq!(plain.x(v), packed.x(v), "x({v})");
+            assert_eq!(plain.y(v), packed.y(v), "y({v})");
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            plain.for_each_out(v, |w| a.push(w));
+            packed.for_each_out(v, |w| b.push(w));
+            assert_eq!(a, b, "out({v})");
+            a.clear();
+            b.clear();
+            plain.for_each_in(v, |w| a.push(w));
+            packed.for_each_in(v, |w| b.push(w));
+            assert_eq!(a, b, "in({v})");
+        }
+    }
+
+    #[test]
+    fn empty_graph_sources() {
+        let g = Graph::from_edges(3, &[]).unwrap();
+        let dg = DirectedGraph::orient(&g, &Relabeling::identity(3));
+        let csr = CompressedCsr::compress(&dg);
+        for src in [GraphSource::Plain(&dg), GraphSource::Compressed(&csr)] {
+            assert_eq!(src.m(), 0);
+            for v in 0..3 {
+                src.for_each_out(v, |_| panic!("no edges"));
+                src.for_each_in(v, |_| panic!("no edges"));
+            }
+        }
+    }
+}

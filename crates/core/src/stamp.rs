@@ -1,0 +1,226 @@
+//! Source-anchored stamp bitmap: the classic compact-forward marking
+//! technique, packaged as the skew weapon of [`KernelPolicy::Bitset`].
+//!
+//! The edge iterators intersect many slices of the *same* anchor list
+//! against a stream of short remote lists: E1 walks growing prefixes of
+//! `N⁺(z)` (one per out-neighbor `y`), E4 walks shrinking suffixes. A
+//! merge pays `|local| + |remote|` per pair, so the anchor list is
+//! re-scanned once per neighbor — `Σ deg²`-shaped work. Marking instead
+//! stamps each anchor label once into a dense per-thread array and answers
+//! every pair with `|remote|` O(1) probes: the anchor side drops out of
+//! the per-pair cost entirely.
+//!
+//! Correctness contract (same as the block kernel's [`SideOwner`]): the
+//! marked side must be a contiguous sub-slice of its owner's neighbor
+//! list. The scratch tracks the marked *value range* `[lo, hi]`; a label
+//! `x` is in the current slice iff `stamp[x] == key ∧ a₀ ≤ x ≤ a_last`,
+//! because every stamped label came from the owner's list and the list is
+//! sorted. Growing prefixes extend the range incrementally (amortized
+//! O(1) per call); shrinking suffixes are answered by the range check
+//! alone. Keys embed a per-[`Kernels`] epoch plus the owner `(v, dir)`,
+//! so stale stamps from other graphs, contexts, or owners can never
+//! collide.
+//!
+//! Paper-cost fields are charged upstream from slice lengths and are
+//! untouched by routing; only `advances` (probes + fresh marks) and
+//! wall-clock differ — the same contract every other kernel variant obeys.
+//!
+//! [`KernelPolicy::Bitset`]: crate::kernel::KernelPolicy::Bitset
+//! [`SideOwner`]: crate::kernel::SideOwner
+//! [`Kernels`]: crate::kernel::Kernels
+
+use core::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::intersect::ScanStats;
+
+/// Monotone epoch source: one per built [`Kernels`](crate::kernel::Kernels)
+/// context, embedded in every stamp key so contexts never share stamps.
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Claims a fresh, process-unique stamp epoch (never zero).
+pub fn next_epoch() -> u64 {
+    EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Per-thread stamp state: the dense key array plus the identity and
+/// marked value range of the anchor currently stamped into it.
+struct StampScratch {
+    stamps: Vec<u64>,
+    /// Key of the anchor whose labels are currently stamped (0 = none).
+    key: u64,
+    /// Inclusive label range already marked for `key`.
+    lo: u32,
+    hi: u32,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<StampScratch> = const {
+        RefCell::new(StampScratch { stamps: Vec::new(), key: 0, lo: 0, hi: 0 })
+    };
+}
+
+/// Ensures every label of `a` is stamped with `key`, extending an existing
+/// marking incrementally when the anchor repeats. Marking cost is pure
+/// wall-clock — it is *not* charged to `advances`, because it amortizes
+/// across a history of calls and `advances` must stay a deterministic
+/// function of the call's slices (count/intersect parity, scheduling
+/// independence).
+fn ensure_marked(s: &mut StampScratch, key: u64, a: &[u32]) {
+    let (a0, al) = (a[0], a[a.len() - 1]);
+    let need = al as usize + 1;
+    if s.stamps.len() < need {
+        s.stamps.resize(need.next_power_of_two(), 0);
+    }
+    // re-mark from scratch on a key switch, and also when the new slice's
+    // value range is disjoint from the marked range — extending across a
+    // gap would claim owner labels between the intervals that were never
+    // stamped. Stale same-key stamps outside the tracked range stay
+    // harmless: every stamp is an owner label, and the probe's range
+    // check reduces membership to exactly the current slice.
+    if s.key != key || al < s.lo || a0 > s.hi {
+        for &x in a {
+            s.stamps[x as usize] = key;
+        }
+        s.key = key;
+        s.lo = a0;
+        s.hi = al;
+        return;
+    }
+    if a0 < s.lo {
+        let cut = a.partition_point(|&x| x < s.lo);
+        for &x in &a[..cut] {
+            s.stamps[x as usize] = key;
+        }
+        s.lo = a0;
+    }
+    if al > s.hi {
+        let start = a.partition_point(|&x| x <= s.hi);
+        for &x in &a[start..] {
+            s.stamps[x as usize] = key;
+        }
+        s.hi = al;
+    }
+}
+
+/// Stamp-routed intersection: marks anchor slice `a` (amortized) and
+/// probes each in-range label of `b` in one O(1) array read, delivering
+/// common labels to `sink` in ascending order. `advances` counts in-range
+/// probes — a deterministic function of the slices (see
+/// [`ensure_marked`] for why marking is not charged). Both slices must be
+/// non-empty and sorted ascending; `a` must be a contiguous sub-slice of
+/// the list `key` identifies.
+pub fn stamp_intersect<F: FnMut(u32)>(key: u64, a: &[u32], b: &[u32], mut sink: F) -> ScanStats {
+    SCRATCH.with(|cell| {
+        let s = &mut cell.borrow_mut();
+        ensure_marked(s, key, a);
+        let mut stats = ScanStats::default();
+        let (a0, al) = (a[0], a[a.len() - 1]);
+        // labels outside [a₀, a_last] cannot match; clamping also keeps
+        // every probe in bounds (stamps was sized past a_last)
+        let begin = b.partition_point(|&x| x < a0);
+        let end = begin + b[begin..].partition_point(|&x| x <= al);
+        for &x in &b[begin..end] {
+            stats.advances += 1;
+            if s.stamps[x as usize] == key {
+                stats.matches += 1;
+                sink(x);
+            }
+        }
+        stats
+    })
+}
+
+/// Counting-only stamp intersection: identical `matches` and `advances`
+/// to [`stamp_intersect`] with no sink dispatch.
+pub fn stamp_count(key: u64, a: &[u32], b: &[u32]) -> ScanStats {
+    SCRATCH.with(|cell| {
+        let s = &mut cell.borrow_mut();
+        ensure_marked(s, key, a);
+        let mut stats = ScanStats::default();
+        let (a0, al) = (a[0], a[a.len() - 1]);
+        let begin = b.partition_point(|&x| x < a0);
+        let end = begin + b[begin..].partition_point(|&x| x <= al);
+        for &x in &b[begin..end] {
+            stats.advances += 1;
+            stats.matches += (s.stamps[x as usize] == key) as u64;
+        }
+        stats
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::intersect_sorted;
+    use rand::{Rng, SeedableRng};
+
+    fn sorted_list(rng: &mut impl Rng, len: usize, universe: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn stamp_matches_merge_on_random_slices() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let owner = sorted_list(&mut rng, 400, 2000);
+        let key = (next_epoch() << 33) | 1;
+        for _ in 0..200 {
+            let lo = rng.gen_range(0..owner.len());
+            let hi = rng.gen_range(lo..owner.len());
+            let a = &owner[lo..=hi];
+            let blen = rng.gen_range(1..120);
+            let b = sorted_list(&mut rng, blen, 2000);
+            if a.is_empty() || b.is_empty() {
+                continue;
+            }
+            let mut want = Vec::new();
+            intersect_sorted(a, &b, |x| want.push(x));
+            let mut got = Vec::new();
+            let st = stamp_intersect(key, a, &b, |x| got.push(x));
+            assert_eq!(got, want);
+            assert_eq!(st.matches, want.len() as u64);
+            let sc = stamp_count(key, a, &b);
+            assert_eq!(sc.matches, st.matches);
+        }
+    }
+
+    #[test]
+    fn growing_prefixes_amortize_and_shrinking_suffixes_stay_exact() {
+        let owner: Vec<u32> = (0..500).map(|i| i * 3).collect();
+        let probe: Vec<u32> = (0..1500).collect();
+        let key = (next_epoch() << 33) | 2;
+        for j in 1..=owner.len() {
+            let st = stamp_count(key, &owner[..j], &probe);
+            let want = owner[..j].iter().filter(|x| probe.contains(x)).count() as u64;
+            assert_eq!(st.matches, want, "prefix {j}");
+            // advances are the in-range probes only: deterministic per call
+            let (a0, al) = (owner[0], owner[j - 1]);
+            let in_range = probe.iter().filter(|&&x| x >= a0 && x <= al).count() as u64;
+            assert_eq!(st.advances, in_range, "prefix {j} advances");
+        }
+        // shrinking suffixes reuse the full marking via the range check
+        for j in 0..owner.len() {
+            let st = stamp_count(key, &owner[j..], &probe);
+            let want = owner[j..].iter().filter(|x| probe.contains(x)).count() as u64;
+            assert_eq!(st.matches, want, "suffix {j}");
+        }
+    }
+
+    #[test]
+    fn distinct_keys_never_share_stamps() {
+        let a1: Vec<u32> = vec![1, 5, 9, 13];
+        let a2: Vec<u32> = vec![2, 6, 9, 14];
+        let probe: Vec<u32> = (0..16).collect();
+        let k1 = (next_epoch() << 33) | 4;
+        let k2 = (next_epoch() << 33) | 4;
+        assert_eq!(stamp_count(k1, &a1, &probe).matches, 4);
+        // switching keys invalidates the previous marking wholesale
+        assert_eq!(stamp_count(k2, &a2, &probe).matches, 4);
+        let mut got = Vec::new();
+        stamp_intersect(k2, &a2, &probe, |x| got.push(x));
+        assert_eq!(got, vec![2, 6, 9, 14]);
+    }
+}

@@ -12,7 +12,9 @@
 //! [`sei_wins`](crate::wn::sei_wins) in place of the paper's 95.
 
 use std::time::Instant;
-use trilist_core::{HashOracle, Method};
+use trilist_core::{
+    par_list_with, CompressedCsr, HashOracle, KernelPlan, KernelPolicy, Method, ParallelOpts,
+};
 use trilist_order::DirectedGraph;
 
 /// Measured elementary-operation speeds on this machine.
@@ -71,6 +73,104 @@ pub fn sei_recommended(g: &DirectedGraph, cal: &Calibration) -> bool {
     crate::wn::sei_wins(crate::wn::wn_of_graph(g), cal.speed_ratio)
 }
 
+/// Measured kernel-level throughputs on this machine, extending the
+/// Table-3 methodology one level down: instead of ranking whole methods
+/// (hash vs scan), rank the *intersection kernels* a method can dispatch
+/// to. All three numbers divide the same paper-accounted operation
+/// totals by wall-clock, so their ratios are directly comparable.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelThroughputs {
+    /// Paper scan operations retired per second when E1 runs through the
+    /// blocked-bitset kernel (word-wise `AND`+popcount over L1-resident
+    /// blocks, SIMD where the CPU supports it).
+    pub word_intersect_ops_per_sec: f64,
+    /// Adjacency labels decoded per second from the delta/varint CSR —
+    /// how fast the compressed layout can feed a kernel.
+    pub decode_ops_per_sec: f64,
+    /// Paper scan operations retired per second when E1 runs through the
+    /// adaptive merge/gallop kernel (the PR 2 baseline).
+    pub gallop_ops_per_sec: f64,
+}
+
+fn best_e1_secs(g: &DirectedGraph, policy: KernelPolicy, rounds: usize) -> (f64, u64) {
+    let opts = ParallelOpts {
+        threads: 1,
+        policy,
+        ..ParallelOpts::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut ops = 0u64;
+    for _ in 0..rounds {
+        let started = Instant::now();
+        let run = par_list_with(g, Method::E1, &opts).expect("E1 is fundamental");
+        best = best.min(started.elapsed().as_secs_f64());
+        ops = run.cost.local + run.cost.remote;
+    }
+    (best.max(f64::MIN_POSITIVE), ops)
+}
+
+/// Measures [`KernelThroughputs`] on `g` over `rounds` repetitions each
+/// (best round kept, as in [`calibrate`]). The same graph and the same
+/// paper cost accounting are used for every kernel, so the only varying
+/// quantity is wall-clock.
+pub fn kernel_throughputs(g: &DirectedGraph, rounds: usize) -> KernelThroughputs {
+    let rounds = rounds.max(1);
+    let (gallop_secs, gallop_ops) = best_e1_secs(g, KernelPolicy::adaptive(), rounds);
+    let (bitset_secs, bitset_ops) = best_e1_secs(g, KernelPolicy::bitset(), rounds);
+
+    let csr = CompressedCsr::compress(g);
+    let (mut out_buf, mut in_buf) = (Vec::new(), Vec::new());
+    let mut best_decode = f64::INFINITY;
+    for _ in 0..rounds {
+        let started = Instant::now();
+        for v in 0..g.n() as u32 {
+            csr.decode_out_into(v, &mut out_buf);
+            csr.decode_in_into(v, &mut in_buf);
+        }
+        best_decode = best_decode.min(started.elapsed().as_secs_f64());
+    }
+    let decode_ops = 2 * g.m() as u64;
+
+    KernelThroughputs {
+        word_intersect_ops_per_sec: bitset_ops as f64 / bitset_secs,
+        decode_ops_per_sec: decode_ops as f64 / best_decode.max(f64::MIN_POSITIVE),
+        gallop_ops_per_sec: gallop_ops as f64 / gallop_secs,
+    }
+}
+
+/// Turns measured throughputs into the [`KernelPlan`] that per-call
+/// dispatch consults:
+///
+/// * **policy** — blocked bitset iff it retired E1's scan operations at
+///   least as fast as the adaptive kernel on this machine (ties go to
+///   bitset: equal speed with smaller cache footprint per probe);
+///   otherwise the adaptive baseline.
+/// * **compressed** — the delta/varint CSR iff decode throughput at
+///   least matches the winning kernel's consumption rate, i.e. decoding
+///   can feed the kernel without becoming the bottleneck.
+pub fn kernel_plan(tp: &KernelThroughputs) -> KernelPlan {
+    let bitset_wins = tp.word_intersect_ops_per_sec >= tp.gallop_ops_per_sec;
+    let winner_ops = if bitset_wins {
+        tp.word_intersect_ops_per_sec
+    } else {
+        tp.gallop_ops_per_sec
+    };
+    KernelPlan {
+        policy: if bitset_wins {
+            KernelPolicy::bitset()
+        } else {
+            KernelPolicy::adaptive()
+        },
+        compressed: tp.decode_ops_per_sec >= winner_ops,
+    }
+}
+
+/// Convenience: measure on `g` and emit the plan in one call.
+pub fn calibrate_kernel_plan(g: &DirectedGraph, rounds: usize) -> (KernelPlan, KernelThroughputs) {
+    let tp = kernel_throughputs(g, rounds);
+    (kernel_plan(&tp), tp)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +214,56 @@ mod tests {
         };
         assert!(sei_recommended(&dg, &fast_scan));
         assert!(!sei_recommended(&dg, &slow_scan));
+    }
+
+    #[test]
+    fn kernel_throughputs_are_positive_finite() {
+        let dg = fixture();
+        let tp = kernel_throughputs(&dg, 2);
+        for v in [
+            tp.word_intersect_ops_per_sec,
+            tp.decode_ops_per_sec,
+            tp.gallop_ops_per_sec,
+        ] {
+            assert!(v > 0.0 && v.is_finite(), "{tp:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_plan_follows_measured_ordering() {
+        let bitset_fast = KernelThroughputs {
+            word_intersect_ops_per_sec: 4e9,
+            decode_ops_per_sec: 5e9,
+            gallop_ops_per_sec: 1e9,
+        };
+        let plan = kernel_plan(&bitset_fast);
+        assert!(matches!(plan.policy, KernelPolicy::Bitset(_)));
+        assert!(plan.compressed);
+
+        let gallop_fast = KernelThroughputs {
+            word_intersect_ops_per_sec: 1e9,
+            decode_ops_per_sec: 2e9,
+            gallop_ops_per_sec: 4e9,
+        };
+        let plan = kernel_plan(&gallop_fast);
+        assert!(matches!(plan.policy, KernelPolicy::Adaptive(_)));
+        assert!(!plan.compressed);
+
+        let slow_decode = KernelThroughputs {
+            word_intersect_ops_per_sec: 4e9,
+            decode_ops_per_sec: 1e8,
+            gallop_ops_per_sec: 1e9,
+        };
+        assert!(!kernel_plan(&slow_decode).compressed);
+    }
+
+    #[test]
+    fn calibrated_plan_is_usable_end_to_end() {
+        let dg = fixture();
+        let (plan, _) = calibrate_kernel_plan(&dg, 1);
+        // whatever the machine says, the plan's policy must round-trip
+        // through the kernel registry by name
+        let name = plan.policy.name();
+        assert!(KernelPolicy::from_name(name).is_some(), "{name}");
     }
 }

@@ -40,7 +40,10 @@ pub mod spread;
 pub mod weight;
 pub mod wn;
 
-pub use calibrate::{calibrate, sei_recommended, Calibration};
+pub use calibrate::{
+    calibrate, calibrate_kernel_plan, kernel_plan, kernel_throughputs, sei_recommended,
+    Calibration, KernelThroughputs,
+};
 pub use comparison::{e1_beats_e4, t1_beats_t2, u_space_cost, OptimalPair};
 pub use continuous::continuous_cost;
 pub use discrete::{discrete_cost, discrete_cost_custom, ModelSpec};

@@ -46,5 +46,6 @@ pub use protocol::{
 };
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use store::{
-    prepare_graph, prepare_seed_for, GraphStore, Prepared, StoreConfig, StoreError, StoreStats,
+    prepare_graph, prepare_graph_with, prepare_seed_for, GraphStore, PlanMode, Prepared,
+    StoreConfig, StoreError, StoreStats,
 };

@@ -45,8 +45,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use trilist_core::{
-    list_resilient, Counter, InMemoryRecorder, KernelPolicy, MemoryGauge, Method, ParallelOpts,
-    Recorder, ResilientOpts, ResumeParseError, ResumePoint, RunBudget, RunOutcome,
+    list_resilient_src, Counter, GraphSource, InMemoryRecorder, KernelPolicy, MemoryGauge, Method,
+    ParallelOpts, Recorder, ResilientOpts, ResumeParseError, ResumePoint, RunBudget, RunOutcome,
 };
 use trilist_model::price_request;
 use trilist_order::OrderFamily;
@@ -526,12 +526,24 @@ fn run_listing(
         budget,
         recorder: Some(recorder),
         oracle: matches!(method, Method::T1 | Method::T2).then(|| Arc::clone(&prepared.oracle)),
-        kernels: matches!(policy, KernelPolicy::Adaptive(_)).then(|| Arc::clone(&prepared.kernels)),
+        // the cached kernel context is reusable whenever the request asks
+        // for exactly the policy it was built under (the store's plan) —
+        // paper-policy requests never take it, and a mismatched policy
+        // falls back to per-worker builds
+        kernels: (policy == prepared.kernels.policy()
+            && !matches!(policy, KernelPolicy::PaperFaithful))
+        .then(|| Arc::clone(&prepared.kernels)),
         ..ResilientOpts::default()
     };
 
+    // list from the layout the plan chose; cost accounting and triangle
+    // output are layout-invariant (pinned by tests/serve_differential.rs)
+    let src = match &prepared.csr {
+        Some(c) => GraphSource::Compressed(c),
+        None => GraphSource::Plain(&prepared.dg),
+    };
     let outcome = if p.resume.is_empty() {
-        list_resilient(&prepared.dg, method, &opts)
+        list_resilient_src(src, method, &opts)
     } else {
         let rp: ResumePoint = p
             .resume
@@ -543,7 +555,7 @@ fn run_listing(
                 rp.method, method
             )));
         }
-        rp.run(&prepared.dg, &opts)
+        rp.run_src(src, &opts)
     };
     drop(permit);
     let outcome = outcome.map_err(|e| bad(e.to_string()))?;

@@ -20,9 +20,32 @@
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use trilist_core::{HashOracle, KernelPolicy, Kernels, MemoryGauge};
+use trilist_core::{CompressedCsr, HashOracle, KernelPlan, Kernels, MemoryGauge};
 use trilist_graph::{Graph, GraphError};
 use trilist_order::{DirectedGraph, OrderFamily};
+
+/// How the store decides each prepared entry's [`KernelPlan`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PlanMode {
+    /// Every entry gets this plan. The default is
+    /// `KernelPlan::default()` — adaptive kernels over the plain CSR —
+    /// i.e. exactly the pre-calibration behavior.
+    Fixed(KernelPlan),
+    /// Measure kernel throughputs on each freshly oriented graph
+    /// ([`trilist_model::calibrate::kernel_throughputs`]) and store the
+    /// winning plan with the entry. Costs `rounds` timed E1 runs per
+    /// cache miss, so reserve it for long-lived registrations.
+    Calibrate {
+        /// Timing repetitions per kernel (best round kept).
+        rounds: usize,
+    },
+}
+
+impl Default for PlanMode {
+    fn default() -> Self {
+        PlanMode::Fixed(KernelPlan::default())
+    }
+}
 
 /// Store knobs.
 #[derive(Clone, Debug)]
@@ -35,6 +58,8 @@ pub struct StoreConfig {
     pub cache_bytes: Option<u64>,
     /// Base seed for deterministic relabeling (see [`prepare_seed_for`]).
     pub prepare_seed: u64,
+    /// Kernel-plan selection for prepared entries.
+    pub plan: PlanMode,
 }
 
 impl Default for StoreConfig {
@@ -43,6 +68,7 @@ impl Default for StoreConfig {
             max_entries: 8,
             cache_bytes: None,
             prepare_seed: 0x7472_696C,
+            plan: PlanMode::default(),
         }
     }
 }
@@ -62,11 +88,18 @@ pub struct Prepared {
     ///
     /// [`ResilientOpts::oracle`]: trilist_core::ResilientOpts
     pub oracle: Arc<HashOracle>,
-    /// Shared adaptive kernel context — hub bitmaps both directions —
-    /// for adaptive-policy runs ([`ResilientOpts::kernels`]).
+    /// Shared kernel context built under [`Prepared::plan`]'s policy —
+    /// hub bitmaps and/or bitset blocks — for runs requesting that same
+    /// policy ([`ResilientOpts::kernels`]).
     ///
     /// [`ResilientOpts::kernels`]: trilist_core::ResilientOpts
     pub kernels: Arc<Kernels>,
+    /// The kernel plan this entry was prepared under.
+    pub plan: KernelPlan,
+    /// Delta/varint-compressed adjacency, present iff
+    /// `plan.compressed` — runs then list from this layout instead of
+    /// the plain CSR (cost accounting is layout-invariant).
+    pub csr: Option<Arc<CompressedCsr>>,
     /// Bytes this entry charges to the gauge while cached.
     pub bytes: u64,
 }
@@ -94,23 +127,51 @@ pub fn prepare_seed_for(base: u64, graph_name: &str, family_name: &str) -> u64 {
 /// server executes on a cache miss, exported so tests can compute the
 /// expected byte-identical result in-process.
 pub fn prepare_graph(graph: &Graph, family: OrderFamily, seed: u64) -> Prepared {
+    prepare_graph_with(graph, family, seed, PlanMode::default())
+}
+
+/// [`prepare_graph`] under an explicit [`PlanMode`].
+pub fn prepare_graph_with(
+    graph: &Graph,
+    family: OrderFamily,
+    seed: u64,
+    mode: PlanMode,
+) -> Prepared {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let relabeling = family.relabeling(graph, &mut rng);
     let dg = DirectedGraph::orient(graph, &relabeling);
     let inverse = relabeling.inverse();
     let degrees_by_label: Vec<u32> = (0..dg.n() as u32).map(|v| dg.degree(v) as u32).collect();
+    let plan = match mode {
+        PlanMode::Fixed(plan) => plan,
+        PlanMode::Calibrate { rounds } => {
+            trilist_model::kernel_plan(&trilist_model::kernel_throughputs(&dg, rounds))
+        }
+    };
     let oracle = Arc::new(HashOracle::build(&dg));
-    let kernels = Arc::new(Kernels::build(KernelPolicy::adaptive(), &dg));
+    let kernels = Arc::new(Kernels::build(plan.policy, &dg));
+    let csr = plan
+        .compressed
+        .then(|| Arc::new(CompressedCsr::compress(&dg)));
     let (n, m) = (dg.n() as u64, dg.m() as u64);
     // the dominant allocations: CSR lists + offsets, both label maps,
-    // oracle hash set (12 B/edge, the runtime's own estimate), bitmaps
-    let bytes = 2 * m * 4 + 2 * (n + 1) * 8 + n * 8 + m * 12 + kernels.bytes();
+    // oracle hash set (12 B/edge, the runtime's own estimate), kernel
+    // structures (bitmaps + bitset blocks), and the compressed CSR when
+    // the plan keeps one
+    let bytes = 2 * m * 4
+        + 2 * (n + 1) * 8
+        + n * 8
+        + m * 12
+        + kernels.bytes()
+        + csr.as_deref().map_or(0, CompressedCsr::bytes);
     Prepared {
         dg,
         inverse,
         degrees_by_label,
         oracle,
         kernels,
+        plan,
+        csr,
         bytes,
     }
 }
@@ -256,7 +317,7 @@ impl GraphStore {
         }
         inner.misses += 1;
         let seed = prepare_seed_for(self.cfg.prepare_seed, name, family.name());
-        let entry = Arc::new(prepare_graph(&graph, family, seed));
+        let entry = Arc::new(prepare_graph_with(&graph, family, seed, self.cfg.plan));
         self.gauge.add(entry.bytes);
         inner.cached_bytes += entry.bytes;
         inner.prepared.insert(
@@ -400,6 +461,59 @@ mod tests {
         assert!(hit);
         let (_, hit) = s.prepare("g", OrderFamily::Descending).unwrap();
         assert!(!hit, "descending was the LRU victim");
+    }
+
+    #[test]
+    fn fixed_bitset_plan_builds_blocks_and_charges_csr() {
+        use trilist_core::KernelPolicy;
+        let plan = KernelPlan {
+            policy: KernelPolicy::bitset(),
+            compressed: true,
+        };
+        let s = GraphStore::new(
+            StoreConfig {
+                plan: PlanMode::Fixed(plan),
+                ..StoreConfig::default()
+            },
+            MemoryGauge::new(),
+        );
+        s.register("g", 50, &triangle_fan(50)).unwrap();
+        let (entry, _) = s.prepare("g", OrderFamily::Descending).unwrap();
+        assert_eq!(entry.plan, plan);
+        assert_eq!(entry.kernels.policy(), plan.policy);
+        let csr = entry.csr.as_ref().expect("compressed plan keeps a CSR");
+        assert!(csr.bytes() > 0);
+        // the default-plan entry for the same graph is strictly smaller:
+        // the compressed layout and bitset blocks are extra residency,
+        // and all of it lands on the gauge
+        let seed = prepare_seed_for(s.cfg.prepare_seed, "g", "desc");
+        let plain = prepare_graph(&s.graph("g").unwrap(), OrderFamily::Descending, seed);
+        assert!(plain.csr.is_none());
+        assert!(entry.bytes > plain.bytes);
+        assert_eq!(s.gauge().used(), entry.bytes);
+        // drop the entry: every byte comes back
+        s.register("g", 10, &triangle_fan(10)).unwrap();
+        assert_eq!(s.gauge().used(), 0);
+    }
+
+    #[test]
+    fn calibrate_mode_yields_a_registry_policy() {
+        use trilist_core::KernelPolicy;
+        let s = GraphStore::new(
+            StoreConfig {
+                plan: PlanMode::Calibrate { rounds: 1 },
+                ..StoreConfig::default()
+            },
+            MemoryGauge::new(),
+        );
+        s.register("g", 60, &triangle_fan(60)).unwrap();
+        let (entry, _) = s.prepare("g", OrderFamily::Descending).unwrap();
+        // whatever the machine measured, the stored plan must be
+        // internally consistent and by-name addressable
+        assert!(KernelPolicy::from_name(entry.plan.policy.name()).is_some());
+        assert_eq!(entry.kernels.policy(), entry.plan.policy);
+        assert_eq!(entry.csr.is_some(), entry.plan.compressed);
+        assert_eq!(s.gauge().used(), entry.bytes);
     }
 
     #[test]

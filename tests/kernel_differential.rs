@@ -6,11 +6,13 @@
 //! `pointer_advances` — an implementation-level metric — and wall-clock
 //! may differ. The adaptive configs swept here force every dispatch path:
 //! bitmap-everything, gallop-everything, branchless-merge-everything, and
-//! the shipped defaults.
+//! the shipped defaults; the bitset configs likewise force all-blocks,
+//! stamp-routing, and gates-closed fallback dispatch.
 
 use rand::{Rng, SeedableRng};
 use trilist::core::{
-    count_triangles_with, list_triangles_with, AdaptiveConfig, CostReport, KernelPolicy, Method,
+    count_triangles_with, list_triangles_with, AdaptiveConfig, BitsetConfig, CostReport,
+    KernelPolicy, Method,
 };
 use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated};
 use trilist::graph::gen::{GraphGenerator, ResidualSampler};
@@ -42,6 +44,42 @@ fn adaptive_configs() -> [AdaptiveConfig; 4] {
     ]
 }
 
+/// Bitset configurations that force each of that policy's dispatch paths:
+/// all-blocks, stamp-plus-blocks, and gates-closed (pure fallback), plus
+/// the shipped defaults.
+fn bitset_configs() -> [BitsetConfig; 4] {
+    [
+        BitsetConfig {
+            min_short: 1,
+            min_density: 0,
+            stamp_crossover: u32::MAX,
+            fallback: AdaptiveConfig::default(),
+        },
+        BitsetConfig {
+            min_short: 1,
+            min_density: 0,
+            stamp_crossover: 1,
+            fallback: AdaptiveConfig::default(),
+        },
+        BitsetConfig {
+            min_short: u32::MAX,
+            min_density: u32::MAX,
+            stamp_crossover: u32::MAX,
+            fallback: AdaptiveConfig::default(),
+        },
+        BitsetConfig::default(),
+    ]
+}
+
+/// Every non-paper policy the differential sweeps.
+fn challenger_policies() -> Vec<KernelPolicy> {
+    adaptive_configs()
+        .into_iter()
+        .map(KernelPolicy::Adaptive)
+        .chain(bitset_configs().into_iter().map(KernelPolicy::Bitset))
+        .collect()
+}
+
 fn paper_cost_fields(c: &CostReport) -> (u64, u64, u64, u64, u64) {
     (c.triangles, c.lookups, c.local, c.remote, c.hash_inserts)
 }
@@ -54,21 +92,20 @@ fn assert_policies_agree(g: &Graph, seed: u64) {
             let mut paper =
                 list_triangles_with(g, method, family, KernelPolicy::PaperFaithful, &mut rng);
             paper.triangles.sort_unstable();
-            for cfg in adaptive_configs() {
+            for policy in challenger_policies() {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                let mut adaptive =
-                    list_triangles_with(g, method, family, KernelPolicy::Adaptive(cfg), &mut rng);
-                adaptive.triangles.sort_unstable();
+                let mut challenger = list_triangles_with(g, method, family, policy, &mut rng);
+                challenger.triangles.sort_unstable();
                 assert_eq!(
-                    adaptive.triangles,
+                    challenger.triangles,
                     paper.triangles,
-                    "{method} under {} with {cfg:?}: triangle multiset diverged",
+                    "{method} under {} with {policy:?}: triangle multiset diverged",
                     family.name()
                 );
                 assert_eq!(
-                    paper_cost_fields(&adaptive.cost),
+                    paper_cost_fields(&challenger.cost),
                     paper_cost_fields(&paper.cost),
-                    "{method} under {} with {cfg:?}: paper-cost fields diverged",
+                    "{method} under {} with {policy:?}: paper-cost fields diverged",
                     family.name()
                 );
             }
@@ -137,7 +174,11 @@ fn counting_fast_path_reports_identical_cost_to_listing() {
     let g = pareto(120, 1.5, 11);
     for family in [OrderFamily::Descending, OrderFamily::Uniform] {
         for method in Method::ALL {
-            for policy in [KernelPolicy::PaperFaithful, KernelPolicy::adaptive()] {
+            for policy in [
+                KernelPolicy::PaperFaithful,
+                KernelPolicy::adaptive(),
+                KernelPolicy::bitset(),
+            ] {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(31);
                 let listed = list_triangles_with(&g, method, family, policy, &mut rng);
                 let mut rng = rand::rngs::StdRng::seed_from_u64(31);
