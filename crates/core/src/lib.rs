@@ -69,8 +69,8 @@ pub use parallel::{
 };
 pub use prior_art::{chiba_nishizeki, forward};
 pub use resilient::{
-    list_resilient, list_resilient_src, silence_injected_panics, ActiveBudget, CancelToken,
-    ChunkFault, ChunkPiece, Fault, FaultPlan, MemoryGauge, PartialRun, ResilientOpts,
+    fault_roll, list_resilient, list_resilient_src, silence_injected_panics, ActiveBudget,
+    CancelToken, ChunkFault, ChunkPiece, Fault, FaultPlan, MemoryGauge, PartialRun, ResilientOpts,
     ResumeParseError, ResumePoint, RunBudget, RunOutcome, StopReason,
 };
 pub use sink::{FirstK, PerNodeCounter, ReservoirSink, TriangleBuffer};

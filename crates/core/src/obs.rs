@@ -90,11 +90,16 @@ pub enum Counter {
     /// Stamp-array probes plus fresh marks inside stamp-routed
     /// intersections.
     StampProbes,
+    /// Serve-layer degradation steps taken by the overload ladder (kernel
+    /// downgrade, deadline clamp, or cold-cache eviction).
+    ServeDegradations,
+    /// Faults injected by the serve-layer chaos plan (I/O and execution).
+    ChaosInjections,
 }
 
 impl Counter {
     /// How many counters exist.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
 
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -114,6 +119,8 @@ impl Counter {
         Counter::BitsetBlockSteps,
         Counter::IntersectStamp,
         Counter::StampProbes,
+        Counter::ServeDegradations,
+        Counter::ChaosInjections,
     ];
 
     /// Dense index of this counter (its position in [`Counter::ALL`]).
@@ -141,6 +148,8 @@ impl Counter {
             Counter::BitsetBlockSteps => "bitset_block_steps",
             Counter::IntersectStamp => "intersect_stamp",
             Counter::StampProbes => "stamp_probes",
+            Counter::ServeDegradations => "serve_degradations",
+            Counter::ChaosInjections => "chaos_injections",
         }
     }
 }

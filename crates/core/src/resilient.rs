@@ -468,6 +468,15 @@ fn roll(seed: u64, salt: u64, chunk: u32) -> u16 {
     (mix(mix(seed ^ salt) ^ chunk as u64) % 1000) as u16
 }
 
+/// Uniform-ish per-mille draw from `(seed, salt, lane, index)` — the same
+/// splitmix64 finalizer chain behind [`FaultPlan`], generalized to two
+/// coordinates so higher layers can key injections off richer identities
+/// (the serve stack's `ChaosPlan` uses `(conn_id, event_index)`). Pure and
+/// schedule-independent: the draw depends only on its four arguments.
+pub fn fault_roll(seed: u64, salt: u64, lane: u64, index: u64) -> u16 {
+    (mix(mix(mix(seed ^ salt) ^ lane) ^ index) % 1000) as u16
+}
+
 /// One chunk execution that panicked: the quarantine record.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChunkFault {

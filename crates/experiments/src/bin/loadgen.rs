@@ -5,7 +5,7 @@
 //! loadgen [--addr HOST:PORT] [--requests N] [--threads N] [--graph-n N]
 //!         [--workers N] [--seed S] [--out PATH] [--blocking]
 //!         [--warmup N] [--rates A,B,C] [--duration-secs S] [--conns N]
-//!         [--idle-conns N]
+//!         [--idle-conns N] [--chaos-seed N] [--retry]
 //! ```
 //!
 //! Without `--addr` it spawns an in-process server on an ephemeral
@@ -26,6 +26,17 @@
 //! `--idle-conns` holds extra idle connections open through the sweep
 //! (the CI 10k-connection smoke).
 //!
+//! **Chaos** (`--chaos-seed N`, in-process server only): arms the
+//! server's deterministic fault injector, so connections suffer seeded
+//! short reads/writes, resets, stalls, worker panics, and deadline skew.
+//! Pair it with `--retry`, which gives every client a seeded
+//! [`RetryPolicy`] (capped exponential backoff, reconnect on transport
+//! errors); latencies are then *retry-inclusive* — measured across all
+//! attempts and backoff sleeps, the way a caller experiences them — and
+//! per-client retry/reconnect totals are aggregated into the report.
+//! Under chaos without `--retry`, injected transport faults surface as
+//! protocol errors and fail the run.
+//!
 //! Results go to `BENCH_serve.json` (deterministic field order via
 //! [`JsonWriter`]). Exit status is non-zero if any request hit a protocol
 //! error, two completed runs of the same request shape disagreed on the
@@ -41,7 +52,7 @@ use std::time::{Duration, Instant};
 use trilist_experiments::JsonWriter;
 use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
 use trilist_graph::gen::{GraphGenerator, ResidualSampler};
-use trilist_serve::{Client, ClientError, ListParams, ServeConfig, Server};
+use trilist_serve::{ChaosPlan, Client, ClientError, ListParams, RetryPolicy, ServeConfig, Server};
 
 struct Flags {
     addr: Option<String>,
@@ -57,6 +68,8 @@ struct Flags {
     duration_secs: f64,
     conns: usize,
     idle_conns: usize,
+    chaos_seed: Option<u64>,
+    retry: bool,
 }
 
 fn parse_flags() -> Flags {
@@ -74,6 +87,8 @@ fn parse_flags() -> Flags {
         duration_secs: 5.0,
         conns: 32,
         idle_conns: 0,
+        chaos_seed: None,
+        retry: false,
     };
     let mut args = std::env::args().skip(1);
     fn val<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
@@ -94,6 +109,8 @@ fn parse_flags() -> Flags {
             "--duration-secs" => f.duration_secs = val("--duration-secs", args.next()),
             "--conns" => f.conns = val("--conns", args.next()),
             "--idle-conns" => f.idle_conns = val("--idle-conns", args.next()),
+            "--chaos-seed" => f.chaos_seed = Some(val("--chaos-seed", args.next())),
+            "--retry" => f.retry = true,
             "--rates" => {
                 let list: String = val("--rates", args.next());
                 f.rates = list
@@ -127,6 +144,8 @@ struct Outcome {
     rejected: AtomicU64,
     protocol_errors: AtomicU64,
     consistency_failures: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 impl Outcome {
@@ -136,6 +155,29 @@ impl Outcome {
             self.rejected.load(Ordering::Relaxed),
             self.protocol_errors.load(Ordering::Relaxed),
         )
+    }
+
+    /// Folds one client's lifetime retry/reconnect totals in (called as
+    /// each worker thread retires its connection).
+    fn absorb_client(&self, client: &Client) {
+        self.retries.fetch_add(client.retries(), Ordering::Relaxed);
+        self.reconnects
+            .fetch_add(client.reconnects(), Ordering::Relaxed);
+    }
+}
+
+/// Connects one load-generator client: with `--retry`, a seeded
+/// [`RetryPolicy`] (decorrelated per connection via `salt`) and the
+/// dial address as the reconnect target; without it, a bare connection.
+fn connect_client(addr: &str, flags: &Flags, salt: u64) -> Client {
+    if flags.retry {
+        Client::connect_with_retry(
+            addr,
+            RetryPolicy::seeded(flags.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+        .expect("connect client")
+    } else {
+        Client::connect(addr).expect("connect client")
     }
 }
 
@@ -221,11 +263,11 @@ fn closed_loop(
     let started = Mutex::new(Instant::now());
     let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|t| {
                 let next = &next;
                 let barrier = &barrier;
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect client");
+                    let mut client = connect_client(addr, flags, t as u64);
                     // Warmup retires the mix (prepared-cache fills, JIT-warm
                     // paths) before anything is measured — against a
                     // throwaway outcome so the counters cover only the
@@ -239,8 +281,11 @@ fn closed_loop(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= total {
+                            outcome.absorb_client(&client);
                             return lat;
                         }
+                        // Retry-inclusive: the clock spans every attempt
+                        // and backoff sleep the client made for request i.
                         let t0 = Instant::now();
                         one_request(&mut client, graph, i, outcome, agreement);
                         lat.push(t0.elapsed().as_nanos() as u64);
@@ -269,6 +314,8 @@ struct OpenLoopRun {
     rejected: u64,
     protocol_errors: u64,
     consistency_failures: u64,
+    retries: u64,
+    reconnects: u64,
     elapsed_secs: f64,
     latencies_ns: Vec<u64>,
 }
@@ -277,31 +324,32 @@ fn open_loop(
     addr: &str,
     graph: &str,
     rate: f64,
-    duration: f64,
-    conns: usize,
+    flags: &Flags,
     agreement: &Agreement,
 ) -> OpenLoopRun {
+    let duration = flags.duration_secs;
     let total = (rate * duration).ceil() as u64;
     let outcome = Outcome::default();
     let next = AtomicU64::new(0);
-    let conns = conns.max(1);
+    let conns = flags.conns.max(1);
     let barrier = Barrier::new(conns + 1);
     let started = Mutex::new(Instant::now());
     let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..conns)
-            .map(|_| {
+            .map(|c| {
                 let next = &next;
                 let barrier = &barrier;
                 let started = &started;
                 let outcome = &outcome;
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect client");
+                    let mut client = connect_client(addr, flags, 0x4F50_454E ^ c as u64);
                     barrier.wait();
                     let start = *started.lock().unwrap();
                     let mut lat = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= total {
+                            outcome.absorb_client(&client);
                             return lat;
                         }
                         let due = start + Duration::from_secs_f64(i as f64 / rate);
@@ -331,6 +379,8 @@ fn open_loop(
         rejected,
         protocol_errors,
         consistency_failures: outcome.consistency_failures.load(Ordering::Relaxed),
+        retries: outcome.retries.load(Ordering::Relaxed),
+        reconnects: outcome.reconnects.load(Ordering::Relaxed),
         elapsed_secs,
         latencies_ns,
     }
@@ -349,6 +399,16 @@ fn main() {
     let g = ResidualSampler.generate(&seq, &mut rng).graph;
     let edges: Vec<(u32, u32)> = g.edges().collect();
 
+    if flags.chaos_seed.is_some() && flags.addr.is_some() {
+        eprintln!("--chaos-seed arms the in-process server; it cannot be combined with --addr");
+        std::process::exit(2);
+    }
+    if let Some(seed) = flags.chaos_seed {
+        println!("chaos armed (seed {seed}), retry {}", flags.retry);
+        // Injected worker panics are expected under chaos; keep their
+        // backtraces out of the report.
+        trilist_core::silence_injected_panics();
+    }
     let server = match flags.addr {
         Some(_) => None,
         None => Some(
@@ -357,6 +417,7 @@ fn main() {
                 ServeConfig {
                     workers: flags.workers,
                     blocking: flags.blocking,
+                    chaos: flags.chaos_seed.map(ChaosPlan::seeded),
                     ..ServeConfig::default()
                 },
             )
@@ -370,7 +431,7 @@ fn main() {
     };
 
     let graph_name = "loadgen";
-    let mut setup = Client::connect(addr.as_str()).expect("connect for setup");
+    let mut setup = connect_client(addr.as_str(), &flags, 0x5345_5455);
     let (n, m) = setup
         .register_graph(graph_name, g.n() as u32, &edges)
         .expect("register graph");
@@ -379,10 +440,7 @@ fn main() {
     // Extra idle connections held open through everything below (the CI
     // 10k-connection smoke): each must still answer at the end.
     let mut idle: Vec<Client> = (0..flags.idle_conns)
-        .map(|i| {
-            Client::connect(addr.as_str())
-                .unwrap_or_else(|e| panic!("idle connection {i} failed: {e}"))
-        })
+        .map(|i| connect_client(addr.as_str(), &flags, 0x4944_4C45 ^ i as u64))
         .collect();
     if !idle.is_empty() {
         println!("holding {} idle connections", idle.len());
@@ -399,11 +457,13 @@ fn main() {
     }
     let total = flags.requests;
     let (ok, rejected, protocol_errors) = outcome.snapshot();
+    let retries = outcome.retries.load(Ordering::Relaxed);
+    let reconnects = outcome.reconnects.load(Ordering::Relaxed);
     let steady_rps = total as f64 / elapsed.max(f64::MIN_POSITIVE);
     println!(
         "closed loop: {total} requests in {elapsed:.3}s ({steady_rps:.0} req/s steady-state, \
          setup {setup_secs:.3}s): {ok} ok, {rejected} rejected, {protocol_errors} protocol \
-         errors; p50 {} us, p99 {} us",
+         errors, {retries} retries, {reconnects} reconnects; p50 {} us, p99 {} us",
         percentile(&all, 0.50) / 1_000,
         percentile(&all, 0.99) / 1_000,
     );
@@ -413,21 +473,15 @@ fn main() {
         .rates
         .iter()
         .map(|&rate| {
-            let run = open_loop(
-                &addr,
-                graph_name,
-                rate,
-                flags.duration_secs,
-                flags.conns,
-                &agreement,
-            );
+            let run = open_loop(&addr, graph_name, rate, &flags, &agreement);
             println!(
                 "open loop @ {rate:.0} req/s offered: {} sent, {} ok, {} rejected, {} protocol \
-                 errors, achieved {:.0} req/s; p50 {} us, p99 {} us",
+                 errors, {} retries, achieved {:.0} req/s; p50 {} us, p99 {} us",
                 run.sent,
                 run.ok,
                 run.rejected,
                 run.protocol_errors,
+                run.retries,
                 run.sent as f64 / run.elapsed_secs.max(f64::MIN_POSITIVE),
                 percentile(&run.latencies_ns, 0.50) / 1_000,
                 percentile(&run.latencies_ns, 0.99) / 1_000,
@@ -478,12 +532,21 @@ fn main() {
     w.key("open_loop_conns").u64(flags.conns as u64);
     w.key("idle_conns").u64(flags.idle_conns as u64);
     w.key("seed").u64(flags.seed);
+    w.key("chaos").bool(flags.chaos_seed.is_some());
+    w.key("chaos_seed").u64(flags.chaos_seed.unwrap_or(0));
+    w.key("retry").bool(flags.retry);
     w.end_object();
     w.key("outcome").begin_object();
     w.key("ok").u64(ok);
     w.key("rejected").u64(rejected);
     w.key("protocol_errors").u64(protocol_errors);
     w.key("consistency_failures").u64(consistency_failures);
+    w.key("retries").u64(retries);
+    w.key("reconnects").u64(reconnects);
+    w.key("error_rate")
+        .f64_prec(protocol_errors as f64 / total.max(1) as f64, 6);
+    w.key("retry_rate")
+        .f64_prec(retries as f64 / total.max(1) as f64, 6);
     w.key("setup_secs").f64(setup_secs);
     w.key("elapsed_secs").f64(elapsed);
     w.key("requests_per_sec").f64_prec(steady_rps, 1);
@@ -517,6 +580,12 @@ fn main() {
         w.key("ok").u64(run.ok);
         w.key("rejected").u64(run.rejected);
         w.key("protocol_errors").u64(run.protocol_errors);
+        w.key("retries").u64(run.retries);
+        w.key("reconnects").u64(run.reconnects);
+        w.key("error_rate")
+            .f64_prec(run.protocol_errors as f64 / run.sent.max(1) as f64, 6);
+        w.key("retry_rate")
+            .f64_prec(run.retries as f64 / run.sent.max(1) as f64, 6);
         w.key("achieved_rps")
             .f64_prec(run.sent as f64 / run.elapsed_secs.max(f64::MIN_POSITIVE), 1);
         w.key("latency_ns").begin_object();
@@ -533,6 +602,28 @@ fn main() {
     w.key("gauge_bytes").u64(gauge_bytes);
     w.key("cache_bytes").u64(cache_bytes);
     w.key("consistent").bool(gauge_consistent);
+    w.end_object();
+    // Overload-ladder engagement and (when armed) injected-fault totals,
+    // straight from the server's final counters.
+    let opt_field = |name: &str| -> u64 {
+        stats
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    w.key("degradation").begin_object();
+    w.key("policy").u64(field("admission_degraded_policy"));
+    w.key("deadline").u64(field("admission_degraded_deadline"));
+    w.key("evict").u64(field("admission_degraded_evict"));
+    w.key("cold_evictions").u64(field("cache_cold_evictions"));
+    w.key("rejected_busy").u64(field("admission_rejected_busy"));
+    w.end_object();
+    w.key("chaos").begin_object();
+    w.key("injections")
+        .u64(opt_field("recorder_chaos_injections"));
+    w.key("resets").u64(opt_field("chaos_resets"));
+    w.key("panics").u64(opt_field("chaos_panics"));
     w.end_object();
     w.end_object();
     std::fs::write(&flags.out, w.finish()).expect("write bench json");

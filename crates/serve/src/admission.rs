@@ -180,6 +180,15 @@ impl Admission {
         }
     }
 
+    /// Fraction of combined capacity (execution slots plus queue
+    /// positions) currently occupied, in `0..=1` — the queue half of the
+    /// overload-pressure signal the degradation ladder reads.
+    pub fn fill(&self) -> f64 {
+        let cap = (self.cfg.max_inflight.max(1) + self.cfg.max_queue) as f64;
+        let slots = lock(&self.slots);
+        ((slots.inflight + slots.waiting) as f64 / cap).min(1.0)
+    }
+
     /// Current counters.
     pub fn stats(&self) -> AdmissionStats {
         AdmissionStats {

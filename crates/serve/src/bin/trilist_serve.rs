@@ -4,19 +4,35 @@
 //! trilist_serve [--addr HOST:PORT] [--workers N] [--max-inflight N]
 //!               [--max-queue N] [--max-ops F] [--memory-bytes N]
 //!               [--cache-entries N] [--cache-bytes N] [--blocking]
+//!               [--chaos-seed N] [--no-degrade]
 //! ```
 //!
 //! `--blocking` selects the legacy thread-per-connection layer instead
 //! of the default event loop (kept for differential testing).
 //!
+//! `--chaos-seed N` arms deterministic fault injection: every connection
+//! suffers seeded short reads/writes, `WouldBlock`/`EINTR` storms,
+//! resets, stalls, worker panics, gauge spikes, and deadline skew — the
+//! same seed reproduces the same fault schedule. For drills only; never
+//! arm it on a server anyone depends on.
+//!
+//! `--no-degrade` disables the degrade-before-reject overload ladder
+//! (kernel downgrade → deadline clamp → cold-cache eviction), restoring
+//! the older shed-immediately behavior.
+//!
 //! Runs until a client sends `Shutdown` (or the process is killed).
 
-use trilist_serve::{ServeConfig, Server};
+use trilist_serve::{ChaosPlan, ServeConfig, Server};
 
 fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
-    value
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| panic!("{flag} needs a valid value"))
+    let Some(raw) = value else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: could not parse {raw:?}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -34,11 +50,24 @@ fn main() {
             "--cache-entries" => cfg.store.max_entries = parse("--cache-entries", args.next()),
             "--cache-bytes" => cfg.store.cache_bytes = Some(parse("--cache-bytes", args.next())),
             "--blocking" => cfg.blocking = true,
+            "--chaos-seed" => {
+                cfg.chaos = Some(ChaosPlan::seeded(parse("--chaos-seed", args.next())));
+            }
+            "--no-degrade" => cfg.degrade.enabled = false,
             other => {
                 eprintln!("unknown flag {other:?}");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(plan) = &cfg.chaos {
+        eprintln!(
+            "trilist-serve CHAOS ARMED (seed {}): faults will be injected",
+            plan.seed
+        );
+        // Injected worker panics are caught and answered; keep their
+        // backtraces out of the log.
+        trilist_core::silence_injected_panics();
     }
     let server = Server::bind(addr.as_str(), cfg).unwrap_or_else(|e| {
         eprintln!("bind {addr}: {e}");

@@ -4,12 +4,13 @@
 
 use crate::codec::WireError;
 use crate::protocol::{
-    encode_frame, merge_pieces, read_frame, write_frame, ErrorFrame, FrameError, ListParams,
-    Request, Response, RunResult,
+    encode_frame, merge_pieces, read_frame, write_frame, ErrorCode, ErrorFrame, FrameError,
+    ListParams, Request, Response, RunResult,
 };
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
-use trilist_core::CostReport;
+use std::time::Duration;
+use trilist_core::{fault_roll, CostReport};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -59,6 +60,117 @@ impl From<FrameError> for ClientError {
     }
 }
 
+/// Jitter salt for the deterministic backoff schedule ("RJIT").
+const SALT_RETRY_JITTER: u64 = 0x524a_4954;
+
+/// Jitter cap that keeps an exponential schedule monotone: with jitter
+/// fraction `j ≤ 1/3`, `2·(1−j) ≥ 1+j`, so each nominal doubling
+/// dominates the worst jitter swing of its predecessor.
+const MAX_MONOTONE_JITTER_PERMILLE: u16 = 333;
+
+/// Client-side retry/backoff policy: classified retryable-vs-fatal
+/// errors, capped exponential backoff with deterministic jitter, and
+/// optional per-attempt timeouts.
+///
+/// The backoff schedule is a pure function of `(seed, retry_index)` via
+/// the same splitmix64 chain as the server's fault plans, so a retrying
+/// run replays exactly. The schedule is monotone nondecreasing and
+/// capped: `delay(k) = min(base·2ᵏ·jitter(k), cap)` with jitter bounded
+/// to ±[`RetryPolicy::jitter_permille`]‰ (clamped to 333‰, which keeps
+/// monotonicity — see `tests/serve_chaos.rs` proptests).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first (clamped to ≥ 1).
+    pub max_attempts: u32,
+    /// Nominal delay before the first retry.
+    pub base: Duration,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+    /// Jitter amplitude in per-mille of the nominal delay (clamped to
+    /// 333 so the schedule stays monotone).
+    pub jitter_permille: u16,
+    /// Seed for the deterministic jitter draw.
+    pub seed: u64,
+    /// Per-attempt wall-clock budget applied as the socket read timeout;
+    /// a slower response counts as a transport failure and retries on a
+    /// fresh connection. `None` waits forever.
+    pub attempt_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(500),
+            jitter_permille: 250,
+            seed: 0x5245_5452, // "RETR"
+            attempt_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy under a caller-chosen jitter seed.
+    pub fn seeded(seed: u64) -> Self {
+        RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before retry number `retry` (0-based: the delay between
+    /// the first failure and the second attempt is `backoff(0)`).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let base_ns = self.base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let cap_ns = self.cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let nominal_ns = match 1u64.checked_shl(retry) {
+            Some(factor) => base_ns.saturating_mul(factor),
+            None => u64::MAX,
+        };
+        let j = u64::from(self.jitter_permille.min(MAX_MONOTONE_JITTER_PERMILLE));
+        // factor in [1000 - j, 1000 + j] per-mille, deterministic per retry
+        let roll = u64::from(fault_roll(
+            self.seed,
+            SALT_RETRY_JITTER,
+            0,
+            u64::from(retry),
+        ));
+        let factor = 1000 - j + if j == 0 { 0 } else { roll * 2 * j / 999 };
+        let jittered = nominal_ns.saturating_mul(factor) / 1000;
+        Duration::from_nanos(jittered.min(cap_ns))
+    }
+
+    /// Whether `err` is worth retrying: transport failures (the
+    /// connection may have died mid-exchange; re-execution is safe
+    /// because listing requests are read-only and resume tokens are
+    /// client-held) and the server's transient typed errors. Protocol
+    /// violations and request-shaped errors are fatal.
+    pub fn retryable(err: &ClientError) -> bool {
+        match err {
+            ClientError::Transport(_) => true,
+            ClientError::Server(e) => matches!(
+                e.code,
+                ErrorCode::RejectedBusy | ErrorCode::ShuttingDown | ErrorCode::Internal
+            ),
+            ClientError::Protocol(_) | ClientError::Unexpected(_) => false,
+        }
+    }
+
+    /// An upper bound on one retried call's wall clock: every attempt
+    /// exhausting its timeout plus every backoff delay. `None` without a
+    /// per-attempt timeout (a single attempt may then block forever).
+    pub fn worst_case_budget(&self) -> Option<Duration> {
+        let timeout = self.attempt_timeout?;
+        let attempts = self.max_attempts.max(1);
+        let mut total = timeout.saturating_mul(attempts);
+        for retry in 0..attempts.saturating_sub(1) {
+            total = total.saturating_add(self.backoff(retry));
+        }
+        Some(total)
+    }
+}
+
 /// The merged outcome of a `List` resume chain driven to completion.
 #[derive(Clone, Debug)]
 pub struct ChainResult {
@@ -72,9 +184,20 @@ pub struct ChainResult {
     pub first_cache_hit: bool,
 }
 
-/// A blocking protocol client over one TCP connection.
+/// A blocking protocol client over one TCP connection, optionally
+/// wrapped in a [`RetryPolicy`]: with one set, every typed helper
+/// classifies failures, backs off deterministically, reconnects after
+/// transport errors, and resumes — `List` chains survive a server
+/// kill-and-restart byte-identically because resume tokens live on the
+/// client.
 pub struct Client {
     stream: TcpStream,
+    retry: Option<RetryPolicy>,
+    /// Where a reconnect dials; captured from the first connection's
+    /// peer address, retargetable for restart drills.
+    reconnect_addr: Option<String>,
+    retries: u64,
+    reconnects: u64,
 }
 
 impl Client {
@@ -82,7 +205,80 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        let reconnect_addr = stream.peer_addr().ok().map(|a| a.to_string());
+        Ok(Client {
+            stream,
+            retry: None,
+            reconnect_addr,
+            retries: 0,
+            reconnects: 0,
+        })
+    }
+
+    /// Connects with a retry policy armed, retrying the connection
+    /// itself on the policy's backoff schedule.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> std::io::Result<Client> {
+        let attempts = policy.max_attempts.max(1);
+        let mut retry = 0u32;
+        loop {
+            match Client::connect(&addr) {
+                Ok(mut client) => {
+                    client.set_retry_policy(Some(policy));
+                    return Ok(client);
+                }
+                Err(e) => {
+                    if retry + 1 >= attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(policy.backoff(retry));
+                    retry += 1;
+                }
+            }
+        }
+    }
+
+    /// Arms (or disarms) the retry policy for every subsequent typed
+    /// call, applying its per-attempt timeout to the socket.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+        let timeout = policy.and_then(|p| p.attempt_timeout);
+        let _ = self.stream.set_read_timeout(timeout);
+    }
+
+    /// Retargets where transport-failure reconnects dial — the restart
+    /// drill points a live client at the replacement server.
+    pub fn set_reconnect_addr(&mut self, addr: impl Into<String>) {
+        self.reconnect_addr = Some(addr.into());
+    }
+
+    /// Attempts beyond the first across every retried call so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnections performed by the retry layer so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Replaces the connection by dialing the reconnect address.
+    fn try_reconnect(&mut self) -> Result<(), ClientError> {
+        let addr = self
+            .reconnect_addr
+            .clone()
+            .ok_or(ClientError::Unexpected("no reconnect address"))?;
+        let stream = TcpStream::connect(&addr).map_err(ClientError::Transport)?;
+        stream.set_nodelay(true).map_err(ClientError::Transport)?;
+        let timeout = self.retry.and_then(|p| p.attempt_timeout);
+        stream
+            .set_read_timeout(timeout)
+            .map_err(ClientError::Transport)?;
+        self.stream = stream;
+        self.reconnects += 1;
+        Ok(())
     }
 
     /// One raw request/response round trip. Error frames come back as
@@ -114,10 +310,56 @@ impl Client {
         Ok(out)
     }
 
-    fn call_ok(&mut self, req: &Request) -> Result<Response, ClientError> {
+    fn call_once_ok(&mut self, req: &Request) -> Result<Response, ClientError> {
         match self.call(req)? {
             Response::Error(e) => Err(ClientError::Server(e)),
             resp => Ok(resp),
+        }
+    }
+
+    /// One typed call under the armed retry policy (or a single attempt
+    /// without one). Transport failures desynchronize the stream, so
+    /// they reconnect before the next attempt; typed transient errors
+    /// (busy, draining, internal) retry on the same connection.
+    fn call_ok(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let Some(policy) = self.retry else {
+            return self.call_once_ok(req);
+        };
+        let attempts = policy.max_attempts.max(1);
+        let mut retry = 0u32;
+        let mut needs_reconnect = false;
+        loop {
+            if needs_reconnect {
+                match self.try_reconnect() {
+                    // On success fall through to the call below; the match on
+                    // its result reassigns `needs_reconnect` either way.
+                    Ok(()) => {}
+                    Err(e) => {
+                        // The replacement server may still be coming up;
+                        // reconnecting consumes an attempt like any other
+                        // failure.
+                        if retry + 1 >= attempts {
+                            return Err(e);
+                        }
+                        std::thread::sleep(policy.backoff(retry));
+                        retry += 1;
+                        self.retries += 1;
+                        continue;
+                    }
+                }
+            }
+            match self.call_once_ok(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    if retry + 1 >= attempts || !RetryPolicy::retryable(&e) {
+                        return Err(e);
+                    }
+                    needs_reconnect = matches!(e, ClientError::Transport(_));
+                    std::thread::sleep(policy.backoff(retry));
+                    retry += 1;
+                    self.retries += 1;
+                }
+            }
         }
     }
 
@@ -161,6 +403,12 @@ impl Client {
     pub fn list_to_completion(&mut self, params: ListParams) -> Result<ChainResult, ClientError> {
         let mut responses: Vec<RunResult> = Vec::new();
         let mut next = params;
+        // A partial response whose resume token equals the one we sent made
+        // no progress. Tiny deadlines (possibly chaos-shrunk) can legitimately
+        // produce a few of these in a row, but an unbounded run means the
+        // chain will never terminate; cap the streak rather than spin forever.
+        let mut zero_progress = 0u32;
+        const MAX_ZERO_PROGRESS: u32 = 32;
         loop {
             let res = self.list(next.clone())?;
             let complete = res.complete;
@@ -171,6 +419,16 @@ impl Client {
             }
             if resume.is_empty() {
                 return Err(ClientError::Unexpected("partial result without resume"));
+            }
+            if resume == next.resume {
+                zero_progress += 1;
+                if zero_progress >= MAX_ZERO_PROGRESS {
+                    return Err(ClientError::Unexpected(
+                        "resume chain made no progress across repeated partials",
+                    ));
+                }
+            } else {
+                zero_progress = 0;
             }
             next.resume = resume;
         }

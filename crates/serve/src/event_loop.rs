@@ -44,12 +44,16 @@
 //!   blocks in the kernel with no timeout; completions and shutdown
 //!   arrive through an eventfd [`Waker`] (`tests/serve_idle.rs`).
 
+use crate::chaos::ChaosStream;
 use crate::protocol::{encode_frame, scan_frame, ErrorCode, ErrorFrame, Request, Response};
-use crate::server::{classify, execute, note_response, Dispatch, Shared};
+use crate::server::{
+    accept_error_action, classify, execute, execute_guarded, note_response, AcceptAction, Dispatch,
+    Shared,
+};
 use mio::{Events, Interest, Poll, Registry, Token, Waker};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -256,15 +260,10 @@ fn worker(lane: &Lane, shared: &Shared, done: &DoneQueue) {
             req,
             ..
         } = job;
-        // A panicking request must not deplete the pool — answer Internal
-        // and keep serving (the blocking layer loses only its own thread).
-        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, req)))
-            .unwrap_or_else(|_| {
-                Response::Error(ErrorFrame::new(
-                    ErrorCode::Internal,
-                    "request execution panicked",
-                ))
-            });
+        // A panicking request — injected by the chaos plan or real — must
+        // not deplete the pool: execute_guarded's catch_unwind answers a
+        // typed Internal error and the worker keeps serving.
+        let resp = execute_guarded(shared, conn, seq, req);
         lock(&lane.state).active -= 1;
         done.push(Completion {
             conn,
@@ -282,7 +281,7 @@ fn worker(lane: &Lane, shared: &Shared, done: &DoneQueue) {
 struct Conn {
     id: u64,
     token: Token,
-    stream: TcpStream,
+    stream: ChaosStream,
     /// Inbound bytes not yet forming a complete frame.
     acc: Vec<u8>,
     /// Coalesced outbound bytes: responses append here in flush order and
@@ -314,7 +313,7 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(id: u64, token: Token, stream: TcpStream) -> Conn {
+    fn new(id: u64, token: Token, stream: ChaosStream) -> Conn {
         Conn {
             id,
             token,
@@ -454,7 +453,9 @@ fn pump_jobs(conn: &mut Conn, shared: &Shared, executor: &Executor) {
         if front.barrier && conn.inflight > 0 {
             break; // barrier waits for everything already running
         }
-        let job = conn.jobs.pop_front().expect("front exists");
+        let Some(job) = conn.jobs.pop_front() else {
+            break; // unreachable: front() above was Some
+        };
         let (seq, barrier) = (job.seq, job.barrier);
         if job.priced {
             match executor.submit_priced(job) {
@@ -569,8 +570,8 @@ fn process_frames(conn: &mut Conn, shared: &Shared, executor: &Executor) {
 fn accept_all(
     listener: &TcpListener,
     registry: &Registry,
+    shared: &Shared,
     conns: &mut HashMap<u64, Conn>,
-    next_id: &mut u64,
 ) {
     loop {
         match listener.accept() {
@@ -579,15 +580,28 @@ fn accept_all(
                     continue;
                 }
                 let _ = stream.set_nodelay(true);
-                let id = *next_id;
-                *next_id += 1;
+                let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                let stream = ChaosStream::new(stream, shared.chaos.clone(), id);
                 let mut conn = Conn::new(id, Token(CONN_BASE + id as usize), stream);
                 conn.update_interest(registry);
                 conns.insert(id, conn);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => break,
+            Err(e) => match accept_error_action(&e) {
+                AcceptAction::WaitReadable => break,
+                AcceptAction::Retry => {}
+                AcceptAction::Backoff(pause) => {
+                    // EMFILE and friends: count it, pause briefly, and
+                    // break out — the listener stays registered, so a
+                    // level-triggered poll retries once fds free up
+                    // instead of the loop dying or spinning hot.
+                    shared
+                        .counters
+                        .accept_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(pause);
+                    break;
+                }
+            },
         }
     }
 }
@@ -653,7 +667,6 @@ fn run(mut poll: Poll, listener: TcpListener, shared: Arc<Shared>, waker: Arc<Wa
     let executor = Executor::start(Arc::clone(&shared), Arc::clone(&waker));
     let mut events = Events::with_capacity(EVENTS_CAP);
     let mut conns: HashMap<u64, Conn> = HashMap::new();
-    let mut next_id: u64 = 0;
     let mut scratch = vec![0u8; READ_CHUNK];
     let mut listener_open = true;
     let mut drain_since: Option<Instant> = None;
@@ -701,7 +714,7 @@ fn run(mut poll: Poll, listener: TcpListener, shared: Arc<Shared>, waker: Arc<Wa
         }
 
         if accept_ready && listener_open {
-            accept_all(&listener, &registry, &mut conns, &mut next_id);
+            accept_all(&listener, &registry, &shared, &mut conns);
         }
 
         for (id, readable, writable) in ready {

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod chaos;
 pub mod codec;
 pub mod protocol;
 pub mod server;
@@ -37,14 +38,17 @@ mod client;
 mod event_loop;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionStats, Permit, Rejection};
-pub use client::{ChainResult, Client, ClientError};
+pub use chaos::{ChaosPlan, ChaosStats, ExecFault, IoFault, IoOp};
+pub use client::{ChainResult, Client, ClientError, RetryPolicy};
 pub use codec::{Reader, WireError, Writer};
 pub use protocol::{
     decode_frame, encode_frame, merge_pieces, read_frame, scan_frame, write_frame, ErrorCode,
     ErrorFrame, FrameError, ListParams, Request, Response, RunResult, MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
 };
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{
+    accept_error_action, AcceptAction, DegradeConfig, ServeConfig, Server, ServerHandle,
+};
 pub use store::{
     prepare_graph, prepare_graph_with, prepare_seed_for, GraphStore, PlanMode, Prepared,
     StoreConfig, StoreError, StoreStats,

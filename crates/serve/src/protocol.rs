@@ -622,7 +622,12 @@ impl From<WireError> for FrameError {
 pub fn read_frame(stream: &mut impl Read) -> Result<(u8, Vec<u8>), FrameError> {
     let mut head = [0u8; 6];
     stream.read_exact(&mut head)?;
-    let len = u32::from_le_bytes(head[0..4].try_into().unwrap());
+    // Parse the fixed header through the bounds-checked Reader rather than
+    // indexing + `try_into().unwrap()`: the unwrap was unreachable (the
+    // array is 6 bytes by construction) but the Reader makes that a typed
+    // guarantee instead of an invariant the next edit could silently break.
+    let mut r = Reader::new(&head);
+    let len = r.u32()?;
     if len < 2 {
         return Err(WireError::Invalid("frame length below header size").into());
     }
@@ -633,11 +638,11 @@ pub fn read_frame(stream: &mut impl Read) -> Result<(u8, Vec<u8>), FrameError> {
         }
         .into());
     }
-    let version = head[4];
+    let version = r.u8()?;
     if version != PROTOCOL_VERSION {
         return Err(WireError::BadVersion(version).into());
     }
-    let kind = head[5];
+    let kind = r.u8()?;
     let mut body = vec![0u8; len as usize - 2];
     stream.read_exact(&mut body)?;
     Ok((kind, body))
@@ -652,6 +657,54 @@ pub fn write_frame(stream: &mut impl Write, kind: u8, payload: &[u8]) -> std::io
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn read_frame_rejects_bad_headers_with_typed_errors() {
+        // Short header: transport error (EOF), never a panic.
+        let mut short: &[u8] = &[3, 0, 0];
+        assert!(matches!(read_frame(&mut short), Err(FrameError::Io(_))));
+
+        // Wrong protocol version.
+        let mut frame = encode_frame(KIND_STATS, &[]);
+        frame[4] ^= 0xFF;
+        let mut cursor: &[u8] = &frame;
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Wire(WireError::BadVersion(_)))
+        ));
+
+        // Declared length below the 2-byte header minimum.
+        let mut tiny = encode_frame(KIND_STATS, &[]);
+        tiny[0] = 1;
+        let mut cursor: &[u8] = &tiny;
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Wire(WireError::Invalid(_)))
+        ));
+
+        // Declared length beyond the frame cap: rejected before the body
+        // buffer is allocated.
+        let mut huge = encode_frame(KIND_STATS, &[]);
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor: &[u8] = &huge;
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Wire(WireError::Oversized { .. }))
+        ));
+
+        // Body shorter than declared: transport error.
+        let mut truncated = encode_frame(KIND_STATS, &[1, 2, 3, 4]);
+        truncated.truncate(truncated.len() - 2);
+        let mut cursor: &[u8] = &truncated;
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+
+        // And a well-formed frame still parses.
+        let good = encode_frame(KIND_STATS, &[]);
+        let mut cursor: &[u8] = &good;
+        let (kind, body) = read_frame(&mut cursor).unwrap();
+        assert_eq!(kind, KIND_STATS);
+        assert!(body.is_empty());
+    }
 
     fn round_trip_request(req: &Request) {
         let frame = encode_frame(req.kind(), &req.payload());

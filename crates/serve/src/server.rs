@@ -33,9 +33,10 @@
 //! stitch the chain back into exact sequential order.
 
 use crate::admission::{Admission, AdmissionConfig};
+use crate::chaos::{write_all_resilient, ChaosHub, ChaosPlan, ChaosStream, ExecFault};
 use crate::event_loop;
 use crate::protocol::{
-    scan_frame, write_frame, ErrorCode, ErrorFrame, ListParams, Request, Response, RunResult,
+    encode_frame, scan_frame, ErrorCode, ErrorFrame, ListParams, Request, Response, RunResult,
 };
 use crate::store::{GraphStore, Prepared, StoreConfig};
 use std::io::Read;
@@ -70,6 +71,11 @@ pub struct ServeConfig {
     /// testing: both layers must answer every deterministic frame type
     /// byte-identically.
     pub blocking: bool,
+    /// Deterministic fault injection across both connection layers and
+    /// the execution path. `None` (the default) injects nothing.
+    pub chaos: Option<ChaosPlan>,
+    /// The degrade-before-reject overload ladder.
+    pub degrade: DegradeConfig,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +86,50 @@ impl Default for ServeConfig {
             store: StoreConfig::default(),
             memory_bytes: None,
             blocking: false,
+            chaos: None,
+            degrade: DegradeConfig::default(),
+        }
+    }
+}
+
+/// The degrade-before-reject overload ladder: under combined queue and
+/// memory-gauge pressure the server trades per-request speed for
+/// survival *before* it sheds load, one rung at a time. Every rung is
+/// invisible on the wire except for latency and the partial+resume
+/// contract clients already hold: kernel downgrades keep cost accounting
+/// and triangles byte-identical (the repo's policy-invariance contract),
+/// deadline clamps only shrink deadlines a client already set, and cold
+/// evictions only drop cache entries other graphs own. Each step taken
+/// is counted in `Stats` (`admission_degraded_*`), so tests can pin that
+/// the ladder engages before the first `rejected-busy`.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradeConfig {
+    /// Master switch; `false` jumps straight to rejection (pre-ladder
+    /// behavior).
+    pub enabled: bool,
+    /// Pressure (max of queue fill and gauge fill, 0..=1) at which the
+    /// kernel policy steps down one rung (bitset → adaptive → paper).
+    pub policy_at: f64,
+    /// Pressure at which request deadlines clamp to
+    /// [`DegradeConfig::degraded_deadline_ms`], forcing the
+    /// partial+resume path so slots recycle faster.
+    pub deadline_at: f64,
+    /// Pressure at which the policy drops all the way to paper-faithful
+    /// and one cold cache entry is evicted per request.
+    pub evict_at: f64,
+    /// Deadline (ms) imposed on deadline-carrying requests past
+    /// [`DegradeConfig::deadline_at`].
+    pub degraded_deadline_ms: u64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            enabled: true,
+            policy_at: 0.60,
+            deadline_at: 0.75,
+            evict_at: 0.90,
+            degraded_deadline_ms: 50,
         }
     }
 }
@@ -94,6 +144,10 @@ pub(crate) struct RequestCounters {
     stats: AtomicU64,
     shutdown: AtomicU64,
     errors: AtomicU64,
+    degraded_policy: AtomicU64,
+    degraded_deadline: AtomicU64,
+    degraded_evict: AtomicU64,
+    pub(crate) accept_errors: AtomicU64,
 }
 
 pub(crate) struct Shared {
@@ -104,6 +158,10 @@ pub(crate) struct Shared {
     pub(crate) recorder: Arc<InMemoryRecorder>,
     pub(crate) shutting: AtomicBool,
     pub(crate) counters: RequestCounters,
+    pub(crate) chaos: Option<Arc<ChaosHub>>,
+    /// Connection-id well for the blocking layer (the event loop numbers
+    /// its own); chaos keys I/O injections off these ids.
+    pub(crate) next_conn: AtomicU64,
 }
 
 /// The service entry point.
@@ -119,12 +177,18 @@ impl Server {
         listener.set_nonblocking(true)?;
         let gauge = MemoryGauge::new();
         let blocking = cfg.blocking;
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let chaos = cfg
+            .chaos
+            .map(|plan| Arc::new(ChaosHub::new(plan, Arc::clone(&recorder))));
         let shared = Arc::new(Shared {
             store: GraphStore::new(cfg.store.clone(), gauge.clone()),
             admission: Admission::new(cfg.admission),
-            recorder: Arc::new(InMemoryRecorder::new()),
+            recorder,
             shutting: AtomicBool::new(false),
             counters: RequestCounters::default(),
+            chaos,
+            next_conn: AtomicU64::new(0),
             gauge,
             cfg,
         });
@@ -198,18 +262,64 @@ impl Drop for ServerHandle {
     }
 }
 
+/// What an accept loop does after `accept` fails. Classified in one
+/// place so both connection layers react identically; public so the
+/// fd-exhaustion tests can pin the classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcceptAction {
+    /// Wait for the next readiness notification (`EAGAIN`).
+    WaitReadable,
+    /// Retry immediately: the error consumed only one handshake
+    /// (`EINTR`, `ECONNABORTED`-style aborted connections).
+    Retry,
+    /// Count the error and back off briefly, keeping the listener open —
+    /// fd exhaustion (`EMFILE`/`ENFILE`) clears when a connection
+    /// closes, and dying instead would turn a transient limit into a
+    /// full outage.
+    Backoff(Duration),
+}
+
+/// Classifies one `accept` error into an [`AcceptAction`].
+pub fn accept_error_action(e: &std::io::Error) -> AcceptAction {
+    const ENFILE: i32 = 23;
+    const EMFILE: i32 = 24;
+    const ECONNABORTED: i32 = 103;
+    const EPROTO: i32 = 71;
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock => AcceptAction::WaitReadable,
+        std::io::ErrorKind::Interrupted => AcceptAction::Retry,
+        _ => match e.raw_os_error() {
+            Some(ECONNABORTED) | Some(EPROTO) => AcceptAction::Retry,
+            Some(EMFILE) | Some(ENFILE) => AcceptAction::Backoff(Duration::from_millis(10)),
+            _ => AcceptAction::Backoff(Duration::from_millis(2)),
+        },
+    }
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !shared.shutting.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let conn_shared = Arc::clone(&shared);
-                conns.push(std::thread::spawn(move || serve_conn(&conn_shared, stream)));
+                let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                conns.push(std::thread::spawn(move || {
+                    serve_conn(&conn_shared, id, stream)
+                }));
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            Err(e) => match accept_error_action(&e) {
+                // the listener is nonblocking: WouldBlock is the idle
+                // poll, not an error
+                AcceptAction::WaitReadable => std::thread::sleep(Duration::from_millis(2)),
+                AcceptAction::Retry => {}
+                AcceptAction::Backoff(pause) => {
+                    shared
+                        .counters
+                        .accept_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(pause);
+                }
+            },
         }
     }
     for c in conns {
@@ -217,9 +327,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-fn send(stream: &mut TcpStream, shared: &Shared, resp: &Response) -> bool {
+fn send(stream: &mut ChaosStream, shared: &Shared, resp: &Response) -> bool {
     note_response(shared, resp);
-    write_frame(stream, resp.kind(), &resp.payload()).is_ok()
+    write_all_resilient(stream, &encode_frame(resp.kind(), &resp.payload())).is_ok()
 }
 
 /// Floor of the idle-read backoff (also the first timeout after data).
@@ -238,20 +348,24 @@ const DRAIN_GRACE: Duration = Duration::from_secs(1);
 /// desynchronize the stream — and doubles while the connection stays
 /// idle, so parked connections cost near-zero CPU
 /// (`tests/serve_idle.rs`).
-fn serve_conn(shared: &Shared, mut stream: TcpStream) {
+fn serve_conn(shared: &Shared, conn_id: u64, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    let mut stream = ChaosStream::new(stream, shared.chaos.clone(), conn_id);
     let mut acc: Vec<u8> = Vec::new();
     let mut tmp = [0u8; 16 * 1024];
     let mut backoff = IDLE_BACKOFF_MIN;
     let mut timeout = Duration::ZERO; // differs from any real value, so the first pass sets one
     let mut drain_since: Option<Instant> = None;
+    let mut next_seq: u64 = 0;
     loop {
         loop {
             match scan_frame(&acc) {
                 Ok(None) => break,
                 Ok(Some((kind, total))) => {
+                    let seq = next_seq;
+                    next_seq += 1;
                     let resp = match Request::decode(kind, &acc[6..total]) {
-                        Ok(req) => handle_request(shared, req),
+                        Ok(req) => handle_request(shared, conn_id, seq, req),
                         Err(e) => {
                             Response::Error(ErrorFrame::new(ErrorCode::Protocol, e.to_string()))
                         }
@@ -275,7 +389,7 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream) {
             backoff
         };
         if want != timeout {
-            let _ = stream.set_read_timeout(Some(want));
+            let _ = stream.get_ref().set_read_timeout(Some(want));
             timeout = want;
         }
         match stream.read(&mut tmp) {
@@ -409,11 +523,81 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
     }
 }
 
-fn handle_request(shared: &Shared, req: Request) -> Response {
+fn handle_request(shared: &Shared, conn: u64, seq: u64, req: Request) -> Response {
     match classify(shared, req) {
         Dispatch::Inline(resp) => resp,
-        Dispatch::Express(req) | Dispatch::Priced(req) => execute(shared, req),
+        Dispatch::Express(req) | Dispatch::Priced(req) => execute_guarded(shared, conn, seq, req),
     }
+}
+
+/// Ballast charged to the shared gauge for a scope; the `Drop` releases
+/// it even when the guarded execution panics.
+struct GaugeBallast {
+    gauge: MemoryGauge,
+    bytes: u64,
+}
+
+impl GaugeBallast {
+    fn charge(gauge: &MemoryGauge, bytes: u64) -> GaugeBallast {
+        gauge.add(bytes);
+        GaugeBallast {
+            gauge: gauge.clone(),
+            bytes,
+        }
+    }
+}
+
+impl Drop for GaugeBallast {
+    fn drop(&mut self) {
+        self.gauge.release(self.bytes);
+    }
+}
+
+/// [`execute`] wrapped in the chaos plan's execution faults and panic
+/// isolation. Both connection layers run every Express/Priced request
+/// through here, so a panicking request — injected or real — answers a
+/// typed `Internal` error instead of losing a worker (event loop) or the
+/// whole connection (blocking layer). Injected faults are drawn per
+/// `(conn, seq)`, the same identity the I/O faults key on.
+pub(crate) fn execute_guarded(shared: &Shared, conn: u64, seq: u64, mut req: Request) -> Response {
+    let mut inject_panic = false;
+    let mut _ballast: Option<GaugeBallast> = None;
+    if let Some(hub) = &shared.chaos {
+        match hub.plan.exec_fault(conn, seq) {
+            Some(ExecFault::Panic) => {
+                hub.note(&hub.stats.panics);
+                inject_panic = true;
+            }
+            Some(ExecFault::GaugeSpike(bytes)) => {
+                hub.note(&hub.stats.gauge_spikes);
+                _ballast = Some(GaugeBallast::charge(&shared.gauge, bytes));
+            }
+            None => {}
+        }
+        if hub.plan.skews_deadline(conn, seq) {
+            if let Request::List(p) | Request::Count(p) = &mut req {
+                // Shrink-only skew: a deadline the client set gets
+                // quartered (forcing the partial+resume path); requests
+                // without a deadline stay deterministic-complete.
+                if p.deadline_ms > 0 {
+                    hub.note(&hub.stats.deadline_skews);
+                    p.deadline_ms = (p.deadline_ms / 4).max(1);
+                }
+            }
+        }
+    }
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected fault: chaos panic (conn {conn} seq {seq})");
+        }
+        execute(shared, req)
+    }))
+    .unwrap_or_else(|_| {
+        Response::Error(ErrorFrame::new(
+            ErrorCode::Internal,
+            "request execution panicked",
+        ))
+    })
 }
 
 fn bad(msg: impl Into<String>) -> ErrorFrame {
@@ -465,6 +649,27 @@ fn map_triangles<'a>(
     })
 }
 
+/// One rung down the kernel ladder: bitset → adaptive → paper-faithful.
+fn downgrade_policy(policy: KernelPolicy) -> KernelPolicy {
+    match policy {
+        KernelPolicy::Bitset(_) => KernelPolicy::adaptive(),
+        KernelPolicy::Adaptive(_) | KernelPolicy::PaperFaithful => KernelPolicy::PaperFaithful,
+    }
+}
+
+/// Combined overload pressure in `0..=1`: the max of admission fill
+/// (inflight + queued over capacity) and memory-gauge fill (cache
+/// residency + in-flight runs over the server ceiling; 0 when no ceiling
+/// is configured).
+fn overload_pressure(shared: &Shared) -> f64 {
+    let queue_fill = shared.admission.fill();
+    let gauge_fill = match shared.cfg.memory_bytes {
+        Some(ceiling) if ceiling > 0 => shared.gauge.used() as f64 / ceiling as f64,
+        _ => 0.0,
+    };
+    queue_fill.max(gauge_fill)
+}
+
 fn run_listing(
     shared: &Shared,
     p: &ListParams,
@@ -477,12 +682,56 @@ fn run_listing(
         )));
     }
     let family = parse_family(&p.family)?;
-    let policy = KernelPolicy::from_name(&p.policy)
+    let mut policy = KernelPolicy::from_name(&p.policy)
         .ok_or_else(|| bad(format!("unknown kernel policy {:?}", p.policy)))?;
     let (prepared, cache_hit) = shared
         .store
         .prepare(&p.graph, family)
         .map_err(|e| ErrorFrame::new(ErrorCode::UnknownGraph, e.to_string()))?;
+
+    // Degrade-before-reject: under pressure, trade speed for survival
+    // one rung at a time before the admission gate sheds anything.
+    // Kernel downgrades are wire-invisible (cost accounting and
+    // triangles are policy-invariant), so completed responses stay
+    // byte-identical to an unpressured run.
+    let mut deadline_ms = p.deadline_ms;
+    let ladder = shared.cfg.degrade;
+    if ladder.enabled {
+        let pressure = overload_pressure(shared);
+        if pressure >= ladder.policy_at {
+            let stepped = if pressure >= ladder.evict_at {
+                KernelPolicy::PaperFaithful
+            } else {
+                downgrade_policy(policy)
+            };
+            if std::mem::discriminant(&stepped) != std::mem::discriminant(&policy) {
+                policy = stepped;
+                shared
+                    .counters
+                    .degraded_policy
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.recorder.add(Counter::ServeDegradations, 1);
+            }
+            if pressure >= ladder.deadline_at
+                && deadline_ms > 0
+                && deadline_ms > ladder.degraded_deadline_ms
+            {
+                deadline_ms = ladder.degraded_deadline_ms;
+                shared
+                    .counters
+                    .degraded_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.recorder.add(Counter::ServeDegradations, 1);
+            }
+            if pressure >= ladder.evict_at && shared.store.evict_cold(&p.graph) {
+                shared
+                    .counters
+                    .degraded_evict
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.recorder.add(Counter::ServeDegradations, 1);
+            }
+        }
+    }
 
     let price = price_request(method, &prepared.degrees_by_label);
     shared
@@ -495,8 +744,8 @@ fn run_listing(
         .map_err(|r| ErrorFrame::new(ErrorCode::RejectedBusy, r.to_string()))?;
 
     let mut budget = RunBudget::unlimited().with_gauge(shared.gauge.clone());
-    if p.deadline_ms > 0 {
-        budget = budget.with_deadline(Duration::from_millis(p.deadline_ms));
+    if deadline_ms > 0 {
+        budget = budget.with_deadline(Duration::from_millis(deadline_ms));
     }
     let ceiling = if p.memory_bytes > 0 {
         Some(p.memory_bytes)
@@ -632,14 +881,31 @@ fn stats_fields(shared: &Shared) -> Vec<(String, u64)> {
             c.shutdown.load(Ordering::Relaxed),
         ),
         ("responses_error".into(), c.errors.load(Ordering::Relaxed)),
+        (
+            "accept_errors".into(),
+            c.accept_errors.load(Ordering::Relaxed),
+        ),
         ("admission_admitted".into(), a.admitted),
         ("admission_queued".into(), a.queued),
         ("admission_rejected_busy".into(), a.rejected_busy),
         ("admission_rejected_cost".into(), a.rejected_cost),
         ("admission_inflight".into(), a.inflight),
+        (
+            "admission_degraded_policy".into(),
+            c.degraded_policy.load(Ordering::Relaxed),
+        ),
+        (
+            "admission_degraded_deadline".into(),
+            c.degraded_deadline.load(Ordering::Relaxed),
+        ),
+        (
+            "admission_degraded_evict".into(),
+            c.degraded_evict.load(Ordering::Relaxed),
+        ),
         ("cache_hits".into(), s.hits),
         ("cache_misses".into(), s.misses),
         ("cache_evictions".into(), s.evictions),
+        ("cache_cold_evictions".into(), s.cold_evictions),
         ("cache_entries".into(), s.entries),
         ("cache_bytes".into(), s.bytes),
         ("graphs_registered".into(), s.graphs),
@@ -649,6 +915,9 @@ fn stats_fields(shared: &Shared) -> Vec<(String, u64)> {
             shared.cfg.memory_bytes.unwrap_or(0),
         ),
     ];
+    if let Some(hub) = &shared.chaos {
+        out.extend(hub.stats.fields());
+    }
     for counter in Counter::ALL {
         out.push((
             format!("recorder_{}", counter.name()),

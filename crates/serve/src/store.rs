@@ -202,6 +202,9 @@ pub struct StoreStats {
     pub misses: u64,
     /// Entries evicted by LRU pressure.
     pub evictions: u64,
+    /// Evictions specifically requested by the overload ladder
+    /// ([`GraphStore::evict_cold`]); also counted in `evictions`.
+    pub cold_evictions: u64,
     /// Entries currently resident.
     pub entries: u64,
     /// Bytes currently charged to the gauge by resident entries.
@@ -223,6 +226,7 @@ struct StoreInner {
     hits: u64,
     misses: u64,
     evictions: u64,
+    cold_evictions: u64,
     cached_bytes: u64,
 }
 
@@ -309,11 +313,11 @@ impl GraphStore {
         let key = (name.to_string(), family.name());
         inner.tick += 1;
         let tick = inner.tick;
-        if inner.prepared.contains_key(&key) {
-            inner.hits += 1;
-            let slot = inner.prepared.get_mut(&key).expect("checked above");
+        if let Some(slot) = inner.prepared.get_mut(&key) {
             slot.last_used = tick;
-            return Ok((Arc::clone(&slot.entry), true));
+            let entry = Arc::clone(&slot.entry);
+            inner.hits += 1;
+            return Ok((entry, true));
         }
         inner.misses += 1;
         let seed = prepare_seed_for(self.cfg.prepare_seed, name, family.name());
@@ -345,14 +349,39 @@ impl GraphStore {
             if !(over_count || over_bytes) || inner.prepared.is_empty() {
                 return;
             }
-            let lru = inner
+            let Some(lru) = inner
                 .prepared
                 .iter()
                 .min_by_key(|(_, slot)| slot.last_used)
                 .map(|(key, _)| key.clone())
-                .expect("non-empty cache has an LRU entry");
+            else {
+                return; // unreachable: the cache was checked non-empty
+            };
             self.evict_key(inner, &lru);
             inner.evictions += 1;
+        }
+    }
+
+    /// Evicts the least-recently-used cached entry *not* prepared from
+    /// `keep_graph` — the overload ladder's cold-eviction rung, which
+    /// must never drop the artifacts the pressured request is about to
+    /// use. Returns whether anything was evicted.
+    pub fn evict_cold(&self, keep_graph: &str) -> bool {
+        let mut inner = lock(&self.inner);
+        let victim = inner
+            .prepared
+            .iter()
+            .filter(|((graph, _), _)| graph != keep_graph)
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(key, _)| key.clone());
+        match victim {
+            Some(key) => {
+                self.evict_key(&mut inner, &key);
+                inner.evictions += 1;
+                inner.cold_evictions += 1;
+                true
+            }
+            None => false,
         }
     }
 
@@ -370,6 +399,7 @@ impl GraphStore {
             hits: inner.hits,
             misses: inner.misses,
             evictions: inner.evictions,
+            cold_evictions: inner.cold_evictions,
             entries: inner.prepared.len() as u64,
             bytes: inner.cached_bytes,
             graphs: inner.graphs.len() as u64,
