@@ -51,9 +51,10 @@ use crate::obs::{Counter, Recorder};
 use crate::oracle::EdgeOracle;
 use crate::source::GraphSource;
 use crate::stamp::{stamp_count, stamp_intersect};
+use crate::Method;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use trilist_order::DirectedGraph;
+use trilist_order::{DirectedGraph, OrderFamily, OrderingKind};
 
 /// Per-kernel-variant dispatch tallies, accumulated by a metered
 /// [`Kernels`] and flushed into a [`Recorder`] at chunk/run boundaries.
@@ -292,6 +293,63 @@ impl KernelPlan {
         KernelPlan {
             policy,
             compressed: false,
+        }
+    }
+}
+
+/// The full per-graph execution choice the autotuner emits: which vertex
+/// ordering to relabel with, which fundamental method to run when the
+/// client does not pin one, and the [`KernelPlan`] underneath. Produced by
+/// `trilist-model::plan::rank_plans` inside `GraphStore::prepare`; honored
+/// by List/Count requests that leave method/ordering/policy unset; audited
+/// over the wire via the `ExplainPlan` frame.
+///
+/// The paper-cost accounting contract extends unchanged: a `ListingPlan`
+/// only moves wall-clock and memory, never the reported paper cost of the
+/// `(method, ordering)` it selects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ListingPlan {
+    /// The vertex ordering to relabel the graph with (a θ family or a
+    /// tailored structural ordering).
+    pub ordering: OrderingKind,
+    /// The fundamental method to run when the request does not pin one.
+    pub method_hint: Method,
+    /// The kernel dispatch policy.
+    pub policy: KernelPolicy,
+    /// Whether to run on the compressed CSR layout.
+    pub compressed: bool,
+}
+
+impl Default for ListingPlan {
+    /// The paper default: E1 under `θ_D` (its Corollary-1 optimal family)
+    /// with the default [`KernelPlan`] — the behavior every layer shipped
+    /// with before the autotuner existed.
+    fn default() -> Self {
+        ListingPlan {
+            ordering: OrderingKind::Family(OrderFamily::Descending),
+            method_hint: Method::E1,
+            policy: KernelPolicy::adaptive(),
+            compressed: false,
+        }
+    }
+}
+
+impl ListingPlan {
+    /// The kernel-level slice of this plan.
+    pub fn kernel_plan(&self) -> KernelPlan {
+        KernelPlan {
+            policy: self.policy,
+            compressed: self.compressed,
+        }
+    }
+
+    /// A full plan wrapping a bare [`KernelPlan`] with the paper-default
+    /// ordering and method.
+    pub fn from_kernel_plan(plan: KernelPlan) -> Self {
+        ListingPlan {
+            policy: plan.policy,
+            compressed: plan.compressed,
+            ..ListingPlan::default()
         }
     }
 }

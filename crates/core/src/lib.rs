@@ -56,7 +56,7 @@ pub use compressed::{e1_compressed, CompressedCsr, CompressedOut, DecodeScratch}
 pub use cost::CostReport;
 pub use kernel::{
     AdaptiveConfig, BitmapOracle, BitsetConfig, HubBitmap, KernelMeter, KernelPlan, KernelPolicy,
-    Kernels, ListDir,
+    Kernels, ListDir, ListingPlan,
 };
 pub use obs::{
     log2_bucket, ChunkSpan, Counter, CounterSnapshot, HistKind, InMemoryRecorder, MeasuredVsModel,

@@ -95,11 +95,16 @@ pub enum Counter {
     ServeDegradations,
     /// Faults injected by the serve-layer chaos plan (I/O and execution).
     ChaosInjections,
+    /// Autotuner plan candidates evaluated (one per `(method, ordering,
+    /// policy)` triple scored during `GraphStore::prepare`).
+    PlanEvaluations,
+    /// Autotuner plans picked and stored (one per planned graph).
+    PlanPick,
 }
 
 impl Counter {
     /// How many counters exist.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 20;
 
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -121,6 +126,8 @@ impl Counter {
         Counter::StampProbes,
         Counter::ServeDegradations,
         Counter::ChaosInjections,
+        Counter::PlanEvaluations,
+        Counter::PlanPick,
     ];
 
     /// Dense index of this counter (its position in [`Counter::ALL`]).
@@ -150,6 +157,8 @@ impl Counter {
             Counter::StampProbes => "stamp_probes",
             Counter::ServeDegradations => "serve_degradations",
             Counter::ChaosInjections => "chaos_injections",
+            Counter::PlanEvaluations => "plan_evaluations",
+            Counter::PlanPick => "plan_pick",
         }
     }
 }

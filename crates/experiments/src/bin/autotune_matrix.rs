@@ -1,0 +1,485 @@
+//! Autotuner matrix: the per-graph ordering autotuner measured against
+//! the paper default over Pareto tails and the adversarial scenario
+//! corpus.
+//!
+//! For every fixture the binary runs the full planner
+//! ([`trilist_model::rank_plans`] under [`MachineProfile::reference`]),
+//! then *realizes* both the winning plan and the paper default
+//! (E1 under θ_D, adaptive, plain) through the actual listing runtime and
+//! prices the realized paper-cost operations through the same reference
+//! profile. Unlike the kernel matrix, nothing here is wall-clock: the op
+//! counts are exact and the profile is fixed, so every cell is
+//! byte-reproducible across machines — which is what lets `--gate` pin
+//! the autotuner's *never-regress* contract in CI:
+//!
+//! 1. every fixture's measured cost ratio (plan / paper default) stays
+//!    `≤` [`REGRESS_CEILING`];
+//! 2. the plan picked per fixture (ordering, method) matches the
+//!    committed `BENCH_autotune.json`;
+//! 3. the measured ratios match the committed values to float-printing
+//!    precision; and
+//! 4. at least one fixture keeps a tailored ordering (split/refined)
+//!    strictly beating every θ family.
+//!
+//! Without `--gate` the binary regenerates `BENCH_autotune.json` in the
+//! working directory.
+
+use std::process::ExitCode;
+
+use rand::SeedableRng;
+use trilist_core::source::GraphSource;
+use trilist_core::{list_resilient_src, ListingPlan, ParallelOpts, ResilientOpts};
+use trilist_experiments::{JsonWriter, Opts, Table};
+use trilist_graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist_graph::gen::{scenarios, GraphGenerator, ResidualSampler};
+use trilist_graph::Graph;
+use trilist_model::{rank_plans, MachineProfile, PlanConfig};
+use trilist_order::DirectedGraph;
+
+/// `--gate` fails a fixture whose measured plan-to-default cost ratio
+/// exceeds this. The plan scores candidates on the same exact op counts
+/// the measurement realizes, so the only slack the autotuner needs is the
+/// reference profile's rate rounding — 5% is the contract the scenario
+/// corpus tests pin as well.
+const REGRESS_CEILING: f64 = 1.05;
+
+/// Ratios are deterministic; the only error between runs is the decimal
+/// round-trip through the JSON file (printed at 9 digits).
+const RATIO_TOLERANCE: f64 = 1e-6;
+
+/// Pareto fixtures stay below `PlanConfig::exact_threshold` so the
+/// planner runs in exact mode and every cell is reproducible.
+const PARETO_N: usize = 2048;
+
+/// Pareto tail exponents measured, spanning the paper's sparse-to-dense
+/// range.
+const ALPHAS: [f64; 3] = [1.5, 2.5, 3.5];
+
+/// One fixture's full measurement.
+struct Row {
+    fixture: String,
+    n: usize,
+    m: usize,
+    ordering: &'static str,
+    method: &'static str,
+    policy: &'static str,
+    compressed: bool,
+    sampled: bool,
+    evaluations: u64,
+    predicted_ops: f64,
+    predicted_seconds: f64,
+    default_ops: f64,
+    default_seconds: f64,
+    measured_ops: u64,
+    measured_seconds: f64,
+    default_measured_ops: u64,
+    default_measured_seconds: f64,
+    tailored_best_seconds: f64,
+    family_best_seconds: f64,
+    tailored_wins: bool,
+    triangles: u64,
+}
+
+impl Row {
+    /// Realized plan cost over realized default cost — the gated number.
+    fn measured_ratio(&self) -> f64 {
+        self.measured_seconds / self.default_measured_seconds.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// A reproducible Pareto α-tail fixture (undirected; the planner picks
+/// the orientation).
+fn pareto_fixture(n: usize, alpha: f64, seed: u64) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dist = Truncated::new(DiscretePareto::paper_beta(alpha), Truncation::Root.t_n(n));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    ResidualSampler.generate(&seq, &mut rng).graph
+}
+
+/// Realizes `plan` on `graph`: relabel with the plan's ordering (seeded
+/// exactly as the planner seeds its exact-mode scoring), orient, run the
+/// plan's method through the listing runtime, and price the realized
+/// paper-cost operations through `profile`. Returns `(ops, seconds,
+/// triangles)`.
+fn realize(graph: &Graph, plan: &ListingPlan, profile: &MachineProfile) -> (u64, f64, u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(PlanConfig::default().seed);
+    let relabeling = plan.ordering.relabeling(graph, &mut rng);
+    let dg = DirectedGraph::orient(graph, &relabeling);
+    let opts = ResilientOpts {
+        parallel: ParallelOpts {
+            threads: 1,
+            policy: plan.policy,
+            ..ParallelOpts::default()
+        },
+        ..ResilientOpts::default()
+    };
+    let run = list_resilient_src(GraphSource::Plain(&dg), plan.method_hint, &opts)
+        .expect("fundamental method")
+        .complete()
+        .expect("unlimited budget");
+    let ops = run.cost.operations();
+    let secs = profile.seconds(plan.method_hint, &plan.policy, ops as f64);
+    (ops, secs, run.cost.triangles)
+}
+
+/// Runs the planner and both realizations for one named fixture.
+fn measure_fixture(name: &str, graph: &Graph, profile: &MachineProfile) -> Row {
+    let cfg = PlanConfig::default();
+    let ranked = rank_plans(graph, profile, &cfg);
+    let best = ranked.best;
+    let row = ranked
+        .candidate_for(&best)
+        .expect("winner is an evaluated candidate");
+    let (measured_ops, measured_seconds, triangles) = realize(graph, &best, profile);
+    let (default_measured_ops, default_measured_seconds, default_triangles) =
+        realize(graph, &ListingPlan::default(), profile);
+    assert_eq!(
+        triangles, default_triangles,
+        "{name}: plan and default disagree on the triangle count"
+    );
+    // best tailored vs best θ-family candidate, on predicted seconds
+    let best_of = |tailored: bool| {
+        ranked
+            .candidates
+            .iter()
+            .filter(|c| c.ordering.is_tailored() == tailored)
+            .map(|c| c.predicted_seconds)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let tailored_best_seconds = best_of(true);
+    let family_best_seconds = best_of(false);
+    Row {
+        fixture: name.to_string(),
+        n: graph.n(),
+        m: graph.m(),
+        ordering: best.ordering.name(),
+        method: best.method_hint.name(),
+        policy: best.policy.name(),
+        compressed: best.compressed,
+        sampled: ranked.sampled,
+        evaluations: ranked.evaluations,
+        predicted_ops: row.predicted_ops,
+        predicted_seconds: row.predicted_seconds,
+        default_ops: ranked.default_ops,
+        default_seconds: ranked.default_seconds,
+        measured_ops,
+        measured_seconds,
+        default_measured_ops,
+        default_measured_seconds,
+        tailored_best_seconds,
+        family_best_seconds,
+        tailored_wins: tailored_best_seconds < family_best_seconds,
+        triangles,
+    }
+}
+
+/// Machine-readable companion to the printed table, via the
+/// deterministic [`JsonWriter`]: same measurements, byte-identical file.
+fn render_json(rows: &[Row]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("bench").string("autotune_matrix");
+    w.key("profile").string("reference");
+    w.key("regress_ceiling").f64_prec(REGRESS_CEILING, 2);
+    w.key("results").begin_array();
+    for r in rows {
+        w.begin_object();
+        w.key("fixture").string(&r.fixture);
+        w.key("n").u64(r.n as u64);
+        w.key("m").u64(r.m as u64);
+        w.key("ordering").string(r.ordering);
+        w.key("method").string(r.method);
+        w.key("policy").string(r.policy);
+        w.key("compressed").bool(r.compressed);
+        w.key("sampled").bool(r.sampled);
+        w.key("evaluations").u64(r.evaluations);
+        w.key("predicted_ops").f64_prec(r.predicted_ops, 1);
+        w.key("predicted_seconds").f64_prec(r.predicted_seconds, 9);
+        w.key("default_ops").f64_prec(r.default_ops, 1);
+        w.key("default_seconds").f64_prec(r.default_seconds, 9);
+        w.key("measured_ops").u64(r.measured_ops);
+        w.key("default_measured_ops").u64(r.default_measured_ops);
+        w.key("measured_ratio").f64_prec(r.measured_ratio(), 9);
+        w.key("tailored_best_seconds")
+            .f64_prec(r.tailored_best_seconds, 9);
+        w.key("family_best_seconds")
+            .f64_prec(r.family_best_seconds, 9);
+        w.key("tailored_wins").bool(r.tailored_wins);
+        w.key("triangles").u64(r.triangles);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// One pinned cell parsed back out of a committed `BENCH_autotune.json`.
+struct BaselineRow {
+    fixture: String,
+    ordering: String,
+    method: String,
+    measured_ratio: f64,
+    tailored_wins: bool,
+}
+
+/// Extracts the pinned fields from a committed `BENCH_autotune.json`.
+/// Relies only on the [`JsonWriter`] invariants the file is generated
+/// under — one `"results"` array of flat objects with fields in fixed
+/// order — so no JSON dependency is needed.
+fn parse_baseline(text: &str) -> Vec<BaselineRow> {
+    let Some(results_at) = text.find("\"results\"") else {
+        return Vec::new();
+    };
+    let field = |obj: &str, name: &str| -> Option<String> {
+        let at = obj.find(&format!("\"{name}\":"))? + name.len() + 3;
+        let rest = &obj[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    let mut out = Vec::new();
+    let mut rest = &text[results_at..];
+    while let Some(start) = rest.find('{') {
+        let Some(end) = rest[start..].find('}') else {
+            break;
+        };
+        let obj = &rest[start..start + end + 1];
+        rest = &rest[start + end + 1..];
+        let all = (|| {
+            Some(BaselineRow {
+                fixture: field(obj, "fixture")?,
+                ordering: field(obj, "ordering")?,
+                method: field(obj, "method")?,
+                measured_ratio: field(obj, "measured_ratio")?.parse().ok()?,
+                tailored_wins: field(obj, "tailored_wins")? == "true",
+            })
+        })();
+        if let Some(row) = all {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Compares a fresh deterministic run against the committed baseline;
+/// returns every violated pin.
+fn gate_regressions(rows: &[Row], baseline: &[BaselineRow], ceiling: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in rows {
+        let ratio = r.measured_ratio();
+        if ratio > ceiling {
+            failures.push(format!(
+                "{}: measured cost ratio {ratio:.6} exceeds the {ceiling:.2} never-regress \
+                 ceiling",
+                r.fixture
+            ));
+        }
+        let Some(b) = baseline.iter().find(|b| b.fixture == r.fixture) else {
+            failures.push(format!("{}: fixture missing from baseline", r.fixture));
+            continue;
+        };
+        if b.ordering != r.ordering || b.method != r.method {
+            failures.push(format!(
+                "{}: plan drifted to {}/{} (baseline pins {}/{})",
+                r.fixture, r.ordering, r.method, b.ordering, b.method
+            ));
+        }
+        if (ratio - b.measured_ratio).abs() > RATIO_TOLERANCE {
+            failures.push(format!(
+                "{}: measured ratio {ratio:.9} differs from baseline {:.9}",
+                r.fixture, b.measured_ratio
+            ));
+        }
+    }
+    if !rows.iter().any(|r| r.tailored_wins) && baseline.iter().any(|b| b.tailored_wins) {
+        failures.push(
+            "no fixture keeps a tailored ordering strictly ahead of every θ family \
+             (baseline pins at least one)"
+                .to_string(),
+        );
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    // `--gate` is this binary's own flag; strip it before the shared
+    // parser, which rejects unknown flags
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let gate = raw.iter().any(|a| a == "--gate");
+    raw.retain(|a| a != "--gate");
+    let opts = Opts::parse_from(raw);
+    let profile = MachineProfile::reference();
+
+    let mut fixtures: Vec<(String, Graph)> = ALPHAS
+        .iter()
+        .map(|&alpha| {
+            let name = format!("pareto_a{}", (alpha * 10.0).round() as u32);
+            let seed = opts.seed ^ ((alpha * 10.0).round() as u64);
+            (name, pareto_fixture(PARETO_N, alpha, seed))
+        })
+        .collect();
+    for sc in scenarios::CORPUS {
+        fixtures.push((sc.name.to_string(), (sc.build)()));
+    }
+
+    let rows: Vec<Row> = fixtures
+        .iter()
+        .map(|(name, g)| measure_fixture(name, g, &profile))
+        .collect();
+
+    let mut table = Table::new(
+        "Autotuner vs paper default (reference profile, exact paper-cost ops; \
+         ratio ≤ 1.05 is the never-regress contract)",
+        &[
+            "fixture",
+            "n",
+            "plan",
+            "plan cost",
+            "default cost",
+            "ratio",
+            "tailored wins",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.fixture.clone(),
+            format!("{}", r.n),
+            format!("{}/{}/{}", r.method, r.ordering, r.policy),
+            format!("{:.3e}", r.measured_seconds),
+            format!("{:.3e}", r.default_measured_seconds),
+            format!("{:.4}", r.measured_ratio()),
+            if r.tailored_wins { "yes" } else { "no" }.into(),
+        ]);
+    }
+    table.print();
+    let wins = rows.iter().filter(|r| r.tailored_wins).count();
+    println!(
+        "\n{wins}/{} fixtures have a tailored ordering strictly ahead of every θ family",
+        rows.len()
+    );
+
+    let path = "BENCH_autotune.json";
+    if gate {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("--gate: cannot read committed {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = parse_baseline(&committed);
+        if baseline.is_empty() {
+            eprintln!("--gate: committed {path} has no parseable result rows");
+            return ExitCode::FAILURE;
+        }
+        let failures = gate_regressions(&rows, &baseline, REGRESS_CEILING);
+        if failures.is_empty() {
+            println!(
+                "gate: {} fixtures checked against {} baseline rows — every plan pinned, \
+                 every ratio ≤ {REGRESS_CEILING:.2}",
+                rows.len(),
+                baseline.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("\ngate: {} pin(s) violated vs {path}:", failures.len());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            ExitCode::FAILURE
+        }
+    } else {
+        assert!(
+            rows.iter().any(|r| r.tailored_wins),
+            "refusing to write a baseline with no tailored win to pin"
+        );
+        let json = render_json(&rows);
+        std::fs::write(path, &json).expect("write BENCH_autotune.json");
+        println!("wrote {path} ({} fixtures)", rows.len());
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(fixture: &str, ratio: f64, tailored_wins: bool) -> Row {
+        Row {
+            fixture: fixture.to_string(),
+            n: 100,
+            m: 200,
+            ordering: "refined",
+            method: "E1",
+            policy: "adaptive",
+            compressed: false,
+            sampled: false,
+            evaluations: 96,
+            predicted_ops: 1000.0,
+            predicted_seconds: 1e-5,
+            default_ops: 1200.0,
+            default_seconds: 1.2e-5,
+            measured_ops: 1000,
+            measured_seconds: ratio * 1.2e-5,
+            default_measured_ops: 1200,
+            default_measured_seconds: 1.2e-5,
+            tailored_best_seconds: if tailored_wins { 1e-5 } else { 2e-5 },
+            family_best_seconds: 1.2e-5,
+            tailored_wins,
+            triangles: 7,
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_writer() {
+        let rows = vec![
+            row("planted_community", 0.8, true),
+            row("pareto_a15", 1.0, false),
+        ];
+        let parsed = parse_baseline(&render_json(&rows));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].fixture, "planted_community");
+        assert_eq!(parsed[0].ordering, "refined");
+        assert_eq!(parsed[0].method, "E1");
+        assert!(parsed[0].tailored_wins);
+        assert!((parsed[0].measured_ratio - 0.8).abs() < 1e-9);
+        assert!(!parsed[1].tailored_wins);
+    }
+
+    #[test]
+    fn gate_enforces_ceiling_plan_pin_and_tailored_win() {
+        let baseline = parse_baseline(&render_json(&[row("a", 0.9, true), row("b", 1.0, false)]));
+        // identical fresh run: clean
+        assert!(gate_regressions(
+            &[row("a", 0.9, true), row("b", 1.0, false)],
+            &baseline,
+            1.05
+        )
+        .is_empty());
+        // ratio over the ceiling fails (and also differs from baseline)
+        let over = gate_regressions(
+            &[row("a", 1.2, true), row("b", 1.0, false)],
+            &baseline,
+            1.05,
+        );
+        assert!(over.iter().any(|f| f.contains("never-regress")));
+        // plan drift fails
+        let mut drifted = row("a", 0.9, true);
+        drifted.method = "T2";
+        assert!(
+            gate_regressions(&[drifted, row("b", 1.0, false)], &baseline, 1.05)
+                .iter()
+                .any(|f| f.contains("drifted"))
+        );
+        // losing the last tailored win fails
+        let lost = gate_regressions(
+            &[row("a", 0.9, false), row("b", 1.0, false)],
+            &baseline,
+            1.05,
+        );
+        assert!(lost.iter().any(|f| f.contains("tailored")));
+        // a fixture the baseline never saw fails
+        assert!(gate_regressions(&[row("new", 0.9, true)], &baseline, 1.05)
+            .iter()
+            .any(|f| f.contains("missing from baseline")));
+    }
+}

@@ -3,10 +3,14 @@
 mod chung_lu;
 mod config;
 mod residual;
+pub mod scenarios;
 
 pub use chung_lu::{ChungLu, Gnp};
 pub use config::ConfigurationModel;
 pub use residual::ResidualSampler;
+pub use scenarios::{
+    core_periphery, hub_pileup, near_bipartite, planted_community, triangle_free, Scenario, CORPUS,
+};
 
 use crate::builder::BuilderStats;
 use crate::csr::Graph;

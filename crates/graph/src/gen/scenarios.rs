@@ -1,0 +1,282 @@
+//! Adversarial scenario corpus: deterministic graph shapes the `G(n, p̄)`
+//! analysis never generates.
+//!
+//! Berry et al. ("Why do simple algorithms for triangle enumeration work
+//! in the real world?") locate exactly where degree-sequence theory and
+//! practice diverge: community structure, dense cores wrapped in sparse
+//! periphery, hub pile-ups, and near-bipartite regions. Each generator
+//! here builds one such shape as a pure function of its parameters —
+//! edges come out of closed-form rules plus a splitmix64 stream with a
+//! fixed seed, so every fixture is byte-identical across runs and
+//! machines. The autotuner's never-regress contract
+//! (`tests/scenario_corpus.rs`) is pinned against this corpus.
+
+use crate::csr::Graph;
+
+/// Deterministic splitmix64 stream for scenario randomness.
+struct Stream(u64);
+
+impl Stream {
+    fn new(seed: u64) -> Self {
+        Stream(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// Bernoulli with probability `num/den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+fn dedup(n: usize, mut edges: Vec<(u32, u32)>) -> Graph {
+    for e in edges.iter_mut() {
+        if e.0 > e.1 {
+            *e = (e.1, e.0);
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges.retain(|&(u, v)| u != v);
+    Graph::from_edges(n, &edges).expect("scenario edges are in range")
+}
+
+/// Planted communities: `communities` dense blocks of `block` nodes each
+/// (intra-block edge probability 60%), stitched by a sparse random
+/// inter-block matching. Triangles concentrate inside blocks while the
+/// global degree sequence stays nearly flat — the degree-position families
+/// cannot see the blocks, a structural ordering can.
+pub fn planted_community(communities: usize, block: usize, seed: u64) -> Graph {
+    let n = communities * block;
+    let mut s = Stream::new(seed ^ 0x636f_6d6d); // "comm"
+    let mut edges = Vec::new();
+    for c in 0..communities {
+        let base = (c * block) as u32;
+        for i in 0..block as u32 {
+            for j in (i + 1)..block as u32 {
+                if s.chance(3, 5) {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+    }
+    // sparse stitching: every node gets ~1 inter-community edge
+    for v in 0..n as u32 {
+        let c = v as usize / block;
+        let other = (c + 1 + s.below(communities.max(2) as u64 - 1) as usize) % communities;
+        if other != c {
+            let w = (other * block) as u32 + s.below(block as u64) as u32;
+            edges.push((v, w));
+        }
+    }
+    dedup(n, edges)
+}
+
+/// Dense core + sparse periphery: a near-clique of `core` nodes (90%
+/// intra-core edges) surrounded by `periphery` tree-like nodes each
+/// attached to 2 random core members. The core's degeneracy dwarfs the
+/// global average degree, the regime Berry et al. call out.
+pub fn core_periphery(core: usize, periphery: usize, seed: u64) -> Graph {
+    let n = core + periphery;
+    let mut s = Stream::new(seed ^ 0x636f_7265); // "core"
+    let mut edges = Vec::new();
+    for i in 0..core as u32 {
+        for j in (i + 1)..core as u32 {
+            if s.chance(9, 10) {
+                edges.push((i, j));
+            }
+        }
+    }
+    for p in 0..periphery as u32 {
+        let v = core as u32 + p;
+        let a = s.below(core as u64) as u32;
+        let b = s.below(core as u64) as u32;
+        edges.push((v, a));
+        edges.push((v, b));
+    }
+    dedup(n, edges)
+}
+
+/// Star/hub pile-up: `hubs` hub nodes each fanning out to a private set of
+/// `leaves` leaf nodes, with the hubs themselves forming a clique and 10%
+/// of leaf pairs under the same hub connected. Equal-degree hubs with
+/// radically different closed neighborhoods — the raw-degree tie-break's
+/// worst case.
+pub fn hub_pileup(hubs: usize, leaves: usize, seed: u64) -> Graph {
+    let n = hubs * (1 + leaves);
+    let mut s = Stream::new(seed ^ 0x6875_6273); // "hubs"
+    let mut edges = Vec::new();
+    for h in 0..hubs as u32 {
+        for h2 in (h + 1)..hubs as u32 {
+            edges.push((h, h2));
+        }
+        let base = hubs as u32 + h * leaves as u32;
+        for l in 0..leaves as u32 {
+            edges.push((h, base + l));
+            for l2 in (l + 1)..leaves as u32 {
+                if s.chance(1, 10) {
+                    edges.push((base + l, base + l2));
+                }
+            }
+        }
+    }
+    dedup(n, edges)
+}
+
+/// Near-bipartite: two sides of `side` nodes with 30% cross edges and only
+/// `defects` random same-side edges. Almost every wedge is open; the few
+/// triangles all pass through a defect edge.
+pub fn near_bipartite(side: usize, defects: usize, seed: u64) -> Graph {
+    let n = 2 * side;
+    let mut s = Stream::new(seed ^ 0x6269_7061); // "bipa"
+    let mut edges = Vec::new();
+    for u in 0..side as u32 {
+        for v in 0..side as u32 {
+            if s.chance(3, 10) {
+                edges.push((u, side as u32 + v));
+            }
+        }
+    }
+    for _ in 0..defects {
+        let offset = if s.chance(1, 2) { 0 } else { side as u32 };
+        let a = offset + s.below(side as u64) as u32;
+        let b = offset + s.below(side as u64) as u32;
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    dedup(n, edges)
+}
+
+/// Triangle-free by construction: a random bipartite graph (40% cross
+/// edges, no defects). Every method must report zero triangles while
+/// still paying its full wedge-scanning cost.
+pub fn triangle_free(side: usize, seed: u64) -> Graph {
+    let n = 2 * side;
+    let mut s = Stream::new(seed ^ 0x7472_6565); // "tree"
+    let mut edges = Vec::new();
+    for u in 0..side as u32 {
+        for v in 0..side as u32 {
+            if s.chance(2, 5) {
+                edges.push((u, side as u32 + v));
+            }
+        }
+    }
+    dedup(n, edges)
+}
+
+/// A named corpus fixture.
+pub struct Scenario {
+    /// Stable fixture name (used by tests, goldens, and BENCH tables).
+    pub name: &'static str,
+    /// Builds the fixture graph (deterministic).
+    pub build: fn() -> Graph,
+}
+
+/// The corpus at its standard sizes — the set the never-regress tests and
+/// `BENCH_autotune.json` pins run over.
+pub const CORPUS: [Scenario; 5] = [
+    Scenario {
+        name: "planted_community",
+        build: || planted_community(8, 24, 1),
+    },
+    Scenario {
+        name: "core_periphery",
+        build: || core_periphery(28, 400, 2),
+    },
+    Scenario {
+        name: "hub_pileup",
+        build: || hub_pileup(10, 30, 3),
+    },
+    Scenario {
+        name: "near_bipartite",
+        build: || near_bipartite(100, 12, 4),
+    },
+    Scenario {
+        name: "triangle_free",
+        build: || triangle_free(100, 5),
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        for sc in CORPUS {
+            let a = (sc.build)();
+            let b = (sc.build)();
+            assert_eq!(a.n(), b.n(), "{}", sc.name);
+            assert_eq!(a.m(), b.m(), "{}", sc.name);
+            for v in 0..a.n() as u32 {
+                assert_eq!(a.neighbors(v), b.neighbors(v), "{} node {v}", sc.name);
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_names_unique_and_nonempty_graphs() {
+        let names: std::collections::HashSet<_> = CORPUS.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), CORPUS.len());
+        for sc in CORPUS {
+            let g = (sc.build)();
+            assert!(g.n() > 0 && g.m() > 0, "{} is degenerate", sc.name);
+        }
+    }
+
+    #[test]
+    fn triangle_free_has_no_triangles() {
+        let g = triangle_free(60, 9);
+        // brute force over wedges
+        for u in 0..g.n() as u32 {
+            for &v in g.neighbors(u) {
+                for &w in g.neighbors(v) {
+                    assert!(
+                        !(w > v && v > u && g.has_edge(w, u)),
+                        "triangle {u},{v},{w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn near_bipartite_triangles_touch_defects() {
+        // with zero defects the construction is exactly bipartite
+        let g = near_bipartite(40, 0, 9);
+        for u in 0..g.n() as u32 {
+            for &v in g.neighbors(u) {
+                for &w in g.neighbors(v) {
+                    assert!(
+                        !(w > v && v > u && g.has_edge(w, u)),
+                        "triangle {u},{v},{w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_pileup_hub_degrees_tie() {
+        let hubs = 6;
+        let leaves = 10;
+        let g = hub_pileup(hubs, leaves, 1);
+        let hub_degree = g.degree(0);
+        for h in 1..hubs as u32 {
+            assert_eq!(g.degree(h), hub_degree, "hub {h}");
+        }
+        assert_eq!(hub_degree, hubs - 1 + leaves);
+    }
+}

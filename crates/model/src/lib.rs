@@ -32,6 +32,7 @@ pub mod hfun;
 pub mod limits;
 pub mod mc;
 pub mod order_stats;
+pub mod plan;
 pub mod pricing;
 pub mod quick;
 pub mod regimes;
@@ -52,6 +53,9 @@ pub use fit::{hill_estimator, lomax_mle, recommend, Recommendation};
 pub use hfun::{g, CostClass};
 pub use limits::{finiteness_threshold, is_finite, limiting_cost, limiting_cost_at};
 pub use mc::mc_cost;
+pub use plan::{
+    degree_sample, rank_plans, DegreeSample, MachineProfile, PlanCandidate, PlanConfig, RankedPlans,
+};
 pub use pricing::{price_from_distribution, price_request, RequestPrice};
 pub use quick::{block_count, quick_cost};
 pub use regimes::{asymptotic_winner, finite_pairs, vertex_regime, AsymptoticWinner, VertexRegime};

@@ -63,6 +63,60 @@ pub fn smallest_last_labels(graph: &Graph) -> Vec<u32> {
     labels
 }
 
+/// Per-node core numbers from the same smallest-last peel.
+///
+/// The core number of `v` is the largest `k` such that `v` belongs to a
+/// subgraph of minimum degree `k`; it equals the running maximum of the
+/// residual degree observed when `v` is removed. The peel order (and thus
+/// any tie-breaking) is identical to [`smallest_last_labels`], so
+/// `core_numbers(g)[v]` bounds the out-degree of `v` under the
+/// smallest-last labeling.
+pub fn core_numbers(graph: &Graph) -> Vec<u32> {
+    let n = graph.n();
+    let mut residual: Vec<usize> = (0..n as u32).map(|v| graph.degree(v)).collect();
+    let max_deg = residual.iter().copied().max().unwrap_or(0);
+
+    let mut bucket: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    let mut slot = vec![0usize; n];
+    for v in 0..n {
+        slot[v] = bucket[residual[v]].len();
+        bucket[residual[v]].push(v as u32);
+    }
+
+    let mut removed = vec![false; n];
+    let mut core = vec![0u32; n];
+    let mut cursor = 0usize;
+    let mut running_max = 0usize;
+    for _ in 0..n {
+        while bucket[cursor].is_empty() {
+            cursor += 1;
+        }
+        let v = bucket[cursor].pop().expect("bucket non-empty") as usize;
+        removed[v] = true;
+        running_max = running_max.max(cursor);
+        core[v] = running_max as u32;
+        for &w in graph.neighbors(v as u32) {
+            let w = w as usize;
+            if removed[w] {
+                continue;
+            }
+            let d = residual[w];
+            let s = slot[w];
+            let last = *bucket[d].last().expect("w is in bucket[d]");
+            bucket[d][s] = last;
+            slot[last as usize] = s;
+            bucket[d].pop();
+            residual[w] = d - 1;
+            slot[w] = bucket[d - 1].len();
+            bucket[d - 1].push(w as u32);
+            if d - 1 < cursor {
+                cursor = d - 1;
+            }
+        }
+    }
+    core
+}
+
 /// The degeneracy of `graph`: the maximum residual degree encountered by the
 /// smallest-last removal, which equals the largest `k` such that a `k`-core
 /// exists.
@@ -164,5 +218,65 @@ mod tests {
         let g = Graph::from_edges(3, &[]).unwrap();
         assert_eq!(degeneracy(&g), 0);
         assert_eq!(smallest_last_labels(&g).len(), 3);
+        assert_eq!(core_numbers(&g), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn core_numbers_k4_with_pendant() {
+        // K4 on {0..3} plus pendant 4–0: K4 is a 3-core, the pendant is a
+        // 1-core, and node 0 inherits the 3-core membership
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)])
+            .unwrap();
+        assert_eq!(core_numbers(&g), vec![3, 3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn core_numbers_match_degeneracy_and_bound_out_degree() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let n = 50;
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.1) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let core = core_numbers(&g);
+            let labels = smallest_last_labels(&g);
+            assert_eq!(core.iter().copied().max().unwrap() as usize, degeneracy(&g));
+            // peel invariant: out-degree under smallest-last ≤ core number
+            for v in 0..n as u32 {
+                let out = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&w| labels[w as usize] < labels[v as usize])
+                    .count();
+                assert!(
+                    out <= core[v as usize] as usize,
+                    "node {v}: out {out} > core {}",
+                    core[v as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peel_is_deterministic_under_ties() {
+        // C4: every node has degree 2, so every removal is a tie. The peel
+        // must break ties the same way on every run and regardless of the
+        // edge-list order handed to the builder.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let shuffled = Graph::from_edges(4, &[(3, 0), (1, 2), (0, 1), (2, 3)]).unwrap();
+        let a = smallest_last_labels(&g);
+        assert_eq!(a, smallest_last_labels(&g));
+        assert_eq!(a, smallest_last_labels(&shuffled));
+        // pin the tie-break itself so a refactor of the bucket queue is a
+        // loud diff: the highest-id node is popped first (largest label)
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 2]);
     }
 }

@@ -30,9 +30,10 @@ pub mod opt;
 pub mod orient;
 pub mod perm;
 pub mod relabel;
+pub mod tailored;
 
 pub use admissible::{convergence_profile, kernel_distance};
-pub use degenerate::{degeneracy, smallest_last_labels};
+pub use degenerate::{core_numbers, degeneracy, smallest_last_labels};
 pub use family::{
     ascending, complementary_round_robin, descending, round_robin, uniform, OrderFamily,
 };
@@ -41,3 +42,6 @@ pub use opt::{opt_permutation, pessimal_permutation, Monotonicity};
 pub use orient::DirectedGraph;
 pub use perm::{PermError, Permutation};
 pub use relabel::Relabeling;
+pub use tailored::{
+    orientation_work, refine_labels, refined_labels, split_labels, OrderingKind, RefineObjective,
+};

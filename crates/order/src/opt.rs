@@ -123,6 +123,45 @@ mod tests {
     }
 
     #[test]
+    fn constant_h_is_stable_identity_for_both_monotonicities() {
+        // a constant shape gives no information; the stable sort must fall
+        // back to the identity regardless of r's direction
+        for r in [Monotonicity::Increasing, Monotonicity::Decreasing] {
+            let p = opt_permutation(8, |_| 2.5, r);
+            assert_eq!(p, Permutation::identity(8), "{r:?}");
+            let w = pessimal_permutation(8, |_| 2.5, r);
+            assert_eq!(w, Permutation::identity(8).complement(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_n_le_2() {
+        let h = |x: f64| x * x / 2.0;
+        for r in [Monotonicity::Increasing, Monotonicity::Decreasing] {
+            // n = 0: empty permutation, no panic
+            assert_eq!(opt_permutation(0, h, r).len(), 0);
+            assert_eq!(pessimal_permutation(0, h, r).len(), 0);
+            // n = 1: only one bijection exists
+            assert_eq!(opt_permutation(1, h, r), Permutation::identity(1));
+            assert_eq!(pessimal_permutation(1, h, r), Permutation::identity(1));
+        }
+        // n = 2 with increasing h and increasing r: larger h first → θ_D
+        assert_eq!(
+            opt_permutation(2, h, Monotonicity::Increasing),
+            descending(2)
+        );
+        assert_eq!(
+            opt_permutation(2, h, Monotonicity::Decreasing),
+            Permutation::identity(2)
+        );
+        // pessimal is always the complement, including at n = 2
+        assert_eq!(
+            pessimal_permutation(2, h, Monotonicity::Increasing),
+            descending(2).complement()
+        );
+    }
+
+    #[test]
     fn pessimal_is_complement_of_optimal() {
         let h = |x: f64| x * x / 2.0;
         let best = opt_permutation(12, h, Monotonicity::Increasing);

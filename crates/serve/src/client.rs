@@ -5,7 +5,7 @@
 use crate::codec::WireError;
 use crate::protocol::{
     encode_frame, merge_pieces, read_frame, write_frame, ErrorCode, ErrorFrame, FrameError,
-    ListParams, Request, Response, RunResult,
+    ListParams, PlanInfo, Request, Response, RunResult,
 };
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -473,6 +473,17 @@ impl Client {
         match self.call_ok(&Request::Stats)? {
             Response::StatsResult(fields) => Ok(fields),
             _ => Err(ClientError::Unexpected("wanted StatsResult")),
+        }
+    }
+
+    /// Asks the server which listing plan its autotuner picked for a
+    /// registered graph (computing and caching the plan on first ask).
+    pub fn explain_plan(&mut self, graph: &str) -> Result<PlanInfo, ClientError> {
+        match self.call_ok(&Request::ExplainPlan {
+            graph: graph.to_string(),
+        })? {
+            Response::PlanResult(info) => Ok(info),
+            _ => Err(ClientError::Unexpected("wanted PlanResult")),
         }
     }
 

@@ -430,9 +430,9 @@ fn predict_is_bounded(shared: &Shared, req: &Request) -> bool {
     let Request::ModelPredict { graph, family, .. } = req else {
         return false;
     };
-    match trilist_order::OrderFamily::from_name(family) {
+    match trilist_order::OrderingKind::from_name(family) {
         None => true, // answers BadRequest immediately
-        Some(f) => shared.store.graph(graph).is_none() || shared.store.has_prepared(graph, f),
+        Some(k) => shared.store.graph(graph).is_none() || shared.store.has_prepared(graph, k),
     }
 }
 

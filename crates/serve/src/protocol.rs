@@ -12,7 +12,7 @@
 //! f64     := raw IEEE-754 bits as u64le (bit-exact round-trip)
 //! ```
 //!
-//! Request kinds occupy `0x01..=0x06`, response kinds `0x81..=0x86`, and
+//! Request kinds occupy `0x01..=0x07`, response kinds `0x81..=0x87`, and
 //! `0xFF` is the typed error frame. Every decode failure surfaces as a
 //! [`WireError`] — the decoder has no panicking paths and never allocates
 //! beyond the bytes actually received (`tests/serve_props.rs`).
@@ -53,6 +53,12 @@ pub enum Request {
         method: String,
         /// Permutation family name (`desc`, `rr`, …).
         family: String,
+    },
+    /// Report the autotuner's [`PlanInfo`] for a registered graph — the
+    /// plan unpinned `List`/`Count` requests execute under.
+    ExplainPlan {
+        /// Registered graph name.
+        graph: String,
     },
     /// Fetch server counters (cache, admission, recorder, gauge).
     Stats,
@@ -121,12 +127,43 @@ pub enum Response {
         /// Nodes priced over.
         n: u64,
     },
+    /// The autotuner's verdict for a graph.
+    PlanResult(PlanInfo),
     /// Named counters, in a stable server-defined order.
     StatsResult(Vec<(String, u64)>),
     /// Drain acknowledged; in-flight requests will finish.
     ShutdownAck,
     /// Typed failure.
     Error(ErrorFrame),
+}
+
+/// The `ExplainPlan` answer: the stored [`ListingPlan`] by name, plus the
+/// ranking context (predicted winner vs paper-default cost, candidates
+/// evaluated, whether the degree sample was a reservoir).
+///
+/// [`ListingPlan`]: trilist_core::ListingPlan
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanInfo {
+    /// Chosen ordering name (`desc`, …, `split`, `refined`).
+    pub ordering: String,
+    /// Chosen method name (`T1`, `T2`, `E1`, `E4`).
+    pub method: String,
+    /// Chosen kernel policy name (`paper`, `adaptive`, `bitset`).
+    pub policy: String,
+    /// Whether runs list from the compressed CSR.
+    pub compressed: bool,
+    /// Model-predicted elementary operations of the winner.
+    pub predicted_ops: f64,
+    /// Winner operations scaled through the machine profile (seconds).
+    pub predicted_seconds: f64,
+    /// Predicted operations of the paper default (E1 under θ_D).
+    pub default_ops: f64,
+    /// Paper-default operations in profile seconds.
+    pub default_seconds: f64,
+    /// Candidates the autotuner evaluated (0 = no autotuning mode).
+    pub evaluations: u64,
+    /// Whether family pricing ran on a reservoir degree sample.
+    pub sampled: bool,
 }
 
 /// One executed (possibly partial) listing/counting run.
@@ -282,12 +319,14 @@ const KIND_COUNT: u8 = 0x03;
 const KIND_PREDICT: u8 = 0x04;
 const KIND_STATS: u8 = 0x05;
 const KIND_SHUTDOWN: u8 = 0x06;
+const KIND_EXPLAIN_PLAN: u8 = 0x07;
 const KIND_REGISTERED: u8 = 0x81;
 const KIND_LIST_RESULT: u8 = 0x82;
 const KIND_COUNT_RESULT: u8 = 0x83;
 const KIND_PREDICTED: u8 = 0x84;
 const KIND_STATS_RESULT: u8 = 0x85;
 const KIND_SHUTDOWN_ACK: u8 = 0x86;
+const KIND_PLAN_RESULT: u8 = 0x87;
 const KIND_ERROR: u8 = 0xFF;
 
 fn put_cost(w: &mut Writer, c: &CostReport) {
@@ -373,6 +412,7 @@ impl Request {
             Request::List(_) => KIND_LIST,
             Request::Count(_) => KIND_COUNT,
             Request::ModelPredict { .. } => KIND_PREDICT,
+            Request::ExplainPlan { .. } => KIND_EXPLAIN_PLAN,
             Request::Stats => KIND_STATS,
             Request::Shutdown => KIND_SHUTDOWN,
         }
@@ -400,6 +440,7 @@ impl Request {
                 w.string(method);
                 w.string(family);
             }
+            Request::ExplainPlan { graph } => w.string(graph),
             Request::Stats | Request::Shutdown => {}
         }
         w.into_bytes()
@@ -421,6 +462,7 @@ impl Request {
                 method: r.string()?,
                 family: r.string()?,
             },
+            KIND_EXPLAIN_PLAN => Request::ExplainPlan { graph: r.string()? },
             KIND_STATS => Request::Stats,
             KIND_SHUTDOWN => Request::Shutdown,
             other => return Err(WireError::UnknownKind(other)),
@@ -438,6 +480,7 @@ impl Response {
             Response::ListResult(_) => KIND_LIST_RESULT,
             Response::CountResult(_) => KIND_COUNT_RESULT,
             Response::Predicted { .. } => KIND_PREDICTED,
+            Response::PlanResult(_) => KIND_PLAN_RESULT,
             Response::StatsResult(_) => KIND_STATS_RESULT,
             Response::ShutdownAck => KIND_SHUTDOWN_ACK,
             Response::Error(_) => KIND_ERROR,
@@ -461,6 +504,18 @@ impl Response {
                 w.f64(*per_node);
                 w.f64(*total_ops);
                 w.u64(*n);
+            }
+            Response::PlanResult(info) => {
+                w.string(&info.ordering);
+                w.string(&info.method);
+                w.string(&info.policy);
+                w.bool(info.compressed);
+                w.f64(info.predicted_ops);
+                w.f64(info.predicted_seconds);
+                w.f64(info.default_ops);
+                w.f64(info.default_seconds);
+                w.u64(info.evaluations);
+                w.bool(info.sampled);
             }
             Response::StatsResult(fields) => {
                 w.array(fields, |w, (name, value)| {
@@ -492,6 +547,18 @@ impl Response {
                 total_ops: r.f64()?,
                 n: r.u64()?,
             },
+            KIND_PLAN_RESULT => Response::PlanResult(PlanInfo {
+                ordering: r.string()?,
+                method: r.string()?,
+                policy: r.string()?,
+                compressed: r.bool()?,
+                predicted_ops: r.f64()?,
+                predicted_seconds: r.f64()?,
+                default_ops: r.f64()?,
+                default_seconds: r.f64()?,
+                evaluations: r.u64()?,
+                sampled: r.bool()?,
+            }),
             KIND_STATS_RESULT => {
                 Response::StatsResult(r.array(12, |r| Ok((r.string()?, r.u64()?)))?)
             }
@@ -735,6 +802,7 @@ mod tests {
             method: "T2".into(),
             family: "rr".into(),
         });
+        round_trip_request(&Request::ExplainPlan { graph: "g".into() });
         round_trip_request(&Request::Stats);
         round_trip_request(&Request::Shutdown);
         round_trip_response(&Response::Registered { n: 10, m: 45 });
@@ -766,6 +834,18 @@ mod tests {
             total_ops: -0.0,
             n: 7,
         });
+        round_trip_response(&Response::PlanResult(PlanInfo {
+            ordering: "refined".into(),
+            method: "E4".into(),
+            policy: "bitset".into(),
+            compressed: true,
+            predicted_ops: 1234.5,
+            predicted_seconds: 0.125,
+            default_ops: 2048.0,
+            default_seconds: -0.0,
+            evaluations: 96,
+            sampled: true,
+        }));
         round_trip_response(&Response::StatsResult(vec![
             ("cache_hits".into(), 3),
             ("gauge_bytes".into(), u64::MAX),

@@ -36,7 +36,8 @@ use crate::admission::{Admission, AdmissionConfig};
 use crate::chaos::{write_all_resilient, ChaosHub, ChaosPlan, ChaosStream, ExecFault};
 use crate::event_loop;
 use crate::protocol::{
-    encode_frame, scan_frame, ErrorCode, ErrorFrame, ListParams, Request, Response, RunResult,
+    encode_frame, scan_frame, ErrorCode, ErrorFrame, ListParams, PlanInfo, Request, Response,
+    RunResult,
 };
 use crate::store::{GraphStore, Prepared, StoreConfig};
 use std::io::Read;
@@ -50,7 +51,7 @@ use trilist_core::{
     ParallelOpts, Recorder, ResilientOpts, ResumeParseError, ResumePoint, RunBudget, RunOutcome,
 };
 use trilist_model::price_request;
-use trilist_order::OrderFamily;
+use trilist_order::OrderingKind;
 
 /// Server knobs.
 #[derive(Clone, Debug)]
@@ -141,6 +142,7 @@ pub(crate) struct RequestCounters {
     list: AtomicU64,
     count: AtomicU64,
     predict: AtomicU64,
+    explain: AtomicU64,
     stats: AtomicU64,
     shutdown: AtomicU64,
     errors: AtomicU64,
@@ -182,7 +184,8 @@ impl Server {
             .chaos
             .map(|plan| Arc::new(ChaosHub::new(plan, Arc::clone(&recorder))));
         let shared = Arc::new(Shared {
-            store: GraphStore::new(cfg.store.clone(), gauge.clone()),
+            store: GraphStore::new(cfg.store.clone(), gauge.clone())
+                .with_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>),
             admission: Admission::new(cfg.admission),
             recorder,
             shutting: AtomicBool::new(false),
@@ -475,6 +478,10 @@ pub(crate) fn classify(shared: &Shared, req: Request) -> Dispatch {
             c.predict.fetch_add(1, Ordering::Relaxed);
             Dispatch::Express(req)
         }
+        Request::ExplainPlan { .. } => {
+            c.explain.fetch_add(1, Ordering::Relaxed);
+            Dispatch::Express(req)
+        }
         Request::List(_) => {
             c.list.fetch_add(1, Ordering::Relaxed);
             Dispatch::Priced(req)
@@ -503,6 +510,10 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
             family,
         } => match predict(shared, &graph, &method, &family) {
             Ok(resp) => resp,
+            Err(e) => Response::Error(e),
+        },
+        Request::ExplainPlan { graph } => match explain_plan(shared, &graph) {
+            Ok(info) => Response::PlanResult(info),
             Err(e) => Response::Error(e),
         },
         Request::List(p) => match run_listing(shared, &p, true) {
@@ -608,8 +619,8 @@ fn parse_method(name: &str) -> Result<Method, ErrorFrame> {
     Method::from_name(name).ok_or_else(|| bad(format!("unknown method {name:?}")))
 }
 
-fn parse_family(name: &str) -> Result<OrderFamily, ErrorFrame> {
-    OrderFamily::from_name(name).ok_or_else(|| bad(format!("unknown order family {name:?}")))
+fn parse_ordering(name: &str) -> Result<OrderingKind, ErrorFrame> {
+    OrderingKind::from_name(name).ok_or_else(|| bad(format!("unknown ordering {name:?}")))
 }
 
 fn predict(
@@ -619,16 +630,38 @@ fn predict(
     family: &str,
 ) -> Result<Response, ErrorFrame> {
     let method = parse_method(method)?;
-    let family = parse_family(family)?;
+    let ordering = parse_ordering(family)?;
     let (prepared, _) = shared
         .store
-        .prepare(graph, family)
+        .prepare(graph, ordering)
         .map_err(|e| ErrorFrame::new(ErrorCode::UnknownGraph, e.to_string()))?;
     let price = price_request(method, &prepared.degrees_by_label);
     Ok(Response::Predicted {
         per_node: price.per_node,
         total_ops: price.total_ops,
         n: price.n,
+    })
+}
+
+/// Resolves (computing and caching if needed) the graph's listing plan
+/// and flattens it into the wire [`PlanInfo`] frame.
+fn explain_plan(shared: &Shared, graph: &str) -> Result<PlanInfo, ErrorFrame> {
+    let summary = shared
+        .store
+        .listing_plan(graph)
+        .map_err(|e| ErrorFrame::new(ErrorCode::UnknownGraph, e.to_string()))?;
+    let plan = &summary.plan;
+    Ok(PlanInfo {
+        ordering: plan.ordering.name().to_string(),
+        method: plan.method_hint.to_string(),
+        policy: plan.policy.name().to_string(),
+        compressed: plan.compressed,
+        predicted_ops: summary.predicted_ops,
+        predicted_seconds: summary.predicted_seconds,
+        default_ops: summary.default_ops,
+        default_seconds: summary.default_seconds,
+        evaluations: summary.evaluations,
+        sampled: summary.sampled,
     })
 }
 
@@ -675,18 +708,43 @@ fn run_listing(
     p: &ListParams,
     materialize: bool,
 ) -> Result<RunResult, ErrorFrame> {
-    let method = parse_method(&p.method)?;
+    // Unpinned requests leave method/ordering/policy as empty strings;
+    // the blanks resolve from the store's per-graph listing plan, so an
+    // unpinned run is byte-identical to an explicit request naming the
+    // plan's choices (pinned by tests/serve_differential.rs). Explicitly
+    // pinned fields always win.
+    let unpinned = p.method.is_empty() || p.family.is_empty() || p.policy.is_empty();
+    let plan = if unpinned {
+        Some(
+            shared
+                .store
+                .listing_plan(&p.graph)
+                .map_err(|e| ErrorFrame::new(ErrorCode::UnknownGraph, e.to_string()))?,
+        )
+    } else {
+        None
+    };
+    let method = match &plan {
+        Some(s) if p.method.is_empty() => s.plan.method_hint,
+        _ => parse_method(&p.method)?,
+    };
     if !Method::FUNDAMENTAL.contains(&method) {
         return Err(bad(format!(
             "method {method} is not served (the parallel runtime covers T1, T2, E1, E4)"
         )));
     }
-    let family = parse_family(&p.family)?;
-    let mut policy = KernelPolicy::from_name(&p.policy)
-        .ok_or_else(|| bad(format!("unknown kernel policy {:?}", p.policy)))?;
+    let ordering = match &plan {
+        Some(s) if p.family.is_empty() => s.plan.ordering,
+        _ => parse_ordering(&p.family)?,
+    };
+    let mut policy = match &plan {
+        Some(s) if p.policy.is_empty() => s.plan.policy,
+        _ => KernelPolicy::from_name(&p.policy)
+            .ok_or_else(|| bad(format!("unknown kernel policy {:?}", p.policy)))?,
+    };
     let (prepared, cache_hit) = shared
         .store
-        .prepare(&p.graph, family)
+        .prepare(&p.graph, ordering)
         .map_err(|e| ErrorFrame::new(ErrorCode::UnknownGraph, e.to_string()))?;
 
     // Degrade-before-reject: under pressure, trade speed for survival
@@ -875,6 +933,7 @@ fn stats_fields(shared: &Shared) -> Vec<(String, u64)> {
         ("requests_list".into(), c.list.load(Ordering::Relaxed)),
         ("requests_count".into(), c.count.load(Ordering::Relaxed)),
         ("requests_predict".into(), c.predict.load(Ordering::Relaxed)),
+        ("requests_explain".into(), c.explain.load(Ordering::Relaxed)),
         ("requests_stats".into(), c.stats.load(Ordering::Relaxed)),
         (
             "requests_shutdown".into(),
@@ -908,6 +967,8 @@ fn stats_fields(shared: &Shared) -> Vec<(String, u64)> {
         ("cache_cold_evictions".into(), s.cold_evictions),
         ("cache_entries".into(), s.entries),
         ("cache_bytes".into(), s.bytes),
+        ("plans_cached".into(), s.plans),
+        ("plan_bytes".into(), s.plan_bytes),
         ("graphs_registered".into(), s.graphs),
         ("gauge_bytes".into(), shared.gauge.used()),
         (

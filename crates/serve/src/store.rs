@@ -20,9 +20,12 @@
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use trilist_core::{CompressedCsr, HashOracle, KernelPlan, Kernels, MemoryGauge};
+use trilist_core::{
+    CompressedCsr, Counter, HashOracle, KernelPlan, Kernels, ListingPlan, MemoryGauge, Recorder,
+};
 use trilist_graph::{Graph, GraphError};
-use trilist_order::{DirectedGraph, OrderFamily};
+use trilist_model::{rank_plans, MachineProfile, PlanConfig};
+use trilist_order::{DirectedGraph, OrderFamily, OrderingKind};
 
 /// How the store decides each prepared entry's [`KernelPlan`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -37,6 +40,19 @@ pub enum PlanMode {
     /// cache miss, so reserve it for long-lived registrations.
     Calibrate {
         /// Timing repetitions per kernel (best round kept).
+        rounds: usize,
+    },
+    /// Run the full per-graph ordering autotuner
+    /// ([`trilist_model::rank_plans`]): one [`ListingPlan`] is computed
+    /// and cached per registered graph, and every prepared entry adopts
+    /// its kernel policy and layout. `rounds == 0` scores candidates
+    /// against the deterministic [`MachineProfile::reference`] (same
+    /// plan on every machine — what the golden pins and differential
+    /// tests use); `rounds > 0` measures this machine's throughputs
+    /// first.
+    Autotune {
+        /// Timing repetitions for the machine profile (0 = the
+        /// deterministic reference profile, no timing at all).
         rounds: usize,
     },
 }
@@ -73,8 +89,79 @@ impl Default for StoreConfig {
     }
 }
 
-/// The cached, query-independent artifacts for one `(graph, family)` key:
-/// everything a listing run needs except the visited ranges.
+/// The per-graph autotuner verdict the store caches alongside the
+/// prepared entries: the winning [`ListingPlan`] plus the ranked-run
+/// context the `ExplainPlan` wire frame reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanSummary {
+    /// The plan unpinned `List`/`Count` requests execute under.
+    pub plan: ListingPlan,
+    /// Model-predicted elementary operations of the winner.
+    pub predicted_ops: f64,
+    /// Winner operations scaled through the machine profile.
+    pub predicted_seconds: f64,
+    /// Predicted operations of the paper default (E1 under θ_D).
+    pub default_ops: f64,
+    /// Paper-default operations scaled through the machine profile.
+    pub default_seconds: f64,
+    /// Candidates the autotuner evaluated (0 when the mode never ran it).
+    pub evaluations: u64,
+    /// Whether family pricing ran on a reservoir degree sample.
+    pub sampled: bool,
+}
+
+impl PlanSummary {
+    /// A no-autotuning summary wrapping a fixed kernel plan: the paper
+    /// default ordering/method with the mode's policy and layout.
+    fn fixed(plan: KernelPlan) -> PlanSummary {
+        PlanSummary {
+            plan: ListingPlan::from_kernel_plan(plan),
+            predicted_ops: 0.0,
+            predicted_seconds: 0.0,
+            default_ops: 0.0,
+            default_seconds: 0.0,
+            evaluations: 0,
+            sampled: false,
+        }
+    }
+
+    /// Gauge charge for keeping this record cached.
+    fn bytes(&self) -> u64 {
+        std::mem::size_of::<PlanSummary>() as u64
+    }
+}
+
+/// Runs the autotuner for `graph` exactly as [`GraphStore::prepare`] does
+/// in [`PlanMode::Autotune`]: `rounds == 0` uses the deterministic
+/// reference profile, `rounds > 0` measures this machine on the
+/// default-ordering orientation first. Exported so tests and the
+/// `autotune_matrix` experiment reproduce the server's plan bit-for-bit.
+pub fn autotune_plan(graph: &Graph, rounds: usize) -> PlanSummary {
+    let profile = if rounds == 0 {
+        MachineProfile::reference()
+    } else {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(PlanConfig::default().seed);
+        let relabeling = OrderFamily::Descending.relabeling(graph, &mut rng);
+        let dg = DirectedGraph::orient(graph, &relabeling);
+        let cal = trilist_model::calibrate(&dg, rounds);
+        let tp = trilist_model::kernel_throughputs(&dg, rounds);
+        MachineProfile::from_measured(&cal, &tp)
+    };
+    let ranked = rank_plans(graph, &profile, &PlanConfig::default());
+    let winner = ranked.candidate_for(&ranked.best);
+    PlanSummary {
+        plan: ranked.best,
+        predicted_ops: winner.map_or(0.0, |c| c.predicted_ops),
+        predicted_seconds: winner.map_or(0.0, |c| c.predicted_seconds),
+        default_ops: ranked.default_ops,
+        default_seconds: ranked.default_seconds,
+        evaluations: ranked.evaluations,
+        sampled: ranked.sampled,
+    }
+}
+
+/// The cached, query-independent artifacts for one `(graph, ordering)`
+/// key: everything a listing run needs except the visited ranges.
 pub struct Prepared {
     /// The oriented (relabeled CSR) graph.
     pub dg: DirectedGraph,
@@ -114,31 +201,34 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
-/// The RNG seed used to relabel `graph_name` under `family_name` with
+/// The RNG seed used to relabel `graph_name` under `ordering_name` with
 /// store base seed `base`. Public so differential tests can reproduce the
 /// server's exact relabeling (only [`OrderFamily::Uniform`] actually
-/// consumes randomness, but the convention covers every family).
-pub fn prepare_seed_for(base: u64, graph_name: &str, family_name: &str) -> u64 {
-    base ^ fnv1a(graph_name).rotate_left(17) ^ fnv1a(family_name)
+/// consumes randomness, but the convention covers every ordering; family
+/// orderings keep their historical [`OrderFamily::name`] seeds).
+pub fn prepare_seed_for(base: u64, graph_name: &str, ordering_name: &str) -> u64 {
+    base ^ fnv1a(graph_name).rotate_left(17) ^ fnv1a(ordering_name)
 }
 
-/// Builds the [`Prepared`] artifacts for `graph` under `family`, using
-/// the store's deterministic seeding convention. This is exactly what the
-/// server executes on a cache miss, exported so tests can compute the
-/// expected byte-identical result in-process.
-pub fn prepare_graph(graph: &Graph, family: OrderFamily, seed: u64) -> Prepared {
-    prepare_graph_with(graph, family, seed, PlanMode::default())
+/// Builds the [`Prepared`] artifacts for `graph` under `ordering` (an
+/// [`OrderingKind`], or an [`OrderFamily`] via `From`), using the store's
+/// deterministic seeding convention. This is exactly what the server
+/// executes on a cache miss, exported so tests can compute the expected
+/// byte-identical result in-process.
+pub fn prepare_graph(graph: &Graph, ordering: impl Into<OrderingKind>, seed: u64) -> Prepared {
+    prepare_graph_with(graph, ordering, seed, PlanMode::default())
 }
 
 /// [`prepare_graph`] under an explicit [`PlanMode`].
 pub fn prepare_graph_with(
     graph: &Graph,
-    family: OrderFamily,
+    ordering: impl Into<OrderingKind>,
     seed: u64,
     mode: PlanMode,
 ) -> Prepared {
+    let ordering = ordering.into();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let relabeling = family.relabeling(graph, &mut rng);
+    let relabeling = ordering.relabeling(graph, &mut rng);
     let dg = DirectedGraph::orient(graph, &relabeling);
     let inverse = relabeling.inverse();
     let degrees_by_label: Vec<u32> = (0..dg.n() as u32).map(|v| dg.degree(v) as u32).collect();
@@ -147,6 +237,7 @@ pub fn prepare_graph_with(
         PlanMode::Calibrate { rounds } => {
             trilist_model::kernel_plan(&trilist_model::kernel_throughputs(&dg, rounds))
         }
+        PlanMode::Autotune { rounds } => autotune_plan(graph, rounds).plan.kernel_plan(),
     };
     let oracle = Arc::new(HashOracle::build(&dg));
     let kernels = Arc::new(Kernels::build(plan.policy, &dg));
@@ -211,6 +302,10 @@ pub struct StoreStats {
     pub bytes: u64,
     /// Graphs currently registered.
     pub graphs: u64,
+    /// Cached per-graph autotuner plans.
+    pub plans: u64,
+    /// Bytes the cached plan records charge to the gauge.
+    pub plan_bytes: u64,
 }
 
 struct CacheSlot {
@@ -222,18 +317,21 @@ struct CacheSlot {
 struct StoreInner {
     graphs: HashMap<String, Arc<Graph>>,
     prepared: HashMap<(String, &'static str), CacheSlot>,
+    plans: HashMap<String, Arc<PlanSummary>>,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
     cold_evictions: u64,
     cached_bytes: u64,
+    plan_bytes: u64,
 }
 
 /// Registered graphs + the prepared LRU, behind one poison-tolerant lock.
 pub struct GraphStore {
     cfg: StoreConfig,
     gauge: MemoryGauge,
+    recorder: Option<Arc<dyn Recorder>>,
     inner: Mutex<StoreInner>,
 }
 
@@ -247,8 +345,16 @@ impl GraphStore {
         GraphStore {
             cfg,
             gauge,
+            recorder: None,
             inner: Mutex::new(StoreInner::default()),
         }
+    }
+
+    /// Attaches the telemetry recorder plan computations report to
+    /// ([`Counter::PlanEvaluations`] / [`Counter::PlanPick`]).
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The gauge cache residency is charged to.
@@ -277,7 +383,16 @@ impl GraphStore {
         for key in stale {
             self.evict_key(&mut inner, &key);
         }
+        self.drop_plan(&mut inner, name);
         Ok((n, m))
+    }
+
+    /// Drops a cached plan record (graph replaced), releasing its charge.
+    fn drop_plan(&self, inner: &mut StoreInner, name: &str) {
+        if let Some(plan) = inner.plans.remove(name) {
+            inner.plan_bytes = inner.plan_bytes.saturating_sub(plan.bytes());
+            self.gauge.release(plan.bytes());
+        }
     }
 
     /// The registered graph under `name`, if any.
@@ -285,32 +400,96 @@ impl GraphStore {
         lock(&self.inner).graphs.get(name).cloned()
     }
 
-    /// Whether `(name, family)` is already in the prepared cache — a
+    /// Whether `(name, ordering)` is already in the prepared cache — a
     /// peek that touches no counters and no LRU state, for callers that
     /// must know whether [`GraphStore::prepare`] would be cheap (the
     /// event loop only answers `ModelPredict` on the loop thread when it
     /// cannot trigger a build).
-    pub fn has_prepared(&self, name: &str, family: OrderFamily) -> bool {
+    pub fn has_prepared(&self, name: &str, ordering: impl Into<OrderingKind>) -> bool {
         lock(&self.inner)
             .prepared
-            .contains_key(&(name.to_string(), family.name()))
+            .contains_key(&(name.to_string(), ordering.into().name()))
     }
 
-    /// The prepared entry for `(name, family)`: from cache on a hit
-    /// (second return `true`), built — and cached, possibly evicting LRU
-    /// entries — on a miss.
-    pub fn prepare(
-        &self,
-        name: &str,
-        family: OrderFamily,
-    ) -> Result<(Arc<Prepared>, bool), StoreError> {
+    /// The graph's [`PlanSummary`] — computed on first use (in
+    /// [`PlanMode::Autotune`] that means running the autotuner), cached
+    /// per graph, charged to the gauge, and reported to the recorder.
+    /// Unpinned `List`/`Count` requests and `ExplainPlan` read this.
+    pub fn listing_plan(&self, name: &str) -> Result<Arc<PlanSummary>, StoreError> {
         let mut inner = lock(&self.inner);
         let graph = inner
             .graphs
             .get(name)
             .cloned()
             .ok_or_else(|| StoreError::UnknownGraph(name.to_string()))?;
-        let key = (name.to_string(), family.name());
+        Ok(self.plan_locked(&mut inner, name, &graph))
+    }
+
+    /// The cached-or-computed plan record for `name`, under the lock.
+    fn plan_locked(
+        &self,
+        inner: &mut StoreInner,
+        name: &str,
+        graph: &Arc<Graph>,
+    ) -> Arc<PlanSummary> {
+        if let Some(plan) = inner.plans.get(name) {
+            return Arc::clone(plan);
+        }
+        let summary = match self.cfg.plan {
+            PlanMode::Fixed(plan) => PlanSummary::fixed(plan),
+            PlanMode::Calibrate { rounds } => {
+                // mode-faithful: the calibrated kernel plan of the
+                // default orientation, no ordering/method autotuning
+                let seed =
+                    prepare_seed_for(self.cfg.prepare_seed, name, OrderFamily::Descending.name());
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let relabeling = OrderFamily::Descending.relabeling(graph, &mut rng);
+                let dg = DirectedGraph::orient(graph, &relabeling);
+                PlanSummary::fixed(trilist_model::kernel_plan(
+                    &trilist_model::kernel_throughputs(&dg, rounds),
+                ))
+            }
+            PlanMode::Autotune { rounds } => {
+                // the planner's transient scratch (candidate labelings +
+                // the degree sample) is charged to the shared gauge for
+                // the duration of the computation
+                let scratch =
+                    3 * (graph.n() as u64) * 4 + PlanConfig::default().sample_size as u64 * 4;
+                self.gauge.add(scratch);
+                let summary = autotune_plan(graph, rounds);
+                self.gauge.release(scratch);
+                summary
+            }
+        };
+        if let Some(recorder) = &self.recorder {
+            recorder.add(Counter::PlanEvaluations, summary.evaluations);
+            recorder.add(Counter::PlanPick, 1);
+        }
+        let summary = Arc::new(summary);
+        self.gauge.add(summary.bytes());
+        inner.plan_bytes += summary.bytes();
+        inner.plans.insert(name.to_string(), Arc::clone(&summary));
+        summary
+    }
+
+    /// The prepared entry for `(name, ordering)`: from cache on a hit
+    /// (second return `true`), built — and cached, possibly evicting LRU
+    /// entries — on a miss. In [`PlanMode::Autotune`] the graph's cached
+    /// [`PlanSummary`] (computed here on the first prepare) supplies the
+    /// kernel policy and layout for every entry of that graph.
+    pub fn prepare(
+        &self,
+        name: &str,
+        ordering: impl Into<OrderingKind>,
+    ) -> Result<(Arc<Prepared>, bool), StoreError> {
+        let ordering = ordering.into();
+        let mut inner = lock(&self.inner);
+        let graph = inner
+            .graphs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::UnknownGraph(name.to_string()))?;
+        let key = (name.to_string(), ordering.name());
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(slot) = inner.prepared.get_mut(&key) {
@@ -320,8 +499,18 @@ impl GraphStore {
             return Ok((entry, true));
         }
         inner.misses += 1;
-        let seed = prepare_seed_for(self.cfg.prepare_seed, name, family.name());
-        let entry = Arc::new(prepare_graph_with(&graph, family, seed, self.cfg.plan));
+        // resolve the mode once: in Autotune the graph-level plan is
+        // computed (and cached, and counted) here, then pinned for the
+        // entry build so the standalone builder reproduces it exactly
+        let mode = match self.cfg.plan {
+            PlanMode::Autotune { .. } => {
+                let summary = self.plan_locked(&mut inner, name, &graph);
+                PlanMode::Fixed(summary.plan.kernel_plan())
+            }
+            other => other,
+        };
+        let seed = prepare_seed_for(self.cfg.prepare_seed, name, ordering.name());
+        let entry = Arc::new(prepare_graph_with(&graph, ordering, seed, mode));
         self.gauge.add(entry.bytes);
         inner.cached_bytes += entry.bytes;
         inner.prepared.insert(
@@ -403,6 +592,8 @@ impl GraphStore {
             entries: inner.prepared.len() as u64,
             bytes: inner.cached_bytes,
             graphs: inner.graphs.len() as u64,
+            plans: inner.plans.len() as u64,
+            plan_bytes: inner.plan_bytes,
         }
     }
 }
@@ -544,6 +735,65 @@ mod tests {
         assert_eq!(entry.kernels.policy(), entry.plan.policy);
         assert_eq!(entry.csr.is_some(), entry.plan.compressed);
         assert_eq!(s.gauge().used(), entry.bytes);
+    }
+
+    #[test]
+    fn autotune_mode_caches_plan_and_records_counters() {
+        use trilist_core::InMemoryRecorder;
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let s = GraphStore::new(
+            StoreConfig {
+                plan: PlanMode::Autotune { rounds: 0 },
+                ..StoreConfig::default()
+            },
+            MemoryGauge::new(),
+        )
+        .with_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+        s.register("g", 60, &triangle_fan(60)).unwrap();
+        let a = s.listing_plan("g").unwrap();
+        let b = s.listing_plan("g").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "plan computed once, then cached");
+        assert!(a.evaluations > 0);
+        assert_eq!(recorder.counter(Counter::PlanEvaluations), a.evaluations);
+        assert_eq!(recorder.counter(Counter::PlanPick), 1);
+        let st = s.stats();
+        assert_eq!(st.plans, 1);
+        assert!(st.plan_bytes > 0);
+        assert_eq!(s.gauge().used(), st.plan_bytes, "only the plan is resident");
+        // re-registering the graph invalidates its plan and its gauge charge
+        s.register("g", 10, &triangle_fan(10)).unwrap();
+        assert_eq!(s.stats().plans, 0);
+        assert_eq!(s.gauge().used(), 0);
+        assert!(s.listing_plan("missing").is_err());
+    }
+
+    #[test]
+    fn autotune_prepare_pins_the_planned_kernel() {
+        let s = GraphStore::new(
+            StoreConfig {
+                plan: PlanMode::Autotune { rounds: 0 },
+                ..StoreConfig::default()
+            },
+            MemoryGauge::new(),
+        );
+        s.register("g", 60, &triangle_fan(60)).unwrap();
+        let summary = s.listing_plan("g").unwrap();
+        let (entry, _) = s.prepare("g", summary.plan.ordering).unwrap();
+        assert_eq!(entry.plan, summary.plan.kernel_plan());
+        // reference-profile planning is deterministic: a fresh store
+        // reproduces the identical summary
+        let s2 = GraphStore::new(
+            StoreConfig {
+                plan: PlanMode::Autotune { rounds: 0 },
+                ..StoreConfig::default()
+            },
+            MemoryGauge::new(),
+        );
+        s2.register("g", 60, &triangle_fan(60)).unwrap();
+        assert_eq!(*s2.listing_plan("g").unwrap(), *summary);
+        // standalone recomputation agrees too
+        let again = autotune_plan(&s.graph("g").unwrap(), 0);
+        assert_eq!(again, *summary);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property-based invariants for the tailored-ordering layer (proptest):
+//! every `OrderingKind` relabels bijectively, the degeneracy peel respects
+//! core numbers, and relabel → list → unrelabel is the identity on the
+//! triangle set for every fundamental method.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use trilist::core::{baseline, Method};
+use trilist::graph::Graph;
+use trilist::order::{core_numbers, DirectedGraph, OrderingKind};
+
+/// Strategy: a random simple graph as an edge mask over `n ≤ 16` nodes.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..16).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), max_edges).prop_map(move |mask| {
+            let mut edges = Vec::new();
+            let mut k = 0;
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if mask[k] {
+                        edges.push((u, v));
+                    }
+                    k += 1;
+                }
+            }
+            Graph::from_edges(n, &edges).expect("mask yields a simple graph")
+        })
+    })
+}
+
+fn ground_truth(g: &Graph) -> Vec<(u32, u32, u32)> {
+    let mut tris = Vec::new();
+    baseline::brute_force(g, |x, y, z| tris.push((x, y, z)));
+    tris.sort_unstable();
+    tris
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_ordering_kind_is_a_bijection(g in arb_graph(), seed in 0u64..1000) {
+        for kind in OrderingKind::ALL {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let labels = kind.relabeling(&g, &mut rng);
+            let mut seen = vec![false; g.n()];
+            for node in 0..g.n() as u32 {
+                let l = labels.label(node) as usize;
+                prop_assert!(l < g.n(), "{}: label out of range", kind.name());
+                prop_assert!(!seen[l], "{}: label {l} assigned twice", kind.name());
+                seen[l] = true;
+            }
+            // determinism: the same seed reproduces the same labels
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let again = kind.relabeling(&g, &mut rng);
+            prop_assert_eq!(labels.as_slice(), again.as_slice(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn degeneracy_peel_out_degrees_bounded_by_core_numbers(g in arb_graph()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let labels = OrderingKind::from_name("degen")
+            .expect("degen is registered")
+            .relabeling(&g, &mut rng);
+        let core = core_numbers(&g);
+        for v in 0..g.n() as u32 {
+            let lv = labels.label(v);
+            let out = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| labels.label(w) < lv)
+                .count();
+            prop_assert!(
+                out <= core[v as usize] as usize,
+                "node {v}: out-degree {out} exceeds core number {}",
+                core[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn relabel_list_unrelabel_is_identity(g in arb_graph(), seed in 0u64..1000) {
+        let want = ground_truth(&g);
+        for kind in OrderingKind::ALL {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let relabeling = kind.relabeling(&g, &mut rng);
+            let dg = DirectedGraph::orient(&g, &relabeling);
+            prop_assert!(dg.validate(), "{}: invalid orientation", kind.name());
+            let inverse = relabeling.inverse();
+            for method in Method::FUNDAMENTAL {
+                let mut got = Vec::new();
+                let cost = method.run(&dg, |x, y, z| {
+                    let mut t = [
+                        inverse[x as usize],
+                        inverse[y as usize],
+                        inverse[z as usize],
+                    ];
+                    t.sort_unstable();
+                    got.push((t[0], t[1], t[2]));
+                });
+                got.sort_unstable();
+                prop_assert_eq!(
+                    &got, &want,
+                    "{} under {} disagrees with brute force", method, kind.name()
+                );
+                prop_assert_eq!(cost.triangles as usize, want.len());
+            }
+        }
+    }
+}

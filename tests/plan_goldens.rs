@@ -1,0 +1,193 @@
+//! Golden plan pins: the autotuner's exact choice and predicted cost on
+//! three Pareto tail configurations and two corpus fixtures, scored
+//! against the deterministic reference machine profile. Any change to
+//! the ordering implementations, the cost model, or the candidate
+//! ranking that moves a winner — or shifts a predicted cost by more than
+//! 1 part in 10⁹ — fails loudly here. The same values are pinned
+//! machine-readably in `BENCH_autotune.json` (see
+//! `crates/experiments/src/bin/autotune_matrix.rs`).
+
+use rand::SeedableRng;
+use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Truncation};
+use trilist::graph::gen::scenarios;
+use trilist::graph::gen::{GraphGenerator, ResidualSampler};
+use trilist::graph::Graph;
+use trilist::model::{rank_plans, MachineProfile, PlanConfig, RankedPlans};
+
+/// Matches the `autotune_matrix` binary's Pareto fixtures: α-tail,
+/// root-truncated, n = 2048 (planner exact mode), seeded from the
+/// default experiment seed.
+fn pareto_fixture(alpha: f64) -> Graph {
+    let n = 2048;
+    let seed = 0x7717_1157u64 ^ ((alpha * 10.0).round() as u64);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dist = Truncated::new(DiscretePareto::paper_beta(alpha), Truncation::Root.t_n(n));
+    let (seq, _) = sample_degree_sequence(&dist, n, &mut rng);
+    ResidualSampler.generate(&seq, &mut rng).graph
+}
+
+/// One golden pin.
+struct Golden {
+    name: &'static str,
+    ordering: &'static str,
+    method: &'static str,
+    policy: &'static str,
+    predicted_ops: f64,
+    predicted_seconds: f64,
+    default_ops: f64,
+}
+
+/// Values learned from the committed `BENCH_autotune.json` generation
+/// run; predicted ops are exact integers, seconds pinned at rel 1e-9.
+const GOLDENS: [Golden; 5] = [
+    Golden {
+        name: "pareto_a15",
+        ordering: "refined",
+        method: "E1",
+        policy: "bitset",
+        predicted_ops: 110109.0,
+        predicted_seconds: 965.868421053,
+        default_ops: 111178.0,
+    },
+    Golden {
+        name: "pareto_a25",
+        ordering: "refined",
+        method: "E1",
+        policy: "bitset",
+        predicted_ops: 182266.0,
+        predicted_seconds: 1598.824561404,
+        default_ops: 183911.0,
+    },
+    Golden {
+        name: "pareto_a35",
+        ordering: "refined",
+        method: "E1",
+        policy: "bitset",
+        predicted_ops: 202114.0,
+        predicted_seconds: 1772.929824561,
+        default_ops: 204069.0,
+    },
+    Golden {
+        name: "planted_community",
+        ordering: "degen",
+        method: "E4",
+        policy: "bitset",
+        predicted_ops: 13695.0,
+        predicted_seconds: 120.131578947,
+        default_ops: 14571.0,
+    },
+    Golden {
+        name: "core_periphery",
+        ordering: "desc",
+        method: "E1",
+        policy: "bitset",
+        predicted_ops: 14550.0,
+        predicted_seconds: 127.631578947,
+        default_ops: 14550.0,
+    },
+];
+
+fn build(name: &str) -> Graph {
+    match name {
+        "pareto_a15" => pareto_fixture(1.5),
+        "pareto_a25" => pareto_fixture(2.5),
+        "pareto_a35" => pareto_fixture(3.5),
+        other => {
+            let sc = scenarios::CORPUS
+                .iter()
+                .find(|sc| sc.name == other)
+                .unwrap_or_else(|| panic!("unknown golden fixture {other}"));
+            (sc.build)()
+        }
+    }
+}
+
+fn rank(g: &Graph) -> RankedPlans {
+    rank_plans(g, &MachineProfile::reference(), &PlanConfig::default())
+}
+
+fn assert_rel(got: f64, want: f64, what: &str, fixture: &str) {
+    let rel = (got - want).abs() / want.abs().max(f64::MIN_POSITIVE);
+    assert!(
+        rel <= 1e-9,
+        "{fixture}: {what} = {got:.12} drifted from golden {want:.12} (rel {rel:.2e})"
+    );
+}
+
+#[test]
+fn golden_plans_are_pinned() {
+    for golden in &GOLDENS {
+        let g = build(golden.name);
+        let ranked = rank(&g);
+        let best = ranked.best;
+        assert_eq!(
+            (
+                best.ordering.name(),
+                best.method_hint.name(),
+                best.policy.name()
+            ),
+            (golden.ordering, golden.method, golden.policy),
+            "{}: the winning plan moved",
+            golden.name
+        );
+        assert!(
+            !best.compressed,
+            "{}: reference profile never compresses",
+            golden.name
+        );
+        let row = ranked
+            .candidate_for(&best)
+            .expect("winner is an evaluated candidate");
+        assert_eq!(
+            row.predicted_ops, golden.predicted_ops,
+            "{}: exact-mode op count moved",
+            golden.name
+        );
+        assert_rel(
+            row.predicted_seconds,
+            golden.predicted_seconds,
+            "predicted seconds",
+            golden.name,
+        );
+        assert_eq!(
+            ranked.default_ops, golden.default_ops,
+            "{}: paper-default op count moved",
+            golden.name
+        );
+        assert_eq!(
+            ranked.evaluations, 96,
+            "{}: 8 orderings x 4 methods x 3 policies",
+            golden.name
+        );
+        assert!(
+            !ranked.sampled,
+            "{}: golden fixtures price exactly",
+            golden.name
+        );
+    }
+}
+
+#[test]
+fn golden_ranking_is_run_to_run_deterministic() {
+    for golden in &GOLDENS[..2] {
+        let g = build(golden.name);
+        let a = rank(&g);
+        let b = rank(&g);
+        assert_eq!(a.best, b.best, "{}", golden.name);
+        assert_eq!(a.evaluations, b.evaluations);
+        let pairs = a.candidates.iter().zip(b.candidates.iter());
+        for (ca, cb) in pairs {
+            assert_eq!(
+                ca.plan(),
+                cb.plan(),
+                "{}: candidate order drifted",
+                golden.name
+            );
+            assert_eq!(
+                ca.predicted_seconds, cb.predicted_seconds,
+                "{}",
+                golden.name
+            );
+        }
+    }
+}

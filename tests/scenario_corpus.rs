@@ -1,0 +1,172 @@
+//! The autotuner's never-regress contract over the adversarial scenario
+//! corpus: on every fixture the planner's choice must (1) list exactly
+//! the brute-force triangle set under every fundamental method, (2) cost
+//! at most 1.05× the paper default when both realized plans are priced
+//! through the reference machine profile on *exact* paper-cost
+//! operations, and (3) produce a `CostReport` byte-identical across
+//! worker-thread counts and adjacency layouts.
+
+use rand::SeedableRng;
+use trilist::core::source::GraphSource;
+use trilist::core::{
+    baseline, list_resilient_src, CompressedCsr, CostReport, ListingPlan, Method, ParallelOpts,
+    ResilientOpts,
+};
+use trilist::graph::gen::scenarios::CORPUS;
+use trilist::graph::Graph;
+use trilist::model::{rank_plans, MachineProfile, PlanConfig};
+use trilist::order::{DirectedGraph, OrderingKind};
+
+/// The corpus contract: the autotuner may never cost more than 5% over
+/// the paper default on any fixture (same ceiling `autotune_matrix
+/// --gate` pins).
+const REGRESS_CEILING: f64 = 1.05;
+
+fn ground_truth(g: &Graph) -> Vec<(u32, u32, u32)> {
+    let mut tris = Vec::new();
+    baseline::brute_force(g, |x, y, z| tris.push((x, y, z)));
+    tris.sort_unstable();
+    tris
+}
+
+/// Orients `graph` under `ordering` with the planner's scoring seed.
+fn oriented(graph: &Graph, ordering: OrderingKind) -> (DirectedGraph, Vec<u32>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(PlanConfig::default().seed);
+    let relabeling = ordering.relabeling(graph, &mut rng);
+    let dg = DirectedGraph::orient(graph, &relabeling);
+    let inverse = relabeling.inverse();
+    (dg, inverse)
+}
+
+/// Realized reference-profile cost of one plan: exact paper ops from an
+/// actual run, priced through the profile's per-method rate.
+fn realized_cost(graph: &Graph, plan: &ListingPlan, profile: &MachineProfile) -> (f64, CostReport) {
+    let (dg, _) = oriented(graph, plan.ordering);
+    let opts = ResilientOpts {
+        parallel: ParallelOpts {
+            threads: 1,
+            policy: plan.policy,
+            ..ParallelOpts::default()
+        },
+        ..ResilientOpts::default()
+    };
+    let run = list_resilient_src(GraphSource::Plain(&dg), plan.method_hint, &opts)
+        .expect("fundamental method")
+        .complete()
+        .expect("unlimited budget");
+    let secs = profile.seconds(plan.method_hint, &plan.policy, run.cost.operations() as f64);
+    (secs, run.cost)
+}
+
+#[test]
+fn every_fixture_methods_agree_on_the_triangle_set() {
+    for sc in CORPUS {
+        let g = (sc.build)();
+        let want = ground_truth(&g);
+        let plan = rank_plans(&g, &MachineProfile::reference(), &PlanConfig::default()).best;
+        // under both the autotuner's ordering and the paper default
+        for ordering in [plan.ordering, ListingPlan::default().ordering] {
+            let (dg, inverse) = oriented(&g, ordering);
+            for method in Method::FUNDAMENTAL {
+                let mut got = Vec::new();
+                let cost = method.run(&dg, |x, y, z| {
+                    let mut t = [
+                        inverse[x as usize],
+                        inverse[y as usize],
+                        inverse[z as usize],
+                    ];
+                    t.sort_unstable();
+                    got.push((t[0], t[1], t[2]));
+                });
+                got.sort_unstable();
+                assert_eq!(
+                    got,
+                    want,
+                    "{}: {method} under {} disagrees with brute force",
+                    sc.name,
+                    ordering.name()
+                );
+                assert_eq!(cost.triangles as usize, want.len(), "{}", sc.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn autotuner_never_regresses_past_the_ceiling() {
+    let profile = MachineProfile::reference();
+    let cfg = PlanConfig::default();
+    for sc in CORPUS {
+        let g = (sc.build)();
+        let ranked = rank_plans(&g, &profile, &cfg);
+        let (plan_secs, plan_cost) = realized_cost(&g, &ranked.best, &profile);
+        let (default_secs, default_cost) = realized_cost(&g, &ListingPlan::default(), &profile);
+        assert_eq!(
+            plan_cost.triangles, default_cost.triangles,
+            "{}: plan changed the triangle count",
+            sc.name
+        );
+        let ratio = plan_secs / default_secs.max(f64::MIN_POSITIVE);
+        assert!(
+            ratio <= REGRESS_CEILING,
+            "{}: autotuner plan costs {ratio:.4}x the paper default (ceiling {REGRESS_CEILING})",
+            sc.name
+        );
+        // exact mode on these sizes: the planner's predicted ops for its
+        // winner must equal the realized ops exactly
+        assert!(
+            !ranked.sampled,
+            "{}: corpus fixtures price exactly",
+            sc.name
+        );
+        let row = ranked
+            .candidate_for(&ranked.best)
+            .expect("winner was evaluated");
+        assert_eq!(
+            row.predicted_ops,
+            plan_cost.operations() as f64,
+            "{}: predicted ops diverge from the realized run",
+            sc.name
+        );
+    }
+}
+
+#[test]
+fn cost_reports_are_invariant_across_threads_and_layouts() {
+    let profile = MachineProfile::reference();
+    let cfg = PlanConfig::default();
+    for sc in CORPUS {
+        let g = (sc.build)();
+        let plan = rank_plans(&g, &profile, &cfg).best;
+        let (dg, _) = oriented(&g, plan.ordering);
+        let csr = CompressedCsr::compress(&dg);
+        let mut reference: Option<CostReport> = None;
+        for threads in 1..=4 {
+            for (layout, src) in [
+                ("plain", GraphSource::Plain(&dg)),
+                ("csr", GraphSource::Compressed(&csr)),
+            ] {
+                let opts = ResilientOpts {
+                    parallel: ParallelOpts {
+                        threads,
+                        policy: plan.policy,
+                        ..ParallelOpts::default()
+                    },
+                    ..ResilientOpts::default()
+                };
+                let run = list_resilient_src(src, plan.method_hint, &opts)
+                    .expect("fundamental method")
+                    .complete()
+                    .expect("unlimited budget");
+                match &reference {
+                    None => reference = Some(run.cost),
+                    Some(want) => assert_eq!(
+                        &run.cost, want,
+                        "{}: CostReport drifted at {threads} threads on {layout}",
+                        sc.name
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -13,7 +13,7 @@ use trilist::graph::dist::{sample_degree_sequence, DiscretePareto, Truncated, Tr
 use trilist::graph::gen::{GraphGenerator, ResidualSampler};
 use trilist::graph::Graph;
 use trilist::serve::{
-    prepare_graph, prepare_seed_for, Client, ListParams, ServeConfig, Server, StoreConfig,
+    prepare_graph, prepare_seed_for, Client, ListParams, PlanMode, ServeConfig, Server, StoreConfig,
 };
 
 /// A reproducible Pareto α = 1.5 graph with plenty of triangles.
@@ -199,6 +199,107 @@ fn chain_driver_matches_manual_merge_and_deadlines_resume() {
     let chain = client.list_to_completion(params).unwrap();
     assert_eq!(chain.cost, expected_cost);
     assert_eq!(chain.triangles, expected_tris);
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn unpinned_requests_are_byte_identical_to_the_plans_explicit_choices() {
+    // An autotuning server (rounds = 0 → deterministic reference
+    // profile): a request that leaves method/ordering/policy blank must
+    // answer byte-identically to one that names the plan's choices
+    // explicitly — including a resume chain interrupted by a memory
+    // ceiling.
+    let g = pareto_graph(600, 0xA070);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let cfg = ServeConfig {
+        store: StoreConfig {
+            plan: PlanMode::Autotune { rounds: 0 },
+            ..StoreConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.register_graph("auto", g.n() as u32, &edges).unwrap();
+
+    // the server explains the plan it will apply to unpinned requests
+    let info = client.explain_plan("auto").unwrap();
+    assert_eq!(info.evaluations, 96, "8 orderings x 4 methods x 3 policies");
+    assert!(info.predicted_seconds <= info.default_seconds * 1.05);
+
+    let explicit = ListParams {
+        threads: 2,
+        ..ListParams::new("auto", &info.method, &info.ordering, &info.policy)
+    };
+    let unpinned = ListParams {
+        threads: 2,
+        ..ListParams::new("auto", "", "", "")
+    };
+    let want = client.list(explicit.clone()).unwrap();
+    let got = client.list(unpinned.clone()).unwrap();
+    assert!(want.complete && got.complete);
+    assert!(want.cost.triangles > 0, "fixture must have triangles");
+    assert_eq!(got.cost, want.cost, "unpinned cost must be byte-identical");
+    assert_eq!(got.triangles, want.triangles);
+    assert_eq!(client.count(unpinned).unwrap().cost, want.cost);
+
+    // partially-pinned: method fixed, ordering and policy from the plan
+    let partial_pin = ListParams {
+        threads: 2,
+        ..ListParams::new("auto", &info.method, "", "")
+    };
+    let partly = client.list(partial_pin).unwrap();
+    assert_eq!(partly.cost, want.cost);
+    assert_eq!(partly.triangles, want.triangles);
+
+    // interrupted resume chain: a 1-byte ceiling interrupts the unpinned
+    // request; the merged chain equals the uninterrupted explicit run
+    let first = ListParams {
+        threads: 2,
+        memory_bytes: 1,
+        ..ListParams::new("auto", "", "", "")
+    };
+    let partial = client.list(first).unwrap();
+    assert!(!partial.complete, "1-byte ceiling must interrupt");
+    assert!(!partial.resume.is_empty());
+    let mut chain = vec![partial];
+    let mut next = ListParams {
+        threads: 2,
+        resume: chain[0].resume.clone(),
+        ..ListParams::new("auto", "", "", "")
+    };
+    loop {
+        let res = client.list(next.clone()).unwrap();
+        let done = res.complete;
+        next.resume = res.resume.clone();
+        chain.push(res);
+        if done {
+            break;
+        }
+    }
+    let mut cost = CostReport::default();
+    for res in &chain {
+        cost.accumulate(&res.cost);
+    }
+    let triangles = trilist::serve::merge_pieces(&chain).expect("consistent piece tables");
+    assert_eq!(cost, want.cost, "merged unpinned chain cost byte-identical");
+    assert_eq!(triangles, want.triangles);
+
+    // the plan surfaces in stats: one cached plan, explain was counted
+    let stats = client.stats().unwrap();
+    let field = |name: &str| {
+        stats
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("stats missing {name}"))
+            .1
+    };
+    assert_eq!(field("plans_cached"), 1);
+    assert!(field("plan_bytes") > 0);
+    assert_eq!(field("requests_explain"), 1);
+    assert_eq!(field("recorder_plan_pick"), 1);
+    assert!(field("recorder_plan_evaluations") >= 96);
     client.shutdown().unwrap();
     server.join();
 }
