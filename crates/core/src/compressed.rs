@@ -25,6 +25,7 @@
 use crate::cost::CostReport;
 use crate::kernel::{Kernels, ListDir, SideOwner};
 use crate::oracle::EdgeOracle;
+use crate::source::GraphSource;
 use trilist_order::DirectedGraph;
 
 fn write_varint(buf: &mut Vec<u8>, mut v: u32) {
@@ -458,6 +459,103 @@ pub fn e4_range_with_csr<F: FnMut(u32, u32, u32)>(
     cost
 }
 
+/// Counting-only E1 over `range` on the compressed layout: every
+/// paper-cost field byte-identical to [`e1_range_with_csr`] with a
+/// counting sink, but the remote decode is skipped whenever
+/// [`Kernels::count_remote`] can answer the pair label-free — under the
+/// bitset policy this is the block *popcount* path
+/// ([`count_blocks`](crate::bitset::BitsetBlocks)), the route the ROADMAP
+/// noted counting mode never reached from the public API.
+pub fn e1_count_with_csr(
+    c: &CompressedCsr,
+    range: std::ops::Range<u32>,
+    k: &Kernels,
+    scratch: &mut DecodeScratch,
+) -> CostReport {
+    let mut cost = CostReport::default();
+    for z in range {
+        c.decode_out_into(z, &mut scratch.node);
+        for j in 0..scratch.node.len() {
+            let y = scratch.node[j];
+            let local = &scratch.node[..j];
+            let rlen = c.x(y);
+            cost.local += local.len() as u64;
+            cost.remote += rlen as u64;
+            let stats = match k.count_remote(local, out_of(z), (y, ListDir::Out), rlen) {
+                Some(stats) => stats,
+                None => {
+                    c.decode_out_into(y, &mut scratch.remote);
+                    k.count(local, out_of(z), &scratch.remote, out_of(y))
+                }
+            };
+            cost.pointer_advances += stats.advances;
+            cost.triangles += stats.matches;
+        }
+    }
+    cost
+}
+
+/// Counting-only E4 over `range` on the compressed layout: byte-identical
+/// paper-cost fields to [`e4_range_with_csr`] with a counting sink. E4's
+/// remote side is a *prefix* of `N⁻(x)` (not the full list), so the
+/// label-free shortcut does not apply — the decode is needed for the
+/// boundary rank regardless — and the counting win is the sink-free
+/// [`Kernels::count`] dispatch (block popcounts under the bitset policy).
+pub fn e4_count_with_csr(
+    c: &CompressedCsr,
+    range: std::ops::Range<u32>,
+    k: &Kernels,
+    scratch: &mut DecodeScratch,
+) -> CostReport {
+    let mut cost = CostReport::default();
+    for z in range {
+        c.decode_out_into(z, &mut scratch.node);
+        for j in 0..scratch.node.len() {
+            let x = scratch.node[j];
+            c.decode_in_into(x, &mut scratch.remote);
+            let r = scratch.remote.partition_point(|&w| w < z);
+            let local = &scratch.node[j + 1..];
+            let remote = &scratch.remote[..r];
+            cost.local += local.len() as u64;
+            cost.remote += remote.len() as u64;
+            let stats = k.count(local, out_of(z), remote, in_of(x));
+            cost.pointer_advances += stats.advances;
+            cost.triangles += stats.matches;
+        }
+    }
+    cost
+}
+
+/// Counts triangles on a compressed graph through the public API, routing
+/// each fundamental method to its counting-mode compressed driver — SEI
+/// methods through [`Kernels::count`]/[`Kernels::count_remote`] (the
+/// block-popcount path under the bitset policy), vertex iterators through
+/// a [`HashOracle`](crate::oracle::HashOracle) built by one streaming
+/// pass. Every paper-cost field is byte-identical to the plain-layout
+/// [`Method::count_with_kernels`](crate::Method::count_with_kernels) on
+/// the decoded graph (pinned in `tests/dynamic_differential.rs`).
+pub fn count_triangles_csr(
+    c: &CompressedCsr,
+    method: crate::Method,
+    k: &Kernels,
+) -> Result<CostReport, crate::parallel::ParallelError> {
+    crate::parallel::ensure_fundamental(method)?;
+    let n = c.n() as u32;
+    let mut scratch = DecodeScratch::default();
+    Ok(match method {
+        crate::Method::E1 => e1_count_with_csr(c, 0..n, k, &mut scratch),
+        crate::Method::E4 => e4_count_with_csr(c, 0..n, k, &mut scratch),
+        crate::Method::T1 => {
+            let oracle = crate::oracle::HashOracle::build_src(GraphSource::Compressed(c));
+            t1_range_csr(c, &oracle, 0..n, &mut scratch, |_, _, _| {})
+        }
+        _ => {
+            let oracle = crate::oracle::HashOracle::build_src(GraphSource::Compressed(c));
+            t2_range_csr(c, &oracle, 0..n, &mut scratch, |_, _, _| {})
+        }
+    })
+}
+
 /// E1 over compressed out-lists: identical search order and accounting as
 /// [`crate::sei::e1`], but every list access is a streaming decode — no
 /// binary search, no slicing, the regime of §2.4's compressed-list remark.
@@ -612,6 +710,59 @@ mod tests {
             assert_eq!(plain, packed, "E4 triangles {}", policy.name());
             assert_eq!(pc, cc, "E4 cost {}", policy.name());
         }
+    }
+
+    #[test]
+    fn counting_matches_plain_and_reaches_block_popcounts() {
+        let dg = fixture();
+        let c = CompressedCsr::compress(&dg);
+        // Public compressed counting == plain counting, byte-identical
+        // CostReports, for every fundamental method under every policy.
+        for policy in [
+            KernelPolicy::PaperFaithful,
+            KernelPolicy::adaptive(),
+            KernelPolicy::bitset(),
+        ] {
+            let k = Kernels::build(policy, &dg);
+            for method in Method::FUNDAMENTAL {
+                let plain = method.count_with_kernels(&dg, &k);
+                let packed = count_triangles_csr(&c, method, &k).unwrap();
+                assert_eq!(plain, packed, "{method:?} {}", policy.name());
+            }
+        }
+        // Non-fundamental methods are rejected, not silently mis-routed.
+        let k = Kernels::build(KernelPolicy::bitset(), &dg);
+        assert!(count_triangles_csr(&c, Method::E2, &k).is_err());
+        // Under the bitset policy, counting-mode E1 must actually reach
+        // the block popcount path from the public route — the
+        // ROADMAP-noted gap this driver closes. Gates forced open (as in
+        // `kernel::tests::meter_tallies_bitset_dispatch`) so the routing
+        // itself, not the fixture's density, is what's under test.
+        use crate::kernel::{AdaptiveConfig, BitsetConfig, KernelMeter};
+        let forced = KernelPolicy::Bitset(BitsetConfig {
+            min_short: 0,
+            min_density: 0,
+            stamp_crossover: u32::MAX,
+            fallback: AdaptiveConfig::default(),
+        });
+        let meter = std::sync::Arc::new(KernelMeter::new());
+        let metered = Kernels::build(forced, &dg).with_meter(std::sync::Arc::clone(&meter));
+        let counted = count_triangles_csr(&c, Method::E1, &metered).unwrap();
+        let listed = e1_range_with_csr(
+            &c,
+            0..dg.n() as u32,
+            &Kernels::build(forced, &dg),
+            &mut DecodeScratch::new(),
+            |_, _, _| {},
+        );
+        assert_eq!(counted, listed, "counting != listing under bitset");
+        let rec = crate::obs::InMemoryRecorder::new();
+        meter.flush_into(&rec);
+        assert!(
+            rec.counter(crate::obs::Counter::IntersectBitset) > 0,
+            "block popcount path never engaged"
+        );
+        assert!(rec.counter(crate::obs::Counter::BitsetBlockSteps) > 0);
     }
 
     #[test]

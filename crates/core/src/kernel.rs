@@ -1105,6 +1105,113 @@ impl Kernels {
         }
         count_branchless(short, long)
     }
+
+    /// Label-free *counting* for compressed sources: [`Kernels::count`]'s
+    /// twin of [`Kernels::intersect_remote`]. Tries to answer the pair
+    /// from the block encodings (`count_blocks` popcount) or a hub row
+    /// (`count_bitmap`) without decoding the remote list; returns `None`
+    /// when the dispatch needs decoded labels, and the caller decodes and
+    /// calls [`Kernels::count`] — which re-derives the same routing, so
+    /// `advances` stays byte-identical either way. The gate sequence
+    /// mirrors `intersect_remote` clause for clause.
+    pub fn count_remote(
+        &self,
+        a: &[u32],
+        a_own: SideOwner,
+        b_own: (u32, ListDir),
+        b_len: usize,
+    ) -> Option<ScanStats> {
+        if a.is_empty() || b_len == 0 {
+            return Some(ScanStats::default());
+        }
+        let KernelPolicy::Bitset(bcfg) = self.policy else {
+            return None;
+        };
+        // stamp gate first, as in `count`: stamps probe decoded labels
+        if a_own.is_some()
+            && a.len() >= bcfg.min_short as usize
+            && a.len() as u64 >= bcfg.stamp_crossover as u64 * b_len as u64
+            && self.bitmap_row(a_own).is_none()
+        {
+            return None;
+        }
+        // block stage: answered entirely from the encodings when dense
+        // enough; a density-gate miss falls through to the fallback
+        // mirror below, exactly like the labeled dispatch
+        'blocks: {
+            if a.len().min(b_len) < bcfg.min_short as usize {
+                break 'blocks;
+            }
+            let Some((va_node, da)) = a_own else {
+                break 'blocks;
+            };
+            let (vb_node, db) = b_own;
+            let blocks_of = |dir| match dir {
+                ListDir::Out => self.out_blocks.as_ref(),
+                ListDir::In => self.in_blocks.as_ref(),
+            };
+            let (Some(ba), Some(bb)) = (blocks_of(da), blocks_of(db)) else {
+                break 'blocks;
+            };
+            if a.len() + b_len
+                < bcfg.min_density as usize * (ba.node_blocks(va_node) + bb.node_blocks(vb_node))
+            {
+                break 'blocks;
+            }
+            let Some((b0, bl)) = bb.label_bounds(vb_node) else {
+                break 'blocks;
+            };
+            if a[0] > bl || b0 > a[a.len() - 1] {
+                if let Some(m) = &self.meter {
+                    m.bump(&m.bitset, 1);
+                }
+                return Some(ScanStats::default());
+            }
+            let (Some(va), Some(vb)) = (
+                ba.view(va_node, a[0], a[a.len() - 1]),
+                bb.view(vb_node, b0, bl),
+            ) else {
+                if let Some(m) = &self.meter {
+                    m.bump(&m.bitset, 1);
+                }
+                return Some(ScanStats::default());
+            };
+            if let Some(m) = &self.meter {
+                m.bump(&m.bitset, 1);
+            }
+            let stats = count_blocks(va, vb);
+            if let Some(m) = &self.meter {
+                m.bump(&m.bitset_words, stats.advances);
+            }
+            return Some(stats);
+        }
+        // fallback mirror: answer label-free whenever the probed side is
+        // the already-decoded local slice (see `intersect_remote`)
+        let b_row_own: SideOwner = Some(b_own);
+        if a.len() <= b_len {
+            if let Some(row) = self.bitmap_row(b_row_own) {
+                let stats = count_bitmap(a, row);
+                if let Some(m) = &self.meter {
+                    m.bump(&m.bitmap, 1);
+                    m.bump(&m.bitmap_probes, stats.advances);
+                }
+                return Some(stats);
+            }
+            return None;
+        }
+        if self.bitmap_row(a_own).is_some() {
+            return None;
+        }
+        if let Some(row) = self.bitmap_row(b_row_own) {
+            let stats = count_bitmap(a, row);
+            if let Some(m) = &self.meter {
+                m.bump(&m.bitmap, 1);
+                m.bump(&m.bitmap_probes, stats.advances);
+            }
+            return Some(stats);
+        }
+        None
+    }
 }
 
 /// An [`EdgeOracle`] that answers hub probes from the out-direction

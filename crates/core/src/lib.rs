@@ -34,6 +34,7 @@ pub mod bitset;
 pub mod clustering;
 pub mod compressed;
 pub mod cost;
+pub mod delta;
 pub mod hasher;
 pub mod intersect;
 pub mod kernel;
@@ -52,8 +53,16 @@ pub mod vertex;
 
 pub use bitset::{set_simd_level, simd_level, BitsetBlocks, SimdLevel};
 pub use clustering::{average_clustering, transitivity, triangle_count, triangle_counts};
-pub use compressed::{e1_compressed, CompressedCsr, CompressedOut, DecodeScratch};
+pub use compressed::{
+    count_triangles_csr, e1_compressed, e1_count_with_csr, e4_count_with_csr, CompressedCsr,
+    CompressedOut, DecodeScratch,
+};
 pub use cost::CostReport;
+pub use delta::{
+    delta_chunk_ranges, edge_ranks, list_new_triangles_src, materialize, net_changes,
+    new_triangles_range_src, normalize_batch, DeltaError, DeltaOpts, DeltaOutcome, DeltaPiece,
+    DeltaResumePoint, DeltaRun, DeltaScratch, EdgeList, EdgeRank, OverlayView,
+};
 pub use kernel::{
     AdaptiveConfig, BitmapOracle, BitsetConfig, HubBitmap, KernelMeter, KernelPlan, KernelPolicy,
     Kernels, ListDir, ListingPlan,

@@ -567,7 +567,7 @@ impl std::fmt::Display for ResumePoint {
 
 /// A [`ResumePoint`] that failed to parse.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ResumeParseError(String);
+pub struct ResumeParseError(pub(crate) String);
 
 impl std::fmt::Display for ResumeParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

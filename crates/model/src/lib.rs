@@ -56,7 +56,7 @@ pub use mc::mc_cost;
 pub use plan::{
     degree_sample, rank_plans, DegreeSample, MachineProfile, PlanCandidate, PlanConfig, RankedPlans,
 };
-pub use pricing::{price_from_distribution, price_request, RequestPrice};
+pub use pricing::{price_delta, price_from_distribution, price_request, RequestPrice};
 pub use quick::{block_count, quick_cost};
 pub use regimes::{asymptotic_winner, finite_pairs, vertex_regime, AsymptoticWinner, VertexRegime};
 pub use scaling::{a_n, b_n, spread_tail};

@@ -57,6 +57,27 @@ pub fn price_request(method: Method, degrees_by_label: &[u32]) -> RequestPrice {
     }
 }
 
+/// Prices a delta run — listing only the triangles introduced by a batch
+/// of net-new edges — on the relabeled degree sequence.
+///
+/// Each new edge `(lo, hi)` (label space, `lo < hi`) drives the three
+/// orientation-split shapes of the dynamic driver, whose combined scan
+/// work is bounded by two passes over each endpoint's adjacency:
+/// `2 · (d(lo) + d(hi))` elementary operations. That is the same
+/// chunking estimate the runtime itself schedules by
+/// (`delta_chunk_ranges`), so admission control prices exactly what the
+/// scheduler will charge.
+pub fn price_delta(degrees_by_label: &[u32], edges: &[(u32, u32)]) -> RequestPrice {
+    let d = |v: u32| degrees_by_label.get(v as usize).copied().unwrap_or(0) as f64;
+    let total_ops: f64 = edges.iter().map(|&(lo, hi)| 2.0 * (d(lo) + d(hi))).sum();
+    let n = degrees_by_label.len() as u64;
+    RequestPrice {
+        per_node: total_ops / n.max(1) as f64,
+        total_ops,
+        n,
+    }
+}
+
 /// Prices `method` under `family` from a parametric degree model via the
 /// exact discrete cost (eq. 50), scaled to `n` nodes. Returns `None` for
 /// [`OrderFamily::Degenerate`], which has no limit map in the model.
@@ -122,6 +143,20 @@ mod tests {
         assert!((p.total_ops - p.per_node * 2_000.0).abs() < 1e-9);
         assert!(p.exceeds(p.total_ops - 1.0));
         assert!(!p.exceeds(p.total_ops + 1.0));
+    }
+
+    #[test]
+    fn delta_price_is_the_schedulers_estimate() {
+        let degrees = vec![4u32, 2, 7, 1];
+        let p = price_delta(&degrees, &[(0, 2), (1, 3)]);
+        // 2·(4+7) + 2·(2+1) = 28, over n = 4 nodes.
+        assert_eq!(p.total_ops, 28.0);
+        assert_eq!(p.n, 4);
+        assert!((p.per_node - 7.0).abs() < 1e-12);
+        // Empty batches price to zero; out-of-range labels count zero
+        // degree instead of panicking (the server validates separately).
+        assert_eq!(price_delta(&degrees, &[]).total_ops, 0.0);
+        assert_eq!(price_delta(&degrees, &[(0, 9)]).total_ops, 8.0);
     }
 
     #[test]

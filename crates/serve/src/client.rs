@@ -4,8 +4,8 @@
 
 use crate::codec::WireError;
 use crate::protocol::{
-    encode_frame, merge_pieces, read_frame, write_frame, ErrorCode, ErrorFrame, FrameError,
-    ListParams, PlanInfo, Request, Response, RunResult,
+    encode_frame, merge_pieces, read_frame, write_frame, DeltaParams, DeltaRunResult, EditInfo,
+    ErrorCode, ErrorFrame, FrameError, ListParams, PlanInfo, Request, Response, RunResult,
 };
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -414,6 +414,98 @@ impl Client {
             let complete = res.complete;
             let resume = res.resume.clone();
             responses.push(res);
+            if complete {
+                break;
+            }
+            if resume.is_empty() {
+                return Err(ClientError::Unexpected("partial result without resume"));
+            }
+            if resume == next.resume {
+                zero_progress += 1;
+                if zero_progress >= MAX_ZERO_PROGRESS {
+                    return Err(ClientError::Unexpected(
+                        "resume chain made no progress across repeated partials",
+                    ));
+                }
+            } else {
+                zero_progress = 0;
+            }
+            next.resume = resume;
+        }
+        let mut cost = CostReport::default();
+        for res in &responses {
+            cost.accumulate(&res.cost);
+        }
+        let triangles =
+            merge_pieces(&responses).ok_or(ClientError::Unexpected("inconsistent piece tables"))?;
+        Ok(ChainResult {
+            triangles,
+            cost,
+            requests: responses.len() as u32,
+            first_cache_hit: responses[0].cache_hit,
+        })
+    }
+
+    /// Appends a batch of new edges to a registered graph, creating a new
+    /// epoch. Runs as a single attempt even with a retry policy armed:
+    /// edits are not idempotent (a replayed batch rejects with
+    /// `AlreadyPresent`), so a transport failure after the server applied
+    /// the batch must surface to the caller instead of double-applying.
+    pub fn add_edges(&mut self, name: &str, edges: &[(u32, u32)]) -> Result<EditInfo, ClientError> {
+        match self.call_once_ok(&Request::AddEdges {
+            graph: name.to_string(),
+            edges: edges.to_vec(),
+        })? {
+            Response::EditResult(info) => Ok(info),
+            _ => Err(ClientError::Unexpected("wanted EditResult")),
+        }
+    }
+
+    /// Removes a batch of existing edges, creating a new epoch. Single
+    /// attempt, like [`Client::add_edges`].
+    pub fn remove_edges(
+        &mut self,
+        name: &str,
+        edges: &[(u32, u32)],
+    ) -> Result<EditInfo, ClientError> {
+        match self.call_once_ok(&Request::RemoveEdges {
+            graph: name.to_string(),
+            edges: edges.to_vec(),
+        })? {
+            Response::EditResult(info) => Ok(info),
+            _ => Err(ClientError::Unexpected("wanted EditResult")),
+        }
+    }
+
+    /// One `ListNewTriangles` request (possibly returning a partial
+    /// result whose resume token continues the window's enumeration).
+    pub fn list_new(&mut self, params: DeltaParams) -> Result<DeltaRunResult, ClientError> {
+        match self.call_ok(&Request::ListNewTriangles(params))? {
+            Response::NewTrianglesResult(res) => Ok(res),
+            _ => Err(ClientError::Unexpected("wanted NewTrianglesResult")),
+        }
+    }
+
+    /// Drives a `ListNewTriangles` window to completion, feeding each
+    /// partial response's resume token into the next request. The window
+    /// end is pinned to the first response's resolved epoch, so a
+    /// [`DeltaParams::LATEST`] request stays on one window even if edits
+    /// land mid-chain — and a compaction mid-chain is invisible (epochs
+    /// never renumber).
+    pub fn list_new_to_completion(
+        &mut self,
+        params: DeltaParams,
+    ) -> Result<ChainResult, ClientError> {
+        let mut responses: Vec<RunResult> = Vec::new();
+        let mut next = params;
+        let mut zero_progress = 0u32;
+        const MAX_ZERO_PROGRESS: u32 = 32;
+        loop {
+            let res = self.list_new(next.clone())?;
+            next.to_epoch = res.to_epoch;
+            let complete = res.result.complete;
+            let resume = res.result.resume.clone();
+            responses.push(res.result);
             if complete {
                 break;
             }

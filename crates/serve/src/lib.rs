@@ -42,14 +42,15 @@ pub use chaos::{ChaosPlan, ChaosStats, ExecFault, IoFault, IoOp};
 pub use client::{ChainResult, Client, ClientError, RetryPolicy};
 pub use codec::{Reader, WireError, Writer};
 pub use protocol::{
-    decode_frame, encode_frame, merge_pieces, read_frame, scan_frame, write_frame, ErrorCode,
-    ErrorFrame, FrameError, ListParams, PlanInfo, Request, Response, RunResult, MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    decode_frame, encode_frame, merge_pieces, read_frame, scan_frame, write_frame, DeltaParams,
+    DeltaRunResult, EditInfo, ErrorCode, ErrorFrame, FrameError, ListParams, PlanInfo, Request,
+    Response, RunResult, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use server::{
     accept_error_action, AcceptAction, DegradeConfig, ServeConfig, Server, ServerHandle,
 };
 pub use store::{
-    autotune_plan, prepare_graph, prepare_graph_with, prepare_seed_for, GraphStore, PlanMode,
-    PlanSummary, Prepared, StoreConfig, StoreError, StoreStats,
+    autotune_plan, prepare_graph, prepare_graph_with, prepare_seed_at, prepare_seed_for,
+    CompactReport, CompactorHandle, EditReceipt, EpochPin, GraphStore, PlanMode, PlanSummary,
+    Prepared, StoreConfig, StoreError, StoreStats,
 };

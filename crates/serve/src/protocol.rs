@@ -12,7 +12,7 @@
 //! f64     := raw IEEE-754 bits as u64le (bit-exact round-trip)
 //! ```
 //!
-//! Request kinds occupy `0x01..=0x07`, response kinds `0x81..=0x87`, and
+//! Request kinds occupy `0x01..=0x0A`, response kinds `0x81..=0x89`, and
 //! `0xFF` is the typed error frame. Every decode failure surfaces as a
 //! [`WireError`] — the decoder has no panicking paths and never allocates
 //! beyond the bytes actually received (`tests/serve_props.rs`).
@@ -60,6 +60,29 @@ pub enum Request {
         /// Registered graph name.
         graph: String,
     },
+    /// Append a batch of new undirected edges to a registered graph,
+    /// creating a new epoch. Validation is all-or-nothing: a batch
+    /// containing a duplicate, a self-loop, an out-of-range endpoint, or
+    /// an edge already present applies nothing.
+    AddEdges {
+        /// Registered graph name.
+        graph: String,
+        /// Undirected edges to insert (order within the batch is
+        /// irrelevant; the resulting epoch is batch-order independent).
+        edges: Vec<(u32, u32)>,
+    },
+    /// Remove a batch of existing edges, creating a new epoch. Same
+    /// all-or-nothing validation as `AddEdges`.
+    RemoveEdges {
+        /// Registered graph name.
+        graph: String,
+        /// Undirected edges to delete (must all be present).
+        edges: Vec<(u32, u32)>,
+    },
+    /// List only the triangles that exist at `to_epoch` but not at
+    /// `from_epoch` — every triangle containing at least one net-new
+    /// edge of the window — without re-listing the whole graph.
+    ListNewTriangles(DeltaParams),
     /// Fetch server counters (cache, admission, recorder, gauge).
     Stats,
     /// Graceful drain: stop accepting work, finish in-flight requests.
@@ -104,6 +127,56 @@ impl ListParams {
     }
 }
 
+/// Parameters for `ListNewTriangles`: an epoch window plus the same
+/// execution knobs as [`ListParams`] (minus `method` — the delta driver
+/// is an E1-style iteration over the window's net-new edges).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaParams {
+    /// Registered graph name.
+    pub graph: String,
+    /// Window start (the epoch whose triangles are "old").
+    pub from_epoch: u64,
+    /// Window end. [`DeltaParams::LATEST`] resolves to the graph's
+    /// latest epoch at execution time; a resumed chain should carry the
+    /// resolved value from the first response so edits landing mid-chain
+    /// cannot shift the window.
+    pub to_epoch: u64,
+    /// Permutation family name (empty = the graph's autotuned plan).
+    pub family: String,
+    /// Kernel policy name (empty = the graph's autotuned plan).
+    pub policy: String,
+    /// Listing threads (0 = server default).
+    pub threads: u16,
+    /// Per-request deadline in milliseconds (0 = none).
+    pub deadline_ms: u64,
+    /// Per-request memory ceiling in bytes (0 = server default).
+    pub memory_bytes: u64,
+    /// Resume token from a previous partial response (empty = fresh run).
+    pub resume: String,
+}
+
+impl DeltaParams {
+    /// Sentinel `to_epoch` meaning "the latest epoch when the request
+    /// executes" (`0` cannot serve — it is a valid epoch).
+    pub const LATEST: u64 = u64::MAX;
+
+    /// Fresh-run parameters with server-default knobs and the plan's
+    /// family/policy.
+    pub fn new(graph: &str, from_epoch: u64, to_epoch: u64) -> Self {
+        DeltaParams {
+            graph: graph.to_string(),
+            from_epoch,
+            to_epoch,
+            family: String::new(),
+            policy: String::new(),
+            threads: 0,
+            deadline_ms: 0,
+            memory_bytes: 0,
+            resume: String::new(),
+        }
+    }
+}
+
 /// A response frame, server → client.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -131,10 +204,53 @@ pub enum Response {
     PlanResult(PlanInfo),
     /// Named counters, in a stable server-defined order.
     StatsResult(Vec<(String, u64)>),
+    /// Outcome of an `AddEdges`/`RemoveEdges` batch.
+    EditResult(EditInfo),
+    /// Outcome of a `ListNewTriangles` request.
+    NewTrianglesResult(DeltaRunResult),
     /// Drain acknowledged; in-flight requests will finish.
     ShutdownAck,
     /// Typed failure.
     Error(ErrorFrame),
+}
+
+/// The `AddEdges`/`RemoveEdges` answer: the epoch the batch created and
+/// the store's compaction posture after it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EditInfo {
+    /// The epoch this batch created (the graph's new latest).
+    pub epoch: u64,
+    /// Edges the batch toggled.
+    pub applied: u64,
+    /// Undirected edge count at the new epoch.
+    pub m: u64,
+    /// Edges edited since the last compaction, across all batches.
+    pub delta_edges: u64,
+    /// `delta_edges / max(compacted m, 1)` — the compaction trigger
+    /// input.
+    pub delta_ratio: f64,
+    /// Whether this batch nudged the background compaction lane.
+    pub compacting: bool,
+}
+
+/// The `ListNewTriangles` answer: the resolved epoch window, the window's
+/// net edge churn, and a [`RunResult`] whose triangles are exactly the
+/// new triangles of the window (each containing ≥ 1 net-new edge). The
+/// embedded result's resume token and piece table follow the same chain
+/// contract as `List` — [`merge_pieces`] over the chain's `result`s
+/// reconstructs the exact sequential order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaRunResult {
+    /// Window start, as requested.
+    pub from_epoch: u64,
+    /// Window end, resolved ([`DeltaParams::LATEST`] never echoes back).
+    pub to_epoch: u64,
+    /// Net-new edges in the window (inserted and still present).
+    pub new_edges: u64,
+    /// Net-removed edges in the window (present before, gone after).
+    pub removed_edges: u64,
+    /// The run itself: cost accounting, triangles, resume continuity.
+    pub result: RunResult,
 }
 
 /// The `ExplainPlan` answer: the stored [`ListingPlan`] by name, plus the
@@ -320,6 +436,9 @@ const KIND_PREDICT: u8 = 0x04;
 const KIND_STATS: u8 = 0x05;
 const KIND_SHUTDOWN: u8 = 0x06;
 const KIND_EXPLAIN_PLAN: u8 = 0x07;
+const KIND_ADD_EDGES: u8 = 0x08;
+const KIND_REMOVE_EDGES: u8 = 0x09;
+const KIND_LIST_NEW: u8 = 0x0A;
 const KIND_REGISTERED: u8 = 0x81;
 const KIND_LIST_RESULT: u8 = 0x82;
 const KIND_COUNT_RESULT: u8 = 0x83;
@@ -327,6 +446,8 @@ const KIND_PREDICTED: u8 = 0x84;
 const KIND_STATS_RESULT: u8 = 0x85;
 const KIND_SHUTDOWN_ACK: u8 = 0x86;
 const KIND_PLAN_RESULT: u8 = 0x87;
+const KIND_EDIT_RESULT: u8 = 0x88;
+const KIND_LIST_NEW_RESULT: u8 = 0x89;
 const KIND_ERROR: u8 = 0xFF;
 
 fn put_cost(w: &mut Writer, c: &CostReport) {
@@ -392,6 +513,32 @@ fn put_run_result(w: &mut Writer, res: &RunResult) {
     });
 }
 
+fn put_delta_params(w: &mut Writer, p: &DeltaParams) {
+    w.string(&p.graph);
+    w.u64(p.from_epoch);
+    w.u64(p.to_epoch);
+    w.string(&p.family);
+    w.string(&p.policy);
+    w.u16(p.threads);
+    w.u64(p.deadline_ms);
+    w.u64(p.memory_bytes);
+    w.string(&p.resume);
+}
+
+fn get_delta_params(r: &mut Reader<'_>) -> Result<DeltaParams, WireError> {
+    Ok(DeltaParams {
+        graph: r.string()?,
+        from_epoch: r.u64()?,
+        to_epoch: r.u64()?,
+        family: r.string()?,
+        policy: r.string()?,
+        threads: r.u16()?,
+        deadline_ms: r.u64()?,
+        memory_bytes: r.u64()?,
+        resume: r.string()?,
+    })
+}
+
 fn get_run_result(r: &mut Reader<'_>) -> Result<RunResult, WireError> {
     Ok(RunResult {
         complete: r.bool()?,
@@ -413,6 +560,9 @@ impl Request {
             Request::Count(_) => KIND_COUNT,
             Request::ModelPredict { .. } => KIND_PREDICT,
             Request::ExplainPlan { .. } => KIND_EXPLAIN_PLAN,
+            Request::AddEdges { .. } => KIND_ADD_EDGES,
+            Request::RemoveEdges { .. } => KIND_REMOVE_EDGES,
+            Request::ListNewTriangles(_) => KIND_LIST_NEW,
             Request::Stats => KIND_STATS,
             Request::Shutdown => KIND_SHUTDOWN,
         }
@@ -441,6 +591,14 @@ impl Request {
                 w.string(family);
             }
             Request::ExplainPlan { graph } => w.string(graph),
+            Request::AddEdges { graph, edges } | Request::RemoveEdges { graph, edges } => {
+                w.string(graph);
+                w.array(edges, |w, &(u, v)| {
+                    w.u32(u);
+                    w.u32(v);
+                });
+            }
+            Request::ListNewTriangles(p) => put_delta_params(&mut w, p),
             Request::Stats | Request::Shutdown => {}
         }
         w.into_bytes()
@@ -463,6 +621,15 @@ impl Request {
                 family: r.string()?,
             },
             KIND_EXPLAIN_PLAN => Request::ExplainPlan { graph: r.string()? },
+            KIND_ADD_EDGES => Request::AddEdges {
+                graph: r.string()?,
+                edges: r.array(8, |r| Ok((r.u32()?, r.u32()?)))?,
+            },
+            KIND_REMOVE_EDGES => Request::RemoveEdges {
+                graph: r.string()?,
+                edges: r.array(8, |r| Ok((r.u32()?, r.u32()?)))?,
+            },
+            KIND_LIST_NEW => Request::ListNewTriangles(get_delta_params(&mut r)?),
             KIND_STATS => Request::Stats,
             KIND_SHUTDOWN => Request::Shutdown,
             other => return Err(WireError::UnknownKind(other)),
@@ -482,6 +649,8 @@ impl Response {
             Response::Predicted { .. } => KIND_PREDICTED,
             Response::PlanResult(_) => KIND_PLAN_RESULT,
             Response::StatsResult(_) => KIND_STATS_RESULT,
+            Response::EditResult(_) => KIND_EDIT_RESULT,
+            Response::NewTrianglesResult(_) => KIND_LIST_NEW_RESULT,
             Response::ShutdownAck => KIND_SHUTDOWN_ACK,
             Response::Error(_) => KIND_ERROR,
         }
@@ -523,6 +692,21 @@ impl Response {
                     w.u64(*value);
                 });
             }
+            Response::EditResult(info) => {
+                w.u64(info.epoch);
+                w.u64(info.applied);
+                w.u64(info.m);
+                w.u64(info.delta_edges);
+                w.f64(info.delta_ratio);
+                w.bool(info.compacting);
+            }
+            Response::NewTrianglesResult(res) => {
+                w.u64(res.from_epoch);
+                w.u64(res.to_epoch);
+                w.u64(res.new_edges);
+                w.u64(res.removed_edges);
+                put_run_result(&mut w, &res.result);
+            }
             Response::ShutdownAck => {}
             Response::Error(e) => {
                 w.u8(e.code.to_byte());
@@ -562,6 +746,21 @@ impl Response {
             KIND_STATS_RESULT => {
                 Response::StatsResult(r.array(12, |r| Ok((r.string()?, r.u64()?)))?)
             }
+            KIND_EDIT_RESULT => Response::EditResult(EditInfo {
+                epoch: r.u64()?,
+                applied: r.u64()?,
+                m: r.u64()?,
+                delta_edges: r.u64()?,
+                delta_ratio: r.f64()?,
+                compacting: r.bool()?,
+            }),
+            KIND_LIST_NEW_RESULT => Response::NewTrianglesResult(DeltaRunResult {
+                from_epoch: r.u64()?,
+                to_epoch: r.u64()?,
+                new_edges: r.u64()?,
+                removed_edges: r.u64()?,
+                result: get_run_result(&mut r)?,
+            }),
             KIND_SHUTDOWN_ACK => Response::ShutdownAck,
             KIND_ERROR => Response::Error(ErrorFrame {
                 code: ErrorCode::from_byte(r.u8()?)?,
@@ -803,6 +1002,28 @@ mod tests {
             family: "rr".into(),
         });
         round_trip_request(&Request::ExplainPlan { graph: "g".into() });
+        round_trip_request(&Request::AddEdges {
+            graph: "g".into(),
+            edges: vec![(0, 7), (3, 4)],
+        });
+        round_trip_request(&Request::RemoveEdges {
+            graph: "g".into(),
+            edges: vec![(1, 2)],
+        });
+        round_trip_request(&Request::ListNewTriangles(DeltaParams::new(
+            "g",
+            0,
+            DeltaParams::LATEST,
+        )));
+        round_trip_request(&Request::ListNewTriangles(DeltaParams {
+            family: "rr".into(),
+            policy: "bitset".into(),
+            threads: 3,
+            deadline_ms: 12,
+            memory_bytes: 1 << 20,
+            resume: "trilist-delta-resume v1 n=10 edges=4 1:2-4".into(),
+            ..DeltaParams::new("g", 2, 5)
+        }));
         round_trip_request(&Request::Stats);
         round_trip_request(&Request::Shutdown);
         round_trip_response(&Response::Registered { n: 10, m: 45 });
@@ -850,6 +1071,33 @@ mod tests {
             ("cache_hits".into(), 3),
             ("gauge_bytes".into(), u64::MAX),
         ]));
+        round_trip_response(&Response::EditResult(EditInfo {
+            epoch: 3,
+            applied: 2,
+            m: 41,
+            delta_edges: 6,
+            delta_ratio: 0.15,
+            compacting: true,
+        }));
+        round_trip_response(&Response::NewTrianglesResult(DeltaRunResult {
+            from_epoch: 1,
+            to_epoch: 3,
+            new_edges: 2,
+            removed_edges: 1,
+            result: RunResult {
+                complete: false,
+                stop_reason: "deadline exceeded".into(),
+                cache_hit: true,
+                cost: CostReport {
+                    triangles: 1,
+                    lookups: 9,
+                    ..CostReport::default()
+                },
+                resume: "trilist-delta-resume v1 n=10 edges=2 1:1-2".into(),
+                chunks: vec![(0, 1)],
+                triangles: vec![(2, 5, 8)],
+            },
+        }));
         round_trip_response(&Response::ShutdownAck);
         round_trip_response(&Response::Error(ErrorFrame::new(
             ErrorCode::RejectedBusy,

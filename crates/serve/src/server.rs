@@ -36,10 +36,10 @@ use crate::admission::{Admission, AdmissionConfig};
 use crate::chaos::{write_all_resilient, ChaosHub, ChaosPlan, ChaosStream, ExecFault};
 use crate::event_loop;
 use crate::protocol::{
-    encode_frame, scan_frame, ErrorCode, ErrorFrame, ListParams, PlanInfo, Request, Response,
-    RunResult,
+    encode_frame, scan_frame, DeltaParams, DeltaRunResult, EditInfo, ErrorCode, ErrorFrame,
+    ListParams, PlanInfo, Request, Response, RunResult,
 };
-use crate::store::{GraphStore, Prepared, StoreConfig};
+use crate::store::{CompactorHandle, EditReceipt, GraphStore, Prepared, StoreConfig, StoreError};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -47,10 +47,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use trilist_core::{
-    list_resilient_src, Counter, GraphSource, InMemoryRecorder, KernelPolicy, MemoryGauge, Method,
-    ParallelOpts, Recorder, ResilientOpts, ResumeParseError, ResumePoint, RunBudget, RunOutcome,
+    list_new_triangles_src, list_resilient_src, Counter, DeltaOpts, DeltaOutcome, DeltaResumePoint,
+    GraphSource, InMemoryRecorder, KernelPolicy, Kernels, MemoryGauge, Method, ParallelOpts,
+    Recorder, ResilientOpts, ResumeParseError, ResumePoint, RunBudget, RunOutcome,
 };
-use trilist_model::price_request;
+use trilist_model::{price_delta, price_request};
 use trilist_order::OrderingKind;
 
 /// Server knobs.
@@ -141,6 +142,9 @@ pub(crate) struct RequestCounters {
     register: AtomicU64,
     list: AtomicU64,
     count: AtomicU64,
+    add_edges: AtomicU64,
+    remove_edges: AtomicU64,
+    list_new: AtomicU64,
     predict: AtomicU64,
     explain: AtomicU64,
     stats: AtomicU64,
@@ -155,7 +159,7 @@ pub(crate) struct RequestCounters {
 pub(crate) struct Shared {
     pub(crate) cfg: ServeConfig,
     pub(crate) gauge: MemoryGauge,
-    pub(crate) store: GraphStore,
+    pub(crate) store: Arc<GraphStore>,
     pub(crate) admission: Admission,
     pub(crate) recorder: Arc<InMemoryRecorder>,
     pub(crate) shutting: AtomicBool,
@@ -183,9 +187,17 @@ impl Server {
         let chaos = cfg
             .chaos
             .map(|plan| Arc::new(ChaosHub::new(plan, Arc::clone(&recorder))));
-        let shared = Arc::new(Shared {
-            store: GraphStore::new(cfg.store.clone(), gauge.clone())
+        let store = Arc::new(
+            GraphStore::new(cfg.store.clone(), gauge.clone())
                 .with_recorder(Arc::clone(&recorder) as Arc<dyn Recorder>),
+        );
+        // The off-lane compaction worker: edit batches whose delta ratio
+        // trips the threshold nudge it, so segment merges and autotuner
+        // re-runs never block a connection layer. The handle drains and
+        // joins when the server handle drops.
+        let compactor = GraphStore::start_compactor(&store);
+        let shared = Arc::new(Shared {
+            store,
             admission: Admission::new(cfg.admission),
             recorder,
             shutting: AtomicBool::new(false),
@@ -203,6 +215,7 @@ impl Server {
                 shared,
                 accept: Some(accept),
                 waker: None,
+                _compactor: compactor,
             })
         } else {
             let (thread, waker) = event_loop::spawn(listener, Arc::clone(&shared))?;
@@ -211,6 +224,7 @@ impl Server {
                 shared,
                 accept: Some(thread),
                 waker: Some(waker),
+                _compactor: compactor,
             })
         }
     }
@@ -222,6 +236,8 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     waker: Option<Arc<mio::Waker>>,
+    /// Joined by its own `Drop` after the accept thread (field order).
+    _compactor: CompactorHandle,
 }
 
 impl ServerHandle {
@@ -482,6 +498,21 @@ pub(crate) fn classify(shared: &Shared, req: Request) -> Dispatch {
             c.explain.fetch_add(1, Ordering::Relaxed);
             Dispatch::Express(req)
         }
+        // Edits are appends (validate + delta-run push); the expensive
+        // follow-up work — compaction — runs on the store's off lane, so
+        // the express lane stays express.
+        Request::AddEdges { .. } => {
+            c.add_edges.fetch_add(1, Ordering::Relaxed);
+            Dispatch::Express(req)
+        }
+        Request::RemoveEdges { .. } => {
+            c.remove_edges.fetch_add(1, Ordering::Relaxed);
+            Dispatch::Express(req)
+        }
+        Request::ListNewTriangles(_) => {
+            c.list_new.fetch_add(1, Ordering::Relaxed);
+            Dispatch::Priced(req)
+        }
         Request::List(_) => {
             c.list.fetch_add(1, Ordering::Relaxed);
             Dispatch::Priced(req)
@@ -522,6 +553,18 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
         },
         Request::Count(p) => match run_listing(shared, &p, false) {
             Ok(res) => Response::CountResult(res),
+            Err(e) => Response::Error(e),
+        },
+        Request::AddEdges { graph, edges } => match shared.store.add_edges(&graph, &edges) {
+            Ok(receipt) => Response::EditResult(edit_info(&receipt)),
+            Err(e) => Response::Error(store_err(&e)),
+        },
+        Request::RemoveEdges { graph, edges } => match shared.store.remove_edges(&graph, &edges) {
+            Ok(receipt) => Response::EditResult(edit_info(&receipt)),
+            Err(e) => Response::Error(store_err(&e)),
+        },
+        Request::ListNewTriangles(p) => match run_delta(shared, &p) {
+            Ok(res) => Response::NewTrianglesResult(res),
             Err(e) => Response::Error(e),
         },
         // classify() always answers these inline; if one reaches here
@@ -613,6 +656,27 @@ pub(crate) fn execute_guarded(shared: &Shared, conn: u64, seq: u64, mut req: Req
 
 fn bad(msg: impl Into<String>) -> ErrorFrame {
     ErrorFrame::new(ErrorCode::BadRequest, msg)
+}
+
+/// Typed mapping for store failures: an unknown graph keeps its distinct
+/// code (clients treat it as "register first"), everything else —
+/// unknown epochs, rejected edit batches — is a request-shaped error.
+fn store_err(e: &StoreError) -> ErrorFrame {
+    match e {
+        StoreError::UnknownGraph(_) => ErrorFrame::new(ErrorCode::UnknownGraph, e.to_string()),
+        _ => bad(e.to_string()),
+    }
+}
+
+fn edit_info(r: &EditReceipt) -> EditInfo {
+    EditInfo {
+        epoch: r.epoch,
+        applied: r.applied,
+        m: r.m,
+        delta_edges: r.delta_edges,
+        delta_ratio: r.delta_ratio,
+        compacting: r.compacting,
+    }
 }
 
 fn parse_method(name: &str) -> Result<Method, ErrorFrame> {
@@ -918,6 +982,168 @@ fn wire_result(
     }
 }
 
+/// Executes one `ListNewTriangles` request: fold the epoch window's
+/// delta runs into net edge changes, prepare the graph at the window's
+/// end epoch, and enumerate only the triangles touching a net-new edge.
+///
+/// The target epoch is pinned for the whole run, so a background
+/// compaction landing mid-request (or between the links of a resume
+/// chain) cannot garbage-collect the segments the epoch materializes
+/// from — and because compaction never renumbers epochs and the relabel
+/// seed is epoch-mixed, a chain interrupted and resumed across a
+/// compaction is byte-identical to one that never saw it
+/// (`tests/serve_dynamic.rs`).
+fn run_delta(shared: &Shared, p: &DeltaParams) -> Result<DeltaRunResult, ErrorFrame> {
+    let latest = shared
+        .store
+        .latest_epoch(&p.graph)
+        .map_err(|e| store_err(&e))?;
+    let to = if p.to_epoch == DeltaParams::LATEST {
+        latest
+    } else {
+        p.to_epoch
+    };
+    let _pin = shared
+        .store
+        .pin(&p.graph, Some(to))
+        .map_err(|e| store_err(&e))?;
+    let (net_new, net_removed) = shared
+        .store
+        .delta_edges(&p.graph, p.from_epoch, to)
+        .map_err(|e| store_err(&e))?;
+
+    // Blank family/policy resolve from the graph's autotuned plan, like
+    // unpinned List/Count requests.
+    let unpinned = p.family.is_empty() || p.policy.is_empty();
+    let plan = if unpinned {
+        Some(
+            shared
+                .store
+                .listing_plan(&p.graph)
+                .map_err(|e| store_err(&e))?,
+        )
+    } else {
+        None
+    };
+    let ordering = match &plan {
+        Some(s) if p.family.is_empty() => s.plan.ordering,
+        _ => parse_ordering(&p.family)?,
+    };
+    let policy = match &plan {
+        Some(s) if p.policy.is_empty() => s.plan.policy,
+        _ => KernelPolicy::from_name(&p.policy)
+            .ok_or_else(|| bad(format!("unknown kernel policy {:?}", p.policy)))?,
+    };
+    let (prepared, cache_hit, _) = shared
+        .store
+        .prepare_at(&p.graph, ordering, Some(to))
+        .map_err(|e| store_err(&e))?;
+
+    // The delta driver works in label space: map each net-new edge
+    // through the epoch's relabeling, normalize to (lo, hi), and sort —
+    // the dedup convention (minimal-rank owning edge) needs a canonical
+    // order.
+    let mut forward = vec![0u32; prepared.inverse.len()];
+    for (label, &orig) in prepared.inverse.iter().enumerate() {
+        forward[orig as usize] = label as u32;
+    }
+    let mut label_edges: Vec<(u32, u32)> = net_new
+        .iter()
+        .map(|&(u, v)| {
+            let (a, b) = (forward[u as usize], forward[v as usize]);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    label_edges.sort_unstable();
+
+    let price = price_delta(&prepared.degrees_by_label, &label_edges);
+    shared
+        .admission
+        .check_price(&price)
+        .map_err(|r| ErrorFrame::new(ErrorCode::RejectedCost, r.to_string()))?;
+    let permit = shared
+        .admission
+        .admit()
+        .map_err(|r| ErrorFrame::new(ErrorCode::RejectedBusy, r.to_string()))?;
+
+    let mut budget = RunBudget::unlimited().with_gauge(shared.gauge.clone());
+    if p.deadline_ms > 0 {
+        budget = budget.with_deadline(Duration::from_millis(p.deadline_ms));
+    }
+    let ceiling = if p.memory_bytes > 0 {
+        Some(p.memory_bytes)
+    } else {
+        shared.cfg.memory_bytes
+    };
+    if let Some(bytes) = ceiling {
+        budget = budget.with_memory_bytes(bytes);
+    }
+    let threads = if p.threads > 0 {
+        p.threads as usize
+    } else {
+        shared.cfg.workers
+    };
+    let opts = DeltaOpts {
+        threads,
+        budget,
+        ..DeltaOpts::default()
+    };
+
+    let src = match &prepared.csr {
+        Some(c) => GraphSource::Compressed(c),
+        None => GraphSource::Plain(&prepared.dg),
+    };
+    // Reuse the cached kernel context only when the request asks for
+    // exactly the policy it was built under; paper-policy requests build
+    // their own paper-faithful context, like run_listing.
+    let built = (policy != prepared.kernels.policy()
+        || matches!(policy, KernelPolicy::PaperFaithful))
+    .then(|| Kernels::build_src(policy, src));
+    let kernels: &Kernels = match &built {
+        Some(k) => k,
+        None => &prepared.kernels,
+    };
+    let outcome = if p.resume.is_empty() {
+        list_new_triangles_src(src, kernels, &label_edges, &opts)
+    } else {
+        let rp: DeltaResumePoint = p
+            .resume
+            .parse()
+            .map_err(|e: ResumeParseError| bad(e.to_string()))?;
+        rp.run_src(src, kernels, &label_edges, &opts)
+            .map_err(|e| bad(e.to_string()))?
+    };
+    drop(permit);
+
+    let mut chunks = Vec::new();
+    let mut triangles = Vec::new();
+    for piece in outcome.pieces() {
+        chunks.push((piece.chunk, piece.triangles.len() as u32));
+        triangles.extend(map_triangles(&prepared.inverse, &piece.triangles));
+    }
+    let (complete, stop_reason, resume) = match &outcome {
+        DeltaOutcome::Complete { .. } => (true, String::new(), String::new()),
+        DeltaOutcome::Partial { resume, reason, .. } => {
+            (false, reason.to_string(), resume.to_string())
+        }
+    };
+    Ok(DeltaRunResult {
+        from_epoch: p.from_epoch,
+        to_epoch: to,
+        new_edges: label_edges.len() as u64,
+        removed_edges: net_removed.len() as u64,
+        result: RunResult {
+            complete,
+            stop_reason,
+            cache_hit,
+            cost: outcome.cost(),
+            resume,
+            chunks,
+            triangles,
+        },
+    })
+}
+
 /// Every server counter, in a stable order the client and tests can rely
 /// on: request counts, admission, cache, gauge, then recorder telemetry.
 fn stats_fields(shared: &Shared) -> Vec<(String, u64)> {
@@ -932,6 +1158,18 @@ fn stats_fields(shared: &Shared) -> Vec<(String, u64)> {
         ),
         ("requests_list".into(), c.list.load(Ordering::Relaxed)),
         ("requests_count".into(), c.count.load(Ordering::Relaxed)),
+        (
+            "requests_add_edges".into(),
+            c.add_edges.load(Ordering::Relaxed),
+        ),
+        (
+            "requests_remove_edges".into(),
+            c.remove_edges.load(Ordering::Relaxed),
+        ),
+        (
+            "requests_list_new".into(),
+            c.list_new.load(Ordering::Relaxed),
+        ),
         ("requests_predict".into(), c.predict.load(Ordering::Relaxed)),
         ("requests_explain".into(), c.explain.load(Ordering::Relaxed)),
         ("requests_stats".into(), c.stats.load(Ordering::Relaxed)),
@@ -970,6 +1208,13 @@ fn stats_fields(shared: &Shared) -> Vec<(String, u64)> {
         ("plans_cached".into(), s.plans),
         ("plan_bytes".into(), s.plan_bytes),
         ("graphs_registered".into(), s.graphs),
+        ("delta_runs".into(), s.delta_runs),
+        ("delta_edges".into(), s.delta_edges),
+        ("delta_bytes".into(), s.delta_bytes),
+        ("retained_segments".into(), s.retained_segments),
+        ("segment_bytes".into(), s.segment_bytes),
+        ("epoch_pins".into(), s.epoch_pins),
+        ("compactions".into(), s.compactions),
         ("gauge_bytes".into(), shared.gauge.used()),
         (
             "memory_ceiling_bytes".into(),

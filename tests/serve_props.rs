@@ -14,8 +14,8 @@
 use proptest::prelude::*;
 use trilist::core::CostReport;
 use trilist::serve::{
-    decode_frame, encode_frame, ErrorCode, ErrorFrame, ListParams, Request, Response, RunResult,
-    MAX_FRAME_BYTES,
+    decode_frame, encode_frame, DeltaParams, DeltaRunResult, EditInfo, ErrorCode, ErrorFrame,
+    ListParams, Request, Response, RunResult, MAX_FRAME_BYTES,
 };
 
 /// Characters the wire codec must survive: separators, quotes, control
@@ -75,6 +75,31 @@ fn arb_params() -> impl Strategy<Value = ListParams> {
         )
 }
 
+fn arb_delta_params() -> impl Strategy<Value = DeltaParams> {
+    (
+        (arb_string(), any::<u64>(), any::<u64>()),
+        (arb_string(), arb_string()),
+        (any::<u16>(), any::<u64>(), any::<u64>(), arb_string()),
+    )
+        .prop_map(
+            |(
+                (graph, from_epoch, to_epoch),
+                (family, policy),
+                (threads, deadline_ms, memory_bytes, resume),
+            )| DeltaParams {
+                graph,
+                from_epoch,
+                to_epoch,
+                family,
+                policy,
+                threads,
+                deadline_ms,
+                memory_bytes,
+                resume,
+            },
+        )
+}
+
 fn arb_run_result() -> impl Strategy<Value = RunResult> {
     (
         (any::<bool>(), arb_string(), any::<bool>(), arb_string()),
@@ -97,14 +122,14 @@ fn arb_run_result() -> impl Strategy<Value = RunResult> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0u8..6,
+        0u8..9,
         (arb_string(), any::<u32>()),
         proptest::collection::vec((any::<u32>(), any::<u32>()), 0..8),
         arb_params(),
-        (arb_string(), arb_string()),
+        ((arb_string(), arb_string()), arb_delta_params()),
     )
         .prop_map(
-            |(which, (name, n), edges, params, (method, family))| match which {
+            |(which, (name, n), edges, params, ((method, family), delta))| match which {
                 0 => Request::RegisterGraph { name, n, edges },
                 1 => Request::List(params),
                 2 => Request::Count(params),
@@ -114,6 +139,9 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     family,
                 },
                 4 => Request::Stats,
+                5 => Request::AddEdges { graph: name, edges },
+                6 => Request::RemoveEdges { graph: name, edges },
+                7 => Request::ListNewTriangles(delta),
                 _ => Request::Shutdown,
             },
         )
@@ -121,19 +149,27 @@ fn arb_request() -> impl Strategy<Value = Request> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0u8..7,
-        (any::<u32>(), any::<u64>()),
-        arb_run_result(),
+        0u8..9,
+        ((any::<u32>(), any::<u64>()), arb_run_result()),
         // raw bits: NaN payloads and infinities included
         (any::<u64>(), any::<u64>(), any::<u64>()),
         (
             proptest::collection::vec((arb_string(), any::<u64>()), 0..5),
             (1u8..=7u8, arb_string()),
         ),
+        (
+            ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
+            any::<bool>(),
+        ),
     )
         .prop_map(
-            |(which, (n, m), run, (pn_bits, ops_bits, pn_n), (stats, (code, message)))| match which
-            {
+            |(
+                which,
+                ((n, m), run),
+                (pn_bits, ops_bits, pn_n),
+                (stats, (code, message)),
+                (((epoch, applied), (from_epoch, to_epoch)), compacting),
+            )| match which {
                 0 => Response::Registered { n, m },
                 1 => Response::ListResult(run),
                 2 => Response::CountResult(run),
@@ -144,6 +180,23 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 },
                 4 => Response::StatsResult(stats),
                 5 => Response::ShutdownAck,
+                // delta_ratio from raw bits: NaN and infinities must
+                // round-trip byte-identically like Predicted's floats
+                6 => Response::EditResult(EditInfo {
+                    epoch,
+                    applied,
+                    m,
+                    delta_edges: pn_n,
+                    delta_ratio: f64::from_bits(pn_bits),
+                    compacting,
+                }),
+                7 => Response::NewTrianglesResult(DeltaRunResult {
+                    from_epoch,
+                    to_epoch,
+                    new_edges: applied,
+                    removed_edges: epoch,
+                    result: run,
+                }),
                 _ => {
                     let code = match code {
                         1 => ErrorCode::Protocol,
@@ -225,7 +278,7 @@ proptest! {
     // a tiny frame — are rejected before any allocation happens. The
     // test completing at all (no OOM) is part of the property.
     #[test]
-    fn oversized_declared_lengths_rejected(declared in any::<u32>(), kind in 1u8..=6) {
+    fn oversized_declared_lengths_rejected(declared in any::<u32>(), kind in 1u8..=10) {
         let mut payload = declared.to_le_bytes().to_vec();
         payload.extend_from_slice(&[0xAB; 8]);
         let result = Request::decode(kind, &payload);
@@ -265,6 +318,21 @@ fn deterministic_malformed_corpus() {
     for cut in 0..valid.len() {
         corpus.push(valid[..cut].to_vec());
     }
+    // every strict prefix of the dynamic-graph frames is rejected too
+    let add = Request::AddEdges {
+        graph: "g".into(),
+        edges: vec![(0, 1), (2, 3)],
+    };
+    let list_new = Request::ListNewTriangles(DeltaParams {
+        resume: "trilist-delta-resume v1 n=4 edges=2 0:0-2".into(),
+        ..DeltaParams::new("g", 0, DeltaParams::LATEST)
+    });
+    for req in [&add, &list_new] {
+        let frame = encode_frame(req.kind(), &req.payload());
+        for cut in 0..frame.len() {
+            corpus.push(frame[..cut].to_vec());
+        }
+    }
     // length prefix claims more than the cap
     let mut huge = (MAX_FRAME_BYTES + 1).to_le_bytes().to_vec();
     huge.extend_from_slice(&[1, 5]);
@@ -282,4 +350,57 @@ fn deterministic_malformed_corpus() {
         }
     }
     assert!(rejected >= corpus.len() - 1, "corpus is mostly malformed");
+
+    // Payload-level attacks on the new frames, fed straight to the typed
+    // decoders under their real kind bytes: truncation anywhere inside
+    // the payload and a hostile edge-array length must both come back as
+    // typed errors, never a panic or a giant allocation.
+    let edit = Response::EditResult(EditInfo {
+        epoch: 7,
+        applied: 2,
+        m: 40,
+        delta_edges: 5,
+        delta_ratio: 0.125,
+        compacting: true,
+    });
+    let delta_run = Response::NewTrianglesResult(DeltaRunResult {
+        from_epoch: 1,
+        to_epoch: 3,
+        new_edges: 2,
+        removed_edges: 1,
+        result: RunResult {
+            complete: false,
+            stop_reason: "memory budget exhausted".into(),
+            cache_hit: true,
+            cost: CostReport::default(),
+            resume: "trilist-delta-resume v1 n=4 edges=2 1:1-2".into(),
+            chunks: vec![(0, 1)],
+            triangles: vec![(0, 1, 2)],
+        },
+    });
+    for req in [&add, &list_new] {
+        let payload = req.payload();
+        for cut in 0..payload.len() {
+            assert!(
+                Request::decode(req.kind(), &payload[..cut]).is_err(),
+                "kind {:#x}: truncated payload ({cut} bytes) must be rejected",
+                req.kind()
+            );
+        }
+    }
+    for resp in [&edit, &delta_run] {
+        let payload = resp.payload();
+        for cut in 0..payload.len() {
+            assert!(
+                Response::decode(resp.kind(), &payload[..cut]).is_err(),
+                "kind {:#x}: truncated payload ({cut} bytes) must be rejected",
+                resp.kind()
+            );
+        }
+    }
+    // hostile declared edge-array length inside an AddEdges payload
+    let mut payload = add.payload();
+    let graph_field = 4 + 1; // u32 string length + "g"
+    payload[graph_field..graph_field + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(Request::decode(add.kind(), &payload).is_err());
 }
